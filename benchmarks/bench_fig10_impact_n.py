@@ -1,0 +1,70 @@
+"""Figure 10: query time of BASE / TRAN / QUAD / CUTTING versus ``n``.
+
+The paper sweeps ``n`` from ``2^7`` to ``2^20`` on CORR, INDE, ANTI, and the
+NBA dataset with ``d = 3`` and ``r = [0.36, 2.75]``.  The reproduced claims
+are the relative orderings: TRAN is much faster than BASE (especially on
+ANTI), and the index-based queries beat both by orders of magnitude; the
+per-dataset cost ordering is CORR < INDE < ANTI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import DEFAULT_RATIO, dataset_for, ratio_vector
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.transform import eclipse_transform_indices
+from repro.experiments.harness import full_sweep_enabled
+from repro.index.eclipse_index import EclipseIndex
+
+DIMENSIONS = 3
+SYNTHETIC_SIZES = [2**7, 2**10, 2**13] if not full_sweep_enabled() else [2**7, 2**10, 2**13, 2**17]
+NBA_SIZES = [1000, 2000]
+DATASETS = ("CORR", "INDE", "ANTI")
+
+#: BASE is only run up to this size (its quadratic cost dominates beyond it).
+BASELINE_CAP = 2**10
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("n", [s for s in SYNTHETIC_SIZES if s <= BASELINE_CAP])
+def test_fig10_base(benchmark, dataset, n):
+    data = dataset_for(dataset, n, DIMENSIONS)
+    ratios = ratio_vector(DIMENSIONS)
+    result = benchmark(lambda: eclipse_baseline_indices(data, ratios))
+    assert result.size >= 1
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("n", SYNTHETIC_SIZES)
+def test_fig10_tran(benchmark, dataset, n):
+    data = dataset_for(dataset, n, DIMENSIONS)
+    ratios = ratio_vector(DIMENSIONS)
+    result = benchmark(lambda: eclipse_transform_indices(data, ratios))
+    assert result.size >= 1
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("n", SYNTHETIC_SIZES)
+@pytest.mark.parametrize("backend", ["quadtree", "cutting"])
+def test_fig10_index_query(benchmark, dataset, n, backend):
+    data = dataset_for(dataset, n, DIMENSIONS)
+    ratios = ratio_vector(DIMENSIONS)
+    index = EclipseIndex(backend=backend).build(data)
+    result = benchmark(lambda: index.query_indices(ratios))
+    assert result.size >= 1
+
+
+@pytest.mark.parametrize("n", NBA_SIZES)
+@pytest.mark.parametrize("algorithm", ["TRAN", "QUAD", "CUTTING"])
+def test_fig10_nba(benchmark, n, algorithm):
+    data = dataset_for("NBA", n, DIMENSIONS)
+    ratios = ratio_vector(DIMENSIONS)
+    if algorithm == "TRAN":
+        run = lambda: eclipse_transform_indices(data, ratios)
+    else:
+        backend = "quadtree" if algorithm == "QUAD" else "cutting"
+        index = EclipseIndex(backend=backend).build(data)
+        run = lambda: index.query_indices(ratios)
+    result = benchmark(run)
+    assert result.size >= 1

@@ -1,0 +1,55 @@
+"""Figure 11: query time of the four algorithms versus the dimensionality ``d``.
+
+The paper uses ``n = 2^10`` for the synthetic datasets, ``n = 1000`` for NBA,
+``d ∈ {2, 3, 4, 5}``, and ``r = [0.36, 2.75]``.  Reproduced claims: TRAN beats
+BASE everywhere, the index-based queries beat both, and QUAD's advantage over
+CUTTING grows with ``d`` in the average case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import dataset_for, ratio_vector
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.transform import eclipse_transform_indices
+from repro.index.eclipse_index import EclipseIndex
+
+N_SYNTHETIC = 2**10
+N_NBA = 1000
+DIMENSIONS = (2, 3, 4, 5)
+DATASETS = ("CORR", "INDE", "ANTI", "NBA")
+
+
+def _data(dataset: str, d: int):
+    n = N_NBA if dataset == "NBA" else N_SYNTHETIC
+    return dataset_for(dataset, n, d)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("d", DIMENSIONS)
+def test_fig11_base(benchmark, dataset, d):
+    data = _data(dataset, d)
+    ratios = ratio_vector(d)
+    result = benchmark(lambda: eclipse_baseline_indices(data, ratios))
+    assert result.size >= 1
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("d", DIMENSIONS)
+def test_fig11_tran(benchmark, dataset, d):
+    data = _data(dataset, d)
+    ratios = ratio_vector(d)
+    result = benchmark(lambda: eclipse_transform_indices(data, ratios))
+    assert result.size >= 1
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("d", DIMENSIONS)
+@pytest.mark.parametrize("backend", ["quadtree", "cutting"])
+def test_fig11_index_query(benchmark, dataset, d, backend):
+    data = _data(dataset, d)
+    ratios = ratio_vector(d)
+    index = EclipseIndex(backend=backend).build(data)
+    result = benchmark(lambda: index.query_indices(ratios))
+    assert result.size >= 1

@@ -1,0 +1,44 @@
+"""Figure 12: index-based query time versus the ratio range.
+
+The paper queries the prebuilt indexes with the four ratio settings of
+Table IV on all four datasets (``n = 2^10``, NBA ``n = 1000``, ``d = 3``).
+Reproduced claim: wider ratio ranges cost more because more dual-space
+intersections fall inside the query box.  The transformation-based
+algorithms are insensitive to the range and are therefore not measured,
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import dataset_for, ratio_vector
+from repro.index.eclipse_index import EclipseIndex
+
+DIMENSIONS = 3
+N_SYNTHETIC = 2**10
+N_NBA = 1000
+DATASETS = ("CORR", "INDE", "ANTI", "NBA")
+RATIO_SETTINGS = ((0.18, 5.67), (0.36, 2.75), (0.58, 1.73), (0.84, 1.19))
+
+_INDEX_CACHE = {}
+
+
+def _index(dataset: str, backend: str) -> EclipseIndex:
+    """Build each (dataset, backend) index once and reuse it across ratios."""
+    key = (dataset, backend)
+    if key not in _INDEX_CACHE:
+        n = N_NBA if dataset == "NBA" else N_SYNTHETIC
+        data = dataset_for(dataset, n, DIMENSIONS)
+        _INDEX_CACHE[key] = EclipseIndex(backend=backend).build(data)
+    return _INDEX_CACHE[key]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("ratio", RATIO_SETTINGS, ids=lambda r: f"{r[0]}-{r[1]}")
+@pytest.mark.parametrize("backend", ["quadtree", "cutting"])
+def test_fig12_index_query_by_ratio(benchmark, dataset, ratio, backend):
+    index = _index(dataset, backend)
+    ratios = ratio_vector(DIMENSIONS, ratio[0], ratio[1])
+    result = benchmark(lambda: index.query_indices(ratios))
+    assert result.size >= 1

@@ -1,0 +1,63 @@
+"""Table V: the case-study answer counts (simulated user study).
+
+The benchmark measures the end-to-end cost of the five query front-ends the
+respondents compared (skyline, top-k, eclipse-ratio, eclipse-weight,
+eclipse-category) on the hotel scenario, plus the respondent simulation
+itself, and asserts the qualitative outcome of Table V: the eclipse-category
+system receives the plurality of answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import EclipseQuery
+from repro.core.weights import (
+    ImportanceCategory,
+    RatioVector,
+    weight_interval_to_ratio_range,
+)
+from repro.data.generators import generate_independent
+from repro.experiments.user_study import run_user_study
+from repro.knn.linear import knn_indices
+from repro.skyline.api import skyline_indices
+
+#: A realistic hotel corpus for the five front-ends (distance, price).
+HOTELS = generate_independent(500, 2, seed=42)
+
+
+def test_table5_user_study_simulation(benchmark):
+    result = benchmark(lambda: run_user_study(respondents=61, seed=17))
+    assert sum(result.counts.values()) == 61
+    assert result.preferred_system == "eclipse-category"
+
+
+def test_table5_skyline_system(benchmark):
+    result = benchmark(lambda: skyline_indices(HOTELS))
+    assert result.size >= 1
+
+
+def test_table5_topk_system(benchmark):
+    result = benchmark(lambda: knn_indices(HOTELS, [0.4, 0.6], k=10))
+    assert result.size == 10
+
+
+def test_table5_eclipse_ratio_system(benchmark):
+    query = EclipseQuery(HOTELS)
+    result = benchmark(lambda: query.run(ratios=(0.3, 0.5)))
+    assert len(result) >= 1
+
+
+def test_table5_eclipse_weight_system(benchmark):
+    query = EclipseQuery(HOTELS)
+    ratio = weight_interval_to_ratio_range(0.3, 0.5)
+    result = benchmark(lambda: query.run(ratios=ratio))
+    assert len(result) >= 1
+
+
+def test_table5_eclipse_category_system(benchmark):
+    query = EclipseQuery(HOTELS)
+    ratios = RatioVector.from_categories([ImportanceCategory.IMPORTANT])
+    result = benchmark(lambda: query.run(ratios=ratios))
+    assert len(result) >= 1

@@ -1,0 +1,69 @@
+"""Tables VI, VII, VIII: expected number of eclipse points.
+
+The benchmark times the Monte-Carlo estimator at each sweep point of the
+three count tables and asserts the paper's qualitative trends:
+
+* Table VI — the count barely moves with ``n``;
+* Table VII — the count grows quickly with ``d``;
+* Table VIII — wider ratio ranges return more points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import expected_eclipse_points
+from repro.experiments.harness import full_sweep_enabled
+
+TABLE6_SIZES = [2**7, 2**10, 2**13] + ([2**17] if full_sweep_enabled() else [])
+TABLE7_DIMENSIONS = (2, 3, 4, 5)
+TABLE8_RATIOS = ((0.18, 5.67), (0.36, 2.75), (0.58, 1.73), (0.84, 1.19))
+TRIALS = 5
+
+
+@pytest.mark.parametrize("n", TABLE6_SIZES)
+def test_table6_count_vs_n(benchmark, n):
+    estimate = benchmark(
+        lambda: expected_eclipse_points(n, 3, 0.36, 2.75, trials=TRIALS, seed=0)
+    )
+    # Table VI: the expected count stays in the low single digits for d = 3.
+    assert 1.0 <= estimate.mean <= 20.0
+
+
+@pytest.mark.parametrize("d", TABLE7_DIMENSIONS)
+def test_table7_count_vs_d(benchmark, d):
+    estimate = benchmark(
+        lambda: expected_eclipse_points(2**10, d, 0.36, 2.75, trials=TRIALS, seed=0)
+    )
+    assert estimate.mean >= 1.0
+
+
+def test_table7_trend_increasing_in_d(benchmark):
+    def run():
+        return [
+            expected_eclipse_points(2**9, d, 0.36, 2.75, trials=3, seed=0).mean
+            for d in (2, 3, 4)
+        ]
+
+    counts = benchmark(run)
+    assert counts[0] <= counts[1] <= counts[2] * 1.5
+
+
+@pytest.mark.parametrize("ratio", TABLE8_RATIOS, ids=lambda r: f"{r[0]}-{r[1]}")
+def test_table8_count_vs_ratio(benchmark, ratio):
+    estimate = benchmark(
+        lambda: expected_eclipse_points(
+            2**10, 3, ratio[0], ratio[1], trials=TRIALS, seed=0
+        )
+    )
+    assert estimate.mean >= 1.0
+
+
+def test_table8_trend_wider_range_more_points(benchmark):
+    def run():
+        wide = expected_eclipse_points(2**9, 3, 0.18, 5.67, trials=3, seed=1).mean
+        narrow = expected_eclipse_points(2**9, 3, 0.84, 1.19, trials=3, seed=1).mean
+        return wide, narrow
+
+    wide, narrow = benchmark(run)
+    assert wide >= narrow

@@ -1,0 +1,6 @@
+"""Pytest configuration for the benchmark suite.
+
+The benchmark modules are named ``bench_*.py`` (one per table/figure of the
+paper); the ``python_files`` setting in ``pyproject.toml`` registers that
+pattern so ``pytest benchmarks/ --benchmark-only`` collects them.
+"""

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section V).  The default parameters are laptop-sized so the whole suite
+finishes in minutes; set ``REPRO_FULL_SWEEP=1`` to use the paper's full
+parameter ranges where they are feasible in pure Python.
+
+Benchmarks print the reproduced rows/series (via ``capsys``-independent
+stdout) in addition to the pytest-benchmark timings, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the same numbers recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.data.nba import nba_minimization_points
+
+#: Default ratio range of the evaluation (bold column of Table IV).
+DEFAULT_RATIO = (0.36, 2.75)
+
+
+def dataset_for(name: str, n: int, dimensions: int, seed: int = 0) -> np.ndarray:
+    """Materialise one of the four evaluation datasets."""
+    if name.upper() == "NBA":
+        return nba_minimization_points(n=n, dimensions=dimensions)
+    return generate_dataset(name, n, dimensions, seed=seed)
+
+
+def ratio_vector(dimensions: int, low: float = DEFAULT_RATIO[0], high: float = DEFAULT_RATIO[1]):
+    return RatioVector.uniform(low, high, dimensions)
+
+
+@pytest.fixture(scope="session")
+def default_ratio():
+    return DEFAULT_RATIO

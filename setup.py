@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can also be installed in environments without the
+``wheel`` package (legacy ``pip install -e . --no-use-pep517``), such as
+fully offline machines.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Eclipse: Generalizing kNN and Skyline' (Liu et al., ICDE)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    entry_points={"console_scripts": ["repro-eclipse = repro.cli:main"]},
+)

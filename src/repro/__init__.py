@@ -1,0 +1,65 @@
+"""repro — a reproduction of "Eclipse: Generalizing kNN and Skyline".
+
+The package implements the eclipse query operator of Liu et al. (ICDE),
+which generalises 1NN and skyline queries by letting users specify a *range*
+of attribute-weight ratios, together with every substrate the paper relies
+on: skyline algorithms, kNN, the dual-space index structures (Order Vector
+Index and Intersection Index backed by a line quadtree or a cutting tree),
+synthetic data generators, and the experiment harness that regenerates the
+paper's tables and figures.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import EclipseQuery
+>>> hotels = np.array([[1.0, 6.0], [4.0, 4.0], [6.0, 1.0], [8.0, 5.0]])
+>>> result = EclipseQuery(hotels).run(ratios=(0.25, 2.0))
+>>> result.indices.tolist()
+[0, 1, 2]
+"""
+
+from repro.core import (
+    EclipseQuery,
+    EclipseResult,
+    ImportanceCategory,
+    RATIO_INFINITY,
+    RatioVector,
+    WeightRange,
+    eclipse,
+    eclipse_baseline,
+    eclipse_dominates,
+    eclipse_transform,
+    expected_eclipse_points,
+    nn_dominates,
+    skyline_dominates,
+)
+from repro.data import Dataset, generate_dataset, generate_nba_dataset
+from repro.index import EclipseIndex
+from repro.knn import knn, nearest_neighbor
+from repro.skyline import skyline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EclipseQuery",
+    "EclipseResult",
+    "EclipseIndex",
+    "ImportanceCategory",
+    "RATIO_INFINITY",
+    "RatioVector",
+    "WeightRange",
+    "Dataset",
+    "eclipse",
+    "eclipse_baseline",
+    "eclipse_dominates",
+    "eclipse_transform",
+    "expected_eclipse_points",
+    "generate_dataset",
+    "generate_nba_dataset",
+    "knn",
+    "nearest_neighbor",
+    "nn_dominates",
+    "skyline",
+    "skyline_dominates",
+    "__version__",
+]

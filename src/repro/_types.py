@@ -1,0 +1,25 @@
+"""Shared typing aliases used across the ``repro`` package.
+
+These aliases exist purely to make signatures readable; they carry no runtime
+behaviour.  Arrays are always ``numpy.ndarray`` of ``float64`` unless stated
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+#: A single point, given either as a sequence of floats or a 1-D array.
+PointLike = Union[Sequence[float], np.ndarray]
+
+#: A dataset of points, given as a sequence of points or a 2-D array
+#: of shape ``(n, d)``.
+ArrayLike2D = Union[Sequence[PointLike], np.ndarray]
+
+#: A half-open or closed numeric interval ``(low, high)``.
+Interval = Tuple[float, float]
+
+#: Indices into a dataset (row positions).
+IndexArray = np.ndarray

@@ -1,0 +1,184 @@
+"""Command-line interface: ``repro-eclipse`` / ``python -m repro.cli``.
+
+Three subcommands cover the typical workflows:
+
+``query``
+    Run an eclipse (or skyline/1NN) query over a CSV file or a generated
+    synthetic dataset and print the result points.
+
+``generate``
+    Write a synthetic dataset (INDE/CORR/ANTI/NBA/worst-case) to a CSV file.
+
+``experiment``
+    Regenerate one of the paper's tables or figures and print the text
+    rendering (the same runners the benchmark suite uses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.query import EclipseQuery
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.data.nba import generate_nba_dataset
+from repro.data.worst_case import generate_worst_case
+from repro.experiments import figures, tables, user_study
+
+
+def _load_csv(path: str) -> np.ndarray:
+    """Load a numeric CSV file (optionally with a header row) as an array."""
+    rows: List[List[float]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        for raw in reader:
+            if not raw:
+                continue
+            try:
+                rows.append([float(cell) for cell in raw])
+            except ValueError:
+                # Header (or otherwise non-numeric) row: skip it.
+                continue
+    return np.asarray(rows, dtype=float)
+
+
+def _write_csv(path: str, data: np.ndarray) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in np.atleast_2d(data):
+            writer.writerow([f"{value:.6f}" for value in row])
+
+
+def _make_data(args: argparse.Namespace) -> np.ndarray:
+    if args.input:
+        return _load_csv(args.input)
+    name = args.dataset.upper()
+    if name == "NBA":
+        return generate_nba_dataset(n=args.n).normalized()[:, : args.dimensions]
+    if name in ("WORST", "WORST-CASE"):
+        return generate_worst_case(args.n, args.dimensions, seed=args.seed)
+    return generate_dataset(name, args.n, args.dimensions, seed=args.seed)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    data = _make_data(args)
+    if data.size == 0:
+        print("the dataset is empty", file=sys.stderr)
+        return 1
+    d = data.shape[1]
+    ratios = RatioVector.uniform(args.low, args.high, d)
+    query = EclipseQuery(data)
+    result = query.run(ratios=ratios, method=args.method)
+    print(f"# eclipse query method={result.method} low={args.low} high={args.high}")
+    print(f"# {len(result)} of {data.shape[0]} points returned")
+    for index, point in zip(result.indices, result.points):
+        rendered = ", ".join(f"{value:.4f}" for value in point)
+        print(f"{int(index)}: [{rendered}]")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    data = _make_data(args)
+    _write_csv(args.output, data)
+    print(f"wrote {data.shape[0]} x {data.shape[1]} points to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name.lower()
+    if name in ("table5", "user-study"):
+        print(user_study.run_user_study().to_text())
+    elif name == "table6":
+        print(tables.run_count_vs_n(trials=args.trials).to_text())
+    elif name == "table7":
+        print(tables.run_count_vs_d(trials=args.trials).to_text())
+    elif name == "table8":
+        print(tables.run_count_vs_ratio(trials=args.trials).to_text())
+    elif name in ("fig10", "figure10"):
+        for dataset in figures.DATASET_NAMES:
+            print(figures.run_impact_of_n(dataset=dataset).to_text())
+            print()
+    elif name in ("fig11", "figure11"):
+        for dataset in figures.DATASET_NAMES:
+            print(figures.run_impact_of_d(dataset=dataset).to_text())
+            print()
+    elif name in ("fig12", "figure12"):
+        for dataset in figures.DATASET_NAMES:
+            print(figures.run_impact_of_ratio(dataset=dataset).to_text())
+            print()
+    elif name in ("fig13", "figure13"):
+        print(figures.run_worst_case_n().to_text())
+    elif name in ("fig14", "figure14"):
+        print(figures.run_worst_case_d().to_text())
+    else:
+        print(f"unknown experiment {args.name!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-eclipse",
+        description="Eclipse query operator — reproduction of Liu et al. (ICDE)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_data_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--input", help="CSV file with one point per row")
+        sub.add_argument(
+            "--dataset",
+            default="INDE",
+            help="synthetic dataset when no --input is given "
+            "(INDE, CORR, ANTI, NBA, WORST)",
+        )
+        sub.add_argument("--n", type=int, default=1024, help="number of points")
+        sub.add_argument(
+            "--dimensions", "-d", type=int, default=3, help="number of attributes"
+        )
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+
+    query = subparsers.add_parser("query", help="run an eclipse query")
+    add_data_arguments(query)
+    query.add_argument("--low", type=float, default=0.36, help="lower ratio bound")
+    query.add_argument("--high", type=float, default=2.75, help="upper ratio bound")
+    query.add_argument(
+        "--method",
+        default="auto",
+        help="algorithm: auto, baseline, transform, quad, cutting",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic dataset")
+    add_data_arguments(generate)
+    generate.add_argument("--output", required=True, help="output CSV path")
+    generate.set_defaults(func=_cmd_generate)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables or figures"
+    )
+    experiment.add_argument(
+        "name",
+        help="table5..table8, fig10..fig14",
+    )
+    experiment.add_argument(
+        "--trials", type=int, default=5, help="Monte-Carlo trials for the tables"
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

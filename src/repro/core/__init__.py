@@ -1,0 +1,76 @@
+"""Core eclipse operator: definitions, algorithms, and the query facade.
+
+The public names re-exported here form the primary API of the reproduction:
+
+* :class:`WeightRange` / :class:`RatioVector` — attribute weight-ratio ranges
+  (Definition 3 of the paper) plus the user-facing helpers for specifying them
+  as exact weights, ratios, categories, or angles.
+* :func:`eclipse_dominates`, :func:`skyline_dominates`, :func:`nn_dominates` —
+  the three dominance relations of Table I.
+* :func:`eclipse_baseline` — Algorithm 1 (``O(n^2 2^{d-1})``).
+* :func:`eclipse_transform` — Algorithms 2 and 3 (``O(n log^{d-1} n)``).
+* :class:`EclipseQuery` — high-level facade selecting among BASE, TRAN, QUAD,
+  and CUTTING.
+* :func:`expected_eclipse_points` — the result-size estimator used for
+  Tables VI–VIII.
+"""
+
+from repro.core.weights import (
+    RATIO_INFINITY,
+    ImportanceCategory,
+    RatioVector,
+    WeightRange,
+    angle_range_to_ratio_range,
+    category_to_ratio_range,
+    ratio_range_to_angle_range,
+    weight_interval_to_ratio_range,
+)
+from repro.core.dominance import (
+    corner_weight_vectors,
+    eclipse_dominates,
+    nn_dominates,
+    score,
+    scores,
+    skyline_dominates,
+)
+from repro.core.baseline import eclipse_baseline
+from repro.core.transform import (
+    eclipse_transform,
+    map_to_corner_scores,
+    map_to_intercept_space,
+)
+from repro.core.query import EclipseQuery, EclipseResult, eclipse
+from repro.core.estimator import expected_eclipse_points
+from repro.core.relationships import (
+    convex_hull_points,
+    nearest_neighbor,
+    query_relationships,
+)
+
+__all__ = [
+    "RATIO_INFINITY",
+    "ImportanceCategory",
+    "RatioVector",
+    "WeightRange",
+    "angle_range_to_ratio_range",
+    "category_to_ratio_range",
+    "ratio_range_to_angle_range",
+    "weight_interval_to_ratio_range",
+    "corner_weight_vectors",
+    "eclipse_dominates",
+    "nn_dominates",
+    "score",
+    "scores",
+    "skyline_dominates",
+    "eclipse_baseline",
+    "eclipse_transform",
+    "map_to_corner_scores",
+    "map_to_intercept_space",
+    "EclipseQuery",
+    "EclipseResult",
+    "eclipse",
+    "expected_eclipse_points",
+    "convex_hull_points",
+    "nearest_neighbor",
+    "query_relationships",
+]

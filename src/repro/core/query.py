@@ -1,0 +1,242 @@
+"""The :class:`EclipseQuery` facade: one entry point over all four algorithms.
+
+Most users only need this module::
+
+    from repro import EclipseQuery
+
+    query = EclipseQuery(hotels, ratios=(0.25, 2.0))
+    result = query.run()                 # transformation algorithm
+    result = query.run(method="quad")    # index-based, line quadtree
+    print(result.points, result.indices)
+
+The facade owns algorithm selection, ratio-specification coercion (exact
+weights, ratio ranges, categories, angles) and, for the index-based methods,
+caching of the built :class:`~repro.index.EclipseIndex` so that repeated
+queries over the same dataset amortise the build cost — which is the usage
+pattern the index-based algorithms are designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro._types import ArrayLike2D, IndexArray
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.dominance import as_dataset
+from repro.core.transform import eclipse_transform_indices
+from repro.core.weights import RatioVector, make_ratio_vector
+from repro.errors import AlgorithmNotSupportedError, InvalidWeightRangeError
+from repro.index.eclipse_index import EclipseIndex
+
+#: Canonical method names; several aliases map onto them.
+_METHOD_ALIASES = {
+    "base": "baseline",
+    "baseline": "baseline",
+    "tran": "transform",
+    "transform": "transform",
+    "quad": "quadtree",
+    "quadtree": "quadtree",
+    "cutting": "cutting",
+    "cut": "cutting",
+    "auto": "auto",
+}
+
+
+@dataclass(frozen=True)
+class EclipseResult:
+    """Result of a single eclipse query.
+
+    Attributes
+    ----------
+    indices:
+        Row positions of the eclipse points in the queried dataset, sorted.
+    points:
+        The eclipse points themselves (rows of the dataset).
+    method:
+        The algorithm that produced the result (canonical name).
+    ratios:
+        The ratio vector actually used.
+    """
+
+    indices: IndexArray
+    points: np.ndarray
+    method: str
+    ratios: RatioVector
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def index_set(self) -> set:
+        """The result indices as a plain Python set (handy in tests)."""
+        return set(int(i) for i in self.indices)
+
+
+class EclipseQuery:
+    """Eclipse queries over one dataset with a choice of algorithms.
+
+    Parameters
+    ----------
+    points:
+        Dataset of shape ``(n, d)`` with minimisation semantics ("smaller is
+        better" on every attribute; see
+        :meth:`repro.data.Dataset.to_minimization` for converting
+        larger-is-better data).
+    ratios:
+        Default ratio specification used by :meth:`run` when none is given;
+        anything accepted by :func:`repro.core.weights.make_ratio_vector`.
+    index_kwargs:
+        Extra keyword arguments forwarded to :class:`EclipseIndex` when an
+        index-based method is used (e.g. ``capacity`` or ``max_ratio``).
+    """
+
+    def __init__(
+        self,
+        points: ArrayLike2D,
+        ratios=None,
+        **index_kwargs,
+    ):
+        self._data = as_dataset(points)
+        self._default_ratios = (
+            make_ratio_vector(ratios, self._data.shape[1])
+            if ratios is not None and self._data.shape[0]
+            else None
+        )
+        self._index_kwargs = index_kwargs
+        self._indexes: Dict[str, EclipseIndex] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The queried dataset (a defensive copy is *not* made)."""
+        return self._data
+
+    @property
+    def num_points(self) -> int:
+        """Number of points in the dataset."""
+        return int(self._data.shape[0])
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the dataset."""
+        return int(self._data.shape[1]) if self._data.size else 0
+
+    @property
+    def default_ratios(self) -> Optional[RatioVector]:
+        """The ratio vector supplied at construction time, if any."""
+        return self._default_ratios
+
+    # ------------------------------------------------------------------
+    def run(self, ratios=None, method: str = "auto") -> EclipseResult:
+        """Run an eclipse query and return an :class:`EclipseResult`.
+
+        Parameters
+        ----------
+        ratios:
+            Ratio specification; falls back to the constructor default.
+        method:
+            ``"auto"`` (default), ``"baseline"``/``"base"``,
+            ``"transform"``/``"tran"``, ``"quad"``/``"quadtree"`` or
+            ``"cutting"``.  ``"auto"`` uses the transformation algorithm for
+            one-shot queries and transparently falls back to the baseline
+            when the ratio range makes the transformation inapplicable
+            (an upper bound of zero).
+        """
+        ratio_vector = self._resolve_ratios(ratios)
+        canonical = self._canonical_method(method)
+        if self.num_points == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return EclipseResult(
+                indices=empty,
+                points=self._data[empty] if self._data.size else np.empty((0, 0)),
+                method=canonical,
+                ratios=ratio_vector,
+            )
+
+        if canonical == "auto":
+            # The corner-score transformation is exact for every ratio range
+            # and dimensionality, so it is the default one-shot algorithm.
+            canonical = "transform"
+
+        if canonical == "baseline":
+            indices = eclipse_baseline_indices(self._data, ratio_vector)
+        elif canonical == "transform":
+            try:
+                indices = eclipse_transform_indices(self._data, ratio_vector)
+            except InvalidWeightRangeError:
+                indices = eclipse_baseline_indices(self._data, ratio_vector)
+                canonical = "baseline"
+        elif canonical in ("quadtree", "cutting"):
+            index = self._get_index(canonical)
+            indices = index.query_indices(ratio_vector)
+        else:  # pragma: no cover - guarded by _canonical_method
+            raise AlgorithmNotSupportedError(f"unhandled method {canonical!r}")
+
+        indices = np.sort(np.asarray(indices, dtype=np.intp))
+        return EclipseResult(
+            indices=indices,
+            points=self._data[indices],
+            method=canonical,
+            ratios=ratio_vector,
+        )
+
+    def run_indices(self, ratios=None, method: str = "auto") -> IndexArray:
+        """Convenience wrapper returning only the result indices."""
+        return self.run(ratios=ratios, method=method).indices
+
+    # ------------------------------------------------------------------
+    def build_index(self, method: str = "quadtree") -> EclipseIndex:
+        """Eagerly build (and cache) the index for an index-based method."""
+        canonical = self._canonical_method(method)
+        if canonical not in ("quadtree", "cutting"):
+            raise AlgorithmNotSupportedError(
+                "build_index() accepts only the index-based methods "
+                "'quadtree' and 'cutting'"
+            )
+        return self._get_index(canonical)
+
+    def _get_index(self, canonical: str) -> EclipseIndex:
+        if canonical not in self._indexes:
+            self._indexes[canonical] = EclipseIndex(
+                backend=canonical, **self._index_kwargs
+            ).build(self._data)
+        return self._indexes[canonical]
+
+    # ------------------------------------------------------------------
+    def _resolve_ratios(self, ratios) -> RatioVector:
+        if ratios is None:
+            if self._default_ratios is None:
+                if self.num_points == 0:
+                    raise InvalidWeightRangeError(
+                        "a ratio specification is required for an empty dataset"
+                    )
+                return RatioVector.skyline(self.dimensions)
+            return self._default_ratios
+        if self.num_points == 0:
+            if isinstance(ratios, RatioVector):
+                return ratios
+            raise InvalidWeightRangeError(
+                "cannot infer dimensionality for an empty dataset; "
+                "pass a RatioVector explicitly"
+            )
+        return make_ratio_vector(ratios, self.dimensions)
+
+    @staticmethod
+    def _canonical_method(method: str) -> str:
+        try:
+            return _METHOD_ALIASES[method.lower()]
+        except (KeyError, AttributeError):
+            raise AlgorithmNotSupportedError(
+                f"unknown eclipse method {method!r}; choose from "
+                f"{sorted(set(_METHOD_ALIASES))}"
+            ) from None
+
+
+def eclipse(points: ArrayLike2D, ratios, method: str = "auto") -> np.ndarray:
+    """Functional one-liner: the eclipse points of ``points`` under ``ratios``."""
+    return EclipseQuery(points).run(ratios=ratios, method=method).points

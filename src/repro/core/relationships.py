@@ -1,0 +1,104 @@
+"""Relationships between eclipse and the classic operators (Figure 4).
+
+Section II-C situates eclipse relative to 1NN, the convex hull query, and
+skyline:
+
+* skyline ⊇ eclipse ⊇ {1NN point};
+* skyline ⊇ convex hull ⊇ {1NN point};
+* eclipse with ``[l, l]`` *is* 1NN, eclipse with ``[0, +inf)`` *is* skyline.
+
+:func:`query_relationships` evaluates all four operators on one dataset so
+examples and tests can verify (and visualise) these containments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._types import ArrayLike2D, IndexArray
+from repro.core.dominance import as_dataset
+from repro.core.transform import eclipse_transform_indices
+from repro.core.weights import RatioVector, make_ratio_vector
+from repro.knn.convex_hull import convex_hull_indices
+from repro.knn.linear import nearest_neighbor_index
+from repro.skyline.api import skyline_indices
+
+
+def convex_hull_points(points: ArrayLike2D) -> np.ndarray:
+    """Points of the origin-view convex hull (see :mod:`repro.knn.convex_hull`)."""
+    data = as_dataset(points)
+    return data[convex_hull_indices(data)]
+
+
+def nearest_neighbor(points: ArrayLike2D, weights: Sequence[float]) -> np.ndarray:
+    """The 1NN point for an exact weight vector (Definition 1)."""
+    data = as_dataset(points)
+    return data[nearest_neighbor_index(data, weights)]
+
+
+@dataclass(frozen=True)
+class RelationshipReport:
+    """Result sets of the four operators on one dataset.
+
+    All fields are index arrays into the original dataset; ``nn_index`` is
+    ``None`` when no exact weight vector was supplied.
+    """
+
+    skyline: IndexArray
+    eclipse: IndexArray
+    convex_hull: IndexArray
+    nn_index: Optional[int]
+
+    @property
+    def eclipse_within_skyline(self) -> bool:
+        """Eclipse ⊆ skyline (must always hold)."""
+        return set(self.eclipse.tolist()) <= set(self.skyline.tolist())
+
+    @property
+    def hull_within_skyline(self) -> bool:
+        """Convex hull ⊆ skyline (must always hold)."""
+        return set(self.convex_hull.tolist()) <= set(self.skyline.tolist())
+
+    @property
+    def nn_within_eclipse(self) -> bool:
+        """1NN ∈ eclipse whenever the 1NN weights lie inside the ratio range."""
+        if self.nn_index is None:
+            return True
+        return int(self.nn_index) in set(self.eclipse.tolist())
+
+
+def query_relationships(
+    points: ArrayLike2D,
+    ratios,
+    nn_weights: Optional[Sequence[float]] = None,
+) -> RelationshipReport:
+    """Run skyline, eclipse, convex hull, and (optionally) 1NN on one dataset.
+
+    Parameters
+    ----------
+    points:
+        Dataset with minimisation semantics.
+    ratios:
+        Eclipse ratio specification (see
+        :func:`repro.core.weights.make_ratio_vector`).
+    nn_weights:
+        Optional exact weight vector for the 1NN comparison.
+    """
+    data = as_dataset(points)
+    ratio_vector = (
+        ratios
+        if isinstance(ratios, RatioVector)
+        else make_ratio_vector(ratios, data.shape[1])
+    )
+    sky = skyline_indices(data)
+    ecl = eclipse_transform_indices(data, ratio_vector)
+    hull = convex_hull_indices(data)
+    nn_idx = (
+        nearest_neighbor_index(data, nn_weights) if nn_weights is not None else None
+    )
+    return RelationshipReport(
+        skyline=sky, eclipse=ecl, convex_hull=hull, nn_index=nn_idx
+    )

@@ -1,0 +1,33 @@
+"""Data substrate: dataset container, synthetic generators, NBA dataset.
+
+The evaluation of the paper uses three synthetic distributions — independent
+(INDE), correlated (CORR), and anti-correlated (ANTI), generated as in the
+skyline-operator paper of Börzsönyi et al. — plus a real NBA dataset of 2384
+players with five performance attributes.  The real dataset is not
+redistributable, so :func:`generate_nba_dataset` produces a synthetic
+stand-in with the same cardinality, dimensionality and correlation structure
+(see ``DESIGN.md`` for the substitution rationale).  The degenerate
+generator of :mod:`repro.data.worst_case` reproduces the worst-case inputs
+of Figures 13 and 14.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.generators import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_dataset,
+    generate_independent,
+)
+from repro.data.nba import NBA_ATTRIBUTES, generate_nba_dataset
+from repro.data.worst_case import generate_worst_case
+
+__all__ = [
+    "Dataset",
+    "generate_anticorrelated",
+    "generate_correlated",
+    "generate_dataset",
+    "generate_independent",
+    "NBA_ATTRIBUTES",
+    "generate_nba_dataset",
+    "generate_worst_case",
+]

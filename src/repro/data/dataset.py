@@ -1,0 +1,160 @@
+"""Dataset container with attribute metadata and orientation handling.
+
+Eclipse, skyline, and kNN all assume "smaller is better" attributes
+(distances from an ideal query point at the origin).  Real data — NBA career
+statistics, hotel star ratings — is often "larger is better".
+:class:`Dataset` keeps the raw values together with per-attribute names and
+orientations and converts to the canonical minimisation orientation on
+demand, mirroring the paper's treatment of the NBA data (distance to the
+ideal player).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._types import ArrayLike2D
+from repro.core.dominance import as_dataset
+from repro.errors import DimensionMismatchError, InvalidDatasetError
+
+
+@dataclass
+class Dataset:
+    """A named, oriented point set.
+
+    Parameters
+    ----------
+    values:
+        Raw attribute values of shape ``(n, d)``.
+    attribute_names:
+        Optional names, defaulting to ``attr_1 .. attr_d``.
+    larger_is_better:
+        Per-attribute orientation flags; ``True`` marks an attribute where a
+        larger raw value is preferable (it is flipped by
+        :meth:`to_minimization`).  Defaults to all ``False``.
+    labels:
+        Optional per-point labels (hotel names, player names, ...).
+    name:
+        Human-readable dataset name used in reports.
+    """
+
+    values: np.ndarray
+    attribute_names: List[str] = field(default_factory=list)
+    larger_is_better: List[bool] = field(default_factory=list)
+    labels: Optional[List[str]] = None
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.values = as_dataset(self.values)
+        n, d = self.values.shape if self.values.size else (0, 0)
+        if not self.attribute_names:
+            self.attribute_names = [f"attr_{j + 1}" for j in range(d)]
+        if len(self.attribute_names) != d and d:
+            raise DimensionMismatchError(
+                f"{len(self.attribute_names)} attribute names for d={d} attributes"
+            )
+        if not self.larger_is_better:
+            self.larger_is_better = [False] * d
+        if len(self.larger_is_better) != d and d:
+            raise DimensionMismatchError(
+                f"{len(self.larger_is_better)} orientation flags for d={d} attributes"
+            )
+        if self.labels is not None and len(self.labels) != n:
+            raise InvalidDatasetError(
+                f"{len(self.labels)} labels for n={n} points"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: ArrayLike2D,
+        attribute_names: Optional[Sequence[str]] = None,
+        name: str = "dataset",
+    ) -> "Dataset":
+        """Wrap an already-minimisation-oriented point set."""
+        return cls(
+            values=as_dataset(points),
+            attribute_names=list(attribute_names) if attribute_names else [],
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        """Number of points ``n``."""
+        return int(self.values.shape[0])
+
+    @property
+    def dimensions(self) -> int:
+        """Number of attributes ``d``."""
+        return int(self.values.shape[1]) if self.values.size else 0
+
+    def __len__(self) -> int:
+        return self.num_points
+
+    # ------------------------------------------------------------------
+    def to_minimization(self) -> np.ndarray:
+        """Return values with every attribute oriented "smaller is better".
+
+        Larger-is-better attributes are flipped with ``max - value`` (the
+        distance to the best observed value), the same ideal-point conversion
+        the paper applies to the NBA statistics.
+        """
+        if not self.values.size:
+            return self.values.copy()
+        converted = self.values.copy()
+        for j, flip in enumerate(self.larger_is_better):
+            if flip:
+                converted[:, j] = self.values[:, j].max() - self.values[:, j]
+        return converted
+
+    def normalized(self) -> np.ndarray:
+        """Min-max normalise the minimisation-oriented values into ``[0, 1]``.
+
+        Constant attributes map to zero.  Normalisation keeps attribute
+        weights comparable across attributes with different scales, which is
+        how the ratio presets (categories, angles) are meant to be used.
+        """
+        data = self.to_minimization()
+        if not data.size:
+            return data
+        mins = data.min(axis=0)
+        ranges = data.max(axis=0) - mins
+        safe = np.where(ranges > 0, ranges, 1.0)
+        return (data - mins) / safe
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """Return a new :class:`Dataset` restricted to ``indices``."""
+        idx = np.asarray(list(indices), dtype=np.intp)
+        return Dataset(
+            values=self.values[idx],
+            attribute_names=list(self.attribute_names),
+            larger_is_better=list(self.larger_is_better),
+            labels=[self.labels[int(i)] for i in idx] if self.labels else None,
+            name=self.name,
+        )
+
+    def label_of(self, index: int) -> str:
+        """Label of the point at ``index`` (falls back to ``point_<index>``)."""
+        if self.labels is not None:
+            return self.labels[int(index)]
+        return f"point_{int(index)}"
+
+    def describe(self) -> str:
+        """One-paragraph textual summary used by the CLI and examples."""
+        if not self.values.size:
+            return f"{self.name}: empty dataset"
+        lines = [f"{self.name}: {self.num_points} points x {self.dimensions} attributes"]
+        data = self.values
+        for j, attr in enumerate(self.attribute_names):
+            orientation = "max" if self.larger_is_better[j] else "min"
+            lines.append(
+                f"  {attr} ({orientation}): "
+                f"min={data[:, j].min():.3f} max={data[:, j].max():.3f} "
+                f"mean={data[:, j].mean():.3f}"
+            )
+        return "\n".join(lines)

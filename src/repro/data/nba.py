@@ -1,0 +1,117 @@
+"""Synthetic NBA-player dataset (stand-in for the paper's real NBA data).
+
+The paper's real dataset contains 2384 NBA players with five career
+performance attributes — Points (PTS), Rebounds (REB), Assists (AST),
+Steals (STL), and Blocks (BLK) — scraped from stats.nba.com in April 2015.
+That snapshot is not redistributable and the site is not reachable from an
+offline environment, so this module generates a synthetic dataset with the
+same cardinality, dimensionality, attribute semantics, positive correlation
+structure and heavy-tailed marginals (career totals are dominated by a small
+number of long-career stars).  The experiments only depend on those shape
+properties: a positively correlated dataset produces small skylines and the
+fastest query times of the four datasets, which is exactly the role the NBA
+data plays in Figures 10–12.  See ``DESIGN.md`` for the substitution record.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+#: The five attributes of the paper's NBA dataset, in order.
+NBA_ATTRIBUTES = ("PTS", "REB", "AST", "STL", "BLK")
+
+#: Number of players in the paper's snapshot.
+NBA_NUM_PLAYERS = 2384
+
+#: Rough scale (career totals) of each attribute for an average-to-good
+#: career, used to set the marginal magnitudes.
+_ATTRIBUTE_SCALES = {
+    "PTS": 5000.0,
+    "REB": 2200.0,
+    "AST": 1200.0,
+    "STL": 400.0,
+    "BLK": 280.0,
+}
+
+#: How strongly each attribute follows the shared "career length / quality"
+#: factor; the remainder is attribute-specific (position-dependent) noise.
+#: The loadings keep all pairwise correlations clearly positive (as in real
+#: career totals) while leaving enough positional specialisation that the
+#: skyline contains a few dozen players rather than a single superstar.
+_SHARED_LOADING = {
+    "PTS": 0.65,
+    "REB": 0.45,
+    "AST": 0.35,
+    "STL": 0.50,
+    "BLK": 0.25,
+}
+
+
+def generate_nba_dataset(
+    n: int = NBA_NUM_PLAYERS,
+    seed: Optional[int] = 7,
+) -> Dataset:
+    """Generate the synthetic NBA dataset.
+
+    Parameters
+    ----------
+    n:
+        Number of players (defaults to the paper's 2384).
+    seed:
+        Random seed; the default yields the dataset used throughout the
+        examples, tests and benchmarks of this reproduction.
+
+    Returns
+    -------
+    Dataset
+        A :class:`~repro.data.dataset.Dataset` whose five attributes are all
+        "larger is better"; call :meth:`~repro.data.dataset.Dataset.to_minimization`
+        (or :meth:`~repro.data.dataset.Dataset.normalized`) before running
+        eclipse/skyline queries.
+    """
+    rng = np.random.default_rng(seed)
+    # Shared career factor: log-normal so a few players have very long,
+    # productive careers (the heavy tail of career-total statistics).
+    career = rng.lognormal(mean=0.0, sigma=0.9, size=n)
+    career /= career.mean()
+
+    columns = []
+    for attr in NBA_ATTRIBUTES:
+        loading = _SHARED_LOADING[attr]
+        specific = rng.lognormal(mean=0.0, sigma=0.7, size=n)
+        specific /= specific.mean()
+        mix = loading * career + (1.0 - loading) * specific
+        values = _ATTRIBUTE_SCALES[attr] * mix
+        # Round to whole career totals and clip at zero.
+        columns.append(np.clip(np.round(values), 0, None))
+    values = np.column_stack(columns)
+
+    labels = [f"player_{i:04d}" for i in range(n)]
+    return Dataset(
+        values=values,
+        attribute_names=list(NBA_ATTRIBUTES),
+        larger_is_better=[True] * len(NBA_ATTRIBUTES),
+        labels=labels,
+        name="nba-synthetic",
+    )
+
+
+def nba_minimization_points(
+    n: int = NBA_NUM_PLAYERS,
+    dimensions: int = len(NBA_ATTRIBUTES),
+    seed: Optional[int] = 7,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Convenience helper: NBA data ready for eclipse/skyline queries.
+
+    Returns the first ``dimensions`` attributes (the experiments of the paper
+    use ``d = 3`` by default) converted to minimisation orientation and,
+    optionally, min-max normalised.
+    """
+    dataset = generate_nba_dataset(n=n, seed=seed)
+    data = dataset.normalized() if normalize else dataset.to_minimization()
+    return data[:, :dimensions]

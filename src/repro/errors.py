@@ -1,0 +1,47 @@
+"""Exception hierarchy for the eclipse reproduction library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so downstream users can catch a single base class while
+still being able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidWeightRangeError(ReproError, ValueError):
+    """Raised when an attribute weight-ratio range is malformed.
+
+    Examples include a lower bound greater than the upper bound, a negative
+    bound, or a number of ranges inconsistent with the dataset dimensionality.
+    """
+
+
+class InvalidDatasetError(ReproError, ValueError):
+    """Raised when a dataset cannot be interpreted as an ``(n, d)`` array.
+
+    Datasets must be two-dimensional, contain at least one attribute column,
+    hold only finite values, and (for eclipse/skyline semantics) use the
+    "smaller is better" orientation.
+    """
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Raised when a query's dimensionality disagrees with the dataset."""
+
+
+class IndexNotBuiltError(ReproError, RuntimeError):
+    """Raised when querying an :class:`~repro.index.EclipseIndex` before
+    :meth:`~repro.index.EclipseIndex.build` completed."""
+
+
+class AlgorithmNotSupportedError(ReproError, ValueError):
+    """Raised when an unknown algorithm/method name is requested."""
+
+
+class EmptyDatasetError(InvalidDatasetError):
+    """Raised when an operation that requires at least one point receives an
+    empty dataset."""

@@ -1,0 +1,56 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment of Section V has a dedicated runner:
+
+* :func:`run_user_study` — Table V (simulated respondents).
+* :func:`run_count_vs_n`, :func:`run_count_vs_d`, :func:`run_count_vs_ratio`
+  — Tables VI, VII, VIII (expected number of eclipse points).
+* :func:`run_impact_of_n`, :func:`run_impact_of_d`, :func:`run_impact_of_ratio`
+  — Figures 10, 11, 12 (average-case timing of BASE/TRAN/QUAD/CUTTING).
+* :func:`run_worst_case_n`, :func:`run_worst_case_d` — Figures 13, 14.
+
+The default parameter sweeps are scaled down so the whole suite runs on a
+laptop in minutes; setting the environment variable ``REPRO_FULL_SWEEP=1``
+restores the paper's full ranges (``n`` up to ``2^20``).  Results are plain
+dataclasses with a ``to_text()`` renderer so they can be diffed against the
+numbers recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.harness import (
+    AlgorithmTiming,
+    ExperimentResult,
+    full_sweep_enabled,
+    time_callable,
+)
+from repro.experiments.tables import (
+    run_count_vs_d,
+    run_count_vs_n,
+    run_count_vs_ratio,
+)
+from repro.experiments.figures import (
+    run_impact_of_d,
+    run_impact_of_n,
+    run_impact_of_ratio,
+    run_worst_case_d,
+    run_worst_case_n,
+)
+from repro.experiments.user_study import run_user_study
+from repro.experiments.report import render_series_table, render_simple_table
+
+__all__ = [
+    "AlgorithmTiming",
+    "ExperimentResult",
+    "full_sweep_enabled",
+    "time_callable",
+    "run_count_vs_d",
+    "run_count_vs_n",
+    "run_count_vs_ratio",
+    "run_impact_of_d",
+    "run_impact_of_n",
+    "run_impact_of_ratio",
+    "run_worst_case_d",
+    "run_worst_case_n",
+    "run_user_study",
+    "render_series_table",
+    "render_simple_table",
+]

@@ -1,0 +1,243 @@
+"""Figures 10–14: timing sweeps of the four eclipse algorithms.
+
+Each runner mirrors one figure of Section V:
+
+* **Figure 10** — query time versus the number of points ``n`` on the CORR,
+  INDE, ANTI, and NBA datasets (``d = 3``, ``r = [0.36, 2.75]``).
+* **Figure 11** — query time versus the dimensionality ``d``
+  (``n = 2^10``, NBA ``n = 1000``).
+* **Figure 12** — query time of the index-based algorithms versus the ratio
+  range (the transformation-based algorithms are insensitive to it).
+* **Figures 13/14** — worst-case (clustered) inputs where the line quadtree
+  degenerates and the cutting tree keeps its balance, swept over the number
+  of (skyline) points and over ``d``.
+
+The default sweeps are laptop-sized; ``REPRO_FULL_SWEEP=1`` restores the
+paper's ranges.  The reproduced quantity is the *relative ordering* of the
+algorithms (index ≪ TRAN ≪ BASE; QUAD vs CUTTING flipping between the
+average and the worst case), not the absolute seconds of the authors'
+machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.data.nba import nba_minimization_points
+from repro.data.worst_case import generate_worst_case
+from repro.experiments.harness import (
+    ALGORITHMS,
+    AlgorithmTiming,
+    ExperimentResult,
+    full_sweep_enabled,
+    time_algorithms,
+    time_callable,
+)
+from repro.index.eclipse_index import EclipseIndex
+
+#: Default ratio range (bold column of Table IV).
+DEFAULT_RATIO = (0.36, 2.75)
+
+#: Table IV ratio settings used by Figure 12.
+RATIO_SETTINGS: Tuple[Tuple[float, float], ...] = (
+    (0.18, 5.67),
+    (0.36, 2.75),
+    (0.58, 1.73),
+    (0.84, 1.19),
+)
+
+#: Datasets of Figures 10–12, in the paper's panel order.
+DATASET_NAMES = ("CORR", "INDE", "ANTI", "NBA")
+
+#: BASE is skipped above this many points in the default sweeps (its
+#: quadratic cost would dwarf every other measurement).
+DEFAULT_BASELINE_LIMIT = 4096
+
+
+def _dataset(name: str, n: int, dimensions: int, seed: int = 0) -> np.ndarray:
+    """Materialise one of the four experiment datasets."""
+    if name.upper() == "NBA":
+        return nba_minimization_points(n=max(n, 1), dimensions=dimensions, seed=7)[:n]
+    return generate_dataset(name, n, dimensions, seed=seed)
+
+
+def default_n_sweep(dataset: str) -> List[int]:
+    """Cardinality sweep of Figure 10 for one dataset."""
+    if dataset.upper() == "NBA":
+        return [500, 1000, 1500, 2000]
+    if full_sweep_enabled():
+        return [2**7, 2**10, 2**13, 2**17, 2**20]
+    return [2**7, 2**10, 2**13]
+
+
+def run_impact_of_n(
+    dataset: str = "INDE",
+    n_values: Optional[Sequence[int]] = None,
+    dimensions: int = 3,
+    ratio: Tuple[float, float] = DEFAULT_RATIO,
+    algorithms: Optional[Sequence[str]] = None,
+    baseline_limit: Optional[int] = DEFAULT_BASELINE_LIMIT,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 10: query time versus the number of points on one dataset."""
+    values = list(n_values) if n_values is not None else default_n_sweep(dataset)
+    result = ExperimentResult(
+        name=f"Figure 10 — impact of n ({dataset})",
+        parameter="n",
+        metadata={"dataset": dataset, "d": dimensions, "ratio": ratio},
+    )
+    for n in values:
+        data = _dataset(dataset, n, dimensions, seed=seed)
+        ratios = RatioVector.uniform(ratio[0], ratio[1], dimensions)
+        result.add(
+            n,
+            time_algorithms(
+                data,
+                ratios,
+                algorithms=list(algorithms) if algorithms else list(ALGORITHMS),
+                baseline_limit=baseline_limit,
+            ),
+        )
+    return result
+
+
+def run_impact_of_d(
+    dataset: str = "INDE",
+    d_values: Sequence[int] = (2, 3, 4, 5),
+    n: int = 2**10,
+    ratio: Tuple[float, float] = DEFAULT_RATIO,
+    algorithms: Optional[Sequence[str]] = None,
+    baseline_limit: Optional[int] = DEFAULT_BASELINE_LIMIT,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 11: query time versus the dimensionality on one dataset."""
+    if dataset.upper() == "NBA":
+        n = min(n, 1000)
+    result = ExperimentResult(
+        name=f"Figure 11 — impact of d ({dataset})",
+        parameter="d",
+        metadata={"dataset": dataset, "n": n, "ratio": ratio},
+    )
+    for d in d_values:
+        data = _dataset(dataset, n, d, seed=seed)
+        ratios = RatioVector.uniform(ratio[0], ratio[1], d)
+        result.add(
+            d,
+            time_algorithms(
+                data,
+                ratios,
+                algorithms=list(algorithms) if algorithms else list(ALGORITHMS),
+                baseline_limit=baseline_limit,
+            ),
+        )
+    return result
+
+
+def run_impact_of_ratio(
+    dataset: str = "INDE",
+    ratio_values: Sequence[Tuple[float, float]] = RATIO_SETTINGS,
+    n: int = 2**10,
+    dimensions: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 12: index-based query time versus the ratio range.
+
+    The index is built once per dataset and queried with every ratio range,
+    which is the usage pattern the figure measures (the build cost is not
+    part of the reported query time).
+    """
+    if dataset.upper() == "NBA":
+        n = min(n, 1000)
+    data = _dataset(dataset, n, dimensions, seed=seed)
+    indexes: Dict[str, EclipseIndex] = {
+        "QUAD": EclipseIndex(backend="quadtree").build(data),
+        "CUTTING": EclipseIndex(backend="cutting").build(data),
+    }
+    result = ExperimentResult(
+        name=f"Figure 12 — impact of the ratio range ({dataset})",
+        parameter="r",
+        metadata={"dataset": dataset, "n": n, "d": dimensions},
+    )
+    for ratio in ratio_values:
+        ratios = RatioVector.uniform(ratio[0], ratio[1], dimensions)
+        timings = []
+        for name, index in indexes.items():
+            seconds = time_callable(lambda: index.query_indices(ratios), repeats=3)
+            size = int(index.query_indices(ratios).size)
+            timings.append(AlgorithmTiming(name, seconds, size))
+        result.add(tuple(ratio), timings)
+    return result
+
+
+def default_worst_case_n_sweep() -> List[int]:
+    """Skyline-size sweep of Figure 13."""
+    if full_sweep_enabled():
+        return [2**7, 2**8, 2**9, 2**10]
+    return [2**7, 2**8, 2**9]
+
+
+def run_worst_case_n(
+    n_values: Optional[Sequence[int]] = None,
+    dimensions: int = 3,
+    ratio: Tuple[float, float] = DEFAULT_RATIO,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 13: worst-case (clustered) inputs, query time versus ``n``.
+
+    Every generated point is a skyline point, so ``n`` equals the number of
+    indexed dual hyperplanes, matching the figure's x-axis ("number of
+    skyline points").
+    """
+    values = list(n_values) if n_values is not None else default_worst_case_n_sweep()
+    result = ExperimentResult(
+        name="Figure 13 — worst case vs number of skyline points",
+        parameter="n",
+        metadata={"d": dimensions, "ratio": ratio},
+    )
+    for n in values:
+        data = generate_worst_case(n, dimensions, seed=seed)
+        ratios = RatioVector.uniform(ratio[0], ratio[1], dimensions)
+        result.add(n, _time_index_algorithms(data, ratios))
+    return result
+
+
+def run_worst_case_d(
+    d_values: Sequence[int] = (3, 4, 5),
+    n: int = 2**7,
+    ratio: Tuple[float, float] = DEFAULT_RATIO,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 14: worst-case (clustered) inputs, query time versus ``d``."""
+    result = ExperimentResult(
+        name="Figure 14 — worst case vs number of dimensions",
+        parameter="d",
+        metadata={"n": n, "ratio": ratio},
+    )
+    for d in d_values:
+        data = generate_worst_case(n, d, seed=seed)
+        ratios = RatioVector.uniform(ratio[0], ratio[1], d)
+        result.add(d, _time_index_algorithms(data, ratios))
+    return result
+
+
+def _time_index_algorithms(
+    data: np.ndarray, ratios: RatioVector
+) -> List[AlgorithmTiming]:
+    """Time QUAD and CUTTING (query only) on one dataset.
+
+    The worst-case figures compare only the index-based algorithms, and the
+    paper reports query time with a small per-leaf capacity so the index
+    structure (not the post-filter) dominates; a fixed capacity of 8 keeps
+    the comparison faithful.
+    """
+    timings: List[AlgorithmTiming] = []
+    for name, backend in (("QUAD", "quadtree"), ("CUTTING", "cutting")):
+        index = EclipseIndex(backend=backend, capacity=8).build(data)
+        seconds = time_callable(lambda: index.query_indices(ratios), repeats=3)
+        size = int(index.query_indices(ratios).size)
+        timings.append(AlgorithmTiming(name, seconds, size))
+    return timings

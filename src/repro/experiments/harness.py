@@ -1,0 +1,151 @@
+"""Timing harness shared by all experiment runners.
+
+The harness keeps the experiment code declarative: a runner describes the
+parameter sweep and which algorithms to time, and the harness handles
+repetition, warm-up, index-build/query separation, and result records.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.transform import eclipse_transform_indices
+from repro.core.weights import RatioVector
+from repro.index.eclipse_index import EclipseIndex
+
+#: Environment variable that switches the sweeps to the paper's full ranges.
+FULL_SWEEP_ENV = "REPRO_FULL_SWEEP"
+
+#: The four algorithms of the paper, in presentation order.
+ALGORITHMS = ("BASE", "TRAN", "QUAD", "CUTTING")
+
+
+def full_sweep_enabled() -> bool:
+    """``True`` when ``REPRO_FULL_SWEEP=1`` (or any truthy value) is set."""
+    return os.environ.get(FULL_SWEEP_ENV, "").strip() not in ("", "0", "false", "no")
+
+
+@dataclass(frozen=True)
+class AlgorithmTiming:
+    """Timing of one algorithm at one sweep point."""
+
+    algorithm: str
+    seconds: float
+    result_size: int
+    build_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Query time plus (for the index-based algorithms) build time."""
+        return self.seconds + self.build_seconds
+
+
+@dataclass
+class ExperimentResult:
+    """A full sweep: one row per sweep value, one timing per algorithm."""
+
+    name: str
+    parameter: str
+    values: List = field(default_factory=list)
+    timings: Dict[str, List[AlgorithmTiming]] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, value, timings: List[AlgorithmTiming]) -> None:
+        """Record the timings measured at one sweep value."""
+        self.values.append(value)
+        for timing in timings:
+            self.timings.setdefault(timing.algorithm, []).append(timing)
+
+    def series(self, algorithm: str) -> List[float]:
+        """Query-time series (seconds) of one algorithm across the sweep."""
+        return [t.seconds for t in self.timings.get(algorithm, [])]
+
+    def result_sizes(self, algorithm: str) -> List[int]:
+        """Result-size series of one algorithm across the sweep."""
+        return [t.result_size for t in self.timings.get(algorithm, [])]
+
+    def to_text(self) -> str:
+        """Render the sweep as an aligned text table (one row per value)."""
+        algorithms = list(self.timings)
+        header = [self.parameter] + algorithms
+        rows = []
+        for i, value in enumerate(self.values):
+            row = [str(value)]
+            for algorithm in algorithms:
+                series = self.timings[algorithm]
+                row.append(f"{series[i].seconds:.6f}s" if i < len(series) else "-")
+            rows.append(row)
+        widths = [max(len(r[c]) for r in [header] + rows) for c in range(len(header))]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_algorithms(
+    data: np.ndarray,
+    ratios: RatioVector,
+    algorithms: Optional[List[str]] = None,
+    repeats: int = 1,
+    baseline_limit: Optional[int] = None,
+) -> List[AlgorithmTiming]:
+    """Time the requested eclipse algorithms on one dataset/query pair.
+
+    Parameters
+    ----------
+    data, ratios:
+        The dataset and the query.
+    algorithms:
+        Subset of :data:`ALGORITHMS` (default: all four).
+    repeats:
+        Repetitions per measurement (best-of).
+    baseline_limit:
+        Skip BASE when the dataset exceeds this many points (its quadratic
+        cost would dominate the whole sweep); ``None`` never skips.
+    """
+    chosen = list(algorithms) if algorithms else list(ALGORITHMS)
+    timings: List[AlgorithmTiming] = []
+    for algorithm in chosen:
+        if algorithm == "BASE":
+            if baseline_limit is not None and data.shape[0] > baseline_limit:
+                continue
+            seconds = time_callable(
+                lambda: eclipse_baseline_indices(data, ratios), repeats
+            )
+            size = int(eclipse_baseline_indices(data, ratios).size)
+            timings.append(AlgorithmTiming(algorithm, seconds, size))
+        elif algorithm == "TRAN":
+            seconds = time_callable(
+                lambda: eclipse_transform_indices(data, ratios), repeats
+            )
+            size = int(eclipse_transform_indices(data, ratios).size)
+            timings.append(AlgorithmTiming(algorithm, seconds, size))
+        elif algorithm in ("QUAD", "CUTTING"):
+            backend = "quadtree" if algorithm == "QUAD" else "cutting"
+            build_start = time.perf_counter()
+            index = EclipseIndex(backend=backend).build(data)
+            build_seconds = time.perf_counter() - build_start
+            seconds = time_callable(lambda: index.query_indices(ratios), repeats)
+            size = int(index.query_indices(ratios).size)
+            timings.append(
+                AlgorithmTiming(algorithm, seconds, size, build_seconds=build_seconds)
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+    return timings

@@ -1,0 +1,50 @@
+"""Plain-text rendering helpers for experiment results.
+
+The paper presents its evaluation as tables (Tables V–VIII) and log-scale
+timing figures (Figures 10–14).  A headless reproduction cannot draw the
+figures, so every experiment is rendered as an aligned text table whose rows
+are the x-axis values and whose columns are the series — the same data the
+figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_simple_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render ``rows`` under ``header`` as an aligned text table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    str_header = [str(cell) for cell in header]
+    widths = [
+        max(len(str_header[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(str_header[c])
+        for c in range(len(str_header))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(str_header, widths)))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    value_format: str = "{:.6f}",
+) -> str:
+    """Render one figure-style result: x values against one column per series."""
+    header = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(value_format.format(values[i]) if i < len(values) else "-")
+        rows.append(row)
+    return render_simple_table(title, header, rows)

@@ -1,0 +1,136 @@
+"""Tables VI–VIII: expected number of eclipse points.
+
+Section V-C measures how the expected eclipse result size reacts to the
+dataset cardinality ``n`` (Table VI), the dimensionality ``d`` (Table VII),
+and the ratio range ``r`` (Table VIII) on independent and identically
+distributed data.  The paper's qualitative findings — ``n`` barely matters,
+``d`` and the range width matter a lot — are what the reproduction checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import expected_eclipse_points
+from repro.experiments.harness import full_sweep_enabled
+from repro.experiments.report import render_simple_table
+
+#: Default ratio range used throughout Section V (bold column of Table IV).
+DEFAULT_RATIO = (0.36, 2.75)
+
+#: Paper-reported values, kept here so EXPERIMENTS.md and the tests can
+#: compare shapes without re-reading the paper.
+PAPER_TABLE6 = {2**7: 3.71, 2**10: 3.83, 2**13: 3.91, 2**17: 4.03, 2**20: 4.13}
+PAPER_TABLE7 = {2: 1.8, 3: 3.8, 4: 8.5, 5: 17.2}
+PAPER_TABLE8 = {
+    (0.18, 5.67): 7.2,
+    (0.36, 2.75): 3.8,
+    (0.58, 1.73): 2.2,
+    (0.84, 1.19): 1.3,
+}
+
+#: Table IV ratio settings.
+RATIO_SETTINGS: Tuple[Tuple[float, float], ...] = (
+    (0.18, 5.67),
+    (0.36, 2.75),
+    (0.58, 1.73),
+    (0.84, 1.19),
+)
+
+
+@dataclass
+class CountTableResult:
+    """One reproduced count table: parameter values and mean eclipse counts."""
+
+    name: str
+    parameter: str
+    values: List = field(default_factory=list)
+    counts: List[float] = field(default_factory=list)
+    paper_counts: Dict = field(default_factory=dict)
+
+    def add(self, value, count: float) -> None:
+        """Record the estimate measured at one parameter value."""
+        self.values.append(value)
+        self.counts.append(count)
+
+    def to_text(self) -> str:
+        """Render the table with the paper's numbers alongside, when known."""
+        rows = []
+        for value, count in zip(self.values, self.counts):
+            paper = self.paper_counts.get(value, "-")
+            rows.append([value, f"{count:.2f}", paper])
+        return render_simple_table(
+            self.name, [self.parameter, "measured", "paper"], rows
+        )
+
+
+def default_n_sweep() -> List[int]:
+    """The cardinality sweep: the paper's full range or a laptop-sized prefix."""
+    if full_sweep_enabled():
+        return [2**7, 2**10, 2**13, 2**17, 2**20]
+    return [2**7, 2**10, 2**13]
+
+
+def run_count_vs_n(
+    n_values: Optional[Sequence[int]] = None,
+    dimensions: int = 3,
+    ratio: Tuple[float, float] = DEFAULT_RATIO,
+    trials: int = 10,
+    seed: int = 0,
+) -> CountTableResult:
+    """Table VI: expected number of eclipse points versus ``n``."""
+    values = list(n_values) if n_values is not None else default_n_sweep()
+    result = CountTableResult(
+        name="Table VI — expected number of eclipse points vs n",
+        parameter="n",
+        paper_counts=dict(PAPER_TABLE6),
+    )
+    for n in values:
+        estimate = expected_eclipse_points(
+            n, dimensions, ratio[0], ratio[1], trials=trials, seed=seed
+        )
+        result.add(n, estimate.mean)
+    return result
+
+
+def run_count_vs_d(
+    d_values: Sequence[int] = (2, 3, 4, 5),
+    n: int = 2**10,
+    ratio: Tuple[float, float] = DEFAULT_RATIO,
+    trials: int = 10,
+    seed: int = 0,
+) -> CountTableResult:
+    """Table VII: expected number of eclipse points versus ``d``."""
+    result = CountTableResult(
+        name="Table VII — expected number of eclipse points vs d",
+        parameter="d",
+        paper_counts=dict(PAPER_TABLE7),
+    )
+    for d in d_values:
+        estimate = expected_eclipse_points(
+            n, d, ratio[0], ratio[1], trials=trials, seed=seed
+        )
+        result.add(d, estimate.mean)
+    return result
+
+
+def run_count_vs_ratio(
+    ratio_values: Sequence[Tuple[float, float]] = RATIO_SETTINGS,
+    n: int = 2**10,
+    dimensions: int = 3,
+    trials: int = 10,
+    seed: int = 0,
+) -> CountTableResult:
+    """Table VIII: expected number of eclipse points versus the ratio range."""
+    result = CountTableResult(
+        name="Table VIII — expected number of eclipse points vs r",
+        parameter="r",
+        paper_counts=dict(PAPER_TABLE8),
+    )
+    for ratio in ratio_values:
+        estimate = expected_eclipse_points(
+            n, dimensions, ratio[0], ratio[1], trials=trials, seed=seed
+        )
+        result.add(tuple(ratio), estimate.mean)
+    return result

@@ -1,0 +1,36 @@
+"""Computational-geometry substrate used by the index-based algorithms.
+
+The index-based eclipse algorithms of Section IV work in the *dual space*:
+every data point becomes a hyperplane, an eclipse query becomes an axis-
+aligned box of that space, and dominance becomes "consistently closer to the
+``x_d = 0`` hyperplane over the whole box".  This subpackage provides the
+geometric building blocks:
+
+* :mod:`repro.geometry.boxes` — axis-aligned boxes and interval arithmetic.
+* :mod:`repro.geometry.dual` — the duality transform and dual hyperplanes.
+* :mod:`repro.geometry.hyperplane` — pairwise intersection hyperplanes.
+* :mod:`repro.geometry.arrangement2d` — the one-dimensional arrangement of
+  intersection x-coordinates used by the two-dimensional Order Vector Index.
+* :mod:`repro.geometry.quadtree` — the line quadtree / hyperplane ``2^k``-tree.
+* :mod:`repro.geometry.cutting` — the randomised cutting tree.
+"""
+
+from repro.geometry.boxes import Box
+from repro.geometry.dual import DualHyperplane, dual_hyperplane, dual_hyperplanes
+from repro.geometry.hyperplane import IntersectionHyperplane, pairwise_intersections
+from repro.geometry.arrangement2d import Arrangement2D, ArrangementInterval
+from repro.geometry.quadtree import LineQuadtree
+from repro.geometry.cutting import CuttingTree
+
+__all__ = [
+    "Box",
+    "DualHyperplane",
+    "dual_hyperplane",
+    "dual_hyperplanes",
+    "IntersectionHyperplane",
+    "pairwise_intersections",
+    "Arrangement2D",
+    "ArrangementInterval",
+    "LineQuadtree",
+    "CuttingTree",
+]

@@ -1,0 +1,248 @@
+"""One-dimensional arrangement of dual-line intersections (two-dimensional data).
+
+For two-dimensional datasets the dual space is the plane and the dual objects
+are lines ``y = p[1]·x - p[2]``.  The x-axis is partitioned by the
+x-coordinates of the ``(u choose 2)`` pairwise intersections into intervals;
+inside one interval the vertical order of the lines never changes
+(Algorithm 4 of the paper).  :class:`Arrangement2D` stores, per interval, the
+*order vector*: ``ov[k]`` is the number of lines strictly closer to the
+x-axis than line ``k`` anywhere in that interval, which is exactly the
+quantity the two-dimensional query (Algorithm 5) initialises from.
+
+Storing every interval explicitly costs ``O(u^3)`` memory (``O(u^2)``
+intervals × ``O(u)`` entries), which the paper accepts for its index but
+which becomes prohibitive for large skyline sets.  This implementation
+therefore precomputes the full table only up to
+``dense_threshold`` lines and otherwise materialises interval order vectors
+lazily (an ``O(u log u)`` evaluation at query time) — the interval
+boundaries and the sorted Intersection Index are always precomputed, so the
+query complexity of Algorithm 5 is unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, InvalidDatasetError
+from repro.geometry.dual import DualHyperplane
+from repro.geometry.hyperplane import IntersectionHyperplane, pairwise_intersections
+
+#: Above this many lines the per-interval order vectors are computed lazily.
+DEFAULT_DENSE_THRESHOLD = 128
+
+
+@dataclass(frozen=True)
+class ArrangementInterval:
+    """One interval ``(start, end]`` of the x-axis with its order vector.
+
+    ``order_vector[k]`` counts the lines strictly closer to the x-axis than
+    line ``k`` within the interval; :attr:`ranking` lists line positions from
+    the closest to the farthest (the presentation used in Figure 7 of the
+    paper).
+    """
+
+    start: float
+    end: float
+    order_vector: np.ndarray = field(repr=False)
+
+    @property
+    def ranking(self) -> List[int]:
+        """Line positions ordered from closest to farthest from the x-axis."""
+        return [int(i) for i in np.argsort(self.order_vector, kind="stable")]
+
+    def contains(self, x: float) -> bool:
+        """Return ``True`` when ``x`` lies in the half-open interval ``(start, end]``."""
+        return self.start < x <= self.end
+
+
+class Arrangement2D:
+    """Interval decomposition of the x-axis for a set of dual lines.
+
+    Parameters
+    ----------
+    lines:
+        Dual lines (each with a one-dimensional coefficient vector, i.e. the
+        dataset is two-dimensional).
+    dense_threshold:
+        Maximum number of lines for which all interval order vectors are
+        precomputed eagerly.  ``None`` uses :data:`DEFAULT_DENSE_THRESHOLD`.
+
+    Notes
+    -----
+    The arrangement covers the whole x-axis, not just the negative half, so
+    it can answer queries for any ratio range.  Interval boundaries are the
+    sorted distinct intersection x-coordinates; the leftmost interval is
+    ``(-inf, v_1]`` and the rightmost ``(v_last, +inf)``.
+    """
+
+    def __init__(
+        self,
+        lines: Sequence[DualHyperplane],
+        dense_threshold: Optional[int] = None,
+    ):
+        lines = list(lines)
+        for line in lines:
+            if line.dual_dimensions != 1:
+                raise DimensionMismatchError(
+                    "Arrangement2D requires dual lines (two-dimensional data)"
+                )
+        self._lines: List[DualHyperplane] = lines
+        self._slopes = np.array([line.coefficients[0] for line in lines], dtype=float)
+        self._offsets = np.array([line.offset for line in lines], dtype=float)
+        self._dense_threshold = (
+            DEFAULT_DENSE_THRESHOLD if dense_threshold is None else int(dense_threshold)
+        )
+
+        intersections = pairwise_intersections(lines, skip_degenerate=True)
+        self._sorted_intersections = sorted(
+            intersections, key=lambda inter: inter.x_coordinate()
+        )
+        self._intersection_xs: List[float] = [
+            inter.x_coordinate() for inter in self._sorted_intersections
+        ]
+        self._boundaries = self._distinct(self._intersection_xs)
+        self._edges = np.concatenate(([-np.inf], self._boundaries, [np.inf]))
+        self._dense = len(lines) <= self._dense_threshold
+        self._interval_cache: List[Optional[ArrangementInterval]] = [
+            None
+        ] * (self._edges.size - 1)
+        if self._dense:
+            for i in range(self._edges.size - 1):
+                self._interval_cache[i] = self._materialise_interval(i)
+
+    # ------------------------------------------------------------------
+    # Public accessors
+    # ------------------------------------------------------------------
+    @property
+    def lines(self) -> List[DualHyperplane]:
+        """The dual lines the arrangement was built from."""
+        return list(self._lines)
+
+    @property
+    def num_lines(self) -> int:
+        """Number of dual lines."""
+        return len(self._lines)
+
+    @property
+    def intersections(self) -> List[IntersectionHyperplane]:
+        """All non-degenerate pairwise intersections, sorted by x-coordinate."""
+        return list(self._sorted_intersections)
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Sorted distinct intersection x-coordinates."""
+        return self._boundaries.copy()
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of intervals (``#distinct boundaries + 1``)."""
+        return self._edges.size - 1
+
+    @property
+    def is_dense(self) -> bool:
+        """``True`` when every interval order vector was precomputed."""
+        return self._dense
+
+    @property
+    def intervals(self) -> List[ArrangementInterval]:
+        """All intervals, ordered from left to right (materialised on demand)."""
+        return [self._get_interval(i) for i in range(self.num_intervals)]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def interval_containing(self, x: float) -> ArrangementInterval:
+        """Return the interval whose half-open range ``(start, end]`` holds ``x``.
+
+        Implemented with binary search over the boundary array (Line 1 of
+        Algorithm 5).
+        """
+        if not self._lines:
+            raise InvalidDatasetError("the arrangement has no lines")
+        position = bisect.bisect_left(self._boundaries.tolist(), x)
+        return self._get_interval(position)
+
+    def order_vector_at(self, x: float) -> np.ndarray:
+        """Return a copy of the order vector of the interval containing ``x``."""
+        return self.interval_containing(x).order_vector.copy()
+
+    def line_values_at(self, x: float) -> np.ndarray:
+        """Dual values ``f_k(x)`` of every line at ``x`` (vectorised)."""
+        return self._slopes * x - self._offsets
+
+    def intersections_in_range(
+        self, low: float, high: float
+    ) -> List[IntersectionHyperplane]:
+        """Return intersections whose x-coordinate lies in the closed ``[low, high]``.
+
+        This is the two-dimensional Intersection Index lookup (Line 2 of
+        Algorithm 5): a binary search over the sorted x-coordinates followed
+        by a scan of the matching slice.
+        """
+        if high < low:
+            low, high = high, low
+        start = bisect.bisect_left(self._intersection_xs, low)
+        end = bisect.bisect_right(self._intersection_xs, high)
+        return self._sorted_intersections[start:end]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _distinct(sorted_values: Sequence[float]) -> np.ndarray:
+        distinct: List[float] = []
+        for x in sorted_values:
+            if not distinct or x > distinct[-1]:
+                distinct.append(x)
+        return np.array(distinct, dtype=float)
+
+    def _get_interval(self, position: int) -> ArrangementInterval:
+        cached = self._interval_cache[position]
+        if cached is None:
+            cached = self._materialise_interval(position)
+            self._interval_cache[position] = cached
+        return cached
+
+    def _materialise_interval(self, position: int) -> ArrangementInterval:
+        start = float(self._edges[position])
+        end = float(self._edges[position + 1])
+        representative = self._representative_point(start, end)
+        order_vector = self._order_vector_at_point(representative)
+        return ArrangementInterval(start=start, end=end, order_vector=order_vector)
+
+    @staticmethod
+    def _representative_point(start: float, end: float) -> float:
+        """A point strictly inside ``(start, end)`` used to sample the order.
+
+        For the half-infinite outer intervals the offset from the finite
+        boundary scales with its magnitude so that the representative remains
+        strictly inside the interval even when the boundary is so large that
+        ``boundary ± 1`` rounds back onto the boundary itself.
+        """
+        if np.isinf(start) and np.isinf(end):
+            return 0.0
+        if np.isinf(start):
+            return end - max(1.0, abs(end) / 2.0)
+        if np.isinf(end):
+            return start + max(1.0, abs(start) / 2.0)
+        return start + (end - start) / 2.0
+
+    def _order_vector_at_point(self, x: float) -> np.ndarray:
+        """Order vector at ``x``: ``ov[k]`` = #lines strictly above line ``k``.
+
+        "Above" means strictly closer to the x-axis, i.e. a strictly larger
+        dual value (dual values are negative for positive scores).  Computed
+        in ``O(u log u)`` with a sort.  Ties inside an open interval can only
+        come from identical lines, which never dominate each other.
+        """
+        values = self.line_values_at(x)
+        sorted_values = np.sort(values)
+        greater = values.size - np.searchsorted(sorted_values, values, side="right")
+        return greater.astype(np.intp)
+
+    def __len__(self) -> int:
+        return self.num_intervals

@@ -1,0 +1,167 @@
+"""Axis-aligned boxes and interval arithmetic over linear functions.
+
+A :class:`Box` is the set ``{x : lows[j] <= x[j] <= highs[j]}``.  The eclipse
+query range maps to the dual-space box with ``lows = -h`` and ``highs = -l``,
+and every geometric index in this package partitions the dual domain into
+boxes.  Interval arithmetic over a box (the exact minimum and maximum of a
+linear function) is what makes hyperplane/box intersection tests exact and
+cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, InvalidDatasetError
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box in ``k`` dimensions."""
+
+    lows: np.ndarray
+    highs: np.ndarray
+
+    def __post_init__(self) -> None:
+        lows = np.asarray(self.lows, dtype=float)
+        highs = np.asarray(self.highs, dtype=float)
+        if lows.ndim != 1 or highs.ndim != 1 or lows.shape != highs.shape:
+            raise InvalidDatasetError("box bounds must be 1-D arrays of equal length")
+        if lows.size == 0:
+            raise InvalidDatasetError("a box needs at least one dimension")
+        if not (np.all(np.isfinite(lows)) and np.all(np.isfinite(highs))):
+            raise InvalidDatasetError("box bounds must be finite")
+        if np.any(lows > highs):
+            raise InvalidDatasetError("box lows must not exceed highs")
+        object.__setattr__(self, "lows", lows)
+        object.__setattr__(self, "highs", highs)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_intervals(cls, intervals: Sequence[Sequence[float]]) -> "Box":
+        """Build a box from a sequence of ``(low, high)`` pairs."""
+        lows = [float(iv[0]) for iv in intervals]
+        highs = [float(iv[1]) for iv in intervals]
+        return cls(np.array(lows), np.array(highs))
+
+    @property
+    def dimensions(self) -> int:
+        """Number of spatial dimensions of the box."""
+        return int(self.lows.size)
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric center of the box."""
+        return (self.lows + self.highs) / 2.0
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Per-dimension extents ``highs - lows``."""
+        return self.highs - self.lows
+
+    def volume(self) -> float:
+        """Product of the extents (zero for degenerate boxes)."""
+        return float(np.prod(self.widths))
+
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Return ``True`` when ``point`` lies inside the closed box."""
+        p = np.asarray(point, dtype=float)
+        if p.shape != self.lows.shape:
+            raise DimensionMismatchError("point and box dimensionality differ")
+        return bool(np.all(p >= self.lows) and np.all(p <= self.highs))
+
+    def contains_box(self, other: "Box") -> bool:
+        """Return ``True`` when ``other`` lies entirely inside this box."""
+        self._check_dims(other)
+        return bool(np.all(other.lows >= self.lows) and np.all(other.highs <= self.highs))
+
+    def intersects_box(self, other: "Box") -> bool:
+        """Return ``True`` when the two closed boxes share at least one point."""
+        self._check_dims(other)
+        return bool(np.all(self.lows <= other.highs) and np.all(other.lows <= self.highs))
+
+    def clip(self, other: "Box") -> "Box":
+        """Return the intersection of this box with ``other``.
+
+        Raises :class:`~repro.errors.InvalidDatasetError` when the boxes are
+        disjoint (the intersection would be empty).
+        """
+        self._check_dims(other)
+        lows = np.maximum(self.lows, other.lows)
+        highs = np.minimum(self.highs, other.highs)
+        return Box(lows, highs)
+
+    # ------------------------------------------------------------------
+    def linear_range(self, coefficients: Sequence[float], offset: float = 0.0):
+        """Exact ``(min, max)`` of ``coefficients @ x + offset`` over the box.
+
+        The extremes of a linear function over a box are attained by choosing,
+        per coordinate, the endpoint matching the sign of the coefficient, so
+        both bounds come from one pass of interval arithmetic.
+        """
+        a = np.asarray(coefficients, dtype=float)
+        if a.shape != self.lows.shape:
+            raise DimensionMismatchError(
+                "coefficient vector and box dimensionality differ"
+            )
+        lo_contrib = np.where(a >= 0, a * self.lows, a * self.highs)
+        hi_contrib = np.where(a >= 0, a * self.highs, a * self.lows)
+        return float(lo_contrib.sum() + offset), float(hi_contrib.sum() + offset)
+
+    def corners(self) -> np.ndarray:
+        """Return all ``2^k`` corner points of the box as a ``(2^k, k)`` array."""
+        k = self.dimensions
+        corners = np.empty((2**k, k), dtype=float)
+        for mask in range(2**k):
+            for j in range(k):
+                corners[mask, j] = (
+                    self.highs[j] if (mask >> (k - 1 - j)) & 1 else self.lows[j]
+                )
+        return corners
+
+    def split(self) -> List["Box"]:
+        """Split the box into its ``2^k`` equal child boxes (quadtree split)."""
+        mid = self.center
+        children: List[Box] = []
+        k = self.dimensions
+        for mask in range(2**k):
+            lows = self.lows.copy()
+            highs = self.highs.copy()
+            for j in range(k):
+                if (mask >> (k - 1 - j)) & 1:
+                    lows[j] = mid[j]
+                else:
+                    highs[j] = mid[j]
+            children.append(Box(lows, highs))
+        return children
+
+    def split_at(self, dimension: int, value: float) -> List["Box"]:
+        """Split the box into two children along ``dimension`` at ``value``.
+
+        ``value`` is clamped into the box so the children are always valid.
+        """
+        value = float(min(max(value, self.lows[dimension]), self.highs[dimension]))
+        left_highs = self.highs.copy()
+        left_highs[dimension] = value
+        right_lows = self.lows.copy()
+        right_lows[dimension] = value
+        return [Box(self.lows.copy(), left_highs), Box(right_lows, self.highs.copy())]
+
+    # ------------------------------------------------------------------
+    def _check_dims(self, other: "Box") -> None:
+        if other.dimensions != self.dimensions:
+            raise DimensionMismatchError("boxes have different dimensionality")
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        yield self.lows
+        yield self.highs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(
+            f"[{lo:g}, {hi:g}]" for lo, hi in zip(self.lows, self.highs)
+        )
+        return f"Box({pairs})"

@@ -1,0 +1,116 @@
+"""Duality transform between primal points and dual hyperplanes.
+
+Following Section IV of the paper (and de Berg et al.), a primal point
+``p = (p[1], ..., p[d])`` maps to the dual hyperplane
+
+    ``x_d = p[1] x_1 + p[2] x_2 + ... + p[d-1] x_{d-1} - p[d]``.
+
+We represent that hyperplane by the function ``f(x) = a · x - b`` over the
+``(d-1)``-dimensional dual domain, with ``a = p[1..d-1]`` and ``b = p[d]``.
+The connection to eclipse scoring is direct: evaluating at ``x = -r`` (the
+negated ratio vector) gives ``f(-r) = -(r · p[1..d-1] + p[d]) = -S(p)``, so a
+hyperplane being *closer to the* ``x_d = 0`` *hyperplane from below* (larger
+``f`` value) is the same as the point having a *smaller score*.  Dominance
+over a ratio range therefore becomes "consistently larger ``f`` over the dual
+query box".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import ArrayLike2D, PointLike
+from repro.core.dominance import as_dataset, as_point
+from repro.errors import DimensionMismatchError, InvalidDatasetError
+from repro.geometry.boxes import Box
+
+
+@dataclass(frozen=True)
+class DualHyperplane:
+    """The dual hyperplane ``f(x) = coefficients · x - offset`` of a point.
+
+    Attributes
+    ----------
+    coefficients:
+        The first ``d - 1`` attributes of the primal point.
+    offset:
+        The last attribute of the primal point.
+    index:
+        Position of the primal point in the dataset it came from (``-1`` when
+        the hyperplane was built from a free-standing point).
+    """
+
+    coefficients: np.ndarray
+    offset: float
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        coeffs = np.asarray(self.coefficients, dtype=float)
+        if coeffs.ndim != 1 or coeffs.size == 0:
+            raise InvalidDatasetError(
+                "dual hyperplane coefficients must be a non-empty 1-D array"
+            )
+        object.__setattr__(self, "coefficients", coeffs)
+        object.__setattr__(self, "offset", float(self.offset))
+
+    @property
+    def dual_dimensions(self) -> int:
+        """Dimensionality of the dual domain (``d - 1``)."""
+        return int(self.coefficients.size)
+
+    def evaluate(self, x: Sequence[float]) -> float:
+        """Evaluate ``f(x) = a · x - b`` at a dual-domain location ``x``."""
+        xa = np.asarray(x, dtype=float)
+        if xa.shape != self.coefficients.shape:
+            raise DimensionMismatchError(
+                "evaluation point and dual hyperplane dimensionality differ"
+            )
+        return float(self.coefficients @ xa - self.offset)
+
+    def value_range(self, box: Box) -> Tuple[float, float]:
+        """Exact ``(min, max)`` of ``f`` over a dual-domain box."""
+        return box.linear_range(self.coefficients, -self.offset)
+
+    def score_at_ratio(self, ratios: Sequence[float]) -> float:
+        """Return the primal score ``S(p)`` for a ratio vector ``r``.
+
+        Uses the identity ``S(p) = -f(-r)``.
+        """
+        r = np.asarray(ratios, dtype=float)
+        return -self.evaluate(-r)
+
+    def to_point(self) -> np.ndarray:
+        """Recover the primal point ``(a_1, ..., a_{d-1}, b)``."""
+        return np.append(self.coefficients, self.offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = " + ".join(
+            f"{c:g}*x{j + 1}" for j, c in enumerate(self.coefficients)
+        )
+        return f"DualHyperplane(x{self.dual_dimensions + 1} = {terms} - {self.offset:g})"
+
+
+def dual_hyperplane(point: PointLike, index: int = -1) -> DualHyperplane:
+    """Return the dual hyperplane of a single primal point."""
+    p = as_point(point)
+    if p.size < 2:
+        raise InvalidDatasetError("the duality transform needs d >= 2 attributes")
+    return DualHyperplane(coefficients=p[:-1].copy(), offset=float(p[-1]), index=index)
+
+
+def dual_hyperplanes(points: ArrayLike2D) -> List[DualHyperplane]:
+    """Return the dual hyperplanes of every point in a dataset.
+
+    The ``index`` of each hyperplane records the row position of its primal
+    point, so index-based query results can be mapped back to the dataset.
+    """
+    data = as_dataset(points)
+    if data.shape[0] and data.shape[1] < 2:
+        raise InvalidDatasetError("the duality transform needs d >= 2 attributes")
+    return [
+        DualHyperplane(coefficients=row[:-1].copy(), offset=float(row[-1]), index=i)
+        for i, row in enumerate(data)
+    ]

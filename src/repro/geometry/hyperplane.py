@@ -1,0 +1,207 @@
+"""Pairwise intersection hyperplanes of dual hyperplanes.
+
+Two dual hyperplanes ``f_a(x) = a·x - b_a`` and ``f_k(x) = k·x - b_k``
+intersect where ``g(x) = f_a(x) - f_k(x) = 0``, i.e. on the
+``(d-2)``-dimensional hyperplane ``{x : (a - k) · x = b_a - b_k}`` of the
+``(d-1)``-dimensional dual domain.  These intersection hyperplanes are what
+the Intersection Index stores: the relative order of the two dual
+hyperplanes (and therefore the dominance direction between the two primal
+points) can only change across such an intersection, so a pair whose
+intersection misses the query box keeps a constant order over the whole box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+from repro.geometry.boxes import Box
+from repro.geometry.dual import DualHyperplane
+
+
+@dataclass(frozen=True)
+class IntersectionHyperplane:
+    """The locus where two dual hyperplanes have equal value.
+
+    Attributes
+    ----------
+    coefficients:
+        ``a - k`` — the difference of the two dual-hyperplane coefficient
+        vectors (length ``d - 1``).
+    rhs:
+        ``b_a - b_k`` — the difference of the offsets.  The intersection is
+        ``{x : coefficients · x = rhs}``.
+    first, second:
+        Indices of the two primal points (into the dataset the dual
+        hyperplanes came from).
+    """
+
+    coefficients: np.ndarray
+    rhs: float
+    first: int
+    second: int
+
+    def __post_init__(self) -> None:
+        coeffs = np.asarray(self.coefficients, dtype=float)
+        object.__setattr__(self, "coefficients", coeffs)
+        object.__setattr__(self, "rhs", float(self.rhs))
+
+    @property
+    def dual_dimensions(self) -> int:
+        """Dimensionality of the dual domain the hyperplane lives in."""
+        return int(self.coefficients.size)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """``True`` when the two dual hyperplanes are parallel (or identical).
+
+        Parallel hyperplanes never swap order, so degenerate intersections
+        are omitted from the Intersection Index.  The test is exact (all
+        coefficients identically zero) — tolerances would misclassify pairs
+        of primal points whose attribute differences are tiny but real.
+        """
+        return not bool(np.any(self.coefficients != 0.0))
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """The ``(first, second)`` primal-point index pair."""
+        return (self.first, self.second)
+
+    def x_coordinate(self) -> float:
+        """The intersection x-coordinate in the two-dimensional case.
+
+        Only meaningful when the dual domain is one-dimensional (``d = 2``);
+        this is the quantity written ``p_i p_j [x]`` in the paper.
+        """
+        if self.dual_dimensions != 1:
+            raise DimensionMismatchError(
+                "x_coordinate() is only defined for two-dimensional data"
+            )
+        if self.is_degenerate:
+            raise ZeroDivisionError("parallel dual lines have no intersection")
+        return float(self.rhs / self.coefficients[0])
+
+    def intersects_box(self, box: Box) -> bool:
+        """Exact test: does the intersection hyperplane meet the closed box?
+
+        Uses interval arithmetic: the hyperplane ``c·x = rhs`` meets the box
+        exactly when ``rhs`` lies between the minimum and maximum of ``c·x``
+        over the box.  Degenerate (parallel) pairs never intersect.
+        """
+        if self.is_degenerate:
+            return False
+        lo, hi = box.linear_range(self.coefficients)
+        return lo <= self.rhs <= hi
+
+    def side_of_point(self, x: Sequence[float]) -> float:
+        """Signed value ``coefficients · x - rhs`` (also ``f_a(x) - f_k(x)``)."""
+        xa = np.asarray(x, dtype=float)
+        if xa.shape != self.coefficients.shape:
+            raise DimensionMismatchError(
+                "evaluation point and hyperplane dimensionality differ"
+            )
+        return float(self.coefficients @ xa - self.rhs)
+
+
+def intersection_of(
+    a: DualHyperplane, b: DualHyperplane
+) -> IntersectionHyperplane:
+    """Build the intersection hyperplane of two dual hyperplanes."""
+    if a.dual_dimensions != b.dual_dimensions:
+        raise DimensionMismatchError("dual hyperplanes have different dimensionality")
+    return IntersectionHyperplane(
+        coefficients=a.coefficients - b.coefficients,
+        rhs=a.offset - b.offset,
+        first=a.index,
+        second=b.index,
+    )
+
+
+def pairwise_intersection_arrays(
+    hyperplanes: Sequence[DualHyperplane],
+    skip_degenerate: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised pairwise intersections: ``(pairs, coefficients, rhs)``.
+
+    Returns three parallel arrays describing the intersection hyperplane of
+    every pair ``(i, j)`` with ``i < j``:
+
+    * ``pairs`` — integer array of shape ``(m, 2)`` holding the hyperplane
+      indices (the ``index`` attribute of the inputs);
+    * ``coefficients`` — float array of shape ``(m, d-1)``;
+    * ``rhs`` — float array of shape ``(m,)``.
+
+    This is the bulk counterpart of :func:`pairwise_intersections`; the tree
+    backends operate directly on these arrays so that building an index over
+    hundreds of thousands of pairs stays vectorised.
+    """
+    u = len(hyperplanes)
+    if u < 2:
+        k = hyperplanes[0].dual_dimensions if hyperplanes else 0
+        return (
+            np.empty((0, 2), dtype=np.intp),
+            np.empty((0, k), dtype=float),
+            np.empty(0, dtype=float),
+        )
+    coeff_matrix = np.array([h.coefficients for h in hyperplanes], dtype=float)
+    offsets = np.array([h.offset for h in hyperplanes], dtype=float)
+    indices = np.array([h.index for h in hyperplanes], dtype=np.intp)
+    ii, jj = np.triu_indices(u, k=1)
+    coefficients = coeff_matrix[ii] - coeff_matrix[jj]
+    rhs = offsets[ii] - offsets[jj]
+    pairs = np.column_stack([indices[ii], indices[jj]])
+    if skip_degenerate:
+        keep = np.any(np.abs(coefficients) > 0.0, axis=1)
+        pairs, coefficients, rhs = pairs[keep], coefficients[keep], rhs[keep]
+    return pairs, coefficients, rhs
+
+
+def hyperplanes_intersect_box_mask(
+    coefficients: np.ndarray, rhs: np.ndarray, box: Box
+) -> np.ndarray:
+    """Vectorised exact hyperplane/box intersection test.
+
+    ``coefficients`` has shape ``(m, k)`` and ``rhs`` shape ``(m,)``; the
+    result is a boolean mask of length ``m`` that is ``True`` where the
+    hyperplane ``coefficients[i] · x = rhs[i]`` meets the closed ``box``.
+    Degenerate rows (all-zero coefficients) are reported as non-intersecting,
+    consistent with :meth:`IntersectionHyperplane.intersects_box`.
+    """
+    if coefficients.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    lows, highs = box.lows, box.highs
+    low_contrib = np.where(coefficients >= 0, coefficients * lows, coefficients * highs)
+    high_contrib = np.where(coefficients >= 0, coefficients * highs, coefficients * lows)
+    gmin = low_contrib.sum(axis=1)
+    gmax = high_contrib.sum(axis=1)
+    nondegenerate = np.any(np.abs(coefficients) > 0.0, axis=1)
+    return (gmin <= rhs) & (rhs <= gmax) & nondegenerate
+
+
+def pairwise_intersections(
+    hyperplanes: Sequence[DualHyperplane],
+    skip_degenerate: bool = True,
+) -> List[IntersectionHyperplane]:
+    """Return the intersection hyperplanes of all ``(u choose 2)`` pairs.
+
+    Parameters
+    ----------
+    hyperplanes:
+        Dual hyperplanes (typically of the skyline points only, as in
+        Algorithms 4 and 6).
+    skip_degenerate:
+        When ``True`` (default) parallel pairs are omitted — they never swap
+        order, so the Intersection Index has no use for them.
+    """
+    result: List[IntersectionHyperplane] = []
+    n = len(hyperplanes)
+    for i in range(n):
+        for j in range(i + 1, n):
+            inter = intersection_of(hyperplanes[i], hyperplanes[j])
+            if skip_degenerate and inter.is_degenerate:
+                continue
+            result.append(inter)
+    return result

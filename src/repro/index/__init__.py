@@ -1,0 +1,29 @@
+"""Index structures for the index-based eclipse algorithms (Section IV).
+
+Two cooperating indexes are built over the *skyline* points of the dataset
+(eclipse points are always a subset of the skyline):
+
+* :class:`OrderVectorIndex` — for a query reference corner of the dual-space
+  box, the number of dual hyperplanes strictly closer to ``x_d = 0`` than
+  each hyperplane (the *order vector*).
+* :class:`IntersectionIndex` — the pairwise intersection hyperplanes, indexed
+  so that the pairs whose relative order may change inside a query box can be
+  retrieved quickly (sorted x-coordinates in two dimensions, a line quadtree
+  or cutting tree in higher dimensions).
+
+:class:`EclipseIndex` combines both and implements the query procedure of
+Algorithms 5 and 7: start from the order vector at the reference corner and
+correct it using the intersections that cross the query box; hyperplanes
+whose final count is zero correspond to the eclipse points.
+"""
+
+from repro.index.order_vector import OrderVectorIndex
+from repro.index.intersection import IntersectionIndex
+from repro.index.eclipse_index import EclipseIndex, eclipse_index_query
+
+__all__ = [
+    "OrderVectorIndex",
+    "IntersectionIndex",
+    "EclipseIndex",
+    "eclipse_index_query",
+]

@@ -1,0 +1,234 @@
+"""Intersection Index (the second index of Section IV).
+
+The Intersection Index stores the ``(u choose 2)`` pairwise intersection
+hyperplanes of the dual hyperplanes and answers one question: *which pairs
+may change their relative order inside a given dual query box?*  Those are
+exactly the pairs whose intersection hyperplane meets the box.
+
+Backends
+--------
+``sorted``
+    Two-dimensional data only: intersections are points on the x-axis, so a
+    sorted array plus binary search answers range queries (this is the
+    structure Algorithm 4 builds, and the paper notes QUAD and CUTTING share
+    it when ``d = 2``).
+``quadtree``
+    :class:`~repro.geometry.quadtree.LineQuadtree` over the dual domain.
+``cutting``
+    :class:`~repro.geometry.cutting.CuttingTree` over the dual domain.
+``scan``
+    No acceleration structure; every pair is tested with one vectorised
+    pass.  Used as the exactness fallback when a query box escapes the
+    indexed domain and as a reference in tests.
+
+All backends return candidates as a :class:`CandidateSet` of parallel arrays
+(pair indices, coefficients, right-hand sides) so the downstream query can
+process them without Python-level loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AlgorithmNotSupportedError, DimensionMismatchError
+from repro.geometry.boxes import Box
+from repro.geometry.cutting import CuttingTree
+from repro.geometry.dual import DualHyperplane
+from repro.geometry.hyperplane import (
+    IntersectionHyperplane,
+    hyperplanes_intersect_box_mask,
+    pairwise_intersection_arrays,
+)
+from repro.geometry.quadtree import LineQuadtree
+
+#: Ratio magnitude covered by the default dual-domain box of the tree
+#: backends; queries beyond it transparently fall back to a full scan.
+DEFAULT_MAX_RATIO = 128.0
+
+_BACKENDS = ("sorted", "quadtree", "cutting", "scan")
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """Pairs whose intersection hyperplane meets a query box.
+
+    Attributes
+    ----------
+    pairs:
+        Integer array of shape ``(c, 2)``: the two dual-hyperplane indices of
+        each candidate pair.
+    coefficients:
+        Float array of shape ``(c, k)``: coefficients of
+        ``g(x) = f_first(x) - f_second(x)``.
+    rhs:
+        Float array of shape ``(c,)``: the constant of ``g`` (``g(x) =
+        coefficients · x - rhs``).
+    """
+
+    pairs: np.ndarray
+    coefficients: np.ndarray
+    rhs: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.pairs.shape[0])
+
+    def to_hyperplanes(self) -> List[IntersectionHyperplane]:
+        """Materialise the candidates as :class:`IntersectionHyperplane` objects."""
+        return [
+            IntersectionHyperplane(
+                coefficients=self.coefficients[i],
+                rhs=float(self.rhs[i]),
+                first=int(self.pairs[i, 0]),
+                second=int(self.pairs[i, 1]),
+            )
+            for i in range(len(self))
+        ]
+
+
+class IntersectionIndex:
+    """Index over the pairwise intersection hyperplanes of dual hyperplanes.
+
+    Parameters
+    ----------
+    hyperplanes:
+        Dual hyperplanes of the skyline points.  Their ``index`` attributes
+        are the identifiers reported in query results.
+    backend:
+        One of ``"sorted"``, ``"quadtree"``, ``"cutting"``, ``"scan"`` or
+        ``"auto"`` (sorted for two-dimensional data, quadtree otherwise).
+    max_ratio:
+        Largest ratio magnitude the tree backends cover; the dual domain box
+        is ``[-max_ratio, 0]^{d-1}``.
+    capacity:
+        Leaf/cell capacity of the tree backends (``None`` = size-aware).
+    seed:
+        Random seed for the cutting-tree backend.
+    """
+
+    def __init__(
+        self,
+        hyperplanes: Sequence[DualHyperplane],
+        backend: str = "auto",
+        max_ratio: float = DEFAULT_MAX_RATIO,
+        capacity: Optional[int] = None,
+        seed: Optional[int] = 0,
+    ):
+        hyperplanes = list(hyperplanes)
+        self._dual_dims = hyperplanes[0].dual_dimensions if hyperplanes else 0
+        if backend == "auto":
+            backend = "sorted" if self._dual_dims == 1 else "quadtree"
+        if backend not in _BACKENDS:
+            raise AlgorithmNotSupportedError(
+                f"unknown intersection-index backend {backend!r}; "
+                f"choose from {_BACKENDS} or 'auto'"
+            )
+        if backend == "sorted" and self._dual_dims not in (0, 1):
+            raise AlgorithmNotSupportedError(
+                "the 'sorted' backend only supports two-dimensional data"
+            )
+        self._backend = backend
+        self._max_ratio = float(max_ratio)
+        self._domain = (
+            Box(
+                lows=np.full(self._dual_dims, -self._max_ratio),
+                highs=np.zeros(self._dual_dims),
+            )
+            if self._dual_dims
+            else None
+        )
+
+        self._pairs, self._coefficients, self._rhs = pairwise_intersection_arrays(
+            hyperplanes, skip_degenerate=True
+        )
+        self._tree = None
+        self._sorted_xs: Optional[np.ndarray] = None
+        self._sorted_order: Optional[np.ndarray] = None
+
+        if self._pairs.shape[0] == 0:
+            return
+        if backend == "sorted":
+            xs = self._rhs / self._coefficients[:, 0]
+            order = np.argsort(xs, kind="stable")
+            self._sorted_xs = xs[order]
+            self._sorted_order = order
+        elif backend == "quadtree":
+            self._tree = LineQuadtree(
+                self._coefficients, self._rhs, self._domain, capacity=capacity
+            )
+        elif backend == "cutting":
+            self._tree = CuttingTree(
+                self._coefficients,
+                self._rhs,
+                self._domain,
+                capacity=capacity,
+                seed=seed,
+            )
+        # "scan" keeps only the flat arrays.
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The backend actually in use."""
+        return self._backend
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of stored (non-degenerate) intersection hyperplanes."""
+        return int(self._pairs.shape[0])
+
+    @property
+    def domain(self) -> Optional[Box]:
+        """Dual-domain box covered by the tree backends."""
+        return self._domain
+
+    @property
+    def tree(self):
+        """The underlying quadtree/cutting tree (``None`` for other backends)."""
+        return self._tree
+
+    def pair_hyperplanes(self) -> List[IntersectionHyperplane]:
+        """All stored intersection hyperplanes as objects (small inputs only)."""
+        return CandidateSet(self._pairs, self._coefficients, self._rhs).to_hyperplanes()
+
+    # ------------------------------------------------------------------
+    def candidates(self, box: Box) -> CandidateSet:
+        """Return the pairs whose intersection hyperplane meets ``box``.
+
+        The result is exact for every backend: tree backends post-filter
+        their candidate sets with the exact vectorised test, and queries
+        escaping the indexed domain fall back to a full scan so no pair is
+        missed.
+        """
+        if self.num_pairs == 0:
+            k = self._dual_dims
+            return CandidateSet(
+                pairs=np.empty((0, 2), dtype=np.intp),
+                coefficients=np.empty((0, k), dtype=float),
+                rhs=np.empty(0, dtype=float),
+            )
+        if box.dimensions != self._dual_dims:
+            raise DimensionMismatchError(
+                "query box dimensionality does not match the index"
+            )
+        if self._backend == "sorted":
+            low, high = float(box.lows[0]), float(box.highs[0])
+            start = int(np.searchsorted(self._sorted_xs, low, side="left"))
+            end = int(np.searchsorted(self._sorted_xs, high, side="right"))
+            selected = self._sorted_order[start:end]
+        elif self._backend == "scan" or self._tree is None:
+            mask = hyperplanes_intersect_box_mask(self._coefficients, self._rhs, box)
+            selected = np.flatnonzero(mask)
+        elif self._domain is not None and not self._domain.contains_box(box):
+            # The tree only covers the default domain; stay exact by scanning.
+            mask = hyperplanes_intersect_box_mask(self._coefficients, self._rhs, box)
+            selected = np.flatnonzero(mask)
+        else:
+            selected = self._tree.query(box)
+        return CandidateSet(
+            pairs=self._pairs[selected],
+            coefficients=self._coefficients[selected],
+            rhs=self._rhs[selected],
+        )

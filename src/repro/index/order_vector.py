@@ -1,0 +1,190 @@
+"""Order Vector Index (Algorithms 4 and 6).
+
+The order vector at a dual-space location ``x`` assigns to every dual
+hyperplane ``k`` the number of hyperplanes strictly closer to the
+``x_d = 0`` hyperplane, i.e. with a strictly larger dual value ``f(x)``.  A
+hyperplane whose count stays zero across the whole query box corresponds to
+an eclipse point.
+
+Two representations are provided, matching the paper:
+
+* **two dimensions** — the x-axis is partitioned into the intervals of
+  :class:`~repro.geometry.arrangement2d.Arrangement2D` and the per-interval
+  order vectors are served from that structure (Algorithm 4, with a binary
+  search at query time as in Line 1 of Algorithm 5);
+* **higher dimensions** — materialising the full arrangement of the
+  ``(u choose 2)`` intersection hyperplanes is impractical (the paper makes
+  the same observation), so the order vector at the query's reference corner
+  is computed on demand in ``O(u log u)`` by evaluating and ranking the dual
+  values, which is the behaviour the paper describes for its own
+  implementation of Algorithm 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+from repro.geometry.arrangement2d import Arrangement2D
+from repro.geometry.boxes import Box
+from repro.geometry.dual import DualHyperplane
+
+
+@dataclass(frozen=True)
+class OrderVectorState:
+    """Initial query state produced by the Order Vector Index.
+
+    Attributes
+    ----------
+    counts:
+        ``counts[k]`` — number of dual hyperplanes strictly closer to the
+        ``x_d = 0`` hyperplane than hyperplane ``k`` at the reference corner.
+    values:
+        Dual values ``f_k(reference)``; kept so that the query procedure can
+        decide, per intersecting pair, which hyperplane was on top at the
+        reference corner.
+    reference:
+        The reference corner of the dual query box (the corner closest to
+        the origin, i.e. ``(-l_1, ..., -l_{d-1})``).
+    slopes:
+        First dual coefficient of every hyperplane.  Only used by the
+        two-dimensional tie-break (two lines meeting exactly at the
+        reference point are ordered by slope, mirroring the "just below the
+        interval boundary" representative of Algorithm 4).
+    """
+
+    counts: np.ndarray
+    values: np.ndarray
+    reference: np.ndarray
+    slopes: Optional[np.ndarray] = None
+
+    def initially_above(self, a: int, k: int) -> bool:
+        """Was hyperplane ``a`` strictly above ``k`` in the initial order?
+
+        "Above" means closer to the ``x_d = 0`` hyperplane at the reference
+        corner.  In two dimensions ties at the reference corner are broken by
+        slope so the answer matches the interval the count came from; in
+        higher dimensions ties mean "neither above".
+        """
+        if self.values[a] > self.values[k]:
+            return True
+        if self.values[a] < self.values[k]:
+            return False
+        if self.slopes is not None:
+            return bool(self.slopes[a] < self.slopes[k])
+        return False
+
+
+class OrderVectorIndex:
+    """Order vectors for the dual hyperplanes of the skyline points."""
+
+    #: Above this many lines the two-dimensional arrangement (whose
+    #: construction enumerates all pairwise intersections) is skipped and the
+    #: order vector is computed directly at query time, like in higher
+    #: dimensions.
+    MAX_ARRANGEMENT_LINES = 2048
+
+    def __init__(
+        self,
+        hyperplanes: Sequence[DualHyperplane],
+        dense_threshold: Optional[int] = None,
+        max_arrangement_lines: Optional[int] = None,
+    ):
+        hyperplanes = list(hyperplanes)
+        self._hyperplanes: List[DualHyperplane] = hyperplanes
+        if hyperplanes:
+            self._dual_dims = hyperplanes[0].dual_dimensions
+            for h in hyperplanes:
+                if h.dual_dimensions != self._dual_dims:
+                    raise DimensionMismatchError(
+                        "all dual hyperplanes must share the same dimensionality"
+                    )
+        else:
+            self._dual_dims = 0
+        self._coefficients = (
+            np.array([h.coefficients for h in hyperplanes], dtype=float)
+            if hyperplanes
+            else np.empty((0, 0))
+        )
+        self._offsets = np.array([h.offset for h in hyperplanes], dtype=float)
+        self._arrangement: Optional[Arrangement2D] = None
+        arrangement_limit = (
+            self.MAX_ARRANGEMENT_LINES
+            if max_arrangement_lines is None
+            else int(max_arrangement_lines)
+        )
+        if (
+            hyperplanes
+            and self._dual_dims == 1
+            and len(hyperplanes) <= arrangement_limit
+        ):
+            self._arrangement = Arrangement2D(
+                hyperplanes, dense_threshold=dense_threshold
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_hyperplanes(self) -> int:
+        """Number of indexed dual hyperplanes (``u``)."""
+        return len(self._hyperplanes)
+
+    @property
+    def dual_dimensions(self) -> int:
+        """Dimensionality of the dual domain (``d - 1``)."""
+        return self._dual_dims
+
+    @property
+    def arrangement(self) -> Optional[Arrangement2D]:
+        """The two-dimensional arrangement, when applicable."""
+        return self._arrangement
+
+    # ------------------------------------------------------------------
+    def values_at(self, x: Sequence[float]) -> np.ndarray:
+        """Dual values ``f_k(x)`` of every hyperplane (vectorised)."""
+        xa = np.asarray(x, dtype=float)
+        if self.num_hyperplanes == 0:
+            return np.empty(0, dtype=float)
+        if xa.shape != (self._dual_dims,):
+            raise DimensionMismatchError(
+                "evaluation point dimensionality does not match the index"
+            )
+        return self._coefficients @ xa - self._offsets
+
+    def initial_state(self, box: Box) -> OrderVectorState:
+        """Return the order-vector state at the reference corner of ``box``.
+
+        The reference corner is ``box.highs`` — in primal terms the weight
+        vector built from the *lower* ratio bounds, matching the ``-l`` end
+        the two-dimensional algorithm starts from.
+        """
+        if self.num_hyperplanes == 0:
+            return OrderVectorState(
+                counts=np.empty(0, dtype=np.intp),
+                values=np.empty(0, dtype=float),
+                reference=np.asarray(box.highs, dtype=float),
+                slopes=None,
+            )
+        if box.dimensions != self._dual_dims:
+            raise DimensionMismatchError(
+                "query box dimensionality does not match the index"
+            )
+        reference = np.asarray(box.highs, dtype=float)
+        values = self.values_at(reference)
+        if self._arrangement is not None:
+            counts = self._arrangement.order_vector_at(float(reference[0]))
+            slopes = self._coefficients[:, 0].copy()
+        else:
+            sorted_values = np.sort(values)
+            counts = (
+                values.size - np.searchsorted(sorted_values, values, side="right")
+            ).astype(np.intp)
+            slopes = None
+        return OrderVectorState(
+            counts=counts.astype(np.intp),
+            values=values,
+            reference=reference,
+            slopes=slopes,
+        )

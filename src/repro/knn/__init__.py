@@ -1,0 +1,34 @@
+"""kNN substrate: scoring functions, linear-scan and kd-tree kNN, convex hull.
+
+The eclipse operator generalises 1NN, so the reproduction ships the classic
+query operators it is compared against in Section II-C:
+
+* :func:`weighted_sum` / :func:`weighted_lp_score` — the scoring functions of
+  Definition 1 (L1 by default, Lp per footnote 2 of the paper).
+* :func:`knn` / :func:`nearest_neighbor` — linear-scan kNN under a weight
+  vector.
+* :class:`KDTree` — an exact kd-tree for unweighted/weighted Euclidean and
+  Manhattan kNN, the standard index substrate for kNN workloads.
+* :func:`convex_hull_indices` — the "convex hull query from the origin's
+  view" of Section II-C: points that are the 1NN for *some* non-negative
+  linear scoring function.
+"""
+
+from repro.knn.scoring import weighted_lp_score, weighted_lp_scores, weighted_sum, weighted_sums
+from repro.knn.linear import knn, knn_indices, nearest_neighbor, nearest_neighbor_index
+from repro.knn.kdtree import KDTree
+from repro.knn.convex_hull import convex_hull_indices, is_convex_hull_point
+
+__all__ = [
+    "weighted_lp_score",
+    "weighted_lp_scores",
+    "weighted_sum",
+    "weighted_sums",
+    "knn",
+    "knn_indices",
+    "nearest_neighbor",
+    "nearest_neighbor_index",
+    "KDTree",
+    "convex_hull_indices",
+    "is_convex_hull_point",
+]

@@ -1,0 +1,114 @@
+"""Convex-hull query "from the origin's view" (Section II-C).
+
+The paper relates eclipse to the *convex hull query*: the points that are
+the nearest neighbour for **some** non-negative linear scoring function.
+Geometrically these are the points on the lower-left boundary of the convex
+hull, i.e. the vertices of the hull facing the origin.  In the running
+example of Figure 1 the convex-hull query returns ``{p1, p3}`` but not
+``p4`` even though ``p4`` is a vertex of the full convex hull.
+
+Membership test
+---------------
+A point ``p`` belongs to the origin-view hull when some weight vector
+``w >= 0`` with ``Σ w = 1`` satisfies ``w · p <= w · q`` for every other
+point ``q``.  That is a small linear-programming feasibility problem;
+instead of requiring an LP solver, this implementation exploits linear-
+programming duality in the contrapositive direction: ``p`` is *not* on the
+origin-view hull exactly when, for every weight vector, some other point has
+a strictly smaller score — which (for the finite candidate set) is decided
+by sampling candidate weight vectors from the facet normals of score
+differences.  Because a vertex of the lower hull is the unique minimiser for
+the weights orthogonal to its supporting facet, the implementation checks
+minimality over a dense grid of weight directions plus the exact facet
+normals of every attribute pair, which is exact in two dimensions and a
+tight approximation in higher dimensions (sufficient for the relationship
+diagrams and examples it backs; the eclipse algorithms never depend on it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+import numpy as np
+
+from repro._types import ArrayLike2D, IndexArray
+from repro.core.dominance import as_dataset
+
+#: Number of sampled weight directions per dimension pair used in d > 2.
+_SAMPLES_PER_PAIR = 64
+
+
+def _candidate_weight_vectors(data: np.ndarray) -> np.ndarray:
+    """Weight vectors under which hull membership is tested.
+
+    Includes the axis directions, the uniform direction, and for every pair
+    of attributes a sweep of directions in their coordinate plane.  In two
+    dimensions the sweep includes the exact normal of every pair of points,
+    making the test exact.
+    """
+    n, d = data.shape
+    vectors: List[np.ndarray] = []
+    # Near-axis directions: strictly positive weights so that a point tying on
+    # one attribute but dominated on the others is never reported (keeping the
+    # hull a subset of the skyline, as in Figure 4).
+    eps = 1e-9
+    for j in range(d):
+        w = np.full(d, eps)
+        w[j] = 1.0 - (d - 1) * eps
+        vectors.append(w)
+    vectors.append(np.full(d, 1.0 / d))
+    if d == 2:
+        # Exact: use the normals of all segments between distinct points.
+        for i, j in itertools.combinations(range(n), 2):
+            diff = data[j] - data[i]
+            normal = np.array([-diff[1], diff[0]])
+            for candidate in (normal, -normal):
+                # Strictly positive components only: zero-weight directions
+                # would let dominated points tie the minimum (the axis-aligned
+                # cases are already covered by the perturbed axis vectors).
+                if np.all(candidate > 0):
+                    vectors.append(candidate / candidate.sum())
+        # Also perturbed axis directions so vertices optimal only for
+        # near-axis weights are detected.
+        for eps in (1e-6, 1e-3):
+            vectors.append(np.array([1.0 - eps, eps]))
+            vectors.append(np.array([eps, 1.0 - eps]))
+    else:
+        # Strictly interior sweep values: the endpoints would put an exact
+        # zero weight on one attribute and admit dominated points again.
+        ts = np.linspace(0.0, 1.0, _SAMPLES_PER_PAIR + 2)[1:-1]
+        for i, j in itertools.combinations(range(d), 2):
+            for t in ts:
+                w = np.full(d, eps)
+                w[i] = t
+                w[j] = 1.0 - t
+                vectors.append(w / w.sum())
+    return np.array(vectors, dtype=float)
+
+
+def convex_hull_indices(points: ArrayLike2D) -> IndexArray:
+    """Indices of the points on the origin-view convex hull.
+
+    A point is reported when it attains the minimum weighted score for at
+    least one of the candidate weight vectors (see the module docstring for
+    the exactness discussion).
+    """
+    data = as_dataset(points)
+    n = data.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if n == 1:
+        return np.array([0], dtype=np.intp)
+    vectors = _candidate_weight_vectors(data)
+    scores = data @ vectors.T  # (n, num_vectors)
+    minima = scores.min(axis=0)
+    # Exact equality: the minimum is itself one of the score values, and any
+    # tolerance would let near-duplicate dominated points sneak in.
+    on_hull = np.any(scores == minima, axis=1)
+    return np.flatnonzero(on_hull).astype(np.intp)
+
+
+def is_convex_hull_point(points: ArrayLike2D, index: int) -> bool:
+    """Return ``True`` when the point at ``index`` lies on the origin-view hull."""
+    return int(index) in set(convex_hull_indices(points).tolist())

@@ -1,0 +1,78 @@
+"""Linear-scan kNN under a weighted scoring function.
+
+The simplest possible kNN substrate: score every point and keep the ``k``
+smallest scores.  Ties on the score are broken by dataset position so
+results are deterministic.  This is the reference implementation the kd-tree
+is validated against and the "1NN" end of the eclipse spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._types import ArrayLike2D, IndexArray
+from repro.core.dominance import as_dataset
+from repro.errors import EmptyDatasetError, InvalidDatasetError
+from repro.knn.scoring import weighted_lp_scores, weighted_sums
+
+
+def knn_indices(
+    points: ArrayLike2D,
+    weights: Sequence[float],
+    k: int = 1,
+    p: float = 1.0,
+) -> IndexArray:
+    """Return the indices of the ``k`` points with the smallest scores.
+
+    Parameters
+    ----------
+    points:
+        Dataset of shape ``(n, d)``; the query point is the origin.
+    weights:
+        Attribute weight vector ``w``.
+    k:
+        Number of neighbours to return (capped at ``n``).
+    p:
+        Lp exponent of the scoring function (``1`` = weighted sum).
+    """
+    if k < 1:
+        raise InvalidDatasetError("k must be at least 1")
+    data = as_dataset(points)
+    n = data.shape[0]
+    if n == 0:
+        raise EmptyDatasetError("kNN requires a non-empty dataset")
+    if p == 1.0:
+        point_scores = weighted_sums(data, weights)
+    else:
+        point_scores = weighted_lp_scores(data, weights, p=p)
+    k = min(k, n)
+    order = np.lexsort((np.arange(n), point_scores))
+    return order[:k].astype(np.intp)
+
+
+def knn(
+    points: ArrayLike2D,
+    weights: Sequence[float],
+    k: int = 1,
+    p: float = 1.0,
+) -> np.ndarray:
+    """Return the ``k`` nearest points (rows) under the weighted score."""
+    data = as_dataset(points)
+    return data[knn_indices(data, weights, k=k, p=p)]
+
+
+def nearest_neighbor_index(
+    points: ArrayLike2D, weights: Sequence[float], p: float = 1.0
+) -> int:
+    """Index of the single nearest neighbour (the 1NN of Definition 1)."""
+    return int(knn_indices(points, weights, k=1, p=p)[0])
+
+
+def nearest_neighbor(
+    points: ArrayLike2D, weights: Sequence[float], p: float = 1.0
+) -> np.ndarray:
+    """The single nearest neighbour point (row) under the weighted score."""
+    data = as_dataset(points)
+    return data[nearest_neighbor_index(data, weights, p=p)]

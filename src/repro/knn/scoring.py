@@ -1,0 +1,69 @@
+"""Scoring functions for kNN-style queries.
+
+The paper scores points with the weighted L1 sum
+``S(p) = Σ_j w[j] p[j]`` (the query point is the origin) and notes in
+footnote 2 that the algorithms extend to weighted Lp scores
+``(Σ_j w[j] p[j]^p)^{1/p}`` because the ``1/p`` exponent does not change the
+ranking.  Both families are provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._types import ArrayLike2D, PointLike
+from repro.core.dominance import as_dataset, as_point
+from repro.errors import DimensionMismatchError, InvalidDatasetError
+
+
+def weighted_sum(point: PointLike, weights: Sequence[float]) -> float:
+    """Weighted L1 score ``S(p) = Σ_j w[j] p[j]`` of a single point."""
+    p = as_point(point)
+    w = np.asarray(weights, dtype=float)
+    if p.shape != w.shape:
+        raise DimensionMismatchError("point and weight vector dimensionality differ")
+    return float(p @ w)
+
+
+def weighted_sums(points: ArrayLike2D, weights: Sequence[float]) -> np.ndarray:
+    """Weighted L1 scores of every point of a dataset."""
+    data = as_dataset(points)
+    w = np.asarray(weights, dtype=float)
+    if data.shape[0] == 0:
+        return np.empty(0, dtype=float)
+    if data.shape[1] != w.size:
+        raise DimensionMismatchError("dataset and weight vector dimensionality differ")
+    return data @ w
+
+
+def weighted_lp_score(
+    point: PointLike, weights: Sequence[float], p: float = 1.0
+) -> float:
+    """Weighted Lp score ``(Σ_j w[j] |p[j]|^p)^{1/p}`` of a single point.
+
+    ``p = 1`` recovers :func:`weighted_sum` for non-negative attributes.
+    """
+    if p < 1:
+        raise InvalidDatasetError("the Lp exponent must satisfy p >= 1")
+    pa = as_point(point)
+    w = np.asarray(weights, dtype=float)
+    if pa.shape != w.shape:
+        raise DimensionMismatchError("point and weight vector dimensionality differ")
+    return float(np.power(np.sum(w * np.power(np.abs(pa), p)), 1.0 / p))
+
+
+def weighted_lp_scores(
+    points: ArrayLike2D, weights: Sequence[float], p: float = 1.0
+) -> np.ndarray:
+    """Weighted Lp scores of every point of a dataset."""
+    if p < 1:
+        raise InvalidDatasetError("the Lp exponent must satisfy p >= 1")
+    data = as_dataset(points)
+    w = np.asarray(weights, dtype=float)
+    if data.shape[0] == 0:
+        return np.empty(0, dtype=float)
+    if data.shape[1] != w.size:
+        raise DimensionMismatchError("dataset and weight vector dimensionality differ")
+    return np.power(np.sum(w * np.power(np.abs(data), p), axis=1), 1.0 / p)

@@ -1,0 +1,45 @@
+"""Skyline substrate: dominance helpers and four skyline algorithms.
+
+The eclipse transformation algorithm (Section III of the paper) reduces the
+eclipse query to an ordinary skyline computation on mapped points, so a solid
+skyline substrate is part of the reproduction.  Four algorithms with
+different trade-offs are provided, all computing the *minimisation* skyline
+(smaller attribute values are better):
+
+* :func:`skyline_bnl` — block-nested-loop (Börzsönyi et al.), the classic
+  ``O(n^2)`` worst-case baseline.
+* :func:`skyline_sfs` — sort-filter-skyline: pre-sorting by the attribute sum
+  guarantees no point is ever removed from the window.
+* :func:`skyline_sweep_2d` — the ``O(n log n)`` two-dimensional sweep used by
+  Algorithm 2 of the paper.
+* :func:`skyline_divide_conquer` — Bentley's multidimensional
+  divide-and-conquer (the "ECDF algorithm" cited as [3]), the
+  ``O(n log^{d-1} n)`` routine used by Algorithm 3.
+
+:func:`skyline` dispatches among them.
+"""
+
+from repro.skyline.dominance import (
+    dominates,
+    dominates_or_equal,
+    dominance_count,
+    is_skyline_point,
+)
+from repro.skyline.bnl import skyline_bnl
+from repro.skyline.sfs import skyline_sfs
+from repro.skyline.sweep2d import skyline_sweep_2d
+from repro.skyline.divide_conquer import skyline_divide_conquer
+from repro.skyline.api import skyline, skyline_indices
+
+__all__ = [
+    "dominates",
+    "dominates_or_equal",
+    "dominance_count",
+    "is_skyline_point",
+    "skyline_bnl",
+    "skyline_sfs",
+    "skyline_sweep_2d",
+    "skyline_divide_conquer",
+    "skyline",
+    "skyline_indices",
+]

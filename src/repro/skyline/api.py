@@ -1,0 +1,62 @@
+"""Skyline dispatcher choosing among the available algorithms.
+
+The dispatcher mirrors how the paper's algorithms use the skyline substrate:
+the two-dimensional sweep for ``d = 2`` (Algorithm 2) and the
+divide-and-conquer / ECDF algorithm for ``d > 2`` (Algorithm 3).  Explicit
+method names are accepted so that experiments can compare the substrates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro._types import ArrayLike2D, IndexArray
+from repro.core.dominance import as_dataset
+from repro.errors import AlgorithmNotSupportedError
+from repro.skyline.bnl import skyline_bnl_indices
+from repro.skyline.divide_conquer import skyline_divide_conquer_indices
+from repro.skyline.sfs import skyline_sfs_indices
+from repro.skyline.sweep2d import skyline_sweep_2d_indices
+
+_METHODS: Dict[str, Callable[[ArrayLike2D], IndexArray]] = {
+    "bnl": skyline_bnl_indices,
+    "sfs": skyline_sfs_indices,
+    "sweep2d": skyline_sweep_2d_indices,
+    "divide_conquer": skyline_divide_conquer_indices,
+}
+
+
+def skyline_indices(points: ArrayLike2D, method: str = "auto") -> IndexArray:
+    """Return skyline indices of ``points`` using the requested method.
+
+    Parameters
+    ----------
+    points:
+        Dataset of shape ``(n, d)`` (minimisation semantics).
+    method:
+        One of ``"auto"`` (default), ``"bnl"``, ``"sfs"``, ``"sweep2d"``,
+        ``"divide_conquer"``.  ``"auto"`` selects the two-dimensional sweep
+        for ``d = 2`` and divide-and-conquer otherwise, which is the pairing
+        Algorithms 2 and 3 of the paper prescribe.
+    """
+    data = as_dataset(points)
+    if method == "auto":
+        if data.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
+        method = "sweep2d" if data.shape[1] == 2 else "divide_conquer"
+    try:
+        fn = _METHODS[method]
+    except KeyError:
+        raise AlgorithmNotSupportedError(
+            f"unknown skyline method {method!r}; choose from "
+            f"{sorted(_METHODS)} or 'auto'"
+        ) from None
+    return fn(data)
+
+
+def skyline(points: ArrayLike2D, method: str = "auto") -> np.ndarray:
+    """Return the skyline points (rows) of ``points``."""
+    data = as_dataset(points)
+    return data[skyline_indices(data, method=method)]

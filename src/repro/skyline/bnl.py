@@ -1,0 +1,59 @@
+"""Block-nested-loop (BNL) skyline algorithm.
+
+The original skyline algorithm of Börzsönyi, Kossmann and Stocker (ICDE
+2001, reference [4] of the paper): maintain a window of candidate skyline
+points and compare every incoming point against the window.  Worst-case
+``O(n^2)`` comparisons, but simple and often competitive on correlated data
+where the window stays tiny.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro._types import ArrayLike2D, IndexArray
+from repro.core.dominance import as_dataset
+
+
+def skyline_bnl_indices(points: ArrayLike2D) -> IndexArray:
+    """Return the indices of the skyline points of ``points``.
+
+    Minimisation semantics.  Duplicate points are all retained (none of them
+    strictly dominates the others), matching the other skyline algorithms in
+    this package.
+
+    The returned indices are sorted in ascending order so that all skyline
+    implementations produce byte-identical outputs.
+    """
+    data = as_dataset(points)
+    n = data.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+
+    window: List[int] = []
+    for i in range(n):
+        candidate = data[i]
+        dominated = False
+        surviving: List[int] = []
+        for j in window:
+            other = data[j]
+            if np.all(other <= candidate) and np.any(other < candidate):
+                dominated = True
+                surviving = window  # candidate discarded; window unchanged
+                break
+            if np.all(candidate <= other) and np.any(candidate < other):
+                continue  # drop the dominated window member
+            surviving.append(j)
+        if dominated:
+            continue
+        surviving.append(i)
+        window = surviving
+    return np.array(sorted(window), dtype=np.intp)
+
+
+def skyline_bnl(points: ArrayLike2D) -> np.ndarray:
+    """Return the skyline points (rows) of ``points`` via block-nested-loop."""
+    data = as_dataset(points)
+    return data[skyline_bnl_indices(data)]

@@ -1,0 +1,56 @@
+"""Pareto-dominance helpers shared by the skyline algorithms.
+
+All helpers use minimisation semantics: ``p`` dominates ``q`` when ``p`` is
+no larger than ``q`` on every attribute and strictly smaller on at least one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import ArrayLike2D, PointLike
+from repro.core.dominance import as_dataset, as_point
+from repro.errors import DimensionMismatchError
+
+
+def dominates(p: PointLike, q: PointLike) -> bool:
+    """Return ``True`` when ``p`` Pareto-dominates ``q`` (strictly better
+    somewhere, never worse)."""
+    pa, qa = as_point(p), as_point(q)
+    if pa.size != qa.size:
+        raise DimensionMismatchError("points must share the same dimensionality")
+    return bool(np.all(pa <= qa) and np.any(pa < qa))
+
+
+def dominates_or_equal(p: PointLike, q: PointLike) -> bool:
+    """Return ``True`` when ``p`` is no worse than ``q`` on every attribute.
+
+    Unlike :func:`dominates` this is reflexive; it is the "weak dominance"
+    used when deduplicating identical points.
+    """
+    pa, qa = as_point(p), as_point(q)
+    if pa.size != qa.size:
+        raise DimensionMismatchError("points must share the same dimensionality")
+    return bool(np.all(pa <= qa))
+
+
+def dominance_count(points: ArrayLike2D, q: PointLike) -> int:
+    """Number of points in ``points`` that dominate ``q``."""
+    data = as_dataset(points)
+    qa = as_point(q)
+    if data.shape[0] == 0:
+        return 0
+    if data.shape[1] != qa.size:
+        raise DimensionMismatchError("dataset and point dimensionality differ")
+    le = np.all(data <= qa, axis=1)
+    lt = np.any(data < qa, axis=1)
+    return int(np.count_nonzero(le & lt))
+
+
+def is_skyline_point(points: ArrayLike2D, q: PointLike) -> bool:
+    """Return ``True`` when ``q`` is not dominated by any point in ``points``.
+
+    ``q`` itself may or may not belong to ``points``; exact duplicates of
+    ``q`` inside ``points`` do not count as dominators.
+    """
+    return dominance_count(points, q) == 0

@@ -1,0 +1,59 @@
+"""Two-dimensional ``O(n log n)`` skyline sweep.
+
+The classic plane-sweep: sort points by the first attribute (breaking ties by
+the second), scan in order, and keep a point exactly when its second
+attribute is strictly smaller than the minimum second attribute seen so far
+among points with a strictly smaller first attribute.  This is the
+``O(n log n)`` routine Algorithm 2 of the paper relies on after mapping the
+eclipse problem to a two-dimensional skyline problem.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro._types import ArrayLike2D, IndexArray
+from repro.core.dominance import as_dataset
+from repro.errors import InvalidDatasetError
+
+
+def skyline_sweep_2d_indices(points: ArrayLike2D) -> IndexArray:
+    """Return skyline indices of a strictly two-dimensional dataset.
+
+    Raises :class:`~repro.errors.InvalidDatasetError` when the dataset is not
+    two-dimensional.  Duplicate points are all retained.
+    """
+    data = as_dataset(points)
+    n = data.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if data.shape[1] != 2:
+        raise InvalidDatasetError(
+            f"skyline_sweep_2d requires d=2 data, got d={data.shape[1]}"
+        )
+
+    order = np.lexsort((data[:, 1], data[:, 0]))
+    skyline: List[int] = []
+    best_y = np.inf          # smallest y among points with strictly smaller x
+    group_x = None           # x value of the current tie group
+    group_min_y = np.inf     # smallest y within the current tie group
+    for idx in order:
+        x, y = data[idx]
+        if group_x is None or x != group_x:
+            best_y = min(best_y, group_min_y)
+            group_x = x
+            group_min_y = np.inf
+        # A point survives when no point with strictly smaller x has y <= its
+        # own y, and no point with the same x has a strictly smaller y.
+        if y < best_y and y <= group_min_y:
+            skyline.append(int(idx))
+        group_min_y = min(group_min_y, y)
+    return np.array(sorted(skyline), dtype=np.intp)
+
+
+def skyline_sweep_2d(points: ArrayLike2D) -> np.ndarray:
+    """Return the skyline points (rows) of a two-dimensional dataset."""
+    data = as_dataset(points)
+    return data[skyline_sweep_2d_indices(data)]

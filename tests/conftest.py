@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+
+
+@pytest.fixture
+def hotels() -> np.ndarray:
+    """The four-hotel running example of the paper (distance, price)."""
+    return np.array(
+        [
+            [1.0, 6.0],  # p1
+            [4.0, 4.0],  # p2
+            [6.0, 1.0],  # p3
+            [8.0, 5.0],  # p4
+        ]
+    )
+
+
+@pytest.fixture
+def paper_ratio() -> RatioVector:
+    """The ratio range [1/4, 2] used throughout the paper's running example."""
+    return RatioVector.uniform(0.25, 2.0, 2)
+
+
+@pytest.fixture(params=["corr", "inde", "anti"])
+def distribution(request) -> str:
+    """The three synthetic distributions of the evaluation."""
+    return request.param
+
+
+def small_dataset(distribution: str, dimensions: int, n: int = 120, seed: int = 5):
+    """Helper used by cross-algorithm tests (kept small so BASE stays fast)."""
+    return generate_dataset(distribution, n, dimensions, seed=seed)

@@ -1,0 +1,67 @@
+"""Tests for the baseline eclipse algorithm (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import eclipse_baseline, eclipse_baseline_indices
+from repro.core.dominance import eclipse_dominates
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import DimensionMismatchError
+
+
+class TestBaseline:
+    def test_paper_example(self, hotels, paper_ratio):
+        assert eclipse_baseline_indices(hotels, paper_ratio).tolist() == [0, 1, 2]
+
+    def test_returns_points_not_indices(self, hotels, paper_ratio):
+        points = eclipse_baseline(hotels, paper_ratio)
+        np.testing.assert_allclose(points, hotels[[0, 1, 2]])
+
+    def test_accepts_plain_pair_spec(self, hotels):
+        assert eclipse_baseline_indices(hotels, (0.25, 2.0)).tolist() == [0, 1, 2]
+
+    def test_empty_dataset(self):
+        assert eclipse_baseline_indices(np.empty((0, 2)), (0.5, 2.0)).size == 0
+
+    def test_single_point_is_always_returned(self):
+        assert eclipse_baseline_indices([[3.0, 4.0]], (0.5, 2.0)).tolist() == [0]
+
+    def test_duplicates_all_returned(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [5.0, 5.0]])
+        assert eclipse_baseline_indices(data, (0.5, 2.0)).tolist() == [0, 1]
+
+    def test_dimension_mismatch(self, hotels):
+        with pytest.raises(DimensionMismatchError):
+            eclipse_baseline_indices(hotels, RatioVector.uniform(0.5, 2.0, 3))
+
+    def test_result_is_exactly_the_non_dominated_set(self):
+        data = generate_dataset("inde", 60, 3, seed=8)
+        ratios = RatioVector.uniform(0.4, 2.5, 3)
+        result = set(eclipse_baseline_indices(data, ratios).tolist())
+        for i in range(data.shape[0]):
+            dominated = any(
+                eclipse_dominates(data[j], data[i], ratios)
+                for j in range(data.shape[0])
+                if j != i
+            )
+            assert (i not in result) == dominated
+
+    @pytest.mark.parametrize("dimensions", [2, 3, 4, 5])
+    def test_degenerate_range_returns_all_score_minimisers(self, dimensions):
+        data = generate_dataset("corr", 100, dimensions, seed=1)
+        ratios = RatioVector.exact([1.0] * (dimensions - 1))
+        result = eclipse_baseline_indices(data, ratios)
+        scores = data @ np.ones(dimensions)
+        assert np.allclose(scores[result], scores.min())
+
+    def test_narrow_range_returns_subset_of_wide_range(self):
+        """Monotonicity: a narrower ratio range has a larger domination region
+        (flat angle at the 1NN end, right angle at the skyline end), so it
+        returns a subset of the wider range's result — the trend of Table VIII."""
+        data = generate_dataset("anti", 150, 3, seed=6)
+        narrow = set(eclipse_baseline_indices(data, (0.84, 1.19)).tolist())
+        wide = set(eclipse_baseline_indices(data, (0.18, 5.67)).tolist())
+        assert narrow <= wide

@@ -1,0 +1,78 @@
+"""Tests for the result-size estimator (Tables VI–VIII support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import expected_eclipse_points, ratio_range_for_target_size
+from repro.errors import InvalidDatasetError
+
+
+class TestExpectedEclipsePoints:
+    def test_returns_reasonable_estimate(self):
+        estimate = expected_eclipse_points(256, 3, 0.36, 2.75, trials=4, seed=0)
+        assert 1.0 <= estimate.mean <= 30.0
+        assert estimate.trials == 4
+        assert float(estimate) == estimate.mean
+
+    def test_deterministic_given_seed(self):
+        a = expected_eclipse_points(128, 3, 0.5, 2.0, trials=3, seed=7)
+        b = expected_eclipse_points(128, 3, 0.5, 2.0, trials=3, seed=7)
+        assert a.mean == b.mean
+
+    def test_more_dimensions_more_points(self):
+        """Table VII's trend: the count grows quickly with d."""
+        low = expected_eclipse_points(512, 2, 0.36, 2.75, trials=6, seed=1).mean
+        high = expected_eclipse_points(512, 4, 0.36, 2.75, trials=6, seed=1).mean
+        assert high > low
+
+    def test_wider_range_more_points(self):
+        """Table VIII's trend: wider ratio ranges return more points."""
+        wide = expected_eclipse_points(512, 3, 0.18, 5.67, trials=6, seed=2).mean
+        narrow = expected_eclipse_points(512, 3, 0.84, 1.19, trials=6, seed=2).mean
+        assert wide >= narrow
+
+    def test_n_has_small_impact(self):
+        """Table VI's trend: the count is nearly flat in n."""
+        small = expected_eclipse_points(128, 3, 0.36, 2.75, trials=6, seed=3).mean
+        large = expected_eclipse_points(2048, 3, 0.36, 2.75, trials=6, seed=3).mean
+        assert large < small * 4
+
+    def test_custom_generator(self):
+        def constant(n, d, rng):
+            import numpy as np
+
+            return np.tile(np.linspace(1, 2, d), (n, 1))
+
+        estimate = expected_eclipse_points(
+            64, 3, 0.5, 2.0, trials=2, seed=0, generator=constant
+        )
+        # All points identical: none dominates another, all are returned.
+        assert estimate.mean == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=0, dimensions=3, ratio_low=0.5, ratio_high=2.0),
+            dict(n=10, dimensions=1, ratio_low=0.5, ratio_high=2.0),
+            dict(n=10, dimensions=3, ratio_low=0.5, ratio_high=2.0, trials=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidDatasetError):
+            expected_eclipse_points(**kwargs)
+
+
+class TestRatioRangeForTargetSize:
+    def test_returns_valid_range(self):
+        low, high = ratio_range_for_target_size(256, 3, target=5, trials=2, seed=0)
+        assert 0 < low <= 1 <= high
+
+    def test_larger_target_gives_wider_range(self):
+        few = ratio_range_for_target_size(256, 3, target=2, trials=2, seed=0)
+        many = ratio_range_for_target_size(256, 3, target=12, trials=2, seed=0)
+        assert (many[1] - many[0]) >= (few[1] - few[0]) - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(InvalidDatasetError):
+            ratio_range_for_target_size(256, 3, target=0)

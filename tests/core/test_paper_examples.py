@@ -1,0 +1,143 @@
+"""Tests asserting the exact worked examples of the paper.
+
+Covers the running example of Figures 1–3 and 5 (hotels), the dominance
+examples of Section II, Example 2 (boundary-value checking), Example 3 (the
+intercept mapping values), and Examples 4/5 + Table III (the dual-space
+index walkthrough).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.dominance import eclipse_dominates, score, skyline_dominates
+from repro.core.transform import eclipse_transform_indices, map_to_intercept_space
+from repro.core.weights import RatioVector
+from repro.geometry.arrangement2d import Arrangement2D
+from repro.geometry.dual import dual_hyperplanes
+from repro.index.eclipse_index import EclipseIndex
+from repro.knn.linear import nearest_neighbor_index
+from repro.skyline.api import skyline_indices
+
+P1, P2, P3, P4 = 0, 1, 2, 3
+
+
+class TestFigure1OneNN:
+    def test_scores_with_weights_2_1(self, hotels):
+        # S(p1) = 2*1 + 6 = 8 is the smallest score (Figure 1).
+        weights = [2.0, 1.0]
+        assert score(hotels[P1], weights) == pytest.approx(8.0)
+        assert nearest_neighbor_index(hotels, weights) == P1
+
+    def test_p1_1nn_dominates_everything_with_ratio_2(self, hotels):
+        ratios = RatioVector.exact([2.0])
+        for other in (P2, P3, P4):
+            assert eclipse_dominates(hotels[P1], hotels[other], ratios)
+
+
+class TestFigure2Skyline:
+    def test_skyline_is_p1_p2_p3(self, hotels):
+        assert skyline_indices(hotels).tolist() == [P1, P2, P3]
+
+    def test_p1_does_not_skyline_dominate_p4(self, hotels):
+        # Stated explicitly in the introduction: p1 ⊀s p4 but p1 ≺e p4.
+        assert not skyline_dominates(hotels[P1], hotels[P4])
+
+
+class TestFigure3Eclipse:
+    def test_eclipse_is_p1_p2_p3(self, hotels, paper_ratio):
+        assert eclipse_baseline_indices(hotels, paper_ratio).tolist() == [P1, P2, P3]
+        assert eclipse_transform_indices(hotels, paper_ratio).tolist() == [P1, P2, P3]
+
+    def test_p1_eclipse_dominates_p4(self, hotels, paper_ratio):
+        assert eclipse_dominates(hotels[P1], hotels[P4], paper_ratio)
+
+    def test_eclipse_points_do_not_dominate_each_other(self, hotels, paper_ratio):
+        for a in (P1, P2, P3):
+            for b in (P1, P2, P3):
+                if a != b:
+                    assert not eclipse_dominates(hotels[a], hotels[b], paper_ratio)
+
+    def test_domination_lines_of_p1(self, hotels, paper_ratio):
+        # For p1 the domination lines are y = -2x + 8 and y = -x/4 + 6.25:
+        # their y-intercepts are the two corner scores of p1.
+        corners = paper_ratio.corner_weight_vectors()
+        scores = corners @ hotels[P1]
+        assert sorted(np.round(scores, 6).tolist()) == [6.25, 8.0]
+
+
+class TestExample2BoundaryChecking:
+    def test_corner_scores_of_p2_and_p4(self, hotels, paper_ratio):
+        # S(p2)_{1/4} = 5, S(p2)_{2} = 12, S(p4)_{1/4} = 7, S(p4)_{2} = 21.
+        assert score(hotels[P2], [0.25, 1.0]) == pytest.approx(5.0)
+        assert score(hotels[P2], [2.0, 1.0]) == pytest.approx(12.0)
+        assert score(hotels[P4], [0.25, 1.0]) == pytest.approx(7.0)
+        assert score(hotels[P4], [2.0, 1.0]) == pytest.approx(21.0)
+        assert eclipse_dominates(hotels[P2], hotels[P4], paper_ratio)
+
+
+class TestExample3InterceptMapping:
+    def test_mapped_points_match_figure5(self, hotels, paper_ratio):
+        mapped = map_to_intercept_space(hotels, paper_ratio)
+        expected = np.array(
+            [
+                [4.0, 6.25],
+                [6.0, 5.0],
+                [6.5, 2.5],
+                [10.5, 7.0],
+            ]
+        )
+        np.testing.assert_allclose(mapped, expected)
+
+    def test_skyline_of_mapped_points_gives_eclipse(self, hotels, paper_ratio):
+        mapped = map_to_intercept_space(hotels, paper_ratio)
+        assert skyline_indices(mapped).tolist() == [P1, P2, P3]
+
+
+class TestSection4DualSpaceExample:
+    """Example 4/5 and Table III: the dual lines of p1, p2, p3."""
+
+    def intersections_x(self, hotels):
+        skyline = hotels[[P1, P2, P3]]
+        duals = dual_hyperplanes(skyline)
+        arrangement = Arrangement2D(duals)
+        return {
+            tuple(sorted(pair.pair)): pair.x_coordinate()
+            for pair in arrangement.intersections
+        }
+
+    def test_dual_lines(self, hotels):
+        duals = dual_hyperplanes(hotels[[P1, P2, P3]])
+        # p1(1, 6) -> y = x - 6, p2(4, 4) -> y = 4x - 4, p3(6, 1) -> y = 6x - 1.
+        assert duals[0].evaluate([0.0]) == pytest.approx(-6.0)
+        assert duals[1].evaluate([1.0]) == pytest.approx(0.0)
+        assert duals[2].evaluate([0.5]) == pytest.approx(2.0)
+
+    def test_intersection_x_coordinates(self, hotels):
+        xs = self.intersections_x(hotels)
+        assert xs[(0, 1)] == pytest.approx(-2.0 / 3.0)  # p1p2[x]
+        assert xs[(0, 2)] == pytest.approx(-1.0)        # p1p3[x]
+        assert xs[(1, 2)] == pytest.approx(-1.5)        # p2p3[x]
+
+    def test_order_vector_of_last_interval(self, hotels):
+        # Interval (-2/3, 0] stores ov4 = <2, 1, 0> (Figure 7).
+        duals = dual_hyperplanes(hotels[[P1, P2, P3]])
+        arrangement = Arrangement2D(duals)
+        assert arrangement.order_vector_at(-0.25).tolist() == [2, 1, 0]
+
+    def test_number_of_intervals(self, hotels):
+        duals = dual_hyperplanes(hotels[[P1, P2, P3]])
+        arrangement = Arrangement2D(duals)
+        # (u choose 2) + 1 = 4 intervals for u = 3.
+        assert arrangement.num_intervals == 4
+
+    def test_index_query_matches_example5(self, hotels, paper_ratio):
+        index = EclipseIndex(backend="quadtree").build(hotels)
+        assert index.query_indices(paper_ratio).tolist() == [P1, P2, P3]
+        stats = index.last_query_stats
+        # All three intersections lie inside the dual query range [-2, -1/4].
+        assert stats.num_candidates == 3
+        assert stats.num_skyline == 3
+        assert stats.num_eclipse == 3

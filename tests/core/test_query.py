@@ -1,0 +1,113 @@
+"""Tests for the EclipseQuery facade and the EclipseResult container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import EclipseQuery, EclipseResult, eclipse
+from repro.core.weights import ImportanceCategory, RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import AlgorithmNotSupportedError, InvalidWeightRangeError
+
+
+class TestEclipseQuery:
+    def test_default_method_is_transform(self, hotels):
+        result = EclipseQuery(hotels).run(ratios=(0.25, 2.0))
+        assert result.method == "transform"
+        assert result.indices.tolist() == [0, 1, 2]
+
+    @pytest.mark.parametrize(
+        "method, canonical",
+        [
+            ("base", "baseline"),
+            ("baseline", "baseline"),
+            ("tran", "transform"),
+            ("quad", "quadtree"),
+            ("quadtree", "quadtree"),
+            ("cutting", "cutting"),
+        ],
+    )
+    def test_method_aliases(self, hotels, method, canonical):
+        result = EclipseQuery(hotels).run(ratios=(0.25, 2.0), method=method)
+        assert result.method == canonical
+        assert result.indices.tolist() == [0, 1, 2]
+
+    def test_unknown_method(self, hotels):
+        with pytest.raises(AlgorithmNotSupportedError):
+            EclipseQuery(hotels).run(ratios=(0.25, 2.0), method="magic")
+
+    def test_default_ratios_from_constructor(self, hotels):
+        query = EclipseQuery(hotels, ratios=(0.25, 2.0))
+        assert query.run().indices.tolist() == [0, 1, 2]
+
+    def test_missing_ratios_default_to_skyline(self, hotels):
+        result = EclipseQuery(hotels).run()
+        assert result.indices.tolist() == [0, 1, 2]
+        assert result.ratios.is_skyline
+
+    def test_category_spec(self, hotels):
+        result = EclipseQuery(hotels).run(
+            ratios=[ImportanceCategory.SIMILAR], method="baseline"
+        )
+        assert set(result.indices.tolist()) <= {0, 1, 2}
+
+    def test_index_is_cached_between_queries(self, hotels):
+        query = EclipseQuery(hotels)
+        query.run(ratios=(0.25, 2.0), method="quad")
+        index_first = query.build_index("quad")
+        query.run(ratios=(0.5, 1.5), method="quad")
+        assert query.build_index("quad") is index_first
+
+    def test_build_index_rejects_non_index_method(self, hotels):
+        with pytest.raises(AlgorithmNotSupportedError):
+            EclipseQuery(hotels).build_index("transform")
+
+    def test_all_methods_agree_on_random_data(self):
+        data = generate_dataset("anti", 150, 3, seed=13)
+        query = EclipseQuery(data)
+        reference = query.run(ratios=(0.36, 2.75), method="baseline").index_set()
+        for method in ("transform", "quad", "cutting"):
+            assert query.run(ratios=(0.36, 2.75), method=method).index_set() == reference
+
+    def test_empty_dataset(self):
+        query = EclipseQuery(np.empty((0, 3)))
+        result = query.run(ratios=RatioVector.uniform(0.5, 2.0, 3))
+        assert len(result) == 0
+
+    def test_empty_dataset_requires_explicit_ratio_vector(self):
+        query = EclipseQuery(np.empty((0, 3)))
+        with pytest.raises(InvalidWeightRangeError):
+            query.run(ratios=(0.5, 2.0))
+
+    def test_run_indices_shortcut(self, hotels):
+        assert EclipseQuery(hotels).run_indices(ratios=(0.25, 2.0)).tolist() == [0, 1, 2]
+
+    def test_properties(self, hotels):
+        query = EclipseQuery(hotels, ratios=(0.25, 2.0))
+        assert query.num_points == 4
+        assert query.dimensions == 2
+        assert query.default_ratios is not None
+
+
+class TestEclipseResult:
+    def test_len_iter_and_index_set(self, hotels):
+        result = EclipseQuery(hotels).run(ratios=(0.25, 2.0))
+        assert len(result) == 3
+        assert result.index_set() == {0, 1, 2}
+        assert len(list(iter(result))) == 3
+
+    def test_points_match_indices(self, hotels):
+        result = EclipseQuery(hotels).run(ratios=(0.25, 2.0))
+        np.testing.assert_allclose(result.points, hotels[result.indices])
+
+    def test_result_is_dataclass_frozen(self, hotels):
+        result = EclipseQuery(hotels).run(ratios=(0.25, 2.0))
+        with pytest.raises(AttributeError):
+            result.method = "other"
+
+
+class TestFunctionalHelper:
+    def test_eclipse_function(self, hotels):
+        points = eclipse(hotels, (0.25, 2.0))
+        np.testing.assert_allclose(points, hotels[[0, 1, 2]])

@@ -1,0 +1,51 @@
+"""Tests for the Figure 4 relationships between eclipse and the other operators."""
+
+from __future__ import annotations
+
+from repro.core.relationships import (
+    convex_hull_points,
+    nearest_neighbor,
+    query_relationships,
+)
+from repro.data.generators import generate_dataset
+
+
+class TestRunningExample:
+    def test_convex_hull_query_is_p1_p3(self, hotels):
+        # Section II-C: the origin-view convex hull returns p1, p3 (not p4).
+        hull = convex_hull_points(hotels)
+        assert {tuple(p) for p in hull} == {(1.0, 6.0), (6.0, 1.0)}
+
+    def test_nearest_neighbor(self, hotels):
+        assert tuple(nearest_neighbor(hotels, [2.0, 1.0])) == (1.0, 6.0)
+
+    def test_report_on_hotels(self, hotels, paper_ratio):
+        report = query_relationships(hotels, paper_ratio, nn_weights=[2.0, 1.0])
+        assert report.eclipse_within_skyline
+        assert report.hull_within_skyline
+        assert report.nn_within_eclipse
+        assert report.nn_index == 0
+        assert set(report.eclipse.tolist()) == {0, 1, 2}
+        assert set(report.skyline.tolist()) == {0, 1, 2}
+        assert set(report.convex_hull.tolist()) == {0, 2}
+
+
+class TestContainments:
+    def test_containments_hold_on_random_data(self, distribution):
+        data = generate_dataset(distribution, 150, 3, seed=4)
+        report = query_relationships(
+            data, (0.36, 2.75), nn_weights=[1.0, 1.0, 1.0]
+        )
+        assert report.eclipse_within_skyline
+        assert report.hull_within_skyline
+
+    def test_nn_in_eclipse_when_weights_inside_range(self, distribution):
+        data = generate_dataset(distribution, 150, 3, seed=9)
+        # weights <1, 1, 1> have ratios 1, inside [0.36, 2.75].
+        report = query_relationships(data, (0.36, 2.75), nn_weights=[1.0, 1.0, 1.0])
+        assert report.nn_within_eclipse
+
+    def test_nn_report_without_weights(self, hotels, paper_ratio):
+        report = query_relationships(hotels, paper_ratio)
+        assert report.nn_index is None
+        assert report.nn_within_eclipse  # vacuously true

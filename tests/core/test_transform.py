@@ -1,0 +1,146 @@
+"""Tests for the transformation-based eclipse algorithms (TRAN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.transform import (
+    eclipse_transform_indices,
+    map_to_corner_scores,
+    map_to_intercept_space,
+)
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import (
+    AlgorithmNotSupportedError,
+    DimensionMismatchError,
+    InvalidWeightRangeError,
+)
+
+
+class TestCornerScoreMapping:
+    def test_shape(self):
+        data = generate_dataset("inde", 50, 4, seed=1)
+        ratios = RatioVector.uniform(0.5, 2.0, 4)
+        assert map_to_corner_scores(data, ratios).shape == (50, 8)
+
+    def test_values_are_corner_scores(self, hotels, paper_ratio):
+        mapped = map_to_corner_scores(hotels, paper_ratio)
+        corners = paper_ratio.corner_weight_vectors()
+        np.testing.assert_allclose(mapped, hotels @ corners.T)
+
+    def test_empty_dataset(self):
+        ratios = RatioVector.uniform(0.5, 2.0, 3)
+        assert map_to_corner_scores(np.empty((0, 3)), ratios).shape == (0, 4)
+
+    def test_dimension_mismatch(self, hotels):
+        with pytest.raises(DimensionMismatchError):
+            map_to_corner_scores(hotels, RatioVector.uniform(0.5, 2.0, 3))
+
+
+class TestInterceptMapping:
+    def test_paper_example_values(self, hotels, paper_ratio):
+        mapped = map_to_intercept_space(hotels, paper_ratio)
+        np.testing.assert_allclose(
+            mapped, [[4.0, 6.25], [6.0, 5.0], [6.5, 2.5], [10.5, 7.0]]
+        )
+
+    def test_rejects_zero_upper_bound(self, hotels):
+        with pytest.raises(InvalidWeightRangeError):
+            map_to_intercept_space(hotels, RatioVector.uniform(0.0, 0.0, 2))
+
+    def test_two_dimensional_equivalence_with_corner_mapping(self):
+        data = generate_dataset("anti", 200, 2, seed=9)
+        ratios = RatioVector.uniform(0.3, 3.0, 2)
+        via_intercept = eclipse_transform_indices(data, ratios, mapping="intercept")
+        via_corner = eclipse_transform_indices(data, ratios, mapping="corner")
+        assert via_intercept.tolist() == via_corner.tolist()
+
+    def test_high_d_intercept_mapping_is_subset_of_true_result(self):
+        """Reproduction finding: Algorithm 3's mapping can under-report.
+
+        The d selected corner vectors used by the intercept mapping do not
+        imply dominance on the remaining 2^{d-1} - d corners, so its result
+        is a subset of the true eclipse set (never a superset).
+        """
+        for seed in range(5):
+            data = generate_dataset("inde", 150, 4, seed=seed)
+            ratios = RatioVector.uniform(0.36, 2.75, 4)
+            truth = set(eclipse_baseline_indices(data, ratios).tolist())
+            via_intercept = set(
+                eclipse_transform_indices(data, ratios, mapping="intercept").tolist()
+            )
+            assert via_intercept <= truth
+
+    def test_high_d_intercept_mapping_counterexample_exists(self):
+        """At least one seed exhibits a strict subset (the documented gap)."""
+        strict = False
+        for seed in range(8):
+            data = generate_dataset("inde", 200, 4, seed=seed)
+            ratios = RatioVector.uniform(0.36, 2.75, 4)
+            truth = set(eclipse_baseline_indices(data, ratios).tolist())
+            via_intercept = set(
+                eclipse_transform_indices(data, ratios, mapping="intercept").tolist()
+            )
+            if via_intercept < truth:
+                strict = True
+                break
+        assert strict, "expected the intercept mapping to drop at least one point"
+
+
+class TestEclipseTransform:
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_matches_baseline(self, distribution, dimensions):
+        data = generate_dataset(distribution, 120, dimensions, seed=5)
+        ratios = RatioVector.uniform(0.36, 2.75, dimensions)
+        expected = eclipse_baseline_indices(data, ratios).tolist()
+        assert eclipse_transform_indices(data, ratios).tolist() == expected
+
+    def test_skyline_instantiation(self):
+        data = generate_dataset("anti", 150, 3, seed=2)
+        ratios = RatioVector.skyline(3)
+        from repro.skyline.api import skyline_indices
+
+        assert (
+            eclipse_transform_indices(data, ratios).tolist()
+            == skyline_indices(data).tolist()
+        )
+
+    def test_1nn_instantiation(self):
+        data = generate_dataset("inde", 150, 3, seed=2)
+        ratios = RatioVector.exact([0.8, 1.3])
+        from repro.knn.linear import nearest_neighbor_index
+
+        result = eclipse_transform_indices(data, ratios)
+        nn = nearest_neighbor_index(data, [0.8, 1.3, 1.0])
+        assert nn in result.tolist()
+        # Every returned point must tie the optimum score (no strictly better point).
+        scores = data @ np.array([0.8, 1.3, 1.0])
+        assert np.allclose(scores[result], scores.min())
+
+    def test_zero_ratio_range_supported_by_corner_mapping(self):
+        # [0, 0] ranges mean "ignore that attribute"; the corner mapping
+        # handles them while the intercept mapping cannot.
+        data = generate_dataset("inde", 80, 3, seed=4)
+        ratios = RatioVector.from_bounds([0.0, 0.5], [0.0, 2.0])
+        expected = eclipse_baseline_indices(data, ratios).tolist()
+        assert eclipse_transform_indices(data, ratios).tolist() == expected
+
+    def test_unknown_mapping(self, hotels, paper_ratio):
+        with pytest.raises(AlgorithmNotSupportedError):
+            eclipse_transform_indices(hotels, paper_ratio, mapping="bogus")
+
+    def test_empty_dataset(self):
+        ratios = RatioVector.uniform(0.5, 2.0, 3)
+        assert eclipse_transform_indices(np.empty((0, 3)), ratios).size == 0
+
+    def test_single_point(self):
+        ratios = RatioVector.uniform(0.5, 2.0, 2)
+        assert eclipse_transform_indices([[1.0, 2.0]], ratios).tolist() == [0]
+
+    def test_duplicates_all_kept(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [3.0, 3.0]])
+        ratios = RatioVector.uniform(0.5, 2.0, 2)
+        assert eclipse_transform_indices(data, ratios).tolist() == [0, 1]

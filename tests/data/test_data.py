@@ -1,0 +1,183 @@
+"""Tests for the data substrate: generators, dataset container, NBA, worst case."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.generators import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_dataset,
+    generate_independent,
+)
+from repro.data.nba import (
+    NBA_ATTRIBUTES,
+    NBA_NUM_PLAYERS,
+    generate_nba_dataset,
+    nba_minimization_points,
+)
+from repro.data.worst_case import generate_worst_case
+from repro.errors import (
+    AlgorithmNotSupportedError,
+    DimensionMismatchError,
+    InvalidDatasetError,
+)
+from repro.skyline.api import skyline_indices
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator", [generate_independent, generate_correlated, generate_anticorrelated]
+    )
+    def test_shape_and_bounds(self, generator):
+        data = generator(500, 4, seed=0)
+        assert data.shape == (500, 4)
+        assert np.all(data >= 0.0) and np.all(data <= 1.0)
+
+    @pytest.mark.parametrize(
+        "generator", [generate_independent, generate_correlated, generate_anticorrelated]
+    )
+    def test_deterministic_given_seed(self, generator):
+        np.testing.assert_allclose(generator(50, 3, seed=5), generator(50, 3, seed=5))
+
+    def test_correlation_structure(self):
+        corr = np.corrcoef(generate_correlated(4000, 2, seed=1).T)[0, 1]
+        anti = np.corrcoef(generate_anticorrelated(4000, 2, seed=1).T)[0, 1]
+        assert corr > 0.5
+        assert anti < -0.3
+
+    def test_skyline_sizes_reflect_distributions(self):
+        """ANTI produces far more skyline points than CORR (the paper's premise)."""
+        corr = skyline_indices(generate_correlated(2000, 3, seed=2)).size
+        inde = skyline_indices(generate_independent(2000, 3, seed=2)).size
+        anti = skyline_indices(generate_anticorrelated(2000, 3, seed=2)).size
+        assert corr <= inde <= anti
+        assert anti > 3 * corr
+
+    def test_dispatch_by_name(self):
+        for name in ("INDE", "CORR", "ANTI", "independent", "correlated"):
+            assert generate_dataset(name, 10, 2, seed=0).shape == (10, 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(AlgorithmNotSupportedError):
+            generate_dataset("zipf", 10, 2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidDatasetError):
+            generate_independent(-1, 2)
+        with pytest.raises(InvalidDatasetError):
+            generate_independent(10, 0)
+
+    def test_empty(self):
+        assert generate_anticorrelated(0, 3).shape == (0, 3)
+
+
+class TestDataset:
+    def test_orientation_conversion(self):
+        dataset = Dataset(
+            values=np.array([[10.0, 1.0], [5.0, 3.0]]),
+            attribute_names=["points", "price"],
+            larger_is_better=[True, False],
+        )
+        converted = dataset.to_minimization()
+        np.testing.assert_allclose(converted[:, 0], [0.0, 5.0])
+        np.testing.assert_allclose(converted[:, 1], [1.0, 3.0])
+
+    def test_normalized_range(self):
+        dataset = Dataset(values=np.array([[10.0, 1.0], [5.0, 3.0], [0.0, 2.0]]))
+        normalized = dataset.normalized()
+        assert normalized.min() >= 0.0 and normalized.max() <= 1.0
+
+    def test_constant_attribute_normalises_to_zero(self):
+        dataset = Dataset(values=np.array([[1.0, 5.0], [2.0, 5.0]]))
+        assert np.all(dataset.normalized()[:, 1] == 0.0)
+
+    def test_subset_and_labels(self):
+        dataset = Dataset(
+            values=np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]),
+            labels=["a", "b", "c"],
+        )
+        sub = dataset.subset([2, 0])
+        assert sub.labels == ["c", "a"]
+        assert sub.label_of(0) == "c"
+        assert dataset.label_of(1) == "b"
+
+    def test_default_attribute_names(self):
+        dataset = Dataset(values=np.ones((2, 3)))
+        assert dataset.attribute_names == ["attr_1", "attr_2", "attr_3"]
+
+    def test_describe(self):
+        text = Dataset(values=np.ones((2, 2)), name="demo").describe()
+        assert "demo" in text and "attr_1" in text
+
+    def test_validation(self):
+        with pytest.raises(DimensionMismatchError):
+            Dataset(values=np.ones((2, 2)), attribute_names=["only_one"])
+        with pytest.raises(InvalidDatasetError):
+            Dataset(values=np.ones((2, 2)), labels=["just_one"])
+
+
+class TestNBADataset:
+    def test_shape_and_attributes(self):
+        dataset = generate_nba_dataset()
+        assert dataset.num_points == NBA_NUM_PLAYERS
+        assert dataset.dimensions == 5
+        assert dataset.attribute_names == list(NBA_ATTRIBUTES)
+        assert all(dataset.larger_is_better)
+
+    def test_values_are_nonnegative_integers(self):
+        values = generate_nba_dataset(n=200).values
+        assert np.all(values >= 0)
+        np.testing.assert_allclose(values, np.round(values))
+
+    def test_attributes_positively_correlated(self):
+        values = generate_nba_dataset().values
+        corr = np.corrcoef(values.T)
+        off_diagonal = corr[~np.eye(5, dtype=bool)]
+        assert np.all(off_diagonal > 0.2)
+
+    def test_minimization_helper(self):
+        data = nba_minimization_points(n=500, dimensions=3)
+        assert data.shape == (500, 3)
+        assert np.all(data >= 0.0) and np.all(data <= 1.0)
+
+    def test_deterministic(self):
+        a = generate_nba_dataset(seed=7).values
+        b = generate_nba_dataset(seed=7).values
+        np.testing.assert_allclose(a, b)
+
+    def test_small_skyline_like_correlated_data(self):
+        """Correlated career stats imply a small skyline — the NBA data's role."""
+        data = nba_minimization_points(n=1000, dimensions=3)
+        assert skyline_indices(data).size < 100
+
+
+class TestWorstCase:
+    def test_all_points_are_skyline_points(self):
+        data = generate_worst_case(100, 3, seed=0)
+        assert skyline_indices(data).size == 100
+
+    def test_intersections_cluster(self):
+        """The dual intersections concentrate near x = -slope (the worst case)."""
+        from repro.geometry.dual import dual_hyperplanes
+        from repro.geometry.hyperplane import pairwise_intersections
+
+        data = generate_worst_case(30, 2, slope=1.0, curvature=1e-3, seed=1)
+        xs = [p.x_coordinate() for p in pairwise_intersections(dual_hyperplanes(data))]
+        assert np.std(xs) < 0.05
+        assert abs(np.mean(xs) + 1.0) < 0.05
+
+    def test_positive_last_coordinate(self):
+        data = generate_worst_case(200, 4, seed=2)
+        assert np.all(data[:, -1] > 0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidDatasetError):
+            generate_worst_case(10, 1)
+        with pytest.raises(InvalidDatasetError):
+            generate_worst_case(10, 3, curvature=0.0)
+
+    def test_empty(self):
+        assert generate_worst_case(0, 3).shape == (0, 3)

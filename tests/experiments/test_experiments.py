@@ -1,0 +1,161 @@
+"""Tests for the experiment harness, table/figure runners, and the user study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.experiments.figures import (
+    run_impact_of_d,
+    run_impact_of_n,
+    run_impact_of_ratio,
+    run_worst_case_d,
+    run_worst_case_n,
+)
+from repro.experiments.harness import (
+    ALGORITHMS,
+    AlgorithmTiming,
+    ExperimentResult,
+    full_sweep_enabled,
+    time_algorithms,
+    time_callable,
+)
+from repro.experiments.report import render_series_table, render_simple_table
+from repro.experiments.tables import (
+    PAPER_TABLE7,
+    run_count_vs_d,
+    run_count_vs_n,
+    run_count_vs_ratio,
+)
+from repro.experiments.user_study import PAPER_TABLE5, SYSTEMS, run_user_study
+
+
+class TestHarness:
+    def test_time_callable_measures_something(self):
+        assert time_callable(lambda: sum(range(1000))) >= 0.0
+
+    def test_time_algorithms_runs_all_four(self):
+        data = generate_dataset("inde", 100, 3, seed=0)
+        ratios = RatioVector.uniform(0.36, 2.75, 3)
+        timings = time_algorithms(data, ratios)
+        assert {t.algorithm for t in timings} == set(ALGORITHMS)
+        sizes = {t.result_size for t in timings}
+        assert len(sizes) == 1  # all algorithms agree on the result size
+
+    def test_baseline_limit_skips_base(self):
+        data = generate_dataset("inde", 100, 3, seed=0)
+        ratios = RatioVector.uniform(0.36, 2.75, 3)
+        timings = time_algorithms(data, ratios, baseline_limit=10)
+        assert "BASE" not in {t.algorithm for t in timings}
+
+    def test_experiment_result_accumulates(self):
+        result = ExperimentResult(name="demo", parameter="n")
+        result.add(10, [AlgorithmTiming("TRAN", 0.1, 3)])
+        result.add(20, [AlgorithmTiming("TRAN", 0.2, 4)])
+        assert result.series("TRAN") == [0.1, 0.2]
+        assert result.result_sizes("TRAN") == [3, 4]
+        assert "TRAN" in result.to_text()
+
+    def test_full_sweep_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SWEEP", raising=False)
+        assert not full_sweep_enabled()
+        monkeypatch.setenv("REPRO_FULL_SWEEP", "1")
+        assert full_sweep_enabled()
+
+    def test_total_seconds_includes_build(self):
+        timing = AlgorithmTiming("QUAD", 0.5, 3, build_seconds=1.0)
+        assert timing.total_seconds == pytest.approx(1.5)
+
+
+class TestReport:
+    def test_simple_table_alignment(self):
+        text = render_simple_table("t", ["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "30" in text
+
+    def test_series_table(self):
+        text = render_series_table(
+            "fig", "n", [128, 256], {"TRAN": [0.1, 0.2], "QUAD": [0.01]}
+        )
+        assert "TRAN" in text and "QUAD" in text and "-" in text
+
+
+class TestCountTables:
+    def test_table6_small_sweep(self):
+        result = run_count_vs_n(n_values=[64, 256], trials=3, seed=0)
+        assert len(result.values) == 2
+        assert all(count >= 1 for count in result.counts)
+        assert "Table VI" in result.to_text()
+
+    def test_table7_monotone_in_d(self):
+        result = run_count_vs_d(d_values=(2, 3, 4), n=256, trials=4, seed=0)
+        assert result.counts[0] < result.counts[-1]
+        assert set(result.values) <= set(PAPER_TABLE7) | {2, 3, 4}
+
+    def test_table8_monotone_in_range_width(self):
+        result = run_count_vs_ratio(n=256, trials=4, seed=0)
+        # Wider ranges (first row) return at least as many points as narrow
+        # ones (last row) — the trend of Table VIII.
+        assert result.counts[0] >= result.counts[-1]
+
+
+class TestFigureRunners:
+    def test_figure10_orders_algorithms(self):
+        result = run_impact_of_n(
+            dataset="INDE", n_values=[128, 256], dimensions=3
+        )
+        assert set(result.timings) == set(ALGORITHMS)
+        # The index-based query is faster than the baseline at the largest n.
+        assert result.series("QUAD")[-1] < result.series("BASE")[-1]
+
+    def test_figure11_runs_across_dimensions(self):
+        result = run_impact_of_d(dataset="CORR", d_values=(2, 3), n=128)
+        assert result.values == [2, 3]
+        assert len(result.series("TRAN")) == 2
+
+    def test_figure12_ratio_sweep(self):
+        result = run_impact_of_ratio(dataset="INDE", n=256, dimensions=3)
+        assert len(result.values) == 4
+        assert set(result.timings) == {"QUAD", "CUTTING"}
+
+    def test_figure13_worst_case(self):
+        result = run_worst_case_n(n_values=[64, 128], dimensions=3)
+        assert set(result.timings) == {"QUAD", "CUTTING"}
+        assert len(result.series("CUTTING")) == 2
+
+    def test_figure14_worst_case_dimensions(self):
+        result = run_worst_case_d(d_values=(3, 4), n=64)
+        assert result.values == [3, 4]
+
+    def test_nba_dataset_runner(self):
+        result = run_impact_of_n(
+            dataset="NBA", n_values=[300], dimensions=3, algorithms=["TRAN", "QUAD"]
+        )
+        assert set(result.timings) == {"TRAN", "QUAD"}
+
+
+class TestUserStudy:
+    def test_counts_sum_to_respondents(self):
+        result = run_user_study(respondents=61, seed=17)
+        assert sum(result.counts.values()) == 61
+        assert set(result.counts) == set(SYSTEMS)
+
+    def test_eclipse_category_preferred(self):
+        """The qualitative outcome of Table V: the category system wins."""
+        result = run_user_study(respondents=61, seed=17)
+        assert result.preferred_system == "eclipse-category"
+
+    def test_deterministic_given_seed(self):
+        assert run_user_study(seed=3).counts == run_user_study(seed=3).counts
+
+    def test_render(self):
+        text = run_user_study(seed=1).to_text()
+        assert "Table V" in text
+        for system in SYSTEMS:
+            assert system in text
+
+    def test_paper_reference_counts_recorded(self):
+        assert sum(PAPER_TABLE5.values()) == 61

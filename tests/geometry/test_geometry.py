@@ -1,0 +1,221 @@
+"""Tests for the geometry substrate: boxes, duality, intersections, arrangement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, InvalidDatasetError
+from repro.geometry.arrangement2d import Arrangement2D
+from repro.geometry.boxes import Box
+from repro.geometry.dual import DualHyperplane, dual_hyperplane, dual_hyperplanes
+from repro.geometry.hyperplane import (
+    IntersectionHyperplane,
+    hyperplanes_intersect_box_mask,
+    intersection_of,
+    pairwise_intersection_arrays,
+    pairwise_intersections,
+)
+
+
+class TestBox:
+    def test_basic_properties(self):
+        box = Box(np.array([-2.0, -3.0]), np.array([-1.0, 0.0]))
+        assert box.dimensions == 2
+        np.testing.assert_allclose(box.center, [-1.5, -1.5])
+        np.testing.assert_allclose(box.widths, [1.0, 3.0])
+        assert box.volume() == pytest.approx(3.0)
+
+    def test_from_intervals(self):
+        box = Box.from_intervals([(-2, -1), (-3, 0)])
+        np.testing.assert_allclose(box.lows, [-2, -3])
+
+    def test_contains_and_intersects(self):
+        outer = Box(np.array([0.0, 0.0]), np.array([4.0, 4.0]))
+        inner = Box(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        disjoint = Box(np.array([5.0, 5.0]), np.array([6.0, 6.0]))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.intersects_box(inner)
+        assert not outer.intersects_box(disjoint)
+        assert outer.contains_point([2.0, 2.0])
+        assert not outer.contains_point([5.0, 2.0])
+
+    def test_clip(self):
+        a = Box(np.array([0.0]), np.array([4.0]))
+        b = Box(np.array([2.0]), np.array([6.0]))
+        clipped = a.clip(b)
+        assert clipped.lows[0] == 2.0 and clipped.highs[0] == 4.0
+
+    def test_linear_range_is_exact(self):
+        box = Box(np.array([-2.0, 1.0]), np.array([3.0, 5.0]))
+        coeffs = np.array([2.0, -1.0])
+        lo, hi = box.linear_range(coeffs, offset=1.0)
+        corners = box.corners() @ coeffs + 1.0
+        assert lo == pytest.approx(corners.min())
+        assert hi == pytest.approx(corners.max())
+
+    def test_corners_count(self):
+        box = Box(np.zeros(3), np.ones(3))
+        assert box.corners().shape == (8, 3)
+
+    def test_split(self):
+        box = Box(np.zeros(2), np.ones(2))
+        children = box.split()
+        assert len(children) == 4
+        assert sum(child.volume() for child in children) == pytest.approx(1.0)
+
+    def test_split_at(self):
+        box = Box(np.zeros(2), np.ones(2))
+        left, right = box.split_at(0, 0.25)
+        assert left.highs[0] == 0.25 and right.lows[0] == 0.25
+
+    def test_validation(self):
+        with pytest.raises(InvalidDatasetError):
+            Box(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(InvalidDatasetError):
+            Box(np.array([]), np.array([]))
+        with pytest.raises(DimensionMismatchError):
+            Box(np.zeros(2), np.ones(2)).intersects_box(Box(np.zeros(3), np.ones(3)))
+
+
+class TestDuality:
+    def test_dual_of_paper_point(self):
+        # p1(1, 6) -> y = x - 6.
+        dual = dual_hyperplane([1.0, 6.0])
+        assert dual.evaluate([0.0]) == pytest.approx(-6.0)
+        assert dual.evaluate([2.0]) == pytest.approx(-4.0)
+
+    def test_score_identity(self):
+        # f(-r) = -S(p).
+        dual = dual_hyperplane([2.0, 3.0, 5.0])
+        ratios = [0.7, 1.3]
+        assert dual.score_at_ratio(ratios) == pytest.approx(0.7 * 2 + 1.3 * 3 + 5)
+
+    def test_round_trip(self):
+        point = np.array([2.0, 3.0, 5.0])
+        np.testing.assert_allclose(dual_hyperplane(point).to_point(), point)
+
+    def test_indices_preserved(self, hotels):
+        duals = dual_hyperplanes(hotels)
+        assert [d.index for d in duals] == [0, 1, 2, 3]
+
+    def test_value_range_matches_corner_evaluation(self):
+        dual = dual_hyperplane([2.0, 3.0, 5.0])
+        box = Box(np.array([-2.0, -1.0]), np.array([-0.5, -0.25]))
+        lo, hi = dual.value_range(box)
+        values = [dual.evaluate(c) for c in box.corners()]
+        assert lo == pytest.approx(min(values))
+        assert hi == pytest.approx(max(values))
+
+    def test_needs_two_dimensions(self):
+        with pytest.raises(InvalidDatasetError):
+            dual_hyperplane([1.0])
+
+
+class TestIntersections:
+    def test_paper_intersections(self, hotels):
+        duals = dual_hyperplanes(hotels[[0, 1, 2]])
+        pairs = {tuple(sorted(p.pair)): p for p in pairwise_intersections(duals)}
+        assert pairs[(0, 1)].x_coordinate() == pytest.approx(-2 / 3)
+        assert pairs[(0, 2)].x_coordinate() == pytest.approx(-1.0)
+        assert pairs[(1, 2)].x_coordinate() == pytest.approx(-1.5)
+
+    def test_degenerate_pairs_skipped(self):
+        duals = dual_hyperplanes([[1.0, 2.0], [1.0, 5.0], [2.0, 1.0]])
+        pairs = pairwise_intersections(duals)
+        assert {tuple(sorted(p.pair)) for p in pairs} == {(0, 2), (1, 2)}
+
+    def test_array_and_object_paths_agree(self):
+        rng = np.random.default_rng(0)
+        duals = dual_hyperplanes(rng.random((12, 3)))
+        objects = pairwise_intersections(duals)
+        pairs, coeffs, rhs = pairwise_intersection_arrays(duals)
+        assert len(objects) == pairs.shape[0]
+        lookup = {tuple(p.pair): p for p in objects}
+        for i in range(pairs.shape[0]):
+            obj = lookup[tuple(pairs[i])]
+            np.testing.assert_allclose(obj.coefficients, coeffs[i])
+            assert obj.rhs == pytest.approx(rhs[i])
+
+    def test_intersects_box(self):
+        inter = IntersectionHyperplane(
+            coefficients=np.array([1.0]), rhs=-1.0, first=0, second=1
+        )
+        assert inter.intersects_box(Box(np.array([-2.0]), np.array([0.0])))
+        assert not inter.intersects_box(Box(np.array([-0.5]), np.array([0.0])))
+
+    def test_vectorised_mask_matches_object_test(self):
+        rng = np.random.default_rng(1)
+        duals = dual_hyperplanes(rng.random((10, 4)))
+        objects = pairwise_intersections(duals)
+        pairs, coeffs, rhs = pairwise_intersection_arrays(duals)
+        box = Box(-2.0 * np.ones(3), -0.1 * np.ones(3))
+        mask = hyperplanes_intersect_box_mask(coeffs, rhs, box)
+        lookup = {tuple(p.pair): p.intersects_box(box) for p in objects}
+        for i in range(pairs.shape[0]):
+            assert mask[i] == lookup[tuple(pairs[i])]
+
+    def test_x_coordinate_requires_2d(self):
+        inter = IntersectionHyperplane(
+            coefficients=np.array([1.0, 1.0]), rhs=0.0, first=0, second=1
+        )
+        with pytest.raises(DimensionMismatchError):
+            inter.x_coordinate()
+
+    def test_intersection_of_dimension_mismatch(self):
+        a = DualHyperplane(np.array([1.0]), 1.0, 0)
+        b = DualHyperplane(np.array([1.0, 2.0]), 1.0, 1)
+        with pytest.raises(DimensionMismatchError):
+            intersection_of(a, b)
+
+
+class TestArrangement2D:
+    def build(self, hotels):
+        return Arrangement2D(dual_hyperplanes(hotels[[0, 1, 2]]))
+
+    def test_paper_intervals(self, hotels):
+        arrangement = self.build(hotels)
+        assert arrangement.num_intervals == 4
+        np.testing.assert_allclose(arrangement.boundaries, [-1.5, -1.0, -2 / 3])
+
+    def test_paper_order_vectors(self, hotels):
+        arrangement = self.build(hotels)
+        # Figure 7: the four order vectors from left to right.
+        expected = [[0, 1, 2], [0, 2, 1], [1, 2, 0], [2, 1, 0]]
+        actual = [iv.order_vector.tolist() for iv in arrangement.intervals]
+        assert actual == expected
+
+    def test_ranking_of_last_interval(self, hotels):
+        arrangement = self.build(hotels)
+        assert arrangement.intervals[-1].ranking == [2, 1, 0]
+
+    def test_interval_containing_boundaries(self, hotels):
+        arrangement = self.build(hotels)
+        assert arrangement.interval_containing(-1.5).order_vector.tolist() == [0, 1, 2]
+        assert arrangement.interval_containing(-1.2).order_vector.tolist() == [0, 2, 1]
+        assert arrangement.interval_containing(-0.25).order_vector.tolist() == [2, 1, 0]
+
+    def test_intersections_in_range(self, hotels):
+        arrangement = self.build(hotels)
+        assert len(arrangement.intersections_in_range(-2.0, -0.25)) == 3
+        assert len(arrangement.intersections_in_range(-0.5, -0.25)) == 0
+        assert len(arrangement.intersections_in_range(-1.0, -1.0)) == 1
+
+    def test_lazy_mode_matches_dense_mode(self):
+        rng = np.random.default_rng(2)
+        duals = dual_hyperplanes(rng.random((20, 2)) + 0.1)
+        dense = Arrangement2D(duals, dense_threshold=1000)
+        lazy = Arrangement2D(duals, dense_threshold=1)
+        assert dense.is_dense and not lazy.is_dense
+        for x in (-3.0, -1.0, -0.4, -0.05):
+            assert dense.order_vector_at(x).tolist() == lazy.order_vector_at(x).tolist()
+
+    def test_rejects_higher_dimensional_duals(self):
+        with pytest.raises(DimensionMismatchError):
+            Arrangement2D(dual_hyperplanes(np.random.default_rng(0).random((4, 3))))
+
+    def test_empty_arrangement(self):
+        arrangement = Arrangement2D([])
+        with pytest.raises(InvalidDatasetError):
+            arrangement.interval_containing(-1.0)

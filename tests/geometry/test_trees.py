@@ -1,0 +1,143 @@
+"""Tests for the line quadtree and the cutting tree (Intersection Index backends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DimensionMismatchError
+from repro.geometry.boxes import Box
+from repro.geometry.cutting import CuttingTree
+from repro.geometry.dual import dual_hyperplanes
+from repro.geometry.hyperplane import (
+    hyperplanes_intersect_box_mask,
+    pairwise_intersection_arrays,
+)
+from repro.geometry.quadtree import LineQuadtree
+
+
+def make_hyperplanes(n_points: int, dimensions: int, seed: int = 0):
+    """Pairwise intersection hyperplanes of random dual hyperplanes."""
+    rng = np.random.default_rng(seed)
+    duals = dual_hyperplanes(rng.random((n_points, dimensions)) + 0.05)
+    return pairwise_intersection_arrays(duals)
+
+
+def domain(dual_dims: int, max_ratio: float = 10.0) -> Box:
+    return Box(np.full(dual_dims, -max_ratio), np.zeros(dual_dims))
+
+
+def brute_force_query(coeffs, rhs, box):
+    return set(np.flatnonzero(hyperplanes_intersect_box_mask(coeffs, rhs, box)).tolist())
+
+
+class TestQuadtree:
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_query_is_exact(self, dimensions):
+        pairs, coeffs, rhs = make_hyperplanes(30, dimensions, seed=1)
+        dom = domain(dimensions - 1)
+        tree = LineQuadtree(coeffs, rhs, dom, capacity=16)
+        for lo, hi in ((-3.0, -0.2), (-1.0, -0.9), (-9.0, -0.01)):
+            box = Box(np.full(dimensions - 1, lo), np.full(dimensions - 1, hi))
+            expected = brute_force_query(coeffs, rhs, box)
+            assert set(tree.query(box).tolist()) == expected
+
+    def test_query_outside_domain_is_still_exact(self):
+        pairs, coeffs, rhs = make_hyperplanes(20, 2, seed=2)
+        tree = LineQuadtree(coeffs, rhs, domain(1, max_ratio=2.0), capacity=4)
+        box = Box(np.array([-50.0]), np.array([0.0]))
+        assert set(tree.query(box).tolist()) == brute_force_query(coeffs, rhs, box)
+
+    def test_splitting_reduces_leaf_load(self):
+        pairs, coeffs, rhs = make_hyperplanes(40, 2, seed=3)
+        tree = LineQuadtree(coeffs, rhs, domain(1), capacity=8)
+        assert tree.node_count() > 1
+        assert tree.max_leaf_load() < coeffs.shape[0]
+
+    def test_capacity_validation(self):
+        pairs, coeffs, rhs = make_hyperplanes(5, 2, seed=0)
+        with pytest.raises(ValueError):
+            LineQuadtree(coeffs, rhs, domain(1), capacity=0)
+
+    def test_dimension_mismatch(self):
+        pairs, coeffs, rhs = make_hyperplanes(5, 3, seed=0)
+        with pytest.raises(DimensionMismatchError):
+            LineQuadtree(coeffs, rhs, domain(1))
+        tree = LineQuadtree(coeffs, rhs, domain(2))
+        with pytest.raises(DimensionMismatchError):
+            tree.query(Box(np.array([-1.0]), np.array([0.0])))
+
+    def test_empty_tree(self):
+        tree = LineQuadtree(np.empty((0, 1)), np.empty(0), domain(1))
+        assert tree.query(Box(np.array([-1.0]), np.array([0.0]))).size == 0
+
+    def test_node_budget_bounds_tree_size(self):
+        pairs, coeffs, rhs = make_hyperplanes(60, 3, seed=5)
+        tree = LineQuadtree(coeffs, rhs, domain(2), capacity=1, max_nodes=64)
+        # The budget is soft: in-flight recursion levels may each add one more
+        # (leaf-only) sibling set after the budget is exhausted.
+        assert tree.node_count() <= 64 + 4 * tree.depth
+
+
+class TestCuttingTree:
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_query_is_exact(self, dimensions):
+        pairs, coeffs, rhs = make_hyperplanes(30, dimensions, seed=7)
+        dom = domain(dimensions - 1)
+        tree = CuttingTree(coeffs, rhs, dom, capacity=16, seed=0)
+        for lo, hi in ((-3.0, -0.2), (-1.0, -0.9), (-9.0, -0.01)):
+            box = Box(np.full(dimensions - 1, lo), np.full(dimensions - 1, hi))
+            expected = brute_force_query(coeffs, rhs, box)
+            assert set(tree.query(box).tolist()) == expected
+
+    def test_deterministic_given_seed(self):
+        pairs, coeffs, rhs = make_hyperplanes(25, 3, seed=9)
+        a = CuttingTree(coeffs, rhs, domain(2), seed=3)
+        b = CuttingTree(coeffs, rhs, domain(2), seed=3)
+        assert a.node_count() == b.node_count()
+        assert a.depth == b.depth
+
+    def test_cells_reduce_load(self):
+        pairs, coeffs, rhs = make_hyperplanes(40, 2, seed=11)
+        tree = CuttingTree(coeffs, rhs, domain(1), capacity=8, seed=0)
+        assert tree.max_cell_load() < coeffs.shape[0]
+
+    def test_balanced_on_clustered_input(self):
+        """The worst-case scenario of Figures 13/14: clustered intersections.
+
+        The cutting tree's data-driven splits keep it shallower than the
+        midpoint quadtree on inputs whose intersections cluster tightly.
+        """
+        from repro.data.worst_case import generate_worst_case
+
+        data = generate_worst_case(48, 2, seed=0)
+        duals = dual_hyperplanes(data)
+        pairs, coeffs, rhs = pairwise_intersection_arrays(duals)
+        dom = domain(1, max_ratio=128.0)
+        quad = LineQuadtree(coeffs, rhs, dom, capacity=8)
+        cut = CuttingTree(coeffs, rhs, dom, capacity=8, seed=0)
+        assert cut.depth <= quad.depth
+
+    def test_empty_tree(self):
+        tree = CuttingTree(np.empty((0, 2)), np.empty(0), domain(2))
+        assert tree.query(Box(-np.ones(2), np.zeros(2))).size == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    lo=st.floats(min_value=-8.0, max_value=-0.5),
+    width=st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_trees_agree_with_brute_force(seed, lo, width):
+    """Property: both trees return exactly the brute-force candidate set."""
+    pairs, coeffs, rhs = make_hyperplanes(15, 3, seed=seed)
+    dom = domain(2)
+    hi = min(lo + width, 0.0)
+    box = Box(np.full(2, lo), np.full(2, hi))
+    expected = brute_force_query(coeffs, rhs, box)
+    quad = LineQuadtree(coeffs, rhs, dom, capacity=4)
+    cut = CuttingTree(coeffs, rhs, dom, capacity=4, seed=1)
+    assert set(quad.query(box).tolist()) == expected
+    assert set(cut.query(box).tolist()) == expected

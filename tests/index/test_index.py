@@ -1,0 +1,206 @@
+"""Tests for the Order Vector Index, Intersection Index, and EclipseIndex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.data.worst_case import generate_worst_case
+from repro.errors import (
+    AlgorithmNotSupportedError,
+    DimensionMismatchError,
+    IndexNotBuiltError,
+)
+from repro.geometry.boxes import Box
+from repro.geometry.dual import dual_hyperplanes
+from repro.index.eclipse_index import EclipseIndex, eclipse_index_query
+from repro.index.intersection import IntersectionIndex
+from repro.index.order_vector import OrderVectorIndex
+
+
+class TestOrderVectorIndex:
+    def test_paper_initial_state(self, hotels, paper_ratio):
+        duals = dual_hyperplanes(hotels[[0, 1, 2]])
+        index = OrderVectorIndex(duals)
+        box = Box(lows=-paper_ratio.highs, highs=-paper_ratio.lows)
+        state = index.initial_state(box)
+        # At x = -1/4 the order (closest first) is p3, p2, p1 -> counts 2,1,0.
+        assert state.counts.tolist() == [2, 1, 0]
+        assert state.initially_above(2, 0)
+        assert not state.initially_above(0, 2)
+
+    def test_high_dimensional_counts_are_score_ranks(self):
+        data = generate_dataset("inde", 30, 3, seed=1)
+        duals = dual_hyperplanes(data)
+        index = OrderVectorIndex(duals)
+        ratios = RatioVector.uniform(0.5, 2.0, 3)
+        box = Box(lows=-ratios.highs, highs=-ratios.lows)
+        state = index.initial_state(box)
+        scores = data @ np.array([0.5, 0.5, 1.0])  # the all-lows corner
+        expected = np.array([(scores < s).sum() for s in scores])
+        assert state.counts.tolist() == expected.tolist()
+
+    def test_arrangement_only_built_for_2d(self):
+        duals_2d = dual_hyperplanes(generate_dataset("inde", 10, 2, seed=0))
+        duals_3d = dual_hyperplanes(generate_dataset("inde", 10, 3, seed=0))
+        assert OrderVectorIndex(duals_2d).arrangement is not None
+        assert OrderVectorIndex(duals_3d).arrangement is None
+
+    def test_arrangement_skipped_above_limit(self):
+        duals = dual_hyperplanes(generate_dataset("inde", 10, 2, seed=0))
+        index = OrderVectorIndex(duals, max_arrangement_lines=5)
+        assert index.arrangement is None
+
+    def test_empty_index(self):
+        index = OrderVectorIndex([])
+        state = index.initial_state(Box(np.array([-1.0]), np.array([-0.5])))
+        assert state.counts.size == 0
+
+    def test_mixed_dimensionality_rejected(self):
+        duals = dual_hyperplanes([[1.0, 2.0]]) + dual_hyperplanes([[1.0, 2.0, 3.0]])
+        with pytest.raises(DimensionMismatchError):
+            OrderVectorIndex(duals)
+
+
+class TestIntersectionIndex:
+    def make(self, dimensions, backend, n=25, seed=3, **kwargs):
+        data = generate_dataset("anti", n, dimensions, seed=seed)
+        duals = dual_hyperplanes(data)
+        return IntersectionIndex(duals, backend=backend, **kwargs), duals
+
+    @pytest.mark.parametrize("backend", ["quadtree", "cutting", "scan"])
+    @pytest.mark.parametrize("dimensions", [3, 4])
+    def test_candidates_match_scan(self, backend, dimensions):
+        index, duals = self.make(dimensions, backend)
+        reference, _ = self.make(dimensions, "scan")
+        box = Box(np.full(dimensions - 1, -2.75), np.full(dimensions - 1, -0.36))
+        got = {tuple(p) for p in index.candidates(box).pairs}
+        expected = {tuple(p) for p in reference.candidates(box).pairs}
+        assert got == expected
+
+    def test_sorted_backend_for_2d(self):
+        index, _ = self.make(2, "auto")
+        assert index.backend == "sorted"
+        box = Box(np.array([-2.0]), np.array([-0.25]))
+        scan, _ = self.make(2, "scan")
+        got = {tuple(p) for p in index.candidates(box).pairs}
+        expected = {tuple(p) for p in scan.candidates(box).pairs}
+        assert got == expected
+
+    def test_sorted_backend_rejected_for_high_d(self):
+        with pytest.raises(AlgorithmNotSupportedError):
+            self.make(3, "sorted")
+
+    def test_unknown_backend(self):
+        with pytest.raises(AlgorithmNotSupportedError):
+            self.make(3, "btree")
+
+    def test_out_of_domain_query_falls_back_to_scan(self):
+        index, _ = self.make(3, "quadtree", max_ratio=2.0)
+        scan, _ = self.make(3, "scan")
+        box = Box(np.full(2, -50.0), np.full(2, -0.1))
+        got = {tuple(p) for p in index.candidates(box).pairs}
+        expected = {tuple(p) for p in scan.candidates(box).pairs}
+        assert got == expected
+
+    def test_empty_input(self):
+        index = IntersectionIndex([], backend="scan")
+        assert index.num_pairs == 0
+
+    def test_candidate_set_to_hyperplanes(self):
+        index, _ = self.make(2, "auto", n=6)
+        box = Box(np.array([-5.0]), np.array([-0.1]))
+        candidates = index.candidates(box)
+        objects = candidates.to_hyperplanes()
+        assert len(objects) == len(candidates)
+
+
+class TestEclipseIndex:
+    @pytest.mark.parametrize("backend", ["quadtree", "cutting", "scan"])
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_matches_baseline(self, backend, dimensions, distribution):
+        data = generate_dataset(distribution, 120, dimensions, seed=5)
+        ratios = RatioVector.uniform(0.36, 2.75, dimensions)
+        expected = eclipse_baseline_indices(data, ratios).tolist()
+        index = EclipseIndex(backend=backend).build(data)
+        assert index.query_indices(ratios).tolist() == expected
+
+    def test_reusable_across_ratio_ranges(self):
+        data = generate_dataset("anti", 200, 3, seed=6)
+        index = EclipseIndex(backend="quadtree").build(data)
+        for low, high in ((0.18, 5.67), (0.36, 2.75), (0.58, 1.73), (0.84, 1.19)):
+            ratios = RatioVector.uniform(low, high, 3)
+            expected = eclipse_baseline_indices(data, ratios).tolist()
+            assert index.query_indices(ratios).tolist() == expected
+
+    def test_query_before_build_raises(self):
+        with pytest.raises(IndexNotBuiltError):
+            EclipseIndex().query_indices((0.5, 2.0))
+
+    def test_two_dimensional_backend_is_sorted(self, hotels):
+        for backend in ("quadtree", "cutting"):
+            index = EclipseIndex(backend=backend).build(hotels)
+            assert index.backend == "sorted"
+
+    def test_stats_populated(self, hotels, paper_ratio):
+        index = EclipseIndex(backend="quadtree").build(hotels)
+        index.query_indices(paper_ratio)
+        stats = index.last_query_stats
+        assert stats.num_skyline == 3
+        assert stats.num_eclipse == 3
+
+    def test_skyline_indices_exposed(self, hotels):
+        index = EclipseIndex().build(hotels)
+        assert index.skyline_indices.tolist() == [0, 1, 2]
+        assert index.num_skyline_points == 3
+        assert index.num_points == 4
+
+    def test_worst_case_data(self):
+        data = generate_worst_case(60, 3, seed=1)
+        ratios = RatioVector.uniform(0.36, 2.75, 3)
+        expected = eclipse_baseline_indices(data, ratios).tolist()
+        for backend in ("quadtree", "cutting"):
+            index = EclipseIndex(backend=backend, capacity=8).build(data)
+            assert index.query_indices(ratios).tolist() == expected
+
+    def test_skyline_and_1nn_instantiations(self):
+        data = generate_dataset("inde", 150, 3, seed=8)
+        index = EclipseIndex(backend="quadtree").build(data)
+        from repro.skyline.api import skyline_indices
+
+        wide = RatioVector.skyline(3)
+        assert index.query_indices(wide).tolist() == skyline_indices(data).tolist()
+        exact = RatioVector.exact([1.0, 1.0])
+        scores = data @ np.ones(3)
+        result = index.query_indices(exact)
+        assert np.allclose(scores[result], scores.min())
+
+    def test_duplicate_points(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [0.5, 2.0], [3.0, 3.0]])
+        ratios = RatioVector.uniform(0.5, 2.0, 2)
+        expected = eclipse_baseline_indices(data, ratios).tolist()
+        index = EclipseIndex().build(data)
+        assert index.query_indices(ratios).tolist() == expected
+
+    def test_empty_dataset(self):
+        index = EclipseIndex().build(np.empty((0, 3)))
+        assert index.query_indices(RatioVector.uniform(0.5, 2.0, 3)).size == 0
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            EclipseIndex().build(np.ones((5, 1)))
+
+    def test_dimension_mismatch_at_query(self, hotels):
+        index = EclipseIndex().build(hotels)
+        with pytest.raises(DimensionMismatchError):
+            index.query_indices(RatioVector.uniform(0.5, 2.0, 3))
+
+    def test_one_shot_helper(self, hotels, paper_ratio):
+        assert eclipse_index_query(hotels, paper_ratio).tolist() == [0, 1, 2]
+
+    def test_query_returns_rows(self, hotels, paper_ratio):
+        index = EclipseIndex().build(hotels)
+        np.testing.assert_allclose(index.query(paper_ratio), hotels[[0, 1, 2]])

@@ -1,0 +1,157 @@
+"""Tests for the kNN substrate: scoring, linear scan, kd-tree, convex hull."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_dataset
+from repro.errors import (
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidDatasetError,
+)
+from repro.knn.convex_hull import convex_hull_indices, is_convex_hull_point
+from repro.knn.kdtree import KDTree
+from repro.knn.linear import knn, knn_indices, nearest_neighbor, nearest_neighbor_index
+from repro.knn.scoring import (
+    weighted_lp_score,
+    weighted_lp_scores,
+    weighted_sum,
+    weighted_sums,
+)
+
+
+class TestScoring:
+    def test_weighted_sum(self):
+        assert weighted_sum([1.0, 6.0], [2.0, 1.0]) == pytest.approx(8.0)
+
+    def test_weighted_sums(self, hotels):
+        np.testing.assert_allclose(
+            weighted_sums(hotels, [2.0, 1.0]), [8.0, 12.0, 13.0, 21.0]
+        )
+
+    def test_lp_score_p1_equals_weighted_sum_for_positive_data(self):
+        assert weighted_lp_score([1.0, 6.0], [2.0, 1.0], p=1) == pytest.approx(8.0)
+
+    def test_lp_score_p2(self):
+        assert weighted_lp_score([3.0, 4.0], [1.0, 1.0], p=2) == pytest.approx(5.0)
+
+    def test_lp_scores_vectorised(self, hotels):
+        np.testing.assert_allclose(
+            weighted_lp_scores(hotels, [1.0, 1.0], p=2),
+            np.sqrt((hotels**2).sum(axis=1)),
+        )
+
+    def test_lp_rejects_p_below_one(self):
+        with pytest.raises(InvalidDatasetError):
+            weighted_lp_score([1.0, 2.0], [1.0, 1.0], p=0.5)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            weighted_sum([1.0, 2.0], [1.0])
+
+
+class TestLinearKnn:
+    def test_1nn_on_paper_example(self, hotels):
+        assert nearest_neighbor_index(hotels, [2.0, 1.0]) == 0
+        np.testing.assert_allclose(nearest_neighbor(hotels, [2.0, 1.0]), [1.0, 6.0])
+
+    def test_knn_order(self, hotels):
+        assert knn_indices(hotels, [2.0, 1.0], k=3).tolist() == [0, 1, 2]
+
+    def test_k_capped_at_n(self, hotels):
+        assert knn_indices(hotels, [1.0, 1.0], k=10).size == 4
+
+    def test_k_must_be_positive(self, hotels):
+        with pytest.raises(InvalidDatasetError):
+            knn_indices(hotels, [1.0, 1.0], k=0)
+
+    def test_empty_dataset(self):
+        with pytest.raises(EmptyDatasetError):
+            knn_indices(np.empty((0, 2)), [1.0, 1.0])
+
+    def test_ties_broken_by_position(self):
+        data = np.array([[2.0, 0.0], [0.0, 2.0], [1.0, 1.0]])
+        assert knn_indices(data, [1.0, 1.0], k=3).tolist() == [0, 1, 2]
+
+    def test_knn_returns_rows(self, hotels):
+        np.testing.assert_allclose(knn(hotels, [2.0, 1.0], k=2), hotels[[0, 1]])
+
+    def test_lp_exponent(self, hotels):
+        l1 = knn_indices(hotels, [1.0, 1.0], k=4, p=1).tolist()
+        l2 = knn_indices(hotels, [1.0, 1.0], k=4, p=2).tolist()
+        assert set(l1) == set(l2) == {0, 1, 2, 3}
+
+
+class TestKDTree:
+    def test_matches_linear_scan(self):
+        data = generate_dataset("inde", 300, 3, seed=4)
+        tree = KDTree(data)
+        for k in (1, 5, 20):
+            _, tree_idx = tree.query(k=k, p=1.0, weights=[1.0, 1.0, 1.0])
+            linear_idx = knn_indices(data, [1.0, 1.0, 1.0], k=k, p=1.0)
+            tree_scores = sorted(np.round(data[tree_idx].sum(axis=1), 9))
+            linear_scores = sorted(np.round(data[linear_idx].sum(axis=1), 9))
+            assert tree_scores == linear_scores
+
+    def test_euclidean_query_from_arbitrary_point(self):
+        data = generate_dataset("inde", 200, 2, seed=5)
+        tree = KDTree(data)
+        query = [0.5, 0.5]
+        distances, indices = tree.query(query, k=3)
+        brute = np.sqrt(((data - query) ** 2).sum(axis=1))
+        np.testing.assert_allclose(np.sort(distances), np.sort(brute)[:3])
+        assert set(indices.tolist()) == set(np.argsort(brute)[:3].tolist())
+
+    def test_distances_sorted_ascending(self):
+        data = generate_dataset("anti", 100, 3, seed=6)
+        distances, _ = KDTree(data).query(k=10)
+        assert np.all(np.diff(distances) >= -1e-12)
+
+    def test_duplicated_points(self):
+        data = np.tile([[1.0, 1.0]], (50, 1))
+        tree = KDTree(data)
+        distances, indices = tree.query([1.0, 1.0], k=5)
+        np.testing.assert_allclose(distances, 0.0)
+        assert indices.size == 5
+
+    def test_validation(self):
+        with pytest.raises(EmptyDatasetError):
+            KDTree(np.empty((0, 2)))
+        tree = KDTree([[1.0, 2.0]])
+        with pytest.raises(InvalidDatasetError):
+            tree.query(k=0)
+        with pytest.raises(DimensionMismatchError):
+            tree.query([1.0, 2.0, 3.0])
+        with pytest.raises(InvalidDatasetError):
+            tree.query([1.0, 2.0], weights=[-1.0, 1.0])
+
+
+class TestConvexHull:
+    def test_paper_example(self, hotels):
+        assert convex_hull_indices(hotels).tolist() == [0, 2]
+        assert is_convex_hull_point(hotels, 0)
+        assert not is_convex_hull_point(hotels, 3)
+
+    def test_hull_subset_of_skyline(self, distribution):
+        from repro.skyline.api import skyline_indices
+
+        data = generate_dataset(distribution, 100, 2, seed=3)
+        hull = set(convex_hull_indices(data).tolist())
+        skyline = set(skyline_indices(data).tolist())
+        assert hull <= skyline
+
+    def test_every_1nn_winner_is_on_hull(self):
+        data = generate_dataset("anti", 80, 2, seed=8)
+        hull = set(convex_hull_indices(data).tolist())
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            w = rng.random(2) + 1e-3
+            assert nearest_neighbor_index(data, w) in hull
+
+    def test_single_point(self):
+        assert convex_hull_indices([[1.0, 2.0]]).tolist() == [0]
+
+    def test_empty(self):
+        assert convex_hull_indices(np.empty((0, 2))).size == 0

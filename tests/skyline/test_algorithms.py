@@ -1,0 +1,111 @@
+"""Tests for the four skyline algorithms and the dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_dataset
+from repro.errors import AlgorithmNotSupportedError, InvalidDatasetError
+from repro.skyline.api import skyline, skyline_indices
+from repro.skyline.bnl import skyline_bnl_indices
+from repro.skyline.divide_conquer import skyline_divide_conquer_indices
+from repro.skyline.dominance import dominates
+from repro.skyline.sfs import skyline_sfs_indices
+from repro.skyline.sweep2d import skyline_sweep_2d_indices
+
+ALL_METHODS = ["bnl", "sfs", "divide_conquer"]
+
+
+def brute_force_skyline(data: np.ndarray) -> list:
+    """Reference implementation: direct application of the definition."""
+    result = []
+    for i in range(data.shape[0]):
+        if not any(
+            dominates(data[j], data[i]) for j in range(data.shape[0]) if j != i
+        ):
+            result.append(i)
+    return result
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_matches_brute_force(self, method, dimensions, distribution):
+        data = generate_dataset(distribution, 80, dimensions, seed=2)
+        expected = brute_force_skyline(data)
+        assert skyline_indices(data, method=method).tolist() == expected
+
+    def test_sweep2d_matches_brute_force(self, distribution):
+        data = generate_dataset(distribution, 120, 2, seed=3)
+        assert skyline_sweep_2d_indices(data).tolist() == brute_force_skyline(data)
+
+
+class TestAlgorithmsAgree:
+    @pytest.mark.parametrize("dimensions", [2, 3, 5])
+    def test_all_methods_identical(self, dimensions):
+        data = generate_dataset("anti", 200, dimensions, seed=7)
+        reference = skyline_bnl_indices(data).tolist()
+        assert skyline_sfs_indices(data).tolist() == reference
+        assert skyline_divide_conquer_indices(data).tolist() == reference
+        if dimensions == 2:
+            assert skyline_sweep_2d_indices(data).tolist() == reference
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("method", ALL_METHODS + ["sweep2d", "auto"])
+    def test_empty_dataset(self, method):
+        assert skyline_indices(np.empty((0, 2)), method=method).size == 0
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_single_point(self, method):
+        assert skyline_indices([[1.0, 2.0, 3.0]], method=method).tolist() == [0]
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_duplicates_all_kept(self, method):
+        data = np.array([[1.0, 2.0], [1.0, 2.0], [0.5, 3.0], [2.0, 2.5]])
+        assert skyline_indices(data, method=method).tolist() == [0, 1, 2]
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_identical_points_everywhere(self, method):
+        data = np.ones((10, 3))
+        assert skyline_indices(data, method=method).tolist() == list(range(10))
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_totally_ordered_chain(self, method):
+        data = np.array([[float(i), float(i)] for i in range(10)])
+        assert skyline_indices(data, method=method).tolist() == [0]
+
+    def test_sweep2d_rejects_higher_dimensions(self):
+        with pytest.raises(InvalidDatasetError):
+            skyline_sweep_2d_indices(np.ones((3, 3)))
+
+    def test_unknown_method(self):
+        with pytest.raises(AlgorithmNotSupportedError):
+            skyline_indices(np.ones((3, 2)), method="bogus")
+
+    def test_auto_dispatch(self):
+        data2 = generate_dataset("inde", 50, 2, seed=0)
+        data4 = generate_dataset("inde", 50, 4, seed=0)
+        assert skyline_indices(data2).tolist() == skyline_bnl_indices(data2).tolist()
+        assert skyline_indices(data4).tolist() == skyline_bnl_indices(data4).tolist()
+
+    def test_skyline_returns_rows(self):
+        data = generate_dataset("corr", 40, 3, seed=1)
+        rows = skyline(data)
+        np.testing.assert_allclose(rows, data[skyline_indices(data)])
+
+    def test_constant_last_attribute_divide_conquer(self):
+        """Degenerate split handling: the last attribute is constant."""
+        rng = np.random.default_rng(0)
+        data = np.column_stack([rng.random(200), rng.random(200), np.ones(200)])
+        expected = brute_force_skyline(data)
+        assert skyline_divide_conquer_indices(data).tolist() == expected
+
+    def test_large_input_divide_conquer_recursion(self):
+        """Inputs above the recursion cutoff exercise the divide step."""
+        data = generate_dataset("anti", 500, 3, seed=11)
+        assert (
+            skyline_divide_conquer_indices(data).tolist()
+            == skyline_sfs_indices(data).tolist()
+        )

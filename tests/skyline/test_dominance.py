@@ -1,0 +1,66 @@
+"""Tests for the Pareto-dominance helpers of the skyline substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DimensionMismatchError
+from repro.skyline.dominance import (
+    dominance_count,
+    dominates,
+    dominates_or_equal,
+    is_skyline_point,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1.0, 2.0], [1.0, 2.0])
+
+    def test_incomparable_points(self):
+        assert not dominates([1.0, 3.0], [2.0, 1.0])
+        assert not dominates([2.0, 1.0], [1.0, 3.0])
+
+    def test_dominates_or_equal_is_reflexive(self):
+        assert dominates_or_equal([1.0, 2.0], [1.0, 2.0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            dominates([1.0], [1.0, 2.0])
+
+
+class TestDominanceCount:
+    def test_counts_only_strict_dominators(self):
+        points = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [3.0, 0.5]])
+        assert dominance_count(points, [2.5, 2.5]) == 2
+        assert dominance_count(points, [1.0, 1.0]) == 0
+
+    def test_empty_dataset(self):
+        assert dominance_count(np.empty((0, 2)), [1.0, 1.0]) == 0
+
+    def test_is_skyline_point(self):
+        points = np.array([[1.0, 3.0], [3.0, 1.0]])
+        assert is_skyline_point(points, [2.0, 2.0])
+        assert not is_skyline_point(points, [4.0, 4.0])
+
+
+coords = st.lists(
+    st.floats(min_value=0, max_value=10, allow_nan=False), min_size=3, max_size=3
+)
+
+
+@given(a=coords, b=coords, c=coords)
+@settings(max_examples=100, deadline=None)
+def test_dominance_is_a_strict_partial_order(a, b, c):
+    """Irreflexivity, asymmetry, and transitivity of Pareto dominance."""
+    assert not dominates(a, a)
+    if dominates(a, b):
+        assert not dominates(b, a)
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestQueryCommand:
+    def test_query_on_generated_data(self, capsys):
+        exit_code = main(
+            ["query", "--dataset", "INDE", "--n", "200", "-d", "3", "--low", "0.36", "--high", "2.75"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "eclipse query" in out
+        assert "points returned" in out
+
+    def test_query_methods(self, capsys):
+        for method in ("baseline", "transform", "quad", "cutting"):
+            assert main(
+                ["query", "--dataset", "CORR", "--n", "100", "-d", "2", "--method", method]
+            ) == 0
+
+    def test_query_from_csv(self, tmp_path, capsys):
+        path = tmp_path / "hotels.csv"
+        path.write_text("distance,price\n1,6\n4,4\n6,1\n8,5\n")
+        assert main(["query", "--input", str(path), "--low", "0.25", "--high", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 of 4 points returned" in out
+
+
+class TestGenerateCommand:
+    def test_generate_writes_csv(self, tmp_path):
+        output = tmp_path / "data.csv"
+        assert main(
+            ["generate", "--dataset", "ANTI", "--n", "50", "-d", "3", "--output", str(output)]
+        ) == 0
+        data = np.loadtxt(output, delimiter=",")
+        assert data.shape == (50, 3)
+
+    def test_generate_nba(self, tmp_path):
+        output = tmp_path / "nba.csv"
+        assert main(
+            ["generate", "--dataset", "NBA", "--n", "100", "-d", "5", "--output", str(output)]
+        ) == 0
+        assert np.loadtxt(output, delimiter=",").shape == (100, 5)
+
+
+class TestExperimentCommand:
+    def test_table5(self, capsys):
+        assert main(["experiment", "table5"]) == 0
+        assert "Table V" in capsys.readouterr().out
+
+    def test_table7(self, capsys):
+        assert main(["experiment", "table7", "--trials", "2"]) == 0
+        assert "Table VII" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "table99"]) == 1
+
+
+class TestParser:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["query"])
+        assert args.dataset == "INDE"
+        assert args.low == pytest.approx(0.36)
