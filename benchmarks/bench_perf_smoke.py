@@ -1,0 +1,249 @@
+"""Perf smoke benchmark: kernel-layer speedups over the seed implementations.
+
+Times ``eclipse_transform`` and ``eclipse_baseline`` over an n-sweep against
+faithful copies of the *seed* (pre-kernel, point-at-a-time) implementations,
+verifies both return byte-identical indices, and writes the results to
+``BENCH_PR1.json`` at the repository root — a machine-readable perf
+trajectory for future PRs to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_smoke.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_perf_smoke.py --fast   # < 60 s
+
+The acceptance workloads of PR 1 are always included:
+``eclipse_transform`` at (n=50 000, d=4, ANTI, ratio (0.36, 2.75)) and
+``eclipse_baseline`` at (n=5 000, d=4, ANTI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.transform import eclipse_transform_indices, map_to_corner_scores
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+
+RATIO = (0.36, 2.75)
+DISTRIBUTION = "anti"
+DIMENSIONS = 4
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+# ----------------------------------------------------------------------
+# Seed implementations (copied from the seed commit, point-at-a-time)
+# ----------------------------------------------------------------------
+def _seed_skyline_sfs_indices(data: np.ndarray) -> np.ndarray:
+    sums = data.sum(axis=1)
+    order = np.lexsort(
+        tuple(data[:, j] for j in range(data.shape[1] - 1, -1, -1)) + (sums,)
+    )
+    skyline: List[int] = []
+    skyline_rows: List[np.ndarray] = []
+    for idx in order:
+        candidate = data[idx]
+        dominated = False
+        for other in skyline_rows:
+            if np.all(other <= candidate) and np.any(other < candidate):
+                dominated = True
+                break
+        if not dominated:
+            skyline.append(int(idx))
+            skyline_rows.append(candidate)
+    return np.array(sorted(skyline), dtype=np.intp)
+
+
+def _seed_dominated_mask(candidates: np.ndarray, dominators: np.ndarray) -> np.ndarray:
+    if candidates.shape[0] == 0 or dominators.shape[0] == 0:
+        return np.zeros(candidates.shape[0], dtype=bool)
+    mask = np.zeros(candidates.shape[0], dtype=bool)
+    for i in range(candidates.shape[0]):
+        c = candidates[i]
+        le = np.all(dominators <= c, axis=1)
+        lt = np.any(dominators < c, axis=1)
+        if np.any(le & lt):
+            mask[i] = True
+    return mask
+
+
+def _seed_skyline_recursive(data: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    n = indices.size
+    if n <= 1:
+        return indices
+    if n <= 64 or data.shape[1] == 2:
+        local = _seed_skyline_sfs_indices(data[indices])
+        return indices[local]
+    last = data[indices, -1]
+    median = np.median(last)
+    low_mask = last <= median
+    if low_mask.all() or not low_mask.any():
+        local = _seed_skyline_sfs_indices(data[indices])
+        return indices[local]
+    sky_low = _seed_skyline_recursive(data, indices[low_mask])
+    sky_high = _seed_skyline_recursive(data, indices[~low_mask])
+    dominated = _seed_dominated_mask(data[sky_high], data[sky_low])
+    return np.concatenate([sky_low, sky_high[~dominated]])
+
+
+def seed_eclipse_transform_indices(data: np.ndarray, ratios: RatioVector) -> np.ndarray:
+    mapped = map_to_corner_scores(data, ratios)
+    result = _seed_skyline_recursive(
+        mapped, np.arange(mapped.shape[0], dtype=np.intp)
+    )
+    return np.sort(result)
+
+
+def seed_eclipse_baseline_indices(data: np.ndarray, ratios: RatioVector) -> np.ndarray:
+    corners = ratios.corner_weight_vectors()
+    corner_scores = data @ corners.T
+    eclipse: List[int] = []
+    for i in range(data.shape[0]):
+        le = np.all(corner_scores <= corner_scores[i], axis=1)
+        lt = np.any(corner_scores < corner_scores[i], axis=1)
+        dominated_by = le & lt
+        dominated_by[i] = False
+        if not dominated_by.any():
+            eclipse.append(i)
+    return np.array(eclipse, dtype=np.intp)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _best_of(fn: Callable[[], np.ndarray], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_workload(
+    workload: str,
+    n: int,
+    repeats: int,
+    seed_fn: Callable[[np.ndarray, RatioVector], np.ndarray],
+    new_fn: Callable[[np.ndarray, RatioVector], np.ndarray],
+) -> dict:
+    data = generate_dataset(DISTRIBUTION, n, DIMENSIONS, seed=0)
+    ratios = RatioVector.uniform(*RATIO, DIMENSIONS)
+    seed_indices = seed_fn(data, ratios)
+    new_indices = new_fn(data, ratios)
+    identical = bool(np.array_equal(seed_indices, new_indices))
+    seed_seconds = _best_of(lambda: seed_fn(data, ratios), repeats)
+    new_seconds = _best_of(lambda: new_fn(data, ratios), repeats)
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": DIMENSIONS,
+        "distribution": DISTRIBUTION.upper(),
+        "ratio": list(RATIO),
+        "result_size": int(new_indices.size),
+        "indices_identical": identical,
+        "seed_seconds": seed_seconds,
+        "new_seconds": new_seconds,
+        "speedup": seed_seconds / new_seconds if new_seconds > 0 else float("inf"),
+    }
+    print(
+        f"{workload:<18} n={n:>7}  seed={seed_seconds:8.3f}s  "
+        f"new={new_seconds:8.3f}s  speedup={entry['speedup']:7.1f}x  "
+        f"identical={identical}"
+    )
+    return entry
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="acceptance workloads only, one repetition (finishes in < 60 s)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT,
+        help=f"where to write the JSON results (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.fast:
+        transform_sweep = [5_000, 50_000]
+        baseline_sweep = [1_000, 5_000]
+        repeats = 1
+    else:
+        transform_sweep = [2_000, 10_000, 50_000, 100_000]
+        baseline_sweep = [1_000, 2_000, 5_000, 10_000]
+        repeats = 3
+
+    entries = []
+    for n in transform_sweep:
+        entries.append(
+            run_workload(
+                "eclipse_transform",
+                n,
+                repeats,
+                seed_eclipse_transform_indices,
+                lambda d, r: eclipse_transform_indices(d, r),
+            )
+        )
+    for n in baseline_sweep:
+        entries.append(
+            run_workload(
+                "eclipse_baseline",
+                n,
+                repeats,
+                seed_eclipse_baseline_indices,
+                lambda d, r: eclipse_baseline_indices(d, r),
+            )
+        )
+
+    acceptance = {
+        "transform_speedup_at_50k": next(
+            e["speedup"]
+            for e in entries
+            if e["workload"] == "eclipse_transform" and e["n"] == 50_000
+        ),
+        "baseline_speedup_at_5k": next(
+            e["speedup"]
+            for e in entries
+            if e["workload"] == "eclipse_baseline" and e["n"] == 5_000
+        ),
+        "all_indices_identical": all(e["indices_identical"] for e in entries),
+    }
+    payload = {
+        "pr": 1,
+        "description": (
+            "Vectorised dominance-kernel engine vs. seed point-at-a-time "
+            "implementations (ANTI, d=4, ratio (0.36, 2.75), best-of timings)"
+        ),
+        "generated_unix_time": time.time(),
+        "fast_mode": bool(args.fast),
+        "acceptance": acceptance,
+        "results": entries,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"acceptance: transform {acceptance['transform_speedup_at_50k']:.1f}x "
+        f"(target >= 10x), baseline {acceptance['baseline_speedup_at_5k']:.1f}x "
+        f"(target >= 5x), identical={acceptance['all_indices_identical']}"
+    )
+    ok = (
+        acceptance["transform_speedup_at_50k"] >= 10
+        and acceptance["baseline_speedup_at_5k"] >= 5
+        and acceptance["all_indices_identical"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

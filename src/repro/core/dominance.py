@@ -163,9 +163,14 @@ def eclipse_dominance_matrix(
     """Return the full ``(n, n)`` boolean eclipse-dominance matrix.
 
     ``matrix[i, j]`` is ``True`` when point ``i`` eclipse-dominates point
-    ``j``.  Intended for small datasets (tests, examples, teaching); the
-    query algorithms never materialise this matrix.
+    ``j``.  The matrix is materialised through the chunked broadcast kernel
+    so the comparison scratch stays memory-bounded, but the output itself is
+    ``O(n^2)`` — the query algorithms never materialise it.
     """
+    # Imported locally: repro.skyline.dominance imports this module, so a
+    # top-level import of the kernels would create an import cycle.
+    from repro.skyline.kernels import dominates_matrix
+
     data = as_dataset(points)
     n = data.shape[0]
     if n and ratios.dimensions != data.shape[1]:
@@ -174,10 +179,6 @@ def eclipse_dominance_matrix(
         )
     corners = ratios.corner_weight_vectors()
     corner_scores = data @ corners.T  # (n, 2^{d-1})
-    matrix = np.zeros((n, n), dtype=bool)
-    for i in range(n):
-        le = np.all(corner_scores[i] <= corner_scores, axis=1)
-        lt = np.any(corner_scores[i] < corner_scores, axis=1)
-        matrix[i] = le & lt
-        matrix[i, i] = False
+    matrix = dominates_matrix(corner_scores, corner_scores)
+    np.fill_diagonal(matrix, False)
     return matrix

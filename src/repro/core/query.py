@@ -102,11 +102,21 @@ class EclipseQuery:
         **index_kwargs,
     ):
         self._data = as_dataset(points)
-        self._default_ratios = (
-            make_ratio_vector(ratios, self._data.shape[1])
-            if ratios is not None and self._data.shape[0]
-            else None
-        )
+        if ratios is None:
+            self._default_ratios = None
+        elif self._data.shape[1]:
+            # Validated even when the dataset has zero rows: an empty
+            # dataset with a known column count still fixes d.
+            self._default_ratios = make_ratio_vector(ratios, self._data.shape[1])
+        elif isinstance(ratios, RatioVector):
+            # Empty dataset with unknown dimensionality: the RatioVector
+            # carries its own d, so it must not be silently discarded.
+            self._default_ratios = ratios
+        else:
+            raise InvalidWeightRangeError(
+                "cannot infer dimensionality for an empty dataset; "
+                "pass a RatioVector explicitly"
+            )
         self._index_kwargs = index_kwargs
         self._indexes: Dict[str, EclipseIndex] = {}
 
@@ -123,8 +133,12 @@ class EclipseQuery:
 
     @property
     def dimensions(self) -> int:
-        """Dimensionality of the dataset."""
-        return int(self._data.shape[1]) if self._data.size else 0
+        """Dimensionality of the dataset.
+
+        Preserved for empty datasets too: a ``(0, d)`` array still knows its
+        column count.
+        """
+        return int(self._data.shape[1])
 
     @property
     def default_ratios(self) -> Optional[RatioVector]:
@@ -151,9 +165,11 @@ class EclipseQuery:
         canonical = self._canonical_method(method)
         if self.num_points == 0:
             empty = np.empty(0, dtype=np.intp)
+            # Indexing with an empty index array keeps the column count, so
+            # an empty result over (0, d) data has shape (0, d), not (0, 0).
             return EclipseResult(
                 indices=empty,
-                points=self._data[empty] if self._data.size else np.empty((0, 0)),
+                points=self._data[empty],
                 method=canonical,
                 ratios=ratio_vector,
             )
@@ -211,13 +227,15 @@ class EclipseQuery:
     def _resolve_ratios(self, ratios) -> RatioVector:
         if ratios is None:
             if self._default_ratios is None:
-                if self.num_points == 0:
+                if self.dimensions == 0:
                     raise InvalidWeightRangeError(
                         "a ratio specification is required for an empty dataset"
                     )
                 return RatioVector.skyline(self.dimensions)
             return self._default_ratios
-        if self.num_points == 0:
+        if self.dimensions == 0:
+            # Empty dataset with unknown column count: only a RatioVector
+            # carries enough information to fix d.
             if isinstance(ratios, RatioVector):
                 return ratios
             raise InvalidWeightRangeError(

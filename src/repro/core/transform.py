@@ -124,6 +124,7 @@ def eclipse_transform_indices(
     ratios,
     skyline_method: str = "auto",
     mapping: str = "corner",
+    collapse_duplicates: bool = False,
 ) -> IndexArray:
     """Return eclipse indices using the transformation algorithm.
 
@@ -143,6 +144,11 @@ def eclipse_transform_indices(
         ``"intercept"`` (the paper's Algorithm 3 mapping; exact for
         ``d = 2``, a lower bound on the result set for ``d >= 3`` — see the
         module docstring).
+    collapse_duplicates:
+        Opt-in fast path for duplicate-heavy data: the skyline of the mapped
+        points is computed over unique mapped rows only and re-expanded
+        afterwards.  Points with identical mapped rows never dominate each
+        other and share the same dominators, so the result is unchanged.
     """
     data = as_dataset(points)
     if data.shape[0] == 0:
@@ -160,7 +166,9 @@ def eclipse_transform_indices(
         raise AlgorithmNotSupportedError(
             f"unknown mapping {mapping!r}; choose from {MAPPINGS}"
         )
-    return skyline_indices(mapped, method=skyline_method)
+    return skyline_indices(
+        mapped, method=skyline_method, collapse_duplicates=collapse_duplicates
+    )
 
 
 def eclipse_transform(
@@ -168,11 +176,16 @@ def eclipse_transform(
     ratios,
     skyline_method: str = "auto",
     mapping: str = "corner",
+    collapse_duplicates: bool = False,
 ) -> np.ndarray:
     """Return the eclipse points (rows) using the transformation algorithm."""
     data = as_dataset(points)
     return data[
         eclipse_transform_indices(
-            data, ratios, skyline_method=skyline_method, mapping=mapping
+            data,
+            ratios,
+            skyline_method=skyline_method,
+            mapping=mapping,
+            collapse_duplicates=collapse_duplicates,
         )
     ]

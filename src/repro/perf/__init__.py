@@ -1,0 +1,27 @@
+"""Performance helpers shared by the vectorised hot paths.
+
+The dominance kernels in :mod:`repro.skyline.kernels` broadcast
+``(B, k, d)`` comparisons; this package owns the memory-budget arithmetic
+that picks the block size ``B`` (:func:`resolve_block_size`,
+:func:`iter_blocks`) and the amortised-growth buffer
+(:class:`GrowableBuffer`) used by the block algorithms to maintain their
+confirmed-skyline windows as contiguous arrays.
+"""
+
+from repro.perf.blocking import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_MEMORY_CAP_BYTES,
+    GrowableBuffer,
+    iter_blocks,
+    memory_cap_bytes,
+    resolve_block_size,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_MEMORY_CAP_BYTES",
+    "GrowableBuffer",
+    "iter_blocks",
+    "memory_cap_bytes",
+    "resolve_block_size",
+]

@@ -25,6 +25,12 @@ from repro.skyline.dominance import (
     dominance_count,
     is_skyline_point,
 )
+from repro.skyline.kernels import (
+    block_sfs_indices,
+    dominated_mask,
+    dominates_matrix,
+    monotone_sort_order,
+)
 from repro.skyline.bnl import skyline_bnl
 from repro.skyline.sfs import skyline_sfs
 from repro.skyline.sweep2d import skyline_sweep_2d
@@ -36,6 +42,10 @@ __all__ = [
     "dominates_or_equal",
     "dominance_count",
     "is_skyline_point",
+    "dominated_mask",
+    "dominates_matrix",
+    "block_sfs_indices",
+    "monotone_sort_order",
     "skyline_bnl",
     "skyline_sfs",
     "skyline_sweep_2d",

@@ -28,7 +28,11 @@ _METHODS: Dict[str, Callable[[ArrayLike2D], IndexArray]] = {
 }
 
 
-def skyline_indices(points: ArrayLike2D, method: str = "auto") -> IndexArray:
+def skyline_indices(
+    points: ArrayLike2D,
+    method: str = "auto",
+    collapse_duplicates: bool = False,
+) -> IndexArray:
     """Return skyline indices of ``points`` using the requested method.
 
     Parameters
@@ -38,25 +42,54 @@ def skyline_indices(points: ArrayLike2D, method: str = "auto") -> IndexArray:
     method:
         One of ``"auto"`` (default), ``"bnl"``, ``"sfs"``, ``"sweep2d"``,
         ``"divide_conquer"``.  ``"auto"`` selects the two-dimensional sweep
-        for ``d = 2`` and divide-and-conquer otherwise, which is the pairing
-        Algorithms 2 and 3 of the paper prescribe.
+        for ``d = 2`` and divide-and-conquer for ``3 <= d <= 4`` — the
+        pairing Algorithms 2 and 3 of the paper prescribe — and switches to
+        block sort-filter-skyline for ``d >= 5``, where the hyperplane
+        splits of divide-and-conquer lose their pruning power and the
+        broadcast kernels of block-SFS are measurably faster (this is the
+        regime of every corner-mapped eclipse space with ``d >= 4``, whose
+        ``2^{d-1}`` strongly correlated columns are block-SFS's best case).
+        All methods return identical indices, so the heuristic is purely a
+        matter of speed.
+    collapse_duplicates:
+        Opt-in fast path for duplicate-heavy data: run the skyline over the
+        unique rows only, then re-expand to the original indices.  Exact
+        duplicates never dominate each other and share the same dominators,
+        so the result is identical to the direct computation — every copy of
+        a skyline row is retained.
     """
     data = as_dataset(points)
-    if method == "auto":
-        if data.shape[0] == 0:
-            return np.empty(0, dtype=np.intp)
-        method = "sweep2d" if data.shape[1] == 2 else "divide_conquer"
-    try:
-        fn = _METHODS[method]
-    except KeyError:
+    if method != "auto" and method not in _METHODS:
         raise AlgorithmNotSupportedError(
             f"unknown skyline method {method!r}; choose from "
             f"{sorted(_METHODS)} or 'auto'"
-        ) from None
-    return fn(data)
+        )
+    if data.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    if collapse_duplicates:
+        unique_rows, inverse = np.unique(data, axis=0, return_inverse=True)
+        if unique_rows.shape[0] < data.shape[0]:
+            unique_sky = skyline_indices(unique_rows, method=method)
+            in_skyline = np.zeros(unique_rows.shape[0], dtype=bool)
+            in_skyline[unique_sky] = True
+            return np.flatnonzero(in_skyline[np.ravel(inverse)]).astype(np.intp)
+    if method == "auto":
+        if data.shape[1] == 2:
+            method = "sweep2d"
+        elif data.shape[1] <= 4:
+            method = "divide_conquer"
+        else:
+            method = "sfs"
+    return _METHODS[method](data)
 
 
-def skyline(points: ArrayLike2D, method: str = "auto") -> np.ndarray:
+def skyline(
+    points: ArrayLike2D,
+    method: str = "auto",
+    collapse_duplicates: bool = False,
+) -> np.ndarray:
     """Return the skyline points (rows) of ``points``."""
     data = as_dataset(points)
-    return data[skyline_indices(data, method=method)]
+    return data[
+        skyline_indices(data, method=method, collapse_duplicates=collapse_duplicates)
+    ]

@@ -28,29 +28,12 @@ import numpy as np
 
 from repro._types import ArrayLike2D, IndexArray
 from repro.core.dominance import as_dataset
+from repro.skyline.kernels import dominated_mask
 from repro.skyline.sfs import skyline_sfs_indices
 from repro.skyline.sweep2d import skyline_sweep_2d_indices
 
 #: Below this size the overhead of recursion outweighs its benefit.
 _SMALL_INPUT_CUTOFF = 64
-
-
-def _dominated_mask(candidates: np.ndarray, dominators: np.ndarray) -> np.ndarray:
-    """Boolean mask over ``candidates``: True where some dominator dominates.
-
-    Uses strict Pareto dominance (<= everywhere, < somewhere).  Runs in
-    ``O(|candidates| * |dominators| * d)`` vectorised operations.
-    """
-    if candidates.shape[0] == 0 or dominators.shape[0] == 0:
-        return np.zeros(candidates.shape[0], dtype=bool)
-    mask = np.zeros(candidates.shape[0], dtype=bool)
-    for i in range(candidates.shape[0]):
-        c = candidates[i]
-        le = np.all(dominators <= c, axis=1)
-        lt = np.any(dominators < c, axis=1)
-        if np.any(le & lt):
-            mask[i] = True
-    return mask
 
 
 def _skyline_recursive(data: np.ndarray, indices: np.ndarray) -> np.ndarray:
@@ -82,7 +65,7 @@ def _skyline_recursive(data: np.ndarray, indices: np.ndarray) -> np.ndarray:
     # Points in the low half can never be dominated by the high half (their
     # last attribute is strictly smaller), so sky_low is final.  Points in
     # the high half must additionally survive against sky_low.
-    dominated = _dominated_mask(data[sky_high], data[sky_low])
+    dominated = dominated_mask(data[sky_high], data[sky_low])
     survivors = sky_high[~dominated]
     return np.concatenate([sky_low, survivors])
 

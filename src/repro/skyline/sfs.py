@@ -1,52 +1,48 @@
-"""Sort-filter-skyline (SFS) algorithm.
+"""Sort-filter-skyline (SFS) algorithm, block-vectorised.
 
 SFS (Chomicki et al.) improves on BNL by first sorting the points by a
 monotone scoring function — here the plain attribute sum.  After sorting, a
 point can only be dominated by points that appear *earlier* in the order, so
 the candidate window never needs to evict members and every point is compared
 against confirmed skyline points only.
+
+This implementation processes the sorted points in blocks
+(:func:`repro.skyline.kernels.block_sfs_indices`): each block is screened
+against the confirmed-skyline matrix in one memory-bounded broadcast, and
+intra-block dominance is resolved by a pairwise kernel call over the block's
+survivors.  The output is identical to the classic one-point-at-a-time SFS.
 """
 
 from __future__ import annotations
-
-from typing import List
 
 import numpy as np
 
 from repro._types import ArrayLike2D, IndexArray
 from repro.core.dominance import as_dataset
+from repro.perf.blocking import DEFAULT_BLOCK_SIZE
+from repro.skyline.kernels import block_sfs_indices
 
 
-def skyline_sfs_indices(points: ArrayLike2D) -> IndexArray:
+def skyline_sfs_indices(
+    points: ArrayLike2D, block_size: int = DEFAULT_BLOCK_SIZE
+) -> IndexArray:
     """Return the indices of the skyline points using sort-filter-skyline.
 
-    Ties on the sort key are broken lexicographically by the attribute values
-    so that exact duplicates sit next to each other, which keeps the
-    duplicate-handling behaviour identical to the other implementations
-    (duplicates never dominate each other, so all copies are kept).
+    Ties on the sort key are broken lexicographically by the attribute
+    values, which keeps exact duplicates adjacent and — crucially — orders a
+    dominator before the rows it dominates even when floating-point
+    rounding collapses their different sums to the same computed key (see
+    :func:`repro.skyline.kernels.monotone_sort_order`).  Duplicates are all
+    retained (they never dominate each other), identical to the other
+    implementations.
+
+    The returned indices are sorted in ascending order so that all skyline
+    implementations produce byte-identical outputs.
     """
     data = as_dataset(points)
-    n = data.shape[0]
-    if n == 0:
+    if data.shape[0] == 0:
         return np.empty(0, dtype=np.intp)
-
-    sums = data.sum(axis=1)
-    # Lexicographic tie-break for determinism: last key is the primary key.
-    order = np.lexsort(tuple(data[:, j] for j in range(data.shape[1] - 1, -1, -1)) + (sums,))
-
-    skyline: List[int] = []
-    skyline_rows: List[np.ndarray] = []
-    for idx in order:
-        candidate = data[idx]
-        dominated = False
-        for other in skyline_rows:
-            if np.all(other <= candidate) and np.any(other < candidate):
-                dominated = True
-                break
-        if not dominated:
-            skyline.append(int(idx))
-            skyline_rows.append(candidate)
-    return np.array(sorted(skyline), dtype=np.intp)
+    return block_sfs_indices(data, block_size=block_size)
 
 
 def skyline_sfs(points: ArrayLike2D) -> np.ndarray:

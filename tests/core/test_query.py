@@ -75,10 +75,36 @@ class TestEclipseQuery:
         result = query.run(ratios=RatioVector.uniform(0.5, 2.0, 3))
         assert len(result) == 0
 
-    def test_empty_dataset_requires_explicit_ratio_vector(self):
+    def test_empty_dataset_with_known_width_accepts_ratio_pair(self):
+        # A (0, 3) dataset still knows d = 3, so a plain (low, high) pair is
+        # a complete specification and must not be rejected or discarded.
         query = EclipseQuery(np.empty((0, 3)))
+        result = query.run(ratios=(0.5, 2.0))
+        assert len(result) == 0
+        assert result.ratios == RatioVector.uniform(0.5, 2.0, 3)
+
+    def test_empty_dataset_preserves_constructor_ratios(self):
+        # Seed bug: a user-supplied ratios spec was silently discarded when
+        # the dataset was empty.
+        query = EclipseQuery(np.empty((0, 3)), ratios=(0.5, 2.0))
+        assert query.default_ratios == RatioVector.uniform(0.5, 2.0, 3)
+        vector = RatioVector.uniform(0.25, 4.0, 4)
+        assert EclipseQuery([], ratios=vector).default_ratios == vector
+
+    def test_empty_dataset_result_preserves_column_count(self):
+        result = EclipseQuery(np.empty((0, 5))).run(
+            ratios=RatioVector.uniform(0.5, 2.0, 5)
+        )
+        assert result.points.shape == (0, 5)
+
+    def test_dimensionless_empty_dataset_requires_explicit_ratio_vector(self):
+        # Shape (0, 0) carries no column count, so only a RatioVector (which
+        # fixes d itself) is acceptable.
+        query = EclipseQuery([])
         with pytest.raises(InvalidWeightRangeError):
             query.run(ratios=(0.5, 2.0))
+        with pytest.raises(InvalidWeightRangeError):
+            EclipseQuery([], ratios=(0.5, 2.0))
 
     def test_run_indices_shortcut(self, hotels):
         assert EclipseQuery(hotels).run_indices(ratios=(0.25, 2.0)).tolist() == [0, 1, 2]

@@ -1,0 +1,1 @@
+"""Test package marker (prevents basename collisions during collection)."""
