@@ -1,10 +1,19 @@
 """Perf smoke benchmark: kernel-layer speedups over the seed implementations.
 
-Times ``eclipse_transform`` and ``eclipse_baseline`` over an n-sweep against
-faithful copies of the *seed* (pre-kernel, point-at-a-time) implementations,
-verifies both return byte-identical indices, and writes the results to
-``BENCH_PR1.json`` at the repository root — a machine-readable perf
-trajectory for future PRs to compare against.
+PR 1 workloads: times ``eclipse_transform`` and ``eclipse_baseline`` over an
+n-sweep against faithful copies of the *seed* (pre-kernel, point-at-a-time)
+implementations, verifies both return byte-identical indices, and writes the
+results to ``BENCH_PR1.json`` at the repository root.
+
+PR 2 workloads (appended to the trajectory as ``BENCH_PR2.json``; PR 1's
+file is regenerated, never replaced):
+
+* ``index_build`` — the kernelised array-native ``EclipseIndex.build``
+  against a faithful copy of the seed build loop (per-point
+  ``DualHyperplane`` objects, the ``O(u^2)`` Python pairwise-intersection
+  loop of the two-dimensional arrangement, per-object array rebuilds).
+* ``batched_queries`` — ``DatasetSession.run_batch`` over many ratio specs
+  against the same specs answered by independent ``EclipseQuery`` runs.
 
 Usage::
 
@@ -30,11 +39,24 @@ from repro.core.baseline import eclipse_baseline_indices
 from repro.core.transform import eclipse_transform_indices, map_to_corner_scores
 from repro.core.weights import RatioVector
 from repro.data.generators import generate_dataset
+from repro.data.worst_case import generate_worst_case
+from repro.experiments.harness import time_batched_vs_independent
+from repro.geometry.boxes import Box
+from repro.geometry.dual import dual_hyperplanes
+from repro.geometry.hyperplane import (
+    pairwise_intersection_arrays,
+    pairwise_intersections,
+)
+from repro.geometry.quadtree import LineQuadtree
+from repro.index.eclipse_index import EclipseIndex
+from repro.index.intersection import DEFAULT_MAX_RATIO
+from repro.skyline.api import skyline_indices
 
 RATIO = (0.36, 2.75)
 DISTRIBUTION = "anti"
 DIMENSIONS = 4
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+OUTPUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 
 
 # ----------------------------------------------------------------------
@@ -115,6 +137,135 @@ def seed_eclipse_baseline_indices(data: np.ndarray, ratios: RatioVector) -> np.n
 
 
 # ----------------------------------------------------------------------
+# Seed index build (copied from the seed commit, object-at-a-time)
+# ----------------------------------------------------------------------
+def seed_build_eclipse_index(data: np.ndarray) -> None:
+    """Faithful replica of the seed ``EclipseIndex.build`` work.
+
+    The seed path materialised one ``DualHyperplane`` object per skyline
+    point, enumerated the two-dimensional arrangement's intersections with
+    an ``O(u^2)`` Python double loop over those objects (sorting and
+    deduplicating the resulting objects in Python), recomputed per-object
+    coefficient arrays in every structure, and filled the dense interval
+    table one interval at a time.
+    """
+    sky_idx = skyline_indices(data)
+    duals = dual_hyperplanes(data[sky_idx])
+    coeffs = np.array([h.coefficients for h in duals], dtype=float)
+    dual_dims = coeffs.shape[1] if len(duals) else 0
+
+    if dual_dims == 1 and len(duals) <= 2048:
+        # Seed Arrangement2D construction.
+        inters = pairwise_intersections(duals, skip_degenerate=True)
+        inters = sorted(inters, key=lambda inter: inter.x_coordinate())
+        xs = [inter.x_coordinate() for inter in inters]
+        distinct: List[float] = []
+        for x in xs:
+            if not distinct or x > distinct[-1]:
+                distinct.append(x)
+        edges = np.concatenate(([-np.inf], np.array(distinct), [np.inf]))
+        if len(duals) <= 128:
+            slopes = coeffs[:, 0]
+            offsets = np.array([h.offset for h in duals], dtype=float)
+            for i in range(edges.size - 1):
+                start, end = float(edges[i]), float(edges[i + 1])
+                if np.isinf(start) and np.isinf(end):
+                    representative = 0.0
+                elif np.isinf(start):
+                    representative = end - max(1.0, abs(end) / 2.0)
+                elif np.isinf(end):
+                    representative = start + max(1.0, abs(start) / 2.0)
+                else:
+                    representative = start + (end - start) / 2.0
+                values = slopes * representative - offsets
+                sorted_values = np.sort(values)
+                _ = values.size - np.searchsorted(sorted_values, values, side="right")
+
+    # Seed IntersectionIndex construction (object list comprehensions).
+    pairs, pair_coeffs, pair_rhs = pairwise_intersection_arrays(
+        duals, skip_degenerate=True
+    )
+    if pairs.shape[0] == 0:
+        return
+    if dual_dims == 1:
+        pair_xs = pair_rhs / pair_coeffs[:, 0]
+        order = np.argsort(pair_xs, kind="stable")
+        _ = pair_xs[order]
+    else:
+        domain = Box(
+            lows=np.full(dual_dims, -DEFAULT_MAX_RATIO),
+            highs=np.zeros(dual_dims),
+        )
+        LineQuadtree(pair_coeffs, pair_rhs, domain, capacity=None)
+
+
+def run_index_build_workload(
+    workload: str, data: np.ndarray, repeats: int
+) -> dict:
+    ratios = RatioVector.uniform(*RATIO, data.shape[1])
+    index = EclipseIndex(backend="quadtree").build(data)
+    # Cross-validate the kernelised build against an independent algorithm.
+    identical = bool(
+        np.array_equal(
+            index.query_indices(ratios), eclipse_transform_indices(data, ratios)
+        )
+    )
+    seed_seconds = _best_of(lambda: seed_build_eclipse_index(data), repeats)
+    new_seconds = _best_of(
+        lambda: EclipseIndex(backend="quadtree").build(data), repeats
+    )
+    entry = {
+        "workload": workload,
+        "n": int(data.shape[0]),
+        "d": int(data.shape[1]),
+        "num_skyline": int(index.num_skyline_points),
+        "num_pairs": int(index.intersection_index.num_pairs),
+        "indices_identical": identical,
+        "seed_seconds": seed_seconds,
+        "new_seconds": new_seconds,
+        "speedup": seed_seconds / new_seconds if new_seconds > 0 else float("inf"),
+    }
+    print(
+        f"{workload:<22} n={entry['n']:>7} d={entry['d']} u={entry['num_skyline']:>5}  "
+        f"seed={seed_seconds:8.3f}s  new={new_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  identical={identical}"
+    )
+    return entry
+
+
+def run_batched_workload(
+    workload: str, n: int, d: int, num_queries: int, repeats: int, method: str
+) -> dict:
+    data = generate_dataset(DISTRIBUTION, n, d, seed=0)
+    rng = np.random.default_rng(12)
+    specs = []
+    for _ in range(num_queries):
+        low = float(rng.uniform(0.1, 1.0))
+        specs.append(RatioVector.uniform(low, low + float(rng.uniform(0.2, 2.5)), d))
+    timing = time_batched_vs_independent(data, specs, method=method, repeats=repeats)
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "distribution": DISTRIBUTION.upper(),
+        "num_queries": num_queries,
+        "batch_method": timing.method,
+        "indices_identical": timing.identical,
+        "independent_seconds": timing.independent_seconds,
+        "batched_seconds": timing.batched_seconds,
+        "speedup": timing.speedup,
+    }
+    print(
+        f"{workload:<22} n={n:>7} d={d} q={num_queries:>3}  "
+        f"independent={timing.independent_seconds:8.3f}s  "
+        f"batched={timing.batched_seconds:8.3f}s  "
+        f"speedup={timing.speedup:7.1f}x  identical={timing.identical} "
+        f"[{timing.method}]"
+    )
+    return entry
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def _best_of(fn: Callable[[], np.ndarray], repeats: int) -> float:
@@ -173,15 +324,32 @@ def main(argv: List[str] | None = None) -> int:
         default=OUTPUT,
         help=f"where to write the JSON results (default: {OUTPUT})",
     )
+    parser.add_argument(
+        "--output-pr2",
+        type=Path,
+        default=OUTPUT_PR2,
+        help=f"where to write the PR 2 JSON results (default: {OUTPUT_PR2})",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
         transform_sweep = [5_000, 50_000]
         baseline_sweep = [1_000, 5_000]
+        build_2d_sweep = [1_200]
+        build_4d_sweep = [2_000]
+        batch_sweep = [(5_000, 3, 50, "transform"), (5_000, 3, 50, "auto")]
         repeats = 1
     else:
         transform_sweep = [2_000, 10_000, 50_000, 100_000]
         baseline_sweep = [1_000, 2_000, 5_000, 10_000]
+        build_2d_sweep = [600, 1_200, 2_000]
+        build_4d_sweep = [2_000, 5_000]
+        batch_sweep = [
+            (5_000, 3, 50, "transform"),
+            (5_000, 3, 50, "auto"),
+            (20_000, 3, 50, "transform"),
+            (20_000, 3, 200, "auto"),
+        ]
         repeats = 3
 
     entries = []
@@ -231,16 +399,79 @@ def main(argv: List[str] | None = None) -> int:
         "results": entries,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    print(f"\nwrote {args.output}\n")
+
+    # ------------------------------------------------------------------
+    # PR 2: kernelised index builds and batched ratio queries
+    # ------------------------------------------------------------------
+    pr2_entries = []
+    for n in build_2d_sweep:
+        # Worst-case data: every point is a skyline point, so the whole
+        # two-dimensional arrangement (the seed's O(u^2) Python pair loop)
+        # is exercised at u = n.
+        data = generate_worst_case(n, 2, seed=0)
+        pr2_entries.append(run_index_build_workload("index_build_2d", data, repeats))
+    for n in build_4d_sweep:
+        data = generate_dataset(DISTRIBUTION, n, DIMENSIONS, seed=0)
+        pr2_entries.append(run_index_build_workload("index_build_4d", data, repeats))
+    for n, d, num_queries, method in batch_sweep:
+        pr2_entries.append(
+            run_batched_workload(
+                f"batched_queries[{method}]", n, d, num_queries, repeats, method
+            )
+        )
+
+    build_speedups = [
+        e["speedup"] for e in pr2_entries if e["workload"].startswith("index_build")
+    ]
+    batch_speedups = [
+        e["speedup"]
+        for e in pr2_entries
+        if e["workload"].startswith("batched_queries")
+    ]
+    pr2_acceptance = {
+        "index_build_speedup_2d": next(
+            e["speedup"] for e in pr2_entries if e["workload"] == "index_build_2d"
+        ),
+        "best_index_build_speedup": max(build_speedups),
+        "batched_vs_independent_speedup": max(batch_speedups),
+        "all_indices_identical": all(e["indices_identical"] for e in pr2_entries),
+    }
+    pr2_payload = {
+        "pr": 2,
+        "description": (
+            "Planner/executor query stack: kernelised array-native index "
+            "builds vs. the seed object-at-a-time build loop, and "
+            "DatasetSession.run_batch vs. independent EclipseQuery runs "
+            "(best-of timings)"
+        ),
+        "generated_unix_time": time.time(),
+        "fast_mode": bool(args.fast),
+        "acceptance": pr2_acceptance,
+        "results": pr2_entries,
+    }
+    args.output_pr2.write_text(json.dumps(pr2_payload, indent=2) + "\n")
+    print(f"\nwrote {args.output_pr2}")
+
     print(
-        f"acceptance: transform {acceptance['transform_speedup_at_50k']:.1f}x "
+        f"acceptance PR1: transform {acceptance['transform_speedup_at_50k']:.1f}x "
         f"(target >= 10x), baseline {acceptance['baseline_speedup_at_5k']:.1f}x "
         f"(target >= 5x), identical={acceptance['all_indices_identical']}"
+    )
+    print(
+        f"acceptance PR2: index build "
+        f"{pr2_acceptance['index_build_speedup_2d']:.1f}x at d=2 "
+        f"(target >= 2x), batched "
+        f"{pr2_acceptance['batched_vs_independent_speedup']:.1f}x "
+        f"(target >= 2x), identical={pr2_acceptance['all_indices_identical']}"
     )
     ok = (
         acceptance["transform_speedup_at_50k"] >= 10
         and acceptance["baseline_speedup_at_5k"] >= 5
         and acceptance["all_indices_identical"]
+        and pr2_acceptance["index_build_speedup_2d"] >= 2
+        and pr2_acceptance["batched_vs_independent_speedup"] >= 2
+        and pr2_acceptance["all_indices_identical"]
     )
     return 0 if ok else 1
 

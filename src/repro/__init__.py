@@ -19,9 +19,11 @@ Quickstart
 """
 
 from repro.core import (
+    DatasetSession,
     EclipseQuery,
     EclipseResult,
     ImportanceCategory,
+    QueryPlan,
     RATIO_INFINITY,
     RatioVector,
     WeightRange,
@@ -31,20 +33,29 @@ from repro.core import (
     eclipse_transform,
     expected_eclipse_points,
     nn_dominates,
+    plan_query,
     skyline_dominates,
 )
 from repro.data import Dataset, generate_dataset, generate_nba_dataset
 from repro.index import EclipseIndex
 from repro.knn import knn, nearest_neighbor
-from repro.skyline import skyline
 
-__version__ = "1.0.0"
+# NOTE: the skyline *function* is exported as ``skyline_query`` so that the
+# name ``repro.skyline`` keeps pointing at the subpackage
+# (``import repro.skyline.api as x`` works).  The subpackage itself remains
+# callable as a deprecated alias of the function (see
+# ``repro/skyline/__init__.py``).
+from repro.skyline import skyline_query
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "DatasetSession",
     "EclipseQuery",
     "EclipseResult",
     "EclipseIndex",
     "ImportanceCategory",
+    "QueryPlan",
     "RATIO_INFINITY",
     "RatioVector",
     "WeightRange",
@@ -59,7 +70,9 @@ __all__ = [
     "knn",
     "nearest_neighbor",
     "nn_dominates",
+    "plan_query",
     "skyline",
+    "skyline_query",
     "skyline_dominates",
     "__version__",
 ]

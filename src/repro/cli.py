@@ -1,10 +1,16 @@
 """Command-line interface: ``repro-eclipse`` / ``python -m repro.cli``.
 
-Three subcommands cover the typical workflows:
+Four subcommands cover the typical workflows:
 
 ``query``
     Run an eclipse (or skyline/1NN) query over a CSV file or a generated
-    synthetic dataset and print the result points.
+    synthetic dataset and print the result points.  ``--explain`` prints the
+    cost-model plan (method choice, substrates, estimated costs) before the
+    results.
+
+``batch``
+    Answer many ratio-range queries off one :class:`DatasetSession`,
+    sharing the skyline / corner-score / index artifacts across the batch.
 
 ``generate``
     Write a synthetic dataset (INDE/CORR/ANTI/NBA/worst-case) to a CSV file.
@@ -19,15 +25,16 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.query import EclipseQuery
+from repro.core.session import DatasetSession
 from repro.core.weights import RatioVector
 from repro.data.generators import generate_dataset
 from repro.data.nba import generate_nba_dataset
 from repro.data.worst_case import generate_worst_case
+from repro.errors import ReproError
 from repro.experiments import figures, tables, user_study
 
 
@@ -72,13 +79,70 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 1
     d = data.shape[1]
     ratios = RatioVector.uniform(args.low, args.high, d)
-    query = EclipseQuery(data)
-    result = query.run(ratios=ratios, method=args.method)
+    session = DatasetSession(data)
+    if args.explain:
+        print(session.plan(method=args.method).explain())
+    result = session.run(ratios=ratios, method=args.method)
     print(f"# eclipse query method={result.method} low={args.low} high={args.high}")
     print(f"# {len(result)} of {data.shape[0]} points returned")
     for index, point in zip(result.indices, result.points):
         rendered = ", ".join(f"{value:.4f}" for value in point)
         print(f"{int(index)}: [{rendered}]")
+    return 0
+
+
+def _parse_ratio_list(text: str) -> List[Tuple[float, float]]:
+    """Parse ``"0.25:2.0,0.5:1.5"`` into a list of ``(low, high)`` pairs."""
+    specs: List[Tuple[float, float]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        low_text, sep, high_text = part.partition(":")
+        if not sep:
+            raise ValueError(f"ratio spec {part!r} is not of the form low:high")
+        specs.append((float(low_text), float(high_text)))
+    if not specs:
+        raise ValueError("no ratio specifications given")
+    return specs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    data = _make_data(args)
+    if data.size == 0:
+        print("the dataset is empty", file=sys.stderr)
+        return 1
+    try:
+        pairs = _parse_ratio_list(args.ratios)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    d = data.shape[1]
+    session = DatasetSession(data)
+    try:
+        specs = [RatioVector.uniform(low, high, d) for low, high in pairs]
+        results = session.run_batch(specs, method=args.method)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.explain and session.last_plan is not None:
+        # Printed after execution on purpose: run_batch re-plans once the
+        # skyline has been measured, and the plan shown must be the plan
+        # that actually ran.
+        print(session.last_plan.explain())
+    methods = sorted({result.method for result in results})
+    print(
+        f"# eclipse batch of {len(results)} queries over n={data.shape[0]} "
+        f"points, method={'+'.join(methods)}"
+    )
+    for (low, high), result in zip(pairs, results):
+        print(f"[{low:g}, {high:g}]: {len(result)} points {result.indices.tolist()}")
+    stats = session.stats
+    print(
+        f"# shared artifacts: skyline_builds={stats.skyline_builds} "
+        f"corner_matrix_builds={stats.corner_matrix_builds} "
+        f"index_builds={stats.index_builds}"
+    )
     return 0
 
 
@@ -152,7 +216,33 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="algorithm: auto, baseline, transform, quad, cutting",
     )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the cost-model query plan before the results",
+    )
     query.set_defaults(func=_cmd_query)
+
+    batch = subparsers.add_parser(
+        "batch", help="run many ratio-range queries off one dataset session"
+    )
+    add_data_arguments(batch)
+    batch.add_argument(
+        "--ratios",
+        required=True,
+        help="comma-separated low:high pairs, e.g. '0.25:2.0,0.5:1.5'",
+    )
+    batch.add_argument(
+        "--method",
+        default="auto",
+        help="algorithm: auto, baseline, transform, quad, cutting",
+    )
+    batch.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the cost-model batch plan before the results",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     generate = subparsers.add_parser("generate", help="write a synthetic dataset")
     add_data_arguments(generate)

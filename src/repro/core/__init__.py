@@ -10,7 +10,10 @@ The public names re-exported here form the primary API of the reproduction:
 * :func:`eclipse_baseline` — Algorithm 1 (``O(n^2 2^{d-1})``).
 * :func:`eclipse_transform` — Algorithms 2 and 3 (``O(n log^{d-1} n)``).
 * :class:`EclipseQuery` — high-level facade selecting among BASE, TRAN, QUAD,
-  and CUTTING.
+  and CUTTING (a thin shim over the session layer).
+* :class:`DatasetSession` / :class:`QueryPlan` — the plan → session →
+  kernels query stack: cost-model planning, memoised per-dataset artifacts,
+  and batched ratio-range queries (:meth:`DatasetSession.run_batch`).
 * :func:`expected_eclipse_points` — the result-size estimator used for
   Tables VI–VIII.
 """
@@ -34,6 +37,13 @@ from repro.core.dominance import (
     skyline_dominates,
 )
 from repro.core.baseline import eclipse_baseline
+from repro.core.plan import (
+    CostEstimate,
+    QueryPlan,
+    choose_skyline_method,
+    plan_query,
+)
+from repro.core.session import DatasetSession, SessionStats
 from repro.core.transform import (
     eclipse_transform,
     map_to_corner_scores,
@@ -66,9 +76,15 @@ __all__ = [
     "eclipse_transform",
     "map_to_corner_scores",
     "map_to_intercept_space",
+    "CostEstimate",
+    "DatasetSession",
     "EclipseQuery",
     "EclipseResult",
+    "QueryPlan",
+    "SessionStats",
+    "choose_skyline_method",
     "eclipse",
+    "plan_query",
     "expected_eclipse_points",
     "convex_hull_points",
     "nearest_neighbor",

@@ -9,72 +9,29 @@ Most users only need this module::
     result = query.run(method="quad")    # index-based, line quadtree
     print(result.points, result.indices)
 
-The facade owns algorithm selection, ratio-specification coercion (exact
-weights, ratio ranges, categories, angles) and, for the index-based methods,
-caching of the built :class:`~repro.index.EclipseIndex` so that repeated
-queries over the same dataset amortise the build cost — which is the usage
-pattern the index-based algorithms are designed for.
+Since the plan → session → kernels refactor the facade is a thin shim over a
+:class:`~repro.core.session.DatasetSession`: method selection lives in the
+cost-model planner (:mod:`repro.core.plan`), artifact caching (skyline
+indices, built indexes keyed by their full parameter set) lives in the
+session, and this class only preserves the historical constructor/`run`
+surface.  Batch workloads should use the session directly —
+:meth:`DatasetSession.run_batch` answers many ratio-range queries off one
+set of shared artifacts, which is the usage pattern the index-based
+algorithms are designed for.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
-
 import numpy as np
 
 from repro._types import ArrayLike2D, IndexArray
-from repro.core.baseline import eclipse_baseline_indices
-from repro.core.dominance import as_dataset
-from repro.core.transform import eclipse_transform_indices
-from repro.core.weights import RatioVector, make_ratio_vector
-from repro.errors import AlgorithmNotSupportedError, InvalidWeightRangeError
+from repro.core.plan import INDEX_METHODS, QueryPlan, canonical_method
+from repro.core.session import DatasetSession, EclipseResult
+from repro.core.weights import RatioVector
+from repro.errors import AlgorithmNotSupportedError
 from repro.index.eclipse_index import EclipseIndex
 
-#: Canonical method names; several aliases map onto them.
-_METHOD_ALIASES = {
-    "base": "baseline",
-    "baseline": "baseline",
-    "tran": "transform",
-    "transform": "transform",
-    "quad": "quadtree",
-    "quadtree": "quadtree",
-    "cutting": "cutting",
-    "cut": "cutting",
-    "auto": "auto",
-}
-
-
-@dataclass(frozen=True)
-class EclipseResult:
-    """Result of a single eclipse query.
-
-    Attributes
-    ----------
-    indices:
-        Row positions of the eclipse points in the queried dataset, sorted.
-    points:
-        The eclipse points themselves (rows of the dataset).
-    method:
-        The algorithm that produced the result (canonical name).
-    ratios:
-        The ratio vector actually used.
-    """
-
-    indices: IndexArray
-    points: np.ndarray
-    method: str
-    ratios: RatioVector
-
-    def __len__(self) -> int:
-        return int(self.indices.size)
-
-    def __iter__(self):
-        return iter(self.points)
-
-    def index_set(self) -> set:
-        """The result indices as a plain Python set (handy in tests)."""
-        return set(int(i) for i in self.indices)
+__all__ = ["EclipseQuery", "EclipseResult", "eclipse"]
 
 
 class EclipseQuery:
@@ -101,35 +58,23 @@ class EclipseQuery:
         ratios=None,
         **index_kwargs,
     ):
-        self._data = as_dataset(points)
-        if ratios is None:
-            self._default_ratios = None
-        elif self._data.shape[1]:
-            # Validated even when the dataset has zero rows: an empty
-            # dataset with a known column count still fixes d.
-            self._default_ratios = make_ratio_vector(ratios, self._data.shape[1])
-        elif isinstance(ratios, RatioVector):
-            # Empty dataset with unknown dimensionality: the RatioVector
-            # carries its own d, so it must not be silently discarded.
-            self._default_ratios = ratios
-        else:
-            raise InvalidWeightRangeError(
-                "cannot infer dimensionality for an empty dataset; "
-                "pass a RatioVector explicitly"
-            )
-        self._index_kwargs = index_kwargs
-        self._indexes: Dict[str, EclipseIndex] = {}
+        self._session = DatasetSession(points, ratios=ratios, index_kwargs=index_kwargs)
 
     # ------------------------------------------------------------------
     @property
+    def session(self) -> DatasetSession:
+        """The underlying :class:`DatasetSession` (shared artifacts live here)."""
+        return self._session
+
+    @property
     def data(self) -> np.ndarray:
         """The queried dataset (a defensive copy is *not* made)."""
-        return self._data
+        return self._session.data
 
     @property
     def num_points(self) -> int:
         """Number of points in the dataset."""
-        return int(self._data.shape[0])
+        return self._session.num_points
 
     @property
     def dimensions(self) -> int:
@@ -138,12 +83,12 @@ class EclipseQuery:
         Preserved for empty datasets too: a ``(0, d)`` array still knows its
         column count.
         """
-        return int(self._data.shape[1])
+        return self._session.dimensions
 
     @property
-    def default_ratios(self) -> Optional[RatioVector]:
+    def default_ratios(self) -> RatioVector | None:
         """The ratio vector supplied at construction time, if any."""
-        return self._default_ratios
+        return self._session.default_ratios
 
     # ------------------------------------------------------------------
     def run(self, ratios=None, method: str = "auto") -> EclipseResult:
@@ -156,103 +101,31 @@ class EclipseQuery:
         method:
             ``"auto"`` (default), ``"baseline"``/``"base"``,
             ``"transform"``/``"tran"``, ``"quad"``/``"quadtree"`` or
-            ``"cutting"``.  ``"auto"`` uses the transformation algorithm for
-            one-shot queries and transparently falls back to the baseline
-            when the ratio range makes the transformation inapplicable
-            (an upper bound of zero).
+            ``"cutting"``.  ``"auto"`` resolves through the cost-model
+            planner: the transformation algorithm for one-shot queries, with
+            a transparent fallback to the baseline when the ratio range
+            makes the transformation inapplicable (an upper bound of zero).
         """
-        ratio_vector = self._resolve_ratios(ratios)
-        canonical = self._canonical_method(method)
-        if self.num_points == 0:
-            empty = np.empty(0, dtype=np.intp)
-            # Indexing with an empty index array keeps the column count, so
-            # an empty result over (0, d) data has shape (0, d), not (0, 0).
-            return EclipseResult(
-                indices=empty,
-                points=self._data[empty],
-                method=canonical,
-                ratios=ratio_vector,
-            )
-
-        if canonical == "auto":
-            # The corner-score transformation is exact for every ratio range
-            # and dimensionality, so it is the default one-shot algorithm.
-            canonical = "transform"
-
-        if canonical == "baseline":
-            indices = eclipse_baseline_indices(self._data, ratio_vector)
-        elif canonical == "transform":
-            try:
-                indices = eclipse_transform_indices(self._data, ratio_vector)
-            except InvalidWeightRangeError:
-                indices = eclipse_baseline_indices(self._data, ratio_vector)
-                canonical = "baseline"
-        elif canonical in ("quadtree", "cutting"):
-            index = self._get_index(canonical)
-            indices = index.query_indices(ratio_vector)
-        else:  # pragma: no cover - guarded by _canonical_method
-            raise AlgorithmNotSupportedError(f"unhandled method {canonical!r}")
-
-        indices = np.sort(np.asarray(indices, dtype=np.intp))
-        return EclipseResult(
-            indices=indices,
-            points=self._data[indices],
-            method=canonical,
-            ratios=ratio_vector,
-        )
+        return self._session.run(ratios=ratios, method=method)
 
     def run_indices(self, ratios=None, method: str = "auto") -> IndexArray:
         """Convenience wrapper returning only the result indices."""
-        return self.run(ratios=ratios, method=method).indices
+        return self._session.run_indices(ratios=ratios, method=method)
+
+    def explain(self, method: str = "auto", num_queries: int = 1) -> QueryPlan:
+        """Return the :class:`QueryPlan` the session would use (see ``explain()``)."""
+        return self._session.plan(method=method, num_queries=num_queries)
 
     # ------------------------------------------------------------------
     def build_index(self, method: str = "quadtree") -> EclipseIndex:
         """Eagerly build (and cache) the index for an index-based method."""
-        canonical = self._canonical_method(method)
-        if canonical not in ("quadtree", "cutting"):
+        canonical = canonical_method(method)
+        if canonical not in INDEX_METHODS:
             raise AlgorithmNotSupportedError(
                 "build_index() accepts only the index-based methods "
                 "'quadtree' and 'cutting'"
             )
-        return self._get_index(canonical)
-
-    def _get_index(self, canonical: str) -> EclipseIndex:
-        if canonical not in self._indexes:
-            self._indexes[canonical] = EclipseIndex(
-                backend=canonical, **self._index_kwargs
-            ).build(self._data)
-        return self._indexes[canonical]
-
-    # ------------------------------------------------------------------
-    def _resolve_ratios(self, ratios) -> RatioVector:
-        if ratios is None:
-            if self._default_ratios is None:
-                if self.dimensions == 0:
-                    raise InvalidWeightRangeError(
-                        "a ratio specification is required for an empty dataset"
-                    )
-                return RatioVector.skyline(self.dimensions)
-            return self._default_ratios
-        if self.dimensions == 0:
-            # Empty dataset with unknown column count: only a RatioVector
-            # carries enough information to fix d.
-            if isinstance(ratios, RatioVector):
-                return ratios
-            raise InvalidWeightRangeError(
-                "cannot infer dimensionality for an empty dataset; "
-                "pass a RatioVector explicitly"
-            )
-        return make_ratio_vector(ratios, self.dimensions)
-
-    @staticmethod
-    def _canonical_method(method: str) -> str:
-        try:
-            return _METHOD_ALIASES[method.lower()]
-        except (KeyError, AttributeError):
-            raise AlgorithmNotSupportedError(
-                f"unknown eclipse method {method!r}; choose from "
-                f"{sorted(set(_METHOD_ALIASES))}"
-            ) from None
+        return self._session.index_for(canonical)
 
 
 def eclipse(points: ArrayLike2D, ratios, method: str = "auto") -> np.ndarray:

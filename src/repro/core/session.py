@@ -1,0 +1,462 @@
+"""The session/executor layer: one dataset, memoised artifacts, many queries.
+
+A :class:`DatasetSession` owns one dataset together with every artifact that
+can be amortised across queries — the raw-space skyline indices, built
+:class:`~repro.index.eclipse_index.EclipseIndex` instances keyed by their
+*full* parameter set, and (per batch) one stacked corner-score matrix.  It
+executes :class:`~repro.core.plan.QueryPlan` decisions against those
+artifacts and keeps :class:`SessionStats` counters so callers (and tests)
+can verify how often each expensive artifact was actually built.
+
+The layering is::
+
+    plan (repro.core.plan)      pure cost arithmetic, no data
+      ↓
+    session (this module)       owns data + memoised artifacts, executes plans
+      ↓
+    kernels (repro.perf, repro.skyline.kernels, index build kernels)
+
+Single queries (:meth:`DatasetSession.run`) behave exactly like the
+algorithms run standalone — no hidden prefilters — so existing semantics and
+timings are preserved.  Batches (:meth:`DatasetSession.run_batch`) are where
+the sharing happens: one skyline, one corner-score matrix (a single stacked
+GEMM over the skyline points for *all* ratio specifications), one index
+build, instead of recomputing each per query.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import ArrayLike2D, IndexArray
+from repro.core.baseline import eclipse_baseline_indices
+from repro.core.dominance import as_dataset
+from repro.core.plan import (
+    INDEX_METHODS,
+    QueryPlan,
+    canonical_method,
+    plan_query,
+)
+from repro.core.transform import eclipse_transform_indices
+from repro.core.weights import RatioVector, make_ratio_vector
+from repro.errors import (
+    AlgorithmNotSupportedError,
+    DimensionMismatchError,
+    InvalidWeightRangeError,
+)
+from repro.index.eclipse_index import EclipseIndex
+from repro.index.intersection import DEFAULT_MAX_RATIO
+from repro.skyline.api import skyline_indices as _skyline_indices
+
+
+@dataclass(frozen=True)
+class EclipseResult:
+    """Result of a single eclipse query.
+
+    Attributes
+    ----------
+    indices:
+        Row positions of the eclipse points in the queried dataset, sorted.
+    points:
+        The eclipse points themselves (rows of the dataset).
+    method:
+        The algorithm that produced the result (canonical name).
+    ratios:
+        The ratio vector actually used.
+    """
+
+    indices: IndexArray
+    points: np.ndarray
+    method: str
+    ratios: RatioVector
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def index_set(self) -> set:
+        """The result indices as a plain Python set (handy in tests)."""
+        return set(int(i) for i in self.indices)
+
+
+@dataclass
+class SessionStats:
+    """Counters of the expensive artifacts a session has built.
+
+    The batch acceptance contract rides on these: a
+    :meth:`DatasetSession.run_batch` over any number of ratio specifications
+    must increment ``skyline_builds``, ``corner_matrix_builds`` and
+    ``index_builds`` at most once each.
+    """
+
+    skyline_builds: int = 0
+    corner_matrix_builds: int = 0
+    index_builds: int = 0
+    queries: int = 0
+    batches: int = 0
+    index_build_seconds: float = field(default=0.0, repr=False)
+
+    def artifact_counts(self) -> Tuple[int, int, int]:
+        """``(skyline_builds, corner_matrix_builds, index_builds)``."""
+        return (self.skyline_builds, self.corner_matrix_builds, self.index_builds)
+
+
+#: Index-construction parameters that must be part of an index cache key —
+#: reusing an index built with different values would silently answer
+#: queries with the wrong structure.
+_INDEX_PARAM_DEFAULTS = {
+    "skyline_method": "auto",
+    "max_ratio": DEFAULT_MAX_RATIO,
+    "capacity": None,
+    "seed": 0,
+    "dense_threshold": None,
+}
+
+
+def index_cache_key(backend: str, params: Dict[str, object]) -> Tuple:
+    """Normalised cache key of one index configuration.
+
+    Fills in the :class:`~repro.index.eclipse_index.EclipseIndex` defaults so
+    an omitted parameter and its explicit default map to the same key, and
+    includes *every* build parameter (``capacity``, ``max_ratio``,
+    ``dense_threshold``, ``seed``, ``skyline_method``) so changing any of
+    them can never silently reuse a stale index.
+    """
+    unknown = set(params) - set(_INDEX_PARAM_DEFAULTS)
+    if unknown:
+        raise AlgorithmNotSupportedError(
+            f"unknown index parameter(s) {sorted(unknown)}; expected a subset "
+            f"of {sorted(_INDEX_PARAM_DEFAULTS)}"
+        )
+    merged = {**_INDEX_PARAM_DEFAULTS, **params}
+    return (
+        backend,
+        merged["skyline_method"],
+        float(merged["max_ratio"]),
+        None if merged["capacity"] is None else int(merged["capacity"]),
+        merged["seed"],
+        None if merged["dense_threshold"] is None else int(merged["dense_threshold"]),
+    )
+
+
+class DatasetSession:
+    """One dataset plus its memoised query artifacts.
+
+    Parameters
+    ----------
+    points:
+        Dataset of shape ``(n, d)`` with minimisation semantics.
+    ratios:
+        Default ratio specification used when a query gives none; anything
+        accepted by :func:`repro.core.weights.make_ratio_vector`.
+    index_kwargs:
+        Default :class:`~repro.index.eclipse_index.EclipseIndex` parameters
+        for the index-based methods (e.g. ``capacity`` or ``max_ratio``).
+    """
+
+    def __init__(
+        self,
+        points: ArrayLike2D,
+        ratios=None,
+        index_kwargs: Optional[Dict[str, object]] = None,
+    ):
+        self._data = as_dataset(points)
+        if ratios is None:
+            self._default_ratios = None
+        elif self._data.shape[1]:
+            # Validated even when the dataset has zero rows: an empty
+            # dataset with a known column count still fixes d.
+            self._default_ratios = make_ratio_vector(ratios, self._data.shape[1])
+        elif isinstance(ratios, RatioVector):
+            # Empty dataset with unknown dimensionality: the RatioVector
+            # carries its own d, so it must not be silently discarded.
+            self._default_ratios = ratios
+        else:
+            raise InvalidWeightRangeError(
+                "cannot infer dimensionality for an empty dataset; "
+                "pass a RatioVector explicitly"
+            )
+        self._index_kwargs = dict(index_kwargs or {})
+        # Validate eagerly so typos fail at construction, not first use.
+        index_cache_key("auto", self._index_kwargs)
+        self._skyline_idx: Optional[np.ndarray] = None
+        self._indexes: Dict[Tuple, EclipseIndex] = {}
+        self.stats = SessionStats()
+        self.last_plan: Optional[QueryPlan] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The queried dataset (a defensive copy is *not* made)."""
+        return self._data
+
+    @property
+    def num_points(self) -> int:
+        """Number of points in the dataset."""
+        return int(self._data.shape[0])
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the dataset (preserved for empty datasets)."""
+        return int(self._data.shape[1])
+
+    @property
+    def default_ratios(self) -> Optional[RatioVector]:
+        """The ratio vector supplied at construction time, if any."""
+        return self._default_ratios
+
+    # ------------------------------------------------------------------
+    # Memoised artifacts
+    # ------------------------------------------------------------------
+    def skyline(self) -> IndexArray:
+        """Raw-space skyline indices of the dataset (computed once).
+
+        Every substrate returns identical indices, so one cached result
+        serves all callers regardless of which substrate a plan names.
+        """
+        if self._skyline_idx is None:
+            self._skyline_idx = _skyline_indices(self._data, method="auto")
+            self.stats.skyline_builds += 1
+        return self._skyline_idx
+
+    def index_for(self, backend: str = "quadtree", **overrides) -> EclipseIndex:
+        """Return (building and caching if needed) the index for ``backend``.
+
+        ``overrides`` replace the session's default ``index_kwargs`` for
+        this lookup only.  The cache key covers the backend *and* every
+        build parameter, so asking for a different ``capacity``,
+        ``max_ratio`` or ``dense_threshold`` builds a fresh index instead of
+        silently reusing a stale one.
+        """
+        canonical = canonical_method(backend)
+        if canonical not in INDEX_METHODS:
+            raise AlgorithmNotSupportedError(
+                f"index_for() accepts only the index-based methods "
+                f"{INDEX_METHODS}, got {backend!r}"
+            )
+        params = {**self._index_kwargs, **overrides}
+        key = index_cache_key(canonical, params)
+        index = self._indexes.get(key)
+        if index is None:
+            # The memoised skyline is computed with the planner's substrate;
+            # an explicit skyline_method override must actually be honoured,
+            # so in that case the build runs its own skyline computation
+            # with the requested substrate (the indices are identical).
+            override_substrate = params.get("skyline_method", "auto") != "auto"
+            precomputed = None if override_substrate else self.skyline()
+            start = time.perf_counter()
+            index = EclipseIndex(backend=canonical, **params).build(
+                self._data, skyline_idx=precomputed
+            )
+            self.stats.index_build_seconds += time.perf_counter() - start
+            self.stats.index_builds += 1
+            self._indexes[key] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        method: str = "auto",
+        num_queries: int = 1,
+    ) -> QueryPlan:
+        """Build a :class:`QueryPlan` for this dataset.
+
+        When the skyline has already been computed its measured size feeds
+        the cost model, which prices the index methods far more accurately
+        than the independence estimate (anticorrelated data has skylines
+        orders of magnitude larger).
+        """
+        num_skyline = (
+            None if self._skyline_idx is None else int(self._skyline_idx.size)
+        )
+        plan = plan_query(
+            self.num_points,
+            max(2, self.dimensions),
+            method=method,
+            num_queries=num_queries,
+            num_skyline=num_skyline,
+        )
+        self.last_plan = plan
+        return plan
+
+    def run(self, ratios=None, method: str = "auto") -> EclipseResult:
+        """Run one eclipse query (same semantics as the standalone algorithms).
+
+        ``"auto"`` resolves through the planner (one-shot → the corner-score
+        transformation, with a transparent baseline fallback when the ratio
+        range makes the transformation inapplicable).  Single queries never
+        use hidden prefilters, so their results and timings match the
+        underlying algorithm exactly.
+        """
+        ratio_vector = self._resolve_ratios(ratios)
+        canonical = canonical_method(method)
+        if self.num_points == 0:
+            return self._empty_result(canonical, ratio_vector)
+        if canonical == "auto":
+            canonical = self.plan(method="auto", num_queries=1).method
+        return self._execute_single(canonical, ratio_vector)
+
+    def run_indices(self, ratios=None, method: str = "auto") -> IndexArray:
+        """Convenience wrapper returning only the result indices."""
+        return self.run(ratios=ratios, method=method).indices
+
+    def run_batch(
+        self,
+        ratio_specs: Iterable,
+        method: str = "auto",
+    ) -> List[EclipseResult]:
+        """Answer many ratio-range queries off one session, sharing the work.
+
+        One plan covers the whole batch; the shared artifacts — the raw
+        skyline, the stacked corner-score matrix, the built index — are each
+        computed at most once (visible in :attr:`stats`):
+
+        * **index methods** — one index build amortised over all queries;
+        * **transform** — eclipse points are always raw-space skyline
+          points (every corner weight vector is non-negative with at least
+          one strictly positive entry), so the batch computes the skyline
+          once, maps *only the skyline points* through the corner vectors of
+          *all* specifications in a single stacked GEMM, and runs one small
+          mapped-space skyline per specification;
+        * **baseline** — executed per query (its pairwise structure shares
+          nothing), kept for explicit requests.
+
+        Results are positionally parallel to ``ratio_specs`` and identical
+        to independent :meth:`run` calls with the same method.  (The only
+        theoretical exception is the documented cross-path precision
+        boundary: the raw-space prefilter compares coordinates exactly,
+        while corner scores are float64 dot products that cannot see
+        sub-ulp coordinate differences.  A specification with a zero upper
+        bound disables the prefilter for the whole batch, because a zero
+        corner weight breaks the "skyline point" guarantee.)
+        """
+        specs = [self._resolve_ratios(spec) for spec in ratio_specs]
+        if not specs:
+            return []
+        self.stats.batches += 1
+        if self.num_points == 0:
+            return [self._empty_result(canonical_method(method), rv) for rv in specs]
+
+        # The skyline feeds both the index build and the transform batch —
+        # and its measured size makes the plan's index-vs-transform pricing
+        # trustworthy — so resolve it before planning.  A pinned baseline
+        # batch is the one case that never touches it (its pairwise
+        # structure shares nothing), so don't pay for it there.
+        if canonical_method(method) != "baseline":
+            self.skyline()
+        plan = self.plan(method=method, num_queries=len(specs))
+        chosen = plan.method
+
+        if chosen in INDEX_METHODS:
+            index = self.index_for(plan.index_backend or chosen)
+            results = []
+            for ratio_vector in specs:
+                indices = np.sort(
+                    np.asarray(index.query_indices(ratio_vector), dtype=np.intp)
+                )
+                self.stats.queries += 1
+                results.append(self._wrap(indices, chosen, ratio_vector))
+            return results
+        if chosen == "transform":
+            return self._run_batch_transform(specs)
+        return [self._execute_single(chosen, rv) for rv in specs]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _run_batch_transform(self, specs: Sequence[RatioVector]) -> List[EclipseResult]:
+        if any(np.any(rv.highs <= 0.0) for rv in specs):
+            # A zero upper bound produces zero corner weights, for which
+            # raw-space dominance no longer implies corner-score dominance;
+            # fall back to independent full-dataset transforms.
+            return [self._execute_single("transform", rv) for rv in specs]
+        sky = self.skyline()
+        sky_points = self._data[sky]
+        corners_per_spec = 2 ** (self.dimensions - 1)
+        all_corners = np.vstack([rv.corner_weight_vectors() for rv in specs])
+        corner_matrix = sky_points @ all_corners.T  # one GEMM for the batch
+        self.stats.corner_matrix_builds += 1
+
+        results = []
+        for position, ratio_vector in enumerate(specs):
+            start = position * corners_per_spec
+            mapped = corner_matrix[:, start : start + corners_per_spec]
+            local = _skyline_indices(mapped, method="auto")
+            indices = np.sort(sky[local])
+            self.stats.queries += 1
+            results.append(self._wrap(indices, "transform", ratio_vector))
+        return results
+
+    def _execute_single(self, method: str, ratio_vector: RatioVector) -> EclipseResult:
+        if method == "baseline":
+            indices = eclipse_baseline_indices(self._data, ratio_vector)
+        elif method == "transform":
+            try:
+                indices = eclipse_transform_indices(self._data, ratio_vector)
+            except InvalidWeightRangeError:
+                indices = eclipse_baseline_indices(self._data, ratio_vector)
+                method = "baseline"
+        elif method in INDEX_METHODS:
+            indices = self.index_for(method).query_indices(ratio_vector)
+        else:  # pragma: no cover - guarded by canonical_method
+            raise AlgorithmNotSupportedError(f"unhandled method {method!r}")
+        self.stats.queries += 1
+        indices = np.sort(np.asarray(indices, dtype=np.intp))
+        return self._wrap(indices, method, ratio_vector)
+
+    def _wrap(
+        self, indices: IndexArray, method: str, ratio_vector: RatioVector
+    ) -> EclipseResult:
+        return EclipseResult(
+            indices=indices,
+            points=self._data[indices],
+            method=method,
+            ratios=ratio_vector,
+        )
+
+    def _empty_result(self, method: str, ratio_vector: RatioVector) -> EclipseResult:
+        empty = np.empty(0, dtype=np.intp)
+        # Indexing with an empty index array keeps the column count, so an
+        # empty result over (0, d) data has shape (0, d), not (0, 0).
+        return EclipseResult(
+            indices=empty,
+            points=self._data[empty],
+            method=method,
+            ratios=ratio_vector,
+        )
+
+    def _resolve_ratios(self, ratios) -> RatioVector:
+        if ratios is None:
+            if self._default_ratios is None:
+                if self.dimensions == 0:
+                    raise InvalidWeightRangeError(
+                        "a ratio specification is required for an empty dataset"
+                    )
+                return RatioVector.skyline(self.dimensions)
+            return self._default_ratios
+        if self.dimensions == 0:
+            # Empty dataset with unknown column count: only a RatioVector
+            # carries enough information to fix d.
+            if isinstance(ratios, RatioVector):
+                return ratios
+            raise InvalidWeightRangeError(
+                "cannot infer dimensionality for an empty dataset; "
+                "pass a RatioVector explicitly"
+            )
+        vector = make_ratio_vector(ratios, self.dimensions)
+        if vector.dimensions != self.dimensions:
+            raise DimensionMismatchError(
+                f"ratio vector is for d={vector.dimensions}, "
+                f"dataset has d={self.dimensions}"
+            )
+        return vector

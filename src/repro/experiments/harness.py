@@ -2,7 +2,13 @@
 
 The harness keeps the experiment code declarative: a runner describes the
 parameter sweep and which algorithms to time, and the harness handles
-repetition, warm-up, index-build/query separation, and result records.
+repetition, warm-up, index-build/query separation, and result records.  It
+runs on the session layer: each sweep point gets one
+:class:`~repro.core.session.DatasetSession` per algorithm so index builds
+are timed through the same code path applications use, and
+:func:`time_batched_vs_independent` measures the amortisation that
+:meth:`~repro.core.session.DatasetSession.run_batch` buys over independent
+facade queries.
 """
 
 from __future__ import annotations
@@ -10,14 +16,15 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.baseline import eclipse_baseline_indices
+from repro.core.query import EclipseQuery
+from repro.core.session import DatasetSession
 from repro.core.transform import eclipse_transform_indices
 from repro.core.weights import RatioVector
-from repro.index.eclipse_index import EclipseIndex
 
 #: Environment variable that switches the sweeps to the paper's full ranges.
 FULL_SWEEP_ENV = "REPRO_FULL_SWEEP"
@@ -138,8 +145,11 @@ def time_algorithms(
             timings.append(AlgorithmTiming(algorithm, seconds, size))
         elif algorithm in ("QUAD", "CUTTING"):
             backend = "quadtree" if algorithm == "QUAD" else "cutting"
+            # A fresh session per algorithm so the build (skyline included)
+            # is timed end to end, exactly as a cold application would pay it.
+            session = DatasetSession(data)
             build_start = time.perf_counter()
-            index = EclipseIndex(backend=backend).build(data)
+            index = session.index_for(backend)
             build_seconds = time.perf_counter() - build_start
             seconds = time_callable(lambda: index.query_indices(ratios), repeats)
             size = int(index.query_indices(ratios).size)
@@ -149,3 +159,82 @@ def time_algorithms(
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown algorithm {algorithm!r}")
     return timings
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """Timing of one batched-vs-independent comparison.
+
+    Attributes
+    ----------
+    batched_seconds:
+        Wall-clock of one :meth:`DatasetSession.run_batch` over all specs
+        (cold session: includes the shared skyline/corner/index builds).
+    independent_seconds:
+        Wall-clock of answering every spec through a fresh
+        :class:`EclipseQuery` (no artifact sharing).
+    identical:
+        ``True`` when both strategies returned identical index arrays for
+        every specification.
+    method:
+        The method the batch plan actually executed.
+    """
+
+    batched_seconds: float
+    independent_seconds: float
+    identical: bool
+    method: str
+
+    @property
+    def speedup(self) -> float:
+        """Independent-over-batched wall-clock ratio."""
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.independent_seconds / self.batched_seconds
+
+
+def time_batched_vs_independent(
+    data: np.ndarray,
+    ratio_specs: Sequence[RatioVector],
+    method: str = "auto",
+    repeats: int = 1,
+) -> BatchTiming:
+    """Measure one batched session run against per-query facade runs.
+
+    The independent side constructs a fresh :class:`EclipseQuery` per
+    specification, so no artifact is reused — the workload the batch API
+    exists to replace.  Both sides are checked for identical result indices.
+    """
+    specs = list(ratio_specs)
+
+    def batched() -> List[np.ndarray]:
+        session = DatasetSession(data)
+        results = session.run_batch(specs, method=method)
+        return [r.indices for r in results]
+
+    def independent() -> Tuple[List[np.ndarray], str]:
+        outputs = []
+        used = method
+        for ratio_vector in specs:
+            result = EclipseQuery(data).run(ratios=ratio_vector, method=method)
+            outputs.append(result.indices)
+            used = result.method
+        return outputs, used
+
+    probe_session = DatasetSession(data)
+    batch_indices = [r.indices for r in probe_session.run_batch(specs, method=method)]
+    executed_method = (
+        probe_session.last_plan.method if probe_session.last_plan else method
+    )
+    independent_indices, _ = independent()
+    identical = all(
+        np.array_equal(b, i) for b, i in zip(batch_indices, independent_indices)
+    )
+    batched_seconds = time_callable(batched, repeats)
+    independent_seconds = time_callable(independent, repeats)
+    return BatchTiming(
+        batched_seconds=batched_seconds,
+        independent_seconds=independent_seconds,
+        identical=identical,
+        method=executed_method,
+    )

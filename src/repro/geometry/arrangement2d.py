@@ -17,11 +17,18 @@ therefore precomputes the full table only up to
 lazily (an ``O(u log u)`` evaluation at query time) — the interval
 boundaries and the sorted Intersection Index are always precomputed, so the
 query complexity of Algorithm 5 is unchanged.
+
+The build is array-native: the pairwise intersection x-coordinates come from
+the blocked kernel
+(:func:`repro.geometry.hyperplane.pairwise_intersection_arrays_from`), the
+dense interval table is filled by a memory-capped broadcast over interval
+representatives, and :class:`IntersectionHyperplane` objects are only
+materialised lazily for the introspection accessors — building an
+arrangement no longer enumerates pairs in Python.
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -29,7 +36,11 @@ import numpy as np
 
 from repro.errors import DimensionMismatchError, InvalidDatasetError
 from repro.geometry.dual import DualHyperplane
-from repro.geometry.hyperplane import IntersectionHyperplane, pairwise_intersections
+from repro.geometry.hyperplane import (
+    IntersectionHyperplane,
+    pairwise_intersection_arrays_from,
+)
+from repro.perf.blocking import iter_blocks, memory_cap_bytes
 
 #: Above this many lines the per-interval order vectors are computed lazily.
 DEFAULT_DENSE_THRESHOLD = 128
@@ -66,7 +77,8 @@ class Arrangement2D:
     ----------
     lines:
         Dual lines (each with a one-dimensional coefficient vector, i.e. the
-        dataset is two-dimensional).
+        dataset is two-dimensional).  The kernelised build path avoids the
+        per-line objects entirely via :meth:`from_arrays`.
     dense_threshold:
         Maximum number of lines for which all interval order vectors are
         precomputed eagerly.  ``None`` uses :data:`DEFAULT_DENSE_THRESHOLD`.
@@ -90,47 +102,112 @@ class Arrangement2D:
                 raise DimensionMismatchError(
                     "Arrangement2D requires dual lines (two-dimensional data)"
                 )
-        self._lines: List[DualHyperplane] = lines
-        self._slopes = np.array([line.coefficients[0] for line in lines], dtype=float)
-        self._offsets = np.array([line.offset for line in lines], dtype=float)
+        slopes = np.array([line.coefficients[0] for line in lines], dtype=float)
+        offsets = np.array([line.offset for line in lines], dtype=float)
+        indices = np.array([line.index for line in lines], dtype=np.intp)
+        self._init_from_arrays(slopes, offsets, indices, dense_threshold)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        slopes: np.ndarray,
+        offsets: np.ndarray,
+        indices: Optional[np.ndarray] = None,
+        dense_threshold: Optional[int] = None,
+    ) -> "Arrangement2D":
+        """Build an arrangement straight from slope/offset arrays.
+
+        This is the kernelised build entry point: no :class:`DualHyperplane`
+        objects are created.  ``indices`` gives the identifiers reported for
+        pairs (default positional).
+        """
+        self = cls.__new__(cls)
+        slopes = np.asarray(slopes, dtype=float).reshape(-1)
+        offsets = np.asarray(offsets, dtype=float).reshape(-1)
+        if slopes.shape[0] != offsets.shape[0]:
+            raise DimensionMismatchError(
+                "slopes and offsets must have the same length"
+            )
+        if indices is None:
+            indices = np.arange(slopes.shape[0], dtype=np.intp)
+        else:
+            indices = np.asarray(indices, dtype=np.intp)
+        self._init_from_arrays(slopes, offsets, indices, dense_threshold)
+        return self
+
+    def _init_from_arrays(
+        self,
+        slopes: np.ndarray,
+        offsets: np.ndarray,
+        indices: np.ndarray,
+        dense_threshold: Optional[int],
+    ) -> None:
+        self._slopes = slopes
+        self._offsets = offsets
+        self._line_indices = indices
         self._dense_threshold = (
             DEFAULT_DENSE_THRESHOLD if dense_threshold is None else int(dense_threshold)
         )
 
-        intersections = pairwise_intersections(lines, skip_degenerate=True)
-        self._sorted_intersections = sorted(
-            intersections, key=lambda inter: inter.x_coordinate()
+        pairs, coeffs, rhs = pairwise_intersection_arrays_from(
+            slopes[:, None], offsets, indices=None, skip_degenerate=True
         )
-        self._intersection_xs: List[float] = [
-            inter.x_coordinate() for inter in self._sorted_intersections
-        ]
-        self._boundaries = self._distinct(self._intersection_xs)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            xs = rhs / coeffs[:, 0] if len(rhs) else rhs
+        order = np.argsort(xs, kind="stable")
+        self._pair_positions = pairs[order]
+        self._pair_slopes = coeffs[order, 0] if len(rhs) else coeffs[:, 0]
+        self._pair_rhs = rhs[order]
+        self._intersection_xs = xs[order]
+        self._object_cache: Optional[List[IntersectionHyperplane]] = None
+
+        self._boundaries = (
+            np.unique(self._intersection_xs)
+            if self._intersection_xs.size
+            else np.empty(0, dtype=float)
+        )
         self._edges = np.concatenate(([-np.inf], self._boundaries, [np.inf]))
-        self._dense = len(lines) <= self._dense_threshold
+        num_lines = slopes.shape[0]
+        self._dense = num_lines <= self._dense_threshold
         self._interval_cache: List[Optional[ArrangementInterval]] = [
             None
         ] * (self._edges.size - 1)
-        if self._dense:
-            for i in range(self._edges.size - 1):
-                self._interval_cache[i] = self._materialise_interval(i)
+        if self._dense and num_lines:
+            self._materialise_dense_intervals()
 
     # ------------------------------------------------------------------
     # Public accessors
     # ------------------------------------------------------------------
     @property
     def lines(self) -> List[DualHyperplane]:
-        """The dual lines the arrangement was built from."""
-        return list(self._lines)
+        """The dual lines the arrangement was built from (materialised)."""
+        return [
+            DualHyperplane(
+                coefficients=np.array([self._slopes[i]]),
+                offset=float(self._offsets[i]),
+                index=int(self._line_indices[i]),
+            )
+            for i in range(self.num_lines)
+        ]
 
     @property
     def num_lines(self) -> int:
         """Number of dual lines."""
-        return len(self._lines)
+        return int(self._slopes.shape[0])
 
     @property
     def intersections(self) -> List[IntersectionHyperplane]:
-        """All non-degenerate pairwise intersections, sorted by x-coordinate."""
-        return list(self._sorted_intersections)
+        """All non-degenerate pairwise intersections, sorted by x-coordinate.
+
+        Materialised lazily: the query path works on the underlying arrays
+        and never pays for these objects.
+        """
+        if self._object_cache is None:
+            self._object_cache = [
+                self._intersection_object(i)
+                for i in range(self._intersection_xs.size)
+            ]
+        return list(self._object_cache)
 
     @property
     def boundaries(self) -> np.ndarray:
@@ -161,9 +238,9 @@ class Arrangement2D:
         Implemented with binary search over the boundary array (Line 1 of
         Algorithm 5).
         """
-        if not self._lines:
+        if not self.num_lines:
             raise InvalidDatasetError("the arrangement has no lines")
-        position = bisect.bisect_left(self._boundaries.tolist(), x)
+        position = int(np.searchsorted(self._boundaries, x, side="left"))
         return self._get_interval(position)
 
     def order_vector_at(self, x: float) -> np.ndarray:
@@ -185,20 +262,23 @@ class Arrangement2D:
         """
         if high < low:
             low, high = high, low
-        start = bisect.bisect_left(self._intersection_xs, low)
-        end = bisect.bisect_right(self._intersection_xs, high)
-        return self._sorted_intersections[start:end]
+        start = int(np.searchsorted(self._intersection_xs, low, side="left"))
+        end = int(np.searchsorted(self._intersection_xs, high, side="right"))
+        if self._object_cache is not None:
+            return self._object_cache[start:end]
+        return [self._intersection_object(i) for i in range(start, end)]
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    @staticmethod
-    def _distinct(sorted_values: Sequence[float]) -> np.ndarray:
-        distinct: List[float] = []
-        for x in sorted_values:
-            if not distinct or x > distinct[-1]:
-                distinct.append(x)
-        return np.array(distinct, dtype=float)
+    def _intersection_object(self, position: int) -> IntersectionHyperplane:
+        first, second = self._pair_positions[position]
+        return IntersectionHyperplane(
+            coefficients=np.array([self._pair_slopes[position]]),
+            rhs=float(self._pair_rhs[position]),
+            first=int(self._line_indices[first]),
+            second=int(self._line_indices[second]),
+        )
 
     def _get_interval(self, position: int) -> ArrangementInterval:
         cached = self._interval_cache[position]
@@ -213,6 +293,38 @@ class Arrangement2D:
         representative = self._representative_point(start, end)
         order_vector = self._order_vector_at_point(representative)
         return ArrangementInterval(start=start, end=end, order_vector=order_vector)
+
+    def _materialise_dense_intervals(self) -> None:
+        """Fill the whole interval table with one chunked broadcast.
+
+        For a chunk of ``C`` interval representatives the line values form a
+        ``(C, u)`` matrix and the order vectors drop out of one boolean
+        ``(C, u, u)`` comparison (``counts[c, k] = #{j : value[c, j] >
+        value[c, k]}``).  The chunk size is picked so the boolean scratch
+        respects the shared kernel memory cap; dense mode is bounded by
+        ``dense_threshold`` lines so the scratch per representative is tiny.
+        """
+        reps = np.array(
+            [
+                self._representative_point(
+                    float(self._edges[i]), float(self._edges[i + 1])
+                )
+                for i in range(self.num_intervals)
+            ],
+            dtype=float,
+        )
+        u = self.num_lines
+        chunk_rows = max(1, memory_cap_bytes(None) // max(1, u * u))
+        for start, stop in iter_blocks(reps.size, chunk_rows):
+            values = self._slopes[None, :] * reps[start:stop, None] - self._offsets
+            greater = values[:, :, None] > values[:, None, :]
+            counts = greater.sum(axis=1).astype(np.intp)
+            for local, position in enumerate(range(start, stop)):
+                self._interval_cache[position] = ArrangementInterval(
+                    start=float(self._edges[position]),
+                    end=float(self._edges[position + 1]),
+                    order_vector=counts[local],
+                )
 
     @staticmethod
     def _representative_point(start: float, end: float) -> float:

@@ -106,6 +106,9 @@ def dual_hyperplanes(points: ArrayLike2D) -> List[DualHyperplane]:
 
     The ``index`` of each hyperplane records the row position of its primal
     point, so index-based query results can be mapped back to the dataset.
+
+    This materialises one Python object per point; the index build path uses
+    :func:`dual_coefficient_arrays` instead, which stays in array land.
     """
     data = as_dataset(points)
     if data.shape[0] and data.shape[1] < 2:
@@ -114,3 +117,24 @@ def dual_hyperplanes(points: ArrayLike2D) -> List[DualHyperplane]:
         DualHyperplane(coefficients=row[:-1].copy(), offset=float(row[-1]), index=i)
         for i, row in enumerate(data)
     ]
+
+
+def dual_coefficient_arrays(points: ArrayLike2D) -> Tuple[np.ndarray, np.ndarray]:
+    """Array form of the duality transform: ``(coefficients, offsets)``.
+
+    Returns the ``(n, d-1)`` coefficient matrix and the ``(n,)`` offset
+    vector of the dual hyperplanes of every point — the same data
+    :func:`dual_hyperplanes` wraps in per-point objects, without creating a
+    single Python object.  Row ``i`` of both arrays belongs to point ``i``,
+    so positional identity doubles as the hyperplane index.
+    """
+    data = as_dataset(points)
+    if data.shape[0] and data.shape[1] < 2:
+        raise InvalidDatasetError("the duality transform needs d >= 2 attributes")
+    if data.shape[0] == 0:
+        width = max(0, data.shape[1] - 1)
+        return np.empty((0, width)), np.empty(0)
+    return (
+        np.ascontiguousarray(data[:, :-1], dtype=float),
+        np.ascontiguousarray(data[:, -1], dtype=float),
+    )

@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import DimensionMismatchError
 from repro.geometry.boxes import Box
 from repro.geometry.dual import DualHyperplane
+from repro.perf.blocking import memory_cap_bytes
 
 
 @dataclass(frozen=True)
@@ -149,14 +150,93 @@ def pairwise_intersection_arrays(
     coeff_matrix = np.array([h.coefficients for h in hyperplanes], dtype=float)
     offsets = np.array([h.offset for h in hyperplanes], dtype=float)
     indices = np.array([h.index for h in hyperplanes], dtype=np.intp)
-    ii, jj = np.triu_indices(u, k=1)
-    coefficients = coeff_matrix[ii] - coeff_matrix[jj]
-    rhs = offsets[ii] - offsets[jj]
-    pairs = np.column_stack([indices[ii], indices[jj]])
+    return pairwise_intersection_arrays_from(
+        coeff_matrix, offsets, indices=indices, skip_degenerate=skip_degenerate
+    )
+
+
+def pairwise_intersection_arrays_from(
+    coefficients: np.ndarray,
+    offsets: np.ndarray,
+    indices: Optional[np.ndarray] = None,
+    skip_degenerate: bool = True,
+    memory_cap: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Array-native core of :func:`pairwise_intersection_arrays`.
+
+    Takes the dual hyperplanes as parallel ``(u, k)`` / ``(u,)`` arrays
+    (typically straight from
+    :func:`repro.geometry.dual.dual_coefficient_arrays`) and enumerates all
+    ``(u choose 2)`` intersection hyperplanes in row-major ``i < j`` order
+    without constructing a single per-pair Python object.  The enumeration
+    is chunked over source rows so the fancy-indexing scratch respects the
+    shared kernel memory cap (:func:`repro.perf.blocking.memory_cap_bytes`);
+    the full output arrays are the result and are allocated once up front.
+
+    ``indices`` supplies the per-hyperplane identifiers reported in
+    ``pairs`` (default: positional ``0 .. u-1``).
+    """
+    coefficients = np.asarray(coefficients, dtype=float)
+    offsets = np.asarray(offsets, dtype=float)
+    u = coefficients.shape[0]
+    k = coefficients.shape[1] if coefficients.ndim == 2 else 0
+    if u != offsets.shape[0]:
+        raise DimensionMismatchError(
+            "coefficients and offsets must have the same number of rows"
+        )
+    if u < 2:
+        return (
+            np.empty((0, 2), dtype=np.intp),
+            np.empty((0, k), dtype=float),
+            np.empty(0, dtype=float),
+        )
+    if indices is None:
+        indices = np.arange(u, dtype=np.intp)
+    else:
+        indices = np.asarray(indices, dtype=np.intp)
+
+    total_pairs = u * (u - 1) // 2
+    out_pairs = np.empty((total_pairs, 2), dtype=np.intp)
+    out_coeffs = np.empty((total_pairs, max(1, k)), dtype=float)
+    out_rhs = np.empty(total_pairs, dtype=float)
+
+    # Scratch per pair: two gathered coefficient rows plus the pair/rhs
+    # bookkeeping, ~4 arrays of k doubles.  Never go below one full source
+    # row per chunk.
+    pairs_budget = max(u, memory_cap_bytes(memory_cap) // (max(1, k) * 32))
+    counts = (u - 1) - np.arange(u - 1, dtype=np.int64)
+    cumulative = np.cumsum(counts)
+
+    pos = 0
+    start = 0
+    while start < u - 1:
+        consumed = cumulative[start - 1] if start else 0
+        stop = int(np.searchsorted(cumulative, consumed + pairs_budget, side="left")) + 1
+        stop = min(max(stop, start + 1), u - 1)
+        rows = np.arange(start, stop, dtype=np.intp)
+        row_counts = counts[start:stop]
+        chunk = int(row_counts.sum())
+        ii = np.repeat(rows, row_counts)
+        jj = (
+            np.arange(chunk, dtype=np.intp)
+            - np.repeat(np.cumsum(row_counts) - row_counts, row_counts)
+            + ii
+            + 1
+        )
+        np.subtract(
+            coefficients[ii], coefficients[jj], out=out_coeffs[pos : pos + chunk]
+        )
+        np.subtract(offsets[ii], offsets[jj], out=out_rhs[pos : pos + chunk])
+        out_pairs[pos : pos + chunk, 0] = indices[ii]
+        out_pairs[pos : pos + chunk, 1] = indices[jj]
+        pos += chunk
+        start = stop
+
     if skip_degenerate:
-        keep = np.any(np.abs(coefficients) > 0.0, axis=1)
-        pairs, coefficients, rhs = pairs[keep], coefficients[keep], rhs[keep]
-    return pairs, coefficients, rhs
+        keep = np.any(np.abs(out_coeffs) > 0.0, axis=1)
+        if not keep.all():
+            return out_pairs[keep], out_coeffs[keep], out_rhs[keep]
+    return out_pairs, out_coeffs, out_rhs
 
 
 def hyperplanes_intersect_box_mask(

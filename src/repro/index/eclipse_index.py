@@ -36,7 +36,7 @@ from repro.core.dominance import as_dataset
 from repro.core.weights import RatioVector, make_ratio_vector
 from repro.errors import DimensionMismatchError, IndexNotBuiltError
 from repro.geometry.boxes import Box
-from repro.geometry.dual import dual_hyperplanes
+from repro.geometry.dual import dual_coefficient_arrays
 from repro.index.intersection import (
     DEFAULT_MAX_RATIO,
     CandidateSet,
@@ -99,25 +99,47 @@ class EclipseIndex:
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
-    def build(self, points: ArrayLike2D) -> "EclipseIndex":
-        """Build the index over ``points`` and return ``self``."""
+    def build(
+        self, points: ArrayLike2D, skyline_idx: Optional[IndexArray] = None
+    ) -> "EclipseIndex":
+        """Build the index over ``points`` and return ``self``.
+
+        The build path is array-native end to end: the skyline prefilter
+        runs on the broadcast kernels, the duality transform is two array
+        slices (:func:`~repro.geometry.dual.dual_coefficient_arrays`), and
+        the order-vector/intersection structures are built through their
+        ``from_arrays`` entry points — no per-point or per-pair Python
+        objects are created.
+
+        Parameters
+        ----------
+        points:
+            Dataset of shape ``(n, d)``.
+        skyline_idx:
+            Precomputed raw-space skyline indices of ``points``, when the
+            caller (typically a :class:`~repro.core.session.DatasetSession`)
+            already has them; ``None`` computes them here with the
+            configured ``skyline_method``.
+        """
         data = as_dataset(points)
         if data.shape[0] and data.shape[1] < 2:
             raise DimensionMismatchError("eclipse indexing needs d >= 2 attributes")
         self._data = data
-        self._skyline_idx = skyline_indices(data, method=self._skyline_method)
-        skyline_points = data[self._skyline_idx]
-        duals = dual_hyperplanes(skyline_points)
-        self._order_index = OrderVectorIndex(
-            duals, dense_threshold=self._dense_threshold
+        if skyline_idx is None:
+            skyline_idx = skyline_indices(data, method=self._skyline_method)
+        self._skyline_idx = np.asarray(skyline_idx, dtype=np.intp)
+        coefficients, offsets = dual_coefficient_arrays(data[self._skyline_idx])
+        self._order_index = OrderVectorIndex.from_arrays(
+            coefficients, offsets, dense_threshold=self._dense_threshold
         )
         backend = self._backend
         if data.shape[1] == 2 and backend in ("quadtree", "cutting", "auto"):
             # In two dimensions both QUAD and CUTTING share the sorted
             # binary-search structure (Section IV-A of the paper).
             backend = "sorted"
-        self._intersection_index = IntersectionIndex(
-            duals,
+        self._intersection_index = IntersectionIndex.from_arrays(
+            coefficients,
+            offsets,
             backend=backend,
             max_ratio=self._max_ratio,
             capacity=self._capacity,

@@ -41,6 +41,7 @@ from repro.geometry.hyperplane import (
     IntersectionHyperplane,
     hyperplanes_intersect_box_mask,
     pairwise_intersection_arrays,
+    pairwise_intersection_arrays_from,
 )
 from repro.geometry.quadtree import LineQuadtree
 
@@ -117,7 +118,60 @@ class IntersectionIndex:
         seed: Optional[int] = 0,
     ):
         hyperplanes = list(hyperplanes)
-        self._dual_dims = hyperplanes[0].dual_dimensions if hyperplanes else 0
+        dual_dims = hyperplanes[0].dual_dimensions if hyperplanes else 0
+        pairs, coefficients, rhs = pairwise_intersection_arrays(
+            hyperplanes, skip_degenerate=True
+        )
+        self._init_from_pair_arrays(
+            dual_dims, pairs, coefficients, rhs, backend, max_ratio, capacity, seed
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        coefficients: np.ndarray,
+        offsets: np.ndarray,
+        indices: Optional[np.ndarray] = None,
+        backend: str = "auto",
+        max_ratio: float = DEFAULT_MAX_RATIO,
+        capacity: Optional[int] = None,
+        seed: Optional[int] = 0,
+    ) -> "IntersectionIndex":
+        """Build the index straight from ``(u, d-1)`` / ``(u,)`` dual arrays.
+
+        The kernelised build entry point: the pairwise intersection
+        hyperplanes are enumerated by the blocked array kernel
+        (:func:`repro.geometry.hyperplane.pairwise_intersection_arrays_from`)
+        without creating per-hyperplane or per-pair Python objects.
+        """
+        self = cls.__new__(cls)
+        coefficients = np.asarray(coefficients, dtype=float)
+        offsets = np.asarray(offsets, dtype=float)
+        if coefficients.ndim != 2 or coefficients.shape[0] != offsets.shape[0]:
+            raise DimensionMismatchError(
+                "coefficients must be (u, k) with offsets of length u"
+            )
+        dual_dims = int(coefficients.shape[1]) if coefficients.shape[0] else 0
+        pairs, pair_coeffs, pair_rhs = pairwise_intersection_arrays_from(
+            coefficients, offsets, indices=indices, skip_degenerate=True
+        )
+        self._init_from_pair_arrays(
+            dual_dims, pairs, pair_coeffs, pair_rhs, backend, max_ratio, capacity, seed
+        )
+        return self
+
+    def _init_from_pair_arrays(
+        self,
+        dual_dims: int,
+        pairs: np.ndarray,
+        coefficients: np.ndarray,
+        rhs: np.ndarray,
+        backend: str,
+        max_ratio: float,
+        capacity: Optional[int],
+        seed: Optional[int],
+    ) -> None:
+        self._dual_dims = dual_dims
         if backend == "auto":
             backend = "sorted" if self._dual_dims == 1 else "quadtree"
         if backend not in _BACKENDS:
@@ -140,9 +194,7 @@ class IntersectionIndex:
             else None
         )
 
-        self._pairs, self._coefficients, self._rhs = pairwise_intersection_arrays(
-            hyperplanes, skip_degenerate=True
-        )
+        self._pairs, self._coefficients, self._rhs = pairs, coefficients, rhs
         self._tree = None
         self._sorted_xs: Optional[np.ndarray] = None
         self._sorted_order: Optional[np.ndarray] = None

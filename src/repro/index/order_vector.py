@@ -23,7 +23,7 @@ Two representations are provided, matching the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -94,42 +94,82 @@ class OrderVectorIndex:
         max_arrangement_lines: Optional[int] = None,
     ):
         hyperplanes = list(hyperplanes)
-        self._hyperplanes: List[DualHyperplane] = hyperplanes
         if hyperplanes:
-            self._dual_dims = hyperplanes[0].dual_dimensions
+            dual_dims = hyperplanes[0].dual_dimensions
             for h in hyperplanes:
-                if h.dual_dimensions != self._dual_dims:
+                if h.dual_dimensions != dual_dims:
                     raise DimensionMismatchError(
                         "all dual hyperplanes must share the same dimensionality"
                     )
+            coefficients = np.array(
+                [h.coefficients for h in hyperplanes], dtype=float
+            )
         else:
-            self._dual_dims = 0
-        self._coefficients = (
-            np.array([h.coefficients for h in hyperplanes], dtype=float)
-            if hyperplanes
-            else np.empty((0, 0))
+            coefficients = np.empty((0, 0))
+        offsets = np.array([h.offset for h in hyperplanes], dtype=float)
+        indices = np.array([h.index for h in hyperplanes], dtype=np.intp)
+        self._init_from_arrays(
+            coefficients, offsets, dense_threshold, max_arrangement_lines, indices
         )
-        self._offsets = np.array([h.offset for h in hyperplanes], dtype=float)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        coefficients: np.ndarray,
+        offsets: np.ndarray,
+        dense_threshold: Optional[int] = None,
+        max_arrangement_lines: Optional[int] = None,
+    ) -> "OrderVectorIndex":
+        """Build the index straight from ``(u, d-1)`` / ``(u,)`` dual arrays.
+
+        The kernelised build entry point
+        (:func:`repro.geometry.dual.dual_coefficient_arrays` produces the
+        inputs): no per-hyperplane Python objects are created, and the
+        two-dimensional arrangement is built through its own array path.
+        """
+        self = cls.__new__(cls)
+        coefficients = np.asarray(coefficients, dtype=float)
+        offsets = np.asarray(offsets, dtype=float)
+        if coefficients.ndim != 2 or coefficients.shape[0] != offsets.shape[0]:
+            raise DimensionMismatchError(
+                "coefficients must be (u, k) with offsets of length u"
+            )
+        self._init_from_arrays(
+            coefficients, offsets, dense_threshold, max_arrangement_lines, None
+        )
+        return self
+
+    def _init_from_arrays(
+        self,
+        coefficients: np.ndarray,
+        offsets: np.ndarray,
+        dense_threshold: Optional[int],
+        max_arrangement_lines: Optional[int],
+        indices: Optional[np.ndarray],
+    ) -> None:
+        self._coefficients = coefficients
+        self._offsets = offsets
+        num = coefficients.shape[0]
+        self._dual_dims = int(coefficients.shape[1]) if num else 0
         self._arrangement: Optional[Arrangement2D] = None
         arrangement_limit = (
             self.MAX_ARRANGEMENT_LINES
             if max_arrangement_lines is None
             else int(max_arrangement_lines)
         )
-        if (
-            hyperplanes
-            and self._dual_dims == 1
-            and len(hyperplanes) <= arrangement_limit
-        ):
-            self._arrangement = Arrangement2D(
-                hyperplanes, dense_threshold=dense_threshold
+        if num and self._dual_dims == 1 and num <= arrangement_limit:
+            self._arrangement = Arrangement2D.from_arrays(
+                coefficients[:, 0],
+                offsets,
+                indices=indices,
+                dense_threshold=dense_threshold,
             )
 
     # ------------------------------------------------------------------
     @property
     def num_hyperplanes(self) -> int:
         """Number of indexed dual hyperplanes (``u``)."""
-        return len(self._hyperplanes)
+        return int(self._coefficients.shape[0])
 
     @property
     def dual_dimensions(self) -> int:

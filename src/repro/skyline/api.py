@@ -14,6 +14,7 @@ import numpy as np
 
 from repro._types import ArrayLike2D, IndexArray
 from repro.core.dominance import as_dataset
+from repro.core.plan import choose_skyline_method
 from repro.errors import AlgorithmNotSupportedError
 from repro.skyline.bnl import skyline_bnl_indices
 from repro.skyline.divide_conquer import skyline_divide_conquer_indices
@@ -41,16 +42,19 @@ def skyline_indices(
         Dataset of shape ``(n, d)`` (minimisation semantics).
     method:
         One of ``"auto"`` (default), ``"bnl"``, ``"sfs"``, ``"sweep2d"``,
-        ``"divide_conquer"``.  ``"auto"`` selects the two-dimensional sweep
-        for ``d = 2`` and divide-and-conquer for ``3 <= d <= 4`` — the
-        pairing Algorithms 2 and 3 of the paper prescribe — and switches to
-        block sort-filter-skyline for ``d >= 5``, where the hyperplane
-        splits of divide-and-conquer lose their pruning power and the
-        broadcast kernels of block-SFS are measurably faster (this is the
-        regime of every corner-mapped eclipse space with ``d >= 4``, whose
-        ``2^{d-1}`` strongly correlated columns are block-SFS's best case).
-        All methods return identical indices, so the heuristic is purely a
-        matter of speed.
+        ``"divide_conquer"``.  ``"auto"`` delegates to the n-and-d-aware
+        cost model (:func:`repro.core.plan.choose_skyline_method`): the
+        two-dimensional sweep for ``d = 2``, divide-and-conquer for
+        ``3 <= d <= 4`` on large inputs — the pairing Algorithms 2 and 3 of
+        the paper prescribe — block sort-filter-skyline both for small
+        mid-dimensional inputs (where the divide-and-conquer recursion never
+        recoups its bookkeeping) and for ``d >= 5``, where the hyperplane
+        splits lose their pruning power and the broadcast kernels of
+        block-SFS are measurably faster (this is the regime of every
+        corner-mapped eclipse space with ``d >= 4``, whose ``2^{d-1}``
+        strongly correlated columns are block-SFS's best case).  All methods
+        return identical indices, so the heuristic is purely a matter of
+        speed.
     collapse_duplicates:
         Opt-in fast path for duplicate-heavy data: run the skyline over the
         unique rows only, then re-expand to the original indices.  Exact
@@ -74,12 +78,7 @@ def skyline_indices(
             in_skyline[unique_sky] = True
             return np.flatnonzero(in_skyline[np.ravel(inverse)]).astype(np.intp)
     if method == "auto":
-        if data.shape[1] == 2:
-            method = "sweep2d"
-        elif data.shape[1] <= 4:
-            method = "divide_conquer"
-        else:
-            method = "sfs"
+        method = choose_skyline_method(data.shape[0], data.shape[1])
     return _METHODS[method](data)
 
 

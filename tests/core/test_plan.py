@@ -1,0 +1,159 @@
+"""Tests for the cost-model planner (repro.core.plan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plan import (
+    CostEstimate,
+    canonical_method,
+    choose_skyline_method,
+    expected_skyline_size,
+    method_cost_estimates,
+    plan_query,
+)
+from repro.errors import AlgorithmNotSupportedError
+
+
+class TestCanonicalMethod:
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("base", "baseline"),
+            ("BASELINE", "baseline"),
+            ("tran", "transform"),
+            ("quad", "quadtree"),
+            ("cut", "cutting"),
+            ("auto", "auto"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert canonical_method(alias) == canonical
+
+    def test_unknown_method(self):
+        with pytest.raises(AlgorithmNotSupportedError):
+            canonical_method("magic")
+        with pytest.raises(AlgorithmNotSupportedError):
+            canonical_method(None)
+
+
+class TestSkylineSubstrate:
+    # Snapshot of the n-and-d-aware dispatch across the (n, d) grid; the
+    # substrates all return identical indices, so these pins document the
+    # *speed* policy and catch accidental dispatch drift.
+    @pytest.mark.parametrize(
+        "n, d, expected",
+        [
+            (10, 2, "sweep2d"),
+            (1_000_000, 2, "sweep2d"),
+            (100, 3, "sfs"),  # small-n: recursion never recoups its overhead
+            (511, 4, "sfs"),
+            (512, 3, "divide_conquer"),
+            (50_000, 3, "divide_conquer"),
+            (50_000, 4, "divide_conquer"),
+            (100, 5, "sfs"),
+            (50_000, 5, "sfs"),
+            (50_000, 8, "sfs"),
+        ],
+    )
+    def test_grid_snapshot(self, n, d, expected):
+        assert choose_skyline_method(n, d) == expected
+
+    def test_expected_skyline_size_monotone_in_d(self):
+        assert expected_skyline_size(10_000, 2) < expected_skyline_size(10_000, 4)
+
+    def test_expected_skyline_size_bounded_by_n(self):
+        assert expected_skyline_size(10, 9) <= 10
+        assert expected_skyline_size(0, 3) == 0
+
+
+class TestCostEstimates:
+    def test_all_methods_estimated(self):
+        estimates = method_cost_estimates(1000, 3)
+        assert sorted(e.method for e in estimates) == [
+            "baseline",
+            "cutting",
+            "quadtree",
+            "transform",
+        ]
+
+    def test_scan_methods_have_no_build(self):
+        estimates = {e.method: e for e in method_cost_estimates(1000, 3)}
+        assert estimates["baseline"].build == 0.0
+        assert estimates["transform"].build == 0.0
+        assert estimates["quadtree"].build > 0.0
+
+    def test_measured_skyline_size_drives_index_cost(self):
+        small = {e.method: e for e in method_cost_estimates(10_000, 4, num_skyline=50)}
+        large = {
+            e.method: e for e in method_cost_estimates(10_000, 4, num_skyline=5000)
+        }
+        assert small["quadtree"].build < large["quadtree"].build
+        assert small["quadtree"].per_query < large["quadtree"].per_query
+
+    def test_total_includes_build_once(self):
+        estimate = CostEstimate("quadtree", build=100.0, per_query=1.0)
+        assert estimate.total(1) == pytest.approx(101.0)
+        assert estimate.total(10) == pytest.approx(110.0)
+
+
+class TestPlanQuery:
+    @pytest.mark.parametrize("n", [10, 1000, 100_000])
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_one_shot_always_transform(self, n, d):
+        plan = plan_query(n, d, method="auto", num_queries=1)
+        assert plan.method == "transform"
+        assert plan.index_backend is None
+        assert not plan.uses_index
+
+    def test_large_batches_amortise_an_index(self):
+        plan = plan_query(50_000, 3, method="auto", num_queries=200)
+        assert plan.method == "quadtree"
+        assert plan.index_backend == "quadtree"
+        assert plan.uses_index
+
+    def test_huge_measured_skyline_disables_index_choice(self):
+        # When every point is a skyline point (worst case), the u^2 pair
+        # enumeration dwarfs repeated transformation passes.
+        plan = plan_query(
+            50_000, 3, method="auto", num_queries=20, num_skyline=50_000
+        )
+        assert plan.method == "transform"
+
+    def test_explicit_method_is_respected(self):
+        plan = plan_query(1000, 3, method="cutting", num_queries=1)
+        assert plan.method == "cutting"
+        assert plan.index_backend == "cutting"
+        assert "explicitly" in plan.reason
+
+    def test_substrates_recorded(self):
+        plan = plan_query(50_000, 4, method="auto", num_queries=1)
+        assert plan.skyline_method == "divide_conquer"
+        # The corner-score space has 2^(d-1) = 8 columns -> block-SFS.
+        assert plan.mapped_skyline_method == "sfs"
+
+    def test_estimate_for_unknown_method_raises(self):
+        plan = plan_query(100, 3)
+        with pytest.raises(KeyError):
+            plan.estimate_for("magic")
+
+
+class TestExplain:
+    def test_explain_mentions_workload_and_choice(self):
+        plan = plan_query(2_000, 3, method="auto", num_queries=50, num_skyline=240)
+        text = plan.explain()
+        assert "n=2000" in text
+        assert "d=3" in text
+        assert "50 ratio-range queries" in text
+        assert "240 (measured)" in text
+        assert plan.method in text
+        assert "-> " + plan.method[:4] in text.replace("  ", " ") or plan.method in text
+
+    def test_explain_lists_every_method(self):
+        text = plan_query(2_000, 3).explain()
+        for method in ("baseline", "transform", "quadtree", "cutting"):
+            assert method in text
+
+    def test_explain_singular_query(self):
+        text = plan_query(100, 2, num_queries=1).explain()
+        assert "1 ratio-range query" in text

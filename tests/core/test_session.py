@@ -1,0 +1,238 @@
+"""Tests for the DatasetSession executor layer (repro.core.session)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import EclipseQuery
+from repro.core.session import DatasetSession, index_cache_key
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import AlgorithmNotSupportedError, InvalidWeightRangeError
+
+
+def random_ratio_specs(rng, count, dimensions):
+    """Fuzzed uniform ratio ranges with strictly positive upper bounds."""
+    specs = []
+    for _ in range(count):
+        low = float(rng.uniform(0.05, 1.0))
+        high = low + float(rng.uniform(0.05, 3.0))
+        specs.append(RatioVector.uniform(low, high, dimensions))
+    return specs
+
+
+class TestSessionBasics:
+    def test_properties(self, hotels):
+        session = DatasetSession(hotels, ratios=(0.25, 2.0))
+        assert session.num_points == 4
+        assert session.dimensions == 2
+        assert session.default_ratios == RatioVector.uniform(0.25, 2.0, 2)
+
+    def test_run_matches_facade(self, hotels):
+        session = DatasetSession(hotels)
+        result = session.run(ratios=(0.25, 2.0))
+        assert result.method == "transform"
+        assert result.indices.tolist() == [0, 1, 2]
+
+    def test_skyline_computed_once(self, hotels):
+        session = DatasetSession(hotels)
+        first = session.skyline()
+        second = session.skyline()
+        assert first is second
+        assert session.stats.skyline_builds == 1
+
+    def test_empty_dataset_batch(self):
+        session = DatasetSession(np.empty((0, 3)))
+        results = session.run_batch([(0.5, 2.0), (0.25, 1.0)])
+        assert [len(r) for r in results] == [0, 0]
+        assert all(r.points.shape == (0, 3) for r in results)
+
+    def test_empty_spec_list(self, hotels):
+        assert DatasetSession(hotels).run_batch([]) == []
+
+    def test_unknown_index_kwarg_rejected_eagerly(self, hotels):
+        with pytest.raises(AlgorithmNotSupportedError):
+            DatasetSession(hotels, index_kwargs={"capactiy": 8})
+
+    def test_dimensionless_empty_dataset_requires_ratio_vector(self):
+        with pytest.raises(InvalidWeightRangeError):
+            DatasetSession([], ratios=(0.5, 2.0))
+
+
+class TestIndexCache:
+    def test_same_parameters_reuse_the_index(self, hotels):
+        session = DatasetSession(hotels)
+        assert session.index_for("quadtree") is session.index_for("quadtree")
+        assert session.stats.index_builds == 1
+
+    def test_backend_parameters_are_part_of_the_key(self):
+        # Seed bug: the facade cached indexes by backend name only, so a
+        # changed capacity/max_ratio/dense_threshold silently reused a stale
+        # index.  Every parameter must produce a distinct cache entry.
+        data = generate_dataset("anti", 80, 3, seed=7)
+        session = DatasetSession(data)
+        default = session.index_for("quadtree")
+        assert session.index_for("quadtree", capacity=4) is not default
+        assert session.index_for("quadtree", max_ratio=16.0) is not default
+        assert session.index_for("quadtree", dense_threshold=2) is not default
+        assert session.index_for("quadtree", seed=99) is not default
+        assert session.stats.index_builds == 5
+        # ...and explicitly passing a default maps onto the cached default.
+        assert session.index_for("quadtree", capacity=None) is default
+
+    def test_facade_honours_index_kwargs_in_cache(self):
+        data = generate_dataset("anti", 60, 3, seed=3)
+        small = EclipseQuery(data, capacity=2).build_index("quad")
+        large = EclipseQuery(data, capacity=64).build_index("quad")
+        assert small.intersection_index.tree.capacity == 2
+        assert large.intersection_index.tree.capacity == 64
+
+    def test_index_for_rejects_scan_methods(self, hotels):
+        with pytest.raises(AlgorithmNotSupportedError):
+            DatasetSession(hotels).index_for("transform")
+
+    def test_cache_key_normalises_defaults(self):
+        assert index_cache_key("quadtree", {}) == index_cache_key(
+            "quadtree", {"capacity": None, "seed": 0}
+        )
+        assert index_cache_key("quadtree", {}) != index_cache_key(
+            "quadtree", {"capacity": 8}
+        )
+
+
+class TestBatchSharedWork:
+    def test_transform_batch_builds_artifacts_exactly_once(self):
+        # The acceptance contract of the batch executor: >= 50 ratio specs,
+        # one skyline, one corner-score matrix, results identical to
+        # independent facade queries.
+        data = generate_dataset("anti", 1500, 3, seed=11)
+        rng = np.random.default_rng(42)
+        specs = random_ratio_specs(rng, 50, 3)
+
+        session = DatasetSession(data)
+        results = session.run_batch(specs, method="transform")
+        assert session.stats.skyline_builds == 1
+        assert session.stats.corner_matrix_builds == 1
+        assert session.stats.index_builds == 0
+        assert session.stats.queries == 50
+
+        for ratio_vector, result in zip(specs, results):
+            independent = EclipseQuery(data).run(
+                ratios=ratio_vector, method="transform"
+            )
+            assert np.array_equal(result.indices, independent.indices)
+            assert result.method == "transform"
+
+    def test_index_batch_builds_index_exactly_once(self):
+        data = generate_dataset("anti", 1500, 3, seed=11)
+        rng = np.random.default_rng(43)
+        specs = random_ratio_specs(rng, 50, 3)
+
+        session = DatasetSession(data)
+        results = session.run_batch(specs, method="quad")
+        assert session.stats.skyline_builds == 1
+        assert session.stats.index_builds == 1
+        assert session.stats.queries == 50
+
+        for ratio_vector, result in zip(specs, results):
+            independent = EclipseQuery(data).run(ratios=ratio_vector, method="quad")
+            assert np.array_equal(result.indices, independent.indices)
+
+    def test_shared_session_reuses_artifacts_across_batches(self):
+        # transform batch then index batch on one session: the raw skyline
+        # is computed once for both.
+        data = generate_dataset("anti", 800, 3, seed=5)
+        rng = np.random.default_rng(44)
+        specs = random_ratio_specs(rng, 25, 3)
+        session = DatasetSession(data)
+        session.run_batch(specs, method="transform")
+        session.run_batch(specs, method="cutting")
+        assert session.stats.artifact_counts() == (1, 1, 1)
+        assert session.stats.batches == 2
+
+    @pytest.mark.parametrize("method", ["auto", "transform", "quad", "cutting"])
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_fuzzed_batch_parity(self, method, dimensions):
+        rng = np.random.default_rng(dimensions * 100 + len(method))
+        data = generate_dataset("anti", 300, dimensions, seed=dimensions)
+        specs = random_ratio_specs(rng, 8, dimensions)
+        session = DatasetSession(data)
+        results = session.run_batch(specs, method=method)
+        for ratio_vector, result in zip(specs, results):
+            independent = EclipseQuery(data).run(ratios=ratio_vector, method=method)
+            # `auto` may resolve to different methods for the batch and the
+            # one-shot runs; all methods return identical eclipse sets.
+            assert np.array_equal(result.indices, independent.indices)
+
+    def test_baseline_batch_matches_independent_runs(self):
+        data = generate_dataset("inde", 150, 3, seed=2)
+        specs = [RatioVector.uniform(0.5, 2.0, 3), RatioVector.uniform(0.2, 1.1, 3)]
+        session = DatasetSession(data)
+        results = session.run_batch(specs, method="baseline")
+        for ratio_vector, result in zip(specs, results):
+            independent = EclipseQuery(data).run(
+                ratios=ratio_vector, method="baseline"
+            )
+            assert np.array_equal(result.indices, independent.indices)
+            assert result.method == "baseline"
+
+    def test_zero_upper_bound_disables_prefilter_but_stays_exact(self):
+        # A high bound of zero makes a corner weight zero, for which the
+        # raw-space skyline prefilter is unsound; the batch must detect it
+        # and still return the per-query transform answer.
+        data = generate_dataset("inde", 120, 3, seed=9)
+        specs = [
+            RatioVector.from_bounds([0.0, 0.5], [0.0, 2.0]),
+            RatioVector.uniform(0.5, 2.0, 3),
+        ]
+        session = DatasetSession(data)
+        results = session.run_batch(specs, method="transform")
+        assert session.stats.corner_matrix_builds == 0
+        for ratio_vector, result in zip(specs, results):
+            independent = EclipseQuery(data).run(
+                ratios=ratio_vector, method="transform"
+            )
+            assert np.array_equal(result.indices, independent.indices)
+
+    def test_baseline_batch_never_computes_the_skyline(self):
+        # A pinned baseline batch uses neither the skyline nor an index, so
+        # the session must not pay for either.
+        data = generate_dataset("anti", 200, 3, seed=4)
+        session = DatasetSession(data)
+        session.run_batch([(0.5, 2.0), (0.2, 1.1)], method="baseline")
+        assert session.stats.artifact_counts() == (0, 0, 0)
+
+    def test_index_skyline_method_override_is_honoured(self):
+        # An explicit skyline_method index parameter must reach the build
+        # instead of being shadowed by the session's memoised auto skyline.
+        data = generate_dataset("anti", 120, 3, seed=6)
+        session = DatasetSession(data, index_kwargs={"skyline_method": "bnl"})
+        auto_session = DatasetSession(data)
+        index = session.index_for("quadtree")
+        np.testing.assert_array_equal(
+            index.skyline_indices, auto_session.index_for("quadtree").skyline_indices
+        )
+        # The override bypasses the session's memoised skyline entirely.
+        assert session.stats.skyline_builds == 0
+
+    def test_batch_plan_recorded(self):
+        data = generate_dataset("anti", 400, 3, seed=1)
+        session = DatasetSession(data)
+        session.run_batch(random_ratio_specs(np.random.default_rng(0), 30, 3))
+        assert session.last_plan is not None
+        assert session.last_plan.num_queries == 30
+        assert session.last_plan.num_skyline == int(session.skyline().size)
+
+
+class TestFacadeShim:
+    def test_facade_exposes_session(self, hotels):
+        query = EclipseQuery(hotels)
+        assert query.session.num_points == 4
+        query.run(ratios=(0.25, 2.0), method="quad")
+        assert query.session.stats.index_builds == 1
+
+    def test_facade_explain(self, hotels):
+        plan = EclipseQuery(hotels).explain(num_queries=10)
+        assert plan.num_queries == 10
+        assert "eclipse query plan" in plan.explain()

@@ -1,0 +1,165 @@
+"""Equivalence tests for the array-native (kernelised) index build path.
+
+Every ``from_arrays`` entry point must produce exactly the structures the
+object-based constructors produce — the kernelisation is a pure
+representation change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.geometry.arrangement2d import Arrangement2D
+from repro.geometry.boxes import Box
+from repro.geometry.dual import dual_coefficient_arrays, dual_hyperplanes
+from repro.geometry.hyperplane import (
+    pairwise_intersection_arrays,
+    pairwise_intersection_arrays_from,
+)
+from repro.index.eclipse_index import EclipseIndex
+from repro.index.intersection import IntersectionIndex
+from repro.index.order_vector import OrderVectorIndex
+from repro.skyline.api import skyline_indices
+
+
+class TestDualCoefficientArrays:
+    def test_matches_object_path(self):
+        data = generate_dataset("anti", 40, 3, seed=1)
+        coeffs, offsets = dual_coefficient_arrays(data)
+        duals = dual_hyperplanes(data)
+        np.testing.assert_array_equal(
+            coeffs, np.array([h.coefficients for h in duals])
+        )
+        np.testing.assert_array_equal(offsets, np.array([h.offset for h in duals]))
+
+    def test_empty_dataset(self):
+        coeffs, offsets = dual_coefficient_arrays(np.empty((0, 3)))
+        assert coeffs.shape == (0, 2)
+        assert offsets.shape == (0,)
+
+
+class TestPairwiseIntersectionArraysFrom:
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_matches_object_path(self, dimensions):
+        data = generate_dataset("inde", 30, dimensions, seed=2)
+        duals = dual_hyperplanes(data)
+        expected = pairwise_intersection_arrays(duals)
+        coeffs, offsets = dual_coefficient_arrays(data)
+        got = pairwise_intersection_arrays_from(coeffs, offsets)
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+    def test_blocked_enumeration_is_order_identical(self):
+        # Force many tiny chunks through the memory cap; the row-major
+        # (i < j) output order must be unchanged.
+        rng = np.random.default_rng(0)
+        coeffs = rng.random((60, 2))
+        offsets = rng.random(60)
+        full = pairwise_intersection_arrays_from(coeffs, offsets)
+        chunked = pairwise_intersection_arrays_from(
+            coeffs, offsets, memory_cap=4096
+        )
+        for f, c in zip(full, chunked):
+            np.testing.assert_array_equal(f, c)
+
+    def test_custom_indices_reported_in_pairs(self):
+        coeffs = np.array([[1.0], [2.0], [3.0]])
+        offsets = np.array([0.0, 1.0, 2.0])
+        ids = np.array([7, 11, 13])
+        pairs, _, _ = pairwise_intersection_arrays_from(coeffs, offsets, indices=ids)
+        assert pairs.tolist() == [[7, 11], [7, 13], [11, 13]]
+
+    def test_degenerate_pairs_skipped(self):
+        coeffs = np.array([[1.0], [1.0], [2.0]])
+        offsets = np.array([0.0, 1.0, 2.0])
+        pairs, _, _ = pairwise_intersection_arrays_from(coeffs, offsets)
+        # The parallel pair (0, 1) is dropped.
+        assert pairs.tolist() == [[0, 2], [1, 2]]
+
+
+class TestArrangementFromArrays:
+    def test_matches_object_path(self):
+        data = generate_dataset("anti", 25, 2, seed=3)
+        duals = dual_hyperplanes(data)
+        legacy = Arrangement2D(duals)
+        coeffs, offsets = dual_coefficient_arrays(data)
+        kernelised = Arrangement2D.from_arrays(coeffs[:, 0], offsets)
+
+        np.testing.assert_array_equal(legacy.boundaries, kernelised.boundaries)
+        assert legacy.num_intervals == kernelised.num_intervals
+        for a, b in zip(legacy.intervals, kernelised.intervals):
+            assert a.start == b.start and a.end == b.end
+            np.testing.assert_array_equal(a.order_vector, b.order_vector)
+        legacy_pairs = [(i.first, i.second, i.x_coordinate()) for i in legacy.intersections]
+        kernel_pairs = [
+            (i.first, i.second, i.x_coordinate()) for i in kernelised.intersections
+        ]
+        assert legacy_pairs == kernel_pairs
+
+    def test_dense_and_lazy_agree(self):
+        data = generate_dataset("inde", 20, 2, seed=4)
+        coeffs, offsets = dual_coefficient_arrays(data)
+        dense = Arrangement2D.from_arrays(coeffs[:, 0], offsets, dense_threshold=1000)
+        lazy = Arrangement2D.from_arrays(coeffs[:, 0], offsets, dense_threshold=1)
+        assert dense.is_dense and not lazy.is_dense
+        for x in (-3.0, -1.0, -0.25, 0.5):
+            np.testing.assert_array_equal(
+                dense.order_vector_at(x), lazy.order_vector_at(x)
+            )
+
+    def test_intersections_in_range_matches_legacy(self):
+        data = generate_dataset("anti", 15, 2, seed=5)
+        duals = dual_hyperplanes(data)
+        legacy = Arrangement2D(duals)
+        coeffs, offsets = dual_coefficient_arrays(data)
+        kernelised = Arrangement2D.from_arrays(coeffs[:, 0], offsets)
+        for low, high in ((-2.75, -0.36), (-10.0, 0.0), (0.0, 5.0)):
+            a = [(i.first, i.second) for i in legacy.intersections_in_range(low, high)]
+            b = [
+                (i.first, i.second)
+                for i in kernelised.intersections_in_range(low, high)
+            ]
+            assert a == b
+
+
+class TestIndexFromArrays:
+    @pytest.mark.parametrize("backend", ["scan", "quadtree", "cutting"])
+    def test_intersection_index_matches_object_path(self, backend):
+        data = generate_dataset("anti", 25, 3, seed=6)
+        duals = dual_hyperplanes(data)
+        legacy = IntersectionIndex(duals, backend=backend)
+        coeffs, offsets = dual_coefficient_arrays(data)
+        kernelised = IntersectionIndex.from_arrays(coeffs, offsets, backend=backend)
+        assert legacy.num_pairs == kernelised.num_pairs
+        box = Box(np.full(2, -2.75), np.full(2, -0.36))
+        legacy_pairs = {tuple(p) for p in legacy.candidates(box).pairs}
+        kernel_pairs = {tuple(p) for p in kernelised.candidates(box).pairs}
+        assert legacy_pairs == kernel_pairs
+
+    def test_order_vector_index_matches_object_path(self):
+        data = generate_dataset("inde", 30, 2, seed=7)
+        duals = dual_hyperplanes(data)
+        legacy = OrderVectorIndex(duals)
+        coeffs, offsets = dual_coefficient_arrays(data)
+        kernelised = OrderVectorIndex.from_arrays(coeffs, offsets)
+        box = Box(np.array([-2.0]), np.array([-0.5]))
+        a = legacy.initial_state(box)
+        b = kernelised.initial_state(box)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_eclipse_index_with_precomputed_skyline(self):
+        data = generate_dataset("anti", 200, 3, seed=8)
+        sky = skyline_indices(data)
+        ratios = RatioVector.uniform(0.36, 2.75, 3)
+        fresh = EclipseIndex(backend="quadtree").build(data)
+        precomputed = EclipseIndex(backend="quadtree").build(data, skyline_idx=sky)
+        np.testing.assert_array_equal(
+            fresh.query_indices(ratios), precomputed.query_indices(ratios)
+        )
+        np.testing.assert_array_equal(
+            fresh.skyline_indices, precomputed.skyline_indices
+        )

@@ -1,0 +1,60 @@
+"""Tests for the repro.skyline shadowing fix and the top-level exports."""
+
+from __future__ import annotations
+
+import importlib
+import types
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def hotels() -> np.ndarray:
+    return np.array([[1.0, 6.0], [4.0, 4.0], [6.0, 1.0], [8.0, 5.0]])
+
+
+class TestSkylineShadowingFix:
+    def test_repro_skyline_is_the_subpackage(self):
+        assert isinstance(repro.skyline, types.ModuleType)
+        assert repro.skyline.__name__ == "repro.skyline"
+
+    def test_deep_imports_work(self):
+        # The seed bug: `import repro.skyline.api as x` failed because the
+        # top-level package rebound the name `skyline` to the function.
+        module = importlib.import_module("repro.skyline.api")
+        assert hasattr(module, "skyline_indices")
+        import repro.skyline.kernels as kernels  # the literal failing spelling
+
+        assert hasattr(kernels, "dominated_mask")
+
+    def test_skyline_query_is_the_function(self, hotels):
+        assert callable(repro.skyline_query)
+        assert repro.skyline_query(hotels).tolist() == [
+            [1.0, 6.0],
+            [4.0, 4.0],
+            [6.0, 1.0],
+        ]
+
+    def test_old_spelling_still_callable_with_deprecation(self, hotels):
+        with pytest.warns(DeprecationWarning, match="skyline_query"):
+            result = repro.skyline(hotels)
+        assert np.array_equal(result, repro.skyline_query(hotels))
+
+    def test_subpackage_function_unaffected(self, hotels):
+        from repro.skyline import skyline
+
+        assert np.array_equal(skyline(hotels), repro.skyline_query(hotels))
+
+
+class TestTopLevelExports:
+    def test_session_layer_exported(self):
+        assert repro.DatasetSession is not None
+        assert repro.QueryPlan is not None
+        assert callable(repro.plan_query)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
