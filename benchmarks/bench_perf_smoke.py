@@ -15,6 +15,18 @@ file is regenerated, never replaced):
 * ``batched_queries`` — ``DatasetSession.run_batch`` over many ratio specs
   against the same specs answered by independent ``EclipseQuery`` runs.
 
+PR 3 workloads (``BENCH_PR3.json``):
+
+* ``tree_build`` — the flattened CSR tree engine (sorted-interval build for
+  the one-dimensional dual domain, level-batched kernels otherwise) against
+  faithful copies of the PR 2 *recursive* per-node builders, on the paper's
+  worst-case ``d = 2`` workload (every point a skyline point, intersections
+  clustered) and on high-dimensional ANTI data.  Queries are cross-checked
+  for identical results.
+* ``batched_probe`` — ``EclipseIndex.query_indices_many`` (one order-vector
+  GEMM + one tree traversal per batch) against a per-query loop on the same
+  built index.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_smoke.py          # full sweep
@@ -57,6 +69,7 @@ DISTRIBUTION = "anti"
 DIMENSIONS = 4
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 OUTPUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+OUTPUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +279,248 @@ def run_batched_workload(
 
 
 # ----------------------------------------------------------------------
+# PR 3: recursive PR 2 tree builders (faithful copies) vs the flat engine
+# ----------------------------------------------------------------------
+class _RecursiveNode:
+    __slots__ = ("box", "indices", "children", "depth")
+
+    def __init__(self, box, indices, depth):
+        self.box = box
+        self.indices = indices
+        self.children = None
+        self.depth = depth
+
+
+class RecursiveLineQuadtree:
+    """Faithful copy of the PR 2 recursive quadtree builder (timing baseline)."""
+
+    def __init__(self, coefficients, rhs, domain, capacity=None, max_depth=12,
+                 max_nodes=4096):
+        from repro.geometry.flattree import auto_capacity
+        from repro.geometry.hyperplane import hyperplanes_intersect_box_mask
+
+        self._mask = hyperplanes_intersect_box_mask
+        self._coefficients = np.asarray(coefficients, dtype=float)
+        self._rhs = np.asarray(rhs, dtype=float)
+        self._capacity = (
+            auto_capacity(self._coefficients.shape[0]) if capacity is None
+            else capacity
+        )
+        self._max_depth = max_depth
+        self._max_nodes = max_nodes
+        self._nodes_created = 0
+        all_indices = np.arange(self._coefficients.shape[0], dtype=np.intp)
+        in_domain = self._mask(self._coefficients, self._rhs, domain)
+        self._outside = all_indices[~in_domain]
+        self._root = self._build(domain, all_indices[in_domain], 0)
+
+    def _build(self, box, indices, depth):
+        node = _RecursiveNode(box, indices, depth)
+        self._nodes_created += 1
+        if (
+            indices.size <= self._capacity
+            or depth >= self._max_depth
+            or self._nodes_created + 2 ** box.dimensions > self._max_nodes
+        ):
+            return node
+        child_boxes = box.split()
+        child_sets = [
+            indices[self._mask(self._coefficients[indices], self._rhs[indices], cb)]
+            for cb in child_boxes
+        ]
+        if not any(cs.size < indices.size for cs in child_sets):
+            return node
+        node.children = [
+            self._build(cb, cs, depth + 1) for cb, cs in zip(child_boxes, child_sets)
+        ]
+        node.indices = np.empty(0, dtype=np.intp)
+        return node
+
+    def node_count(self):
+        return self._nodes_created
+
+    def query(self, box):
+        collected = [self._outside]
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects_box(box):
+                continue
+            if node.children is None:
+                collected.append(node.indices)
+            else:
+                stack.extend(node.children)
+        candidates = np.unique(np.concatenate(collected))
+        if candidates.size == 0:
+            return candidates.astype(np.intp)
+        keep = self._mask(self._coefficients[candidates], self._rhs[candidates], box)
+        return candidates[keep]
+
+
+class RecursiveCuttingTree(RecursiveLineQuadtree):
+    """Faithful copy of the PR 2 recursive cutting builder (timing baseline)."""
+
+    def __init__(self, coefficients, rhs, domain, capacity=None, max_depth=32,
+                 max_nodes=8192, seed=0):
+        self._rng = np.random.default_rng(seed)
+        super().__init__(coefficients, rhs, domain, capacity, max_depth, max_nodes)
+
+    def _build(self, box, indices, depth):
+        node = _RecursiveNode(box, indices, depth)
+        self._nodes_created += 1
+        if (
+            indices.size <= self._capacity
+            or depth >= self._max_depth
+            or self._nodes_created + 2 > self._max_nodes
+        ):
+            return node
+        split_dim = depth % box.dimensions
+        split_value = self._sample_split_value(box, indices, split_dim)
+        left_box, right_box = box.split_at(split_dim, split_value)
+        if left_box.widths[split_dim] <= 0 or right_box.widths[split_dim] <= 0:
+            return node
+        child_sets = [
+            indices[self._mask(self._coefficients[indices], self._rhs[indices], cb)]
+            for cb in (left_box, right_box)
+        ]
+        if all(cs.size == indices.size for cs in child_sets):
+            return node
+        node.children = [
+            self._build(cb, cs, depth + 1)
+            for cb, cs in zip((left_box, right_box), child_sets)
+        ]
+        node.indices = np.empty(0, dtype=np.intp)
+        return node
+
+    def _sample_split_value(self, box, indices, split_dim):
+        midpoint = float(box.center[split_dim])
+        sample_size = min(indices.size, 64)
+        if sample_size == 0:
+            return midpoint
+        sampled = self._rng.choice(indices, size=sample_size, replace=False)
+        coeffs = self._coefficients[sampled]
+        rhs = self._rhs[sampled]
+        center = box.center
+        axis_coeff = coeffs[:, split_dim]
+        usable = np.abs(axis_coeff) > 1e-12
+        if not np.any(usable):
+            return midpoint
+        rest = rhs[usable] - (
+            coeffs[usable] @ center - axis_coeff[usable] * center[split_dim]
+        )
+        crossings = rest / axis_coeff[usable]
+        crossings = crossings[
+            (crossings > box.lows[split_dim]) & (crossings < box.highs[split_dim])
+        ]
+        if crossings.size == 0:
+            return midpoint
+        return float(np.median(crossings))
+
+
+def _worst_case_pair_arrays(u: int):
+    from repro.geometry.dual import dual_coefficient_arrays
+    from repro.geometry.hyperplane import pairwise_intersection_arrays_from
+
+    data = generate_worst_case(u, 2, seed=0)
+    coeffs, offsets = dual_coefficient_arrays(data)
+    return pairwise_intersection_arrays_from(coeffs, offsets)
+
+
+def _anti_pair_arrays(n: int, d: int):
+    from repro.geometry.dual import dual_coefficient_arrays
+    from repro.geometry.hyperplane import pairwise_intersection_arrays_from
+
+    data = generate_dataset(DISTRIBUTION, n, d, seed=2)
+    sky = skyline_indices(data)
+    coeffs, offsets = dual_coefficient_arrays(data[sky])
+    return pairwise_intersection_arrays_from(coeffs, offsets)
+
+
+def run_tree_build_workload(
+    workload: str, pair_coeffs, pair_rhs, repeats: int, flavor: str
+) -> dict:
+    from repro.geometry.cutting import CuttingTree
+    from repro.geometry.quadtree import LineQuadtree
+
+    k = pair_coeffs.shape[1]
+    dom = Box(lows=np.full(k, -DEFAULT_MAX_RATIO), highs=np.zeros(k))
+    if flavor == "quadtree":
+        recursive_fn = lambda: RecursiveLineQuadtree(pair_coeffs, pair_rhs, dom)
+        flat_fn = lambda: LineQuadtree(pair_coeffs, pair_rhs, dom)
+    else:
+        recursive_fn = lambda: RecursiveCuttingTree(pair_coeffs, pair_rhs, dom, seed=0)
+        flat_fn = lambda: CuttingTree(pair_coeffs, pair_rhs, dom, seed=0)
+
+    recursive_tree = recursive_fn()
+    flat_tree = flat_fn()
+    identical = True
+    for lo, hi in ((-3.0, -0.2), (-9.0, -0.01), (-1.0, -0.9)):
+        probe = Box(np.full(k, lo), np.full(k, hi))
+        identical &= bool(
+            np.array_equal(
+                np.sort(recursive_tree.query(probe)), np.sort(flat_tree.query(probe))
+            )
+        )
+    recursive_seconds = _best_of(recursive_fn, repeats)
+    flat_seconds = _best_of(flat_fn, repeats)
+    entry = {
+        "workload": workload,
+        "flavor": flavor,
+        "num_hyperplanes": int(pair_coeffs.shape[0]),
+        "dual_dims": int(k),
+        "flat_nodes": int(flat_tree.node_count()),
+        "queries_identical": identical,
+        "recursive_seconds": recursive_seconds,
+        "flat_seconds": flat_seconds,
+        "speedup": recursive_seconds / flat_seconds if flat_seconds > 0 else float("inf"),
+    }
+    print(
+        f"{workload:<24} m={entry['num_hyperplanes']:>7} k={k}  "
+        f"recursive={recursive_seconds:8.3f}s  flat={flat_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  identical={identical}"
+    )
+    return entry
+
+
+def run_batched_probe_workload(
+    workload: str, n: int, d: int, backend: str, num_queries: int, repeats: int
+) -> dict:
+    data = generate_dataset(DISTRIBUTION, n, d, seed=0)
+    index = EclipseIndex(backend=backend).build(data)
+    rng = np.random.default_rng(12)
+    specs = []
+    for _ in range(num_queries):
+        low = float(rng.uniform(0.1, 1.0))
+        specs.append(RatioVector.uniform(low, low + float(rng.uniform(0.2, 2.5)), d))
+    per_query = lambda: [index.query_indices(spec) for spec in specs]
+    batched = lambda: index.query_indices_many(specs)
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(per_query(), batched())
+    )
+    per_query_seconds = _best_of(per_query, repeats)
+    batched_seconds = _best_of(batched, repeats)
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "backend": index.backend,
+        "num_queries": num_queries,
+        "indices_identical": identical,
+        "per_query_seconds": per_query_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": (
+            per_query_seconds / batched_seconds if batched_seconds > 0 else float("inf")
+        ),
+    }
+    print(
+        f"{workload:<24} n={n:>6} d={d} q={num_queries:>3} [{index.backend}]  "
+        f"per-query={per_query_seconds:8.3f}s  batched={batched_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  identical={identical}"
+    )
+    return entry
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def _best_of(fn: Callable[[], np.ndarray], repeats: int) -> float:
@@ -330,6 +585,12 @@ def main(argv: List[str] | None = None) -> int:
         default=OUTPUT_PR2,
         help=f"where to write the PR 2 JSON results (default: {OUTPUT_PR2})",
     )
+    parser.add_argument(
+        "--output-pr3",
+        type=Path,
+        default=OUTPUT_PR3,
+        help=f"where to write the PR 3 JSON results (default: {OUTPUT_PR3})",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -338,6 +599,9 @@ def main(argv: List[str] | None = None) -> int:
         build_2d_sweep = [1_200]
         build_4d_sweep = [2_000]
         batch_sweep = [(5_000, 3, 50, "transform"), (5_000, 3, 50, "auto")]
+        tree_2d_sweep = [1_200]
+        tree_4d_sweep = [400]
+        probe_sweep = [(5_000, 3, "cutting", 100)]
         repeats = 1
     else:
         transform_sweep = [2_000, 10_000, 50_000, 100_000]
@@ -349,6 +613,13 @@ def main(argv: List[str] | None = None) -> int:
             (5_000, 3, 50, "auto"),
             (20_000, 3, 50, "transform"),
             (20_000, 3, 200, "auto"),
+        ]
+        tree_2d_sweep = [600, 1_200, 2_000]
+        tree_4d_sweep = [400, 1_000]
+        probe_sweep = [
+            (5_000, 3, "cutting", 100),
+            (20_000, 3, "cutting", 200),
+            (3_000, 2, "quadtree", 200),
         ]
         repeats = 3
 
@@ -453,6 +724,89 @@ def main(argv: List[str] | None = None) -> int:
     args.output_pr2.write_text(json.dumps(pr2_payload, indent=2) + "\n")
     print(f"\nwrote {args.output_pr2}")
 
+    # ------------------------------------------------------------------
+    # PR 3: flattened CSR tree engine and batched index probes
+    # ------------------------------------------------------------------
+    pr3_entries = []
+    for u in tree_2d_sweep:
+        # Worst-case d=2: every point is a skyline point and the pairwise
+        # intersections cluster tightly — the workload where midpoint splits
+        # separate worst (Figures 13/14).
+        pairs, pair_coeffs, pair_rhs = _worst_case_pair_arrays(u)
+        pr3_entries.append(
+            run_tree_build_workload(
+                f"tree_build_quad_2d[u={u}]", pair_coeffs, pair_rhs, repeats, "quadtree"
+            )
+        )
+        pr3_entries.append(
+            run_tree_build_workload(
+                f"tree_build_cut_2d[u={u}]", pair_coeffs, pair_rhs, repeats, "cutting"
+            )
+        )
+    for n in tree_4d_sweep:
+        pairs, pair_coeffs, pair_rhs = _anti_pair_arrays(n, DIMENSIONS)
+        pr3_entries.append(
+            run_tree_build_workload(
+                f"tree_build_cut_4d[n={n}]", pair_coeffs, pair_rhs, repeats, "cutting"
+            )
+        )
+        if not args.fast:
+            # Honesty entry: the quadtree keeps the seed splitting rule for
+            # structural parity, so its high-d build on the huge default
+            # domain stays incidence-bound (speedup can be < 1 here; the
+            # planner prefers the cutting build at d >= 3 for this reason).
+            pr3_entries.append(
+                run_tree_build_workload(
+                    f"tree_build_quad_4d[n={n}]",
+                    pair_coeffs,
+                    pair_rhs,
+                    repeats,
+                    "quadtree",
+                )
+            )
+    for n, d, backend, num_queries in probe_sweep:
+        pr3_entries.append(
+            run_batched_probe_workload(
+                f"batched_probe[{backend}]", n, d, backend, num_queries, repeats
+            )
+        )
+
+    quad_2d_at_1200 = next(
+        e["speedup"]
+        for e in pr3_entries
+        if e["workload"] == "tree_build_quad_2d[u=1200]"
+    )
+    pr3_acceptance = {
+        "tree_build_speedup_quad_2d_u1200": quad_2d_at_1200,
+        "best_tree_build_speedup": max(
+            e["speedup"] for e in pr3_entries if e["workload"].startswith("tree_build")
+        ),
+        "batched_probe_speedup": max(
+            e["speedup"]
+            for e in pr3_entries
+            if e["workload"].startswith("batched_probe")
+        ),
+        "all_identical": all(
+            e.get("queries_identical", e.get("indices_identical", False))
+            for e in pr3_entries
+        ),
+    }
+    pr3_payload = {
+        "pr": 3,
+        "description": (
+            "Flattened CSR spatial-tree engine (level-order array-native "
+            "builds, sorted-interval 1-D fast path) vs the PR 2 recursive "
+            "per-node builders, plus batched index probes "
+            "(query_indices_many) vs per-query loops (best-of timings)"
+        ),
+        "generated_unix_time": time.time(),
+        "fast_mode": bool(args.fast),
+        "acceptance": pr3_acceptance,
+        "results": pr3_entries,
+    }
+    args.output_pr3.write_text(json.dumps(pr3_payload, indent=2) + "\n")
+    print(f"\nwrote {args.output_pr3}")
+
     print(
         f"acceptance PR1: transform {acceptance['transform_speedup_at_50k']:.1f}x "
         f"(target >= 10x), baseline {acceptance['baseline_speedup_at_5k']:.1f}x "
@@ -465,6 +819,13 @@ def main(argv: List[str] | None = None) -> int:
         f"{pr2_acceptance['batched_vs_independent_speedup']:.1f}x "
         f"(target >= 2x), identical={pr2_acceptance['all_indices_identical']}"
     )
+    print(
+        f"acceptance PR3: flattened tree build "
+        f"{pr3_acceptance['tree_build_speedup_quad_2d_u1200']:.1f}x on the "
+        f"worst-case d=2 quadtree at u=1200 (target >= 5x), batched probe "
+        f"{pr3_acceptance['batched_probe_speedup']:.1f}x, "
+        f"identical={pr3_acceptance['all_identical']}"
+    )
     ok = (
         acceptance["transform_speedup_at_50k"] >= 10
         and acceptance["baseline_speedup_at_5k"] >= 5
@@ -472,6 +833,8 @@ def main(argv: List[str] | None = None) -> int:
         and pr2_acceptance["index_build_speedup_2d"] >= 2
         and pr2_acceptance["batched_vs_independent_speedup"] >= 2
         and pr2_acceptance["all_indices_identical"]
+        and pr3_acceptance["tree_build_speedup_quad_2d_u1200"] >= 5
+        and pr3_acceptance["all_identical"]
     )
     return 0 if ok else 1
 

@@ -82,7 +82,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     session = DatasetSession(data)
     if args.explain:
         print(session.plan(method=args.method).explain())
-    result = session.run(ratios=ratios, method=args.method)
+    try:
+        result = session.run(ratios=ratios, method=args.method)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     print(f"# eclipse query method={result.method} low={args.low} high={args.high}")
     print(f"# {len(result)} of {data.shape[0]} points returned")
     for index, point in zip(result.indices, result.points):

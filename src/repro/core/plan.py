@@ -55,20 +55,25 @@ SMALL_N_SFS_CUTOFF = 512
 #: typical dual query box (used to price an index query's correction step).
 CANDIDATE_FRACTION = 0.25
 
-#: Per-pair constant of a *tree* index build (``d >= 3``).  Deliberately
-#: large: the recursive tree construction re-masks its pair set at every
-#: node from Python, which costs roughly three orders of magnitude more per
-#: pair than one fully vectorised element-op (measured ~10 µs/pair on the
-#: quadtree backend), while the transformation it competes against is pure
-#: GEMM + kernel skylines.
-PAIR_BUILD_FACTOR = 1000.0
+#: Per-pair constant of the *quadtree* index build (``d >= 3``).  The
+#: flattened level-order engine removed the per-node Python recursion, but
+#: the quadtree's midpoint splits separate poorly when the dual domain
+#: dwarfs the region where the hyperplanes vary (the default
+#: ``[-128, 0]^{d-1}`` box), so each level re-masks nearly the whole pair
+#: set across ``2^{d-1}`` children: measured ~11-55 µs/pair on ANTI/INDE
+#: workloads at ``d ∈ {3, 4}`` (PR 3), i.e. thousands of element-ops.
+PAIR_BUILD_FACTOR_QUAD = 2000.0
+
+#: Per-pair constant of the *cutting* index build (``d >= 3``).  The
+#: flattened engine's load-reduction rollback stops cuts that do not
+#: actually reduce cell load, so degenerate regions are abandoned instead
+#: of re-masked level after level: measured ~0.3-0.8 µs/pair on the same
+#: workloads (PR 3) — roughly 30 element-ops per pair.
+PAIR_BUILD_FACTOR_CUTTING = 30.0
 
 #: Per-pair constant of the two-dimensional build: the sorted binary-search
-#: structure is a vectorised argsort, with no tree recursion to pay for.
+#: structure is a vectorised argsort, with no tree levels to pay for.
 PAIR_BUILD_FACTOR_2D = 10.0
-
-#: The cutting tree additionally samples split positions per cell.
-CUTTING_BUILD_FACTOR = 1.5
 
 
 def canonical_method(method: str) -> str:
@@ -190,15 +195,17 @@ def method_cost_estimates(
     map_cost = n * corners * d
     transform_q = map_cost + skyline_cost(n, int(corners))
     baseline_q = 0.5 * n * n * corners
-    pair_factor = PAIR_BUILD_FACTOR_2D if d == 2 else PAIR_BUILD_FACTOR
-    build_common = skyline_cost(n, d) + pairs * max(1, d - 1) * pair_factor
+    quad_factor = PAIR_BUILD_FACTOR_2D if d == 2 else PAIR_BUILD_FACTOR_QUAD
+    cutting_factor = PAIR_BUILD_FACTOR_2D if d == 2 else PAIR_BUILD_FACTOR_CUTTING
+    sky_build = skyline_cost(n, d)
+    pair_work = pairs * max(1, d - 1)
     index_q = u * math.log2(u + 2.0) + pairs * CANDIDATE_FRACTION * max(1, d - 1)
 
     return (
         CostEstimate("baseline", 0.0, baseline_q),
         CostEstimate("transform", 0.0, transform_q),
-        CostEstimate("quadtree", build_common, index_q),
-        CostEstimate("cutting", build_common * CUTTING_BUILD_FACTOR, index_q),
+        CostEstimate("quadtree", sky_build + pair_work * quad_factor, index_q),
+        CostEstimate("cutting", sky_build + pair_work * cutting_factor, index_q),
     )
 
 
@@ -308,7 +315,8 @@ def plan_query(
         model decide.  ``auto`` keeps the paper's one-shot behaviour — the
         corner-score transformation, exact in every dimensionality — and for
         batches compares the transformation's per-query cost against
-        amortising one quadtree index build over the whole batch.
+        amortising the cheapest index build (quadtree or cutting, priced by
+        their per-pair build constants) over the whole batch.
     num_queries:
         Number of ratio-range queries that will share the plan.
     num_skyline:
@@ -333,18 +341,23 @@ def plan_query(
         transform_total = next(
             e for e in estimates if e.method == "transform"
         ).total(q)
-        index_total = next(e for e in estimates if e.method == "quadtree").total(q)
+        best_index = min(
+            (e for e in estimates if e.method in INDEX_METHODS),
+            key=lambda e: e.total(q),
+        )
+        index_total = best_index.total(q)
         if index_total < transform_total:
-            chosen = "quadtree"
+            chosen = best_index.method
             reason = (
-                f"batch of {q}: one index build amortised over the batch beats "
-                f"{q} transformation passes "
+                f"batch of {q}: one {best_index.method} build amortised over "
+                f"the batch beats {q} transformation passes "
                 f"({index_total:.2e} vs {transform_total:.2e} element-ops)"
             )
         else:
             chosen = "transform"
             reason = (
-                f"batch of {q}: the index build would not amortise "
+                f"batch of {q}: the cheapest index build ({best_index.method}) "
+                f"would not amortise "
                 f"({index_total:.2e} vs {transform_total:.2e} element-ops)"
             )
 

@@ -45,6 +45,7 @@ from repro.core.transform import eclipse_transform_indices
 from repro.core.weights import RatioVector, make_ratio_vector
 from repro.errors import (
     AlgorithmNotSupportedError,
+    DegenerateHyperplaneError,
     DimensionMismatchError,
     InvalidWeightRangeError,
 )
@@ -187,6 +188,10 @@ class DatasetSession:
         index_cache_key("auto", self._index_kwargs)
         self._skyline_idx: Optional[np.ndarray] = None
         self._indexes: Dict[Tuple, EclipseIndex] = {}
+        # Index configurations whose build failed on unsplittable duplicate
+        # hyperplanes: degeneracy is a property of the dataset + parameters,
+        # so the (expensive, doomed) build is never re-attempted.
+        self._degenerate_index_keys: Dict[Tuple, DegenerateHyperplaneError] = {}
         self.stats = SessionStats()
         self.last_plan: Optional[QueryPlan] = None
 
@@ -244,6 +249,9 @@ class DatasetSession:
             )
         params = {**self._index_kwargs, **overrides}
         key = index_cache_key(canonical, params)
+        cached_failure = self._degenerate_index_keys.get(key)
+        if cached_failure is not None:
+            raise cached_failure
         index = self._indexes.get(key)
         if index is None:
             # The memoised skyline is computed with the planner's substrate;
@@ -253,9 +261,13 @@ class DatasetSession:
             override_substrate = params.get("skyline_method", "auto") != "auto"
             precomputed = None if override_substrate else self.skyline()
             start = time.perf_counter()
-            index = EclipseIndex(backend=canonical, **params).build(
-                self._data, skyline_idx=precomputed
-            )
+            try:
+                index = EclipseIndex(backend=canonical, **params).build(
+                    self._data, skyline_idx=precomputed
+                )
+            except DegenerateHyperplaneError as exc:
+                self._degenerate_index_keys[key] = exc
+                raise
             self.stats.index_build_seconds += time.perf_counter() - start
             self.stats.index_builds += 1
             self._indexes[key] = index
@@ -358,12 +370,26 @@ class DatasetSession:
         chosen = plan.method
 
         if chosen in INDEX_METHODS:
-            index = self.index_for(plan.index_backend or chosen)
+            # One batched probe call for the whole batch: the index shares
+            # one order-vector GEMM and one intersection-tree traversal
+            # across all specifications (see EclipseIndex.query_indices_many).
+            try:
+                index = self.index_for(plan.index_backend or chosen)
+            except DegenerateHyperplaneError:
+                if canonical_method(method) != "auto":
+                    raise
+                # The planner chose an index, but the dataset's intersection
+                # hyperplanes are unsplittable coincident duplicates (e.g.
+                # collinear points).  Auto mode falls back to the exact
+                # transformation instead of surfacing the build error; the
+                # failure is memoised per index configuration, and the plan
+                # is re-recorded so last_plan reflects what actually ran.
+                self.plan(method="transform", num_queries=len(specs))
+                return self._run_batch_transform(specs)
+            batch_indices = index.query_indices_many(specs)
             results = []
-            for ratio_vector in specs:
-                indices = np.sort(
-                    np.asarray(index.query_indices(ratio_vector), dtype=np.intp)
-                )
+            for ratio_vector, indices in zip(specs, batch_indices):
+                indices = np.sort(np.asarray(indices, dtype=np.intp))
                 self.stats.queries += 1
                 results.append(self._wrap(indices, chosen, ratio_vector))
             return results

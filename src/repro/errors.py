@@ -42,6 +42,16 @@ class AlgorithmNotSupportedError(ReproError, ValueError):
     """Raised when an unknown algorithm/method name is requested."""
 
 
+class DegenerateHyperplaneError(InvalidDatasetError):
+    """Raised when an index build meets unsplittable duplicate hyperplanes.
+
+    Coincident intersection hyperplanes (e.g. from collinear input points)
+    can never be separated by spatial splits; a tree build that would chase
+    them to its depth cap raises this instead of silently constructing a
+    maximal-depth tree.  The scan backend handles such inputs exactly.
+    """
+
+
 class EmptyDatasetError(InvalidDatasetError):
     """Raised when an operation that requires at least one point receives an
     empty dataset."""

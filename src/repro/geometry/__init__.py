@@ -11,14 +11,19 @@ geometric building blocks:
 * :mod:`repro.geometry.hyperplane` — pairwise intersection hyperplanes.
 * :mod:`repro.geometry.arrangement2d` — the one-dimensional arrangement of
   intersection x-coordinates used by the two-dimensional Order Vector Index.
-* :mod:`repro.geometry.quadtree` — the line quadtree / hyperplane ``2^k``-tree.
-* :mod:`repro.geometry.cutting` — the randomised cutting tree.
+* :mod:`repro.geometry.flattree` — the flattened, CSR-backed spatial-tree
+  engine (breadth-first array-native build, iterative batched queries).
+* :mod:`repro.geometry.quadtree` — the line quadtree / hyperplane
+  ``2^k``-tree, a midpoint-split strategy wrapper over the flat engine.
+* :mod:`repro.geometry.cutting` — the randomised cutting tree, a
+  sampled-cut strategy wrapper over the same engine.
 """
 
 from repro.geometry.boxes import Box
 from repro.geometry.dual import DualHyperplane, dual_hyperplane, dual_hyperplanes
 from repro.geometry.hyperplane import IntersectionHyperplane, pairwise_intersections
 from repro.geometry.arrangement2d import Arrangement2D, ArrangementInterval
+from repro.geometry.flattree import FlatTree, auto_capacity
 from repro.geometry.quadtree import LineQuadtree
 from repro.geometry.cutting import CuttingTree
 
@@ -31,6 +36,8 @@ __all__ = [
     "pairwise_intersections",
     "Arrangement2D",
     "ArrangementInterval",
+    "FlatTree",
+    "auto_capacity",
     "LineQuadtree",
     "CuttingTree",
 ]

@@ -247,6 +247,24 @@ class Arrangement2D:
         """Return a copy of the order vector of the interval containing ``x``."""
         return self.interval_containing(x).order_vector.copy()
 
+    def order_vectors_at(self, xs: Sequence[float]) -> np.ndarray:
+        """Order vectors of many query locations as one ``(q, u)`` array.
+
+        The batched probe path: one vectorised binary search locates every
+        query's interval, and each *distinct* interval is materialised once
+        (and cached) no matter how many queries land in it.  Row ``i`` is a
+        copy of ``order_vector_at(xs[i])``.
+        """
+        if not self.num_lines:
+            raise InvalidDatasetError("the arrangement has no lines")
+        xs = np.asarray(xs, dtype=float).reshape(-1)
+        positions = np.searchsorted(self._boundaries, xs, side="left")
+        distinct, inverse = np.unique(positions, return_inverse=True)
+        table = np.stack(
+            [self._get_interval(int(position)).order_vector for position in distinct]
+        )
+        return table[inverse]
+
     def line_values_at(self, x: float) -> np.ndarray:
         """Dual values ``f_k(x)`` of every line at ``x`` (vectorised)."""
         return self._slopes * x - self._offsets

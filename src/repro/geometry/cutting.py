@@ -21,9 +21,13 @@ the resulting tree stays balanced on the clustered inputs that degrade the
 plain quadtree — reproducing the QUAD vs CUTTING worst-case behaviour of
 Figures 13 and 14.
 
-Like :class:`~repro.geometry.quadtree.LineQuadtree`, the tree is built over
-coefficient/right-hand-side arrays and every node stores an index array, so
-construction and queries are vectorised.
+Like :class:`~repro.geometry.quadtree.LineQuadtree`, this class is a thin
+*strategy wrapper* — sampled binary cuts plus the cutting stopping policy —
+over the shared flattened tree engine
+(:class:`repro.geometry.flattree.FlatTree`): breadth-first CSR build, one
+batched intersection kernel per level, iterative stack-free queries.  Split
+positions are sampled in breadth-first frontier order, so a fixed ``seed``
+still makes construction fully deterministic.
 """
 
 from __future__ import annotations
@@ -32,9 +36,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError
 from repro.geometry.boxes import Box
-from repro.geometry.hyperplane import hyperplanes_intersect_box_mask
+from repro.geometry.flattree import (
+    FlatTree,
+    boxes_to_bounds,
+    build_cutting_core,
+)
 
 #: Default per-cell capacity; ``None`` lets the tree pick a size-aware value.
 DEFAULT_CAPACITY: Optional[int] = None
@@ -45,29 +52,6 @@ DEFAULT_MAX_DEPTH = 32
 #: Global budget on the number of cells; once exhausted remaining cells stay
 #: leaves (queries remain exact because leaves are post-filtered).
 DEFAULT_MAX_NODES = 8192
-
-
-def _auto_capacity(num_hyperplanes: int) -> int:
-    """Size-aware cell capacity, same rationale as the quadtree's."""
-    return max(8, int(np.sqrt(max(num_hyperplanes, 1))))
-
-
-class _CuttingNode:
-    """A cell of the cutting: its box and either stored indices or two children."""
-
-    __slots__ = ("box", "indices", "children", "depth", "split_dim", "split_value")
-
-    def __init__(self, box: Box, indices: np.ndarray, depth: int):
-        self.box = box
-        self.indices = indices
-        self.children: Optional[List["_CuttingNode"]] = None
-        self.depth = depth
-        self.split_dim = -1
-        self.split_value = 0.0
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.children is None
 
 
 class CuttingTree:
@@ -87,6 +71,9 @@ class CuttingTree:
     seed:
         Seed of the random generator used to sample split positions; fixing
         it makes index construction deterministic.
+    on_unsplittable:
+        Forwarded to :class:`~repro.geometry.flattree.FlatTree` (``"keep"``
+        or ``"raise"``), see there.
     """
 
     def __init__(
@@ -98,63 +85,50 @@ class CuttingTree:
         max_depth: int = DEFAULT_MAX_DEPTH,
         max_nodes: int = DEFAULT_MAX_NODES,
         seed: Optional[int] = 0,
+        on_unsplittable: str = "keep",
     ):
-        coefficients = np.asarray(coefficients, dtype=float)
-        rhs = np.asarray(rhs, dtype=float)
-        if coefficients.ndim != 2 or coefficients.shape[0] != rhs.shape[0]:
-            raise DimensionMismatchError(
-                "coefficients must be (m, k) and rhs must be (m,)"
-            )
-        if coefficients.size and coefficients.shape[1] != domain.dimensions:
-            raise DimensionMismatchError(
-                "hyperplane dimensionality does not match the tree domain"
-            )
-        self._coefficients = coefficients
-        self._rhs = rhs
-        self._domain = domain
-        self._capacity = (
-            _auto_capacity(coefficients.shape[0]) if capacity is None else int(capacity)
+        self._core = build_cutting_core(
+            coefficients,
+            rhs,
+            domain,
+            capacity=capacity,
+            max_depth=max_depth,
+            max_nodes=max_nodes,
+            seed=seed,
+            on_unsplittable=on_unsplittable,
         )
-        if self._capacity < 1:
-            raise ValueError("capacity must be at least 1")
-        self._max_depth = int(max_depth)
-        if max_nodes < 1:
-            raise ValueError("max_nodes must be at least 1")
-        self._max_nodes = int(max_nodes)
-        self._nodes_created = 0
-        self._rng = np.random.default_rng(seed)
-
-        all_indices = np.arange(coefficients.shape[0], dtype=np.intp)
-        in_domain = hyperplanes_intersect_box_mask(coefficients, rhs, domain)
-        self._outside = all_indices[~in_domain]
-        self._root = self._build(domain, all_indices[in_domain], depth=0)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def core(self) -> FlatTree:
+        """The shared flattened tree engine backing this index."""
+        return self._core
+
+    @property
     def domain(self) -> Box:
         """The dual-domain box covered by the root cell."""
-        return self._domain
+        return self._core.domain
 
     @property
     def size(self) -> int:
         """Number of indexed hyperplanes."""
-        return int(self._coefficients.shape[0])
+        return self._core.size
 
     @property
     def capacity(self) -> int:
         """Cell capacity actually in use."""
-        return self._capacity
+        return self._core.capacity
 
     @property
     def depth(self) -> int:
         """Maximum depth of the tree."""
-        return self._max_depth_of(self._root)
+        return self._core.depth
 
     def node_count(self) -> int:
         """Total number of cells (for diagnostics and tests)."""
-        return self._count_nodes(self._root)
+        return self._core.node_count()
 
     def max_cell_load(self) -> int:
         """Largest number of hyperplanes crossing a single leaf cell.
@@ -162,120 +136,20 @@ class CuttingTree:
         This is the quantity the (1/t)-cutting guarantee bounds; tests use it
         to verify the subdivision actually reduces per-cell load.
         """
-        return self._max_load(self._root)
+        return self._core.max_leaf_load()
 
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     def query(self, box: Box) -> np.ndarray:
         """Indices of hyperplanes intersecting the query ``box`` (exact)."""
-        if box.dimensions != self._domain.dimensions:
-            raise DimensionMismatchError(
-                "query box dimensionality does not match the tree domain"
-            )
-        collected: List[np.ndarray] = [self._outside]
-        self._collect(self._root, box, collected)
-        candidates = np.unique(np.concatenate(collected)) if collected else np.empty(0, dtype=np.intp)
-        if candidates.size == 0:
-            return candidates.astype(np.intp)
-        mask = hyperplanes_intersect_box_mask(
-            self._coefficients[candidates], self._rhs[candidates], box
-        )
-        return candidates[mask]
+        return self._core.query(box)
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _build(self, box: Box, indices: np.ndarray, depth: int) -> _CuttingNode:
-        node = _CuttingNode(box, indices, depth)
-        self._nodes_created += 1
-        if (
-            indices.size <= self._capacity
-            or depth >= self._max_depth
-            or self._nodes_created + 2 > self._max_nodes
-        ):
-            return node
-        split_dim = depth % box.dimensions
-        split_value = self._sample_split_value(box, indices, split_dim)
-        left_box, right_box = box.split_at(split_dim, split_value)
-        if left_box.widths[split_dim] <= 0 or right_box.widths[split_dim] <= 0:
-            return node
-        left_mask = hyperplanes_intersect_box_mask(
-            self._coefficients[indices], self._rhs[indices], left_box
-        )
-        right_mask = hyperplanes_intersect_box_mask(
-            self._coefficients[indices], self._rhs[indices], right_box
-        )
-        left_indices = indices[left_mask]
-        right_indices = indices[right_mask]
-        if left_indices.size == indices.size and right_indices.size == indices.size:
-            # Every hyperplane crosses both children: this cut cannot reduce
-            # the load, so keep the cell as a leaf.
-            return node
-        node.split_dim = split_dim
-        node.split_value = split_value
-        node.children = [
-            self._build(left_box, left_indices, depth + 1),
-            self._build(right_box, right_indices, depth + 1),
-        ]
-        node.indices = np.empty(0, dtype=np.intp)
-        return node
+    def query_many(self, boxes) -> List[np.ndarray]:
+        """Exact per-box candidate indices for many boxes in one traversal.
 
-    def _sample_split_value(
-        self, box: Box, indices: np.ndarray, split_dim: int
-    ) -> float:
-        """Sample a split coordinate from the crossing hyperplanes.
-
-        For a random subset of the crossing hyperplanes the coordinate where
-        each crosses the cell (with the other coordinates fixed at the cell
-        centre) is computed; the median of those crossing coordinates is the
-        split position.  Hyperplanes nearly parallel to the split axis are
-        skipped; if no usable sample remains the cell midpoint is used.
+        Positionally parallel and identical to calling :meth:`query` per
+        box; the traversal, collection, and exact post-filter are batched.
         """
-        midpoint = float(box.center[split_dim])
-        sample_size = min(indices.size, 64)
-        if sample_size == 0:
-            return midpoint
-        sampled = self._rng.choice(indices, size=sample_size, replace=False)
-        coeffs = self._coefficients[sampled]
-        rhs = self._rhs[sampled]
-        center = box.center
-        axis_coeff = coeffs[:, split_dim]
-        usable = np.abs(axis_coeff) > 1e-12
-        if not np.any(usable):
-            return midpoint
-        rest = rhs[usable] - (
-            coeffs[usable] @ center - axis_coeff[usable] * center[split_dim]
-        )
-        crossings = rest / axis_coeff[usable]
-        crossings = crossings[
-            (crossings > box.lows[split_dim]) & (crossings < box.highs[split_dim])
-        ]
-        if crossings.size == 0:
-            return midpoint
-        return float(np.median(crossings))
-
-    def _collect(self, node: _CuttingNode, box: Box, out: List[np.ndarray]) -> None:
-        if not node.box.intersects_box(box):
-            return
-        if node.is_leaf:
-            if node.indices.size:
-                out.append(node.indices)
-            return
-        for child in node.children:
-            self._collect(child, box, out)
-
-    def _max_depth_of(self, node: _CuttingNode) -> int:
-        if node.is_leaf:
-            return node.depth
-        return max(self._max_depth_of(child) for child in node.children)
-
-    def _count_nodes(self, node: _CuttingNode) -> int:
-        if node.is_leaf:
-            return 1
-        return 1 + sum(self._count_nodes(child) for child in node.children)
-
-    def _max_load(self, node: _CuttingNode) -> int:
-        if node.is_leaf:
-            return int(node.indices.size)
-        return max(self._max_load(child) for child in node.children)
+        lows, highs = boxes_to_bounds(boxes, self._core.domain.dimensions)
+        return self._core.query_many(lows, highs)

@@ -1,0 +1,1241 @@
+"""Flattened, array-native spatial-tree engine (CSR node store).
+
+Both Intersection-Index tree backends — the line quadtree of Section IV and
+the randomised cutting tree of Section V — are *the same machine* wearing
+different split rules: a rooted tree of axis-aligned cells over the dual
+domain in which every node keeps the subset of hyperplanes crossing its
+cell, split until a capacity/depth/budget policy says stop.  Up to PR 2 each
+backend carried its own recursive Python builder (one interpreter frame and
+one mask kernel call *per node*, ~10 µs per indexed pair); this module
+replaces both with one flattened engine:
+
+* **CSR node store** — nodes live in parallel arrays (``cell_lows``/
+  ``cell_highs``, ``first_child``, ``node_depth``, ``item_start``/
+  ``item_end``) in breadth-first order; the children of an internal node are
+  ``branching`` consecutive rows, and every leaf's hyperplane indices are one
+  contiguous slice of a single ``items`` arena.  No per-node Python objects
+  exist at any point, during or after the build.
+* **Level-order build** — the frontier of one depth level is processed as
+  arrays: each level issues one batched box-vs-hyperplane intersection
+  kernel per child slot (``branching`` calls covering *every* splitting cell
+  of the level) instead of one call per node, and one stable argsort
+  regroups the surviving incidences into the next frontier.
+* **Iterative queries** — :meth:`FlatTree.query` walks the CSR store with
+  a vectorised node frontier (no recursion, no node objects), and
+  :meth:`FlatTree.query_many` runs *many* boxes through one traversal by
+  keeping a ``(query, node)`` pair frontier, which is what the batched
+  session probe path calls.
+
+The split policy is pluggable (:class:`SplitRule`): the quadtree rule cuts
+every cell into its ``2^k`` midpoint quadrants and keeps the recursive
+builder's stopping rules bit for bit on non-degenerate inputs (a cell with
+at most ``capacity`` hyperplanes stays a leaf, ``max_depth`` bounds
+pathological recursion, a split in which no child is strictly smaller than
+its parent is rolled back).  The cutting rule samples one data-driven
+binary split per cell and deliberately *tightens* the rollback: a cut
+whose largest child keeps more than
+:attr:`SampledCutSplitRule.LOAD_REDUCTION` of the parent's hyperplanes is
+abandoned, so cutting trees can legitimately differ from the PR 2
+recursive builder wherever a cut barely separates.  A soft ``max_nodes``
+budget turns the remaining frontier into leaves once exhausted — rationed
+cheapest-cells-first rather than in the recursive builders' depth-first
+order, so budget-bound trees may differ structurally too.  Queries stay
+exact in every case because leaf candidates are post-filtered with the
+exact kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DegenerateHyperplaneError, DimensionMismatchError
+from repro.geometry.boxes import Box
+from repro.geometry.hyperplane import hyperplanes_intersect_box_mask
+from repro.perf.blocking import iter_blocks, memory_cap_bytes
+
+#: Unsplittable-duplicate policies (see :class:`FlatTree`).
+UNSPLITTABLE_POLICIES = ("keep", "raise")
+
+
+def auto_capacity(num_hyperplanes: int) -> int:
+    """Size-aware leaf capacity shared by every tree backend: ``max(8, sqrt(m))``.
+
+    Pushing the capacity all the way down to a small constant forces
+    ``Θ((m/c)^k)`` cells; a capacity of ``sqrt(m)`` keeps the total number of
+    hyperplane/cell incidences near-linear while still giving queries a
+    large pruning factor.  (Single source of truth — the quadtree and the
+    cutting tree used to carry duplicate copies of this policy.)
+    """
+    return max(8, int(np.sqrt(max(num_hyperplanes, 1))))
+
+
+# ----------------------------------------------------------------------
+# Split rules
+# ----------------------------------------------------------------------
+class SplitRule:
+    """Strategy object: how one level of cells is cut into children.
+
+    ``branching`` is the fixed number of children per split.  ``plan_level``
+    receives the cells that passed the capacity/depth/budget gates as arrays
+    and returns, for each, the child boxes plus a mask of cells whose split
+    must be abandoned before any intersection test runs (e.g. a degenerate
+    cut position).  Abandoned cells become leaves, exactly like the
+    recursive builders' early returns.
+    """
+
+    branching: int
+
+    def plan_level(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        depth: int,
+        items_concat: np.ndarray,
+        offsets: np.ndarray,
+        coefficients: np.ndarray,
+        rhs: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(child_lows, child_highs, ok)``.
+
+        ``child_lows``/``child_highs`` have shape ``(cells, branching, k)``;
+        ``ok`` is a boolean mask of cells whose split should proceed.
+        """
+        raise NotImplementedError
+
+    def child_ranges(
+        self,
+        rows: np.ndarray,
+        parent_lows: np.ndarray,
+        parent_highs: np.ndarray,
+        cells: np.ndarray,
+        depth: int,
+        child_lows: np.ndarray,
+        child_highs: np.ndarray,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Exact ``(gmin, gmax)`` of every child slot for one item chunk.
+
+        ``rows`` are the hyperplane coefficient rows of the chunk and
+        ``parent_lows``/``parent_highs`` the per-item *parent* cell bounds;
+        ``cells`` maps each item to its cell row in the cell-level
+        ``child_lows``/``child_highs`` arrays of shape
+        ``(cells, branching, k)``.  Implementations must replicate the exact
+        interval arithmetic of
+        :func:`repro.geometry.hyperplane.hyperplanes_intersect_box_mask` —
+        same products, same left-to-right per-dimension summation order —
+        so the flattened build is bit-identical to the recursive reference.
+        They exploit that a child differs from its parent in few bounds,
+        which avoids materialising per-child per-item box arrays.
+        """
+        raise NotImplementedError
+
+    def plan_level_ranges(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        depth: int,
+        arena: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        coefficients: np.ndarray,
+        rhs: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Variant of :meth:`plan_level` for the sorted one-dimensional build.
+
+        There each cell's hyperplane set is the slice ``arena[starts[c] :
+        ends[c]]`` of one coordinate-sorted arena instead of a packed CSR.
+        """
+        return self.plan_level(lows, highs, depth, arena, None, coefficients, rhs)
+
+    def split_makes_progress(
+        self, parent_counts: np.ndarray, child_counts: np.ndarray
+    ) -> np.ndarray:
+        """Which planned splits are worth keeping (vectorised rollback rule).
+
+        The default reproduces the recursive builders: a split survives when
+        *any* child is strictly smaller than its parent.  Rules may tighten
+        this — a subdivision scheme whose value is a per-cell load guarantee
+        gains nothing from splits that barely reduce the load.
+        """
+        return (child_counts < parent_counts[:, None]).any(axis=1)
+
+
+class MidpointSplitRule(SplitRule):
+    """The quadtree rule: cut every cell into its ``2^k`` midpoint quadrants.
+
+    Child ordering replicates :meth:`repro.geometry.boxes.Box.split`: child
+    ``mask`` takes the upper half of dimension ``j`` iff bit ``k - 1 - j`` of
+    ``mask`` is set.
+    """
+
+    def __init__(self, dimensions: int):
+        self._k = int(dimensions)
+        self.branching = 2 ** self._k
+        # (branching, k) boolean: True where the child takes the upper half.
+        bits = np.array(
+            [
+                [(mask >> (self._k - 1 - j)) & 1 for j in range(self._k)]
+                for mask in range(self.branching)
+            ],
+            dtype=bool,
+        )
+        self._upper = bits
+
+    def plan_level(self, lows, highs, depth, items_concat, offsets, coefficients, rhs):
+        mid = (lows + highs) / 2.0
+        upper = self._upper[None, :, :]  # (1, B, k)
+        child_lows = np.where(upper, mid[:, None, :], lows[:, None, :])
+        child_highs = np.where(upper, highs[:, None, :], mid[:, None, :])
+        ok = np.ones(lows.shape[0], dtype=bool)
+        return child_lows, child_highs, ok
+
+    def child_ranges(self, rows, parent_lows, parent_highs, cells, depth, child_lows, child_highs):
+        # Every child bound is the parent low, the parent mid, or the parent
+        # high, so three per-dimension product tables cover all 2^k children.
+        # Selected per child bit pattern and summed dimension by dimension in
+        # natural order, the result is bit-identical to evaluating
+        # hyperplanes_intersect_box_mask against each child box.
+        mids = (parent_lows + parent_highs) / 2.0
+        sign = rows >= 0
+        prod_low = rows * parent_lows
+        prod_mid = rows * mids
+        prod_high = rows * parent_highs
+        min_lower = np.where(sign, prod_low, prod_mid)  # child on [low, mid]
+        min_upper = np.where(sign, prod_mid, prod_high)  # child on [mid, high]
+        max_lower = np.where(sign, prod_mid, prod_low)
+        max_upper = np.where(sign, prod_high, prod_mid)
+        out = []
+        for c in range(self.branching):
+            bits = self._upper[c]
+            gmin = (min_upper if bits[0] else min_lower)[:, 0].copy()
+            gmax = (max_upper if bits[0] else max_lower)[:, 0].copy()
+            for j in range(1, self._k):
+                gmin += (min_upper if bits[j] else min_lower)[:, j]
+                gmax += (max_upper if bits[j] else max_lower)[:, j]
+            out.append((gmin, gmax))
+        return out
+
+
+class SampledCutSplitRule(SplitRule):
+    """The cutting rule: one binary cut per cell at a sampled position.
+
+    The cut coordinate cycles through the dimensions by depth (every cell of
+    one level shares ``split_dim = depth % k``, which is what lets the level
+    batch cleanly); the cut *position* is the median of where a random
+    sample of the cell's crossing hyperplanes meets the cell, falling back
+    to the midpoint.  Because positions track hyperplane density instead of
+    geometry, the tree stays balanced on the clustered inputs that degrade
+    the midpoint quadtree (the QUAD vs CUTTING worst case of Figs. 13/14).
+
+    The generator is consumed in breadth-first frontier order (level by
+    level, cells left to right), which is the documented deterministic order
+    of the flattened build; the slow reference builder used by the parity
+    tests replicates it with a per-node queue.
+    """
+
+    #: At most this many crossing hyperplanes are sampled per cell.
+    SAMPLE_SIZE = 64
+
+    #: A cut must reduce the largest child load to at most this fraction of
+    #: the parent's load, or it is rolled back.  The (1/t)-cutting guarantee
+    #: is a *load bound* — a cut whose children keep essentially the whole
+    #: parent set (as happens when the domain dwarfs the region where the
+    #: hyperplanes vary) buys no bound while doubling the build's incidence
+    #: mass per level; rolling such cuts back keeps degenerate builds from
+    #: burning the whole node budget on separation that never comes.  The
+    #: recursive builder only rolled back fully useless cuts (both children
+    #: == parent) and relied on its depth-first budget order to abandon the
+    #: non-separating regions instead.
+    LOAD_REDUCTION = 0.98
+
+    def __init__(self, dimensions: int, rng: np.random.Generator):
+        self._k = int(dimensions)
+        self.branching = 2
+        self._rng = rng
+
+    def sample_split_value(
+        self,
+        low: np.ndarray,
+        high: np.ndarray,
+        indices: np.ndarray,
+        split_dim: int,
+        coefficients: np.ndarray,
+        rhs: np.ndarray,
+    ) -> float:
+        """Median crossing coordinate of a random sample (midpoint fallback)."""
+        midpoint = float((low[split_dim] + high[split_dim]) / 2.0)
+        sample_size = min(indices.size, self.SAMPLE_SIZE)
+        if sample_size == 0:
+            return midpoint
+        sampled = self._rng.choice(indices, size=sample_size, replace=False)
+        coeffs = coefficients[sampled]
+        sampled_rhs = rhs[sampled]
+        center = (low + high) / 2.0
+        axis_coeff = coeffs[:, split_dim]
+        usable = np.abs(axis_coeff) > 1e-12
+        if not np.any(usable):
+            return midpoint
+        rest = sampled_rhs[usable] - (
+            coeffs[usable] @ center - axis_coeff[usable] * center[split_dim]
+        )
+        crossings = rest / axis_coeff[usable]
+        crossings = crossings[(crossings > low[split_dim]) & (crossings < high[split_dim])]
+        if crossings.size == 0:
+            return midpoint
+        return float(np.median(crossings))
+
+    def _plan_cuts(self, lows, highs, split_dim, cell_indices, coefficients, rhs):
+        """Shared per-cell cut planning for both build representations.
+
+        ``cell_indices`` yields each cell's hyperplane index array in
+        frontier order (the rng consumption order).  Cuts are clamped into
+        the cell (``Box.split_at`` semantics) and abandoned when they would
+        leave a zero-width child.
+        """
+        cells = lows.shape[0]
+        child_lows = np.repeat(lows[:, None, :], 2, axis=1)
+        child_highs = np.repeat(highs[:, None, :], 2, axis=1)
+        ok = np.ones(cells, dtype=bool)
+        for c, indices in enumerate(cell_indices):
+            value = self.sample_split_value(
+                lows[c], highs[c], indices, split_dim, coefficients, rhs
+            )
+            value = min(max(value, lows[c, split_dim]), highs[c, split_dim])
+            if not (lows[c, split_dim] < value < highs[c, split_dim]):
+                ok[c] = False
+                continue
+            child_highs[c, 0, split_dim] = value
+            child_lows[c, 1, split_dim] = value
+        return child_lows, child_highs, ok
+
+    def plan_level(self, lows, highs, depth, items_concat, offsets, coefficients, rhs):
+        return self._plan_cuts(
+            lows,
+            highs,
+            depth % self._k,
+            (
+                items_concat[offsets[c] : offsets[c + 1]]
+                for c in range(lows.shape[0])
+            ),
+            coefficients,
+            rhs,
+        )
+
+    def plan_level_ranges(self, lows, highs, depth, arena, starts, ends, coefficients, rhs):
+        return self._plan_cuts(
+            lows,
+            highs,
+            0,
+            (arena[starts[c] : ends[c]] for c in range(lows.shape[0])),
+            coefficients,
+            rhs,
+        )
+
+    def child_ranges(self, rows, parent_lows, parent_highs, cells, depth, child_lows, child_highs):
+        # The two children differ from the parent only in the split
+        # dimension's bound, so the other dimensions' contributions are the
+        # parent's own; only the split-dimension column is swapped for the
+        # cut position (read back from the planned child boxes).  Summation
+        # runs dimension by dimension in natural order for bit-parity with
+        # hyperplanes_intersect_box_mask.
+        sd = depth % self._k
+        sign = rows >= 0
+        prod_low = rows * parent_lows
+        prod_high = rows * parent_highs
+        par_min = np.where(sign, prod_low, prod_high)
+        par_max = np.where(sign, prod_high, prod_low)
+        axis = rows[:, sd]
+        axis_sign = sign[:, sd]
+        cut = axis * child_highs[cells, 0, sd]
+        # Child 0 spans [low, cut], child 1 spans [cut, high] along sd.
+        sd_cols = (
+            (np.where(axis_sign, prod_low[:, sd], cut), np.where(axis_sign, cut, prod_low[:, sd])),
+            (np.where(axis_sign, cut, prod_high[:, sd]), np.where(axis_sign, prod_high[:, sd], cut)),
+        )
+        out = []
+        for c in range(2):
+            min_sd, max_sd = sd_cols[c]
+            gmin = min_sd.copy() if sd == 0 else par_min[:, 0].copy()
+            gmax = max_sd.copy() if sd == 0 else par_max[:, 0].copy()
+            for j in range(1, self._k):
+                gmin += min_sd if j == sd else par_min[:, j]
+                gmax += max_sd if j == sd else par_max[:, j]
+            out.append((gmin, gmax))
+        return out
+
+    def split_makes_progress(self, parent_counts, child_counts):
+        limit = np.minimum(
+            parent_counts - 1,
+            np.floor(self.LOAD_REDUCTION * parent_counts).astype(np.intp),
+        )
+        return child_counts.max(axis=1) <= limit
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class FlatTree:
+    """Flattened level-order spatial tree over a set of hyperplanes.
+
+    Parameters
+    ----------
+    coefficients, rhs:
+        The hyperplanes ``coefficients[i] · x = rhs[i]``, as parallel
+        ``(m, k)`` / ``(m,)`` arrays.
+    domain:
+        The dual-domain box the root covers.  Hyperplanes that do not cross
+        the domain go to an overflow set.  Queries are exact for boxes
+        contained in the domain; for ``k = 1`` they are exact for *every*
+        box (each hyperplane is a point, held either in the tree or in the
+        overflow set), but in higher dimensions a box that only partially
+        overlaps the domain can miss hyperplanes whose crossing with the
+        box lies entirely outside the domain — callers that accept
+        domain-escaping boxes must fall back to a scan, as
+        :class:`repro.index.intersection.IntersectionIndex` does.
+    split_rule:
+        A :class:`SplitRule` instance (midpoint quadrants or sampled cuts).
+    capacity, max_depth, max_nodes:
+        Stopping policy (see the module docstring).
+    on_unsplittable:
+        ``"keep"`` (default) reproduces the recursive builders: a cell of
+        coincident duplicate hyperplanes that exceeds the capacity is split
+        all the way to ``max_depth`` and kept as an oversized leaf.
+        ``"raise"`` surfaces the pathology as a clear
+        :class:`~repro.errors.DegenerateHyperplaneError` instead — used by
+        :meth:`repro.index.eclipse_index.EclipseIndex.build` so degenerate
+        inputs fail with one actionable message, not a deep useless build.
+    """
+
+    def __init__(
+        self,
+        coefficients: np.ndarray,
+        rhs: np.ndarray,
+        domain: Box,
+        split_rule: SplitRule,
+        capacity: Optional[int] = None,
+        max_depth: int = 12,
+        max_nodes: int = 4096,
+        on_unsplittable: str = "keep",
+    ):
+        coefficients = np.asarray(coefficients, dtype=float)
+        rhs = np.asarray(rhs, dtype=float)
+        if coefficients.ndim != 2 or coefficients.shape[0] != rhs.shape[0]:
+            raise DimensionMismatchError(
+                "coefficients must be (m, k) and rhs must be (m,)"
+            )
+        if coefficients.size and coefficients.shape[1] != domain.dimensions:
+            raise DimensionMismatchError(
+                "hyperplane dimensionality does not match the tree domain"
+            )
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if max_nodes < 1:
+            raise ValueError("max_nodes must be at least 1")
+        if on_unsplittable not in UNSPLITTABLE_POLICIES:
+            raise ValueError(
+                f"on_unsplittable must be one of {UNSPLITTABLE_POLICIES}"
+            )
+        self._coefficients = coefficients
+        self._rhs = rhs
+        self._domain = domain
+        self._rule = split_rule
+        self._capacity = (
+            auto_capacity(coefficients.shape[0]) if capacity is None else int(capacity)
+        )
+        if self._capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._max_depth = int(max_depth)
+        self._max_nodes = int(max_nodes)
+        self._on_unsplittable = on_unsplittable
+
+        all_indices = np.arange(coefficients.shape[0], dtype=np.intp)
+        in_domain = hyperplanes_intersect_box_mask(coefficients, rhs, domain)
+        self._outside = all_indices[~in_domain]
+        # Pruning slack for the sorted 1-D representation (see _build_1d);
+        # zero for the mask-based general build.
+        self._prune_pad = 0.0
+        if domain.dimensions == 1:
+            self._build_1d(all_indices[in_domain])
+        else:
+            self._build(all_indices[in_domain])
+        if self._on_unsplittable == "raise":
+            self._check_unsplittable_leaves()
+
+    # ------------------------------------------------------------------
+    # Build (one-dimensional fast path)
+    # ------------------------------------------------------------------
+    def _build_1d(self, root_items: np.ndarray) -> None:
+        """Sorted-interval build for a one-dimensional dual domain.
+
+        For ``k = 1`` every non-degenerate hyperplane is the *point*
+        ``x = rhs / coefficient``, so the whole build collapses into
+        interval partitioning of one coordinate-sorted arena: a cell's
+        hyperplane set is a contiguous slice of the arena, a split costs two
+        vectorised binary searches per child instead of a mask kernel over
+        every incidence, and the leaf "slices" are literal views into the
+        arena (boundary points belong to both neighbouring cells, so slices
+        may overlap).  This is what makes the worst-case ``d = 2`` build —
+        hundreds of thousands of clustered intersection points that midpoint
+        splits barely separate — cheap: the work per level is proportional
+        to the number of *cells*, not the number of incidences.
+
+        Quotients are clamped into the domain (an in-domain hyperplane whose
+        rounded quotient falls an ulp outside must not vanish from every
+        leaf), and queries on one-dimensional trees pad their *pruning*
+        bounds by a few ulps to absorb the quotient rounding; the exact
+        post-filter keeps results identical to the mask-based build.
+        """
+        coef = self._coefficients[root_items, 0]
+        points = self._rhs[root_items] / coef if root_items.size else np.empty(0)
+        points = np.clip(points, self._domain.lows[0], self._domain.highs[0])
+        order = np.argsort(points)
+        arena = np.asarray(root_items, dtype=np.intp)[order]
+        qs = points[order]
+        self._prune_pad = 4.0 * np.spacing(
+            max(abs(float(self._domain.lows[0])), abs(float(self._domain.highs[0])), 1.0)
+        )
+
+        rule = self._rule
+        branching = rule.branching
+        store_lows: List[np.ndarray] = [self._domain.lows[None, :]]
+        store_highs: List[np.ndarray] = [self._domain.highs[None, :]]
+        store_depth: List[np.ndarray] = [np.zeros(1, dtype=np.intp)]
+        first_child_chunks: List[np.ndarray] = [np.full(1, -1, dtype=np.intp)]
+        first_child_updates: List[Tuple[np.ndarray, np.ndarray]] = []
+        nodes_created = 1
+
+        leaf_ids: List[np.ndarray] = []
+        leaf_starts: List[np.ndarray] = []
+        leaf_ends: List[np.ndarray] = []
+
+        frontier_ids = np.zeros(1, dtype=np.intp)
+        frontier_lows = self._domain.lows[None, :].copy()
+        frontier_highs = self._domain.highs[None, :].copy()
+        starts = np.zeros(1, dtype=np.intp)
+        ends = np.array([arena.size], dtype=np.intp)
+        depth = 0
+
+        while frontier_ids.size:
+            counts = ends - starts
+            want_split = (counts > self._capacity) & (depth < self._max_depth)
+
+            def _leaf_out(mask: np.ndarray) -> None:
+                sel = np.flatnonzero(mask)
+                if sel.size:
+                    leaf_ids.append(frontier_ids[sel])
+                    leaf_starts.append(starts[sel])
+                    leaf_ends.append(ends[sel])
+
+            cand = np.flatnonzero(want_split)
+            allowed = self._budget_allowance(cand.size, nodes_created, depth)
+            if cand.size > allowed:
+                if allowed == 0:
+                    cand = cand[:0]
+                else:
+                    cheap = np.argsort(counts[cand], kind="stable")
+                    cand = np.sort(cand[cheap[:allowed]])
+            if cand.size == 0:
+                _leaf_out(np.ones(frontier_ids.size, dtype=bool))
+                break
+
+            child_lows, child_highs, ok = rule.plan_level_ranges(
+                frontier_lows[cand],
+                frontier_highs[cand],
+                depth,
+                arena,
+                starts[cand],
+                ends[cand],
+                self._coefficients,
+                self._rhs,
+            )
+            keep = np.flatnonzero(ok)
+            kept = cand[keep]
+            clo = child_lows[keep][:, :, 0]
+            chi = child_highs[keep][:, :, 0]
+            cstart = np.searchsorted(qs, clo, side="left")
+            cend = np.searchsorted(qs, chi, side="right")
+            cstart = np.maximum(cstart, starts[kept][:, None])
+            cend = np.minimum(cend, ends[kept][:, None])
+            cend = np.maximum(cend, cstart)
+            child_counts = cend - cstart
+            will_split = rule.split_makes_progress(counts[kept], child_counts)
+
+            split_cell_ids = kept[will_split]
+            is_leaf_cell = np.ones(frontier_ids.size, dtype=bool)
+            is_leaf_cell[split_cell_ids] = False
+            _leaf_out(is_leaf_cell)
+
+            num_split = int(np.count_nonzero(will_split))
+            if num_split == 0:
+                break
+            new_first = nodes_created + branching * np.arange(
+                num_split, dtype=np.intp
+            )
+            first_child_updates.append((frontier_ids[split_cell_ids], new_first))
+            sel_lows = child_lows[keep[will_split]].reshape(-1, 1)
+            sel_highs = child_highs[keep[will_split]].reshape(-1, 1)
+            store_lows.append(sel_lows)
+            store_highs.append(sel_highs)
+            store_depth.append(
+                np.full(num_split * branching, depth + 1, dtype=np.intp)
+            )
+            first_child_chunks.append(
+                np.full(num_split * branching, -1, dtype=np.intp)
+            )
+            child_ids = nodes_created + np.arange(
+                num_split * branching, dtype=np.intp
+            )
+            nodes_created += num_split * branching
+
+            frontier_ids = child_ids
+            frontier_lows = sel_lows
+            frontier_highs = sel_highs
+            starts = cstart[will_split].reshape(-1)
+            ends = cend[will_split].reshape(-1)
+            depth += 1
+
+        self.cell_lows = np.concatenate(store_lows, axis=0)
+        self.cell_highs = np.concatenate(store_highs, axis=0)
+        self.node_depth = np.concatenate(store_depth)
+        self.first_child = np.concatenate(first_child_chunks)
+        for parents, firsts in first_child_updates:
+            self.first_child[parents] = firsts
+        self.item_start = np.zeros(nodes_created, dtype=np.intp)
+        self.item_end = np.zeros(nodes_created, dtype=np.intp)
+        if leaf_ids:
+            ids = np.concatenate(leaf_ids)
+            self.item_start[ids] = np.concatenate(leaf_starts)
+            self.item_end[ids] = np.concatenate(leaf_ends)
+        self.items = arena
+        self.num_nodes = nodes_created
+
+    # ------------------------------------------------------------------
+    # Build (general case)
+    # ------------------------------------------------------------------
+    def _build(self, root_items: np.ndarray) -> None:
+        k = self._domain.dimensions
+        rule = self._rule
+        branching = rule.branching
+        coeffs, rhs = self._coefficients, self._rhs
+
+        # Node store, grown level by level then finalised into flat arrays.
+        store_lows: List[np.ndarray] = [self._domain.lows[None, :]]
+        store_highs: List[np.ndarray] = [self._domain.highs[None, :]]
+        store_depth: List[np.ndarray] = [np.zeros(1, dtype=np.intp)]
+        first_child_chunks: List[np.ndarray] = [np.full(1, -1, dtype=np.intp)]
+        nodes_created = 1
+
+        # Leaf item arena, recorded in (ascending) node-id order.
+        leaf_node_ids: List[np.ndarray] = []
+        leaf_counts: List[np.ndarray] = []
+        arena_chunks: List[np.ndarray] = []
+
+        # Frontier: CSR over the cells of the current level.
+        frontier_ids = np.zeros(1, dtype=np.intp)
+        frontier_lows = self._domain.lows[None, :].copy()
+        frontier_highs = self._domain.highs[None, :].copy()
+        frontier_items = np.asarray(root_items, dtype=np.intp)
+        frontier_offsets = np.array([0, frontier_items.size], dtype=np.intp)
+        depth = 0
+
+        # first_child is scattered into this after the loop (ids are global).
+        first_child_updates: List[Tuple[np.ndarray, np.ndarray]] = []
+
+        while frontier_ids.size:
+            counts = np.diff(frontier_offsets)
+            want_split = (counts > self._capacity) & (depth < self._max_depth)
+
+            if not want_split.any():
+                self._record_leaves(
+                    frontier_ids,
+                    counts,
+                    frontier_items,
+                    frontier_offsets,
+                    np.ones(frontier_ids.size, dtype=bool),
+                    leaf_node_ids,
+                    leaf_counts,
+                    arena_chunks,
+                )
+                break
+
+            cand = np.flatnonzero(want_split)
+            allowed = self._budget_allowance(cand.size, nodes_created, depth)
+            if cand.size > allowed:
+                if allowed == 0:
+                    self._record_leaves(
+                        frontier_ids,
+                        counts,
+                        frontier_items,
+                        frontier_offsets,
+                        np.ones(frontier_ids.size, dtype=bool),
+                        leaf_node_ids,
+                        leaf_counts,
+                        arena_chunks,
+                    )
+                    break
+                cheap = np.argsort(counts[cand], kind="stable")
+                cand = np.sort(cand[cheap[:allowed]])
+            # Gather the candidate cells' incidences into one contiguous CSR.
+            cand_counts = counts[cand]
+            cand_offsets = np.concatenate(([0], np.cumsum(cand_counts)))
+            cand_items = frontier_items[_csr_take(frontier_offsets, cand)]
+
+            child_lows, child_highs, ok = rule.plan_level(
+                frontier_lows[cand],
+                frontier_highs[cand],
+                depth,
+                cand_items,
+                cand_offsets,
+                coeffs,
+                rhs,
+            )
+
+            # Batched per-child intersection masks over the ok cells only.
+            keep = np.flatnonzero(ok)
+            split_counts = cand_counts[keep]
+            split_offsets = np.concatenate(([0], np.cumsum(split_counts)))
+            if keep.size == cand.size:
+                split_items = cand_items
+            else:
+                split_items = cand_items[_csr_take(cand_offsets, keep)]
+            cell_of_item = np.repeat(
+                np.arange(keep.size, dtype=np.intp), split_counts
+            )
+            masks = self._child_masks(
+                split_items,
+                cell_of_item,
+                frontier_lows[cand[keep]],
+                frontier_highs[cand[keep]],
+                child_lows[keep],
+                child_highs[keep],
+                depth,
+            )
+            # Per (cell, child) candidate counts via segment sums.
+            child_counts = np.empty((keep.size, branching), dtype=np.intp)
+            seg_starts = split_offsets[:-1]
+            for c in range(branching):
+                if keep.size:
+                    # reduceat keeps the bool dtype (logical or), so widen
+                    # to integers before segment-summing.
+                    child_counts[:, c] = np.add.reduceat(
+                        masks[c].astype(np.int64), seg_starts
+                    )
+
+            will_split = self._rule.split_makes_progress(split_counts, child_counts)
+
+            # Cells that do not split at this level become leaves:
+            # under-capacity cells, depth-capped cells, abandoned cuts,
+            # rolled-back (no-progress) splits, budget-denied splits.
+            split_cell_ids = cand[keep[will_split]]
+            is_leaf_cell = np.ones(frontier_ids.size, dtype=bool)
+            is_leaf_cell[split_cell_ids] = False
+            self._record_leaves(
+                frontier_ids,
+                counts,
+                frontier_items,
+                frontier_offsets,
+                is_leaf_cell,
+                leaf_node_ids,
+                leaf_counts,
+                arena_chunks,
+            )
+
+            num_split = int(np.count_nonzero(will_split))
+            if num_split == 0:
+                break
+
+            # Append the new child nodes (branching per splitting cell,
+            # breadth-first ids) and remember the parents' first_child.
+            new_first = nodes_created + branching * np.arange(
+                num_split, dtype=np.intp
+            )
+            first_child_updates.append((frontier_ids[split_cell_ids], new_first))
+            sel_lows = child_lows[keep[will_split]].reshape(-1, k)
+            sel_highs = child_highs[keep[will_split]].reshape(-1, k)
+            store_lows.append(sel_lows)
+            store_highs.append(sel_highs)
+            store_depth.append(
+                np.full(num_split * branching, depth + 1, dtype=np.intp)
+            )
+            first_child_chunks.append(
+                np.full(num_split * branching, -1, dtype=np.intp)
+            )
+            child_ids = nodes_created + np.arange(
+                num_split * branching, dtype=np.intp
+            )
+            nodes_created += num_split * branching
+
+            # Regroup the surviving incidences into the next frontier.  No
+            # sort is needed: within each child slot the hits are already
+            # ordered by cell rank (and by parent item order inside a cell),
+            # so each hit's destination slot is its group offset plus its
+            # running position within the group — one linear scatter.
+            split_rank = np.full(keep.size, -1, dtype=np.intp)
+            split_rank[will_split] = np.arange(num_split, dtype=np.intp)
+            item_rank = split_rank[cell_of_item]
+            live = item_rank >= 0
+            sel_counts = child_counts[will_split]  # (num_split, branching)
+            group_counts = sel_counts.reshape(-1)  # (rank, child) row-major
+            next_offsets = np.concatenate(([0], np.cumsum(group_counts))).astype(
+                np.intp
+            )
+            next_items = np.empty(next_offsets[-1], dtype=np.intp)
+            for c in range(branching):
+                hit = masks[c] & live
+                items_c = split_items[hit]
+                if items_c.size == 0:
+                    continue
+                ranks_c = item_rank[hit]
+                counts_c = sel_counts[:, c]
+                group_starts = np.cumsum(counts_c) - counts_c
+                within = np.arange(items_c.size, dtype=np.intp) - np.repeat(
+                    group_starts, counts_c
+                )
+                next_items[next_offsets[ranks_c * branching + c] + within] = items_c
+
+            frontier_ids = child_ids
+            frontier_lows = sel_lows
+            frontier_highs = sel_highs
+            frontier_items = next_items
+            frontier_offsets = next_offsets
+            depth += 1
+
+        # Finalise the CSR store.
+        self.cell_lows = np.concatenate(store_lows, axis=0)
+        self.cell_highs = np.concatenate(store_highs, axis=0)
+        self.node_depth = np.concatenate(store_depth)
+        self.first_child = np.concatenate(first_child_chunks)
+        for parents, firsts in first_child_updates:
+            self.first_child[parents] = firsts
+        self.item_start = np.zeros(nodes_created, dtype=np.intp)
+        self.item_end = np.zeros(nodes_created, dtype=np.intp)
+        if leaf_node_ids:
+            ids = np.concatenate(leaf_node_ids)
+            lens = np.concatenate(leaf_counts)
+            ends = np.cumsum(lens)
+            self.item_start[ids] = ends - lens
+            self.item_end[ids] = ends
+            self.items = (
+                np.concatenate(arena_chunks) if arena_chunks else np.empty(0, np.intp)
+            )
+        else:
+            self.items = np.empty(0, dtype=np.intp)
+        self.num_nodes = nodes_created
+
+    def _budget_allowance(
+        self, candidates: int, nodes_created: int, depth: int
+    ) -> int:
+        """How many cells of this level the soft node budget lets split.
+
+        Applied BEFORE any mask work (the recursive builders checked the
+        budget at node entry for the same reason).  While the budget covers
+        every candidate, all of them split — identical to the recursive
+        builders, which is the regime the structural-parity tests pin.
+
+        Once the budget binds, the remaining splits are rationed: at most
+        ``remaining / levels-left`` cells split per level, and the cells
+        with the fewest incidences go first (ties broken by frontier
+        order).  Both choices mimic the cost shape of the recursive
+        depth-first budget, which effectively spent its budget on deep,
+        cheap subtrees and abandoned the shallow giants — without the
+        reserve, a breadth-first build would blow the entire budget on one
+        shallow level of maximal cells, paying the maximal mask cost for
+        the least useful splits.  (Budget-bound trees may therefore differ
+        structurally from the recursive builders — queries stay exact
+        either way.)
+        """
+        branching = self._rule.branching
+        remaining = max(0, (self._max_nodes - nodes_created) // branching)
+        if remaining == 0:
+            return 0
+        if candidates * branching <= remaining:
+            # The whole next-level frontier still fits: split everything,
+            # exactly like the recursive builders.
+            return candidates
+        # Rationing keeps the build from mass-producing children that the
+        # budget will immediately strand as leaves: every split of a cell
+        # that barely separates multiplies the *stored* incidences by up to
+        # ``branching``, so spending the budget one shallow level at a time
+        # would pay maximal mask and copy cost for unrefinable cells.
+        levels_left = max(1, self._max_depth - depth)
+        return min(remaining, max(1, remaining // (levels_left * branching)))
+
+    @staticmethod
+    def _record_leaves(
+        frontier_ids,
+        counts,
+        frontier_items,
+        frontier_offsets,
+        leaf_mask,
+        leaf_node_ids,
+        leaf_counts,
+        arena_chunks,
+    ) -> None:
+        sel = np.flatnonzero(leaf_mask)
+        if sel.size == 0:
+            return
+        leaf_node_ids.append(frontier_ids[sel])
+        leaf_counts.append(counts[sel])
+        arena_chunks.append(frontier_items[_csr_take(frontier_offsets, sel)])
+
+    def _child_masks(
+        self,
+        split_items: np.ndarray,
+        cell_of_item: np.ndarray,
+        parent_lows: np.ndarray,
+        parent_highs: np.ndarray,
+        child_lows: np.ndarray,
+        child_highs: np.ndarray,
+        depth: int,
+    ) -> List[np.ndarray]:
+        """One exact intersection mask per child slot, batched over the level.
+
+        ``split_items`` are the hyperplane indices of every splitting cell
+        concatenated, ``cell_of_item`` maps each to its cell row in the
+        cell-level bound arrays (``parent_*`` of shape ``(cells, k)``,
+        ``child_*`` of shape ``(cells, branching, k)``).  The interval
+        arithmetic itself lives in the split rule's
+        :meth:`SplitRule.child_ranges`, which exploits the rule's child
+        geometry; the scratch is chunked so the ``(items, k)`` float
+        intermediates respect the shared kernel memory cap.
+        """
+        total = split_items.size
+        branching = self._rule.branching
+        k = self._coefficients.shape[1] if self._coefficients.ndim == 2 else 0
+        masks = [np.empty(total, dtype=bool) for _ in range(branching)]
+        if total == 0:
+            return masks
+        coeffs_rows = self._coefficients[split_items]
+        rhs_rows = self._rhs[split_items]
+        nondeg = np.any(np.abs(coeffs_rows) > 0.0, axis=1)
+        # ~8 float scratch arrays of (block, k) per chunk evaluation.
+        block = max(1, memory_cap_bytes(None) // (max(1, k) * 8 * 8))
+        for start, stop in iter_blocks(total, block):
+            cells = cell_of_item[start:stop]
+            ranges = self._rule.child_ranges(
+                coeffs_rows[start:stop],
+                parent_lows[cells],
+                parent_highs[cells],
+                cells,
+                depth,
+                child_lows,
+                child_highs,
+            )
+            for c, (gmin, gmax) in enumerate(ranges):
+                masks[c][start:stop] = (
+                    (gmin <= rhs_rows[start:stop])
+                    & (rhs_rows[start:stop] <= gmax)
+                    & nondeg[start:stop]
+                )
+        return masks
+
+    def _check_unsplittable_leaves(self) -> None:
+        """Raise when an overfull final leaf holds only coincident planes.
+
+        Runs once after the build in ``on_unsplittable="raise"`` mode.  A
+        leaf can end up over capacity for three reasons — the depth cap, the
+        node budget, or a rolled-back split — and in all three the question
+        is the same: was further splitting *impossible* because the cell is
+        one stack of coincident duplicate hyperplanes?
+        """
+        leaves = np.flatnonzero(self.first_child < 0)
+        loads = self.item_end[leaves] - self.item_start[leaves]
+        for node in leaves[loads > self._capacity]:
+            self._raise_if_coincident(
+                self.items[self.item_start[node] : self.item_end[node]]
+            )
+
+    def _raise_if_coincident(self, indices: np.ndarray) -> None:
+        """The unsplittable-duplicate detector behind ``on_unsplittable="raise"``.
+
+        Coincident duplicates (proportional ``(coefficients, rhs)`` rows —
+        e.g. every pair of three collinear input points yields the same
+        geometric hyperplane) can never be separated by spatial splits, so a
+        cell made of them that still exceeds the capacity at ``max_depth``
+        means the whole descent was useless.  Surfacing it as one clear
+        error beats silently building a maximal-depth tree.
+        """
+        rows = np.column_stack((self._coefficients[indices], self._rhs[indices]))
+        pivot = rows[0]
+        j = int(np.argmax(np.abs(pivot)))
+        if pivot[j] == 0.0:
+            return
+        scale = rows[:, j] / pivot[j]
+        if np.any(scale == 0.0):
+            return
+        residual = rows - scale[:, None] * pivot[None, :]
+        # Tolerance is per row: a small but genuinely distinct hyperplane
+        # stacked with much larger-magnitude duplicates must not be swallowed
+        # by the big rows' scale.
+        tolerance = 1e-9 * np.maximum(
+            np.abs(rows).max(axis=1), np.abs(scale) * np.abs(pivot).max()
+        )
+        if np.all(np.abs(residual) <= tolerance[:, None]):
+            raise DegenerateHyperplaneError(
+                f"spatial-tree build ended with {indices.size} coincident "
+                f"duplicate intersection hyperplanes stacked in one cell "
+                f"(capacity {self._capacity}, max_depth {self._max_depth}); "
+                "such duplicates — typically from collinear input points "
+                "— can never be separated by spatial splits.  Use the "
+                "'scan' backend, raise the capacity, or deduplicate the "
+                "input points."
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> Box:
+        """The dual-domain box covered by the root cell."""
+        return self._domain
+
+    @property
+    def size(self) -> int:
+        """Number of indexed hyperplanes."""
+        return int(self._coefficients.shape[0])
+
+    @property
+    def capacity(self) -> int:
+        """Leaf capacity actually in use."""
+        return self._capacity
+
+    @property
+    def depth(self) -> int:
+        """Maximum node depth of the tree."""
+        return int(self.node_depth.max()) if self.num_nodes else 0
+
+    def node_count(self) -> int:
+        """Total number of tree nodes."""
+        return int(self.num_nodes)
+
+    def max_leaf_load(self) -> int:
+        """Largest number of hyperplanes stored in a single leaf."""
+        leaves = self.first_child < 0
+        if not leaves.any():
+            return 0
+        return int((self.item_end[leaves] - self.item_start[leaves]).max())
+
+    def leaf_slices(self) -> List[Tuple[int, np.ndarray]]:
+        """``(depth, hyperplane indices)`` of every leaf, in node-id order.
+
+        The parity tests canonicalise this into leaf partitions; it is also
+        a convenient debugging view of the CSR store.
+        """
+        out: List[Tuple[int, np.ndarray]] = []
+        for node in np.flatnonzero(self.first_child < 0):
+            out.append(
+                (
+                    int(self.node_depth[node]),
+                    self.items[self.item_start[node] : self.item_end[node]],
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, box: Box) -> np.ndarray:
+        """Indices of hyperplanes that intersect the query ``box``.
+
+        The iterative frontier walk prunes subtrees whose cells miss the
+        box; candidates collected at the leaves (plus the overflow set) are
+        post-filtered with the exact vectorised test.  Exact for boxes
+        contained in the domain (see the class docstring for the
+        domain-escaping caveat at ``k >= 2``).
+        """
+        if box.dimensions != self._domain.dimensions:
+            raise DimensionMismatchError(
+                "query box dimensionality does not match the tree domain"
+            )
+        candidates = self._collect(
+            box.lows - self._prune_pad, box.highs + self._prune_pad
+        )
+        if self._outside.size:
+            candidates = np.concatenate((candidates, self._outside))
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.intp)
+        candidates = np.unique(candidates)
+        mask = hyperplanes_intersect_box_mask(
+            self._coefficients[candidates], self._rhs[candidates], box
+        )
+        return candidates[mask]
+
+    def query_many(self, lows: np.ndarray, highs: np.ndarray) -> List[np.ndarray]:
+        """Exact candidates of many boxes through ONE shared traversal.
+
+        ``lows``/``highs`` are ``(q, k)`` arrays of box bounds.  The walk
+        keeps a frontier of ``(query, node)`` pairs, so the per-level
+        pruning and leaf collection are batched across every query of the
+        batch — the tree is traversed once, not once per query.  Candidate
+        deduplication uses one ``(q, m)`` bitmap (chunked over queries so
+        it respects the shared kernel memory cap) instead of per-query
+        sorting: leaf hits scatter into the bitmap and ``flatnonzero``
+        yields each query's sorted unique candidates for the exact
+        post-filter.  Returns one sorted index array per box, each
+        identical to :meth:`query` on that box.
+        """
+        lows = np.asarray(lows, dtype=float)
+        highs = np.asarray(highs, dtype=float)
+        if lows.ndim != 2 or lows.shape != highs.shape:
+            raise DimensionMismatchError("query bounds must be (q, k) arrays")
+        q = lows.shape[0]
+        if q == 0:
+            return []
+        if lows.shape[1] != self._domain.dimensions:
+            raise DimensionMismatchError(
+                "query box dimensionality does not match the tree domain"
+            )
+        chunk = max(1, memory_cap_bytes(None) // max(1, self.size))
+        if q > chunk:
+            out: List[np.ndarray] = []
+            for start, stop in iter_blocks(q, chunk):
+                out.extend(self.query_many(lows[start:stop], highs[start:stop]))
+            return out
+
+        seen = np.zeros((q, max(1, self.size)), dtype=bool)
+        prune_lows = lows - self._prune_pad
+        prune_highs = highs + self._prune_pad
+        pair_qs = np.arange(q, dtype=np.intp)
+        pair_nodes = np.zeros(q, dtype=np.intp) if self.num_nodes else pair_qs[:0]
+        while pair_qs.size:
+            cell_lo = self.cell_lows[pair_nodes]
+            cell_hi = self.cell_highs[pair_nodes]
+            hit = np.all(cell_lo <= prune_highs[pair_qs], axis=1) & np.all(
+                prune_lows[pair_qs] <= cell_hi, axis=1
+            )
+            pair_qs, pair_nodes = pair_qs[hit], pair_nodes[hit]
+            leaf = self.first_child[pair_nodes] < 0
+            leaf_nodes = pair_nodes[leaf]
+            if leaf_nodes.size:
+                starts = self.item_start[leaf_nodes]
+                lengths = self.item_end[leaf_nodes] - starts
+                if lengths.sum():
+                    flat = _ranges(starts, lengths)
+                    seen[np.repeat(pair_qs[leaf], lengths), self.items[flat]] = True
+            inner_qs = pair_qs[~leaf]
+            inner_first = self.first_child[pair_nodes[~leaf]]
+            branching = self._rule.branching
+            pair_qs = np.repeat(inner_qs, branching)
+            pair_nodes = (
+                inner_first[:, None] + np.arange(branching, dtype=np.intp)[None, :]
+            ).reshape(-1)
+
+        if self._outside.size:
+            seen[:, self._outside] = True
+        results: List[np.ndarray] = []
+        for i in range(q):
+            candidates = np.flatnonzero(seen[i]).astype(np.intp, copy=False)
+            if candidates.size == 0 or self.size == 0:
+                results.append(np.empty(0, dtype=np.intp))
+                continue
+            mask = hyperplanes_intersect_box_mask(
+                self._coefficients[candidates],
+                self._rhs[candidates],
+                Box(lows[i], highs[i]),
+            )
+            results.append(candidates[mask])
+        return results
+
+    def _collect(self, qlows: np.ndarray, qhighs: np.ndarray) -> np.ndarray:
+        active = np.zeros(1, dtype=np.intp) if self.num_nodes else np.empty(0, np.intp)
+        chunks: List[np.ndarray] = []
+        branching = self._rule.branching
+        while active.size:
+            hit = np.all(self.cell_lows[active] <= qhighs, axis=1) & np.all(
+                qlows <= self.cell_highs[active], axis=1
+            )
+            active = active[hit]
+            leaf = self.first_child[active] < 0
+            leaf_nodes = active[leaf]
+            if leaf_nodes.size:
+                starts = self.item_start[leaf_nodes]
+                lengths = self.item_end[leaf_nodes] - starts
+                if lengths.sum():
+                    chunks.append(self.items[_ranges(starts, lengths)])
+            inner_first = self.first_child[active[~leaf]]
+            active = (
+                inner_first[:, None] + np.arange(branching, dtype=np.intp)[None, :]
+            ).reshape(-1)
+        if not chunks:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(chunks)
+
+
+# ----------------------------------------------------------------------
+# CSR helpers
+# ----------------------------------------------------------------------
+def _csr_take(offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Indices selecting the concatenated CSR segments ``rows`` in order."""
+    starts = offsets[rows]
+    lengths = offsets[rows + 1] - starts
+    return _ranges(starts, lengths)
+
+
+def _ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s + l) for s, l in zip(starts, lengths)])``."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    shifts = np.repeat(starts - (np.cumsum(lengths) - lengths), lengths)
+    return np.arange(total, dtype=np.intp) + shifts
+
+
+def build_quadtree_core(
+    coefficients: np.ndarray,
+    rhs: np.ndarray,
+    domain: Box,
+    capacity: Optional[int],
+    max_depth: int,
+    max_nodes: int,
+    on_unsplittable: str = "keep",
+) -> FlatTree:
+    """Flat core of the line quadtree: ``2^k`` midpoint quadrant splits."""
+    return FlatTree(
+        coefficients,
+        rhs,
+        domain,
+        MidpointSplitRule(domain.dimensions),
+        capacity=capacity,
+        max_depth=max_depth,
+        max_nodes=max_nodes,
+        on_unsplittable=on_unsplittable,
+    )
+
+
+def build_cutting_core(
+    coefficients: np.ndarray,
+    rhs: np.ndarray,
+    domain: Box,
+    capacity: Optional[int],
+    max_depth: int,
+    max_nodes: int,
+    seed: Optional[int],
+    on_unsplittable: str = "keep",
+) -> FlatTree:
+    """Flat core of the cutting tree: sampled binary cuts, seeded rng."""
+    rng = np.random.default_rng(seed)
+    return FlatTree(
+        coefficients,
+        rhs,
+        domain,
+        SampledCutSplitRule(domain.dimensions, rng),
+        capacity=capacity,
+        max_depth=max_depth,
+        max_nodes=max_nodes,
+        on_unsplittable=on_unsplittable,
+    )
+
+
+def boxes_to_bounds(boxes: Sequence[Box], dimensions: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack a sequence of boxes into ``(q, k)`` low/high arrays (validated)."""
+    if not boxes:
+        return np.empty((0, dimensions)), np.empty((0, dimensions))
+    for box in boxes:
+        if box.dimensions != dimensions:
+            raise DimensionMismatchError(
+                "query box dimensionality does not match the tree domain"
+            )
+    lows = np.stack([box.lows for box in boxes])
+    highs = np.stack([box.highs for box in boxes])
+    return lows, highs

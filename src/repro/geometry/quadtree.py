@@ -7,7 +7,7 @@ node covers an axis-aligned cell of the dual domain and has ``2^k`` children
 dimensionality.  A hyperplane is stored in every leaf cell it crosses; a
 node whose hyperplane set exceeds the capacity is split into its quadrants.
 
-Average-case queries are fast because the recursion only descends into
+Average-case queries are fast because the traversal only descends into
 quadrants touched by the query box, but the tree can degenerate when all
 hyperplanes crowd into the same quadrant at every level — exactly the worst
 case the paper constructs for Figures 13 and 14 (where the cutting tree
@@ -15,11 +15,13 @@ wins).
 
 Implementation notes
 --------------------
-The tree is built in bulk over *arrays* — a coefficient matrix of shape
-``(m, k)`` and a right-hand-side vector of shape ``(m,)`` — and every node
-keeps an index array into them, so the per-level hyperplane/cell
-intersection tests are single vectorised numpy operations rather than
-``m`` Python calls.  The stopping rules are:
+This class is a thin *strategy wrapper* — midpoint ``2^k``-quadrant splits
+plus the quadtree's stopping policy — over the shared flattened tree engine
+(:class:`repro.geometry.flattree.FlatTree`).  The build is breadth-first
+and array-native: one CSR node store, one batched box-vs-hyperplane
+intersection kernel per child slot per *level* (instead of one Python frame
+per node), and iterative stack-free queries.  The stopping rules are
+unchanged from the recursive builder:
 
 * a cell crossed by at most ``capacity`` hyperplanes stays a leaf;
 * the depth cap ``max_depth`` bounds pathological recursion;
@@ -33,9 +35,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError
 from repro.geometry.boxes import Box
-from repro.geometry.hyperplane import hyperplanes_intersect_box_mask
+from repro.geometry.flattree import (
+    FlatTree,
+    boxes_to_bounds,
+    build_quadtree_core,
+)
 
 #: Default per-leaf capacity; ``None`` lets the tree pick a size-aware value.
 DEFAULT_CAPACITY: Optional[int] = None
@@ -48,37 +53,8 @@ DEFAULT_MAX_DEPTH = 12
 #: well-spread hyperplanes while the number of cells grows like ``2^{kt}``,
 #: so an unbounded build can explode combinatorially for ``k >= 3``; once the
 #: budget is exhausted remaining cells simply stay leaves (queries remain
-#: exact because leaves are post-filtered).  The final node count can exceed
-#: the budget by at most ``2^k`` nodes per level of the recursion stack that
-#: was in flight when the budget ran out.
+#: exact because leaves are post-filtered).
 DEFAULT_MAX_NODES = 4096
-
-
-def _auto_capacity(num_hyperplanes: int) -> int:
-    """Size-aware leaf capacity: ``max(8, sqrt(m))``.
-
-    Pushing the capacity all the way down to a small constant forces
-    ``Θ((m/c)^k)`` cells; a capacity of ``sqrt(m)`` keeps the total number of
-    hyperplane/cell incidences near-linear while still giving queries a
-    large pruning factor.
-    """
-    return max(8, int(np.sqrt(max(num_hyperplanes, 1))))
-
-
-class _QuadtreeNode:
-    """One cell: its box, the indices stored at it (leaves) or its children."""
-
-    __slots__ = ("box", "indices", "children", "depth")
-
-    def __init__(self, box: Box, indices: np.ndarray, depth: int):
-        self.box = box
-        self.indices = indices
-        self.children: Optional[List["_QuadtreeNode"]] = None
-        self.depth = depth
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.children is None
 
 
 class LineQuadtree:
@@ -91,13 +67,20 @@ class LineQuadtree:
         parallel arrays of shape ``(m, k)`` and ``(m,)``.
     domain:
         The dual-domain box the tree covers.  Hyperplanes that do not cross
-        the domain are kept in an overflow set so queries remain exact even
-        for query boxes that (partially) leave the domain.
+        the domain are kept in an overflow set; queries are exact for boxes
+        contained in the domain (and for every box when the dual domain is
+        one-dimensional) — see :class:`~repro.geometry.flattree.FlatTree`
+        for the partial-overlap caveat in higher dimensions.
     capacity:
         Maximum number of hyperplanes per leaf before it splits; ``None``
-        picks :func:`_auto_capacity`.
+        picks :func:`repro.geometry.flattree.auto_capacity`.
     max_depth:
         Depth cap guaranteeing termination on degenerate inputs.
+    on_unsplittable:
+        Forwarded to :class:`~repro.geometry.flattree.FlatTree`: ``"keep"``
+        (default) keeps depth-capped cells of coincident duplicate
+        hyperplanes as oversized leaves, ``"raise"`` surfaces them as a
+        clear :class:`~repro.errors.DegenerateHyperplaneError`.
     """
 
     def __init__(
@@ -108,148 +91,68 @@ class LineQuadtree:
         capacity: Optional[int] = DEFAULT_CAPACITY,
         max_depth: int = DEFAULT_MAX_DEPTH,
         max_nodes: int = DEFAULT_MAX_NODES,
+        on_unsplittable: str = "keep",
     ):
-        coefficients = np.asarray(coefficients, dtype=float)
-        rhs = np.asarray(rhs, dtype=float)
-        if coefficients.ndim != 2 or coefficients.shape[0] != rhs.shape[0]:
-            raise DimensionMismatchError(
-                "coefficients must be (m, k) and rhs must be (m,)"
-            )
-        if coefficients.size and coefficients.shape[1] != domain.dimensions:
-            raise DimensionMismatchError(
-                "hyperplane dimensionality does not match the tree domain"
-            )
-        if max_depth < 1:
-            raise ValueError("max_depth must be at least 1")
-        self._coefficients = coefficients
-        self._rhs = rhs
-        self._domain = domain
-        self._capacity = (
-            _auto_capacity(coefficients.shape[0]) if capacity is None else int(capacity)
+        self._core = build_quadtree_core(
+            coefficients,
+            rhs,
+            domain,
+            capacity=capacity,
+            max_depth=max_depth,
+            max_nodes=max_nodes,
+            on_unsplittable=on_unsplittable,
         )
-        if self._capacity < 1:
-            raise ValueError("capacity must be at least 1")
-        self._max_depth = int(max_depth)
-        if max_nodes < 1:
-            raise ValueError("max_nodes must be at least 1")
-        self._max_nodes = int(max_nodes)
-        self._nodes_created = 0
-
-        all_indices = np.arange(coefficients.shape[0], dtype=np.intp)
-        in_domain = hyperplanes_intersect_box_mask(coefficients, rhs, domain)
-        self._outside = all_indices[~in_domain]
-        self._root = self._build(domain, all_indices[in_domain], depth=0)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def core(self) -> FlatTree:
+        """The shared flattened tree engine backing this index."""
+        return self._core
+
+    @property
     def domain(self) -> Box:
         """The dual-domain box covered by the root."""
-        return self._domain
+        return self._core.domain
 
     @property
     def size(self) -> int:
         """Number of indexed hyperplanes."""
-        return int(self._coefficients.shape[0])
+        return self._core.size
 
     @property
     def capacity(self) -> int:
         """Leaf capacity actually in use."""
-        return self._capacity
+        return self._core.capacity
 
     @property
     def depth(self) -> int:
         """Maximum depth of the tree."""
-        return self._max_depth_of(self._root)
+        return self._core.depth
 
     def node_count(self) -> int:
         """Total number of tree nodes (for diagnostics and tests)."""
-        return self._count_nodes(self._root)
+        return self._core.node_count()
 
     def max_leaf_load(self) -> int:
         """Largest number of hyperplanes stored in a single leaf."""
-        return self._max_load(self._root)
+        return self._core.max_leaf_load()
 
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     def query(self, box: Box) -> np.ndarray:
-        """Indices of hyperplanes that intersect the query ``box`` (exact).
+        """Indices of hyperplanes that intersect the query ``box`` (exact)."""
+        return self._core.query(box)
 
-        The recursion prunes cells disjoint from the query; candidates
-        collected at the leaves (plus the overflow set) are filtered with the
-        exact vectorised hyperplane/box test, so the result is exact for any
-        query box.
+    def query_many(self, boxes) -> List[np.ndarray]:
+        """Exact per-box candidate indices for many boxes in one traversal.
+
+        ``boxes`` is a sequence of :class:`~repro.geometry.boxes.Box`; the
+        result is positionally parallel and identical to calling
+        :meth:`query` per box, but the tree walk, the candidate collection
+        and the exact post-filter are batched across the whole sequence.
         """
-        if box.dimensions != self._domain.dimensions:
-            raise DimensionMismatchError(
-                "query box dimensionality does not match the tree domain"
-            )
-        collected: List[np.ndarray] = [self._outside]
-        self._collect(self._root, box, collected)
-        if not collected:
-            return np.empty(0, dtype=np.intp)
-        candidates = np.unique(np.concatenate(collected))
-        if candidates.size == 0:
-            return candidates
-        mask = hyperplanes_intersect_box_mask(
-            self._coefficients[candidates], self._rhs[candidates], box
-        )
-        return candidates[mask]
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _build(self, box: Box, indices: np.ndarray, depth: int) -> _QuadtreeNode:
-        node = _QuadtreeNode(box, indices, depth)
-        self._nodes_created += 1
-        if (
-            indices.size <= self._capacity
-            or depth >= self._max_depth
-            or self._nodes_created + 2**box.dimensions > self._max_nodes
-        ):
-            return node
-        child_boxes = box.split()
-        child_index_sets = []
-        for child_box in child_boxes:
-            mask = hyperplanes_intersect_box_mask(
-                self._coefficients[indices], self._rhs[indices], child_box
-            )
-            child_index_sets.append(indices[mask])
-        made_progress = any(ci.size < indices.size for ci in child_index_sets)
-        if not made_progress:
-            # Every quadrant is crossed by every hyperplane: splitting at the
-            # midpoint cannot help, keep the cell as a (large) leaf.
-            return node
-        node.children = [
-            self._build(child_box, child_indices, depth + 1)
-            for child_box, child_indices in zip(child_boxes, child_index_sets)
-        ]
-        node.indices = np.empty(0, dtype=np.intp)
-        return node
-
-    def _collect(self, node: _QuadtreeNode, box: Box, out: List[np.ndarray]) -> None:
-        if not node.box.intersects_box(box):
-            return
-        if node.is_leaf:
-            if node.indices.size:
-                out.append(node.indices)
-            return
-        for child in node.children:
-            self._collect(child, box, out)
-
-    def _max_depth_of(self, node: _QuadtreeNode) -> int:
-        if node.is_leaf:
-            return node.depth
-        return max(self._max_depth_of(child) for child in node.children)
-
-    def _count_nodes(self, node: _QuadtreeNode) -> int:
-        if node.is_leaf:
-            return 1
-        return 1 + sum(self._count_nodes(child) for child in node.children)
-
-    def _max_load(self, node: _QuadtreeNode) -> int:
-        if node.is_leaf:
-            return int(node.indices.size)
-        return max(self._max_load(child) for child in node.children)
+        lows, highs = boxes_to_bounds(boxes, self._core.domain.dimensions)
+        return self._core.query_many(lows, highs)

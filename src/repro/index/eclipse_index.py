@@ -27,7 +27,7 @@ result correct even for inputs with ties at the reference corner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -137,6 +137,11 @@ class EclipseIndex:
             # In two dimensions both QUAD and CUTTING share the sorted
             # binary-search structure (Section IV-A of the paper).
             backend = "sorted"
+        # on_unsplittable="raise": a tree backend chasing coincident
+        # duplicate intersection hyperplanes (typically collinear input
+        # points) to its depth cap fails here with one clear
+        # DegenerateHyperplaneError instead of silently building a
+        # maximal-depth tree that cannot prune anything.
         self._intersection_index = IntersectionIndex.from_arrays(
             coefficients,
             offsets,
@@ -144,6 +149,7 @@ class EclipseIndex:
             max_ratio=self._max_ratio,
             capacity=self._capacity,
             seed=self._seed,
+            on_unsplittable="raise",
         )
         return self
 
@@ -203,6 +209,51 @@ class EclipseIndex:
         data = self._data
         if data.shape[0] == 0:
             return np.empty(0, dtype=np.intp)
+        box = self._query_box(ratios)
+        state = self._order_index.initial_state(box)
+        candidates = self._intersection_index.candidates(box)
+        return self._finish_query(state, candidates, box)
+
+    def query_indices_many(self, ratio_specs) -> List[IndexArray]:
+        """Answer many ratio-range queries with batched index probes.
+
+        Positionally parallel — and identical, per specification — to
+        calling :meth:`query_indices` on each entry, up to the documented
+        sub-ulp boundary: the stacked order-vector GEMM may round final
+        digits differently from the per-query evaluation, so two dual
+        values within one ulp of a tie at a reference corner can resolve
+        differently (see
+        :meth:`~repro.index.order_vector.OrderVectorIndex.initial_states`).
+        The index probes are shared across the batch: one stacked GEMM
+        produces every reference-corner order-vector state
+        (:meth:`~repro.index.order_vector.OrderVectorIndex.initial_states`)
+        and ONE tree traversal collects every query's intersection
+        candidates
+        (:meth:`~repro.index.intersection.IntersectionIndex.candidates_many`),
+        so a batched session issues one traversal per batch instead of one
+        per query.  ``last_query_stats`` reflects the final query of the
+        batch, exactly as if the queries had been issued one by one.
+        """
+        self._require_built()
+        specs = list(ratio_specs)
+        if self._data.shape[0] == 0:
+            return [np.empty(0, dtype=np.intp) for _ in specs]
+        boxes = [self._query_box(ratios) for ratios in specs]
+        states = self._order_index.initial_states(boxes)
+        candidate_sets = self._intersection_index.candidates_many(boxes)
+        return [
+            self._finish_query(state, candidates, box)
+            for state, candidates, box in zip(states, candidate_sets, boxes)
+        ]
+
+    def query(self, ratios) -> np.ndarray:
+        """Return the eclipse points (rows of the original dataset)."""
+        self._require_built()
+        return self._data[self.query_indices(ratios)]
+
+    # ------------------------------------------------------------------
+    def _query_box(self, ratios) -> Box:
+        data = self._data
         ratio_vector = (
             ratios
             if isinstance(ratios, RatioVector)
@@ -213,10 +264,12 @@ class EclipseIndex:
                 f"ratio vector is for d={ratio_vector.dimensions}, "
                 f"dataset has d={data.shape[1]}"
             )
-        box = Box(lows=-ratio_vector.highs, highs=-ratio_vector.lows)
-        state = self._order_index.initial_state(box)
+        return Box(lows=-ratio_vector.highs, highs=-ratio_vector.lows)
+
+    def _finish_query(
+        self, state: OrderVectorState, candidates: CandidateSet, box: Box
+    ) -> IndexArray:
         counts = state.counts.astype(np.int64, copy=True)
-        candidates = self._intersection_index.candidates(box)
         self._apply_adjustments(counts, state, candidates, box)
         local = np.flatnonzero(counts == 0)
         result = np.sort(self._skyline_idx[local])
@@ -226,11 +279,6 @@ class EclipseIndex:
             num_eclipse=int(result.size),
         )
         return result
-
-    def query(self, ratios) -> np.ndarray:
-        """Return the eclipse points (rows of the original dataset)."""
-        self._require_built()
-        return self._data[self.query_indices(ratios)]
 
     # ------------------------------------------------------------------
     # Internals

@@ -107,6 +107,9 @@ class IntersectionIndex:
         Leaf/cell capacity of the tree backends (``None`` = size-aware).
     seed:
         Random seed for the cutting-tree backend.
+    on_unsplittable:
+        Forwarded to the tree backends (``"keep"`` or ``"raise"``; see
+        :class:`~repro.geometry.flattree.FlatTree`).
     """
 
     def __init__(
@@ -116,6 +119,7 @@ class IntersectionIndex:
         max_ratio: float = DEFAULT_MAX_RATIO,
         capacity: Optional[int] = None,
         seed: Optional[int] = 0,
+        on_unsplittable: str = "keep",
     ):
         hyperplanes = list(hyperplanes)
         dual_dims = hyperplanes[0].dual_dimensions if hyperplanes else 0
@@ -123,7 +127,8 @@ class IntersectionIndex:
             hyperplanes, skip_degenerate=True
         )
         self._init_from_pair_arrays(
-            dual_dims, pairs, coefficients, rhs, backend, max_ratio, capacity, seed
+            dual_dims, pairs, coefficients, rhs, backend, max_ratio, capacity, seed,
+            on_unsplittable,
         )
 
     @classmethod
@@ -136,6 +141,7 @@ class IntersectionIndex:
         max_ratio: float = DEFAULT_MAX_RATIO,
         capacity: Optional[int] = None,
         seed: Optional[int] = 0,
+        on_unsplittable: str = "keep",
     ) -> "IntersectionIndex":
         """Build the index straight from ``(u, d-1)`` / ``(u,)`` dual arrays.
 
@@ -156,7 +162,8 @@ class IntersectionIndex:
             coefficients, offsets, indices=indices, skip_degenerate=True
         )
         self._init_from_pair_arrays(
-            dual_dims, pairs, pair_coeffs, pair_rhs, backend, max_ratio, capacity, seed
+            dual_dims, pairs, pair_coeffs, pair_rhs, backend, max_ratio, capacity,
+            seed, on_unsplittable,
         )
         return self
 
@@ -170,6 +177,7 @@ class IntersectionIndex:
         max_ratio: float,
         capacity: Optional[int],
         seed: Optional[int],
+        on_unsplittable: str = "keep",
     ) -> None:
         self._dual_dims = dual_dims
         if backend == "auto":
@@ -208,7 +216,11 @@ class IntersectionIndex:
             self._sorted_order = order
         elif backend == "quadtree":
             self._tree = LineQuadtree(
-                self._coefficients, self._rhs, self._domain, capacity=capacity
+                self._coefficients,
+                self._rhs,
+                self._domain,
+                capacity=capacity,
+                on_unsplittable=on_unsplittable,
             )
         elif backend == "cutting":
             self._tree = CuttingTree(
@@ -217,6 +229,7 @@ class IntersectionIndex:
                 self._domain,
                 capacity=capacity,
                 seed=seed,
+                on_unsplittable=on_unsplittable,
             )
         # "scan" keeps only the flat arrays.
 
@@ -279,6 +292,55 @@ class IntersectionIndex:
             selected = np.flatnonzero(mask)
         else:
             selected = self._tree.query(box)
+        return self._candidate_set(selected)
+
+    def candidates_many(self, boxes: Sequence[Box]) -> List["CandidateSet"]:
+        """Per-box candidate sets for many boxes, sharing one tree traversal.
+
+        Positionally parallel — and identical, per box — to calling
+        :meth:`candidates` on each box.  The tree backends answer the whole
+        batch through :meth:`~repro.geometry.flattree.FlatTree.query_many`
+        (one iterative walk over the CSR store for all boxes); the sorted
+        backend answers it with two vectorised binary searches; only boxes
+        escaping the indexed domain fall back to individual scans.
+        """
+        boxes = list(boxes)
+        if self.num_pairs == 0 or not boxes:
+            return [self.candidates(box) for box in boxes]
+        for box in boxes:
+            if box.dimensions != self._dual_dims:
+                raise DimensionMismatchError(
+                    "query box dimensionality does not match the index"
+                )
+        if self._backend == "sorted":
+            lows = np.array([float(box.lows[0]) for box in boxes])
+            highs = np.array([float(box.highs[0]) for box in boxes])
+            starts = np.searchsorted(self._sorted_xs, lows, side="left")
+            ends = np.searchsorted(self._sorted_xs, highs, side="right")
+            return [
+                self._candidate_set(self._sorted_order[start:end])
+                for start, end in zip(starts, ends)
+            ]
+        if self._backend == "scan" or self._tree is None:
+            return [self.candidates(box) for box in boxes]
+        in_domain = [
+            self._domain is not None and self._domain.contains_box(box)
+            for box in boxes
+        ]
+        tree_results = iter(
+            self._tree.query_many([box for box, ok in zip(boxes, in_domain) if ok])
+        )
+        out: List[CandidateSet] = []
+        for box, ok in zip(boxes, in_domain):
+            if ok:
+                out.append(self._candidate_set(next(tree_results)))
+            else:
+                # The tree only covers the default domain; stay exact by
+                # scanning this box, like the single-query path.
+                out.append(self.candidates(box))
+        return out
+
+    def _candidate_set(self, selected: np.ndarray) -> CandidateSet:
         return CandidateSet(
             pairs=self._pairs[selected],
             coefficients=self._coefficients[selected],

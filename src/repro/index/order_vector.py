@@ -23,7 +23,7 @@ Two representations are provided, matching the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -228,3 +228,62 @@ class OrderVectorIndex:
             reference=reference,
             slopes=slopes,
         )
+
+    def initial_states(self, boxes: Sequence[Box]) -> List[OrderVectorState]:
+        """Order-vector states of many query boxes, sharing the hot work.
+
+        Positionally parallel — and identical, per box — to calling
+        :meth:`initial_state` on each box.  All reference-corner dual values
+        come from ONE stacked GEMM (``refs @ coefficients.T``); the
+        two-dimensional arrangement serves every query's order vector
+        through one batched interval lookup
+        (:meth:`~repro.geometry.arrangement2d.Arrangement2D.order_vectors_at`).
+
+        The stacked GEMM may round final digits differently from the
+        per-query matrix-vector product, so ``values`` can differ from the
+        one-box path in the last ulp; exact ties (identical hyperplanes)
+        evaluate identically on both paths, so downstream dominance
+        decisions only diverge for pairs whose dual values differ by less
+        than one ulp — the same sub-ulp boundary already documented for the
+        corner-score transform.
+        """
+        boxes = list(boxes)
+        if not boxes:
+            return []
+        if self.num_hyperplanes == 0:
+            return [self.initial_state(box) for box in boxes]
+        for box in boxes:
+            if box.dimensions != self._dual_dims:
+                raise DimensionMismatchError(
+                    "query box dimensionality does not match the index"
+                )
+        refs = np.stack([np.asarray(box.highs, dtype=float) for box in boxes])
+        values = refs @ self._coefficients.T - self._offsets  # one GEMM
+        if self._arrangement is not None:
+            all_counts = self._arrangement.order_vectors_at(refs[:, 0])
+            slopes = self._coefficients[:, 0]
+            return [
+                OrderVectorState(
+                    counts=all_counts[i].astype(np.intp),
+                    values=values[i],
+                    reference=refs[i],
+                    slopes=slopes.copy(),
+                )
+                for i in range(len(boxes))
+            ]
+        sorted_values = np.sort(values, axis=1)
+        states = []
+        for i in range(len(boxes)):
+            counts = (
+                values.shape[1]
+                - np.searchsorted(sorted_values[i], values[i], side="right")
+            ).astype(np.intp)
+            states.append(
+                OrderVectorState(
+                    counts=counts,
+                    values=values[i],
+                    reference=refs[i],
+                    slopes=None,
+                )
+            )
+        return states

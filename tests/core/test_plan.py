@@ -83,6 +83,15 @@ class TestCostEstimates:
         assert estimates["transform"].build == 0.0
         assert estimates["quadtree"].build > 0.0
 
+    def test_cutting_build_priced_below_quadtree_for_high_d(self):
+        # The PR 3 measured constants: ~0.3 us/pair for the flattened
+        # cutting build vs ~tens of us/pair for the non-separating quadtree.
+        estimates = {e.method: e for e in method_cost_estimates(10_000, 4)}
+        assert estimates["cutting"].build < estimates["quadtree"].build
+        # In two dimensions both share the sorted structure's price.
+        estimates_2d = {e.method: e for e in method_cost_estimates(10_000, 2)}
+        assert estimates_2d["cutting"].build == estimates_2d["quadtree"].build
+
     def test_measured_skyline_size_drives_index_cost(self):
         small = {e.method: e for e in method_cost_estimates(10_000, 4, num_skyline=50)}
         large = {
@@ -108,9 +117,12 @@ class TestPlanQuery:
 
     def test_large_batches_amortise_an_index(self):
         plan = plan_query(50_000, 3, method="auto", num_queries=200)
-        assert plan.method == "quadtree"
-        assert plan.index_backend == "quadtree"
         assert plan.uses_index
+        assert plan.index_backend == plan.method
+        # PR 3 recalibration: the flattened cutting build (load-reduction
+        # rollback) is priced far below the quadtree build, so the planner
+        # now amortises the cheapest index, not quadtree unconditionally.
+        assert plan.method == "cutting"
 
     def test_huge_measured_skyline_disables_index_choice(self):
         # When every point is a skyline point (worst case), the u^2 pair

@@ -165,6 +165,64 @@ class TestBatchSharedWork:
             # one-shot runs; all methods return identical eclipse sets.
             assert np.array_equal(result.indices, independent.indices)
 
+    def test_index_batch_issues_one_batched_probe(self, monkeypatch):
+        # The index branch of run_batch must go through the batched probe
+        # (one order-vector GEMM + one tree traversal for the whole batch),
+        # not through per-query lookups.
+        from repro.index.eclipse_index import EclipseIndex as _EI
+
+        calls = {"many": 0, "single": 0}
+        orig_many = _EI.query_indices_many
+        orig_single = _EI.query_indices
+
+        def spy_many(self, specs):
+            calls["many"] += 1
+            return orig_many(self, specs)
+
+        def spy_single(self, ratios):
+            calls["single"] += 1
+            return orig_single(self, ratios)
+
+        monkeypatch.setattr(_EI, "query_indices_many", spy_many)
+        monkeypatch.setattr(_EI, "query_indices", spy_single)
+        data = generate_dataset("anti", 400, 3, seed=11)
+        session = DatasetSession(data)
+        specs = random_ratio_specs(np.random.default_rng(7), 10, 3)
+        session.run_batch(specs, method="quad")
+        assert calls["many"] == 1
+        assert calls["single"] == 0
+        assert session.stats.queries == 10
+
+    def test_auto_index_batch_falls_back_on_degenerate_data(self):
+        # Collinear points: every intersection hyperplane is a coincident
+        # duplicate, so tree index builds raise DegenerateHyperplaneError.
+        # An auto batch must transparently fall back to the transformation;
+        # an explicitly pinned index method must surface the error.
+        from repro.errors import DegenerateHyperplaneError
+
+        t = np.arange(40, dtype=float)
+        data = np.array([5.0, 5.0, 5.0]) + t[:, None] * np.array([1.0, -1.0, 0.5])
+        specs = [RatioVector.uniform(0.4, 2.2, 3), RatioVector.uniform(0.7, 1.6, 3)]
+
+        session = DatasetSession(data)
+        plan = session.plan(method="auto", num_queries=len(specs))
+        if plan.uses_index:  # the cost model must actually pick an index
+            results = session.run_batch(specs, method="auto")
+            expected = DatasetSession(data).run_batch(specs, method="transform")
+            for got, want in zip(results, expected):
+                assert np.array_equal(got.indices, want.indices)
+                assert got.method == "transform"
+            # last_plan reflects what actually ran, not the doomed index.
+            assert session.last_plan.method == "transform"
+            assert session.stats.index_builds == 0
+            # The failed configuration is memoised: a second batch must not
+            # re-attempt the build, and index_for fails instantly.
+            session.run_batch(specs, method="auto")
+            with pytest.raises(DegenerateHyperplaneError):
+                session.index_for(plan.index_backend or "cutting")
+        with pytest.raises(DegenerateHyperplaneError):
+            DatasetSession(data).run_batch(specs, method="cutting")
+
     def test_baseline_batch_matches_independent_runs(self):
         data = generate_dataset("inde", 150, 3, seed=2)
         specs = [RatioVector.uniform(0.5, 2.0, 3), RatioVector.uniform(0.2, 1.1, 3)]

@@ -1,0 +1,486 @@
+"""Build-parity tests: the flattened tree engine vs slow recursive builders.
+
+The flattened engine (``repro.geometry.flattree``) must produce the same
+*structures* as the per-node recursive builders it replaced, not only the
+same (exact, post-filtered) query answers.  This module keeps two slow
+reference builders around purely for these tests:
+
+* :class:`ReferenceQuadtree` — a faithful copy of the PR 2 recursive
+  quadtree builder (midpoint ``2^k`` splits, "any child strictly smaller"
+  rollback, depth cap).
+* :class:`ReferenceCutting` — the cutting strategy executed one node at a
+  time with an explicit breadth-first queue, consuming the random generator
+  in the same frontier order as the flattened build and applying the same
+  load-reduction rollback rule.
+
+Membership semantics: for ``k >= 2`` a cell holds the hyperplanes whose
+exact box-intersection mask is true (the flattened engine replicates the
+kernel's interval arithmetic bit for bit, so the comparison is exact).  For
+``k = 1`` the flattened engine represents each hyperplane by its point
+``x = rhs / coefficient`` and partitions a coordinate-sorted arena, so the
+references use the same quotient-containment rule (a point on a cell
+boundary belongs to both neighbouring cells); query *answers* remain
+mask-exact either way because leaf candidates are post-filtered.
+
+Structural parity is asserted on leaf partitions (as ``(depth, index set)``
+multisets), tree depth, node count and maximum leaf load, plus query-result
+equality, across fuzzed random hyperplane sets in two to four dimensions.
+Budget-bound builds are exercised separately (the flattened engine spends a
+binding node budget cheapest-cells-first rather than in depth-first order,
+so only the budget invariant itself is compared there).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DegenerateHyperplaneError
+from repro.geometry.boxes import Box
+from repro.geometry.cutting import CuttingTree
+from repro.geometry.dual import dual_hyperplanes
+from repro.geometry.flattree import auto_capacity
+from repro.geometry.hyperplane import (
+    hyperplanes_intersect_box_mask,
+    pairwise_intersection_arrays,
+)
+from repro.geometry.quadtree import LineQuadtree
+
+
+def make_hyperplanes(n_points: int, dimensions: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    duals = dual_hyperplanes(rng.random((n_points, dimensions)) + 0.05)
+    return pairwise_intersection_arrays(duals)
+
+
+def domain(dual_dims: int, max_ratio: float = 10.0) -> Box:
+    return Box(np.full(dual_dims, -max_ratio), np.zeros(dual_dims))
+
+
+# ----------------------------------------------------------------------
+# Reference builders (slow, per-node)
+# ----------------------------------------------------------------------
+class _RefNode:
+    __slots__ = ("box", "indices", "children", "depth")
+
+    def __init__(self, box: Box, indices: np.ndarray, depth: int):
+        self.box = box
+        self.indices = indices
+        self.children: Optional[List["_RefNode"]] = None
+        self.depth = depth
+
+
+def _membership(coefficients, rhs, indices, box, quotients):
+    """Cell membership: exact mask for k >= 2, quotient containment for k = 1."""
+    if quotients is None:
+        mask = hyperplanes_intersect_box_mask(
+            coefficients[indices], rhs[indices], box
+        )
+        return indices[mask]
+    q = quotients[indices]
+    return indices[(q >= box.lows[0]) & (q <= box.highs[0])]
+
+
+class _ReferenceTree:
+    """Shared reference scaffolding: node store, stats, query."""
+
+    def __init__(self, coefficients, rhs, dom, capacity):
+        self.coefficients = np.asarray(coefficients, dtype=float)
+        self.rhs = np.asarray(rhs, dtype=float)
+        self.domain = dom
+        self.capacity = (
+            auto_capacity(self.coefficients.shape[0]) if capacity is None else capacity
+        )
+        all_indices = np.arange(self.coefficients.shape[0], dtype=np.intp)
+        in_dom = hyperplanes_intersect_box_mask(self.coefficients, self.rhs, dom)
+        self.outside = all_indices[~in_dom]
+        if dom.dimensions == 1:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                q = np.where(
+                    self.coefficients[:, 0] != 0,
+                    self.rhs / np.where(self.coefficients[:, 0] != 0, self.coefficients[:, 0], 1.0),
+                    np.nan,
+                )
+            self.quotients = np.clip(q, dom.lows[0], dom.highs[0])
+        else:
+            self.quotients = None
+        self.root = _RefNode(dom, all_indices[in_dom], 0)
+        self.node_count_ = 1
+
+    # -- introspection matching the production API ----------------------
+    def _leaves(self):
+        out, stack = [], [self.root]
+        while stack:
+            node = stack.pop()
+            if node.children is None:
+                out.append(node)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def leaf_partition(self):
+        return sorted(
+            (leaf.depth, tuple(sorted(int(i) for i in leaf.indices)))
+            for leaf in self._leaves()
+        )
+
+    def depth(self):
+        return max(leaf.depth for leaf in self._leaves())
+
+    def node_count(self):
+        return self.node_count_
+
+    def max_leaf_load(self):
+        return max(int(leaf.indices.size) for leaf in self._leaves())
+
+    def query(self, box: Box) -> np.ndarray:
+        collected = [self.outside]
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects_box(box):
+                continue
+            if node.children is None:
+                collected.append(node.indices)
+            else:
+                stack.extend(node.children)
+        candidates = np.unique(np.concatenate(collected))
+        if candidates.size == 0:
+            return candidates.astype(np.intp)
+        mask = hyperplanes_intersect_box_mask(
+            self.coefficients[candidates], self.rhs[candidates], box
+        )
+        return candidates[mask]
+
+
+class ReferenceQuadtree(_ReferenceTree):
+    """Faithful per-node copy of the recursive PR 2 quadtree builder."""
+
+    def __init__(self, coefficients, rhs, dom, capacity=None, max_depth=12):
+        super().__init__(coefficients, rhs, dom, capacity)
+        self._max_depth = max_depth
+        self._build(self.root)
+
+    def _build(self, node: _RefNode) -> None:
+        if node.indices.size <= self.capacity or node.depth >= self._max_depth:
+            return
+        child_boxes = node.box.split()
+        child_sets = [
+            _membership(
+                self.coefficients, self.rhs, node.indices, cb, self.quotients
+            )
+            for cb in child_boxes
+        ]
+        if not any(cs.size < node.indices.size for cs in child_sets):
+            return
+        node.children = [
+            _RefNode(cb, cs, node.depth + 1)
+            for cb, cs in zip(child_boxes, child_sets)
+        ]
+        self.node_count_ += len(node.children)
+        node.indices = np.empty(0, dtype=np.intp)
+        for child in node.children:
+            self._build(child)
+
+
+class ReferenceCutting(_ReferenceTree):
+    """Per-node breadth-first cutting builder mirroring the flat engine.
+
+    Consumes the random generator in frontier order (level by level, cells
+    left to right) and applies the engine's load-reduction rollback: a cut
+    survives only when the largest child keeps at most
+    ``LOAD_REDUCTION`` of the parent's hyperplanes (and is strictly
+    smaller).
+    """
+
+    LOAD_REDUCTION = 0.98
+    SAMPLE_SIZE = 64
+
+    def __init__(self, coefficients, rhs, dom, capacity=None, max_depth=32, seed=0):
+        super().__init__(coefficients, rhs, dom, capacity)
+        self._max_depth = max_depth
+        self._rng = np.random.default_rng(seed)
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            for child in self._split(node):
+                queue.append(child)
+
+    def _sample_split_value(self, box, indices, split_dim):
+        midpoint = float(box.center[split_dim])
+        sample_size = min(indices.size, self.SAMPLE_SIZE)
+        if sample_size == 0:
+            return midpoint
+        sampled = self._rng.choice(indices, size=sample_size, replace=False)
+        coeffs = self.coefficients[sampled]
+        rhs = self.rhs[sampled]
+        center = box.center
+        axis_coeff = coeffs[:, split_dim]
+        usable = np.abs(axis_coeff) > 1e-12
+        if not np.any(usable):
+            return midpoint
+        rest = rhs[usable] - (
+            coeffs[usable] @ center - axis_coeff[usable] * center[split_dim]
+        )
+        crossings = rest / axis_coeff[usable]
+        crossings = crossings[
+            (crossings > box.lows[split_dim]) & (crossings < box.highs[split_dim])
+        ]
+        if crossings.size == 0:
+            return midpoint
+        return float(np.median(crossings))
+
+    def _split(self, node: _RefNode) -> List[_RefNode]:
+        if node.indices.size <= self.capacity or node.depth >= self._max_depth:
+            return []
+        # The sorted 1-D arena hands cells their indices in coordinate
+        # order, so the reference samples from the same ordering.
+        indices = node.indices
+        if self.quotients is not None:
+            indices = indices[np.argsort(self.quotients[indices])]
+        split_dim = node.depth % node.box.dimensions
+        value = self._sample_split_value(node.box, indices, split_dim)
+        value = float(
+            min(max(value, node.box.lows[split_dim]), node.box.highs[split_dim])
+        )
+        if not (node.box.lows[split_dim] < value < node.box.highs[split_dim]):
+            return []
+        left_box, right_box = node.box.split_at(split_dim, value)
+        child_sets = [
+            _membership(self.coefficients, self.rhs, node.indices, cb, self.quotients)
+            for cb in (left_box, right_box)
+        ]
+        limit = min(
+            node.indices.size - 1,
+            int(np.floor(self.LOAD_REDUCTION * node.indices.size)),
+        )
+        if max(cs.size for cs in child_sets) > limit:
+            return []
+        node.children = [
+            _RefNode(cb, cs, node.depth + 1)
+            for cb, cs in zip((left_box, right_box), child_sets)
+        ]
+        self.node_count_ += 2
+        node.indices = np.empty(0, dtype=np.intp)
+        return node.children
+
+
+def flat_leaf_partition(tree) -> list:
+    return sorted(
+        (depth, tuple(sorted(int(i) for i in items)))
+        for depth, items in tree.core.leaf_slices()
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural parity
+# ----------------------------------------------------------------------
+#: Depth caps for the parity builds.  The huge default dual domain makes
+#: high-d quadrant splits separate poorly, so unbounded-depth parity builds
+#: would explode combinatorially; the cap applies identically to the flat
+#: build and the reference, so parity is still meaningful.
+PARITY_MAX_DEPTH = {1: 12, 2: 7, 3: 4}
+
+
+class TestQuadtreeParity:
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    @pytest.mark.parametrize("n_points", [12, 25, 40])
+    def test_structure_matches_recursive_reference(self, dimensions, n_points):
+        pairs, coeffs, rhs = make_hyperplanes(n_points, dimensions, seed=n_points)
+        dom = domain(dimensions - 1)
+        md = PARITY_MAX_DEPTH[dimensions - 1]
+        flat = LineQuadtree(
+            coeffs, rhs, dom, capacity=6, max_depth=md, max_nodes=1_000_000
+        )
+        ref = ReferenceQuadtree(coeffs, rhs, dom, capacity=6, max_depth=md)
+        assert flat.node_count() == ref.node_count()
+        assert flat.depth == ref.depth()
+        assert flat.max_leaf_load() == ref.max_leaf_load()
+        assert flat_leaf_partition(flat) == ref.leaf_partition()
+
+    def test_structure_matches_on_clustered_worst_case(self):
+        from repro.data.worst_case import generate_worst_case
+
+        data = generate_worst_case(40, 3, seed=1)
+        duals = dual_hyperplanes(data)
+        pairs, coeffs, rhs = pairwise_intersection_arrays(duals)
+        dom = domain(2, max_ratio=128.0)
+        flat = LineQuadtree(
+            coeffs, rhs, dom, capacity=8, max_depth=7, max_nodes=1_000_000
+        )
+        ref = ReferenceQuadtree(coeffs, rhs, dom, capacity=8, max_depth=7)
+        assert flat_leaf_partition(flat) == ref.leaf_partition()
+
+
+class TestCuttingParity:
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    @pytest.mark.parametrize("n_points", [12, 25, 40])
+    def test_structure_matches_bfs_reference(self, dimensions, n_points):
+        pairs, coeffs, rhs = make_hyperplanes(n_points, dimensions, seed=n_points + 7)
+        dom = domain(dimensions - 1)
+        flat = CuttingTree(coeffs, rhs, dom, capacity=6, seed=3, max_nodes=1_000_000)
+        ref = ReferenceCutting(coeffs, rhs, dom, capacity=6, seed=3)
+        assert flat.node_count() == ref.node_count()
+        assert flat.depth == ref.depth()
+        assert flat.max_cell_load() == ref.max_leaf_load()
+        assert flat_leaf_partition(flat) == ref.leaf_partition()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    n_points=st.integers(min_value=5, max_value=30),
+    dimensions=st.integers(min_value=2, max_value=4),
+    capacity=st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_fuzzed_structural_parity(seed, n_points, dimensions, capacity):
+    """Property: flattened builds equal the per-node references everywhere."""
+    pairs, coeffs, rhs = make_hyperplanes(n_points, dimensions, seed=seed)
+    dom = domain(dimensions - 1)
+    md = PARITY_MAX_DEPTH[dimensions - 1]
+    flat_quad = LineQuadtree(
+        coeffs, rhs, dom, capacity=capacity, max_depth=md, max_nodes=1_000_000
+    )
+    ref_quad = ReferenceQuadtree(coeffs, rhs, dom, capacity=capacity, max_depth=md)
+    assert flat_leaf_partition(flat_quad) == ref_quad.leaf_partition()
+    assert flat_quad.node_count() == ref_quad.node_count()
+    assert flat_quad.depth == ref_quad.depth()
+
+    flat_cut = CuttingTree(
+        coeffs, rhs, dom, capacity=capacity, seed=seed, max_nodes=1_000_000
+    )
+    ref_cut = ReferenceCutting(coeffs, rhs, dom, capacity=capacity, seed=seed)
+    assert flat_leaf_partition(flat_cut) == ref_cut.leaf_partition()
+    assert flat_cut.node_count() == ref_cut.node_count()
+    assert flat_cut.depth == ref_cut.depth()
+
+    # Query parity against both the reference tree and brute force.
+    rng = np.random.default_rng(seed)
+    k = dimensions - 1
+    for _ in range(3):
+        lo = -rng.uniform(1.0, 9.0, size=k)
+        hi = lo + rng.uniform(0.0, 5.0, size=k)
+        box = Box(lo, np.minimum(hi, 0.0))
+        expected = set(
+            np.flatnonzero(hyperplanes_intersect_box_mask(coeffs, rhs, box)).tolist()
+        )
+        for tree in (flat_quad, flat_cut):
+            assert set(tree.query(box).tolist()) == expected
+        assert set(ref_quad.query(box).tolist()) == expected
+
+
+# ----------------------------------------------------------------------
+# Batched queries
+# ----------------------------------------------------------------------
+class TestQueryMany:
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_query_many_matches_per_query(self, dimensions):
+        pairs, coeffs, rhs = make_hyperplanes(30, dimensions, seed=5)
+        dom = domain(dimensions - 1)
+        quad = LineQuadtree(coeffs, rhs, dom, capacity=8)
+        cut = CuttingTree(coeffs, rhs, dom, capacity=8, seed=0)
+        rng = np.random.default_rng(17)
+        k = dimensions - 1
+        boxes = []
+        for _ in range(12):
+            lo = -rng.uniform(0.5, 9.5, size=k)
+            hi = np.minimum(lo + rng.uniform(0.0, 4.0, size=k), 0.0)
+            boxes.append(Box(lo, hi))
+        for tree in (quad, cut):
+            batched = tree.query_many(boxes)
+            assert len(batched) == len(boxes)
+            for box, result in zip(boxes, batched):
+                np.testing.assert_array_equal(result, tree.query(box))
+
+    def test_query_many_empty_batch(self):
+        pairs, coeffs, rhs = make_hyperplanes(10, 3, seed=1)
+        tree = LineQuadtree(coeffs, rhs, domain(2))
+        assert tree.query_many([]) == []
+
+    def test_query_many_empty_tree(self):
+        tree = LineQuadtree(np.empty((0, 2)), np.empty(0), domain(2))
+        results = tree.query_many([Box(-np.ones(2), np.zeros(2))])
+        assert len(results) == 1 and results[0].size == 0
+
+    def test_query_many_dimension_mismatch(self):
+        from repro.errors import DimensionMismatchError
+
+        pairs, coeffs, rhs = make_hyperplanes(10, 3, seed=1)
+        tree = LineQuadtree(coeffs, rhs, domain(2))
+        with pytest.raises(DimensionMismatchError):
+            tree.query_many([Box(np.array([-1.0]), np.array([0.0]))])
+
+
+# ----------------------------------------------------------------------
+# Shared capacity policy and degenerate detection
+# ----------------------------------------------------------------------
+class TestSharedPolicies:
+    def test_auto_capacity_single_source(self):
+        # One policy for both wrappers: the engine resolves capacity=None
+        # through flattree.auto_capacity, and the wrappers carry no copy.
+        assert auto_capacity(10_000) == 100
+        assert auto_capacity(3) == 8
+        pairs, coeffs, rhs = make_hyperplanes(30, 3, seed=0)
+        dom = domain(2)
+        expected = auto_capacity(coeffs.shape[0])
+        assert LineQuadtree(coeffs, rhs, dom).capacity == expected
+        assert CuttingTree(coeffs, rhs, dom).capacity == expected
+
+    def test_unsplittable_duplicates_raise_when_asked(self):
+        # 200 copies of one hyperplane (scaled): coincident duplicates that
+        # no spatial split can separate.
+        scales = np.linspace(1.0, 3.0, 200)
+        coeffs = np.outer(scales, [1.0, 0.5])
+        rhs = scales * -1.2
+        dom = domain(2)
+        # Default policy keeps the seed behaviour: oversized leaf, no error.
+        tree = LineQuadtree(coeffs, rhs, dom, capacity=8)
+        assert tree.max_leaf_load() == 200
+        with pytest.raises(DegenerateHyperplaneError):
+            LineQuadtree(coeffs, rhs, dom, capacity=8, on_unsplittable="raise")
+        with pytest.raises(DegenerateHyperplaneError):
+            CuttingTree(coeffs, rhs, dom, capacity=8, on_unsplittable="raise")
+
+    def test_small_distinct_plane_not_swallowed_by_large_duplicates(self):
+        # The coincidence tolerance is per row: one genuinely distinct
+        # low-magnitude hyperplane stacked with huge-magnitude duplicates
+        # must keep the cell from being (mis)classified as unsplittable.
+        from repro.geometry.flattree import FlatTree
+
+        tree = FlatTree.__new__(FlatTree)
+        tree._coefficients = np.array(
+            [
+                [1e9, 2e9, 3e9],
+                [2e9, 4e9, 6e9],
+                [3e9, 6e9, 9e9],
+                [1.0, 2.0, 3.5],
+            ]
+        )
+        tree._rhs = np.array([4e9, 8e9, 12e9, 4.0])
+        tree._capacity = 2
+        tree._max_depth = 12
+        tree._raise_if_coincident(np.arange(4))  # must not raise
+        tree._coefficients = np.outer([1.0, 2.0, 3.0, 0.5], [1e9, 2e9, 3e9])
+        tree._rhs = np.array([4e9, 8e9, 12e9, 2e9])
+        with pytest.raises(DegenerateHyperplaneError):
+            tree._raise_if_coincident(np.arange(4))
+
+    def test_invalid_policy_rejected(self):
+        pairs, coeffs, rhs = make_hyperplanes(6, 3, seed=0)
+        with pytest.raises(ValueError):
+            LineQuadtree(coeffs, rhs, domain(2), on_unsplittable="explode")
+
+    def test_node_budget_still_bounds_flat_build(self):
+        pairs, coeffs, rhs = make_hyperplanes(60, 3, seed=5)
+        tree = LineQuadtree(coeffs, rhs, domain(2), capacity=1, max_nodes=64)
+        assert tree.node_count() <= 64
+        # Queries remain exact even with most cells stranded as leaves.
+        box = Box(np.array([-4.0, -2.0]), np.array([-0.5, -0.1]))
+        expected = set(
+            np.flatnonzero(hyperplanes_intersect_box_mask(coeffs, rhs, box)).tolist()
+        )
+        assert set(tree.query(box).tolist()) == expected

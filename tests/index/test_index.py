@@ -59,6 +59,37 @@ class TestOrderVectorIndex:
         state = index.initial_state(Box(np.array([-1.0]), np.array([-0.5])))
         assert state.counts.size == 0
 
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_initial_states_match_per_box(self, dimensions):
+        # The batched path (one stacked GEMM + one arrangement lookup) must
+        # reproduce initial_state per box, bit for bit.
+        duals = dual_hyperplanes(generate_dataset("anti", 40, dimensions, seed=2))
+        index = OrderVectorIndex(duals)
+        rng = np.random.default_rng(4)
+        k = dimensions - 1
+        boxes = []
+        for _ in range(9):
+            lo = -rng.uniform(0.5, 6.0, size=k)
+            hi = np.minimum(lo + rng.uniform(0.0, 4.0, size=k), 0.0)
+            boxes.append(Box(lo, hi))
+        states = index.initial_states(boxes)
+        assert len(states) == len(boxes)
+        for box, state in zip(boxes, states):
+            single = index.initial_state(box)
+            np.testing.assert_array_equal(state.counts, single.counts)
+            # The stacked GEMM may round final digits differently from the
+            # per-query matrix-vector product (documented boundary).
+            np.testing.assert_allclose(state.values, single.values, rtol=1e-12)
+            np.testing.assert_array_equal(state.reference, single.reference)
+            if single.slopes is None:
+                assert state.slopes is None
+            else:
+                np.testing.assert_array_equal(state.slopes, single.slopes)
+
+    def test_initial_states_empty_batch(self):
+        duals = dual_hyperplanes(generate_dataset("inde", 10, 3, seed=0))
+        assert OrderVectorIndex(duals).initial_states([]) == []
+
     def test_mixed_dimensionality_rejected(self):
         duals = dual_hyperplanes([[1.0, 2.0]]) + dual_hyperplanes([[1.0, 2.0, 3.0]])
         with pytest.raises(DimensionMismatchError):
@@ -109,6 +140,30 @@ class TestIntersectionIndex:
     def test_empty_input(self):
         index = IntersectionIndex([], backend="scan")
         assert index.num_pairs == 0
+
+    @pytest.mark.parametrize("backend", ["sorted", "quadtree", "cutting", "scan"])
+    def test_candidates_many_matches_per_box(self, backend):
+        dimensions = 2 if backend == "sorted" else 3
+        index, _ = self.make(dimensions, backend, n=30)
+        rng = np.random.default_rng(8)
+        k = dimensions - 1
+        boxes = []
+        for _ in range(10):
+            lo = -rng.uniform(0.5, 6.0, size=k)
+            hi = np.minimum(lo + rng.uniform(0.0, 4.0, size=k), 0.0)
+            boxes.append(Box(lo, hi))
+        # One box escaping the indexed domain exercises the scan fallback.
+        boxes.append(Box(np.full(k, -500.0), np.zeros(k)))
+        batched = index.candidates_many(boxes)
+        assert len(batched) == len(boxes)
+        for box, got in zip(boxes, batched):
+            expected = index.candidates(box)
+            np.testing.assert_array_equal(got.pairs, expected.pairs)
+            np.testing.assert_array_equal(got.rhs, expected.rhs)
+
+    def test_candidates_many_empty_batch(self):
+        index, _ = self.make(3, "quadtree")
+        assert index.candidates_many([]) == []
 
     def test_candidate_set_to_hyperplanes(self):
         index, _ = self.make(2, "auto", n=6)
@@ -183,6 +238,46 @@ class TestEclipseIndex:
         ratios = RatioVector.uniform(0.5, 2.0, 2)
         expected = eclipse_baseline_indices(data, ratios).tolist()
         index = EclipseIndex().build(data)
+        assert index.query_indices(ratios).tolist() == expected
+
+    @pytest.mark.parametrize("backend", ["quadtree", "cutting", "scan"])
+    @pytest.mark.parametrize("dimensions", [2, 3, 4])
+    def test_query_indices_many_matches_per_query(self, backend, dimensions):
+        data = generate_dataset("anti", 150, dimensions, seed=3)
+        index = EclipseIndex(backend=backend).build(data)
+        rng = np.random.default_rng(21)
+        specs = []
+        for _ in range(12):
+            low = float(rng.uniform(0.1, 1.0))
+            specs.append(
+                RatioVector.uniform(low, low + float(rng.uniform(0.1, 3.0)), dimensions)
+            )
+        batched = index.query_indices_many(specs)
+        assert len(batched) == len(specs)
+        for spec, got in zip(specs, batched):
+            np.testing.assert_array_equal(got, index.query_indices(spec))
+
+    def test_query_indices_many_requires_build(self):
+        with pytest.raises(IndexNotBuiltError):
+            EclipseIndex().query_indices_many([(0.5, 2.0)])
+
+    def test_collinear_duplicates_raise_clear_error(self):
+        # Collinear points make every pairwise intersection hyperplane a
+        # scaled copy of one geometric hyperplane; the tree backends cannot
+        # separate those, and the build must fail with one clear error
+        # instead of silently constructing a maximal-depth useless tree.
+        from repro.errors import DegenerateHyperplaneError
+
+        t = np.arange(60, dtype=float)
+        data = np.array([5.0, 5.0, 5.0]) + t[:, None] * np.array([1.0, -1.0, 0.5])
+        for backend in ("quadtree", "cutting"):
+            with pytest.raises(DegenerateHyperplaneError) as excinfo:
+                EclipseIndex(backend=backend).build(data)
+            assert "scan" in str(excinfo.value)  # actionable remedy named
+        # The scan backend answers the same dataset exactly.
+        index = EclipseIndex(backend="scan").build(data)
+        ratios = RatioVector.uniform(0.5, 2.0, 3)
+        expected = eclipse_baseline_indices(data, ratios).tolist()
         assert index.query_indices(ratios).tolist() == expected
 
     def test_empty_dataset(self):

@@ -31,6 +31,21 @@ class TestQueryCommand:
         out = capsys.readouterr().out
         assert "3 of 4 points returned" in out
 
+    def test_query_degenerate_input_prints_clear_error(self, tmp_path, capsys):
+        # Collinear points make the tree index builds raise; the CLI must
+        # print the one-line error, not a traceback.
+        path = tmp_path / "collinear.csv"
+        path.write_text(
+            "\n".join(f"{5.0 + i},{5.0 - i},{5.0 + 0.5 * i}" for i in range(40))
+        )
+        exit_code = main(
+            ["query", "--input", str(path), "--method", "quad", "--low", "0.5", "--high", "2"]
+        )
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "coincident duplicate" in err
+        assert "scan" in err
+
 
 class TestGenerateCommand:
     def test_generate_writes_csv(self, tmp_path):
