@@ -27,6 +27,18 @@ PR 3 workloads (``BENCH_PR3.json``):
   GEMM + one tree traversal per batch) against a per-query loop on the same
   built index.
 
+PR 4 workloads (``BENCH_PR4.json``):
+
+* ``incremental_update`` — ``DatasetSession.apply_updates`` (incremental
+  skyline maintenance + appendable index arenas) against the full rebuild a
+  static pipeline pays per update (fresh skyline + fresh index build),
+  across update-batch sizes.
+* ``stream_mixed`` — a 90/10 query/update stream against one long-lived
+  dynamic session vs the same stream with every update invalidating all
+  artifacts (rebuild-per-update).  Results are cross-checked per step.
+* ``shrink_domain_build`` — the opt-in domain-shrinking quadtree root
+  (PR 3's known gap) vs the default full-domain root at ``d >= 3``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_smoke.py          # full sweep
@@ -70,6 +82,7 @@ DIMENSIONS = 4
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 OUTPUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 OUTPUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+OUTPUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
 
 
 # ----------------------------------------------------------------------
@@ -521,6 +534,227 @@ def run_batched_probe_workload(
 
 
 # ----------------------------------------------------------------------
+# PR 4: dynamic dataset core — incremental updates vs full rebuilds
+# ----------------------------------------------------------------------
+def _stream_specs(rng, count: int, d: int):
+    specs = []
+    for _ in range(count):
+        low = float(rng.uniform(0.1, 1.0))
+        specs.append(RatioVector.uniform(low, low + float(rng.uniform(0.2, 2.5)), d))
+    return specs
+
+
+def run_incremental_update_workload(
+    workload: str, n: int, d: int, batch: int, repeats: int
+) -> dict:
+    """One update batch absorbed in place vs the static pipeline's rebuild."""
+    from repro.core.session import DatasetSession
+
+    data = generate_dataset("inde", n, d, seed=0)
+    warm_specs = _stream_specs(np.random.default_rng(4), 8, d)
+    rng = np.random.default_rng(batch)
+    inserts = rng.uniform(data.min(axis=0), data.max(axis=0), size=(batch // 2, d))
+    deletes = rng.choice(n, size=batch // 2, replace=False)
+
+    incremental_seconds = float("inf")
+    session = None
+    for _ in range(repeats):
+        session = DatasetSession(data)
+        session.run_batch(warm_specs, method="cutting")  # warm the artifacts
+        start = time.perf_counter()
+        report = session.apply_updates(inserts=inserts, deletes=deletes)
+        incremental_seconds = min(
+            incremental_seconds, time.perf_counter() - start
+        )
+    new_data = session.data
+
+    def rebuild():
+        sky = skyline_indices(new_data)
+        EclipseIndex(backend="cutting").build(new_data, skyline_idx=sky)
+
+    rebuild_seconds = _best_of(rebuild, repeats)
+    fresh = DatasetSession(new_data.copy())
+    identical = all(
+        np.array_equal(a.indices, b.indices)
+        for a, b in zip(
+            session.run_batch(warm_specs, method="cutting"),
+            fresh.run_batch(warm_specs, method="cutting"),
+        )
+    )
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "batch": batch,
+        "skyline_strategy": report.skyline_plan.strategy,
+        "index_strategies": [plan.strategy for plan in report.index_plans],
+        "indices_identical": identical,
+        "rebuild_seconds": rebuild_seconds,
+        "incremental_seconds": incremental_seconds,
+        "speedup": (
+            rebuild_seconds / incremental_seconds
+            if incremental_seconds > 0
+            else float("inf")
+        ),
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} b={batch:>5}  "
+        f"rebuild={rebuild_seconds:8.3f}s  "
+        f"incremental={incremental_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  identical={identical}"
+    )
+    return entry
+
+
+def run_stream_workload_pr4(
+    workload: str,
+    n: int,
+    d: int,
+    steps: int,
+    update_fraction: float,
+    batch: int,
+    update_size: int,
+    repeats: int,
+) -> dict:
+    """90/10 query/update stream: dynamic session vs rebuild-per-update.
+
+    Both strategies replay the identical op sequence (same seed, and the
+    dataset sizes stay in lockstep, so the drawn delete positions match);
+    the rebuild side constructs a fresh session after every update batch,
+    which is exactly what the static pipeline's memoisation forced.  The
+    initial session warm-up (first skyline + first index build) is paid
+    identically by both strategies and excluded from the timing — the
+    stream measures the steady state.
+    """
+    from repro.core.session import DatasetSession
+
+    data = generate_dataset("inde", n, d, seed=0)
+    lows, highs = data.min(axis=0), data.max(axis=0)
+    warm_specs = _stream_specs(np.random.default_rng(4), batch, d)
+
+    def warm_session():
+        session = DatasetSession(data)
+        session.run_batch(warm_specs, method="cutting")
+        return session
+
+    def stream(session, rebuild_per_update: bool):
+        rng = np.random.default_rng(7)
+        answers = []
+        updates = 0
+        for _ in range(steps):
+            if rng.uniform() < update_fraction:
+                updates += 1
+                half = max(1, update_size // 2)
+                inserts = lows + rng.uniform(size=(half, d)) * (highs - lows)
+                num_deletes = min(half, session.num_points - 1)
+                deletes = rng.choice(
+                    session.num_points, size=num_deletes, replace=False
+                )
+                if rebuild_per_update:
+                    new_data = np.vstack(
+                        [np.delete(session.data, deletes, axis=0), inserts]
+                    )
+                    session = DatasetSession(new_data)
+                else:
+                    session.apply_updates(inserts=inserts, deletes=deletes)
+            else:
+                specs = _stream_specs(rng, batch, d)
+                answers.append(
+                    [r.indices for r in session.run_batch(specs, method="cutting")]
+                )
+        return answers, updates
+
+    incremental_answers, num_updates = stream(warm_session(), False)
+    rebuild_answers, _ = stream(warm_session(), True)
+    identical = all(
+        np.array_equal(a, b)
+        for step_a, step_b in zip(incremental_answers, rebuild_answers)
+        for a, b in zip(step_a, step_b)
+    )
+    incremental_seconds = float("inf")
+    rebuild_seconds = float("inf")
+    for _ in range(repeats):
+        session = warm_session()
+        start = time.perf_counter()
+        stream(session, False)
+        incremental_seconds = min(incremental_seconds, time.perf_counter() - start)
+        session = warm_session()
+        start = time.perf_counter()
+        stream(session, True)
+        rebuild_seconds = min(rebuild_seconds, time.perf_counter() - start)
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "steps": steps,
+        "update_fraction": update_fraction,
+        "update_batches": num_updates,
+        "queries_per_step": batch,
+        "indices_identical": identical,
+        "rebuild_per_update_seconds": rebuild_seconds,
+        "incremental_seconds": incremental_seconds,
+        "speedup": (
+            rebuild_seconds / incremental_seconds
+            if incremental_seconds > 0
+            else float("inf")
+        ),
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} steps={steps:>4} "
+        f"({num_updates} updates)  rebuild/upd={rebuild_seconds:8.3f}s  "
+        f"incremental={incremental_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  identical={identical}"
+    )
+    return entry
+
+
+def run_shrink_domain_workload(
+    workload: str, n: int, d: int, repeats: int
+) -> dict:
+    """Opt-in domain-shrinking quadtree root vs the default full domain."""
+    from repro.geometry.quadtree import LineQuadtree as Quad
+
+    pairs, pair_coeffs, pair_rhs = _anti_pair_arrays(n, d)
+    k = pair_coeffs.shape[1]
+    dom = Box(lows=np.full(k, -DEFAULT_MAX_RATIO), highs=np.zeros(k))
+    full_fn = lambda: Quad(pair_coeffs, pair_rhs, dom)
+    fitted_fn = lambda: Quad(pair_coeffs, pair_rhs, dom, shrink_domain=True)
+    full_tree = full_fn()
+    fitted_tree = fitted_fn()
+    identical = True
+    for lo, hi in ((-3.0, -0.2), (-9.0, -0.01), (-1.0, -0.9)):
+        probe = Box(np.full(k, lo), np.full(k, hi))
+        identical &= bool(
+            np.array_equal(
+                np.sort(full_tree.query(probe)), np.sort(fitted_tree.query(probe))
+            )
+        )
+    full_seconds = _best_of(full_fn, repeats)
+    fitted_seconds = _best_of(fitted_fn, repeats)
+    entry = {
+        "workload": workload,
+        "num_hyperplanes": int(pair_coeffs.shape[0]),
+        "dual_dims": int(k),
+        "full_max_leaf_load": int(full_tree.max_leaf_load()),
+        "fitted_max_leaf_load": int(fitted_tree.max_leaf_load()),
+        "queries_identical": identical,
+        "full_domain_seconds": full_seconds,
+        "fitted_seconds": fitted_seconds,
+        "speedup": (
+            full_seconds / fitted_seconds if fitted_seconds > 0 else float("inf")
+        ),
+    }
+    print(
+        f"{workload:<26} m={entry['num_hyperplanes']:>7} k={k}  "
+        f"full={full_seconds:8.3f}s  fitted={fitted_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  "
+        f"leaf-load {entry['full_max_leaf_load']}->"
+        f"{entry['fitted_max_leaf_load']}  identical={identical}"
+    )
+    return entry
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def _best_of(fn: Callable[[], np.ndarray], repeats: int) -> float:
@@ -591,6 +825,12 @@ def main(argv: List[str] | None = None) -> int:
         default=OUTPUT_PR3,
         help=f"where to write the PR 3 JSON results (default: {OUTPUT_PR3})",
     )
+    parser.add_argument(
+        "--output-pr4",
+        type=Path,
+        default=OUTPUT_PR4,
+        help=f"where to write the PR 4 JSON results (default: {OUTPUT_PR4})",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -602,6 +842,9 @@ def main(argv: List[str] | None = None) -> int:
         tree_2d_sweep = [1_200]
         tree_4d_sweep = [400]
         probe_sweep = [(5_000, 3, "cutting", 100)]
+        update_sweep = [(50_000, 3, 200)]
+        stream_sweep = [(50_000, 3, 40, 0.1, 8, 8)]
+        shrink_sweep = [(400, 4)]
         repeats = 1
     else:
         transform_sweep = [2_000, 10_000, 50_000, 100_000]
@@ -621,6 +864,9 @@ def main(argv: List[str] | None = None) -> int:
             (20_000, 3, "cutting", 200),
             (3_000, 2, "quadtree", 200),
         ]
+        update_sweep = [(50_000, 3, 20), (50_000, 3, 200), (50_000, 3, 2_000)]
+        stream_sweep = [(50_000, 3, 100, 0.1, 8, 8)]
+        shrink_sweep = [(400, 4), (1_000, 4)]
         repeats = 3
 
     entries = []
@@ -807,6 +1053,73 @@ def main(argv: List[str] | None = None) -> int:
     args.output_pr3.write_text(json.dumps(pr3_payload, indent=2) + "\n")
     print(f"\nwrote {args.output_pr3}")
 
+    # ------------------------------------------------------------------
+    # PR 4: dynamic dataset core — incremental maintenance vs rebuilds
+    # ------------------------------------------------------------------
+    pr4_entries = []
+    for n, d, batch in update_sweep:
+        pr4_entries.append(
+            run_incremental_update_workload(
+                f"incremental_update[b={batch}]", n, d, batch, repeats
+            )
+        )
+    for n, d, steps, fraction, batch, update_size in stream_sweep:
+        pr4_entries.append(
+            run_stream_workload_pr4(
+                "stream_mixed[90/10]",
+                n,
+                d,
+                steps,
+                fraction,
+                batch,
+                update_size,
+                repeats,
+            )
+        )
+    for n, d in shrink_sweep:
+        pr4_entries.append(
+            run_shrink_domain_workload(
+                f"shrink_domain_build[n={n}]", n, d, repeats
+            )
+        )
+
+    stream_speedup = next(
+        e["speedup"] for e in pr4_entries if e["workload"].startswith("stream_mixed")
+    )
+    pr4_acceptance = {
+        "stream_mixed_speedup": stream_speedup,
+        "best_incremental_update_speedup": max(
+            e["speedup"]
+            for e in pr4_entries
+            if e["workload"].startswith("incremental_update")
+        ),
+        "shrink_domain_build_speedup": max(
+            e["speedup"]
+            for e in pr4_entries
+            if e["workload"].startswith("shrink_domain")
+        ),
+        "all_identical": all(
+            e.get("indices_identical", e.get("queries_identical", False))
+            for e in pr4_entries
+        ),
+    }
+    pr4_payload = {
+        "pr": 4,
+        "description": (
+            "Dynamic dataset core: incremental skyline + eclipse-index "
+            "maintenance (DatasetSession.apply_updates, appendable "
+            "hyperplane arenas, per-leaf overflow buffers) vs full "
+            "rebuild-per-update, plus the opt-in domain-shrinking quadtree "
+            "root (best-of timings)"
+        ),
+        "generated_unix_time": time.time(),
+        "fast_mode": bool(args.fast),
+        "acceptance": pr4_acceptance,
+        "results": pr4_entries,
+    }
+    args.output_pr4.write_text(json.dumps(pr4_payload, indent=2) + "\n")
+    print(f"\nwrote {args.output_pr4}")
+
     print(
         f"acceptance PR1: transform {acceptance['transform_speedup_at_50k']:.1f}x "
         f"(target >= 10x), baseline {acceptance['baseline_speedup_at_5k']:.1f}x "
@@ -826,6 +1139,15 @@ def main(argv: List[str] | None = None) -> int:
         f"{pr3_acceptance['batched_probe_speedup']:.1f}x, "
         f"identical={pr3_acceptance['all_identical']}"
     )
+    print(
+        f"acceptance PR4: mixed 90/10 stream "
+        f"{pr4_acceptance['stream_mixed_speedup']:.1f}x vs rebuild-per-update "
+        f"at n=50k (target >= 5x), best incremental update "
+        f"{pr4_acceptance['best_incremental_update_speedup']:.1f}x, "
+        f"shrunk-root quadtree build "
+        f"{pr4_acceptance['shrink_domain_build_speedup']:.1f}x, "
+        f"identical={pr4_acceptance['all_identical']}"
+    )
     ok = (
         acceptance["transform_speedup_at_50k"] >= 10
         and acceptance["baseline_speedup_at_5k"] >= 5
@@ -835,6 +1157,8 @@ def main(argv: List[str] | None = None) -> int:
         and pr2_acceptance["all_indices_identical"]
         and pr3_acceptance["tree_build_speedup_quad_2d_u1200"] >= 5
         and pr3_acceptance["all_identical"]
+        and pr4_acceptance["stream_mixed_speedup"] >= 5
+        and pr4_acceptance["all_identical"]
     )
     return 0 if ok else 1
 

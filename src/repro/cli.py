@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-eclipse`` / ``python -m repro.cli``.
 
-Four subcommands cover the typical workflows:
+Five subcommands cover the typical workflows:
 
 ``query``
     Run an eclipse (or skyline/1NN) query over a CSV file or a generated
@@ -11,6 +11,13 @@ Four subcommands cover the typical workflows:
 ``batch``
     Answer many ratio-range queries off one :class:`DatasetSession`,
     sharing the skyline / corner-score / index artifacts across the batch.
+
+``stream``
+    Replay a mixed insert/delete/query workload against one long-lived
+    session: query batches interleave with update batches that the dynamic
+    core absorbs in place (incremental skyline maintenance, appendable
+    index arenas) instead of rebuilding per update.  Prints throughput and
+    the session's update counters; ``--explain`` adds the final query plan.
 
 ``generate``
     Write a synthetic dataset (INDE/CORR/ANTI/NBA/worst-case) to a CSV file.
@@ -141,12 +148,78 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     for (low, high), result in zip(pairs, results):
         print(f"[{low:g}, {high:g}]: {len(result)} points {result.indices.tolist()}")
+    _print_session_stats(session)
+    return 0
+
+
+def _print_session_stats(session: DatasetSession) -> None:
     stats = session.stats
     print(
         f"# shared artifacts: skyline_builds={stats.skyline_builds} "
         f"corner_matrix_builds={stats.corner_matrix_builds} "
         f"index_builds={stats.index_builds}"
     )
+    if stats.update_batches:
+        print(
+            f"# updates: inserts_applied={stats.inserts_applied} "
+            f"deletes_applied={stats.deletes_applied} "
+            f"inplace_updates={stats.skyline_inplace_updates + stats.index_inplace_updates} "
+            f"rebuilds_triggered={stats.rebuilds_triggered} "
+            f"artifact_invalidations={stats.artifact_invalidations}"
+        )
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import time
+
+    data = _make_data(args)
+    if data.size == 0:
+        print("the dataset is empty", file=sys.stderr)
+        return 1
+    d = data.shape[1]
+    lows = data.min(axis=0)
+    highs = data.max(axis=0)
+    rng = np.random.default_rng(args.seed + 1)
+    session = DatasetSession(data)
+    queries = updates = 0
+    start = time.perf_counter()
+    try:
+        for _ in range(args.steps):
+            if rng.uniform() < args.update_fraction:
+                half = max(1, args.update_size // 2)
+                inserts = lows + rng.uniform(size=(half, d)) * (highs - lows)
+                num_deletes = min(half, max(0, session.num_points - 1))
+                deletes = (
+                    rng.choice(session.num_points, size=num_deletes, replace=False)
+                    if num_deletes
+                    else None
+                )
+                session.apply_updates(inserts=inserts, deletes=deletes)
+                updates += 1
+            else:
+                specs = []
+                for _ in range(args.batch):
+                    low = float(rng.uniform(0.1, 1.0))
+                    specs.append(
+                        RatioVector.uniform(
+                            low, low + float(rng.uniform(0.2, 2.5)), d
+                        )
+                    )
+                session.run_batch(specs, method=args.method)
+                queries += args.batch
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    if args.explain and session.last_plan is not None:
+        print(session.last_plan.explain())
+    print(
+        f"# stream of {args.steps} steps over n={session.num_points} points "
+        f"(generation {session.generation}): {queries} queries, "
+        f"{updates} update batches in {elapsed:.3f}s "
+        f"({args.steps / elapsed:.1f} steps/s, {queries / elapsed:.1f} queries/s)"
+    )
+    _print_session_stats(session)
     return 0
 
 
@@ -247,6 +320,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the cost-model batch plan before the results",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="replay a mixed insert/delete/query workload on one session",
+    )
+    add_data_arguments(stream)
+    stream.add_argument(
+        "--steps", type=int, default=100, help="number of workload steps"
+    )
+    stream.add_argument(
+        "--update-fraction",
+        type=float,
+        default=0.1,
+        help="probability that a step is an update batch instead of queries",
+    )
+    stream.add_argument(
+        "--batch", type=int, default=8, help="ratio-range queries per query step"
+    )
+    stream.add_argument(
+        "--update-size",
+        type=int,
+        default=8,
+        help="points touched per update batch (half inserts, half deletes)",
+    )
+    stream.add_argument(
+        "--method",
+        default="auto",
+        help="algorithm: auto, baseline, transform, quad, cutting",
+    )
+    stream.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the final cost-model plan after the stream",
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     generate = subparsers.add_parser("generate", help="write a synthetic dataset")
     add_data_arguments(generate)

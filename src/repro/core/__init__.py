@@ -40,10 +40,12 @@ from repro.core.baseline import eclipse_baseline
 from repro.core.plan import (
     CostEstimate,
     QueryPlan,
+    UpdatePlan,
     choose_skyline_method,
     plan_query,
+    plan_update,
 )
-from repro.core.session import DatasetSession, SessionStats
+from repro.core.session import DatasetSession, SessionStats, UpdateReport
 from repro.core.transform import (
     eclipse_transform,
     map_to_corner_scores,
@@ -82,9 +84,12 @@ __all__ = [
     "EclipseResult",
     "QueryPlan",
     "SessionStats",
+    "UpdatePlan",
+    "UpdateReport",
     "choose_skyline_method",
     "eclipse",
     "plan_query",
+    "plan_update",
     "expected_eclipse_points",
     "convex_hull_points",
     "nearest_neighbor",

@@ -75,6 +75,25 @@ PAIR_BUILD_FACTOR_CUTTING = 30.0
 #: structure is a vectorised argsort, with no tree levels to pay for.
 PAIR_BUILD_FACTOR_2D = 10.0
 
+#: Per-element constant of one incremental *skyline* maintenance pass
+#: (PR 4): the insert screen is one ``(b, u, d)`` dominance broadcast, the
+#: delete shadow pass one ``(buffer, deleted, d)`` broadcast — a handful of
+#: comparisons per element, same order as the kernels they run on.
+UPDATE_SKYLINE_FACTOR = 4.0
+
+#: Per appended intersection-pair constant of an incremental *index* update
+#: (PR 4): the arena append, the backend merge (sorted ``np.insert`` or the
+#: tree's overflow routing with amortised subtree rebuilds), and the
+#: alive-mask bookkeeping.  Measured ~0.5-1 µs/pair on the PR 4 update
+#: workloads — between the cutting and the 2-D build constants, because the
+#: appended pairs revisit existing structure instead of building fresh.
+PAIR_UPDATE_FACTOR = 60.0
+
+#: Above this fraction of dead (retired but uncompacted) hyperplane slots
+#: an index is rebuilt regardless of the per-batch arithmetic: dead pairs
+#: tax every candidate set and the arenas only compact on rebuild.
+MAX_DEAD_FRACTION = 0.5
+
 
 def canonical_method(method: str) -> str:
     """Resolve a method alias (``"quad"``, ``"tran"``, ...) to its canonical name."""
@@ -373,4 +392,141 @@ def plan_query(
         num_skyline=None if num_skyline is None else int(num_skyline),
         estimates=estimates,
         reason=reason,
+    )
+
+
+# ----------------------------------------------------------------------
+# The update arm: in-place maintenance vs rebuild
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UpdatePlan:
+    """The cost model's decision for one artifact under one update batch.
+
+    Attributes
+    ----------
+    strategy:
+        ``"inplace"`` (maintain the artifact incrementally) or ``"rebuild"``
+        (invalidate it and recompute lazily on next use).
+    artifact:
+        What the decision is about: ``"skyline"`` or ``"index"``.
+    update_cost, rebuild_cost:
+        The two estimated costs, in the same abstract kernel element-ops as
+        :class:`CostEstimate`.
+    reason:
+        One-line human-readable justification.
+    """
+
+    strategy: str
+    artifact: str
+    update_cost: float
+    rebuild_cost: float
+    reason: str
+
+    @property
+    def inplace(self) -> bool:
+        """``True`` when the artifact should be maintained in place."""
+        return self.strategy == "inplace"
+
+
+def plan_update(
+    num_points: int,
+    dimensions: int,
+    num_inserts: int,
+    num_deletes: int,
+    num_skyline: Optional[int] = None,
+    artifact: str = "skyline",
+    index_backend: Optional[str] = None,
+    dead_fraction: float = 0.0,
+) -> UpdatePlan:
+    """Decide update-in-place vs rebuild for one artifact and one batch.
+
+    Parameters
+    ----------
+    num_points, dimensions:
+        Shape of the dataset *after* the batch.
+    num_inserts, num_deletes:
+        Rows arriving in / leaving the artifact's input: dataset rows for
+        the ``"skyline"`` artifact, skyline-membership churn (slots added /
+        retired) for an ``"index"`` artifact.
+    num_skyline:
+        Measured skyline size when available (as in :func:`plan_query`).
+    artifact:
+        ``"skyline"`` or ``"index"``.
+    index_backend:
+        Backend of the index artifact (prices the rebuild side with the
+        PR 3 per-strategy build constants).
+    dead_fraction:
+        Fraction of dead hyperplane slots the index would carry *after* an
+        in-place update; above :data:`MAX_DEAD_FRACTION` the decision is a
+        rebuild regardless of the per-batch arithmetic.
+    """
+    n = max(0, int(num_points))
+    d = max(2, int(dimensions))
+    inserts = max(0, int(num_inserts))
+    deletes = max(0, int(num_deletes))
+    u = float(num_skyline) if num_skyline is not None else expected_skyline_size(n, d)
+
+    if artifact == "skyline":
+        # Insert screen (b_i x u) plus the delete shadow pass — the latter
+        # only runs over *deleted skyline* points (an expected u/n fraction
+        # of the deletes), each screened against the whole buffer, so its
+        # expected mass is deletes * (u/n) * n = deletes * u.  The array
+        # recomposition (np.delete + vstack) touches every element once.
+        kernel_ops = UPDATE_SKYLINE_FACTOR * d * (inserts + deletes) * u
+        compose_ops = 2.0 * n * d
+        update_cost = kernel_ops + compose_ops
+        rebuild_cost = skyline_cost(n, d)
+    elif artifact == "index":
+        pairs = 0.5 * u * max(0.0, u - 1.0)
+        backend = index_backend or ("cutting" if d >= 3 else "quadtree")
+        if d == 2:
+            factor = PAIR_BUILD_FACTOR_2D
+        elif canonical_method(backend) == "quadtree":
+            factor = PAIR_BUILD_FACTOR_QUAD
+        else:
+            factor = PAIR_BUILD_FACTOR_CUTTING
+        rebuild_cost = skyline_cost(n, d) + pairs * max(1, d - 1) * factor
+        if dead_fraction > MAX_DEAD_FRACTION:
+            return UpdatePlan(
+                strategy="rebuild",
+                artifact="index",
+                update_cost=math.inf,
+                rebuild_cost=rebuild_cost,
+                reason=(
+                    f"dead slot fraction {dead_fraction:.2f} exceeds "
+                    f"{MAX_DEAD_FRACTION}: every query pays for retired "
+                    "pairs until the arenas are compacted by a rebuild"
+                ),
+            )
+        # Appended pairs: every added/removed slot touches ~u pairs (added
+        # slots append alive x new pairs, removed slots re-mask the arena).
+        appended_pairs = (inserts + deletes) * max(1.0, u)
+        update_cost = appended_pairs * max(1, d - 1) * PAIR_UPDATE_FACTOR
+    else:
+        raise AlgorithmNotSupportedError(
+            f"unknown update artifact {artifact!r}; choose 'skyline' or 'index'"
+        )
+
+    if update_cost < rebuild_cost:
+        return UpdatePlan(
+            strategy="inplace",
+            artifact=artifact,
+            update_cost=update_cost,
+            rebuild_cost=rebuild_cost,
+            reason=(
+                f"batch of {inserts}+{deletes} rows: incremental maintenance "
+                f"({update_cost:.2e}) beats a {artifact} rebuild "
+                f"({rebuild_cost:.2e} element-ops)"
+            ),
+        )
+    return UpdatePlan(
+        strategy="rebuild",
+        artifact=artifact,
+        update_cost=update_cost,
+        rebuild_cost=rebuild_cost,
+        reason=(
+            f"batch of {inserts}+{deletes} rows: a fresh {artifact} "
+            f"computation ({rebuild_cost:.2e}) undercuts the incremental "
+            f"path ({update_cost:.2e} element-ops)"
+        ),
     )

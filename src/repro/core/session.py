@@ -38,8 +38,10 @@ from repro.core.dominance import as_dataset
 from repro.core.plan import (
     INDEX_METHODS,
     QueryPlan,
+    UpdatePlan,
     canonical_method,
     plan_query,
+    plan_update,
 )
 from repro.core.transform import eclipse_transform_indices
 from repro.core.weights import RatioVector, make_ratio_vector
@@ -51,6 +53,7 @@ from repro.errors import (
 )
 from repro.index.eclipse_index import EclipseIndex
 from repro.index.intersection import DEFAULT_MAX_RATIO
+from repro.skyline import incremental as _incremental
 from repro.skyline.api import skyline_indices as _skyline_indices
 
 
@@ -94,6 +97,15 @@ class SessionStats:
     :meth:`DatasetSession.run_batch` over any number of ratio specifications
     must increment ``skyline_builds``, ``corner_matrix_builds`` and
     ``index_builds`` at most once each.
+
+    The dynamic-core contract rides on the update counters:
+    ``inserts_applied`` / ``deletes_applied`` count dataset rows,
+    ``skyline_inplace_updates`` / ``index_inplace_updates`` count artifacts
+    maintained incrementally, ``rebuilds_triggered`` counts artifacts the
+    update cost model chose to invalidate instead, and
+    ``artifact_invalidations`` counts every artifact dropped or left stale
+    by an update batch (cost-model rebuilds, degenerate update failures,
+    and artifacts that could not be diffed).
     """
 
     skyline_builds: int = 0
@@ -101,11 +113,64 @@ class SessionStats:
     index_builds: int = 0
     queries: int = 0
     batches: int = 0
+    update_batches: int = 0
+    inserts_applied: int = 0
+    deletes_applied: int = 0
+    skyline_inplace_updates: int = 0
+    index_inplace_updates: int = 0
+    rebuilds_triggered: int = 0
+    artifact_invalidations: int = 0
     index_build_seconds: float = field(default=0.0, repr=False)
 
     def artifact_counts(self) -> Tuple[int, int, int]:
         """``(skyline_builds, corner_matrix_builds, index_builds)``."""
         return (self.skyline_builds, self.corner_matrix_builds, self.index_builds)
+
+    def update_counts(self) -> Tuple[int, int, int, int, int]:
+        """``(inserts, deletes, inplace_updates, rebuilds, invalidations)``.
+
+        ``inplace_updates`` sums the skyline and index in-place counters —
+        the headline number the ``--explain`` surfaces print.
+        """
+        return (
+            self.inserts_applied,
+            self.deletes_applied,
+            self.skyline_inplace_updates + self.index_inplace_updates,
+            self.rebuilds_triggered,
+            self.artifact_invalidations,
+        )
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`DatasetSession.apply_updates` batch actually did.
+
+    Attributes
+    ----------
+    generation:
+        The session generation after the batch (monotonically increasing;
+        the skyline is tagged with the generation it is valid for).
+    num_inserted, num_deleted:
+        Dataset rows added / removed by the batch.
+    skyline_added, skyline_removed:
+        Skyline membership churn (``-1`` each when the skyline was not
+        maintained in place, because the diff was never computed).
+    skyline_plan, index_plans:
+        The :class:`~repro.core.plan.UpdatePlan` decisions taken — ``None``
+        when no skyline was cached, and one entry per live cached index.
+    index_updates, index_invalidations:
+        Cached indexes maintained in place / dropped (rebuilt on demand).
+    """
+
+    generation: int
+    num_inserted: int
+    num_deleted: int
+    skyline_added: int
+    skyline_removed: int
+    skyline_plan: Optional[UpdatePlan]
+    index_plans: Tuple[UpdatePlan, ...]
+    index_updates: int
+    index_invalidations: int
 
 
 #: Index-construction parameters that must be part of an index cache key —
@@ -117,6 +182,7 @@ _INDEX_PARAM_DEFAULTS = {
     "capacity": None,
     "seed": 0,
     "dense_threshold": None,
+    "shrink_domain": False,
 }
 
 
@@ -143,6 +209,7 @@ def index_cache_key(backend: str, params: Dict[str, object]) -> Tuple:
         None if merged["capacity"] is None else int(merged["capacity"]),
         merged["seed"],
         None if merged["dense_threshold"] is None else int(merged["dense_threshold"]),
+        bool(merged["shrink_domain"]),
     )
 
 
@@ -188,9 +255,20 @@ class DatasetSession:
         index_cache_key("auto", self._index_kwargs)
         self._skyline_idx: Optional[np.ndarray] = None
         self._indexes: Dict[Tuple, EclipseIndex] = {}
+        # Generation-counter invalidation (dynamic core): the session
+        # generation advances on every update batch, and the skyline is
+        # tagged with the generation it is valid for.  In-place maintenance
+        # re-tags it; a rebuild decision simply leaves the tag stale, and
+        # the accessor treats a stale skyline as absent (lazy invalidation
+        # — no eager recompute between updates).  Indexes that are not
+        # maintained in place are dropped *eagerly* instead: a stale index
+        # would pin its O(u^2) pair arenas and the pre-update dataset.
+        self._generation = 0
+        self._skyline_generation = 0
         # Index configurations whose build failed on unsplittable duplicate
         # hyperplanes: degeneracy is a property of the dataset + parameters,
-        # so the (expensive, doomed) build is never re-attempted.
+        # so the (expensive, doomed) build is never re-attempted.  Cleared
+        # on updates — the dataset changed.
         self._degenerate_index_keys: Dict[Tuple, DegenerateHyperplaneError] = {}
         self.stats = SessionStats()
         self.last_plan: Optional[QueryPlan] = None
@@ -218,17 +296,33 @@ class DatasetSession:
         """The ratio vector supplied at construction time, if any."""
         return self._default_ratios
 
+    @property
+    def generation(self) -> int:
+        """Update-batch counter; artifacts are valid for one generation."""
+        return self._generation
+
     # ------------------------------------------------------------------
     # Memoised artifacts
     # ------------------------------------------------------------------
+    def _skyline_cached(self) -> bool:
+        """Is the memoised skyline valid for the current generation?"""
+        return (
+            self._skyline_idx is not None
+            and self._skyline_generation == self._generation
+        )
+
     def skyline(self) -> IndexArray:
         """Raw-space skyline indices of the dataset (computed once).
 
         Every substrate returns identical indices, so one cached result
         serves all callers regardless of which substrate a plan names.
+        Under updates the cached result is either maintained in place by
+        :meth:`apply_updates` or left stale (generation mismatch), in which
+        case this accessor recomputes it from scratch.
         """
-        if self._skyline_idx is None:
+        if not self._skyline_cached():
             self._skyline_idx = _skyline_indices(self._data, method="auto")
+            self._skyline_generation = self._generation
             self.stats.skyline_builds += 1
         return self._skyline_idx
 
@@ -274,6 +368,185 @@ class DatasetSession:
         return index
 
     # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def apply_updates(self, inserts=None, deletes=None) -> UpdateReport:
+        """Apply one batch of point inserts/deletes to the session dataset.
+
+        Parameters
+        ----------
+        inserts:
+            ``(b, d)`` array of points to append (or ``None``).
+        deletes:
+            Positions (in the *current* dataset) of rows to remove (or
+            ``None``).  Deletes are applied first, then the inserts are
+            appended, matching ``np.vstack([np.delete(data, deletes,
+            axis=0), inserts])``.
+
+        Every memoised artifact is either maintained **in place** — the
+        skyline through the incremental kernels of
+        :mod:`repro.skyline.incremental`, each cached
+        :class:`~repro.index.eclipse_index.EclipseIndex` through its
+        ``delete_points``/``insert_points`` arenas — or **invalidated**,
+        per artifact, as decided by the
+        :func:`~repro.core.plan.plan_update` cost arm.  The session
+        generation counter advances either way.  Invalidation is lazy for
+        the skyline (the tag goes stale; the next access recomputes) and
+        eager for indexes (a stale index would pin its pair arenas and the
+        pre-update dataset), so batched queries keep amortising whatever
+        survived the update and rebuild the rest on demand.
+
+        An in-place index update that trips over unsplittable coincident
+        duplicate hyperplanes (a
+        :class:`~repro.errors.DegenerateHyperplaneError` from a subtree
+        rebuild) drops that index instead of failing the batch; the next
+        access re-attempts a full build, which memoises the degeneracy and
+        lets auto-planned batches fall back to the transformation, exactly
+        as for a degenerate initial build.
+        """
+        n_old = self.num_points
+        delete_positions = _incremental.validate_deletes(n_old, deletes)
+        if inserts is None:
+            insert_rows = np.empty((0, self.dimensions), dtype=float)
+        else:
+            insert_rows = as_dataset(inserts)
+            if (
+                self.dimensions
+                and insert_rows.shape[0]
+                and insert_rows.shape[1] != self.dimensions
+            ):
+                raise DimensionMismatchError(
+                    f"inserted points have d={insert_rows.shape[1]}, "
+                    f"dataset has d={self.dimensions}"
+                )
+        if delete_positions.size == 0 and insert_rows.shape[0] == 0:
+            # True no-op: artifacts stay valid, the generation stands still.
+            return UpdateReport(
+                generation=self._generation,
+                num_inserted=0,
+                num_deleted=0,
+                skyline_added=0,
+                skyline_removed=0,
+                skyline_plan=None,
+                index_plans=(),
+                index_updates=0,
+                index_invalidations=0,
+            )
+
+        self.stats.update_batches += 1
+        next_generation = self._generation + 1
+        num_inserts = int(insert_rows.shape[0])
+        num_deletes = int(delete_positions.size)
+        n_new = n_old - num_deletes + num_inserts
+        dims = insert_rows.shape[1] if num_inserts else self.dimensions
+
+        # --- skyline: maintain in place or leave stale --------------------
+        skyline_plan: Optional[UpdatePlan] = None
+        delta: Optional[_incremental.SkylineDelta] = None
+        if self._skyline_cached():
+            skyline_plan = plan_update(
+                n_new,
+                max(2, dims),
+                num_inserts,
+                num_deletes,
+                num_skyline=int(self._skyline_idx.size),
+                artifact="skyline",
+            )
+            if skyline_plan.inplace:
+                new_data, delta = _incremental.apply_updates(
+                    self._data, self._skyline_idx, insert_rows, delete_positions
+                )
+            else:
+                self.stats.rebuilds_triggered += 1
+                self.stats.artifact_invalidations += 1
+        if delta is None:
+            new_data = _incremental.compose_updated_data(
+                self._data, delete_positions, insert_rows
+            )
+
+        # --- cached indexes: per-index update-vs-rebuild decision ---------
+        remap = _incremental.remap_after_delete(n_old, delete_positions)
+        index_plans = []
+        index_updates = 0
+        index_invalidations = 0
+        for key in list(self._indexes):
+            if delta is None:
+                # No skyline diff — the index cannot be maintained.  Drop
+                # it now rather than lazily: a stale index would pin its
+                # O(u^2) pair arenas and the pre-update dataset until the
+                # same cache key happened to be queried again.
+                del self._indexes[key]
+                index_invalidations += 1
+                self.stats.artifact_invalidations += 1
+                continue
+            index = self._indexes[key]
+            alive = index.num_skyline_points
+            dead = index.num_dead_slots
+            removed = int(delta.removed_old.size)
+            added = int(delta.added.size)
+            dead_fraction = (dead + removed) / max(1, alive + dead + added)
+            index_plan = plan_update(
+                n_new,
+                max(2, dims),
+                added,
+                removed,
+                num_skyline=alive,
+                artifact="index",
+                index_backend=key[0],
+                dead_fraction=dead_fraction,
+            )
+            index_plans.append(index_plan)
+            if not index_plan.inplace:
+                del self._indexes[key]
+                self.stats.rebuilds_triggered += 1
+                self.stats.artifact_invalidations += 1
+                index_invalidations += 1
+                continue
+            try:
+                index.delete_points(remap, delta.removed_old)
+                index.insert_points(new_data, delta.added)
+            except DegenerateHyperplaneError:
+                # The arrivals piled coincident duplicates into one cell.
+                # Drop the index; the next access re-attempts a full build
+                # (memoising the degeneracy if it is global).
+                del self._indexes[key]
+                self.stats.artifact_invalidations += 1
+                index_invalidations += 1
+                continue
+            except BaseException:
+                # Any other failure (memory pressure, interrupt) may leave
+                # the index half-updated against a dataset the session has
+                # not committed yet; drop it so nothing inconsistent can
+                # ever answer a query, then surface the error.
+                del self._indexes[key]
+                self.stats.artifact_invalidations += 1
+                raise
+            self.stats.index_inplace_updates += 1
+            index_updates += 1
+
+        # --- commit -------------------------------------------------------
+        self._data = new_data
+        self._generation = next_generation
+        if delta is not None:
+            self._skyline_idx = np.flatnonzero(delta.is_skyline).astype(np.intp)
+            self._skyline_generation = next_generation
+            self.stats.skyline_inplace_updates += 1
+        self._degenerate_index_keys.clear()
+        self.stats.inserts_applied += num_inserts
+        self.stats.deletes_applied += num_deletes
+        return UpdateReport(
+            generation=self._generation,
+            num_inserted=num_inserts,
+            num_deleted=num_deletes,
+            skyline_added=-1 if delta is None else int(delta.added.size),
+            skyline_removed=-1 if delta is None else int(delta.removed_old.size),
+            skyline_plan=skyline_plan,
+            index_plans=tuple(index_plans),
+            index_updates=index_updates,
+            index_invalidations=index_invalidations,
+        )
+
+    # ------------------------------------------------------------------
     # Planning and execution
     # ------------------------------------------------------------------
     def plan(
@@ -289,7 +562,7 @@ class DatasetSession:
         orders of magnitude larger).
         """
         num_skyline = (
-            None if self._skyline_idx is None else int(self._skyline_idx.size)
+            int(self._skyline_idx.size) if self._skyline_cached() else None
         )
         plan = plan_query(
             self.num_points,

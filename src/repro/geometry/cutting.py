@@ -74,6 +74,13 @@ class CuttingTree:
     on_unsplittable:
         Forwarded to :class:`~repro.geometry.flattree.FlatTree` (``"keep"``
         or ``"raise"``), see there.
+    shrink_domain:
+        Opt-in root fitting, as on
+        :class:`~repro.geometry.quadtree.LineQuadtree`.  The cutting rule's
+        sampled positions already track hyperplane density, so the fitted
+        root buys far less here than for the midpoint quadtree — the flag
+        is honoured for consistency (a session-level ``shrink_domain``
+        applies to whichever backend the planner picks).
     """
 
     def __init__(
@@ -86,6 +93,7 @@ class CuttingTree:
         max_nodes: int = DEFAULT_MAX_NODES,
         seed: Optional[int] = 0,
         on_unsplittable: str = "keep",
+        shrink_domain: bool = False,
     ):
         self._core = build_cutting_core(
             coefficients,
@@ -96,6 +104,7 @@ class CuttingTree:
             max_nodes=max_nodes,
             seed=seed,
             on_unsplittable=on_unsplittable,
+            shrink_domain=shrink_domain,
         )
 
     # ------------------------------------------------------------------
@@ -153,3 +162,16 @@ class CuttingTree:
         """
         lows, highs = boxes_to_bounds(boxes, self._core.domain.dimensions)
         return self._core.query_many(lows, highs)
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def insert_hyperplanes(
+        self, coefficients: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Append hyperplanes to the index; returns their new item indices.
+
+        Delegates to :meth:`repro.geometry.flattree.FlatTree.insert_hyperplanes`
+        (per-leaf overflow buffers with threshold-triggered subtree rebuilds).
+        """
+        return self._core.insert_hyperplanes(coefficients, rhs)

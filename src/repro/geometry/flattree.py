@@ -46,7 +46,7 @@ exact kernel.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +57,55 @@ from repro.perf.blocking import iter_blocks, memory_cap_bytes
 
 #: Unsplittable-duplicate policies (see :class:`FlatTree`).
 UNSPLITTABLE_POLICIES = ("keep", "raise")
+
+
+def fit_root_box(
+    coefficients: np.ndarray, rhs: np.ndarray, domain: Box
+) -> Box:
+    """Tight root cell around the hyperplane cluster inside ``domain``.
+
+    A single hyperplane crosses almost every cell of the huge default dual
+    domain, so fitting to where hyperplanes *individually* cross shrinks
+    nothing; what localises them is where they *concentrate*.  The fit
+    therefore solves the least-squares point ``c`` minimising the summed
+    squared (normalised) distances to all hyperplanes — for eclipse
+    workloads that is the region where the skyline duals mutually intersect
+    (e.g. near ``(-1, ..., -1)`` for anticorrelated data, whose attribute
+    sums are nearly constant) — and takes the bounding box of every
+    hyperplane's closest point to ``c``, clipped into the domain and padded
+    by a few ulps.
+
+    Every hyperplane whose closest point survives the clipping crosses the
+    fitted box (it contains that point); the rest land in the tree's
+    always-scanned overflow set, so nothing is lost.  Queries against a
+    tree rooted at the fitted box are exact **for boxes inside the fitted
+    box**; callers accepting arbitrary boxes must fall back to a scan
+    outside it, exactly as :class:`repro.index.intersection.IntersectionIndex`
+    already does for boxes escaping the indexed domain.
+
+    This closes the PR 3 "domain-shrinking root" gap: the default domain
+    dwarfs the cluster, so midpoint quadrant splits spend whole levels
+    separating nothing; rooting at the cluster restores their pruning
+    power without touching the split rule.
+    """
+    norms = np.linalg.norm(coefficients, axis=1)
+    usable = norms > 0.0
+    if not usable.any():
+        return domain
+    unit = coefficients[usable] / norms[usable, None]
+    offsets = rhs[usable] / norms[usable]
+    # Least-squares concentration point (minimum-norm solution when the
+    # normal matrix is singular, e.g. all hyperplanes parallel).
+    center, *_ = np.linalg.lstsq(unit, offsets, rcond=None)
+    closest = center[None, :] - (unit @ center - offsets)[:, None] * unit
+    lows, highs = domain.lows, domain.highs
+    closest = np.clip(closest, lows[None, :], highs[None, :])
+    pad = 4.0 * np.spacing(
+        max(float(np.abs(lows).max()), float(np.abs(highs).max()), 1.0)
+    )
+    out_lo = np.maximum(lows, closest.min(axis=0) - pad)
+    out_hi = np.minimum(highs, closest.max(axis=0) + pad)
+    return Box(out_lo, out_hi)
 
 
 def auto_capacity(num_hyperplanes: int) -> int:
@@ -417,6 +466,7 @@ class FlatTree:
         max_depth: int = 12,
         max_nodes: int = 4096,
         on_unsplittable: str = "keep",
+        shrink_domain: bool = False,
     ):
         coefficients = np.asarray(coefficients, dtype=float)
         rhs = np.asarray(rhs, dtype=float)
@@ -436,6 +486,13 @@ class FlatTree:
             raise ValueError(
                 f"on_unsplittable must be one of {UNSPLITTABLE_POLICIES}"
             )
+        if shrink_domain and coefficients.shape[0]:
+            # Opt-in root fitting (see fit_root_box): the root is shrunk to
+            # the hyperplane cluster, so queries are exact for boxes inside
+            # the *fitted* root (hyperplanes missing it land in the
+            # always-scanned overflow set); callers accepting arbitrary
+            # boxes must scan outside it, as IntersectionIndex does.
+            domain = fit_root_box(coefficients, rhs, domain)
         self._coefficients = coefficients
         self._rhs = rhs
         self._domain = domain
@@ -448,6 +505,12 @@ class FlatTree:
         self._max_depth = int(max_depth)
         self._max_nodes = int(max_nodes)
         self._on_unsplittable = on_unsplittable
+
+        # Per-node overflow buffers of dynamically inserted hyperplanes (see
+        # insert_hyperplanes); empty until the first insert.
+        self._overflow: Dict[int, np.ndarray] = {}
+        self._overflow_nodes = np.empty(0, dtype=np.intp)
+        self._overflow_total = 0
 
         all_indices = np.arange(coefficients.shape[0], dtype=np.intp)
         in_domain = hyperplanes_intersect_box_mask(coefficients, rhs, domain)
@@ -983,6 +1046,236 @@ class FlatTree:
             )
 
     # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def insert_hyperplanes(
+        self, coefficients: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Append hyperplanes to the tree; returns their new item indices.
+
+        New hyperplanes are appended to the coefficient arenas and routed to
+        every node cell they cross with one batched iterative walk (the same
+        frontier machinery as :meth:`query_many`, with a hyperplane-vs-cell
+        interval test instead of box overlap).  At the leaves they land in
+        *per-leaf overflow buffers* — queries collect the overflow of every
+        node they visit, so results stay exact immediately.  A leaf whose
+        overflow outgrows ``max(capacity, base load)`` triggers a local
+        subtree rebuild (:meth:`_rebuild_subtree`): the flattened
+        level-order builder runs over just that cell's items and the
+        resulting subtree is grafted onto the CSR store in place, so update
+        cost stays proportional to the touched region, never the whole
+        tree.  Comparing the *overflow* against the base load (not their
+        sum against a fixed multiple) is what keeps rebuilds amortised:
+        budget- or rollback-bound leaves legitimately hold more than
+        ``capacity`` items, and a sum-based trigger would re-run a futile
+        sub-build on every insert touching such a leaf, while this trigger
+        doubles the next rebuild point whenever a rebuild ends in a
+        write-back.
+
+        In ``on_unsplittable="raise"`` mode a triggered rebuild whose cell
+        holds only coincident duplicate hyperplanes raises
+        :class:`~repro.errors.DegenerateHyperplaneError`; the tree is left
+        consistent (the new items stay in the overflow buffers), but callers
+        that treat degeneracy as fatal should discard the index.
+        """
+        coefficients = np.asarray(coefficients, dtype=float)
+        rhs = np.asarray(rhs, dtype=float)
+        if coefficients.ndim != 2 or coefficients.shape[0] != rhs.shape[0]:
+            raise DimensionMismatchError(
+                "coefficients must be (b, k) and rhs must be (b,)"
+            )
+        if coefficients.size and coefficients.shape[1] != self._domain.dimensions:
+            raise DimensionMismatchError(
+                "hyperplane dimensionality does not match the tree domain"
+            )
+        start = self.size
+        new_ids = np.arange(start, start + coefficients.shape[0], dtype=np.intp)
+        if coefficients.shape[0] == 0:
+            return new_ids
+        if self._coefficients.shape[0] == 0:
+            self._coefficients = coefficients.copy()
+            self._rhs = rhs.copy()
+        else:
+            self._coefficients = np.concatenate(
+                [self._coefficients, coefficients], axis=0
+            )
+            self._rhs = np.concatenate([self._rhs, rhs])
+
+        in_domain = hyperplanes_intersect_box_mask(
+            coefficients, rhs, self._domain
+        )
+        if (~in_domain).any():
+            self._outside = np.concatenate([self._outside, new_ids[~in_domain]])
+        items = new_ids[in_domain]
+        if items.size == 0 or self.num_nodes == 0:
+            return new_ids
+
+        # Route each new hyperplane to every node cell it crosses (exact
+        # interval test, so overflow membership matches what a from-scratch
+        # build would store at these leaves).
+        branching = self._rule.branching
+        pair_items = items
+        pair_nodes = np.zeros(items.size, dtype=np.intp)
+        leaf_item_chunks: List[np.ndarray] = []
+        leaf_node_chunks: List[np.ndarray] = []
+        while pair_items.size:
+            lows = self.cell_lows[pair_nodes]
+            highs = self.cell_highs[pair_nodes]
+            rows = self._coefficients[pair_items]
+            rr = self._rhs[pair_items]
+            low_contrib = np.where(rows >= 0, rows * lows, rows * highs)
+            high_contrib = np.where(rows >= 0, rows * highs, rows * lows)
+            hit = (low_contrib.sum(axis=1) <= rr) & (
+                rr <= high_contrib.sum(axis=1)
+            )
+            pair_items, pair_nodes = pair_items[hit], pair_nodes[hit]
+            leaf = self.first_child[pair_nodes] < 0
+            if leaf.any():
+                leaf_item_chunks.append(pair_items[leaf])
+                leaf_node_chunks.append(pair_nodes[leaf])
+            inner_items = pair_items[~leaf]
+            inner_first = self.first_child[pair_nodes[~leaf]]
+            pair_items = np.repeat(inner_items, branching)
+            pair_nodes = (
+                inner_first[:, None] + np.arange(branching, dtype=np.intp)[None, :]
+            ).reshape(-1)
+
+        if not leaf_item_chunks:
+            return new_ids
+        flat_items = np.concatenate(leaf_item_chunks)
+        flat_nodes = np.concatenate(leaf_node_chunks)
+        order = np.argsort(flat_nodes, kind="stable")
+        flat_items = flat_items[order]
+        flat_nodes = flat_nodes[order]
+        uniq, starts = np.unique(flat_nodes, return_index=True)
+        bounds = np.append(starts, flat_nodes.size)
+        for pos, node in enumerate(uniq):
+            chunk = flat_items[bounds[pos] : bounds[pos + 1]]
+            node = int(node)
+            existing = self._overflow.get(node)
+            merged = chunk if existing is None else np.concatenate([existing, chunk])
+            self._overflow[node] = merged
+            self._overflow_total += chunk.size
+        self._overflow_nodes = np.fromiter(
+            self._overflow.keys(), dtype=np.intp, count=len(self._overflow)
+        )
+        for node in uniq:
+            node = int(node)
+            overflow = self._overflow.get(node)
+            if overflow is None:
+                continue
+            base = int(self.item_end[node] - self.item_start[node])
+            if overflow.size > max(self._capacity, base):
+                self._rebuild_subtree(node)
+        return new_ids
+
+    def _node_budget(self) -> int:
+        """Size-scaled global node budget of a dynamically growing tree.
+
+        The build budget ``max_nodes`` was sized for the initial item count;
+        a tree that keeps absorbing inserts legitimately needs more nodes,
+        but each subtree rebuild must never get a *fresh* full budget (that
+        would let repeated rebuilds grow the store without bound).  The
+        budget therefore scales linearly with the item count — roughly two
+        branching factors per capacity-full leaf — and every rebuild draws
+        from whatever of it is left.
+        """
+        per_leaf = max(1, self._capacity)
+        leaves = -(-self.size // per_leaf)  # ceil division
+        return max(self._max_nodes, 2 * self._rule.branching * leaves)
+
+    def _rebuild_subtree(self, node: int) -> None:
+        """Rebuild the subtree below one overflowing leaf and graft it in.
+
+        The leaf's base items and overflow buffer are handed to a fresh
+        level-order build whose root domain is the leaf's cell (same split
+        rule, same capacity, the remaining depth budget, and at most the
+        tree's remaining global node budget); the resulting CSR arrays are
+        appended to this tree's store with the sub-root mapped onto the
+        existing node.  Dead arena slices left behind by the old leaf are
+        simply abandoned — the arena is an append-only store.  When the
+        global budget is exhausted the rebuild is skipped and the items stay
+        in the overflow buffer: queries remain exact, only pruning degrades,
+        which is the regime the session's update cost model resolves by
+        scheduling a full rebuild.
+        """
+        depth = int(self.node_depth[node])
+        remaining = self._max_depth - depth
+        overflow = self._overflow.get(node)
+        if overflow is None or remaining < 1:
+            return
+        base = self.items[self.item_start[node] : self.item_end[node]]
+        sub_items = np.concatenate([base, overflow])
+        branching = self._rule.branching
+        remaining_budget = self._node_budget() - self.num_nodes
+        local_budget = min(
+            remaining_budget, max(2 * branching, 4 * int(sub_items.size))
+        )
+        if local_budget < 1 + branching:
+            return
+        cell = Box(self.cell_lows[node].copy(), self.cell_highs[node].copy())
+        sub = FlatTree(
+            self._coefficients[sub_items],
+            self._rhs[sub_items],
+            cell,
+            self._rule,
+            capacity=self._capacity,
+            max_depth=remaining,
+            max_nodes=local_budget,
+            on_unsplittable=self._on_unsplittable,
+        )
+        # Build succeeded: retire the overflow buffer and graft.
+        self._overflow.pop(node)
+        self._overflow_total -= overflow.size
+        base_len = self.items.size
+        self.items = np.concatenate([self.items, sub_items[sub.items]])
+        if sub._outside.size:
+            # Items whose crossing test disagrees at the cell boundary stay
+            # as overflow of this node (visited whenever the node is), so
+            # nothing is ever lost from query results.
+            self._overflow[node] = sub_items[sub._outside]
+            self._overflow_total += sub._outside.size
+        self._overflow_nodes = np.fromiter(
+            self._overflow.keys(), dtype=np.intp, count=len(self._overflow)
+        )
+        if sub.num_nodes == 1:
+            self.item_start[node] = base_len + sub.item_start[0]
+            self.item_end[node] = base_len + sub.item_end[0]
+            return
+        offset = self.num_nodes
+        # Sub node s > 0 maps to offset + s - 1; the sub root maps to node.
+        self.cell_lows = np.concatenate([self.cell_lows, sub.cell_lows[1:]], axis=0)
+        self.cell_highs = np.concatenate(
+            [self.cell_highs, sub.cell_highs[1:]], axis=0
+        )
+        self.node_depth = np.concatenate(
+            [self.node_depth, sub.node_depth[1:] + depth]
+        )
+        mapped_first = np.where(
+            sub.first_child >= 0, sub.first_child + offset - 1, -1
+        )
+        self.first_child = np.concatenate([self.first_child, mapped_first[1:]])
+        self.first_child[node] = mapped_first[0]
+        self.item_start = np.concatenate(
+            [self.item_start, sub.item_start[1:] + base_len]
+        )
+        self.item_end = np.concatenate([self.item_end, sub.item_end[1:] + base_len])
+        self.item_start[node] = base_len + sub.item_start[0]
+        self.item_end[node] = base_len + sub.item_end[0]
+        self.num_nodes += sub.num_nodes - 1
+
+    def _overflow_for(self, nodes: np.ndarray) -> List[np.ndarray]:
+        """Overflow buffers of the given nodes (empty list when none)."""
+        if not self._overflow:
+            return []
+        present = np.isin(nodes, self._overflow_nodes)
+        return [self._overflow[int(n)] for n in nodes[present]]
+
+    def overflow_size(self) -> int:
+        """Total number of items currently parked in overflow buffers."""
+        return int(self._overflow_total)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -1105,6 +1398,22 @@ class FlatTree:
                 prune_lows[pair_qs] <= cell_hi, axis=1
             )
             pair_qs, pair_nodes = pair_qs[hit], pair_nodes[hit]
+            if self._overflow:
+                present = np.isin(pair_nodes, self._overflow_nodes)
+                if present.any():
+                    # Group by node: one vectorised scatter per overflow
+                    # buffer instead of one per (query, node) pair.
+                    sel_nodes = pair_nodes[present]
+                    sel_qs = pair_qs[present]
+                    order = np.argsort(sel_nodes, kind="stable")
+                    sel_nodes = sel_nodes[order]
+                    sel_qs = sel_qs[order]
+                    uniq, starts = np.unique(sel_nodes, return_index=True)
+                    bounds = np.append(starts, sel_nodes.size)
+                    for pos, node in enumerate(uniq):
+                        queries = sel_qs[bounds[pos] : bounds[pos + 1]]
+                        items = self._overflow[int(node)]
+                        seen[queries[:, None], items[None, :]] = True
             leaf = self.first_child[pair_nodes] < 0
             leaf_nodes = pair_nodes[leaf]
             if leaf_nodes.size:
@@ -1146,6 +1455,8 @@ class FlatTree:
                 qlows <= self.cell_highs[active], axis=1
             )
             active = active[hit]
+            if self._overflow:
+                chunks.extend(self._overflow_for(active))
             leaf = self.first_child[active] < 0
             leaf_nodes = active[leaf]
             if leaf_nodes.size:
@@ -1189,6 +1500,7 @@ def build_quadtree_core(
     max_depth: int,
     max_nodes: int,
     on_unsplittable: str = "keep",
+    shrink_domain: bool = False,
 ) -> FlatTree:
     """Flat core of the line quadtree: ``2^k`` midpoint quadrant splits."""
     return FlatTree(
@@ -1200,6 +1512,7 @@ def build_quadtree_core(
         max_depth=max_depth,
         max_nodes=max_nodes,
         on_unsplittable=on_unsplittable,
+        shrink_domain=shrink_domain,
     )
 
 
@@ -1212,6 +1525,7 @@ def build_cutting_core(
     max_nodes: int,
     seed: Optional[int],
     on_unsplittable: str = "keep",
+    shrink_domain: bool = False,
 ) -> FlatTree:
     """Flat core of the cutting tree: sampled binary cuts, seeded rng."""
     rng = np.random.default_rng(seed)
@@ -1224,6 +1538,7 @@ def build_cutting_core(
         max_depth=max_depth,
         max_nodes=max_nodes,
         on_unsplittable=on_unsplittable,
+        shrink_domain=shrink_domain,
     )
 
 

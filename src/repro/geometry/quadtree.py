@@ -81,6 +81,16 @@ class LineQuadtree:
         (default) keeps depth-capped cells of coincident duplicate
         hyperplanes as oversized leaves, ``"raise"`` surfaces them as a
         clear :class:`~repro.errors.DegenerateHyperplaneError`.
+    shrink_domain:
+        Opt-in root fitting (:func:`~repro.geometry.flattree.fit_root_box`):
+        the root cell is shrunk to the hyperplane *cluster* (the bounding
+        box of each hyperplane's closest point to their least-squares
+        concentration point), which restores the midpoint splits' pruning
+        power when the default dual domain dwarfs the cluster (the typical
+        ``d >= 3`` regime).  Queries are exact for boxes inside the fitted
+        root (exposed as :attr:`domain`); callers accepting arbitrary boxes
+        must fall back to a scan outside it, as
+        :class:`~repro.index.intersection.IntersectionIndex` does.
     """
 
     def __init__(
@@ -92,6 +102,7 @@ class LineQuadtree:
         max_depth: int = DEFAULT_MAX_DEPTH,
         max_nodes: int = DEFAULT_MAX_NODES,
         on_unsplittable: str = "keep",
+        shrink_domain: bool = False,
     ):
         self._core = build_quadtree_core(
             coefficients,
@@ -101,6 +112,7 @@ class LineQuadtree:
             max_depth=max_depth,
             max_nodes=max_nodes,
             on_unsplittable=on_unsplittable,
+            shrink_domain=shrink_domain,
         )
 
     # ------------------------------------------------------------------
@@ -156,3 +168,16 @@ class LineQuadtree:
         """
         lows, highs = boxes_to_bounds(boxes, self._core.domain.dimensions)
         return self._core.query_many(lows, highs)
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def insert_hyperplanes(
+        self, coefficients: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Append hyperplanes to the index; returns their new item indices.
+
+        Delegates to :meth:`repro.geometry.flattree.FlatTree.insert_hyperplanes`
+        (per-leaf overflow buffers with threshold-triggered subtree rebuilds).
+        """
+        return self._core.insert_hyperplanes(coefficients, rhs)

@@ -34,7 +34,11 @@ import numpy as np
 from repro._types import ArrayLike2D, IndexArray
 from repro.core.dominance import as_dataset
 from repro.core.weights import RatioVector, make_ratio_vector
-from repro.errors import DimensionMismatchError, IndexNotBuiltError
+from repro.errors import (
+    DimensionMismatchError,
+    IndexNotBuiltError,
+    InvalidDatasetError,
+)
 from repro.geometry.boxes import Box
 from repro.geometry.dual import dual_coefficient_arrays
 from repro.index.intersection import (
@@ -43,6 +47,7 @@ from repro.index.intersection import (
     IntersectionIndex,
 )
 from repro.index.order_vector import OrderVectorIndex, OrderVectorState
+from repro.perf.blocking import iter_blocks, memory_cap_bytes
 from repro.skyline.api import skyline_indices
 
 
@@ -82,6 +87,7 @@ class EclipseIndex:
         capacity: Optional[int] = None,
         seed: Optional[int] = 0,
         dense_threshold: Optional[int] = None,
+        shrink_domain: bool = False,
     ):
         self._backend = backend
         self._skyline_method = skyline_method
@@ -89,12 +95,19 @@ class EclipseIndex:
         self._capacity = capacity
         self._seed = seed
         self._dense_threshold = dense_threshold
+        self._shrink_domain = bool(shrink_domain)
 
         self._data: Optional[np.ndarray] = None
         self._skyline_idx: Optional[np.ndarray] = None
         self._order_index: Optional[OrderVectorIndex] = None
         self._intersection_index: Optional[IntersectionIndex] = None
         self._last_stats: Optional[IndexQueryStats] = None
+        # Hyperplane slot liveness under dynamic updates: slot i holds the
+        # dual hyperplane of dataset row _skyline_idx[i].  Dead slots keep
+        # their arena rows (compaction = full rebuild) but are excluded
+        # from counts, candidates and results.
+        self._slot_alive: Optional[np.ndarray] = None
+        self._has_dead = False
 
     # ------------------------------------------------------------------
     # Build
@@ -127,7 +140,12 @@ class EclipseIndex:
         self._data = data
         if skyline_idx is None:
             skyline_idx = skyline_indices(data, method=self._skyline_method)
-        self._skyline_idx = np.asarray(skyline_idx, dtype=np.intp)
+        # Always copy: a caller-supplied skyline array (typically the
+        # session's memoised one, shared across every cached index) must
+        # never be remapped in place by this index's delete_points.
+        self._skyline_idx = np.array(skyline_idx, dtype=np.intp, copy=True)
+        self._slot_alive = np.ones(self._skyline_idx.size, dtype=bool)
+        self._has_dead = False
         coefficients, offsets = dual_coefficient_arrays(data[self._skyline_idx])
         self._order_index = OrderVectorIndex.from_arrays(
             coefficients, offsets, dense_threshold=self._dense_threshold
@@ -150,8 +168,127 @@ class EclipseIndex:
             capacity=self._capacity,
             seed=self._seed,
             on_unsplittable="raise",
+            shrink_domain=self._shrink_domain,
         )
         return self
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def delete_points(
+        self, remap: np.ndarray, removed_positions: np.ndarray
+    ) -> "EclipseIndex":
+        """Retire skyline points and renumber the survivors.
+
+        Parameters
+        ----------
+        remap:
+            Old-dataset-position → new-dataset-position map (``-1`` for
+            deleted rows), e.g. from
+            :func:`repro.skyline.incremental.remap_after_delete`.  Always
+            applied — a pure-insert update passes the identity.
+        removed_positions:
+            *Old* positions of indexed skyline points leaving the skyline
+            (rows that were deleted, or demoted by an arriving dominator).
+            Their hyperplane slots are marked dead; the Order Vector Index
+            switches to the alive-aware on-demand path and the Intersection
+            Index masks every pair with a dead endpoint.
+        """
+        self._require_built()
+        remap = np.asarray(remap, dtype=np.intp)
+        removed = np.asarray(removed_positions, dtype=np.intp)
+        # Resolve and validate everything on scratch state BEFORE mutating:
+        # a failed call must leave the index exactly as it was, not with
+        # half-retired slots or half-remapped positions that would silently
+        # answer queries with wrong row ids.
+        newly_dead = np.empty(0, dtype=np.intp)
+        if removed.size:
+            alive_slots = np.flatnonzero(self._slot_alive)
+            positions = self._skyline_idx[alive_slots]
+            order = np.argsort(positions, kind="stable")
+            sorted_positions = positions[order]
+            located = np.searchsorted(sorted_positions, removed)
+            if np.any(located >= sorted_positions.size) or np.any(
+                sorted_positions[np.minimum(located, sorted_positions.size - 1)]
+                != removed
+            ):
+                raise InvalidDatasetError(
+                    "removed positions must be currently indexed skyline points"
+                )
+            newly_dead = alive_slots[order[located]]
+        alive_after = self._slot_alive.copy()
+        alive_after[newly_dead] = False
+        remapped = remap[self._skyline_idx[alive_after]]
+        if np.any(remapped < 0):
+            raise InvalidDatasetError(
+                "a deleted row is still indexed; pass its position in "
+                "removed_positions"
+            )
+        # Commit.
+        if newly_dead.size:
+            self._slot_alive = alive_after
+            self._has_dead = True
+            self._order_index.drop_arrangement()
+            self._intersection_index.refresh_alive(self._slot_alive)
+        self._skyline_idx[alive_after] = remapped
+        return self
+
+    def insert_points(
+        self, data: ArrayLike2D, added_positions: np.ndarray
+    ) -> "EclipseIndex":
+        """Index newly arrived skyline points of the (already updated) data.
+
+        ``data`` is the post-update dataset (the index keeps a reference for
+        result materialisation); ``added_positions`` are the rows that
+        joined the skyline — arrivals that survived screening plus points
+        promoted out of the dominated buffer.  Their dual hyperplanes take
+        fresh arena slots; the Intersection Index appends the alive × new
+        and new × new intersection hyperplanes
+        (:meth:`~repro.index.intersection.IntersectionIndex.insert_hyperplanes`).
+
+        A tree backend's threshold-triggered subtree rebuild may raise
+        :class:`~repro.errors.DegenerateHyperplaneError` when the arrivals
+        pile coincident duplicate hyperplanes into one cell; callers should
+        treat the index as unusable then (the session drops it and lets the
+        next access re-attempt a full build, which memoises the degeneracy).
+        """
+        self._require_built()
+        self._data = as_dataset(data)
+        added = np.asarray(added_positions, dtype=np.intp)
+        if added.size == 0:
+            return self
+        if self._order_index.num_hyperplanes == 0:
+            # Built over an empty dataset: the dual dimensionality (and the
+            # backend structures) were never seeded, so the first arrivals
+            # are a fresh build — they ARE the whole skyline.
+            return self.build(self._data, skyline_idx=np.sort(added))
+        new_coefficients, new_offsets = dual_coefficient_arrays(self._data[added])
+        total = self._skyline_idx.size
+        new_slots = np.arange(total, total + added.size, dtype=np.intp)
+        existing_alive = np.flatnonzero(self._slot_alive)
+        existing_coefficients = self._order_index.coefficients[existing_alive]
+        existing_offsets = self._order_index.offsets[existing_alive]
+        self._skyline_idx = np.concatenate([self._skyline_idx, added])
+        self._slot_alive = np.concatenate(
+            [self._slot_alive, np.ones(added.size, dtype=bool)]
+        )
+        self._order_index.append_arrays(new_coefficients, new_offsets)
+        self._intersection_index.insert_hyperplanes(
+            new_coefficients,
+            new_offsets,
+            new_slots,
+            existing_coefficients,
+            existing_offsets,
+            existing_alive,
+        )
+        return self
+
+    @property
+    def num_dead_slots(self) -> int:
+        """Retired hyperplane slots still occupying arena rows."""
+        if self._slot_alive is None:
+            return 0
+        return int(self._slot_alive.size - np.count_nonzero(self._slot_alive))
 
     @property
     def is_built(self) -> bool:
@@ -166,15 +303,19 @@ class EclipseIndex:
 
     @property
     def num_skyline_points(self) -> int:
-        """Number of skyline points (``u``) retained in the index."""
+        """Number of live skyline points (``u``) retained in the index."""
         self._require_built()
-        return int(self._skyline_idx.size)
+        if not self._has_dead:
+            return int(self._skyline_idx.size)
+        return int(np.count_nonzero(self._slot_alive))
 
     @property
     def skyline_indices(self) -> IndexArray:
-        """Indices (into the original dataset) of the skyline points."""
+        """Indices (into the current dataset) of the live skyline points."""
         self._require_built()
-        return self._skyline_idx.copy()
+        if not self._has_dead:
+            return self._skyline_idx.copy()
+        return np.sort(self._skyline_idx[self._slot_alive])
 
     @property
     def backend(self) -> str:
@@ -210,7 +351,8 @@ class EclipseIndex:
         if data.shape[0] == 0:
             return np.empty(0, dtype=np.intp)
         box = self._query_box(ratios)
-        state = self._order_index.initial_state(box)
+        alive = self._slot_alive if self._has_dead else None
+        state = self._order_index.initial_state(box, alive=alive)
         candidates = self._intersection_index.candidates(box)
         return self._finish_query(state, candidates, box)
 
@@ -231,20 +373,53 @@ class EclipseIndex:
         candidates
         (:meth:`~repro.index.intersection.IntersectionIndex.candidates_many`),
         so a batched session issues one traversal per batch instead of one
-        per query.  ``last_query_stats`` reflects the final query of the
-        batch, exactly as if the queries had been issued one by one.
+        per query; the exact correction step runs as ONE vectorised pass
+        over the concatenated candidate sets of the whole batch
+        (:meth:`_apply_adjustments_batch`) instead of one pass per query.
+        ``last_query_stats`` reflects the final query of the batch, exactly
+        as if the queries had been issued one by one.
         """
         self._require_built()
         specs = list(ratio_specs)
+        if not specs:
+            return []
         if self._data.shape[0] == 0:
             return [np.empty(0, dtype=np.intp) for _ in specs]
         boxes = [self._query_box(ratios) for ratios in specs]
-        states = self._order_index.initial_states(boxes)
+        alive = self._slot_alive if self._has_dead else None
+        states = self._order_index.initial_states(boxes, alive=alive)
         candidate_sets = self._intersection_index.candidates_many(boxes)
-        return [
-            self._finish_query(state, candidates, box)
-            for state, candidates, box in zip(states, candidate_sets, boxes)
-        ]
+        counts = np.stack([state.counts for state in states]).astype(
+            np.int64, copy=False
+        )
+        # The batched correction pass wins where per-query numpy-call
+        # overhead dominates (many queries, small candidate sets); once the
+        # concatenated candidate rows outgrow the kernel memory cap, the
+        # per-query kernels are already saturated and the concatenation
+        # would only copy hundreds of megabytes, so fall back to the
+        # per-query pass.  Both produce bit-identical counts (the batched
+        # pass replicates the arithmetic expression for expression).
+        total_rows = sum(len(candidates) for candidates in candidate_sets)
+        row_bytes = 8 * (5 + max(1, self._order_index.dual_dimensions))
+        if total_rows * row_bytes <= memory_cap_bytes(None):
+            self._apply_adjustments_batch(counts, states, candidate_sets, boxes)
+        else:
+            for i in range(len(boxes)):
+                self._apply_adjustments(
+                    counts[i], states[i], candidate_sets[i], boxes[i]
+                )
+        results = []
+        for i in range(len(boxes)):
+            zero = counts[i] == 0
+            if self._has_dead:
+                zero &= self._slot_alive
+            results.append(np.sort(self._skyline_idx[np.flatnonzero(zero)]))
+        self._last_stats = IndexQueryStats(
+            num_skyline=self.num_skyline_points,
+            num_candidates=len(candidate_sets[-1]),
+            num_eclipse=int(results[-1].size),
+        )
+        return results
 
     def query(self, ratios) -> np.ndarray:
         """Return the eclipse points (rows of the original dataset)."""
@@ -271,10 +446,13 @@ class EclipseIndex:
     ) -> IndexArray:
         counts = state.counts.astype(np.int64, copy=True)
         self._apply_adjustments(counts, state, candidates, box)
-        local = np.flatnonzero(counts == 0)
+        zero = counts == 0
+        if self._has_dead:
+            zero &= self._slot_alive
+        local = np.flatnonzero(zero)
         result = np.sort(self._skyline_idx[local])
         self._last_stats = IndexQueryStats(
-            num_skyline=int(self._skyline_idx.size),
+            num_skyline=self.num_skyline_points,
             num_candidates=len(candidates),
             num_eclipse=int(result.size),
         )
@@ -337,6 +515,85 @@ class EclipseIndex:
         # Add the charges the tie-at-corner cases missed.
         np.add.at(counts, b[tie & first_dominates], 1)
         np.add.at(counts, a[tie & second_dominates], 1)
+
+    def _apply_adjustments_batch(
+        self,
+        counts: np.ndarray,
+        states: List[OrderVectorState],
+        candidate_sets: List[CandidateSet],
+        boxes: List[Box],
+    ) -> None:
+        """Batched counterpart of :meth:`_apply_adjustments`.
+
+        ``counts`` is the ``(q, u)`` stacked count matrix, corrected in
+        place.  The per-query candidate sets are concatenated and processed
+        with one vectorised pass: per-row box bounds come from repeating
+        each query's bounds over its candidate rows, and the count
+        adjustments scatter into the flattened matrix at
+        ``query * u + hyperplane``.  The arithmetic — the interval products,
+        the per-row left-to-right summation, the dominance and tie
+        predicates — is identical expression for expression to the
+        single-query pass, so batched and per-query results match bit for
+        bit.  Rows are chunked so the float scratch respects the shared
+        kernel memory cap.
+        """
+        sizes = np.array([len(c) for c in candidate_sets], dtype=np.intp)
+        total = int(sizes.sum())
+        if total == 0:
+            return
+        num_queries, num_slots = counts.shape
+        query_of_row = np.repeat(np.arange(num_queries, dtype=np.intp), sizes)
+        pairs = np.concatenate(
+            [c.pairs for c in candidate_sets if len(c)], axis=0
+        )
+        coeffs = np.concatenate(
+            [c.coefficients for c in candidate_sets if len(c)], axis=0
+        )
+        rhs = np.concatenate([c.rhs for c in candidate_sets if len(c)])
+        box_lows = np.stack([box.lows for box in boxes])
+        box_highs = np.stack([box.highs for box in boxes])
+        values = np.stack([state.values for state in states])
+        slopes = states[0].slopes  # per-hyperplane, shared across the batch
+        flat = counts.reshape(-1)
+
+        k = coeffs.shape[1]
+        # ~8 float scratch arrays of (block, k) per chunk evaluation.
+        block = max(1, memory_cap_bytes(None) // (max(1, k) * 8 * 8))
+        for start, stop in iter_blocks(total, block):
+            rows_q = query_of_row[start:stop]
+            cf = coeffs[start:stop]
+            lows = box_lows[rows_q]
+            highs = box_highs[rows_q]
+            low_contrib = np.where(cf >= 0, cf * lows, cf * highs)
+            high_contrib = np.where(cf >= 0, cf * highs, cf * lows)
+            gmin = low_contrib.sum(axis=1) - rhs[start:stop]
+            gmax = high_contrib.sum(axis=1) - rhs[start:stop]
+            first_dominates = (gmin >= 0.0) & (gmax > 0.0)
+            second_dominates = (gmax <= 0.0) & (gmin < 0.0)
+
+            a = pairs[start:stop, 0]
+            b = pairs[start:stop, 1]
+            va = values[rows_q, a]
+            vb = values[rows_q, b]
+            if slopes is not None:
+                slope_a = slopes[a]
+                slope_b = slopes[b]
+                a_above = (va > vb) | ((va == vb) & (slope_a < slope_b))
+                b_above = (vb > va) | ((va == vb) & (slope_b < slope_a))
+            else:
+                a_above = va > vb
+                b_above = vb > va
+            tie = ~(a_above | b_above)
+
+            base = rows_q * num_slots
+            drop_b = a_above & ~first_dominates
+            drop_a = b_above & ~second_dominates
+            add_b = tie & first_dominates
+            add_a = tie & second_dominates
+            np.subtract.at(flat, base[drop_b] + b[drop_b], 1)
+            np.subtract.at(flat, base[drop_a] + a[drop_a], 1)
+            np.add.at(flat, base[add_b] + b[add_b], 1)
+            np.add.at(flat, base[add_a] + a[add_a], 1)
 
     def _require_built(self) -> None:
         if self._data is None:

@@ -44,6 +44,7 @@ from repro.geometry.hyperplane import (
     pairwise_intersection_arrays_from,
 )
 from repro.geometry.quadtree import LineQuadtree
+from repro.perf.blocking import iter_blocks, memory_cap_bytes
 
 #: Ratio magnitude covered by the default dual-domain box of the tree
 #: backends; queries beyond it transparently fall back to a full scan.
@@ -120,6 +121,7 @@ class IntersectionIndex:
         capacity: Optional[int] = None,
         seed: Optional[int] = 0,
         on_unsplittable: str = "keep",
+        shrink_domain: bool = False,
     ):
         hyperplanes = list(hyperplanes)
         dual_dims = hyperplanes[0].dual_dimensions if hyperplanes else 0
@@ -128,7 +130,7 @@ class IntersectionIndex:
         )
         self._init_from_pair_arrays(
             dual_dims, pairs, coefficients, rhs, backend, max_ratio, capacity, seed,
-            on_unsplittable,
+            on_unsplittable, shrink_domain,
         )
 
     @classmethod
@@ -142,6 +144,7 @@ class IntersectionIndex:
         capacity: Optional[int] = None,
         seed: Optional[int] = 0,
         on_unsplittable: str = "keep",
+        shrink_domain: bool = False,
     ) -> "IntersectionIndex":
         """Build the index straight from ``(u, d-1)`` / ``(u,)`` dual arrays.
 
@@ -163,7 +166,7 @@ class IntersectionIndex:
         )
         self._init_from_pair_arrays(
             dual_dims, pairs, pair_coeffs, pair_rhs, backend, max_ratio, capacity,
-            seed, on_unsplittable,
+            seed, on_unsplittable, shrink_domain,
         )
         return self
 
@@ -178,6 +181,7 @@ class IntersectionIndex:
         capacity: Optional[int],
         seed: Optional[int],
         on_unsplittable: str = "keep",
+        shrink_domain: bool = False,
     ) -> None:
         self._dual_dims = dual_dims
         if backend == "auto":
@@ -203,35 +207,178 @@ class IntersectionIndex:
         )
 
         self._pairs, self._coefficients, self._rhs = pairs, coefficients, rhs
+        self._capacity = capacity
+        self._seed = seed
+        self._on_unsplittable = on_unsplittable
+        self._shrink_domain = bool(shrink_domain)
         self._tree = None
         self._sorted_xs: Optional[np.ndarray] = None
         self._sorted_order: Optional[np.ndarray] = None
+        # Liveness of the stored pairs under dynamic hyperplane deletes;
+        # ``None`` (the static case) keeps the zero-overhead fast path.
+        self._pair_alive: Optional[np.ndarray] = None
 
         if self._pairs.shape[0] == 0:
             return
         if backend == "sorted":
-            xs = self._rhs / self._coefficients[:, 0]
-            order = np.argsort(xs, kind="stable")
-            self._sorted_xs = xs[order]
-            self._sorted_order = order
-        elif backend == "quadtree":
+            self._build_sorted()
+        elif backend in ("quadtree", "cutting"):
+            self._build_tree()
+        # "scan" keeps only the flat arrays.
+
+    def _build_sorted(self) -> None:
+        xs = self._rhs / self._coefficients[:, 0]
+        order = np.argsort(xs, kind="stable")
+        self._sorted_xs = xs[order]
+        self._sorted_order = order
+
+    def _build_tree(self) -> None:
+        if self._backend == "quadtree":
             self._tree = LineQuadtree(
                 self._coefficients,
                 self._rhs,
                 self._domain,
-                capacity=capacity,
-                on_unsplittable=on_unsplittable,
+                capacity=self._capacity,
+                on_unsplittable=self._on_unsplittable,
+                shrink_domain=self._shrink_domain,
             )
-        elif backend == "cutting":
+        else:
             self._tree = CuttingTree(
                 self._coefficients,
                 self._rhs,
                 self._domain,
-                capacity=capacity,
-                seed=seed,
-                on_unsplittable=on_unsplittable,
+                capacity=self._capacity,
+                seed=self._seed,
+                on_unsplittable=self._on_unsplittable,
+                shrink_domain=self._shrink_domain,
             )
-        # "scan" keeps only the flat arrays.
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def insert_hyperplanes(
+        self,
+        new_coefficients: np.ndarray,
+        new_offsets: np.ndarray,
+        new_ids: np.ndarray,
+        existing_coefficients: np.ndarray,
+        existing_offsets: np.ndarray,
+        existing_ids: np.ndarray,
+        memory_cap: Optional[int] = None,
+    ) -> None:
+        """Append the intersection hyperplanes of newly indexed duals.
+
+        ``new_*`` describe the arriving dual hyperplanes (slot ids
+        ``new_ids``); ``existing_*`` the *alive* already-indexed duals.  The
+        appended pairs are every alive-existing × new combination plus the
+        pairwise intersections among the arrivals, enumerated with the same
+        blocked array kernels as the static build (degenerate pairs —
+        identical duals — are skipped, as there).  The backend structure is
+        maintained incrementally: the sorted one-dimensional backend merges
+        the new crossing coordinates with two vectorised binary searches,
+        the tree backends append through
+        :meth:`~repro.geometry.flattree.FlatTree.insert_hyperplanes`
+        (per-leaf overflow buffers, threshold-triggered subtree rebuilds),
+        and the scan backend needs nothing beyond the arenas.
+        """
+        new_coefficients = np.asarray(new_coefficients, dtype=float)
+        new_offsets = np.asarray(new_offsets, dtype=float)
+        new_ids = np.asarray(new_ids, dtype=np.intp)
+        existing_ids = np.asarray(existing_ids, dtype=np.intp)
+        b = new_ids.size
+        if b == 0:
+            return
+        k = max(1, self._dual_dims)
+        pair_chunks: List[np.ndarray] = []
+        coeff_chunks: List[np.ndarray] = []
+        rhs_chunks: List[np.ndarray] = []
+        e = existing_ids.size
+        if e:
+            existing_coefficients = np.asarray(existing_coefficients, dtype=float)
+            existing_offsets = np.asarray(existing_offsets, dtype=float)
+            # Chunk the (e_block, b, k) broadcast over existing rows so the
+            # scratch respects the shared kernel memory cap.
+            block = max(1, memory_cap_bytes(memory_cap) // max(1, b * k * 8 * 4))
+            for start, stop in iter_blocks(e, block):
+                cross_coeffs = (
+                    existing_coefficients[start:stop, None, :]
+                    - new_coefficients[None, :, :]
+                ).reshape(-1, k)
+                cross_rhs = (
+                    existing_offsets[start:stop, None] - new_offsets[None, :]
+                ).reshape(-1)
+                cross_pairs = np.empty((cross_coeffs.shape[0], 2), dtype=np.intp)
+                cross_pairs[:, 0] = np.repeat(existing_ids[start:stop], b)
+                cross_pairs[:, 1] = np.tile(new_ids, stop - start)
+                keep = np.any(np.abs(cross_coeffs) > 0.0, axis=1)
+                pair_chunks.append(cross_pairs[keep])
+                coeff_chunks.append(cross_coeffs[keep])
+                rhs_chunks.append(cross_rhs[keep])
+        intra_pairs, intra_coeffs, intra_rhs = pairwise_intersection_arrays_from(
+            new_coefficients, new_offsets, indices=new_ids, skip_degenerate=True
+        )
+        pair_chunks.append(intra_pairs)
+        coeff_chunks.append(intra_coeffs)
+        rhs_chunks.append(intra_rhs)
+
+        added_pairs = np.concatenate(pair_chunks, axis=0)
+        if added_pairs.shape[0] == 0:
+            return
+        added_coeffs = np.concatenate(coeff_chunks, axis=0)
+        added_rhs = np.concatenate(rhs_chunks)
+        first_row = self._pairs.shape[0]
+        if first_row == 0:
+            self._pairs = added_pairs
+            self._coefficients = added_coeffs
+            self._rhs = added_rhs
+        else:
+            self._pairs = np.concatenate([self._pairs, added_pairs], axis=0)
+            self._coefficients = np.concatenate(
+                [self._coefficients, added_coeffs], axis=0
+            )
+            self._rhs = np.concatenate([self._rhs, added_rhs])
+        if self._pair_alive is not None:
+            self._pair_alive = np.concatenate(
+                [self._pair_alive, np.ones(added_pairs.shape[0], dtype=bool)]
+            )
+
+        if self._backend == "sorted":
+            if self._sorted_xs is None:
+                self._build_sorted()
+            else:
+                xs = added_rhs / added_coeffs[:, 0]
+                order = np.argsort(xs, kind="stable")
+                xs = xs[order]
+                rows = (
+                    first_row + np.arange(added_pairs.shape[0], dtype=np.intp)
+                )[order]
+                positions = np.searchsorted(self._sorted_xs, xs, side="left")
+                self._sorted_xs = np.insert(self._sorted_xs, positions, xs)
+                self._sorted_order = np.insert(
+                    self._sorted_order, positions, rows
+                )
+        elif self._backend in ("quadtree", "cutting"):
+            if self._tree is None:
+                self._build_tree()
+            else:
+                # Tree item ids stay aligned with pair row numbers because
+                # dead pairs are never compacted out of the arenas.
+                self._tree.insert_hyperplanes(added_coeffs, added_rhs)
+
+    def refresh_alive(self, slot_alive: np.ndarray) -> None:
+        """Recompute pair liveness after hyperplane slots died.
+
+        ``slot_alive`` is the caller's boolean liveness mask over hyperplane
+        slot ids.  A pair survives iff both endpoints are alive; dead pairs
+        stay in the arenas and the backend structures (compaction is a full
+        rebuild, which the update cost model triggers when the dead fraction
+        makes it worthwhile) but are filtered out of every candidate set.
+        """
+        if self.num_pairs == 0:
+            self._pair_alive = None
+            return
+        alive = slot_alive[self._pairs[:, 0]] & slot_alive[self._pairs[:, 1]]
+        self._pair_alive = None if bool(alive.all()) else alive
 
     # ------------------------------------------------------------------
     @property
@@ -241,8 +388,19 @@ class IntersectionIndex:
 
     @property
     def num_pairs(self) -> int:
-        """Number of stored (non-degenerate) intersection hyperplanes."""
+        """Number of stored (non-degenerate) intersection hyperplanes.
+
+        Dead pairs of a dynamically maintained index are included; see
+        :attr:`num_alive_pairs`.
+        """
         return int(self._pairs.shape[0])
+
+    @property
+    def num_alive_pairs(self) -> int:
+        """Number of stored pairs whose both endpoints are alive."""
+        if self._pair_alive is None:
+            return self.num_pairs
+        return int(np.count_nonzero(self._pair_alive))
 
     @property
     def domain(self) -> Optional[Box]:
@@ -286,13 +444,25 @@ class IntersectionIndex:
         elif self._backend == "scan" or self._tree is None:
             mask = hyperplanes_intersect_box_mask(self._coefficients, self._rhs, box)
             selected = np.flatnonzero(mask)
-        elif self._domain is not None and not self._domain.contains_box(box):
-            # The tree only covers the default domain; stay exact by scanning.
+        elif not self._covered_box().contains_box(box):
+            # The tree only covers its (possibly shrunk) root domain; stay
+            # exact by scanning.
             mask = hyperplanes_intersect_box_mask(self._coefficients, self._rhs, box)
             selected = np.flatnonzero(mask)
         else:
             selected = self._tree.query(box)
         return self._candidate_set(selected)
+
+    def _covered_box(self) -> Box:
+        """The box within which the tree backend answers exactly.
+
+        The tree's own root domain — smaller than the configured dual
+        domain when the opt-in domain-shrinking root is active, in which
+        case boxes escaping it transparently fall back to the scan path.
+        """
+        if self._tree is not None:
+            return self._tree.domain
+        return self._domain
 
     def candidates_many(self, boxes: Sequence[Box]) -> List["CandidateSet"]:
         """Per-box candidate sets for many boxes, sharing one tree traversal.
@@ -323,10 +493,8 @@ class IntersectionIndex:
             ]
         if self._backend == "scan" or self._tree is None:
             return [self.candidates(box) for box in boxes]
-        in_domain = [
-            self._domain is not None and self._domain.contains_box(box)
-            for box in boxes
-        ]
+        covered = self._covered_box()
+        in_domain = [covered.contains_box(box) for box in boxes]
         tree_results = iter(
             self._tree.query_many([box for box, ok in zip(boxes, in_domain) if ok])
         )
@@ -341,6 +509,8 @@ class IntersectionIndex:
         return out
 
     def _candidate_set(self, selected: np.ndarray) -> CandidateSet:
+        if self._pair_alive is not None:
+            selected = selected[self._pair_alive[selected]]
         return CandidateSet(
             pairs=self._pairs[selected],
             coefficients=self._coefficients[selected],

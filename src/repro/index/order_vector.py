@@ -166,10 +166,66 @@ class OrderVectorIndex:
             )
 
     # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def append_arrays(self, coefficients: np.ndarray, offsets: np.ndarray) -> None:
+        """Append new dual hyperplanes to the arena (dynamic maintenance).
+
+        The new rows take the next slot positions (``num_hyperplanes`` up).
+        The eagerly materialised two-dimensional arrangement, when present,
+        is dropped: its interval table enumerates the pairwise intersections
+        of a *fixed* line set, and the on-demand sort path it falls back to
+        is exact for every input (the correction pass of
+        :meth:`repro.index.eclipse_index.EclipseIndex._apply_adjustments`
+        resolves reference-corner ties without the slope tie-break).
+        """
+        coefficients = np.asarray(coefficients, dtype=float)
+        offsets = np.asarray(offsets, dtype=float)
+        if coefficients.ndim != 2 or coefficients.shape[0] != offsets.shape[0]:
+            raise DimensionMismatchError(
+                "coefficients must be (b, k) with offsets of length b"
+            )
+        if coefficients.shape[0] == 0:
+            return
+        if self.num_hyperplanes and coefficients.shape[1] != self._dual_dims:
+            raise DimensionMismatchError(
+                "appended hyperplane dimensionality does not match the index"
+            )
+        if self.num_hyperplanes == 0:
+            self._coefficients = coefficients.copy()
+            self._offsets = offsets.copy()
+            self._dual_dims = int(coefficients.shape[1])
+        else:
+            self._coefficients = np.concatenate(
+                [self._coefficients, coefficients], axis=0
+            )
+            self._offsets = np.concatenate([self._offsets, offsets])
+        self._arrangement = None
+
+    def drop_arrangement(self) -> None:
+        """Fall back to the on-demand order-vector path (dynamic deletes).
+
+        The arrangement's per-interval counts cover every indexed line; once
+        slots can be dead, counts must be computed among the alive subset,
+        which only the sort path supports.
+        """
+        self._arrangement = None
+
+    # ------------------------------------------------------------------
     @property
     def num_hyperplanes(self) -> int:
-        """Number of indexed dual hyperplanes (``u``)."""
+        """Number of indexed dual hyperplanes (``u``), dead slots included."""
         return int(self._coefficients.shape[0])
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The ``(u, k)`` dual coefficient arena (slot order)."""
+        return self._coefficients
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """The ``(u,)`` dual offset arena (slot order)."""
+        return self._offsets
 
     @property
     def dual_dimensions(self) -> int:
@@ -193,12 +249,20 @@ class OrderVectorIndex:
             )
         return self._coefficients @ xa - self._offsets
 
-    def initial_state(self, box: Box) -> OrderVectorState:
+    def initial_state(
+        self, box: Box, alive: Optional[np.ndarray] = None
+    ) -> OrderVectorState:
         """Return the order-vector state at the reference corner of ``box``.
 
         The reference corner is ``box.highs`` — in primal terms the weight
         vector built from the *lower* ratio bounds, matching the ``-l`` end
         the two-dimensional algorithm starts from.
+
+        ``alive`` (dynamic indexes only) restricts the *dominator side* of
+        the counts to the alive slots: ``counts[k]`` becomes the number of
+        alive hyperplanes strictly closer to ``x_d = 0`` than slot ``k``.
+        Values are still produced for every slot (dead slots' counts are
+        meaningless and must be masked by the caller).
         """
         if self.num_hyperplanes == 0:
             return OrderVectorState(
@@ -213,13 +277,15 @@ class OrderVectorIndex:
             )
         reference = np.asarray(box.highs, dtype=float)
         values = self.values_at(reference)
-        if self._arrangement is not None:
+        if self._arrangement is not None and alive is None:
             counts = self._arrangement.order_vector_at(float(reference[0]))
             slopes = self._coefficients[:, 0].copy()
         else:
-            sorted_values = np.sort(values)
+            dominator_values = values if alive is None else values[alive]
+            sorted_values = np.sort(dominator_values)
             counts = (
-                values.size - np.searchsorted(sorted_values, values, side="right")
+                dominator_values.size
+                - np.searchsorted(sorted_values, values, side="right")
             ).astype(np.intp)
             slopes = None
         return OrderVectorState(
@@ -229,7 +295,9 @@ class OrderVectorIndex:
             slopes=slopes,
         )
 
-    def initial_states(self, boxes: Sequence[Box]) -> List[OrderVectorState]:
+    def initial_states(
+        self, boxes: Sequence[Box], alive: Optional[np.ndarray] = None
+    ) -> List[OrderVectorState]:
         """Order-vector states of many query boxes, sharing the hot work.
 
         Positionally parallel — and identical, per box — to calling
@@ -259,7 +327,7 @@ class OrderVectorIndex:
                 )
         refs = np.stack([np.asarray(box.highs, dtype=float) for box in boxes])
         values = refs @ self._coefficients.T - self._offsets  # one GEMM
-        if self._arrangement is not None:
+        if self._arrangement is not None and alive is None:
             all_counts = self._arrangement.order_vectors_at(refs[:, 0])
             slopes = self._coefficients[:, 0]
             return [
@@ -271,11 +339,12 @@ class OrderVectorIndex:
                 )
                 for i in range(len(boxes))
             ]
-        sorted_values = np.sort(values, axis=1)
+        dominator_values = values if alive is None else values[:, alive]
+        sorted_values = np.sort(dominator_values, axis=1)
         states = []
         for i in range(len(boxes)):
             counts = (
-                values.shape[1]
+                dominator_values.shape[1]
                 - np.searchsorted(sorted_values[i], values[i], side="right")
             ).astype(np.intp)
             states.append(

@@ -39,6 +39,12 @@ from repro.skyline.kernels import (
     dominates_matrix,
     monotone_sort_order,
 )
+from repro.skyline.incremental import (
+    SkylineDelta,
+    delete_update,
+    insert_update,
+    remap_after_delete,
+)
 from repro.skyline.bnl import skyline_bnl
 from repro.skyline.sfs import skyline_sfs
 from repro.skyline.sweep2d import skyline_sweep_2d
@@ -82,6 +88,10 @@ __all__ = [
     "dominates_matrix",
     "block_sfs_indices",
     "monotone_sort_order",
+    "SkylineDelta",
+    "delete_update",
+    "insert_update",
+    "remap_after_delete",
     "skyline_bnl",
     "skyline_sfs",
     "skyline_sweep_2d",

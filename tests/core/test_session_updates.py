@@ -1,0 +1,288 @@
+"""Tests for the dynamic dataset core (DatasetSession.apply_updates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.plan import MAX_DEAD_FRACTION, plan_update
+from repro.core.session import DatasetSession
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import DegenerateHyperplaneError, DimensionMismatchError
+
+
+def random_specs(rng, count, dims):
+    specs = []
+    for _ in range(count):
+        low = float(rng.uniform(0.05, 1.0))
+        specs.append(RatioVector.uniform(low, low + float(rng.uniform(0.1, 3.0)), dims))
+    return specs
+
+
+class TestApplyUpdatesBasics:
+    def test_noop_batch_keeps_generation(self, hotels):
+        session = DatasetSession(hotels)
+        report = session.apply_updates()
+        assert report.generation == 0
+        assert session.generation == 0
+        assert session.stats.update_batches == 0
+
+    def test_data_composition_matches_numpy(self, hotels):
+        session = DatasetSession(hotels)
+        inserts = np.array([[2.0, 2.0], [9.0, 9.0]])
+        session.apply_updates(inserts=inserts, deletes=[1])
+        expected = np.vstack([np.delete(hotels, [1], axis=0), inserts])
+        assert np.array_equal(session.data, expected)
+        assert session.generation == 1
+
+    def test_insert_dimension_mismatch_rejected(self, hotels):
+        session = DatasetSession(hotels)
+        with pytest.raises(DimensionMismatchError):
+            session.apply_updates(inserts=np.ones((1, 3)))
+
+    def test_updates_clear_degenerate_memo(self):
+        t = np.arange(40, dtype=float)
+        data = np.array([5.0, 5.0, 5.0]) + t[:, None] * np.array([1.0, -1.0, 0.5])
+        session = DatasetSession(data)
+        with pytest.raises(DegenerateHyperplaneError):
+            session.index_for("cutting")
+        # Replacing the collinear cloud with generic points must allow a
+        # fresh build: the memoised degeneracy belongs to the old dataset.
+        rng = np.random.default_rng(0)
+        session.apply_updates(
+            inserts=rng.uniform(0, 10, size=(30, 3)),
+            deletes=np.arange(40),
+        )
+        index = session.index_for("cutting")
+        assert index.num_points == 30
+
+
+class TestDynamicParityFuzz:
+    @pytest.mark.parametrize("method", ["auto", "transform", "quadtree", "cutting"])
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_incremental_session_byte_identical_to_rebuilt(self, method, dims):
+        rng = np.random.default_rng(dims * 7 + len(method))
+        data = rng.uniform(0, 10, size=(int(rng.integers(25, 80)), dims))
+        session = DatasetSession(data, index_kwargs={"capacity": 4})
+        specs = random_specs(rng, 3, dims)
+        session.run_batch(specs, method=method)  # warm every artifact
+        for step in range(4):
+            num_deletes = int(rng.integers(0, max(1, session.num_points // 4)))
+            deletes = (
+                rng.choice(session.num_points, size=num_deletes, replace=False)
+                if num_deletes
+                else None
+            )
+            num_inserts = int(rng.integers(0, 12))
+            inserts = (
+                rng.uniform(0, 10, size=(num_inserts, dims)) if num_inserts else None
+            )
+            session.apply_updates(inserts=inserts, deletes=deletes)
+            if session.num_points == 0:
+                break
+            rebuilt = DatasetSession(
+                session.data.copy(), index_kwargs={"capacity": 4}
+            )
+            got = session.run_batch(specs, method=method)
+            want = rebuilt.run_batch(specs, method=method)
+            for g, w in zip(got, want):
+                assert np.array_equal(g.indices, w.indices), (method, dims, step)
+
+    def test_single_queries_also_match_after_updates(self):
+        rng = np.random.default_rng(23)
+        data = rng.uniform(0, 10, size=(60, 3))
+        session = DatasetSession(data)
+        session.run_batch(random_specs(rng, 4, 3))
+        session.apply_updates(
+            inserts=rng.uniform(0, 10, size=(9, 3)), deletes=[0, 5, 7]
+        )
+        rebuilt = DatasetSession(session.data.copy())
+        for spec in random_specs(rng, 5, 3):
+            for method in ("transform", "cutting", "baseline"):
+                assert np.array_equal(
+                    session.run_indices(spec, method=method),
+                    rebuilt.run_indices(spec, method=method),
+                )
+
+
+class TestSharedSkylineIsolation:
+    def test_two_cached_indexes_update_independently(self):
+        # Regression: indexes built from the session's memoised skyline must
+        # copy it — delete_points remaps its slot->position array in place,
+        # and a shared ndarray would let the first index's remap corrupt
+        # both the second index and the session's cached skyline.
+        rng = np.random.default_rng(12)
+        # Big enough that the update cost arm picks in-place maintenance
+        # (a toy dataset's skyline rebuild is genuinely cheaper).
+        data = rng.uniform(0, 10, size=(4000, 3))
+        session = DatasetSession(data)
+        specs = random_specs(rng, 3, 3)
+        session.run_batch(specs, method="quadtree")
+        session.run_batch(specs, method="cutting")
+        assert session.stats.index_builds == 2
+        report = session.apply_updates(
+            inserts=rng.uniform(0, 10, size=(6, 3)), deletes=[0, 3, 8, 9]
+        )
+        assert report.skyline_plan.inplace
+        assert report.index_updates == 2
+        rebuilt = DatasetSession(session.data.copy())
+        for method in ("quadtree", "cutting", "transform"):
+            for g, w in zip(
+                session.run_batch(specs, method=method),
+                rebuilt.run_batch(specs, method=method),
+            ):
+                assert np.array_equal(g.indices, w.indices), method
+
+
+class TestUpdateStatsAndGenerations:
+    def test_inplace_updates_keep_artifacts_warm(self):
+        rng = np.random.default_rng(3)
+        data = generate_dataset("inde", 3000, 3, seed=0)
+        session = DatasetSession(data)
+        specs = random_specs(rng, 8, 3)
+        session.run_batch(specs, method="cutting")
+        assert session.stats.artifact_counts() == (1, 0, 1)
+        report = session.apply_updates(
+            inserts=rng.uniform(0, 1, size=(4, 3)), deletes=[0, 1]
+        )
+        assert report.skyline_plan is not None and report.skyline_plan.inplace
+        assert report.index_updates == 1 and report.index_invalidations == 0
+        session.run_batch(specs, method="cutting")
+        # No artifact was rebuilt: the update maintained them in place.
+        assert session.stats.artifact_counts() == (1, 0, 1)
+        assert session.stats.skyline_inplace_updates == 1
+        assert session.stats.index_inplace_updates == 1
+        assert session.stats.inserts_applied == 4
+        assert session.stats.deletes_applied == 2
+        assert session.stats.rebuilds_triggered == 0
+        assert session.generation == 1
+
+    def test_huge_batch_triggers_rebuild_decision(self):
+        data = generate_dataset("inde", 500, 3, seed=1)
+        session = DatasetSession(data)
+        session.run_batch(random_specs(np.random.default_rng(0), 6, 3), method="cutting")
+        report = session.apply_updates(
+            inserts=generate_dataset("inde", 20_000, 3, seed=2)
+        )
+        assert report.skyline_plan is not None
+        assert report.skyline_plan.strategy == "rebuild"
+        assert session.stats.rebuilds_triggered >= 1
+        assert session.stats.artifact_invalidations >= 1
+        # Stale artifacts are rebuilt lazily on the next batch.
+        builds_before = session.stats.skyline_builds
+        session.run_batch(random_specs(np.random.default_rng(1), 6, 3))
+        assert session.stats.skyline_builds == builds_before + 1
+
+    def test_generation_tags_invalidate_stale_indexes(self):
+        data = generate_dataset("inde", 400, 3, seed=4)
+        session = DatasetSession(data)
+        session.index_for("cutting")
+        # Deleting most of the dataset makes any incremental path dearer
+        # than recomputing over the 50 survivors, so the update cost model
+        # invalidates instead of maintaining.
+        report = session.apply_updates(deletes=np.arange(350))
+        if report.index_invalidations:
+            builds = session.stats.index_builds
+            session.index_for("cutting")
+            assert session.stats.index_builds == builds + 1
+
+    def test_degenerate_update_falls_back_in_auto_batches(self):
+        rng = np.random.default_rng(6)
+        data = rng.uniform(4.0, 10.0, size=(60, 3))
+        session = DatasetSession(data, index_kwargs={"capacity": 4})
+        specs = random_specs(rng, 6, 3)
+        first = session.run_batch(specs, method="auto")
+        if session.last_plan.method not in ("quadtree", "cutting"):
+            pytest.skip("cost model did not pick an index for this shape")
+        # Collinear arrivals that dominate the whole cloud: the in-place
+        # index update must fail with DegenerateHyperplaneError internally,
+        # drop the index, and the next auto batch must fall back to the
+        # transformation (the fresh build memoises the degeneracy).
+        t = np.arange(50, dtype=float) * 0.01
+        arrivals = np.array([1.0, 3.0, 2.0]) + t[:, None] * np.array(
+            [1.0, -1.0, 0.5]
+        )
+        report = session.apply_updates(inserts=arrivals)
+        assert report.index_invalidations >= 1
+        results = session.run_batch(specs, method="auto")
+        assert session.last_plan.method == "transform"
+        rebuilt = DatasetSession(session.data.copy())
+        expected = rebuilt.run_batch(specs, method="transform")
+        for got, want in zip(results, expected):
+            assert np.array_equal(got.indices, want.indices)
+        with pytest.raises(DegenerateHyperplaneError):
+            session.index_for("cutting")
+
+
+class TestPlanUpdateArm:
+    def test_small_batch_prefers_inplace(self):
+        plan = plan_update(50_000, 3, 8, 8, num_skyline=200, artifact="skyline")
+        assert plan.inplace
+
+    def test_full_replacement_prefers_rebuild(self):
+        plan = plan_update(1000, 3, 1000, 1000, num_skyline=50, artifact="skyline")
+        assert plan.strategy == "rebuild"
+
+    def test_dead_fraction_forces_index_rebuild(self):
+        plan = plan_update(
+            10_000,
+            3,
+            1,
+            1,
+            num_skyline=100,
+            artifact="index",
+            index_backend="cutting",
+            dead_fraction=MAX_DEAD_FRACTION + 0.1,
+        )
+        assert plan.strategy == "rebuild"
+        assert "dead slot fraction" in plan.reason
+
+    def test_index_update_cheaper_than_quadtree_rebuild(self):
+        plan = plan_update(
+            20_000,
+            4,
+            5,
+            5,
+            num_skyline=400,
+            artifact="index",
+            index_backend="quadtree",
+        )
+        assert plan.inplace
+
+    def test_unknown_artifact_rejected(self):
+        from repro.errors import AlgorithmNotSupportedError
+
+        with pytest.raises(AlgorithmNotSupportedError):
+            plan_update(10, 2, 1, 1, artifact="corner-matrix")
+
+
+class TestEmptySessionGrowth:
+    def test_grow_from_empty_dataset(self):
+        session = DatasetSession(np.empty((0, 3)))
+        session.index_for("cutting")  # degenerate empty index, cached
+        rng = np.random.default_rng(8)
+        session.apply_updates(inserts=rng.uniform(0, 10, size=(25, 3)))
+        rebuilt = DatasetSession(session.data.copy())
+        spec = RatioVector.uniform(0.4, 2.0, 3)
+        assert np.array_equal(
+            session.run_indices(spec, method="cutting"),
+            rebuilt.run_indices(spec, method="cutting"),
+        )
+
+    def test_drain_and_refill(self):
+        rng = np.random.default_rng(9)
+        data = rng.uniform(0, 10, size=(20, 3))
+        session = DatasetSession(data)
+        session.run_batch([RatioVector.uniform(0.3, 2.0, 3)], method="cutting")
+        session.apply_updates(deletes=np.arange(20))
+        assert session.num_points == 0
+        assert session.run_batch([RatioVector.uniform(0.3, 2.0, 3)]) != []
+        session.apply_updates(inserts=rng.uniform(0, 10, size=(15, 3)))
+        rebuilt = DatasetSession(session.data.copy())
+        spec = RatioVector.uniform(0.5, 1.8, 3)
+        for method in ("transform", "cutting"):
+            assert np.array_equal(
+                session.run_indices(spec, method=method),
+                rebuilt.run_indices(spec, method=method),
+            )

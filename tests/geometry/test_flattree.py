@@ -484,3 +484,181 @@ class TestSharedPolicies:
             np.flatnonzero(hyperplanes_intersect_box_mask(coeffs, rhs, box)).tolist()
         )
         assert set(tree.query(box).tolist()) == expected
+
+
+class TestShrinkDomain:
+    """The opt-in domain-shrinking root (PR 4 satellite)."""
+
+    @pytest.mark.parametrize("dual_dims", [1, 2, 3])
+    def test_exact_inside_fitted_root(self, dual_dims):
+        rng = np.random.default_rng(dual_dims)
+        pairs, coeffs, rhs = make_hyperplanes(40, dual_dims + 1, seed=dual_dims)
+        dom = domain(dual_dims, max_ratio=128.0)
+        fitted = LineQuadtree(coeffs, rhs, dom, capacity=4, shrink_domain=True)
+        root = fitted.domain
+        assert dom.contains_box(root)
+        checked = 0
+        for _ in range(40):
+            lows = rng.uniform(root.lows, root.highs)
+            highs = np.minimum(
+                lows + rng.uniform(0.0, 1.0, size=dual_dims) * root.widths,
+                root.highs,
+            )
+            box = Box(lows, highs)
+            if not root.contains_box(box):
+                continue
+            checked += 1
+            expected = np.flatnonzero(
+                hyperplanes_intersect_box_mask(coeffs, rhs, box)
+            )
+            assert np.array_equal(np.sort(fitted.query(box)), expected)
+            assert np.array_equal(
+                np.sort(fitted.query_many([box])[0]), expected
+            )
+        assert checked > 0
+
+    def test_intersection_index_stays_exact_everywhere(self):
+        # Boxes escaping the fitted root must transparently fall back to
+        # the scan path at the IntersectionIndex level.
+        from repro.index.intersection import IntersectionIndex
+
+        rng = np.random.default_rng(41)
+        pairs, coeffs, rhs = make_hyperplanes(30, 4, seed=9)
+        fitted = IntersectionIndex.from_arrays(
+            *_dual_arrays_for(30, 4, seed=9),
+            backend="quadtree",
+            shrink_domain=True,
+        )
+        reference = IntersectionIndex.from_arrays(
+            *_dual_arrays_for(30, 4, seed=9), backend="scan"
+        )
+        def canonical(candidate_set):
+            rows = candidate_set.pairs
+            order = np.lexsort((rows[:, 1], rows[:, 0]))
+            return rows[order]
+
+        for _ in range(15):
+            lows = rng.uniform(-100.0, -0.2, size=3)
+            highs = np.minimum(lows + rng.uniform(0.1, 80.0, size=3), 0.0)
+            box = Box(lows, highs)
+            want = canonical(reference.candidates(box))
+            assert np.array_equal(canonical(fitted.candidates(box)), want)
+            assert np.array_equal(
+                canonical(fitted.candidates_many([box])[0]), want
+            )
+
+    def test_fitted_root_separates_the_anti_cluster(self):
+        # The PR 3 known gap: anticorrelated data has near-constant
+        # attribute sums, so every pairwise intersection hyperplane passes
+        # close to (-1, ..., -1) — a tiny cluster inside [-128, 0]^k that
+        # midpoint splits of the full domain never reach.  The fitted root
+        # must shrink dramatically and restore real leaf-load reduction.
+        rng = np.random.default_rng(2)
+        points = rng.uniform(size=(60, 4))
+        points[:, -1] = 2.0 - points[:, :-1].sum(axis=1)  # anticorrelated
+        duals = dual_hyperplanes(points)
+        pairs, coeffs, rhs = pairwise_intersection_arrays(duals)
+        dom = domain(3, max_ratio=128.0)
+        full = LineQuadtree(coeffs, rhs, dom, capacity=16)
+        fitted = LineQuadtree(coeffs, rhs, dom, capacity=16, shrink_domain=True)
+        assert fitted.domain.volume() < 0.01 * dom.volume()
+        assert fitted.max_leaf_load() < full.max_leaf_load()
+
+
+def _dual_arrays_for(n_points: int, dimensions: int, seed: int):
+    rng = np.random.default_rng(seed)
+    points = rng.random((n_points, dimensions)) + 0.05
+    return np.ascontiguousarray(points[:, :-1]), np.ascontiguousarray(points[:, -1])
+
+
+class TestFlatTreeInserts:
+    """Per-leaf overflow buffers and threshold-triggered subtree rebuilds."""
+
+    @pytest.mark.parametrize("flavor", ["quadtree", "cutting"])
+    @pytest.mark.parametrize("dual_dims", [1, 2, 3])
+    def test_inserted_hyperplanes_are_found(self, flavor, dual_dims):
+        rng = np.random.default_rng(10 * dual_dims)
+        pairs, coeffs, rhs = make_hyperplanes(25, dual_dims + 1, seed=1)
+        dom = domain(dual_dims)
+        cls = LineQuadtree if flavor == "quadtree" else CuttingTree
+        tree = cls(coeffs, rhs, dom, capacity=4)
+        _, new_coeffs, new_rhs = make_hyperplanes(20, dual_dims + 1, seed=2)
+        tree.insert_hyperplanes(new_coeffs, new_rhs)
+        all_coeffs = np.vstack([coeffs, new_coeffs])
+        all_rhs = np.concatenate([rhs, new_rhs])
+        for _ in range(8):
+            lows = rng.uniform(-10.0, -0.2, size=dual_dims)
+            highs = np.minimum(lows + rng.uniform(0.1, 8.0, size=dual_dims), 0.0)
+            box = Box(lows, highs)
+            expected = np.flatnonzero(
+                hyperplanes_intersect_box_mask(all_coeffs, all_rhs, box)
+            )
+            assert np.array_equal(np.sort(tree.query(box)), expected)
+            assert np.array_equal(np.sort(tree.query_many([box])[0]), expected)
+
+    def test_threshold_triggers_subtree_rebuild(self):
+        pairs, coeffs, rhs = make_hyperplanes(20, 3, seed=4)
+        tree = LineQuadtree(coeffs, rhs, domain(2), capacity=4)
+        nodes_before = tree.node_count()
+        _, more_coeffs, more_rhs = make_hyperplanes(40, 3, seed=5)
+        tree.insert_hyperplanes(more_coeffs, more_rhs)
+        # Enough mass crossed existing leaves to push several past the
+        # rebuild threshold: the CSR store must have grown in place.
+        assert tree.node_count() > nodes_before
+        assert tree.size == coeffs.shape[0] + more_coeffs.shape[0]
+
+    def test_rebuild_budget_is_global_not_per_subtree(self):
+        pairs, coeffs, rhs = make_hyperplanes(20, 4, seed=6)
+        tree = LineQuadtree(coeffs, rhs, domain(3), capacity=2, max_nodes=256)
+        for seed in range(7, 11):
+            _, more_coeffs, more_rhs = make_hyperplanes(25, 4, seed=seed)
+            tree.insert_hyperplanes(more_coeffs, more_rhs)
+        # Repeated insert-triggered rebuilds must never grow the store past
+        # the size-scaled global budget (a per-rebuild budget would).
+        assert tree.node_count() <= tree.core._node_budget()
+
+    def test_pure_coincident_overflow_raises_on_rebuild(self):
+        # Insert a stack of coincident duplicates into a region no other
+        # hyperplane crosses: the threshold-triggered subtree rebuild sees a
+        # pure-duplicate cell and must surface DegenerateHyperplaneError in
+        # on_unsplittable="raise" mode (the update-path analogue of the
+        # static build's degeneracy check).
+        from repro.geometry.flattree import FlatTree, MidpointSplitRule
+
+        dom = Box(np.array([-10.0, -10.0]), np.array([0.0, 0.0]))
+        base_rhs = np.linspace(-9.5, -6.0, 12)
+        base_coeffs = np.tile([1.0, 0.0], (12, 1))
+        tree = FlatTree(
+            base_coeffs,
+            base_rhs,
+            dom,
+            MidpointSplitRule(2),
+            capacity=2,
+            on_unsplittable="raise",
+        )
+        dup_coeffs = np.tile([1.0, 0.0], (30, 1))
+        dup_rhs = np.full(30, -1.0)
+        with pytest.raises(DegenerateHyperplaneError):
+            tree.insert_hyperplanes(dup_coeffs, dup_rhs)
+        # The tree stays consistent: the duplicates are still answered from
+        # the overflow buffers.
+        box = Box(np.array([-1.5, -5.0]), np.array([-0.5, -0.1]))
+        assert np.count_nonzero(tree.query(box) >= 12) == 30
+
+    def test_cutting_honours_shrink_domain(self):
+        # A session-level shrink_domain applies to whichever backend the
+        # planner picks, so the cutting wrapper must honour the flag too.
+        rng = np.random.default_rng(77)
+        pairs, coeffs, rhs = make_hyperplanes(40, 4, seed=7)
+        dom = domain(3, max_ratio=128.0)
+        fitted = CuttingTree(coeffs, rhs, dom, capacity=8, shrink_domain=True)
+        assert dom.contains_box(fitted.domain)
+        root = fitted.domain
+        for _ in range(10):
+            lows = rng.uniform(root.lows, root.highs)
+            highs = np.minimum(lows + rng.uniform(0.0, 1.0, size=3) * root.widths, root.highs)
+            box = Box(lows, highs)
+            if not root.contains_box(box):
+                continue
+            expected = np.flatnonzero(hyperplanes_intersect_box_mask(coeffs, rhs, box))
+            assert np.array_equal(np.sort(fitted.query(box)), expected)

@@ -1,0 +1,270 @@
+"""Dynamic EclipseIndex maintenance: insert/delete parity and mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import RatioVector
+from repro.errors import DegenerateHyperplaneError, InvalidDatasetError
+from repro.index.eclipse_index import EclipseIndex
+from repro.skyline import incremental as inc
+from repro.skyline.api import skyline_indices
+
+
+def apply_index_updates(index, data, sky, inserts, deletes, rng):
+    """Drive one update batch through the incremental kernels + the index."""
+    deletes = inc.validate_deletes(data.shape[0], deletes)
+    new_data, delta = inc.apply_updates(data, sky, inserts, deletes)
+    remap = inc.remap_after_delete(data.shape[0], deletes)
+    index.delete_points(remap, delta.removed_old)
+    index.insert_points(new_data, delta.added)
+    return new_data, np.flatnonzero(delta.is_skyline)
+
+
+class TestDynamicParityFuzz:
+    @pytest.mark.parametrize("backend", ["quadtree", "cutting"])
+    @pytest.mark.parametrize("dims", [2, 3, 4])
+    def test_byte_identical_to_fresh_build(self, backend, dims):
+        rng = np.random.default_rng(100 * dims)
+        for trial in range(6):
+            n = int(rng.integers(12, 60))
+            data = rng.uniform(0, 10, size=(n, dims))
+            index = EclipseIndex(backend=backend, capacity=4).build(data)
+            sky = skyline_indices(data)
+            for step in range(3):
+                num_deletes = int(rng.integers(0, max(1, data.shape[0] // 4)))
+                deletes = (
+                    rng.choice(data.shape[0], size=num_deletes, replace=False)
+                    if num_deletes
+                    else None
+                )
+                num_inserts = int(rng.integers(0, 10))
+                inserts = (
+                    rng.uniform(0, 10, size=(num_inserts, dims))
+                    if num_inserts
+                    else None
+                )
+                data, sky = apply_index_updates(
+                    index, data, sky, inserts, deletes, rng
+                )
+                fresh = EclipseIndex(backend=backend, capacity=4).build(data)
+                assert np.array_equal(
+                    np.sort(index.skyline_indices), np.sort(fresh.skyline_indices)
+                )
+                assert index.num_skyline_points == fresh.num_skyline_points
+                specs = [
+                    RatioVector.uniform(0.3, 2.5, dims),
+                    RatioVector.uniform(0.8, 1.2, dims),
+                    RatioVector.uniform(0.1, 6.0, dims),
+                ]
+                for spec in specs:
+                    assert np.array_equal(
+                        index.query_indices(spec), fresh.query_indices(spec)
+                    )
+                # Batched probes on the dynamic index match singles too.
+                for spec, batched in zip(specs, index.query_indices_many(specs)):
+                    assert np.array_equal(batched, index.query_indices(spec))
+
+    def test_integer_data_with_ties_and_duplicates(self):
+        rng = np.random.default_rng(17)
+        dims = 3
+        data = rng.integers(0, 7, size=(40, dims)).astype(float)
+        index = EclipseIndex(backend="cutting", capacity=4).build(data)
+        sky = skyline_indices(data)
+        for step in range(3):
+            inserts = rng.integers(0, 7, size=(6, dims)).astype(float)
+            deletes = rng.choice(data.shape[0], size=4, replace=False)
+            data, sky = apply_index_updates(index, data, sky, inserts, deletes, rng)
+            fresh = EclipseIndex(backend="cutting", capacity=4).build(data)
+            for spec in (RatioVector.uniform(0.4, 2.0, dims),
+                         RatioVector.uniform(0.9, 1.1, dims)):
+                assert np.array_equal(
+                    index.query_indices(spec), fresh.query_indices(spec)
+                )
+
+
+class TestDynamicMechanics:
+    def test_failed_delete_leaves_index_untouched(self):
+        # Regression: delete_points must validate on scratch state before
+        # mutating — a rejected call (deleted row still indexed) used to
+        # leave half-remapped positions that silently answered queries
+        # with wrong row ids.
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 10, size=(30, 3))
+        index = EclipseIndex(backend="cutting").build(data)
+        victim = int(index.skyline_indices[0])
+        remap = inc.remap_after_delete(30, np.array([victim]))
+        with pytest.raises(InvalidDatasetError):
+            index.delete_points(remap, np.empty(0, dtype=np.intp))
+        # Everything still consistent with the original dataset.
+        fresh = EclipseIndex(backend="cutting").build(data)
+        assert np.array_equal(index.skyline_indices, fresh.skyline_indices)
+        spec = RatioVector.uniform(0.4, 2.0, 3)
+        assert np.array_equal(index.query_indices(spec), fresh.query_indices(spec))
+
+    def test_delete_rejects_unknown_position(self):
+        data = np.random.default_rng(0).uniform(0, 1, size=(20, 3))
+        index = EclipseIndex(backend="cutting").build(data)
+        buffered = np.setdiff1d(np.arange(20), index.skyline_indices)
+        if buffered.size:
+            with pytest.raises(InvalidDatasetError):
+                index.delete_points(np.arange(20), buffered[:1])
+
+    def test_dead_slots_counted_and_excluded(self):
+        rng = np.random.default_rng(5)
+        data = rng.uniform(0, 10, size=(30, 3))
+        index = EclipseIndex(backend="cutting").build(data)
+        sky = skyline_indices(data)
+        victim = int(sky[0])
+        data2, _ = apply_index_updates(
+            index, data, sky, None, np.array([victim]), rng
+        )
+        assert index.num_dead_slots >= 1
+        fresh = EclipseIndex(backend="cutting").build(data2)
+        assert index.num_skyline_points == fresh.num_skyline_points
+        spec = RatioVector.uniform(0.3, 2.0, 3)
+        assert np.array_equal(index.query_indices(spec), fresh.query_indices(spec))
+
+    def test_tree_overflow_and_subtree_rebuild_triggered(self):
+        rng = np.random.default_rng(9)
+        data = rng.uniform(0, 10, size=(40, 3))
+        index = EclipseIndex(backend="cutting", capacity=4).build(data)
+        sky = skyline_indices(data)
+        core = index.intersection_index.tree.core
+        nodes_before = core.node_count()
+        # Insert enough fresh skyline-grade points to overflow some leaves.
+        inserts = rng.uniform(0, 0.5, size=(12, 3))  # strong points: all join
+        pairs_before = index.intersection_index.num_pairs
+        apply_index_updates(index, data, sky, inserts, None, rng)
+        core = index.intersection_index.tree.core
+        assert index.intersection_index.num_pairs > pairs_before
+        # Either overflow buffers are populated or a threshold-triggered
+        # subtree rebuild grew the CSR node store — typically both.
+        assert core.overflow_size() > 0 or core.node_count() > nodes_before
+
+    def test_degenerate_arrivals_absorbed_where_rebuild_refuses(self):
+        # Collinear arrivals make every new-pair intersection hyperplane a
+        # coincident duplicate.  A *fresh* build refuses such inputs with
+        # DegenerateHyperplaneError; the dynamic index absorbs them into
+        # overflow buffers (mixed cells are never split toward purity, so
+        # queries stay exact through the post-filter) — graceful
+        # degradation until the session's dead-fraction/cost arm schedules
+        # the rebuild that surfaces the degeneracy.
+        rng = np.random.default_rng(11)
+        data = rng.uniform(4.0, 10.0, size=(30, 3))
+        index = EclipseIndex(backend="cutting", capacity=4).build(data)
+        sky = skyline_indices(data)
+        t = np.arange(40, dtype=float) * 0.01
+        arrivals = np.array([1.0, 3.0, 2.0]) + t[:, None] * np.array(
+            [1.0, -1.0, 0.5]
+        )
+        new_data, sky = apply_index_updates(index, data, sky, arrivals, None, rng)
+        with pytest.raises(DegenerateHyperplaneError):
+            EclipseIndex(backend="cutting", capacity=4).build(new_data)
+        from repro.core.transform import eclipse_transform_indices
+
+        for spec in (RatioVector.uniform(0.4, 2.2, 3),
+                     RatioVector.uniform(0.7, 1.6, 3)):
+            assert np.array_equal(
+                index.query_indices(spec),
+                eclipse_transform_indices(new_data, spec),
+            )
+
+    def test_sorted_backend_merge_2d(self):
+        rng = np.random.default_rng(13)
+        data = rng.uniform(0, 10, size=(50, 2))
+        index = EclipseIndex(backend="quadtree").build(data)
+        assert index.intersection_index.backend == "sorted"
+        sky = skyline_indices(data)
+        for _ in range(3):
+            inserts = rng.uniform(0, 10, size=(8, 2))
+            deletes = rng.choice(data.shape[0], size=3, replace=False)
+            data, sky = apply_index_updates(index, data, sky, inserts, deletes, rng)
+            fresh = EclipseIndex(backend="quadtree").build(data)
+            spec = RatioVector.uniform(0.25, 3.0, 2)
+            assert np.array_equal(
+                index.query_indices(spec), fresh.query_indices(spec)
+            )
+
+    def test_delete_everything_gives_empty_results(self):
+        data = np.array([[1.0, 5.0, 2.0], [4.0, 2.0, 3.0], [2.0, 3.0, 6.0]])
+        index = EclipseIndex(backend="cutting").build(data)
+        sky = skyline_indices(data)
+        deletes = np.arange(3)
+        new_data, delta = inc.apply_updates(data, sky, None, deletes)
+        index.delete_points(inc.remap_after_delete(3, deletes), delta.removed_old)
+        index.insert_points(new_data, delta.added)
+        assert index.query_indices(RatioVector.uniform(0.5, 2.0, 3)).size == 0
+
+
+class TestBatchedAdjustments:
+    """The batched correction pass must match the per-query reference."""
+
+    @pytest.mark.parametrize("backend", ["quadtree", "cutting"])
+    @pytest.mark.parametrize("dims", [2, 3, 4])
+    def test_batch_vs_single_parity(self, backend, dims):
+        rng = np.random.default_rng(dims + 31)
+        data = rng.uniform(0, 10, size=(80, dims))
+        index = EclipseIndex(backend=backend).build(data)
+        specs = []
+        for _ in range(17):
+            low = float(rng.uniform(0.05, 1.0))
+            specs.append(RatioVector.uniform(low, low + float(rng.uniform(0.1, 4.0)), dims))
+        batched = index.query_indices_many(specs)
+        for spec, got in zip(specs, batched):
+            assert np.array_equal(got, index.query_indices(spec))
+
+    def test_batch_parity_with_reference_corner_ties(self):
+        # Duplicate points produce exact dual ties at every reference
+        # corner; the tie add-back of the correction pass must agree
+        # between the batched and the per-query paths.
+        base = np.array(
+            [[1.0, 6.0], [1.0, 6.0], [4.0, 4.0], [6.0, 1.0], [8.0, 5.0]]
+        )
+        index = EclipseIndex(backend="quadtree").build(base)
+        specs = [
+            RatioVector.uniform(0.25, 2.0, 2),
+            RatioVector.uniform(0.5, 0.5, 2),
+            RatioVector.uniform(1.0, 3.0, 2),
+        ]
+        batched = index.query_indices_many(specs)
+        for spec, got in zip(specs, batched):
+            assert np.array_equal(got, index.query_indices(spec))
+
+
+class TestShrinkDomainIndex:
+    """The opt-in domain-shrinking root through the full index stack."""
+
+    def test_shrunk_index_matches_default_queries(self):
+        rng = np.random.default_rng(55)
+        data = rng.uniform(0, 10, size=(120, 4))
+        fitted = EclipseIndex(backend="quadtree", shrink_domain=True).build(data)
+        default = EclipseIndex(backend="quadtree").build(data)
+        for _ in range(10):
+            low = float(rng.uniform(0.05, 1.0))
+            spec = RatioVector.uniform(low, low + float(rng.uniform(0.1, 5.0)), 4)
+            assert np.array_equal(
+                fitted.query_indices(spec), default.query_indices(spec)
+            )
+        specs = [RatioVector.uniform(0.3, 2.5, 4), RatioVector.uniform(0.05, 7.0, 4)]
+        for got, want in zip(
+            fitted.query_indices_many(specs), default.query_indices_many(specs)
+        ):
+            assert np.array_equal(got, want)
+
+    def test_shrunk_index_stays_exact_under_updates(self):
+        rng = np.random.default_rng(56)
+        data = rng.uniform(0, 10, size=(50, 3))
+        index = EclipseIndex(backend="quadtree", shrink_domain=True, capacity=4).build(data)
+        sky = skyline_indices(data)
+        for _ in range(3):
+            inserts = rng.uniform(0, 10, size=(8, 3))
+            deletes = rng.choice(data.shape[0], size=4, replace=False)
+            data, sky = apply_index_updates(index, data, sky, inserts, deletes, rng)
+            fresh = EclipseIndex(backend="quadtree", capacity=4).build(data)
+            for spec in (RatioVector.uniform(0.4, 2.0, 3),
+                         RatioVector.uniform(0.1, 6.0, 3)):
+                assert np.array_equal(
+                    index.query_indices(spec), fresh.query_indices(spec)
+                )

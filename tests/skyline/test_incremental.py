@@ -1,0 +1,174 @@
+"""Tests for incremental skyline maintenance (repro.skyline.incremental)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, InvalidDatasetError
+from repro.skyline import incremental as inc
+from repro.skyline.api import skyline_indices
+
+
+def membership(data, skyline_idx):
+    mask = np.zeros(data.shape[0], dtype=bool)
+    mask[skyline_idx] = True
+    return mask
+
+
+class TestRemapAfterDelete:
+    def test_identity_without_deletes(self):
+        remap = inc.remap_after_delete(5, np.empty(0, dtype=np.intp))
+        assert remap.tolist() == [0, 1, 2, 3, 4]
+
+    def test_deleted_rows_map_to_minus_one(self):
+        remap = inc.remap_after_delete(6, np.array([1, 4]))
+        assert remap.tolist() == [0, -1, 1, 2, -1, 3]
+
+    def test_validate_rejects_out_of_range_and_duplicates(self):
+        with pytest.raises(InvalidDatasetError):
+            inc.validate_deletes(3, [3])
+        with pytest.raises(InvalidDatasetError):
+            inc.validate_deletes(3, [-1])
+        with pytest.raises(InvalidDatasetError):
+            inc.validate_deletes(3, [1, 1])
+
+
+class TestInsertUpdate:
+    def test_dominated_arrival_is_buffered(self):
+        data = np.array([[1.0, 6.0], [4.0, 4.0], [9.0, 9.0]])
+        out, added, demoted = inc.insert_update(
+            data, membership(data[:2], [0, 1]), 1
+        )
+        assert not out[2]
+        assert added.size == 0 and demoted.size == 0
+
+    def test_arrival_demotes_dominated_member(self):
+        data = np.array([[4.0, 4.0], [6.0, 1.0], [3.0, 3.0]])
+        out, added, demoted = inc.insert_update(
+            data, np.array([True, True, False]), 1
+        )
+        assert out.tolist() == [False, True, True]
+        assert added.tolist() == [2]
+        assert demoted.tolist() == [0]
+
+    def test_intra_batch_dominance_resolved(self):
+        data = np.array([[9.0, 9.0], [2.0, 2.0], [3.0, 3.0]])
+        out, added, _ = inc.insert_update(data, np.array([True, False, False]), 2)
+        # The second arrival is dominated by the first; the prefix demotes.
+        assert added.tolist() == [1]
+        assert out.tolist() == [False, True, False]
+
+    def test_duplicates_all_survive(self):
+        data = np.array([[2.0, 2.0], [2.0, 2.0]])
+        out, added, demoted = inc.insert_update(data, np.array([True, False]), 1)
+        assert out.tolist() == [True, True]
+        assert demoted.size == 0
+
+
+class TestDeleteUpdate:
+    def test_deleting_buffered_point_changes_nothing(self):
+        data = np.array([[1.0, 1.0], [5.0, 5.0], [2.0, 9.0]])
+        kept_sky, promoted = inc.delete_update(
+            data, np.array([True, False, True]), np.array([1])
+        )
+        assert kept_sky.tolist() == [True, True]
+        assert promoted.size == 0
+
+    def test_promotion_chain_only_exposes_top(self):
+        # s > y > x (dominance chain); deleting s promotes y, not x.
+        data = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        kept_sky, promoted = inc.delete_update(
+            data, np.array([True, False, False]), np.array([0])
+        )
+        assert kept_sky.tolist() == [True, False]
+        assert promoted.tolist() == [0]
+
+    def test_shadow_survivor_promoted_when_unblocked(self):
+        data = np.array([[1.0, 3.0], [4.0, 1.5], [2.0, 4.0]])
+        # 0 and 1 are skyline, 2 is dominated by 0 only.  Deleting 0
+        # promotes 2 (1 does not dominate it).
+        kept_sky, promoted = inc.delete_update(
+            data, np.array([True, True, False]), np.array([0])
+        )
+        assert kept_sky.tolist() == [True, True]
+        assert promoted.tolist() == [1]
+
+    def test_shadow_survivor_blocked_by_remaining_skyline(self):
+        data = np.array([[1.0, 3.0], [1.5, 3.5], [2.0, 4.0]])
+        # 0 is skyline; both others are dominated by it AND by each other's
+        # chain; deleting 0 exposes only 1 (it dominates 2).
+        kept_sky, promoted = inc.delete_update(
+            data, np.array([True, False, False]), np.array([0])
+        )
+        assert kept_sky.tolist() == [True, False]
+        assert promoted.tolist() == [0]
+
+
+class TestApplyUpdatesFuzz:
+    @pytest.mark.parametrize("dims", [2, 3, 4])
+    def test_matches_full_recompute(self, dims):
+        rng = np.random.default_rng(dims)
+        for trial in range(40):
+            n = int(rng.integers(0, 50))
+            data = rng.integers(0, 6, size=(n, dims)).astype(float)
+            sky = skyline_indices(data)
+            num_deletes = int(rng.integers(0, n + 1)) if n else 0
+            deletes = (
+                rng.choice(n, size=num_deletes, replace=False)
+                if num_deletes
+                else np.empty(0, dtype=np.intp)
+            )
+            num_inserts = int(rng.integers(0, 12))
+            inserts = (
+                rng.integers(0, 6, size=(num_inserts, dims)).astype(float)
+                if num_inserts
+                else None
+            )
+            new_data, delta = inc.apply_updates(data, sky, inserts, deletes)
+            expected_data = np.delete(data, np.unique(deletes), axis=0)
+            if num_inserts:
+                expected_data = (
+                    np.vstack([expected_data, inserts])
+                    if expected_data.size
+                    else inserts
+                )
+            assert np.array_equal(new_data, np.asarray(expected_data))
+            assert np.array_equal(
+                np.flatnonzero(delta.is_skyline), skyline_indices(new_data)
+            ), f"trial {trial}"
+
+    def test_diff_is_pure_membership_diff(self):
+        # A point promoted by the delete and demoted again by an arrival in
+        # the same batch must appear in neither added nor removed_old.
+        data = np.array([[1.0, 1.0], [2.0, 2.0], [9.0, 9.0]])
+        sky = skyline_indices(data)  # [0]
+        new_data, delta = inc.apply_updates(
+            data, sky, np.array([[1.5, 1.5]]), np.array([0])
+        )
+        # Point (2,2) was transiently promoted, then demoted by (1.5, 1.5).
+        assert np.flatnonzero(delta.is_skyline).tolist() == [2]
+        assert delta.added.tolist() == [2]
+        assert delta.removed_old.tolist() == [0]
+
+    def test_dimension_mismatch_rejected(self):
+        data = np.ones((3, 2))
+        with pytest.raises(DimensionMismatchError):
+            inc.apply_updates(data, skyline_indices(data), np.ones((1, 3)), None)
+
+    def test_empty_dataset_insert(self):
+        data = np.empty((0, 3))
+        new_data, delta = inc.apply_updates(
+            data, np.empty(0, dtype=np.intp), np.array([[1.0, 2.0, 3.0]]), None
+        )
+        assert new_data.shape == (1, 3)
+        assert delta.added.tolist() == [0]
+
+    def test_delete_everything(self):
+        data = np.array([[1.0, 2.0], [2.0, 1.0]])
+        new_data, delta = inc.apply_updates(
+            data, skyline_indices(data), None, np.array([0, 1])
+        )
+        assert new_data.shape == (0, 2)
+        assert delta.is_skyline.size == 0
+        assert delta.removed_old.tolist() == [0, 1]

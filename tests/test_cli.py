@@ -86,3 +86,55 @@ class TestParser:
         args = build_parser().parse_args(["query"])
         assert args.dataset == "INDE"
         assert args.low == pytest.approx(0.36)
+
+
+class TestStreamCommand:
+    def test_stream_reports_update_counters(self, capsys):
+        exit_code = main(
+            [
+                "stream",
+                "--dataset",
+                "INDE",
+                "--n",
+                "400",
+                "-d",
+                "3",
+                "--steps",
+                "30",
+                "--update-fraction",
+                "0.3",
+                "--seed",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "# stream of 30 steps" in out
+        assert "inserts_applied=" in out
+        assert "inplace_updates=" in out
+        assert "rebuilds_triggered=" in out
+
+    def test_stream_explain_prints_plan(self, capsys):
+        exit_code = main(
+            [
+                "stream",
+                "--dataset",
+                "CORR",
+                "--n",
+                "200",
+                "-d",
+                "2",
+                "--steps",
+                "10",
+                "--explain",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "eclipse query plan" in out
+        assert "# updates:" in out or "# stream of" in out
+
+    def test_stream_empty_dataset_errors(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert main(["stream", "--input", str(path)]) == 1
