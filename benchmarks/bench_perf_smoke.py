@@ -39,6 +39,26 @@ PR 4 workloads (``BENCH_PR4.json``):
 * ``shrink_domain_build`` — the opt-in domain-shrinking quadtree root
   (PR 3's known gap) vs the default full-domain root at ``d >= 3``.
 
+PR 5 workloads (``BENCH_PR5.json``):
+
+* ``sustained_stream`` — a long mixed insert/delete/query stream through
+  one dynamic session, timed per update batch, run twice: once on the
+  capacity-doubling arena engine (geometric headroom, in-place compaction,
+  delta-driven maintenance) and once in *legacy memory mode* — the same
+  code with ``GROWTH_FACTOR`` pinned to 1.0 (every append reallocates
+  exactly, i.e. the PR 4 re-concatenation cost shape) and compaction
+  disabled (the dead-fraction trigger falls back to the PR 4 full-rebuild
+  decision).  The arena engine's per-batch cost stays flat while the
+  legacy curve grows linearly with the arena size; answers are
+  cross-checked between the engines at every query step and against
+  from-scratch sessions at periodic anchors.
+* ``compact_vs_rebuild`` — ``EclipseIndex.compact()`` (one vectorised
+  renumbering pass) vs the full skyline+index rebuild the dead-fraction
+  trigger used to force, on the same retired-slot state.
+* ``delta_patch`` — a membership-diff patch of a cached index after a
+  from-scratch skyline recompute vs the PR 4 behaviour (drop the index,
+  rebuild it on next access).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_smoke.py          # full sweep
@@ -83,6 +103,7 @@ OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 OUTPUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 OUTPUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 OUTPUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+OUTPUT_PR5 = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 
 
 # ----------------------------------------------------------------------
@@ -755,6 +776,304 @@ def run_shrink_domain_workload(
 
 
 # ----------------------------------------------------------------------
+# PR 5: amortised dynamic-core memory engine vs the PR 4 cost shape
+# ----------------------------------------------------------------------
+from contextlib import contextmanager
+
+
+@contextmanager
+def _legacy_memory_mode():
+    """Reproduce the PR 4 memory cost shape on the current code.
+
+    ``GROWTH_FACTOR = 1.0`` makes every arena append an exact-fit
+    reallocation (the old ``np.concatenate``/``np.insert`` behaviour:
+    every untouched row is copied per batch), and an infinite
+    ``COMPACT_FACTOR`` makes the dead-fraction trigger fall back to the
+    PR 4 full-rebuild decision.  Everything else — kernels, structures,
+    results — is identical, so the comparison isolates the memory engine.
+    """
+    import repro.core.plan as plan_mod
+    import repro.perf.arena as arena_mod
+
+    growth, compact = arena_mod.GROWTH_FACTOR, plan_mod.COMPACT_FACTOR
+    arena_mod.GROWTH_FACTOR = 1.0
+    plan_mod.COMPACT_FACTOR = float("inf")
+    try:
+        yield
+    finally:
+        arena_mod.GROWTH_FACTOR = growth
+        plan_mod.COMPACT_FACTOR = compact
+
+
+def _decile_stats(times: List[float]) -> dict:
+    """Per-decile means and medians of a per-batch time series.
+
+    Medians are the flatness statistic: the arena engine's cost is flat
+    with rare amortised bursts (a subtree rebuild, one compaction per
+    ~u/joins batches), so a decile mean can be dominated by a single burst
+    while the typical per-batch cost is unchanged.  The legacy path's
+    re-concatenation tax inflates *every* batch, so its growth shows up in
+    means and medians alike.
+    """
+    chunks = np.array_split(np.asarray(times, dtype=float), 10)
+    return {
+        "means": [float(chunk.mean()) for chunk in chunks if chunk.size],
+        "medians": [float(np.median(chunk)) for chunk in chunks if chunk.size],
+    }
+
+
+def run_sustained_stream_workload(
+    workload: str,
+    n: int,
+    d: int,
+    batches: int,
+    joins_per_batch: int,
+    deletes_per_batch: int,
+    query_every: int,
+    anchor_every: int,
+) -> dict:
+    """Per-update-batch cost over a long replacement stream, both engines.
+
+    The stream keeps the skyline size roughly constant (each arrival is a
+    near-duplicate of a current skyline row scaled slightly down, so it
+    joins the skyline and demotes its source) while the arenas keep
+    growing — appended alive x new pairs plus the demoted slots' dead rows.
+    That is exactly the regime the ROADMAP flagged: the PR 4 path re-copies
+    the whole (growing) arena every batch, so its per-batch cost climbs
+    linearly until the dead-fraction rebuild resets it, while the arena
+    engine appends into spare capacity and amortises the occasional
+    in-place compaction — flat per batch.
+    """
+    from repro.core.session import DatasetSession
+
+    base = generate_dataset(DISTRIBUTION, n, d, seed=0)
+    warm_specs = _stream_specs(np.random.default_rng(4), 4, d)
+    anchor_specs = _stream_specs(np.random.default_rng(41), 3, d)
+
+    def run_stream():
+        rng = np.random.default_rng(5)
+        session = DatasetSession(base)
+        session.run_batch(warm_specs, method="cutting")  # warm skyline+index
+        stream_start = time.perf_counter()
+        batch_seconds = []
+        answers = []
+        anchors_identical = True
+        for t in range(batches):
+            sky = session.skyline()
+            picks = rng.choice(sky, size=joins_per_batch, replace=False)
+            inserts = session.data[picks] * rng.uniform(
+                0.995, 0.9999, size=(joins_per_batch, d)
+            )
+            deletes = rng.choice(
+                session.num_points, size=deletes_per_batch, replace=False
+            )
+            start = time.perf_counter()
+            session.apply_updates(inserts=inserts, deletes=deletes)
+            batch_seconds.append(time.perf_counter() - start)
+            if (t + 1) % query_every == 0:
+                specs = _stream_specs(rng, 4, d)
+                answers.append(
+                    [r.indices for r in session.run_batch(specs, method="cutting")]
+                )
+            if (t + 1) % anchor_every == 0:
+                fresh = DatasetSession(session.data.copy())
+                for got, want in zip(
+                    session.run_batch(anchor_specs, method="cutting"),
+                    fresh.run_batch(anchor_specs, method="cutting"),
+                ):
+                    anchors_identical &= bool(
+                        np.array_equal(got.indices, want.indices)
+                    )
+        total = time.perf_counter() - stream_start
+        return batch_seconds, total, answers, anchors_identical, session.stats
+
+    (
+        arena_seconds,
+        arena_total,
+        arena_answers,
+        arena_anchors_ok,
+        arena_stats,
+    ) = run_stream()
+    with _legacy_memory_mode():
+        (
+            legacy_seconds,
+            legacy_total,
+            legacy_answers,
+            legacy_anchors_ok,
+            _,
+        ) = run_stream()
+
+    engines_identical = len(arena_answers) == len(legacy_answers) and all(
+        np.array_equal(a, b)
+        for step_a, step_b in zip(arena_answers, legacy_answers)
+        for a, b in zip(step_a, step_b)
+    )
+    arena_deciles = _decile_stats(arena_seconds)
+    legacy_deciles = _decile_stats(legacy_seconds)
+    arena_flatness = arena_deciles["medians"][-1] / arena_deciles["medians"][0]
+    legacy_flatness = legacy_deciles["medians"][-1] / legacy_deciles["medians"][0]
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "distribution": DISTRIBUTION.upper(),
+        "batches": batches,
+        "joins_per_batch": joins_per_batch,
+        "deletes_per_batch": deletes_per_batch,
+        "arena_decile_means_s": arena_deciles["means"],
+        "arena_decile_medians_s": arena_deciles["medians"],
+        "legacy_decile_means_s": legacy_deciles["means"],
+        "legacy_decile_medians_s": legacy_deciles["medians"],
+        "arena_first_to_last_decile": arena_flatness,
+        "legacy_first_to_last_decile": legacy_flatness,
+        "arena_total_update_seconds": float(np.sum(arena_seconds)),
+        "legacy_total_update_seconds": float(np.sum(legacy_seconds)),
+        "arena_stream_seconds": float(arena_total),
+        "legacy_stream_seconds": float(legacy_total),
+        "update_speedup": float(np.sum(legacy_seconds) / np.sum(arena_seconds)),
+        "speedup": float(legacy_total / arena_total),
+        "arena_grows": arena_stats.arena_grows,
+        "compactions": arena_stats.compactions,
+        "indices_identical": bool(
+            engines_identical and arena_anchors_ok and legacy_anchors_ok
+        ),
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} batches={batches:>4}  "
+        f"arena {arena_deciles['medians'][0] * 1e3:6.2f}->"
+        f"{arena_deciles['medians'][-1] * 1e3:6.2f} ms/batch "
+        f"({arena_flatness:.2f}x)  "
+        f"legacy {legacy_deciles['medians'][0] * 1e3:6.2f}->"
+        f"{legacy_deciles['medians'][-1] * 1e3:6.2f} ms "
+        f"({legacy_flatness:.2f}x)  "
+        f"stream-speedup={entry['speedup']:5.1f}x  "
+        f"compactions={entry['compactions']}  "
+        f"identical={entry['indices_identical']}"
+    )
+    return entry
+
+
+def run_compact_vs_rebuild_workload(
+    workload: str, n: int, d: int, repeats: int
+) -> dict:
+    """One in-place compaction vs the full rebuild it replaces."""
+    import repro.skyline.incremental as inc
+
+    data = generate_dataset(DISTRIBUTION, n, d, seed=0)
+    sky = skyline_indices(data)
+    rng = np.random.default_rng(2)
+    victims = np.sort(rng.choice(sky, size=sky.size // 2, replace=False))
+    new_data, delta = inc.apply_updates(data, sky, None, victims)
+    remap = inc.remap_after_delete(n, victims)
+
+    def dead_index():
+        index = EclipseIndex(backend="cutting").build(data, skyline_idx=sky)
+        index.delete_points(remap, delta.removed_old)
+        index.insert_points(new_data, delta.added)
+        return index
+
+    compact_seconds = float("inf")
+    index = None
+    for _ in range(repeats):
+        index = dead_index()
+        num_rows = index.intersection_index.num_pairs
+        start = time.perf_counter()
+        index.compact()
+        compact_seconds = min(compact_seconds, time.perf_counter() - start)
+
+    def rebuild():
+        fresh_sky = skyline_indices(new_data)
+        return EclipseIndex(backend="cutting").build(new_data, skyline_idx=fresh_sky)
+
+    rebuild_seconds = _best_of(rebuild, repeats)
+    fresh = rebuild()
+    specs = _stream_specs(np.random.default_rng(7), 5, d)
+    identical = all(
+        np.array_equal(index.query_indices(spec), fresh.query_indices(spec))
+        for spec in specs
+    )
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "distribution": DISTRIBUTION.upper(),
+        "num_arena_rows": int(num_rows),
+        "num_alive_skyline": int(index.num_skyline_points),
+        "indices_identical": identical,
+        "rebuild_seconds": rebuild_seconds,
+        "compact_seconds": compact_seconds,
+        "speedup": (
+            rebuild_seconds / compact_seconds if compact_seconds > 0 else float("inf")
+        ),
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} rows={num_rows:>8}  "
+        f"rebuild={rebuild_seconds:8.3f}s  compact={compact_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  identical={identical}"
+    )
+    return entry
+
+
+def run_delta_patch_workload(workload: str, n: int, d: int, repeats: int) -> dict:
+    """Membership-diff index patching vs the PR 4 drop-and-rebuild."""
+    from repro.core.session import DatasetSession
+
+    data = generate_dataset("inde", n, d, seed=0)
+    warm_specs = _stream_specs(np.random.default_rng(4), 6, d)
+    rng = np.random.default_rng(9)
+    deletes = rng.choice(n, size=n // 2, replace=False)
+
+    patch_seconds = float("inf")
+    session = None
+    for _ in range(repeats):
+        session = DatasetSession(data)
+        session.run_batch(warm_specs, method="cutting")
+        start = time.perf_counter()
+        report = session.apply_updates(deletes=deletes)
+        patch_seconds = min(patch_seconds, time.perf_counter() - start)
+    assert report.skyline_plan is not None
+    new_data = session.data
+
+    def drop_and_rebuild():
+        # What PR 4 paid after this batch: the index was dropped, so the
+        # next access recomputed the skyline and rebuilt from scratch.
+        fresh_sky = skyline_indices(new_data)
+        EclipseIndex(backend="cutting").build(new_data, skyline_idx=fresh_sky)
+
+    rebuild_seconds = _best_of(drop_and_rebuild, repeats)
+    fresh = DatasetSession(new_data.copy())
+    identical = all(
+        np.array_equal(a.indices, b.indices)
+        for a, b in zip(
+            session.run_batch(warm_specs, method="cutting"),
+            fresh.run_batch(warm_specs, method="cutting"),
+        )
+    )
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "distribution": "INDE",
+        "deletes": int(deletes.size),
+        "skyline_strategy": report.skyline_plan.strategy,
+        "delta_patched_indexes": report.index_delta_patches,
+        "indices_identical": identical,
+        "drop_and_rebuild_seconds": rebuild_seconds,
+        "delta_patch_seconds": patch_seconds,
+        "speedup": (
+            rebuild_seconds / patch_seconds if patch_seconds > 0 else float("inf")
+        ),
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} dels={entry['deletes']:>6}  "
+        f"drop+rebuild={rebuild_seconds:8.3f}s  patch={patch_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  "
+        f"patched={entry['delta_patched_indexes']}  identical={identical}"
+    )
+    return entry
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def _best_of(fn: Callable[[], np.ndarray], repeats: int) -> float:
@@ -831,6 +1150,12 @@ def main(argv: List[str] | None = None) -> int:
         default=OUTPUT_PR4,
         help=f"where to write the PR 4 JSON results (default: {OUTPUT_PR4})",
     )
+    parser.add_argument(
+        "--output-pr5",
+        type=Path,
+        default=OUTPUT_PR5,
+        help=f"where to write the PR 5 JSON results (default: {OUTPUT_PR5})",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -845,6 +1170,10 @@ def main(argv: List[str] | None = None) -> int:
         update_sweep = [(50_000, 3, 200)]
         stream_sweep = [(50_000, 3, 40, 0.1, 8, 8)]
         shrink_sweep = [(400, 4)]
+        # (n, d, batches, joins, deletes, query_every, anchor_every)
+        sustained_sweep = [(20_000, 3, 150, 3, 2, 15, 50)]
+        compact_sweep = [(20_000, 3)]
+        delta_sweep = [(20_000, 3)]
         repeats = 1
     else:
         transform_sweep = [2_000, 10_000, 50_000, 100_000]
@@ -867,6 +1196,18 @@ def main(argv: List[str] | None = None) -> int:
         update_sweep = [(50_000, 3, 20), (50_000, 3, 200), (50_000, 3, 2_000)]
         stream_sweep = [(50_000, 3, 100, 0.1, 8, 8)]
         shrink_sweep = [(400, 4), (1_000, 4)]
+        # (n, d, batches, joins, deletes, query_every, anchor_every)
+        sustained_sweep = [
+            (50_000, 3, 320, 3, 2, 16, 40),
+            # d=4: the pair arena starts at ~3.9M rows, so the legacy
+            # exact-fit path pays a ~150-240 ms full-arena copy per batch
+            # (climbing with the arena) where the arena engine stays at a
+            # flat ~10 ms; no dead-fraction reset occurs in 80 batches, so
+            # the legacy curve is cleanly monotone.
+            (20_000, 4, 80, 3, 2, 20, 80),
+        ]
+        compact_sweep = [(20_000, 3), (8_000, 4)]
+        delta_sweep = [(50_000, 3)]
         repeats = 3
 
     entries = []
@@ -1120,6 +1461,77 @@ def main(argv: List[str] | None = None) -> int:
     args.output_pr4.write_text(json.dumps(pr4_payload, indent=2) + "\n")
     print(f"\nwrote {args.output_pr4}")
 
+    # ------------------------------------------------------------------
+    # PR 5: amortised dynamic-core memory engine
+    # ------------------------------------------------------------------
+    pr5_entries = []
+    for n, d, num_batches, joins, dels, q_every, a_every in sustained_sweep:
+        pr5_entries.append(
+            run_sustained_stream_workload(
+                f"sustained_stream[{num_batches}b]",
+                n,
+                d,
+                num_batches,
+                joins,
+                dels,
+                q_every,
+                a_every,
+            )
+        )
+    for n, d in compact_sweep:
+        pr5_entries.append(
+            run_compact_vs_rebuild_workload(
+                f"compact_vs_rebuild[d={d}]", n, d, repeats
+            )
+        )
+    for n, d in delta_sweep:
+        pr5_entries.append(
+            run_delta_patch_workload(f"delta_patch[n={n}]", n, d, repeats)
+        )
+
+    stream_entry = next(
+        e for e in pr5_entries if e["workload"].startswith("sustained_stream")
+    )
+    pr5_acceptance = {
+        "stream_arena_first_to_last_decile": stream_entry[
+            "arena_first_to_last_decile"
+        ],
+        "stream_legacy_first_to_last_decile": stream_entry[
+            "legacy_first_to_last_decile"
+        ],
+        "stream_update_speedup": max(
+            e["update_speedup"]
+            for e in pr5_entries
+            if e["workload"].startswith("sustained_stream")
+        ),
+        "compact_vs_rebuild_speedup": max(
+            e["speedup"]
+            for e in pr5_entries
+            if e["workload"].startswith("compact_vs_rebuild")
+        ),
+        "delta_patch_speedup": max(
+            e["speedup"]
+            for e in pr5_entries
+            if e["workload"].startswith("delta_patch")
+        ),
+        "all_identical": all(e["indices_identical"] for e in pr5_entries),
+    }
+    pr5_payload = {
+        "pr": 5,
+        "description": (
+            "Amortised dynamic-core memory engine: capacity-doubling "
+            "arenas + in-place compaction + delta-driven index maintenance "
+            "vs the PR 4 cost shape (exact-fit reallocation per batch, "
+            "rebuild on dead-fraction, drop-all on skyline recompute)"
+        ),
+        "generated_unix_time": time.time(),
+        "fast_mode": bool(args.fast),
+        "acceptance": pr5_acceptance,
+        "results": pr5_entries,
+    }
+    args.output_pr5.write_text(json.dumps(pr5_payload, indent=2) + "\n")
+    print(f"\nwrote {args.output_pr5}")
+
     print(
         f"acceptance PR1: transform {acceptance['transform_speedup_at_50k']:.1f}x "
         f"(target >= 10x), baseline {acceptance['baseline_speedup_at_5k']:.1f}x "
@@ -1148,6 +1560,18 @@ def main(argv: List[str] | None = None) -> int:
         f"{pr4_acceptance['shrink_domain_build_speedup']:.1f}x, "
         f"identical={pr4_acceptance['all_identical']}"
     )
+    print(
+        f"acceptance PR5: sustained stream per-batch "
+        f"{pr5_acceptance['stream_arena_first_to_last_decile']:.2f}x first->last "
+        f"decile on the arena engine (target <= 2x) vs "
+        f"{pr5_acceptance['stream_legacy_first_to_last_decile']:.2f}x on the "
+        f"legacy path, update path up to "
+        f"{pr5_acceptance['stream_update_speedup']:.1f}x, compaction "
+        f"{pr5_acceptance['compact_vs_rebuild_speedup']:.1f}x vs rebuild "
+        f"(target >= 5x), delta patch "
+        f"{pr5_acceptance['delta_patch_speedup']:.1f}x vs drop-and-rebuild, "
+        f"identical={pr5_acceptance['all_identical']}"
+    )
     ok = (
         acceptance["transform_speedup_at_50k"] >= 10
         and acceptance["baseline_speedup_at_5k"] >= 5
@@ -1159,6 +1583,9 @@ def main(argv: List[str] | None = None) -> int:
         and pr3_acceptance["all_identical"]
         and pr4_acceptance["stream_mixed_speedup"] >= 5
         and pr4_acceptance["all_identical"]
+        and pr5_acceptance["stream_arena_first_to_last_decile"] <= 2.0
+        and pr5_acceptance["compact_vs_rebuild_speedup"] >= 5
+        and pr5_acceptance["all_identical"]
     )
     return 0 if ok else 1
 

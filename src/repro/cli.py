@@ -167,6 +167,11 @@ def _print_session_stats(session: DatasetSession) -> None:
             f"rebuilds_triggered={stats.rebuilds_triggered} "
             f"artifact_invalidations={stats.artifact_invalidations}"
         )
+        print(
+            f"# dynamic memory: arena_grows={stats.arena_grows} "
+            f"compactions={stats.compactions} "
+            f"delta_patched_indexes={stats.index_delta_patches}"
+        )
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:

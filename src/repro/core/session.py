@@ -106,6 +106,14 @@ class SessionStats:
     ``artifact_invalidations`` counts every artifact dropped or left stale
     by an update batch (cost-model rebuilds, degenerate update failures,
     and artifacts that could not be diffed).
+
+    The amortised-memory contract (PR 5) rides on three more:
+    ``arena_grows`` counts buffer reallocations across every cached index's
+    capacity-doubling arenas (flat per appended row when the doubling
+    amortises), ``compactions`` counts in-place arena compactions taken
+    instead of full index rebuilds, and ``index_delta_patches`` counts
+    cached indexes patched with a membership diff after a from-scratch
+    skyline recompute (indexes that previously would have been dropped).
     """
 
     skyline_builds: int = 0
@@ -120,6 +128,9 @@ class SessionStats:
     index_inplace_updates: int = 0
     rebuilds_triggered: int = 0
     artifact_invalidations: int = 0
+    arena_grows: int = 0
+    compactions: int = 0
+    index_delta_patches: int = 0
     index_build_seconds: float = field(default=0.0, repr=False)
 
     def artifact_counts(self) -> Tuple[int, int, int]:
@@ -153,13 +164,20 @@ class UpdateReport:
     num_inserted, num_deleted:
         Dataset rows added / removed by the batch.
     skyline_added, skyline_removed:
-        Skyline membership churn (``-1`` each when the skyline was not
-        maintained in place, because the diff was never computed).
+        Skyline membership churn (``-1`` each when no diff was computed —
+        the skyline went stale with no cached index worth patching).
     skyline_plan, index_plans:
         The :class:`~repro.core.plan.UpdatePlan` decisions taken — ``None``
         when no skyline was cached, and one entry per live cached index.
     index_updates, index_invalidations:
         Cached indexes maintained in place / dropped (rebuilt on demand).
+    index_compactions:
+        Cached indexes whose arenas were compacted in place this batch
+        (the ``"compact"`` strategy — a subset of ``index_updates``).
+    index_delta_patches:
+        Cached indexes patched with the membership diff of a from-scratch
+        skyline recompute (the delta-driven path — also a subset of
+        ``index_updates``).
     """
 
     generation: int
@@ -171,6 +189,8 @@ class UpdateReport:
     index_plans: Tuple[UpdatePlan, ...]
     index_updates: int
     index_invalidations: int
+    index_compactions: int = 0
+    index_delta_patches: int = 0
 
 
 #: Index-construction parameters that must be part of an index cache key —
@@ -390,11 +410,20 @@ class DatasetSession:
         ``delete_points``/``insert_points`` arenas — or **invalidated**,
         per artifact, as decided by the
         :func:`~repro.core.plan.plan_update` cost arm.  The session
-        generation counter advances either way.  Invalidation is lazy for
-        the skyline (the tag goes stale; the next access recomputes) and
-        eager for indexes (a stale index would pin its pair arenas and the
-        pre-update dataset), so batched queries keep amortising whatever
-        survived the update and rebuild the rest on demand.
+        generation counter advances either way.  Two escalation paths keep
+        artifacts alive where PR 4 dropped them: when the skyline arm picks
+        a rebuild *and* indexes are cached, the recompute happens eagerly
+        and each index is patched with the old-vs-new **membership diff**
+        (:func:`repro.skyline.incremental.membership_delta`) instead of
+        being dropped; and when an index's dead-slot fraction trips
+        :data:`~repro.core.plan.MAX_DEAD_FRACTION`, its arenas are
+        **compacted in place** (:meth:`EclipseIndex.compact`) rather than
+        rebuilt, when the cost arm finds that cheaper.  Invalidation, when
+        it still happens, is lazy for the skyline (the tag goes stale; the
+        next access recomputes) and eager for indexes (a stale index would
+        pin its pair arenas and the pre-update dataset), so batched queries
+        keep amortising whatever survived the update and rebuild the rest
+        on demand.
 
         An in-place index update that trips over unsplittable coincident
         duplicate hyperplanes (a
@@ -440,9 +469,10 @@ class DatasetSession:
         n_new = n_old - num_deletes + num_inserts
         dims = insert_rows.shape[1] if num_inserts else self.dimensions
 
-        # --- skyline: maintain in place or leave stale --------------------
+        # --- skyline: maintain in place, recompute-and-diff, or go stale --
         skyline_plan: Optional[UpdatePlan] = None
         delta: Optional[_incremental.SkylineDelta] = None
+        delta_from_recompute = False
         if self._skyline_cached():
             skyline_plan = plan_update(
                 n_new,
@@ -458,17 +488,39 @@ class DatasetSession:
                 )
             else:
                 self.stats.rebuilds_triggered += 1
-                self.stats.artifact_invalidations += 1
         if delta is None:
             new_data = _incremental.compose_updated_data(
                 self._data, delete_positions, insert_rows
             )
+            if self._indexes and self._skyline_cached():
+                # Delta-driven index maintenance: the cost arm judged a
+                # fresh skyline computation cheaper than the incremental
+                # kernels, but the *membership churn* is usually still
+                # small — so pay the recompute now (it was due lazily on
+                # the next access anyway), diff old-vs-new membership, and
+                # let each cached index be patched with the (small)
+                # insert/delete sets below instead of dropping them all.
+                old_is_sky = np.zeros(n_old, dtype=bool)
+                old_is_sky[self._skyline_idx] = True
+                new_sky = _skyline_indices(new_data, method="auto")
+                self.stats.skyline_builds += 1
+                new_is_sky = np.zeros(new_data.shape[0], dtype=bool)
+                new_is_sky[new_sky] = True
+                delta = _incremental.membership_delta(
+                    n_old, delete_positions, old_is_sky, new_is_sky
+                )
+                delta_from_recompute = True
+            elif self._skyline_cached():
+                # Stale tag, no index to patch: recompute lazily on access.
+                self.stats.artifact_invalidations += 1
 
-        # --- cached indexes: per-index update-vs-rebuild decision ---------
+        # --- cached indexes: per-index update/compact/rebuild decision ----
         remap = _incremental.remap_after_delete(n_old, delete_positions)
         index_plans = []
         index_updates = 0
         index_invalidations = 0
+        index_compactions = 0
+        index_delta_patches = 0
         for key in list(self._indexes):
             if delta is None:
                 # No skyline diff — the index cannot be maintained.  Drop
@@ -494,6 +546,7 @@ class DatasetSession:
                 artifact="index",
                 index_backend=key[0],
                 dead_fraction=dead_fraction,
+                num_pairs=index.intersection_index.num_pairs,
             )
             index_plans.append(index_plan)
             if not index_plan.inplace:
@@ -502,8 +555,11 @@ class DatasetSession:
                 self.stats.artifact_invalidations += 1
                 index_invalidations += 1
                 continue
+            grows_before = index.arena_grows
             try:
                 index.delete_points(remap, delta.removed_old)
+                if index_plan.compacts:
+                    index.compact()
                 index.insert_points(new_data, delta.added)
             except DegenerateHyperplaneError:
                 # The arrivals piled coincident duplicates into one cell.
@@ -522,7 +578,14 @@ class DatasetSession:
                 self.stats.artifact_invalidations += 1
                 raise
             self.stats.index_inplace_updates += 1
+            self.stats.arena_grows += index.arena_grows - grows_before
             index_updates += 1
+            if index_plan.compacts:
+                self.stats.compactions += 1
+                index_compactions += 1
+            if delta_from_recompute:
+                self.stats.index_delta_patches += 1
+                index_delta_patches += 1
 
         # --- commit -------------------------------------------------------
         self._data = new_data
@@ -530,7 +593,8 @@ class DatasetSession:
         if delta is not None:
             self._skyline_idx = np.flatnonzero(delta.is_skyline).astype(np.intp)
             self._skyline_generation = next_generation
-            self.stats.skyline_inplace_updates += 1
+            if not delta_from_recompute:
+                self.stats.skyline_inplace_updates += 1
         self._degenerate_index_keys.clear()
         self.stats.inserts_applied += num_inserts
         self.stats.deletes_applied += num_deletes
@@ -544,6 +608,8 @@ class DatasetSession:
             index_plans=tuple(index_plans),
             index_updates=index_updates,
             index_invalidations=index_invalidations,
+            index_compactions=index_compactions,
+            index_delta_patches=index_delta_patches,
         )
 
     # ------------------------------------------------------------------

@@ -53,6 +53,7 @@ import numpy as np
 from repro.errors import DegenerateHyperplaneError, DimensionMismatchError
 from repro.geometry.boxes import Box
 from repro.geometry.hyperplane import hyperplanes_intersect_box_mask
+from repro.perf.arena import GrowableArena
 from repro.perf.blocking import iter_blocks, memory_cap_bytes
 
 #: Unsplittable-duplicate policies (see :class:`FlatTree`).
@@ -493,8 +494,10 @@ class FlatTree:
             # always-scanned overflow set); callers accepting arbitrary
             # boxes must scan outside it, as IntersectionIndex does.
             domain = fit_root_box(coefficients, rhs, domain)
-        self._coefficients = coefficients
-        self._rhs = rhs
+        # Hyperplane arenas: dynamically inserted rows append into spare
+        # capacity instead of re-concatenating the whole store.
+        self._coeff_arena = GrowableArena(coefficients)
+        self._rhs_arena = GrowableArena(rhs)
         self._domain = domain
         self._rule = split_rule
         self._capacity = (
@@ -507,14 +510,16 @@ class FlatTree:
         self._on_unsplittable = on_unsplittable
 
         # Per-node overflow buffers of dynamically inserted hyperplanes (see
-        # insert_hyperplanes); empty until the first insert.
-        self._overflow: Dict[int, np.ndarray] = {}
+        # insert_hyperplanes); empty until the first insert.  Each buffer is
+        # its own small arena so repeated inserts into the same leaf append
+        # instead of re-concatenating.
+        self._overflow: Dict[int, GrowableArena] = {}
         self._overflow_nodes = np.empty(0, dtype=np.intp)
         self._overflow_total = 0
 
         all_indices = np.arange(coefficients.shape[0], dtype=np.intp)
         in_domain = hyperplanes_intersect_box_mask(coefficients, rhs, domain)
-        self._outside = all_indices[~in_domain]
+        self._outside_arena = GrowableArena(all_indices[~in_domain])
         # Pruning slack for the sorted 1-D representation (see _build_1d);
         # zero for the mask-based general build.
         self._prune_pad = 0.0
@@ -524,6 +529,92 @@ class FlatTree:
             self._build(all_indices[in_domain])
         if self._on_unsplittable == "raise":
             self._check_unsplittable_leaves()
+
+    # ------------------------------------------------------------------
+    # Arena-backed stores
+    # ------------------------------------------------------------------
+    # The CSR node arrays and the item/hyperplane stores live in
+    # capacity-doubling arenas so subtree grafts and dynamic inserts append
+    # into spare capacity.  The properties below are zero-copy views of the
+    # valid prefixes — always re-read them, never cache across an append.
+    @property
+    def _coefficients(self) -> np.ndarray:
+        return self._coeff_arena.view
+
+    @property
+    def _rhs(self) -> np.ndarray:
+        return self._rhs_arena.view
+
+    @property
+    def _outside(self) -> np.ndarray:
+        return self._outside_arena.view
+
+    @property
+    def cell_lows(self) -> np.ndarray:
+        return self._cell_lows_a.view
+
+    @property
+    def cell_highs(self) -> np.ndarray:
+        return self._cell_highs_a.view
+
+    @property
+    def node_depth(self) -> np.ndarray:
+        return self._node_depth_a.view
+
+    @property
+    def first_child(self) -> np.ndarray:
+        return self._first_child_a.view
+
+    @property
+    def item_start(self) -> np.ndarray:
+        return self._item_start_a.view
+
+    @property
+    def item_end(self) -> np.ndarray:
+        return self._item_end_a.view
+
+    @property
+    def items(self) -> np.ndarray:
+        return self._items_a.view
+
+    def _store_nodes(
+        self,
+        cell_lows: np.ndarray,
+        cell_highs: np.ndarray,
+        node_depth: np.ndarray,
+        first_child: np.ndarray,
+        item_start: np.ndarray,
+        item_end: np.ndarray,
+        items: np.ndarray,
+        num_nodes: int,
+    ) -> None:
+        """Wrap the freshly built CSR store into the growable arenas."""
+        self._cell_lows_a = GrowableArena(cell_lows)
+        self._cell_highs_a = GrowableArena(cell_highs)
+        self._node_depth_a = GrowableArena(node_depth)
+        self._first_child_a = GrowableArena(first_child)
+        self._item_start_a = GrowableArena(item_start)
+        self._item_end_a = GrowableArena(item_end)
+        self._items_a = GrowableArena(np.asarray(items, dtype=np.intp))
+        self.num_nodes = num_nodes
+
+    @property
+    def arena_grows(self) -> int:
+        """Buffer reallocations of every arena this tree owns."""
+        grows = (
+            self._coeff_arena.grows
+            + self._rhs_arena.grows
+            + self._outside_arena.grows
+            + self._cell_lows_a.grows
+            + self._cell_highs_a.grows
+            + self._node_depth_a.grows
+            + self._first_child_a.grows
+            + self._item_start_a.grows
+            + self._item_end_a.grows
+            + self._items_a.grows
+        )
+        grows += sum(buffer.grows for buffer in self._overflow.values())
+        return int(grows)
 
     # ------------------------------------------------------------------
     # Build (one-dimensional fast path)
@@ -658,20 +749,25 @@ class FlatTree:
             ends = cend[will_split].reshape(-1)
             depth += 1
 
-        self.cell_lows = np.concatenate(store_lows, axis=0)
-        self.cell_highs = np.concatenate(store_highs, axis=0)
-        self.node_depth = np.concatenate(store_depth)
-        self.first_child = np.concatenate(first_child_chunks)
+        first_child = np.concatenate(first_child_chunks)
         for parents, firsts in first_child_updates:
-            self.first_child[parents] = firsts
-        self.item_start = np.zeros(nodes_created, dtype=np.intp)
-        self.item_end = np.zeros(nodes_created, dtype=np.intp)
+            first_child[parents] = firsts
+        item_start = np.zeros(nodes_created, dtype=np.intp)
+        item_end = np.zeros(nodes_created, dtype=np.intp)
         if leaf_ids:
             ids = np.concatenate(leaf_ids)
-            self.item_start[ids] = np.concatenate(leaf_starts)
-            self.item_end[ids] = np.concatenate(leaf_ends)
-        self.items = arena
-        self.num_nodes = nodes_created
+            item_start[ids] = np.concatenate(leaf_starts)
+            item_end[ids] = np.concatenate(leaf_ends)
+        self._store_nodes(
+            np.concatenate(store_lows, axis=0),
+            np.concatenate(store_highs, axis=0),
+            np.concatenate(store_depth),
+            first_child,
+            item_start,
+            item_end,
+            arena,
+            nodes_created,
+        )
 
     # ------------------------------------------------------------------
     # Build (general case)
@@ -865,26 +961,32 @@ class FlatTree:
             depth += 1
 
         # Finalise the CSR store.
-        self.cell_lows = np.concatenate(store_lows, axis=0)
-        self.cell_highs = np.concatenate(store_highs, axis=0)
-        self.node_depth = np.concatenate(store_depth)
-        self.first_child = np.concatenate(first_child_chunks)
+        first_child = np.concatenate(first_child_chunks)
         for parents, firsts in first_child_updates:
-            self.first_child[parents] = firsts
-        self.item_start = np.zeros(nodes_created, dtype=np.intp)
-        self.item_end = np.zeros(nodes_created, dtype=np.intp)
+            first_child[parents] = firsts
+        item_start = np.zeros(nodes_created, dtype=np.intp)
+        item_end = np.zeros(nodes_created, dtype=np.intp)
         if leaf_node_ids:
             ids = np.concatenate(leaf_node_ids)
             lens = np.concatenate(leaf_counts)
             ends = np.cumsum(lens)
-            self.item_start[ids] = ends - lens
-            self.item_end[ids] = ends
-            self.items = (
+            item_start[ids] = ends - lens
+            item_end[ids] = ends
+            items = (
                 np.concatenate(arena_chunks) if arena_chunks else np.empty(0, np.intp)
             )
         else:
-            self.items = np.empty(0, dtype=np.intp)
-        self.num_nodes = nodes_created
+            items = np.empty(0, dtype=np.intp)
+        self._store_nodes(
+            np.concatenate(store_lows, axis=0),
+            np.concatenate(store_highs, axis=0),
+            np.concatenate(store_depth),
+            first_child,
+            item_start,
+            item_end,
+            items,
+            nodes_created,
+        )
 
     def _budget_allowance(
         self, candidates: int, nodes_created: int, depth: int
@@ -1092,20 +1194,22 @@ class FlatTree:
         new_ids = np.arange(start, start + coefficients.shape[0], dtype=np.intp)
         if coefficients.shape[0] == 0:
             return new_ids
-        if self._coefficients.shape[0] == 0:
-            self._coefficients = coefficients.copy()
-            self._rhs = rhs.copy()
+        if start == 0 and self._coeff_arena.view.shape[1:] != coefficients.shape[1:]:
+            # A tree built over zero hyperplanes never fixed its row shape;
+            # re-seed (carrying the grow counters over).
+            grows = self._coeff_arena.grows, self._rhs_arena.grows
+            self._coeff_arena = GrowableArena(coefficients)
+            self._rhs_arena = GrowableArena(rhs)
+            self._coeff_arena.grows, self._rhs_arena.grows = grows
         else:
-            self._coefficients = np.concatenate(
-                [self._coefficients, coefficients], axis=0
-            )
-            self._rhs = np.concatenate([self._rhs, rhs])
+            self._coeff_arena.append(coefficients)
+            self._rhs_arena.append(rhs)
 
         in_domain = hyperplanes_intersect_box_mask(
             coefficients, rhs, self._domain
         )
         if (~in_domain).any():
-            self._outside = np.concatenate([self._outside, new_ids[~in_domain]])
+            self._outside_arena.append(new_ids[~in_domain])
         items = new_ids[in_domain]
         if items.size == 0 or self.num_nodes == 0:
             return new_ids
@@ -1152,9 +1256,11 @@ class FlatTree:
         for pos, node in enumerate(uniq):
             chunk = flat_items[bounds[pos] : bounds[pos + 1]]
             node = int(node)
-            existing = self._overflow.get(node)
-            merged = chunk if existing is None else np.concatenate([existing, chunk])
-            self._overflow[node] = merged
+            buffer = self._overflow.get(node)
+            if buffer is None:
+                self._overflow[node] = GrowableArena(chunk)
+            else:
+                buffer.append(chunk)
             self._overflow_total += chunk.size
         self._overflow_nodes = np.fromiter(
             self._overflow.keys(), dtype=np.intp, count=len(self._overflow)
@@ -1165,7 +1271,7 @@ class FlatTree:
             if overflow is None:
                 continue
             base = int(self.item_end[node] - self.item_start[node])
-            if overflow.size > max(self._capacity, base):
+            if len(overflow) > max(self._capacity, base):
                 self._rebuild_subtree(node)
         return new_ids
 
@@ -1205,7 +1311,7 @@ class FlatTree:
         if overflow is None or remaining < 1:
             return
         base = self.items[self.item_start[node] : self.item_end[node]]
-        sub_items = np.concatenate([base, overflow])
+        sub_items = np.concatenate([base, overflow.view])
         branching = self._rule.branching
         remaining_budget = self._node_budget() - self.num_nodes
         local_budget = min(
@@ -1224,16 +1330,19 @@ class FlatTree:
             max_nodes=local_budget,
             on_unsplittable=self._on_unsplittable,
         )
-        # Build succeeded: retire the overflow buffer and graft.
+        # Build succeeded: retire the overflow buffer and graft.  The old
+        # leaf's arena slice is abandoned in place (reclaimed by the next
+        # compact_items pass); all grafted arrays append into the arenas'
+        # spare capacity, so the untouched store is never copied.
         self._overflow.pop(node)
-        self._overflow_total -= overflow.size
+        self._overflow_total -= len(overflow)
         base_len = self.items.size
-        self.items = np.concatenate([self.items, sub_items[sub.items]])
+        self._items_a.append(sub_items[sub.items])
         if sub._outside.size:
             # Items whose crossing test disagrees at the cell boundary stay
             # as overflow of this node (visited whenever the node is), so
             # nothing is ever lost from query results.
-            self._overflow[node] = sub_items[sub._outside]
+            self._overflow[node] = GrowableArena(sub_items[sub._outside])
             self._overflow_total += sub._outside.size
         self._overflow_nodes = np.fromiter(
             self._overflow.keys(), dtype=np.intp, count=len(self._overflow)
@@ -1244,22 +1353,16 @@ class FlatTree:
             return
         offset = self.num_nodes
         # Sub node s > 0 maps to offset + s - 1; the sub root maps to node.
-        self.cell_lows = np.concatenate([self.cell_lows, sub.cell_lows[1:]], axis=0)
-        self.cell_highs = np.concatenate(
-            [self.cell_highs, sub.cell_highs[1:]], axis=0
-        )
-        self.node_depth = np.concatenate(
-            [self.node_depth, sub.node_depth[1:] + depth]
-        )
+        self._cell_lows_a.append(sub.cell_lows[1:])
+        self._cell_highs_a.append(sub.cell_highs[1:])
+        self._node_depth_a.append(sub.node_depth[1:] + depth)
         mapped_first = np.where(
             sub.first_child >= 0, sub.first_child + offset - 1, -1
         )
-        self.first_child = np.concatenate([self.first_child, mapped_first[1:]])
+        self._first_child_a.append(mapped_first[1:])
         self.first_child[node] = mapped_first[0]
-        self.item_start = np.concatenate(
-            [self.item_start, sub.item_start[1:] + base_len]
-        )
-        self.item_end = np.concatenate([self.item_end, sub.item_end[1:] + base_len])
+        self._item_start_a.append(sub.item_start[1:] + base_len)
+        self._item_end_a.append(sub.item_end[1:] + base_len)
         self.item_start[node] = base_len + sub.item_start[0]
         self.item_end[node] = base_len + sub.item_end[0]
         self.num_nodes += sub.num_nodes - 1
@@ -1269,11 +1372,75 @@ class FlatTree:
         if not self._overflow:
             return []
         present = np.isin(nodes, self._overflow_nodes)
-        return [self._overflow[int(n)] for n in nodes[present]]
+        return [self._overflow[int(n)].view for n in nodes[present]]
 
     def overflow_size(self) -> int:
         """Total number of items currently parked in overflow buffers."""
         return int(self._overflow_total)
+
+    def compact_items(self, keep: np.ndarray, remap: np.ndarray) -> None:
+        """Drop dead items and renumber survivors in one vectorised pass.
+
+        ``keep`` is a boolean mask over item ids (``True`` = alive) and
+        ``remap`` the old-id → new-id map of the caller's item renumbering.
+        The tree *structure* — cells, split geometry, node ids — is
+        untouched; only the item stores are rewritten:
+
+        * the hyperplane arenas keep the alive rows (relative order
+          preserved, so the exact post-filter arithmetic is unchanged);
+        * the leaf item arena is rewritten without the dead entries *and*
+          without the dead slices abandoned by earlier subtree rebuilds
+          (positions no leaf references), with every node's
+          ``item_start``/``item_end`` shifted by the number of dropped
+          positions before it — correct even for the one-dimensional
+          build's overlapping boundary slices;
+        * overflow buffers and the out-of-domain set are filtered and
+          renumbered.
+
+        This is the ``O(m)`` renumbering pass that replaces the full index
+        rebuild the dead-fraction trigger used to force.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        remap = np.asarray(remap, dtype=np.intp)
+        items = self.items
+        # Positions referenced by at least one leaf slice (abandoned
+        # rebuild slices are unreferenced and reclaimed here).  Built as an
+        # interval-union delta array because 1-D leaf slices may overlap.
+        referenced_delta = np.zeros(items.size + 1, dtype=np.int64)
+        leaves = np.flatnonzero(self.first_child < 0)
+        np.add.at(referenced_delta, self.item_start[leaves], 1)
+        np.subtract.at(referenced_delta, self.item_end[leaves], 1)
+        referenced = np.cumsum(referenced_delta[:-1]) > 0
+        pos_keep = referenced & keep[items]
+        # dropped_before[p] = dropped positions strictly before p, for
+        # p in [0, size]; shifts every node's slice bounds.
+        dropped_before = np.concatenate(
+            ([0], np.cumsum(~pos_keep, dtype=np.intp))
+        )
+        self._items_a.replace(remap[items[pos_keep]])
+        self.item_start[:] = self.item_start - dropped_before[self.item_start]
+        self.item_end[:] = self.item_end - dropped_before[self.item_end]
+
+        outside = self._outside
+        self._outside_arena.replace(remap[outside[keep[outside]]])
+        alive_rows = np.flatnonzero(keep[: self.size])
+        self._coeff_arena.replace(self._coefficients[alive_rows])
+        self._rhs_arena.replace(self._rhs[alive_rows])
+
+        if self._overflow:
+            total = 0
+            for node in list(self._overflow):
+                buffered = self._overflow[node].view
+                filtered = remap[buffered[keep[buffered]]]
+                if filtered.size == 0:
+                    del self._overflow[node]
+                else:
+                    self._overflow[node].replace(filtered)
+                    total += filtered.size
+            self._overflow_total = total
+            self._overflow_nodes = np.fromiter(
+                self._overflow.keys(), dtype=np.intp, count=len(self._overflow)
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -1412,7 +1579,7 @@ class FlatTree:
                     bounds = np.append(starts, sel_nodes.size)
                     for pos, node in enumerate(uniq):
                         queries = sel_qs[bounds[pos] : bounds[pos + 1]]
-                        items = self._overflow[int(node)]
+                        items = self._overflow[int(node)].view
                         seen[queries[:, None], items[None, :]] = True
             leaf = self.first_child[pair_nodes] < 0
             leaf_nodes = pair_nodes[leaf]

@@ -181,3 +181,15 @@ class LineQuadtree:
         (per-leaf overflow buffers with threshold-triggered subtree rebuilds).
         """
         return self._core.insert_hyperplanes(coefficients, rhs)
+
+    def compact_items(self, keep: np.ndarray, remap: np.ndarray) -> None:
+        """Drop dead items and renumber the rest in place (arena compaction).
+
+        Delegates to :meth:`repro.geometry.flattree.FlatTree.compact_items`.
+        """
+        self._core.compact_items(keep, remap)
+
+    @property
+    def arena_grows(self) -> int:
+        """Buffer reallocations of the core's arenas since construction."""
+        return self._core.arena_grows

@@ -47,6 +47,7 @@ from repro.index.intersection import (
     IntersectionIndex,
 )
 from repro.index.order_vector import OrderVectorIndex, OrderVectorState
+from repro.perf.arena import GrowableArena
 from repro.perf.blocking import iter_blocks, memory_cap_bytes
 from repro.skyline.api import skyline_indices
 
@@ -98,16 +99,26 @@ class EclipseIndex:
         self._shrink_domain = bool(shrink_domain)
 
         self._data: Optional[np.ndarray] = None
-        self._skyline_idx: Optional[np.ndarray] = None
         self._order_index: Optional[OrderVectorIndex] = None
         self._intersection_index: Optional[IntersectionIndex] = None
         self._last_stats: Optional[IndexQueryStats] = None
-        # Hyperplane slot liveness under dynamic updates: slot i holds the
+        # Hyperplane slot arenas under dynamic updates: slot i holds the
         # dual hyperplane of dataset row _skyline_idx[i].  Dead slots keep
-        # their arena rows (compaction = full rebuild) but are excluded
-        # from counts, candidates and results.
-        self._slot_alive: Optional[np.ndarray] = None
+        # their arena rows — excluded from counts, candidates and results —
+        # until :meth:`compact` renumbers the alive slots in place (no
+        # rebuild).  Both stores grow geometrically, so appends never
+        # re-copy the untouched slots.
+        self._slots_a: Optional[GrowableArena] = None
+        self._alive_a: Optional[GrowableArena] = None
         self._has_dead = False
+
+    @property
+    def _skyline_idx(self) -> Optional[np.ndarray]:
+        return None if self._slots_a is None else self._slots_a.view
+
+    @property
+    def _slot_alive(self) -> Optional[np.ndarray]:
+        return None if self._alive_a is None else self._alive_a.view
 
     # ------------------------------------------------------------------
     # Build
@@ -140,11 +151,12 @@ class EclipseIndex:
         self._data = data
         if skyline_idx is None:
             skyline_idx = skyline_indices(data, method=self._skyline_method)
-        # Always copy: a caller-supplied skyline array (typically the
-        # session's memoised one, shared across every cached index) must
-        # never be remapped in place by this index's delete_points.
-        self._skyline_idx = np.array(skyline_idx, dtype=np.intp, copy=True)
-        self._slot_alive = np.ones(self._skyline_idx.size, dtype=bool)
+        # The arena copies into its own buffer, so a caller-supplied
+        # skyline array (typically the session's memoised one, shared
+        # across every cached index) is never remapped in place by this
+        # index's delete_points.
+        self._slots_a = GrowableArena(np.asarray(skyline_idx, dtype=np.intp))
+        self._alive_a = GrowableArena(np.ones(len(self._slots_a), dtype=bool))
         self._has_dead = False
         coefficients, offsets = dual_coefficient_arrays(data[self._skyline_idx])
         self._order_index = OrderVectorIndex.from_arrays(
@@ -226,10 +238,10 @@ class EclipseIndex:
             )
         # Commit.
         if newly_dead.size:
-            self._slot_alive = alive_after
+            self._alive_a.view[:] = alive_after
             self._has_dead = True
             self._order_index.drop_arrangement()
-            self._intersection_index.refresh_alive(self._slot_alive)
+            self._intersection_index.refresh_alive(alive_after)
         self._skyline_idx[alive_after] = remapped
         return self
 
@@ -268,10 +280,8 @@ class EclipseIndex:
         existing_alive = np.flatnonzero(self._slot_alive)
         existing_coefficients = self._order_index.coefficients[existing_alive]
         existing_offsets = self._order_index.offsets[existing_alive]
-        self._skyline_idx = np.concatenate([self._skyline_idx, added])
-        self._slot_alive = np.concatenate(
-            [self._slot_alive, np.ones(added.size, dtype=bool)]
-        )
+        self._slots_a.append(added)
+        self._alive_a.append(np.ones(added.size, dtype=bool))
         self._order_index.append_arrays(new_coefficients, new_offsets)
         self._intersection_index.insert_hyperplanes(
             new_coefficients,
@@ -282,6 +292,40 @@ class EclipseIndex:
             existing_alive,
         )
         return self
+
+    def compact(self) -> "EclipseIndex":
+        """Reclaim dead hyperplane slots by renumbering the alive ones.
+
+        One vectorised renumbering pass per store, *in place of* the full
+        index rebuild the dead-fraction trigger used to force: the
+        order-vector arenas keep only the alive dual rows, the intersection
+        index drops dead pairs and remaps endpoint slot ids
+        (:meth:`~repro.index.intersection.IntersectionIndex.compact`), and
+        tree backends rewrite their item arenas without touching the cell
+        structure.  Query results are identical before and after — the
+        alive slots keep their relative order, so every value comparison,
+        tie-break and candidate post-filter sees the same sequence.
+        """
+        self._require_built()
+        if not self._has_dead:
+            return self
+        alive = self._slot_alive
+        slot_remap = self._order_index.compact(alive)
+        self._intersection_index.compact(slot_remap)
+        self._slots_a.replace(self._skyline_idx[alive])
+        self._alive_a.replace(np.ones(len(self._slots_a), dtype=bool))
+        self._has_dead = False
+        return self
+
+    @property
+    def arena_grows(self) -> int:
+        """Buffer reallocations across every arena of this index's stores."""
+        if not self.is_built:
+            return 0
+        grows = self._slots_a.grows + self._alive_a.grows
+        grows += self._order_index.arena_grows
+        grows += self._intersection_index.arena_grows
+        return int(grows)
 
     @property
     def num_dead_slots(self) -> int:

@@ -44,6 +44,7 @@ from repro.geometry.hyperplane import (
     pairwise_intersection_arrays_from,
 )
 from repro.geometry.quadtree import LineQuadtree
+from repro.perf.arena import GrowableArena
 from repro.perf.blocking import iter_blocks, memory_cap_bytes
 
 #: Ratio magnitude covered by the default dual-domain box of the tree
@@ -206,17 +207,24 @@ class IntersectionIndex:
             else None
         )
 
-        self._pairs, self._coefficients, self._rhs = pairs, coefficients, rhs
+        # The pair arenas grow geometrically under dynamic appends; every
+        # read goes through the valid-prefix view properties below.
+        self._pairs_a = GrowableArena(pairs)
+        self._pair_coeff_a = GrowableArena(coefficients)
+        self._pair_rhs_a = GrowableArena(rhs)
         self._capacity = capacity
         self._seed = seed
         self._on_unsplittable = on_unsplittable
         self._shrink_domain = bool(shrink_domain)
         self._tree = None
-        self._sorted_xs: Optional[np.ndarray] = None
-        self._sorted_order: Optional[np.ndarray] = None
-        # Liveness of the stored pairs under dynamic hyperplane deletes;
-        # ``None`` (the static case) keeps the zero-overhead fast path.
-        self._pair_alive: Optional[np.ndarray] = None
+        self._sorted_xs_a: Optional[GrowableArena] = None
+        self._sorted_order_a: Optional[GrowableArena] = None
+        # Liveness of the hyperplane *slots* under dynamic deletes; ``None``
+        # (the static case) keeps the zero-overhead fast path.  Pair
+        # liveness is derived per candidate set (both endpoints alive)
+        # instead of being materialised over all ``O(u^2)`` stored pairs,
+        # so a delete batch costs ``O(u)``, not ``O(m)``.
+        self._slot_alive: Optional[np.ndarray] = None
 
         if self._pairs.shape[0] == 0:
             return
@@ -226,11 +234,31 @@ class IntersectionIndex:
             self._build_tree()
         # "scan" keeps only the flat arrays.
 
+    @property
+    def _pairs(self) -> np.ndarray:
+        return self._pairs_a.view
+
+    @property
+    def _coefficients(self) -> np.ndarray:
+        return self._pair_coeff_a.view
+
+    @property
+    def _rhs(self) -> np.ndarray:
+        return self._pair_rhs_a.view
+
+    @property
+    def _sorted_xs(self) -> Optional[np.ndarray]:
+        return None if self._sorted_xs_a is None else self._sorted_xs_a.view
+
+    @property
+    def _sorted_order(self) -> Optional[np.ndarray]:
+        return None if self._sorted_order_a is None else self._sorted_order_a.view
+
     def _build_sorted(self) -> None:
         xs = self._rhs / self._coefficients[:, 0]
         order = np.argsort(xs, kind="stable")
-        self._sorted_xs = xs[order]
-        self._sorted_order = order
+        self._sorted_xs_a = GrowableArena(xs[order])
+        self._sorted_order_a = GrowableArena(order)
 
     def _build_tree(self) -> None:
         if self._backend == "quadtree":
@@ -273,9 +301,11 @@ class IntersectionIndex:
         appended pairs are every alive-existing × new combination plus the
         pairwise intersections among the arrivals, enumerated with the same
         blocked array kernels as the static build (degenerate pairs —
-        identical duals — are skipped, as there).  The backend structure is
-        maintained incrementally: the sorted one-dimensional backend merges
-        the new crossing coordinates with two vectorised binary searches,
+        identical duals — are skipped, as there).  Appends land in the pair
+        arenas' spare capacity — amortised ``O(appended)``, the untouched
+        rows are never copied.  The backend structure is maintained
+        incrementally: the sorted one-dimensional backend scatter-merges
+        the new crossing coordinates through its arena's spare buffer,
         the tree backends append through
         :meth:`~repro.geometry.flattree.FlatTree.insert_hyperplanes`
         (per-leaf overflow buffers, threshold-triggered subtree rebuilds),
@@ -323,27 +353,36 @@ class IntersectionIndex:
 
         added_pairs = np.concatenate(pair_chunks, axis=0)
         if added_pairs.shape[0] == 0:
+            self._extend_slot_alive(new_ids)
             return
         added_coeffs = np.concatenate(coeff_chunks, axis=0)
         added_rhs = np.concatenate(rhs_chunks)
         first_row = self._pairs.shape[0]
-        if first_row == 0:
-            self._pairs = added_pairs
-            self._coefficients = added_coeffs
-            self._rhs = added_rhs
+        if first_row == 0 and self._pair_coeff_a.view.shape[1:] != added_coeffs.shape[1:]:
+            # An index built over < 2 hyperplanes never fixed its pair row
+            # shape; re-seed the arenas with the arrivals' (grow counters
+            # carry over so the amortisation account is not reset).
+            grows = (
+                self._pairs_a.grows,
+                self._pair_coeff_a.grows,
+                self._pair_rhs_a.grows,
+            )
+            self._pairs_a = GrowableArena(added_pairs)
+            self._pair_coeff_a = GrowableArena(added_coeffs)
+            self._pair_rhs_a = GrowableArena(added_rhs)
+            (
+                self._pairs_a.grows,
+                self._pair_coeff_a.grows,
+                self._pair_rhs_a.grows,
+            ) = grows
         else:
-            self._pairs = np.concatenate([self._pairs, added_pairs], axis=0)
-            self._coefficients = np.concatenate(
-                [self._coefficients, added_coeffs], axis=0
-            )
-            self._rhs = np.concatenate([self._rhs, added_rhs])
-        if self._pair_alive is not None:
-            self._pair_alive = np.concatenate(
-                [self._pair_alive, np.ones(added_pairs.shape[0], dtype=bool)]
-            )
+            self._pairs_a.append(added_pairs)
+            self._pair_coeff_a.append(added_coeffs)
+            self._pair_rhs_a.append(added_rhs)
+        self._extend_slot_alive(new_ids)
 
         if self._backend == "sorted":
-            if self._sorted_xs is None:
+            if self._sorted_xs_a is None:
                 self._build_sorted()
             else:
                 xs = added_rhs / added_coeffs[:, 0]
@@ -353,32 +392,94 @@ class IntersectionIndex:
                     first_row + np.arange(added_pairs.shape[0], dtype=np.intp)
                 )[order]
                 positions = np.searchsorted(self._sorted_xs, xs, side="left")
-                self._sorted_xs = np.insert(self._sorted_xs, positions, xs)
-                self._sorted_order = np.insert(
-                    self._sorted_order, positions, rows
-                )
+                self._sorted_xs_a.insert(positions, xs)
+                self._sorted_order_a.insert(positions, rows)
         elif self._backend in ("quadtree", "cutting"):
             if self._tree is None:
                 self._build_tree()
             else:
-                # Tree item ids stay aligned with pair row numbers because
-                # dead pairs are never compacted out of the arenas.
+                # Tree item ids stay aligned with pair row numbers: appends
+                # extend both stores in lockstep, and compact() renumbers
+                # the tree items with the same row remap it applies to the
+                # pair arenas (FlatTree.compact_items).
                 self._tree.insert_hyperplanes(added_coeffs, added_rhs)
 
     def refresh_alive(self, slot_alive: np.ndarray) -> None:
-        """Recompute pair liveness after hyperplane slots died.
+        """Record the hyperplane-slot liveness mask after slots died.
 
         ``slot_alive`` is the caller's boolean liveness mask over hyperplane
-        slot ids.  A pair survives iff both endpoints are alive; dead pairs
-        stay in the arenas and the backend structures (compaction is a full
-        rebuild, which the update cost model triggers when the dead fraction
-        makes it worthwhile) but are filtered out of every candidate set.
+        slot ids (copied — the caller may keep mutating its own).  A pair
+        survives iff both endpoints are alive; dead pairs stay in the
+        arenas and the backend structures but are filtered out of every
+        candidate set *at query time* (``O(candidates)`` per query), so a
+        delete batch never pays an ``O(m)`` pass over the stored pairs.
+        Compaction (:meth:`compact`) reclaims the dead rows when the update
+        cost model decides the accumulated filter tax is worth it.
         """
-        if self.num_pairs == 0:
-            self._pair_alive = None
+        slot_alive = np.asarray(slot_alive, dtype=bool)
+        if self.num_pairs == 0 or bool(slot_alive.all()):
+            self._slot_alive = None
             return
-        alive = slot_alive[self._pairs[:, 0]] & slot_alive[self._pairs[:, 1]]
-        self._pair_alive = None if bool(alive.all()) else alive
+        self._slot_alive = slot_alive.copy()
+
+    def _extend_slot_alive(self, new_ids: np.ndarray) -> None:
+        """Grow the recorded slot mask to cover newly appended (alive) slots."""
+        if self._slot_alive is None or new_ids.size == 0:
+            return
+        top = int(new_ids.max()) + 1
+        if top <= self._slot_alive.shape[0]:
+            self._slot_alive[new_ids] = True
+            return
+        grown = np.ones(top, dtype=bool)
+        grown[: self._slot_alive.shape[0]] = self._slot_alive
+        self._slot_alive = grown
+
+    def _pair_alive_mask(self) -> Optional[np.ndarray]:
+        """Full per-pair liveness mask (``None`` when everything is alive).
+
+        ``O(m)`` — used by compaction and introspection only; queries filter
+        their (much smaller) candidate sets instead.
+        """
+        if self._slot_alive is None or self.num_pairs == 0:
+            return None
+        pairs = self._pairs
+        alive = self._slot_alive[pairs[:, 0]] & self._slot_alive[pairs[:, 1]]
+        return None if bool(alive.all()) else alive
+
+    def compact(self, slot_remap: np.ndarray) -> None:
+        """Drop dead pairs and renumber slot ids in one vectorised pass.
+
+        ``slot_remap`` is the old-slot → new-slot map (``-1`` for dead
+        slots) produced by the caller's slot compaction.  The pair arenas
+        are rewritten in place (capacity kept), the sorted backend's
+        crossing arrays are filtered and renumbered without re-sorting
+        (relative order is preserved), and the tree backends remap their
+        item arenas through
+        :meth:`~repro.geometry.flattree.FlatTree.compact_items` — the tree
+        *structure* (cells, splits) is untouched, which is what makes
+        compaction cheap next to the rebuild it replaces.
+        """
+        keep = self._pair_alive_mask()
+        self._slot_alive = None
+        slot_remap = np.asarray(slot_remap, dtype=np.intp)
+        if self.num_pairs == 0:
+            return
+        if keep is None:
+            # Every pair alive: only the endpoint ids need renumbering.
+            remapped = slot_remap[self._pairs]
+            self._pairs_a.replace(remapped)
+            return
+        row_remap = np.cumsum(keep, dtype=np.intp) - 1
+        self._pairs_a.replace(slot_remap[self._pairs[keep]])
+        self._pair_coeff_a.replace(self._coefficients[keep])
+        self._pair_rhs_a.replace(self._rhs[keep])
+        if self._backend == "sorted" and self._sorted_order_a is not None:
+            order = self._sorted_order
+            sel = keep[order]
+            self._sorted_xs_a.replace(self._sorted_xs[sel])
+            self._sorted_order_a.replace(row_remap[order[sel]])
+        elif self._tree is not None:
+            self._tree.compact_items(keep, row_remap)
 
     # ------------------------------------------------------------------
     @property
@@ -398,9 +499,22 @@ class IntersectionIndex:
     @property
     def num_alive_pairs(self) -> int:
         """Number of stored pairs whose both endpoints are alive."""
-        if self._pair_alive is None:
+        alive = self._pair_alive_mask()
+        if alive is None:
             return self.num_pairs
-        return int(np.count_nonzero(self._pair_alive))
+        return int(np.count_nonzero(alive))
+
+    @property
+    def arena_grows(self) -> int:
+        """Buffer reallocations of every arena this index owns."""
+        grows = (
+            self._pairs_a.grows + self._pair_coeff_a.grows + self._pair_rhs_a.grows
+        )
+        if self._sorted_xs_a is not None:
+            grows += self._sorted_xs_a.grows + self._sorted_order_a.grows
+        if self._tree is not None:
+            grows += self._tree.arena_grows
+        return int(grows)
 
     @property
     def domain(self) -> Optional[Box]:
@@ -509,10 +623,16 @@ class IntersectionIndex:
         return out
 
     def _candidate_set(self, selected: np.ndarray) -> CandidateSet:
-        if self._pair_alive is not None:
-            selected = selected[self._pair_alive[selected]]
+        pairs = self._pairs[selected]
+        if self._slot_alive is not None:
+            # Pair liveness derived on the candidates only (both endpoints
+            # alive) — O(candidates) here instead of an O(m) mask refresh
+            # on every delete batch.
+            keep = self._slot_alive[pairs[:, 0]] & self._slot_alive[pairs[:, 1]]
+            selected = selected[keep]
+            pairs = pairs[keep]
         return CandidateSet(
-            pairs=self._pairs[selected],
+            pairs=pairs,
             coefficients=self._coefficients[selected],
             rhs=self._rhs[selected],
         )

@@ -31,6 +31,7 @@ from repro.errors import DimensionMismatchError
 from repro.geometry.arrangement2d import Arrangement2D
 from repro.geometry.boxes import Box
 from repro.geometry.dual import DualHyperplane
+from repro.perf.arena import GrowableArena
 
 
 @dataclass(frozen=True)
@@ -147,8 +148,10 @@ class OrderVectorIndex:
         max_arrangement_lines: Optional[int],
         indices: Optional[np.ndarray],
     ) -> None:
-        self._coefficients = coefficients
-        self._offsets = offsets
+        # The dual arenas grow geometrically under dynamic appends so an
+        # update stream never re-concatenates the untouched rows.
+        self._coeff_arena = GrowableArena(coefficients)
+        self._offset_arena = GrowableArena(offsets)
         num = coefficients.shape[0]
         self._dual_dims = int(coefficients.shape[1]) if num else 0
         self._arrangement: Optional[Arrangement2D] = None
@@ -168,10 +171,20 @@ class OrderVectorIndex:
     # ------------------------------------------------------------------
     # Dynamic maintenance
     # ------------------------------------------------------------------
+    @property
+    def _coefficients(self) -> np.ndarray:
+        return self._coeff_arena.view
+
+    @property
+    def _offsets(self) -> np.ndarray:
+        return self._offset_arena.view
+
     def append_arrays(self, coefficients: np.ndarray, offsets: np.ndarray) -> None:
         """Append new dual hyperplanes to the arena (dynamic maintenance).
 
-        The new rows take the next slot positions (``num_hyperplanes`` up).
+        The new rows take the next slot positions (``num_hyperplanes`` up)
+        and land in the arenas' spare capacity — amortised ``O(b)``, no
+        re-concatenation of the existing rows.
         The eagerly materialised two-dimensional arrangement, when present,
         is dropped: its interval table enumerates the pairwise intersections
         of a *fixed* line set, and the on-demand sort path it falls back to
@@ -192,15 +205,46 @@ class OrderVectorIndex:
                 "appended hyperplane dimensionality does not match the index"
             )
         if self.num_hyperplanes == 0:
-            self._coefficients = coefficients.copy()
-            self._offsets = offsets.copy()
+            # An empty index never fixed its dual dimensionality, so the
+            # arenas must be re-seeded with the arrivals' row shape (the
+            # grow counters carry over — re-seeding is bookkeeping, not a
+            # reset of the amortisation account).
+            grows = self._coeff_arena.grows, self._offset_arena.grows
+            self._coeff_arena = GrowableArena(coefficients)
+            self._offset_arena = GrowableArena(offsets)
+            self._coeff_arena.grows, self._offset_arena.grows = grows
             self._dual_dims = int(coefficients.shape[1])
         else:
-            self._coefficients = np.concatenate(
-                [self._coefficients, coefficients], axis=0
-            )
-            self._offsets = np.concatenate([self._offsets, offsets])
+            self._coeff_arena.append(coefficients)
+            self._offset_arena.append(offsets)
         self._arrangement = None
+
+    def compact(self, alive: np.ndarray) -> np.ndarray:
+        """Drop dead slots and renumber the survivors (arena compaction).
+
+        ``alive`` is a boolean mask over the current slot positions.  The
+        surviving rows are rewritten into the front of the arenas in one
+        vectorised pass — relative order (and therefore every downstream
+        value/sort comparison) is preserved, so query results are identical
+        before and after.  Returns the old-slot → new-slot map (``-1`` for
+        dead slots) for the caller's pair-level renumbering.
+        """
+        alive = np.asarray(alive, dtype=bool)
+        if alive.shape[0] != self.num_hyperplanes:
+            raise DimensionMismatchError(
+                "alive mask length does not match the indexed hyperplanes"
+            )
+        remap = np.cumsum(alive, dtype=np.intp) - 1
+        remap[~alive] = -1
+        self._coeff_arena.replace(self._coeff_arena.view[alive])
+        self._offset_arena.replace(self._offset_arena.view[alive])
+        self._arrangement = None
+        return remap
+
+    @property
+    def arena_grows(self) -> int:
+        """Buffer reallocations of the dual arenas since construction."""
+        return int(self._coeff_arena.grows + self._offset_arena.grows)
 
     def drop_arrangement(self) -> None:
         """Fall back to the on-demand order-vector path (dynamic deletes).

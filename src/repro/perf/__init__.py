@@ -6,8 +6,12 @@ that picks the block size ``B`` (:func:`resolve_block_size`,
 :func:`iter_blocks`) and the amortised-growth buffer
 (:class:`GrowableBuffer`) used by the block algorithms to maintain their
 confirmed-skyline windows as contiguous arrays.
+
+:mod:`repro.perf.arena` owns the general-purpose capacity-doubling arena
+(:class:`GrowableArena`) behind every dynamically maintained index store.
 """
 
+from repro.perf.arena import GrowableArena
 from repro.perf.blocking import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_MEMORY_CAP_BYTES,
@@ -20,6 +24,7 @@ from repro.perf.blocking import (
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_MEMORY_CAP_BYTES",
+    "GrowableArena",
     "GrowableBuffer",
     "iter_blocks",
     "memory_cap_bytes",

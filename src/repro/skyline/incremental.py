@@ -228,6 +228,48 @@ def insert_update(
     return out, added, demoted
 
 
+def membership_delta(
+    num_old: int,
+    deletes: np.ndarray,
+    old_is_skyline: np.ndarray,
+    new_is_skyline: np.ndarray,
+) -> SkylineDelta:
+    """Diff old-vs-new skyline membership into a :class:`SkylineDelta`.
+
+    ``old_is_skyline`` is the membership mask over the *old* dataset,
+    ``new_is_skyline`` over the *new* one (old rows minus the sorted unique
+    ``deletes``, arrivals appended), exactly the frame
+    :func:`compose_updated_data` produces.  The diff is membership-only —
+    it does not care *how* ``new_is_skyline`` was obtained, which is what
+    lets a session that recomputed its skyline from scratch still patch its
+    cached indexes with the (usually small) insert/delete sets instead of
+    dropping them all.
+    """
+    kept_old_positions = np.delete(np.arange(num_old, dtype=np.intp), deletes)
+    was_sky_new_coords = np.zeros(new_is_skyline.shape[0], dtype=bool)
+    was_sky_new_coords[: kept_old_positions.size] = old_is_skyline[
+        kept_old_positions
+    ]
+    removed_old = np.concatenate(
+        [
+            deletes[old_is_skyline[deletes]],  # deleted skyline members
+            kept_old_positions[  # kept members that lost membership
+                was_sky_new_coords[: kept_old_positions.size]
+                & ~new_is_skyline[: kept_old_positions.size]
+            ],
+        ]
+    )
+    promoted_or_new = np.flatnonzero(new_is_skyline)
+    # ``added``: new positions that were NOT skyline before the batch —
+    # promotions (kept rows whose old membership was False) and arrivals.
+    added = promoted_or_new[~was_sky_new_coords[promoted_or_new]]
+    return SkylineDelta(
+        is_skyline=new_is_skyline,
+        added=np.sort(added).astype(np.intp),
+        removed_old=np.sort(removed_old).astype(np.intp),
+    )
+
+
 def apply_updates(
     data: np.ndarray,
     skyline_idx: IndexArray,
@@ -276,26 +318,4 @@ def apply_updates(
     # Transient members — promoted by the delete step, demoted again by an
     # arrival in the same batch — appear in neither list: ``removed_old``
     # and ``added`` are pure before/after membership diffs.
-    kept_old_positions = np.delete(np.arange(n, dtype=np.intp), deletes)
-    was_sky_new_coords = np.zeros(new_data.shape[0], dtype=bool)
-    was_sky_new_coords[: kept_old_positions.size] = is_sky[kept_old_positions]
-    removed_old = np.concatenate(
-        [
-            deletes[is_sky[deletes]],  # deleted skyline members
-            kept_old_positions[  # kept members that lost membership
-                was_sky_new_coords[: kept_old_positions.size]
-                & ~final_sky[: kept_old_positions.size]
-            ],
-        ]
-    )
-    promoted_or_new = np.flatnonzero(final_sky)
-    # ``added``: new positions that were NOT skyline before the batch —
-    # promotions (kept rows whose old membership was False) and arrivals.
-    added = promoted_or_new[~was_sky_new_coords[promoted_or_new]]
-
-    delta = SkylineDelta(
-        is_skyline=final_sky,
-        added=np.sort(added).astype(np.intp),
-        removed_old=np.sort(removed_old).astype(np.intp),
-    )
-    return new_data, delta
+    return new_data, membership_delta(n, deletes, is_sky, final_sky)

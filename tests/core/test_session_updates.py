@@ -158,7 +158,7 @@ class TestUpdateStatsAndGenerations:
         assert session.stats.rebuilds_triggered == 0
         assert session.generation == 1
 
-    def test_huge_batch_triggers_rebuild_decision(self):
+    def test_huge_batch_recomputes_and_delta_patches_cached_indexes(self):
         data = generate_dataset("inde", 500, 3, seed=1)
         session = DatasetSession(data)
         session.run_batch(random_specs(np.random.default_rng(0), 6, 3), method="cutting")
@@ -168,8 +168,41 @@ class TestUpdateStatsAndGenerations:
         assert report.skyline_plan is not None
         assert report.skyline_plan.strategy == "rebuild"
         assert session.stats.rebuilds_triggered >= 1
+        # The skyline recompute happened eagerly (counted as a build) so
+        # the cached index could be patched with the membership diff
+        # instead of being dropped (PR 4 dropped every cached index here).
+        assert session.stats.skyline_builds == 2
+        assert report.skyline_added >= 0 and report.skyline_removed >= 0
+        assert (
+            report.index_delta_patches + report.index_invalidations >= 1
+        )
+        builds_before = session.stats.skyline_builds
+        results = session.run_batch(
+            random_specs(np.random.default_rng(1), 6, 3), method="cutting"
+        )
+        # Nothing stale was left behind: the next batch reuses the
+        # recomputed skyline as-is.
+        assert session.stats.skyline_builds == builds_before
+        rebuilt = DatasetSession(session.data.copy())
+        for got, want in zip(
+            results,
+            rebuilt.run_batch(random_specs(np.random.default_rng(1), 6, 3), method="cutting"),
+        ):
+            assert np.array_equal(got.indices, want.indices)
+
+    def test_stale_skyline_without_indexes_recomputed_lazily(self):
+        data = generate_dataset("inde", 500, 3, seed=1)
+        session = DatasetSession(data)
+        session.skyline()
+        report = session.apply_updates(
+            inserts=generate_dataset("inde", 20_000, 3, seed=2)
+        )
+        # No cached index to patch: the rebuild decision leaves the tag
+        # stale and the recompute happens lazily on the next access.
+        assert report.skyline_plan is not None
+        assert report.skyline_plan.strategy == "rebuild"
+        assert report.skyline_added == -1
         assert session.stats.artifact_invalidations >= 1
-        # Stale artifacts are rebuilt lazily on the next batch.
         builds_before = session.stats.skyline_builds
         session.run_batch(random_specs(np.random.default_rng(1), 6, 3))
         assert session.stats.skyline_builds == builds_before + 1
@@ -224,7 +257,7 @@ class TestPlanUpdateArm:
         plan = plan_update(1000, 3, 1000, 1000, num_skyline=50, artifact="skyline")
         assert plan.strategy == "rebuild"
 
-    def test_dead_fraction_forces_index_rebuild(self):
+    def test_dead_fraction_triggers_compaction(self):
         plan = plan_update(
             10_000,
             3,
@@ -234,8 +267,31 @@ class TestPlanUpdateArm:
             artifact="index",
             index_backend="cutting",
             dead_fraction=MAX_DEAD_FRACTION + 0.1,
+            num_pairs=9000,
+        )
+        # Reclaiming the arenas is mandatory above the threshold, and the
+        # in-place compaction pass undercuts re-enumerating and re-indexing
+        # every pair by a wide margin.
+        assert plan.strategy == "compact"
+        assert plan.inplace and plan.compacts
+        assert "dead slot fraction" in plan.reason
+
+    def test_dead_fraction_falls_back_to_rebuild_when_patch_is_huge(self):
+        # A churn so large that the incremental pass alone dwarfs a fresh
+        # build: compaction cannot save it, the plan must say rebuild.
+        plan = plan_update(
+            1_000,
+            3,
+            500,
+            500,
+            num_skyline=60,
+            artifact="index",
+            index_backend="cutting",
+            dead_fraction=MAX_DEAD_FRACTION + 0.2,
+            num_pairs=5_000,
         )
         assert plan.strategy == "rebuild"
+        assert not plan.inplace
         assert "dead slot fraction" in plan.reason
 
     def test_index_update_cheaper_than_quadtree_rebuild(self):

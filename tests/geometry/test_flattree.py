@@ -450,22 +450,27 @@ class TestSharedPolicies:
         # low-magnitude hyperplane stacked with huge-magnitude duplicates
         # must keep the cell from being (mis)classified as unsplittable.
         from repro.geometry.flattree import FlatTree
+        from repro.perf.arena import GrowableArena
 
         tree = FlatTree.__new__(FlatTree)
-        tree._coefficients = np.array(
-            [
-                [1e9, 2e9, 3e9],
-                [2e9, 4e9, 6e9],
-                [3e9, 6e9, 9e9],
-                [1.0, 2.0, 3.5],
-            ]
+        tree._coeff_arena = GrowableArena(
+            np.array(
+                [
+                    [1e9, 2e9, 3e9],
+                    [2e9, 4e9, 6e9],
+                    [3e9, 6e9, 9e9],
+                    [1.0, 2.0, 3.5],
+                ]
+            )
         )
-        tree._rhs = np.array([4e9, 8e9, 12e9, 4.0])
+        tree._rhs_arena = GrowableArena(np.array([4e9, 8e9, 12e9, 4.0]))
         tree._capacity = 2
         tree._max_depth = 12
         tree._raise_if_coincident(np.arange(4))  # must not raise
-        tree._coefficients = np.outer([1.0, 2.0, 3.0, 0.5], [1e9, 2e9, 3e9])
-        tree._rhs = np.array([4e9, 8e9, 12e9, 2e9])
+        tree._coeff_arena = GrowableArena(
+            np.outer([1.0, 2.0, 3.0, 0.5], [1e9, 2e9, 3e9])
+        )
+        tree._rhs_arena = GrowableArena(np.array([4e9, 8e9, 12e9, 2e9]))
         with pytest.raises(DegenerateHyperplaneError):
             tree._raise_if_coincident(np.arange(4))
 
