@@ -59,6 +59,22 @@ PR 5 workloads (``BENCH_PR5.json``):
   from-scratch skyline recompute vs the PR 4 behaviour (drop the index,
   rebuild it on next access).
 
+PR 6 workloads (``BENCH_PR6.json``):
+
+* ``service_stream`` — one seeded mixed query/update stream through the
+  fault-tolerant sharded service (worker processes, admission batching,
+  WAL-first updates) vs the identical stream on one single-process
+  session: the honest wall-clock cost of the robustness layer, with
+  answers verified byte-identical.
+* ``recovery_warm_vs_cold`` — a respawning worker's warm restart
+  (checksummed snapshot with its warmed artifacts + WAL tail replay) vs
+  the cold rebuild (base data + full WAL replay + first-query index
+  rebuild) the same state demotes to when the snapshot is damaged.
+* ``fault_harness`` — the acceptance gate: workers killed on every k-th
+  acknowledged update batch (supervisor SIGKILL mid-batch and worker-side
+  exits pinned to the WAL/apply/ack instants) with every answer compared
+  byte-for-byte against the single-process reference.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_smoke.py          # full sweep
@@ -104,6 +120,7 @@ OUTPUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 OUTPUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 OUTPUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
 OUTPUT_PR5 = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+OUTPUT_PR6 = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 
 
 # ----------------------------------------------------------------------
@@ -1074,6 +1091,248 @@ def run_delta_patch_workload(workload: str, n: int, d: int, repeats: int) -> dic
 
 
 # ----------------------------------------------------------------------
+# PR 6: fault-tolerant concurrent query service
+# ----------------------------------------------------------------------
+def run_service_throughput_workload(
+    workload: str,
+    n: int,
+    d: int,
+    steps: int,
+    update_fraction: float,
+    batch: int,
+    update_size: int,
+    num_shards: int,
+) -> dict:
+    """One seeded mixed stream through the sharded service vs one session.
+
+    Both sides replay the identical op sequence (the single-process side is
+    the harness's reference).  The service pays per-request IPC and an
+    exact merge per query on top of sharded parallelism, so this entry is
+    the honest cost/benefit statement of the robustness layer, not a pure
+    speedup claim; answers are verified byte-identical throughout.
+    """
+    from repro.core.session import DatasetSession
+    from repro.service.faults import run_fault_injection
+    from repro.service.supervisor import ServiceConfig
+
+    data = generate_dataset(DISTRIBUTION, n, d, seed=0)
+    lows, highs = data.min(axis=0), data.max(axis=0)
+
+    def single_process_stream():
+        rng = np.random.default_rng(43)
+        session = DatasetSession(data)
+        for _ in range(steps):
+            if rng.uniform() < update_fraction:
+                half = max(1, update_size // 2)
+                inserts = lows + rng.uniform(size=(half, d)) * (highs - lows)
+                num_deletes = min(half, session.num_points - 1)
+                deletes = rng.choice(
+                    session.num_points, size=num_deletes, replace=False
+                )
+                session.apply_updates(inserts=inserts, deletes=deletes)
+            else:
+                session.run_batch(_stream_specs(rng, batch, d))
+
+    start = time.perf_counter()
+    single_process_stream()
+    single_seconds = time.perf_counter() - start
+
+    config = ServiceConfig(num_shards=num_shards)
+    start = time.perf_counter()
+    report = run_fault_injection(
+        data=data,
+        steps=steps,
+        update_fraction=update_fraction,
+        batch=batch,
+        update_size=update_size,
+        config=config,
+        seed=42,
+        verify=False,
+    )
+    service_seconds = time.perf_counter() - start
+    verified = run_fault_injection(
+        data=data,
+        steps=max(10, steps // 4),
+        update_fraction=update_fraction,
+        batch=batch,
+        update_size=update_size,
+        config=config,
+        seed=42,
+        verify=True,
+    )
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "distribution": DISTRIBUTION.upper(),
+        "steps": steps,
+        "num_shards": num_shards,
+        "queries": report.queries,
+        "update_batches": report.update_batches,
+        "query_windows": report.service_stats["query_windows"],
+        "coalesced_queries": report.service_stats["coalesced_queries"],
+        "answers_identical": verified.ok,
+        "single_process_seconds": single_seconds,
+        "service_seconds": service_seconds,
+        "service_vs_single_ratio": (
+            service_seconds / single_seconds if single_seconds > 0 else float("inf")
+        ),
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} steps={steps:>4} shards={num_shards}  "
+        f"single={single_seconds:8.3f}s  service={service_seconds:8.3f}s  "
+        f"ratio={entry['service_vs_single_ratio']:5.2f}x  "
+        f"identical={verified.ok}"
+    )
+    return entry
+
+
+def run_recovery_workload(
+    workload: str, n: int, d: int, update_batches: int, repeats: int
+) -> dict:
+    """Warm restart (snapshot + WAL tail) vs cold rebuild (base + full WAL).
+
+    Builds one shard's durable state — ``update_batches`` acknowledged WAL
+    records and a snapshot holding the fully-applied session with its
+    warmed skyline/index artifacts — then times the two recovery paths a
+    respawning worker can take, each followed by one query (the cold path
+    defers its index rebuild to that first answer, so recovery time without
+    the query would flatter it).
+    """
+    import os
+    import tempfile
+
+    from repro.core.session import DatasetSession
+    from repro.service.wal import WriteAheadLog
+    from repro.service.worker import ShardState, recover_shard
+
+    data = generate_dataset(DISTRIBUTION, n, d, seed=0)
+    lows, highs = data.min(axis=0), data.max(axis=0)
+    spec = RatioVector.uniform(*RATIO, d)
+    rng = np.random.default_rng(3)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pr6-") as scratch:
+        wal_path = os.path.join(scratch, "shard.wal")
+        snapshot_path = os.path.join(scratch, "shard.snapshot")
+        wal = WriteAheadLog(wal_path)
+        state = ShardState(
+            DatasetSession(data), np.arange(n, dtype=np.intp), last_seq=0
+        )
+        state.session.run_batch([spec], method="cutting")  # warm the index
+        half = 8
+        for seq in range(1, update_batches + 1):
+            inserts = lows + rng.uniform(size=(half, d)) * (highs - lows)
+            positions = rng.choice(state.gids.size, size=half, replace=False)
+            record = {
+                "seq": seq,
+                "insert_points": inserts,
+                "insert_gids": np.arange(
+                    n + (seq - 1) * half, n + seq * half, dtype=np.intp
+                ),
+                "delete_gids": state.gids[positions],
+            }
+            wal.append(record)
+            state.apply_record(record)
+        wal.close()
+        state.session.run_batch([spec], method="cutting")  # re-warm post-stream
+        state.session.save_snapshot(snapshot_path, extra=state.extra_state())
+        want = state.session.run(ratios=spec, method="cutting")
+
+        def recover(path: str):
+            recovery_wal = WriteAheadLog(wal_path)
+            recovered, info = recover_shard(
+                data, np.arange(n, dtype=np.intp), path, recovery_wal
+            )
+            got = recovered.session.run(ratios=spec, method="cutting")
+            return recovered, info, got
+
+        warm_state, warm_info, warm_got = recover(snapshot_path)
+        cold_state, cold_info, cold_got = recover(
+            os.path.join(scratch, "missing.snapshot")
+        )
+        identical = (
+            warm_info["mode"] == "warm"
+            and cold_info["mode"] == "cold"
+            and np.array_equal(warm_state.gids, cold_state.gids)
+            and np.array_equal(warm_got.indices, want.indices)
+            and warm_got.points.tobytes() == want.points.tobytes()
+            and np.array_equal(cold_got.indices, want.indices)
+            and cold_got.points.tobytes() == want.points.tobytes()
+        )
+        warm_seconds = _best_of(lambda: recover(snapshot_path), repeats)
+        cold_seconds = _best_of(
+            lambda: recover(os.path.join(scratch, "missing.snapshot")), repeats
+        )
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "distribution": DISTRIBUTION.upper(),
+        "update_batches": update_batches,
+        "wal_records_replayed_cold": int(cold_info["replayed"]),
+        "wal_records_replayed_warm": int(warm_info["replayed"]),
+        "state_identical": bool(identical),
+        "cold_rebuild_seconds": cold_seconds,
+        "warm_restart_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} wal={update_batches:>3}  "
+        f"cold={cold_seconds:8.3f}s  warm={warm_seconds:8.3f}s  "
+        f"speedup={entry['speedup']:7.1f}x  identical={identical}"
+    )
+    return entry
+
+
+def run_fault_harness_workload(
+    workload: str, n: int, d: int, steps: int, kill_every: int, kill_mode: str
+) -> dict:
+    """The acceptance gate: byte-identical answers with workers dying."""
+    from repro.service.faults import FaultPlan, run_fault_injection
+    from repro.service.supervisor import ServiceConfig
+
+    plan = FaultPlan(kill_every=kill_every, kill_mode=kill_mode, seed=19)
+    config = ServiceConfig(
+        num_shards=2, backoff_base=0.01, backoff_cap=0.05, snapshot_every=4
+    )
+    start = time.perf_counter()
+    report = run_fault_injection(
+        dataset=DISTRIBUTION.upper(),
+        n=n,
+        dimensions=d,
+        steps=steps,
+        update_fraction=0.5,
+        batch=3,
+        update_size=12,
+        plan=plan,
+        config=config,
+        seed=23,
+    )
+    seconds = time.perf_counter() - start
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "steps": steps,
+        "kill_every": kill_every,
+        "kill_mode": kill_mode,
+        "kills_injected": report.injector["kills_injected"],
+        "worker_respawns": report.service_stats["worker_respawns"],
+        "warm_restarts": report.service_stats["warm_restarts"],
+        "cold_rebuilds": report.service_stats["cold_rebuilds"],
+        "wal_records_replayed": report.service_stats["wal_records_replayed"],
+        "answers_identical": report.ok,
+        "seconds": seconds,
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} steps={steps:>4}  "
+        f"kills={entry['kills_injected']} respawns={entry['worker_respawns']} "
+        f"(warm={entry['warm_restarts']} cold={entry['cold_rebuilds']})  "
+        f"{seconds:6.2f}s  identical={report.ok}"
+    )
+    return entry
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def _best_of(fn: Callable[[], np.ndarray], repeats: int) -> float:
@@ -1156,6 +1415,12 @@ def main(argv: List[str] | None = None) -> int:
         default=OUTPUT_PR5,
         help=f"where to write the PR 5 JSON results (default: {OUTPUT_PR5})",
     )
+    parser.add_argument(
+        "--output-pr6",
+        type=Path,
+        default=OUTPUT_PR6,
+        help=f"where to write the PR 6 JSON results (default: {OUTPUT_PR6})",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -1174,6 +1439,10 @@ def main(argv: List[str] | None = None) -> int:
         sustained_sweep = [(20_000, 3, 150, 3, 2, 15, 50)]
         compact_sweep = [(20_000, 3)]
         delta_sweep = [(20_000, 3)]
+        # (n, d, steps, update_fraction, batch, update_size, shards)
+        service_sweep = [(5_000, 3, 30, 0.3, 4, 16, 2)]
+        recovery_sweep = [(20_000, 3, 12)]
+        harness_sweep = [(2_000, 3, 16, 2, "after_apply")]
         repeats = 1
     else:
         transform_sweep = [2_000, 10_000, 50_000, 100_000]
@@ -1208,6 +1477,16 @@ def main(argv: List[str] | None = None) -> int:
         ]
         compact_sweep = [(20_000, 3), (8_000, 4)]
         delta_sweep = [(50_000, 3)]
+        # (n, d, steps, update_fraction, batch, update_size, shards)
+        service_sweep = [
+            (5_000, 3, 60, 0.3, 4, 16, 2),
+            (20_000, 3, 60, 0.3, 8, 16, 4),
+        ]
+        recovery_sweep = [(20_000, 3, 12), (50_000, 3, 24)]
+        harness_sweep = [
+            (3_000, 3, 24, 2, "kill"),
+            (3_000, 3, 24, 2, "after_apply"),
+        ]
         repeats = 3
 
     entries = []
@@ -1532,6 +1811,77 @@ def main(argv: List[str] | None = None) -> int:
     args.output_pr5.write_text(json.dumps(pr5_payload, indent=2) + "\n")
     print(f"\nwrote {args.output_pr5}")
 
+    # ------------------------------------------------------------------
+    # PR 6: fault-tolerant concurrent query service
+    # ------------------------------------------------------------------
+    pr6_entries = []
+    for n, d, steps, fraction, batch, update_size, shards in service_sweep:
+        pr6_entries.append(
+            run_service_throughput_workload(
+                f"service_stream[s={shards}]",
+                n,
+                d,
+                steps,
+                fraction,
+                batch,
+                update_size,
+                shards,
+            )
+        )
+    for n, d, num_batches in recovery_sweep:
+        pr6_entries.append(
+            run_recovery_workload(
+                f"recovery_warm_vs_cold[n={n}]", n, d, num_batches, repeats
+            )
+        )
+    for n, d, steps, kill_every, kill_mode in harness_sweep:
+        pr6_entries.append(
+            run_fault_harness_workload(
+                f"fault_harness[{kill_mode}]", n, d, steps, kill_every, kill_mode
+            )
+        )
+
+    pr6_acceptance = {
+        "warm_restart_speedup": max(
+            e["speedup"]
+            for e in pr6_entries
+            if e["workload"].startswith("recovery_warm_vs_cold")
+        ),
+        "service_vs_single_ratio": min(
+            e["service_vs_single_ratio"]
+            for e in pr6_entries
+            if e["workload"].startswith("service_stream")
+        ),
+        "harness_kills_injected": sum(
+            e["kills_injected"]
+            for e in pr6_entries
+            if e["workload"].startswith("fault_harness")
+        ),
+        "all_identical": all(
+            e.get(
+                "answers_identical", e.get("state_identical", False)
+            )
+            for e in pr6_entries
+        ),
+    }
+    pr6_payload = {
+        "pr": 6,
+        "description": (
+            "Fault-tolerant concurrent query service: sharded worker "
+            "processes with admission batching vs one single-process "
+            "session on the same stream, warm restart (checksummed "
+            "snapshot + WAL tail) vs cold rebuild (base data + full WAL "
+            "replay), and the fault-injection harness (workers killed "
+            "mid-batch, byte-identical answers required)"
+        ),
+        "generated_unix_time": time.time(),
+        "fast_mode": bool(args.fast),
+        "acceptance": pr6_acceptance,
+        "results": pr6_entries,
+    }
+    args.output_pr6.write_text(json.dumps(pr6_payload, indent=2) + "\n")
+    print(f"\nwrote {args.output_pr6}")
+
     print(
         f"acceptance PR1: transform {acceptance['transform_speedup_at_50k']:.1f}x "
         f"(target >= 10x), baseline {acceptance['baseline_speedup_at_5k']:.1f}x "
@@ -1572,6 +1922,15 @@ def main(argv: List[str] | None = None) -> int:
         f"{pr5_acceptance['delta_patch_speedup']:.1f}x vs drop-and-rebuild, "
         f"identical={pr5_acceptance['all_identical']}"
     )
+    print(
+        f"acceptance PR6: warm restart "
+        f"{pr6_acceptance['warm_restart_speedup']:.1f}x vs cold rebuild "
+        f"(target > 1x), service stream at "
+        f"{pr6_acceptance['service_vs_single_ratio']:.2f}x the "
+        f"single-process wall time, "
+        f"{pr6_acceptance['harness_kills_injected']} kills injected, "
+        f"identical={pr6_acceptance['all_identical']}"
+    )
     ok = (
         acceptance["transform_speedup_at_50k"] >= 10
         and acceptance["baseline_speedup_at_5k"] >= 5
@@ -1586,6 +1945,9 @@ def main(argv: List[str] | None = None) -> int:
         and pr5_acceptance["stream_arena_first_to_last_decile"] <= 2.0
         and pr5_acceptance["compact_vs_rebuild_speedup"] >= 5
         and pr5_acceptance["all_identical"]
+        and pr6_acceptance["warm_restart_speedup"] > 1.0
+        and pr6_acceptance["harness_kills_injected"] >= 1
+        and pr6_acceptance["all_identical"]
     )
     return 0 if ok else 1
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-eclipse`` / ``python -m repro.cli``.
 
-Five subcommands cover the typical workflows:
+Six subcommands cover the typical workflows:
 
 ``query``
     Run an eclipse (or skyline/1NN) query over a CSV file or a generated
@@ -18,6 +18,14 @@ Five subcommands cover the typical workflows:
     core absorbs in place (incremental skyline maintenance, appendable
     index arenas) instead of rebuilding per update.  Prints throughput and
     the session's update counters; ``--explain`` adds the final query plan.
+
+``serve``
+    Replay a mixed query/update workload through the fault-tolerant
+    concurrent service (:mod:`repro.service`): sharded worker processes,
+    admission batching, snapshot/WAL recovery.  ``--inject`` turns on the
+    fault-injection harness (worker kills, dropped responses, snapshot
+    corruption) and every answer is verified byte-identical against a
+    single-process reference session unless ``--no-verify`` is given.
 
 ``generate``
     Write a synthetic dataset (INDE/CORR/ANTI/NBA/worst-case) to a CSV file.
@@ -68,6 +76,41 @@ def _write_csv(path: str, data: np.ndarray) -> None:
             writer.writerow([f"{value:.6f}" for value in row])
 
 
+def _bad_args(message: str) -> int:
+    """Report one invalid-argument message and return the exit status."""
+    print(message, file=sys.stderr)
+    return 2
+
+
+def _validate_data_args(args: argparse.Namespace) -> Optional[str]:
+    """Reject non-positive sizes before any dataset is generated."""
+    if not args.input:
+        if args.n <= 0:
+            return f"--n must be a positive number of points, got {args.n}"
+        if args.dimensions < 1:
+            return (
+                f"--dimensions must be a positive number of attributes, "
+                f"got {args.dimensions}"
+            )
+    return None
+
+
+def _validate_workload_args(args: argparse.Namespace) -> Optional[str]:
+    """Reject zero/negative step and size arguments of stream-like commands."""
+    checks = (
+        ("--steps", getattr(args, "steps", 1)),
+        ("--batch", getattr(args, "batch", 1)),
+        ("--update-size", getattr(args, "update_size", 1)),
+    )
+    for name, value in checks:
+        if value <= 0:
+            return f"{name} must be positive, got {value}"
+    fraction = getattr(args, "update_fraction", 0.0)
+    if not 0.0 <= fraction <= 1.0:
+        return f"--update-fraction must lie in [0, 1], got {fraction}"
+    return None
+
+
 def _make_data(args: argparse.Namespace) -> np.ndarray:
     if args.input:
         return _load_csv(args.input)
@@ -80,6 +123,9 @@ def _make_data(args: argparse.Namespace) -> np.ndarray:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    problem = _validate_data_args(args)
+    if problem:
+        return _bad_args(problem)
     data = _make_data(args)
     if data.size == 0:
         print("the dataset is empty", file=sys.stderr)
@@ -119,6 +165,9 @@ def _parse_ratio_list(text: str) -> List[Tuple[float, float]]:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    problem = _validate_data_args(args)
+    if problem:
+        return _bad_args(problem)
     data = _make_data(args)
     if data.size == 0:
         print("the dataset is empty", file=sys.stderr)
@@ -177,6 +226,9 @@ def _print_session_stats(session: DatasetSession) -> None:
 def _cmd_stream(args: argparse.Namespace) -> int:
     import time
 
+    problem = _validate_data_args(args) or _validate_workload_args(args)
+    if problem:
+        return _bad_args(problem)
     data = _make_data(args)
     if data.size == 0:
         print("the dataset is empty", file=sys.stderr)
@@ -228,7 +280,131 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+_INJECT_KEYS = {
+    "kill_every": int,
+    "kill_mode": str,
+    "drop": float,
+    "delay": float,
+    "corrupt": str,
+    "corrupt_every": int,
+    "seed": int,
+}
+
+
+def _parse_inject(text: str):
+    """Parse ``"kill_every=3,kill_mode=after_apply,drop=0.1"`` to a FaultPlan."""
+    from repro.service.faults import FaultPlan
+
+    values = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        key = key.strip()
+        if not sep or key not in _INJECT_KEYS:
+            raise ValueError(
+                f"bad --inject entry {part!r}; known keys: "
+                f"{', '.join(sorted(_INJECT_KEYS))}"
+            )
+        values[key] = _INJECT_KEYS[key](raw.strip())
+    return FaultPlan(
+        kill_every=values.get("kill_every", 0),
+        kill_mode=values.get("kill_mode", "kill"),
+        drop_response_rate=values.get("drop", 0.0),
+        response_delay=values.get("delay", 0.0),
+        corrupt_snapshot=values.get("corrupt"),
+        corrupt_every=values.get("corrupt_every", 1 if "corrupt" in values else 0),
+        seed=values.get("seed", 0),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.faults import FaultPlan, run_fault_injection
+    from repro.service.supervisor import ServiceConfig
+
+    problem = _validate_data_args(args) or _validate_workload_args(args)
+    if problem:
+        return _bad_args(problem)
+    if args.shards < 1:
+        return _bad_args(f"--shards must be positive, got {args.shards}")
+    try:
+        plan = _parse_inject(args.inject) if args.inject else FaultPlan()
+    except ValueError as exc:
+        return _bad_args(str(exc))
+    data = _make_data(args)
+    if data.size == 0:
+        print("the dataset is empty", file=sys.stderr)
+        return 1
+    config = ServiceConfig(
+        num_shards=args.shards,
+        deadline=args.deadline,
+        max_retries=args.retries,
+        snapshot_every=args.snapshot_every,
+        overload_threshold=args.overload_threshold,
+        method=args.method,
+        seed=args.seed,
+    )
+    try:
+        report = run_fault_injection(
+            data=data,
+            steps=args.steps,
+            update_fraction=args.update_fraction,
+            batch=args.batch,
+            update_size=args.update_size,
+            plan=plan,
+            config=config,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    stats = report.service_stats
+    print(
+        f"# serve: {args.shards} shards, {report.steps} steps -> "
+        f"{report.queries} queries in {stats['query_windows']} windows "
+        f"({stats['coalesced_queries']} coalesced, max window "
+        f"{stats['max_window']}), {report.update_batches} update batches"
+    )
+    print(
+        f"# fault tolerance: retries={stats['retries']} "
+        f"respawns={stats['worker_respawns']} "
+        f"warm_restarts={stats['warm_restarts']} "
+        f"cold_rebuilds={stats['cold_rebuilds']} "
+        f"snapshot_failures={stats['snapshot_failures']} "
+        f"wal_replayed={stats['wal_records_replayed']}"
+    )
+    print(
+        f"# degradation: degraded_windows={stats['degraded_windows']} "
+        f"overload_sheds={stats['overload_sheds']} "
+        f"deadline_timeouts={stats['deadline_timeouts']} "
+        f"dropped_responses={stats['dropped_responses']}"
+    )
+    if args.inject:
+        print(
+            "# injected: "
+            + " ".join(f"{k}={v}" for k, v in sorted(report.injector.items()))
+        )
+    if args.no_verify:
+        print("# verification: skipped (--no-verify)")
+        return 0
+    if report.ok:
+        print("# verification: every answer byte-identical to the reference")
+        return 0
+    print(
+        f"# verification FAILED: {report.mismatches} mismatching answers",
+        file=sys.stderr,
+    )
+    for example in report.examples:
+        print(f"#   {example}", file=sys.stderr)
+    return 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
+    problem = _validate_data_args(args)
+    if problem:
+        return _bad_args(problem)
     data = _make_data(args)
     _write_csv(args.output, data)
     print(f"wrote {data.shape[0]} x {data.shape[1]} points to {args.output}")
@@ -360,6 +536,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the final cost-model plan after the stream",
     )
     stream.set_defaults(func=_cmd_stream)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="replay a workload through the fault-tolerant concurrent service",
+    )
+    add_data_arguments(serve)
+    serve.add_argument(
+        "--shards", type=int, default=2, help="number of worker processes"
+    )
+    serve.add_argument(
+        "--steps", type=int, default=40, help="number of workload steps"
+    )
+    serve.add_argument(
+        "--update-fraction",
+        type=float,
+        default=0.3,
+        help="probability that a step is an update batch instead of queries",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=4, help="ratio-range queries per query step"
+    )
+    serve.add_argument(
+        "--update-size",
+        type=int,
+        default=16,
+        help="points touched per update batch (half inserts, half deletes)",
+    )
+    serve.add_argument(
+        "--method",
+        default="auto",
+        help="algorithm: auto, baseline, transform, quad, cutting",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="bounded retries per request (exponential backoff with jitter)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help="worker auto-snapshot interval in applied update batches (0 = off)",
+    )
+    serve.add_argument(
+        "--overload-threshold",
+        type=int,
+        default=0,
+        help="query-window size beyond which the service degrades to the "
+        "transform path (0 = never)",
+    )
+    serve.add_argument(
+        "--inject",
+        help="fault-injection spec, comma-separated key=value: "
+        "kill_every, kill_mode (kill|before_wal|after_wal|after_apply), "
+        "drop, delay, corrupt (truncate|bitflip), corrupt_every, seed",
+    )
+    serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the byte-identical comparison against a single-process "
+        "reference session",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     generate = subparsers.add_parser("generate", help="write a synthetic dataset")
     add_data_arguments(generate)

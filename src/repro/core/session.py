@@ -613,6 +613,72 @@ class DatasetSession:
         )
 
     # ------------------------------------------------------------------
+    # Snapshots (warm restart without an index rebuild)
+    # ------------------------------------------------------------------
+    #: Version of the *session state* layout inside a snapshot payload.
+    #: Bump whenever the pickled attribute set changes incompatibly; the
+    #: loader rejects any other value so a stale snapshot can never be
+    #: silently reinterpreted.
+    SNAPSHOT_STATE_VERSION = 1
+
+    def save_snapshot(self, path: str, extra: Optional[Dict[str, object]] = None) -> int:
+        """Serialize the whole session — data, arenas, cached indexes — to disk.
+
+        The snapshot captures everything a warm restart needs to answer
+        queries without rebuilding anything: the dataset, the memoised
+        skyline, every cached :class:`~repro.index.eclipse_index.EclipseIndex`
+        (their arenas travel trimmed to the valid prefix), the memoised
+        degenerate-build failures, and the generation counters.  ``extra``
+        is an opaque caller dict stored alongside (the service layer keeps
+        its shard global-id map and last applied sequence number there).
+
+        The file is written atomically behind a magic/version/SHA-256
+        header (:mod:`repro.service.snapshot`); returns the byte size.
+        """
+        from repro.service.snapshot import write_payload
+
+        payload = {
+            "kind": "repro-dataset-session",
+            "state_version": self.SNAPSHOT_STATE_VERSION,
+            "session": self,
+            "extra": dict(extra or {}),
+        }
+        return write_payload(path, payload)
+
+    @classmethod
+    def load_snapshot(cls, path: str) -> Tuple["DatasetSession", Dict[str, object]]:
+        """Restore a session (and the caller's ``extra`` dict) from a snapshot.
+
+        Raises :class:`~repro.errors.SnapshotError` when the file is
+        corrupt, truncated, version-mismatched, or does not actually hold a
+        session — callers treat that as "no snapshot" and rebuild cold.
+        """
+        from repro.errors import SnapshotError
+        from repro.service.snapshot import read_payload
+
+        payload = read_payload(path)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != "repro-dataset-session"
+        ):
+            raise SnapshotError(
+                f"snapshot {path!r} does not hold a DatasetSession payload"
+            )
+        if payload.get("state_version") != cls.SNAPSHOT_STATE_VERSION:
+            raise SnapshotError(
+                f"snapshot {path!r} holds session state version "
+                f"{payload.get('state_version')!r}, this build reads "
+                f"{cls.SNAPSHOT_STATE_VERSION}"
+            )
+        session = payload["session"]
+        if not isinstance(session, cls):
+            raise SnapshotError(
+                f"snapshot {path!r} decoded to {type(session).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return session, payload.get("extra", {})
+
+    # ------------------------------------------------------------------
     # Planning and execution
     # ------------------------------------------------------------------
     def plan(

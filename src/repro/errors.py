@@ -55,3 +55,39 @@ class DegenerateHyperplaneError(InvalidDatasetError):
 class EmptyDatasetError(InvalidDatasetError):
     """Raised when an operation that requires at least one point receives an
     empty dataset."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for errors raised by the concurrent query service layer.
+
+    Everything the supervisor cannot hide behind a retry — a request that
+    exhausted its retry budget, a worker that cannot be respawned, a closed
+    service — surfaces as a subclass of this.
+    """
+
+
+class SnapshotError(ServiceError):
+    """Raised when a session snapshot file cannot be trusted.
+
+    Covers truncated files, checksum mismatches, unknown format versions and
+    undecodable payloads.  Recovery code treats this as "snapshot absent":
+    the session is rebuilt cold from authoritative data plus the write-ahead
+    log, never from the suspect bytes.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a service request missed its per-request deadline.
+
+    The supervisor converts worker-level deadline misses into retries (after
+    respawning the worker); this escapes to the caller only once the retry
+    budget is spent.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """Raised when a shard worker died (or its pipe broke) mid-request.
+
+    Like :class:`DeadlineExceededError` this is retried internally and only
+    reaches the caller when the worker keeps dying past the retry budget.
+    """

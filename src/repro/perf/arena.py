@@ -71,6 +71,25 @@ class GrowableArena:
     def __len__(self) -> int:
         return self._len
 
+    # ------------------------------------------------------------------
+    # Snapshot serialization (classes with __slots__ need explicit state
+    # hooks).  Only the valid prefix travels: headroom is garbage bytes and
+    # the resident spare buffer is a pure scratch optimisation, so a pickled
+    # arena is as small as its live rows.  The grow counter is preserved —
+    # a warm-restarted session keeps honest amortisation accounting.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {"rows": self._buf[: self._len].copy(), "grows": self.grows}
+
+    def __setstate__(self, state) -> None:
+        rows = state["rows"]
+        self._len = int(rows.shape[0])
+        cap = max(self._len, MIN_CAPACITY)
+        self._buf = np.empty((cap,) + rows.shape[1:], dtype=rows.dtype)
+        self._buf[: self._len] = rows
+        self._spare = None
+        self.grows = int(state["grows"])
+
     @property
     def view(self) -> np.ndarray:
         """Zero-copy view of the valid rows.  Stale after the next append."""

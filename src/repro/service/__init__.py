@@ -1,0 +1,57 @@
+"""Fault-tolerant concurrent query service over :class:`DatasetSession`.
+
+The package is layered bottom-up:
+
+``snapshot``
+    Checksummed on-disk container (magic / version / SHA-256 header) used
+    for session snapshots.  Corrupt or truncated files are *detected*, never
+    trusted — loaders raise :class:`~repro.errors.SnapshotError` and callers
+    fall back to a cold rebuild.
+
+``wal``
+    Append-only write-ahead log of acknowledged update batches with
+    per-record CRCs.  A worker appends the batch *before* applying it, so an
+    acknowledged update survives any crash; replay skips already-applied
+    sequence numbers, making crash-retry delivery idempotent.
+
+``worker``
+    The long-lived shard worker process: one :class:`DatasetSession` per
+    shard, global-id bookkeeping, snapshot/WAL recovery on startup, and the
+    request loop (queries, idempotent updates, snapshots, health pings).
+
+``supervisor``
+    :class:`EclipseService` — shards a dataset across workers, coalesces
+    concurrently arriving queries into one ``run_batch`` window per shard,
+    merges per-shard eclipse candidates exactly, supervises workers
+    (heartbeats, crash detection, automatic respawn from the latest
+    snapshot + WAL tail), enforces per-request deadlines with bounded
+    exponential-backoff retries, and sheds to the transform path under
+    overload or repeated index failure.
+
+``faults``
+    Deterministic fault-injection harness: kills workers mid-batch, drops
+    and delays responses, corrupts snapshot files, and replays a mixed
+    workload against a single-process reference session asserting
+    byte-identical answers throughout.
+"""
+
+from repro.service.faults import FaultInjector, FaultPlan, run_fault_injection
+from repro.service.snapshot import read_payload, write_payload
+from repro.service.supervisor import (
+    EclipseService,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.service.wal import WriteAheadLog
+
+__all__ = [
+    "EclipseService",
+    "FaultInjector",
+    "FaultPlan",
+    "ServiceConfig",
+    "ServiceStats",
+    "WriteAheadLog",
+    "read_payload",
+    "run_fault_injection",
+    "write_payload",
+]

@@ -1,0 +1,301 @@
+"""Deterministic fault injection and the service acceptance harness.
+
+Two halves:
+
+* :class:`FaultInjector` — the supervisor's injection hooks, driven by a
+  :class:`FaultPlan`: kill a worker on every ``k``-th update batch (either
+  a supervisor-side SIGKILL right after the request is sent — mid-batch —
+  or a worker-side ``os._exit`` at a chosen point of the WAL-apply-ack
+  sequence), drop or delay responses, and corrupt the snapshot file a
+  respawning worker is about to recover from (truncation or a bit flip —
+  both must be *detected* by the checksum header and demote the recovery
+  to a cold rebuild, never crash it or silently serve wrong state).
+
+* :func:`run_fault_injection` — replays one seeded mixed query/update
+  workload simultaneously against a faulty :class:`EclipseService` and a
+  single-process reference :class:`DatasetSession`, asserting after every
+  step that the service's answers are **byte-identical** to the
+  reference's (same global rows, same coordinate bytes).  This is the
+  acceptance gate of the robustness contract: with workers dying
+  mid-stream and snapshots corrupted, no acknowledged update is lost and
+  no query answer changes.
+
+Everything is seeded — the workload, the injector's choices, the
+supervisor's backoff jitter — so a failing run replays exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.session import DatasetSession
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.service.supervisor import EclipseService, ServiceConfig
+
+
+def corrupt_file(path: str, mode: str = "bitflip", seed: int = 0) -> None:
+    """Damage a file in place: ``"truncate"`` halves it, ``"bitflip"`` flips
+    one payload bit at a seeded offset.  Used to prove the snapshot loader
+    detects (and survives) exactly this."""
+    size = os.path.getsize(path)
+    if mode == "truncate":
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+        return
+    if mode == "bitflip":
+        rng = np.random.default_rng(seed)
+        # Flip inside the payload, past the 52-byte header, so the damage
+        # must be caught by the checksum rather than the magic check.
+        start = min(52, size - 1)
+        offset = int(rng.integers(start, size))
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0x40]))
+        return
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, and how often.
+
+    Attributes
+    ----------
+    kill_every:
+        Inject a worker death on every ``k``-th update batch (``0`` = never).
+    kill_mode:
+        ``"kill"`` — supervisor SIGKILLs the worker right after sending the
+        batch (mid-batch, timing decided by the OS); ``"before_wal"`` /
+        ``"after_wal"`` / ``"after_apply"`` — the worker ``os._exit``s at
+        that exact point, pinning the crash to the interesting instants of
+        the durability protocol.
+    drop_response_rate:
+        Probability that a worker response is discarded after being read
+        (a lost acknowledgement — the retry must be idempotent).
+    response_delay:
+        Fixed extra seconds added to every response (deadline pressure).
+    corrupt_snapshot:
+        ``None``, ``"truncate"`` or ``"bitflip"`` — applied to the snapshot
+        file right before a respawning worker reads it.
+    corrupt_every:
+        Apply the corruption before every ``k``-th respawn (``0`` = never).
+    seed:
+        Seed of the injector's RNG (shard choice, flip offsets, drops).
+    """
+
+    kill_every: int = 0
+    kill_mode: str = "kill"
+    drop_response_rate: float = 0.0
+    response_delay: float = 0.0
+    corrupt_snapshot: Optional[str] = None
+    corrupt_every: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kill_mode not in _KILL_MODES:
+            raise ValueError(
+                f"kill_mode must be one of {_KILL_MODES}, got {self.kill_mode!r}"
+            )
+        if self.corrupt_snapshot not in (None, "truncate", "bitflip"):
+            raise ValueError(
+                f"corrupt_snapshot must be 'truncate' or 'bitflip', "
+                f"got {self.corrupt_snapshot!r}"
+            )
+
+
+_KILL_MODES = ("kill", "before_wal", "after_wal", "after_apply")
+
+
+class FaultInjector:
+    """Stateful, seeded implementation of the supervisor's injection hooks."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self.kills_injected = 0
+        self.drops_injected = 0
+        self.corruptions_injected = 0
+        self.respawns_seen = 0
+
+    # -- hooks called by the supervisor --------------------------------
+    def on_update(self, seq: int, num_shards: int):
+        """Decide whether (and how) to kill a worker for update ``seq``."""
+        if self.plan.kill_every and seq % self.plan.kill_every == 0:
+            shard = int(self._rng.integers(num_shards))
+            self.kills_injected += 1
+            return shard, self.plan.kill_mode
+        return None, None
+
+    def drop_response(self, shard: int) -> bool:
+        if (
+            self.plan.drop_response_rate
+            and self._rng.uniform() < self.plan.drop_response_rate
+        ):
+            self.drops_injected += 1
+            return True
+        return False
+
+    def response_delay(self) -> float:
+        return self.plan.response_delay
+
+    def before_respawn(self, shard: int, snapshot_path: str) -> None:
+        self.respawns_seen += 1
+        if (
+            self.plan.corrupt_snapshot
+            and self.plan.corrupt_every
+            and self.respawns_seen % self.plan.corrupt_every == 0
+            and os.path.exists(snapshot_path)
+        ):
+            corrupt_file(
+                snapshot_path,
+                self.plan.corrupt_snapshot,
+                seed=int(self._rng.integers(2**31)),
+            )
+            self.corruptions_injected += 1
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "kills_injected": self.kills_injected,
+            "drops_injected": self.drops_injected,
+            "corruptions_injected": self.corruptions_injected,
+            "respawns_seen": self.respawns_seen,
+        }
+
+
+@dataclass
+class FaultReport:
+    """Outcome of one :func:`run_fault_injection` run."""
+
+    steps: int
+    queries: int
+    update_batches: int
+    mismatches: int
+    service_stats: Dict[str, int]
+    injector: Dict[str, int]
+    examples: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every service answer matched the reference exactly."""
+        return self.mismatches == 0
+
+
+def run_fault_injection(
+    dataset: str = "ANTI",
+    n: int = 2000,
+    dimensions: int = 3,
+    steps: int = 40,
+    update_fraction: float = 0.3,
+    batch: int = 4,
+    update_size: int = 16,
+    plan: Optional[FaultPlan] = None,
+    config: Optional[ServiceConfig] = None,
+    snapshot_dir: Optional[str] = None,
+    seed: int = 0,
+    verify: bool = True,
+    data: Optional[np.ndarray] = None,
+) -> FaultReport:
+    """Replay a seeded mixed workload against a faulty service and verify it.
+
+    Every query step submits ``batch`` ratio-range queries to the service
+    (they coalesce into admission windows) and, when ``verify`` is on,
+    re-answers them on a single-process reference session over the same
+    logical dataset, comparing global row ids and coordinate bytes
+    exactly.  Every update step applies the same inserts/deletes to both
+    sides; the reference addresses rows positionally, the service by
+    global id, and the harness maintains the position→gid map so the two
+    streams stay aligned.
+    """
+    plan = plan or FaultPlan()
+    config = config or ServiceConfig()
+    if data is None:
+        data = generate_dataset(dataset.upper(), n, dimensions, seed=seed)
+    else:
+        data = np.asarray(data, dtype=float)
+        n, dimensions = int(data.shape[0]), int(data.shape[1])
+    lows = data.min(axis=0)
+    highs = data.max(axis=0)
+    injector = FaultInjector(plan)
+    workload = np.random.default_rng(seed + 1)
+    reference = DatasetSession(data) if verify else None
+    ref_gids = np.arange(n, dtype=np.intp)
+    queries = update_batches = mismatches = 0
+    examples: List[str] = []
+    with EclipseService(
+        data, config=config, snapshot_dir=snapshot_dir, injector=injector
+    ) as service:
+        for step in range(steps):
+            if workload.uniform() < update_fraction:
+                half = max(1, update_size // 2)
+                inserts = lows + workload.uniform(
+                    size=(half, dimensions)
+                ) * (highs - lows)
+                current = int(ref_gids.size)
+                num_deletes = min(half, max(0, current - 1))
+                positions = (
+                    np.sort(
+                        workload.choice(current, size=num_deletes, replace=False)
+                    )
+                    if num_deletes
+                    else np.empty(0, dtype=np.intp)
+                )
+                delete_gids = ref_gids[positions]
+                ack = service.apply_updates(
+                    inserts=inserts, delete_gids=delete_gids
+                )
+                if reference is not None:
+                    reference.apply_updates(
+                        inserts=inserts,
+                        deletes=positions if positions.size else None,
+                    )
+                ref_gids = np.concatenate(
+                    [np.delete(ref_gids, positions), ack.insert_gids]
+                )
+                update_batches += 1
+            else:
+                specs = []
+                for _ in range(batch):
+                    low = float(workload.uniform(0.1, 1.0))
+                    specs.append(
+                        RatioVector.uniform(
+                            low, low + float(workload.uniform(0.2, 2.5)),
+                            dimensions,
+                        )
+                    )
+                results = service.query_batch(specs)
+                queries += len(specs)
+                if reference is not None:
+                    for spec, got in zip(specs, results):
+                        want = reference.run(ratios=spec)
+                        same_rows = np.array_equal(
+                            ref_gids[want.indices], got.gids
+                        )
+                        same_bytes = (
+                            want.points.shape == got.points.shape
+                            and want.points.tobytes() == got.points.tobytes()
+                        )
+                        if not (same_rows and same_bytes):
+                            mismatches += 1
+                            if len(examples) < 5:
+                                examples.append(
+                                    f"step {step}: reference "
+                                    f"{ref_gids[want.indices].tolist()} != "
+                                    f"service {got.gids.tolist()}"
+                                )
+        stats = service.stats.as_dict()
+    return FaultReport(
+        steps=steps,
+        queries=queries,
+        update_batches=update_batches,
+        mismatches=mismatches,
+        service_stats=stats,
+        injector=injector.summary(),
+        examples=examples,
+    )

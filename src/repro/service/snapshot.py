@@ -1,0 +1,110 @@
+"""Checksummed snapshot container: the on-disk format of session state.
+
+A snapshot file is one pickled payload behind a fixed-size header::
+
+    offset  size  field
+    0       8     magic  b"RPROSNAP"
+    8       4     format version  (little-endian uint32)
+    12      8     payload length  (little-endian uint64)
+    20      32    SHA-256 digest of the payload bytes
+    52      ...   payload (pickle protocol >= 2)
+
+The header exists so a *damaged* file is always distinguishable from a
+*valid* one: a truncated write fails the length check, a bit flip fails the
+digest check, an old/foreign file fails the magic/version check.  Every
+failure mode raises :class:`~repro.errors.SnapshotError` with a message
+naming what was wrong; loaders never fall through to unpickling suspect
+bytes (an attacker-shaped concern, but here simply a crash-consistency one:
+``pickle`` on garbage can raise nearly anything or, worse, succeed).
+
+Writes are atomic: the payload goes to a ``.tmp`` sibling which is fsynced
+and ``os.replace``d over the target, so a crash mid-write leaves the
+previous snapshot intact rather than a half-written file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from typing import Any
+
+from repro.errors import SnapshotError
+
+#: File magic; changing the layout below requires bumping :data:`VERSION`.
+MAGIC = b"RPROSNAP"
+
+#: On-disk format version.  Readers reject snapshots from any other version
+#: (there is no cross-version migration — a mismatch means "rebuild cold").
+VERSION = 1
+
+_HEADER = struct.Struct("<8sIQ32s")
+
+
+def write_payload(path: str, payload: Any) -> int:
+    """Atomically write ``payload`` (pickled) to ``path``; return file size.
+
+    The bytes are written to ``path + ".tmp"``, flushed and fsynced, then
+    renamed over ``path`` — readers only ever observe the previous complete
+    snapshot or the new complete snapshot.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).digest()
+    header = _HEADER.pack(MAGIC, VERSION, len(blob), digest)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(header)
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return len(header) + len(blob)
+
+
+def read_payload(path: str) -> Any:
+    """Read and verify one snapshot file; return the unpickled payload.
+
+    Raises
+    ------
+    SnapshotError
+        If the file is missing, truncated, carries the wrong magic or
+        format version, fails the checksum, or cannot be unpickled.  The
+        message says which check failed — recovery paths log it and fall
+        back to a cold rebuild.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise SnapshotError(f"snapshot {path!r} is unreadable: {exc}") from exc
+    if len(raw) < _HEADER.size:
+        raise SnapshotError(
+            f"snapshot {path!r} is truncated: {len(raw)} bytes is shorter "
+            f"than the {_HEADER.size}-byte header"
+        )
+    magic, version, length, digest = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise SnapshotError(
+            f"snapshot {path!r} has wrong magic {magic!r}; not a snapshot file"
+        )
+    if version != VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} has format version {version}, "
+            f"this build reads version {VERSION}"
+        )
+    blob = raw[_HEADER.size :]
+    if len(blob) != length:
+        raise SnapshotError(
+            f"snapshot {path!r} is truncated: header promises {length} "
+            f"payload bytes, file holds {len(blob)}"
+        )
+    if hashlib.sha256(blob).digest() != digest:
+        raise SnapshotError(f"snapshot {path!r} failed its checksum")
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise SnapshotError(
+            f"snapshot {path!r} passed its checksum but cannot be decoded: "
+            f"{exc}"
+        ) from exc

@@ -1,0 +1,264 @@
+"""The shard worker: one long-lived process, one :class:`DatasetSession`.
+
+A worker owns one shard of the service's dataset.  Rows are addressed by
+**global ids** — stable identifiers assigned by the supervisor that never
+shift or get reused — and the worker keeps the ``local position → global
+id`` map alongside its session, so query responses speak global ids and
+delete requests can name rows without knowing shard-local positions.
+
+Startup is recovery: load the latest snapshot (session + global-id map +
+last applied sequence number) and replay the write-ahead-log tail.  A
+missing or damaged snapshot demotes to a **cold rebuild** from the shard's
+base data plus a full WAL replay — logged, never a crash, and never silent
+wrong state (the snapshot checksum decides).  The first message a worker
+sends is ``("ready", …)`` describing which path it took.
+
+The request loop then serves, strictly in order:
+
+``query``
+    Answer a window of ratio-range specifications with one
+    ``run_batch`` call (the supervisor has already coalesced concurrent
+    queries into the window); returns per-spec ``(global ids, points)`` of
+    the *shard-local* eclipse — the supervisor merges shards exactly.
+    Queries carry the supervisor's expected sequence number; answering at
+    any other sequence number would silently serve a stale or torn view,
+    so the worker refuses with ``("stale", …)`` instead (the supervisor
+    retries after recovery converges).
+
+``update``
+    Idempotent, WAL-first: a batch with ``seq <= last_seq`` is
+    acknowledged without reapplying (duplicate delivery after a lost
+    acknowledgement); otherwise the record is fsynced to the WAL *before*
+    it touches the session, so an acknowledged batch survives a crash at
+    any instant.  ``die`` is the fault-injection hook — the worker
+    ``os._exit``s at the named point to simulate crashes before the WAL
+    write, between WAL and apply, and between apply and acknowledgement.
+
+``snapshot`` / ``ping`` / ``stop``
+    Force a snapshot to disk, answer a heartbeat, or exit cleanly.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.session import DatasetSession
+from repro.errors import ReproError, SnapshotError
+from repro.service.wal import WriteAheadLog
+
+logger = logging.getLogger(__name__)
+
+
+class ShardState:
+    """Mutable worker-side state: the session plus global-id bookkeeping."""
+
+    def __init__(
+        self, session: DatasetSession, gids: np.ndarray, last_seq: int
+    ):
+        self.session = session
+        self.gids = np.asarray(gids, dtype=np.intp)
+        self.last_seq = int(last_seq)
+
+    def apply_record(self, record: Dict[str, object]) -> int:
+        """Apply one WAL/update record; returns the rows actually deleted.
+
+        ``delete_gids`` may name rows on other shards — only the
+        intersection with this shard's map is deleted, which is what lets
+        the supervisor broadcast one delete set to every shard.
+        """
+        delete_gids = np.asarray(record["delete_gids"], dtype=np.intp)
+        insert_points = np.asarray(record["insert_points"], dtype=float)
+        insert_gids = np.asarray(record["insert_gids"], dtype=np.intp)
+        local = None
+        if delete_gids.size:
+            positions = np.flatnonzero(np.isin(self.gids, delete_gids))
+            local = positions if positions.size else None
+        self.session.apply_updates(
+            inserts=insert_points if insert_points.size else None,
+            deletes=local,
+        )
+        kept = (
+            np.delete(self.gids, local) if local is not None else self.gids
+        )
+        self.gids = (
+            np.concatenate([kept, insert_gids]) if insert_gids.size else kept
+        )
+        self.last_seq = int(record["seq"])
+        return 0 if local is None else int(local.size)
+
+    def extra_state(self) -> Dict[str, object]:
+        """The service-side payload stored inside session snapshots."""
+        return {"gids": self.gids.copy(), "last_seq": self.last_seq}
+
+
+def recover_shard(
+    base_data: np.ndarray,
+    base_gids: np.ndarray,
+    snapshot_path: str,
+    wal: WriteAheadLog,
+    index_kwargs: Optional[Dict[str, object]] = None,
+) -> tuple:
+    """Rebuild a shard's state from disk; returns ``(state, ready_info)``.
+
+    Warm path: snapshot (arenas + cached indexes, zero rebuild) + WAL tail.
+    Cold path: base data + full WAL replay — taken when the snapshot is
+    missing, truncated, corrupt, or version-mismatched; the reason is
+    logged and reported, never raised.
+    """
+    state: Optional[ShardState] = None
+    snapshot_error: Optional[str] = None
+    loaded_warm = False
+    if os.path.exists(snapshot_path):
+        try:
+            session, extra = DatasetSession.load_snapshot(snapshot_path)
+            state = ShardState(
+                session, extra["gids"], extra["last_seq"]
+            )
+            loaded_warm = True
+        except SnapshotError as exc:
+            snapshot_error = str(exc)
+            logger.warning(
+                "shard snapshot %s is unusable (%s); falling back to a "
+                "cold rebuild from base data + full WAL replay",
+                snapshot_path,
+                exc,
+            )
+    if state is None:
+        state = ShardState(
+            DatasetSession(base_data, index_kwargs=index_kwargs),
+            np.asarray(base_gids, dtype=np.intp).copy(),
+            last_seq=0,
+        )
+    replayed = skipped = 0
+    for record in wal.replay():
+        if int(record["seq"]) <= state.last_seq:
+            skipped += 1
+            continue
+        state.apply_record(record)
+        replayed += 1
+    if loaded_warm:
+        mode = "warm"
+    elif replayed or skipped or snapshot_error is not None:
+        mode = "cold"
+    else:
+        mode = "fresh"
+    ready_info = {
+        "mode": mode,
+        "last_seq": state.last_seq,
+        "replayed": replayed,
+        "snapshot_error": snapshot_error,
+        "num_points": state.session.num_points,
+    }
+    return state, ready_info
+
+
+def worker_main(
+    shard_id: int,
+    conn,
+    base_data: np.ndarray,
+    base_gids: np.ndarray,
+    snapshot_path: str,
+    wal_path: str,
+    snapshot_every: int = 8,
+    index_kwargs: Optional[Dict[str, object]] = None,
+) -> None:
+    """Process entry point of one shard worker (see the module docstring)."""
+    wal = WriteAheadLog(wal_path)
+    state, ready_info = recover_shard(
+        base_data, base_gids, snapshot_path, wal, index_kwargs
+    )
+    conn.send(("ready", ready_info))
+    applied_since_snapshot = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind, req_id = message[0], message[1]
+        try:
+            if kind == "query":
+                _specs, method, expected_seq = message[2], message[3], message[4]
+                if expected_seq is not None and expected_seq != state.last_seq:
+                    conn.send(("stale", req_id, {"last_seq": state.last_seq}))
+                    continue
+                results = state.session.run_batch(_specs, method=method)
+                payload = {
+                    "results": [
+                        (state.gids[r.indices], r.points) for r in results
+                    ],
+                    "methods": [r.method for r in results],
+                    "last_seq": state.last_seq,
+                }
+                conn.send(("ok", req_id, payload))
+            elif kind == "update":
+                record, die = message[2], message[3]
+                seq = int(record["seq"])
+                if seq <= state.last_seq:
+                    # Duplicate delivery (retry after a lost ack): idempotent.
+                    conn.send(
+                        ("ok", req_id, {"applied": False, "last_seq": state.last_seq})
+                    )
+                    continue
+                if die == "before_wal":
+                    os._exit(2)
+                wal.append(record)
+                if die == "after_wal":
+                    os._exit(2)
+                num_deleted = state.apply_record(record)
+                if die == "after_apply":
+                    os._exit(2)
+                applied_since_snapshot += 1
+                if snapshot_every and applied_since_snapshot >= snapshot_every:
+                    state.session.save_snapshot(
+                        snapshot_path, extra=state.extra_state()
+                    )
+                    applied_since_snapshot = 0
+                conn.send(
+                    (
+                        "ok",
+                        req_id,
+                        {
+                            "applied": True,
+                            "num_deleted": num_deleted,
+                            "last_seq": state.last_seq,
+                        },
+                    )
+                )
+            elif kind == "snapshot":
+                size = state.session.save_snapshot(
+                    snapshot_path, extra=state.extra_state()
+                )
+                applied_since_snapshot = 0
+                conn.send(("ok", req_id, {"bytes": size, "path": snapshot_path}))
+            elif kind == "ping":
+                conn.send(
+                    (
+                        "ok",
+                        req_id,
+                        {
+                            "shard": shard_id,
+                            "last_seq": state.last_seq,
+                            "num_points": state.session.num_points,
+                            "generation": state.session.generation,
+                        },
+                    )
+                )
+            elif kind == "stop":
+                conn.send(("ok", req_id, {}))
+                return
+            else:
+                conn.send(
+                    ("error", req_id, {"message": f"unknown request {kind!r}"})
+                )
+        except ReproError as exc:
+            # Per-request failure (bad ratios, degenerate index, ...): the
+            # worker stays up; the supervisor decides whether to degrade.
+            conn.send(
+                ("error", req_id, {"message": str(exc), "kind": type(exc).__name__})
+            )
+        except (EOFError, OSError, BrokenPipeError):
+            return

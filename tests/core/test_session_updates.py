@@ -342,3 +342,47 @@ class TestEmptySessionGrowth:
                 session.run_indices(spec, method=method),
                 rebuilt.run_indices(spec, method=method),
             )
+
+
+class TestUpdateValidation:
+    """Hostile inputs must fail loudly, before any state changes."""
+
+    def test_nan_inserts_rejected(self, hotels):
+        from repro.errors import InvalidDatasetError
+
+        session = DatasetSession(hotels)
+        with pytest.raises(InvalidDatasetError, match="finite"):
+            session.apply_updates(inserts=np.array([[1.0, np.nan]]))
+        assert session.generation == 0
+        assert session.num_points == hotels.shape[0]
+
+    def test_infinite_inserts_rejected(self, hotels):
+        from repro.errors import InvalidDatasetError
+
+        session = DatasetSession(hotels)
+        for bad in (np.inf, -np.inf):
+            with pytest.raises(InvalidDatasetError, match="finite"):
+                session.apply_updates(inserts=np.array([[bad, 2.0]]))
+        assert session.generation == 0
+
+    def test_dimension_mismatch_rejected(self, hotels):
+        session = DatasetSession(hotels)
+        with pytest.raises(DimensionMismatchError):
+            session.apply_updates(inserts=np.ones((2, 5)))
+        assert session.generation == 0
+
+    def test_out_of_range_deletes_rejected(self, hotels):
+        session = DatasetSession(hotels)
+        for bad in ([99], [-1]):
+            with pytest.raises(Exception):
+                session.apply_updates(deletes=np.array(bad))
+        assert session.num_points == hotels.shape[0]
+
+    def test_failed_batch_leaves_queries_unaffected(self, hotels, paper_ratio):
+        from repro.errors import InvalidDatasetError
+
+        session = DatasetSession(hotels)
+        want = session.run_indices(paper_ratio)
+        with pytest.raises(InvalidDatasetError):
+            session.apply_updates(inserts=np.array([[np.nan, np.nan]]))
+        assert np.array_equal(session.run_indices(paper_ratio), want)

@@ -1,0 +1,281 @@
+"""Crash-recovery fuzzing: workers die at every protocol instant, snapshots
+rot on disk, acknowledgements get lost — answers must never change."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import DatasetSession
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.service import EclipseService, ServiceConfig
+from repro.service.faults import (
+    FaultInjector,
+    FaultPlan,
+    corrupt_file,
+    run_fault_injection,
+)
+from repro.service.wal import WriteAheadLog
+from repro.service.worker import recover_shard
+
+FAST = ServiceConfig(
+    num_shards=2, backoff_base=0.01, backoff_cap=0.05, snapshot_every=3
+)
+
+
+class TestKillEveryKthBatch:
+    """The ISSUE's fuzz contract: kill a worker after every k-th acknowledged
+    update batch, at each interesting instant of the WAL-apply-ack protocol,
+    and demand byte-identical answers throughout."""
+
+    @pytest.mark.parametrize(
+        "kill_mode", ["kill", "before_wal", "after_wal", "after_apply"]
+    )
+    def test_byte_identical_under_kills(self, kill_mode):
+        plan = FaultPlan(kill_every=2, kill_mode=kill_mode, seed=13)
+        report = run_fault_injection(
+            dataset="ANTI",
+            n=400,
+            dimensions=3,
+            steps=16,
+            update_fraction=0.5,
+            batch=3,
+            update_size=12,
+            plan=plan,
+            config=FAST,
+            seed=21,
+        )
+        assert report.ok, report.examples
+        assert report.injector["kills_injected"] >= 2
+        assert report.service_stats["worker_respawns"] >= 2
+        assert report.service_stats["retries"] >= 1
+
+    def test_kill_every_batch_is_survivable(self):
+        plan = FaultPlan(kill_every=1, kill_mode="after_wal", seed=5)
+        report = run_fault_injection(
+            dataset="INDE",
+            n=300,
+            dimensions=3,
+            steps=12,
+            update_fraction=0.6,
+            batch=2,
+            update_size=8,
+            plan=plan,
+            config=FAST,
+            seed=9,
+        )
+        assert report.ok, report.examples
+        assert report.injector["kills_injected"] == report.update_batches
+
+
+class TestDuplicateDelivery:
+    def test_dropped_acks_pin_idempotent_application(self):
+        # Lost acknowledgements force redelivery of already-applied update
+        # batches; the sequence-number dedup must absorb every duplicate.
+        plan = FaultPlan(drop_response_rate=0.3, seed=3)
+        config = ServiceConfig(
+            num_shards=2, max_retries=8, backoff_base=0.005, backoff_cap=0.02
+        )
+        report = run_fault_injection(
+            dataset="ANTI",
+            n=300,
+            dimensions=3,
+            steps=14,
+            update_fraction=0.5,
+            batch=2,
+            update_size=10,
+            plan=plan,
+            config=config,
+            seed=17,
+        )
+        assert report.ok, report.examples
+        assert report.service_stats["dropped_responses"] >= 1
+        assert report.injector["drops_injected"] >= 1
+
+    def test_redelivered_seq_not_reapplied(self):
+        data = generate_dataset("CORR", 120, 2, seed=0)
+        reference = DatasetSession(data)
+        ref_gids = np.arange(data.shape[0], dtype=np.intp)
+        # Drop every response once: each update is delivered at least twice.
+        plan = FaultPlan(drop_response_rate=0.5, seed=11)
+        config = ServiceConfig(
+            num_shards=2, max_retries=10, backoff_base=0.005, backoff_cap=0.02
+        )
+        with EclipseService(
+            data, config=config, injector=FaultInjector(plan)
+        ) as service:
+            inserts = np.array([[0.3, 0.8], [0.7, 0.2]])
+            for round_number in range(5):
+                ack = service.apply_updates(
+                    inserts=inserts, delete_gids=ref_gids[:1]
+                )
+                reference.apply_updates(inserts=inserts, deletes=np.array([0]))
+                ref_gids = np.concatenate([ref_gids[1:], ack.insert_gids])
+                assert ack.seq == round_number + 1
+            # A double-applied batch would change the row count.
+            health = service.ping()
+            assert sum(h["num_points"] for h in health) == reference.num_points
+            spec = RatioVector.uniform(0.25, 2.0, 2)
+            want = reference.run(ratios=spec)
+            got = service.query(spec)
+            np.testing.assert_array_equal(ref_gids[want.indices], got.gids)
+            assert want.points.tobytes() == got.points.tobytes()
+
+
+class TestSnapshotCorruption:
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_corrupt_snapshot_demotes_to_cold_rebuild(self, tmp_path, mode):
+        data = generate_dataset("ANTI", 200, 3, seed=6)
+        reference = DatasetSession(data)
+        ref_gids = np.arange(data.shape[0], dtype=np.intp)
+        config = ServiceConfig(
+            num_shards=2, backoff_base=0.01, snapshot_every=0
+        )
+        with EclipseService(
+            data, config=config, snapshot_dir=str(tmp_path)
+        ) as service:
+            inserts = np.full((4, 3), 0.4)
+            ack = service.apply_updates(inserts=inserts, delete_gids=ref_gids[:2])
+            reference.apply_updates(inserts=inserts, deletes=np.arange(2))
+            ref_gids = np.concatenate([ref_gids[2:], ack.insert_gids])
+            service.force_snapshot()
+            for shard in range(2):
+                corrupt_file(
+                    str(tmp_path / f"shard-{shard}.snapshot"), mode, seed=shard
+                )
+                service._handles[shard].process.kill()
+                service._handles[shard].process.join(timeout=5.0)
+            spec = RatioVector.uniform(0.3, 2.0, 3)
+            want = reference.run(ratios=spec)
+            got = service.query(spec)
+            # Detected (counted, logged), demoted to cold, still exact.
+            assert service.stats.snapshot_failures == 2
+            assert service.stats.cold_rebuilds == 2
+            assert service.stats.warm_restarts == 0
+            np.testing.assert_array_equal(ref_gids[want.indices], got.gids)
+            assert want.points.tobytes() == got.points.tobytes()
+
+    def test_corruption_under_fuzz_plan(self):
+        plan = FaultPlan(
+            kill_every=2,
+            kill_mode="kill",
+            corrupt_snapshot="bitflip",
+            corrupt_every=1,
+            seed=29,
+        )
+        report = run_fault_injection(
+            dataset="ANTI",
+            n=300,
+            dimensions=3,
+            steps=14,
+            update_fraction=0.5,
+            batch=2,
+            update_size=10,
+            plan=plan,
+            config=FAST,
+            seed=31,
+        )
+        assert report.ok, report.examples
+        if report.injector["corruptions_injected"]:
+            assert report.service_stats["snapshot_failures"] >= 1
+            assert report.service_stats["cold_rebuilds"] >= 1
+
+
+class TestWarmRestart:
+    def test_snapshot_plus_wal_tail_recovers_warm(self, tmp_path):
+        data = generate_dataset("INDE", 200, 3, seed=12)
+        reference = DatasetSession(data)
+        ref_gids = np.arange(data.shape[0], dtype=np.intp)
+        config = ServiceConfig(
+            num_shards=2, backoff_base=0.01, snapshot_every=0
+        )
+        with EclipseService(
+            data, config=config, snapshot_dir=str(tmp_path)
+        ) as service:
+            rng = np.random.default_rng(1)
+            for _ in range(2):
+                inserts = rng.uniform(0.1, 0.9, size=(4, 3))
+                positions = np.sort(rng.choice(ref_gids.size, 2, replace=False))
+                ack = service.apply_updates(
+                    inserts=inserts, delete_gids=ref_gids[positions]
+                )
+                reference.apply_updates(inserts=inserts, deletes=positions)
+                ref_gids = np.concatenate(
+                    [np.delete(ref_gids, positions), ack.insert_gids]
+                )
+            service.force_snapshot()
+            # One more acknowledged batch *after* the snapshot: the warm
+            # restart must replay it from the WAL tail.
+            inserts = rng.uniform(0.1, 0.9, size=(4, 3))
+            ack = service.apply_updates(inserts=inserts)
+            reference.apply_updates(inserts=inserts)
+            ref_gids = np.concatenate([ref_gids, ack.insert_gids])
+            for handle in service._handles:
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            spec = RatioVector.uniform(0.35, 1.9, 3)
+            want = reference.run(ratios=spec)
+            got = service.query(spec)
+            assert service.stats.warm_restarts == 2
+            assert service.stats.cold_rebuilds == 0
+            assert service.stats.wal_records_replayed >= 2
+            np.testing.assert_array_equal(ref_gids[want.indices], got.gids)
+            assert want.points.tobytes() == got.points.tobytes()
+
+
+class TestRecoverShard:
+    def test_fresh_start_without_artifacts(self, tmp_path):
+        data = generate_dataset("CORR", 80, 2, seed=0)
+        wal = WriteAheadLog(str(tmp_path / "shard.wal"))
+        state, info = recover_shard(
+            data, np.arange(80), str(tmp_path / "none.snapshot"), wal
+        )
+        assert info["mode"] == "fresh"
+        assert info["replayed"] == 0
+        assert state.last_seq == 0
+        assert state.session.num_points == 80
+
+    def test_cold_rebuild_replays_full_wal(self, tmp_path):
+        data = generate_dataset("CORR", 80, 2, seed=0)
+        wal = WriteAheadLog(str(tmp_path / "shard.wal"))
+        wal.append(
+            {
+                "seq": 1,
+                "insert_points": np.array([[0.5, 0.5]]),
+                "insert_gids": np.array([80], dtype=np.intp),
+                "delete_gids": np.array([0], dtype=np.intp),
+            }
+        )
+        wal.close()
+        state, info = recover_shard(
+            data, np.arange(80), str(tmp_path / "none.snapshot"), wal
+        )
+        assert info["mode"] == "cold"
+        assert info["replayed"] == 1
+        assert state.last_seq == 1
+        assert state.session.num_points == 80  # one delete, one insert
+        assert 80 in state.gids and 0 not in state.gids
+
+    def test_warm_skips_already_snapshotted_records(self, tmp_path):
+        data = generate_dataset("CORR", 80, 2, seed=0)
+        record = {
+            "seq": 1,
+            "insert_points": np.array([[0.5, 0.5]]),
+            "insert_gids": np.array([80], dtype=np.intp),
+            "delete_gids": np.empty(0, dtype=np.intp),
+        }
+        wal = WriteAheadLog(str(tmp_path / "shard.wal"))
+        wal.append(record)
+        wal.close()
+        session = DatasetSession(data)
+        session.apply_updates(inserts=record["insert_points"])
+        snapshot_path = str(tmp_path / "shard.snapshot")
+        session.save_snapshot(
+            snapshot_path,
+            extra={"gids": np.arange(81, dtype=np.intp), "last_seq": 1},
+        )
+        state, info = recover_shard(data, np.arange(80), snapshot_path, wal)
+        assert info["mode"] == "warm"
+        assert info["replayed"] == 0  # seq 1 was already in the snapshot
+        assert state.session.num_points == 81

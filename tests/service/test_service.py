@@ -1,0 +1,254 @@
+"""EclipseService behaviour: exact sharded answers, batching, degradation,
+validation, and basic fault absorption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import DatasetSession
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import (
+    DimensionMismatchError,
+    InvalidDatasetError,
+    ServiceError,
+)
+from repro.service import EclipseService, ServiceConfig
+from repro.service.supervisor import _QueryWork
+
+FAST = ServiceConfig(
+    num_shards=2, backoff_base=0.01, backoff_cap=0.05, snapshot_every=4
+)
+
+
+def _specs(dimensions: int, count: int = 5, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        low = float(rng.uniform(0.1, 1.0))
+        out.append(
+            RatioVector.uniform(low, low + float(rng.uniform(0.2, 2.5)), dimensions)
+        )
+    return out
+
+
+def _assert_matches_reference(service, reference, ref_gids, specs):
+    """Every service answer must be byte-identical to the reference's."""
+    results = service.query_batch(specs)
+    for spec, got in zip(specs, results):
+        want = reference.run(ratios=spec)
+        np.testing.assert_array_equal(ref_gids[want.indices], got.gids)
+        assert want.points.tobytes() == got.points.tobytes()
+
+
+class TestExactShardedAnswers:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3])
+    def test_queries_match_single_process(self, num_shards):
+        data = generate_dataset("ANTI", 240, 3, seed=7)
+        config = ServiceConfig(num_shards=num_shards, backoff_base=0.01)
+        reference = DatasetSession(data)
+        ref_gids = np.arange(data.shape[0], dtype=np.intp)
+        with EclipseService(data, config=config) as service:
+            _assert_matches_reference(service, reference, ref_gids, _specs(3))
+            assert service.stats.queries == 5
+
+    def test_updates_then_queries_match_single_process(self):
+        data = generate_dataset("INDE", 200, 3, seed=3)
+        reference = DatasetSession(data)
+        ref_gids = np.arange(data.shape[0], dtype=np.intp)
+        rng = np.random.default_rng(42)
+        with EclipseService(data, config=FAST) as service:
+            for round_number in range(4):
+                inserts = rng.uniform(0.1, 0.9, size=(6, 3))
+                positions = np.sort(
+                    rng.choice(ref_gids.size, size=4, replace=False)
+                )
+                ack = service.apply_updates(
+                    inserts=inserts, delete_gids=ref_gids[positions]
+                )
+                assert ack.seq == round_number + 1
+                assert ack.rows_deleted == 4
+                reference.apply_updates(inserts=inserts, deletes=positions)
+                ref_gids = np.concatenate(
+                    [np.delete(ref_gids, positions), ack.insert_gids]
+                )
+                _assert_matches_reference(
+                    service, reference, ref_gids, _specs(3, count=3, seed=round_number)
+                )
+            assert service.acked_seq == 4
+            assert service.stats.rows_inserted == 24
+            assert service.stats.rows_deleted == 16
+
+    def test_insert_only_and_delete_only_batches(self):
+        data = generate_dataset("CORR", 120, 2, seed=1)
+        reference = DatasetSession(data)
+        ref_gids = np.arange(data.shape[0], dtype=np.intp)
+        with EclipseService(data, config=FAST) as service:
+            inserts = np.array([[0.2, 0.9], [0.8, 0.1], [0.5, 0.5]])
+            ack = service.apply_updates(inserts=inserts)
+            reference.apply_updates(inserts=inserts)
+            ref_gids = np.concatenate([ref_gids, ack.insert_gids])
+            ack = service.apply_updates(delete_gids=ref_gids[:5])
+            reference.apply_updates(deletes=np.arange(5))
+            ref_gids = ref_gids[5:]
+            assert ack.rows_deleted == 5
+            _assert_matches_reference(
+                service, reference, ref_gids, _specs(2, count=3)
+            )
+
+
+class TestAdmissionBatching:
+    def test_window_coalesces_and_counts(self):
+        data = generate_dataset("ANTI", 200, 3, seed=5)
+        with EclipseService(data, config=FAST) as service:
+            # Drive the window path directly (deterministic, no queue races).
+            window = [_QueryWork(spec=spec) for spec in _specs(3, count=4)]
+            service._do_query_window(window)
+            assert service.stats.query_windows == 1
+            assert service.stats.coalesced_queries == 4
+            assert service.stats.max_window == 4
+            reference = DatasetSession(data)
+            for work in window:
+                assert work.done.is_set()
+                want = reference.run(ratios=work.spec)
+                np.testing.assert_array_equal(want.indices, work.result.gids)
+
+    def test_concurrent_batch_ends_to_end(self):
+        data = generate_dataset("INDE", 200, 3, seed=9)
+        reference = DatasetSession(data)
+        with EclipseService(data, config=FAST) as service:
+            specs = _specs(3, count=8, seed=2)
+            results = service.query_batch(specs)
+            assert service.stats.queries == 8
+            assert service.stats.query_windows <= 8
+            for spec, got in zip(specs, results):
+                want = reference.run(ratios=spec)
+                np.testing.assert_array_equal(want.indices, got.gids)
+
+
+class TestGracefulDegradation:
+    def test_overload_sheds_window_to_transform(self):
+        data = generate_dataset("ANTI", 200, 3, seed=6)
+        config = ServiceConfig(
+            num_shards=2, overload_threshold=2, backoff_base=0.01
+        )
+        reference = DatasetSession(data)
+        with EclipseService(data, config=config) as service:
+            window = [_QueryWork(spec=spec) for spec in _specs(3, count=5)]
+            service._do_query_window(window)
+            assert service.stats.overload_sheds == 1
+            assert service.stats.degraded_queries == 5
+            for work in window:
+                assert work.result.degraded
+                assert work.result.method == "transform"
+                want = reference.run(ratios=work.spec)
+                np.testing.assert_array_equal(want.indices, work.result.gids)
+
+    def test_small_windows_not_shed(self):
+        data = generate_dataset("ANTI", 150, 3, seed=6)
+        config = ServiceConfig(
+            num_shards=2, overload_threshold=4, backoff_base=0.01
+        )
+        with EclipseService(data, config=config) as service:
+            result = service.query(RatioVector.uniform(0.3, 2.0, 3))
+            assert not result.degraded
+            assert service.stats.overload_sheds == 0
+
+
+class TestCrashAbsorption:
+    def test_killed_worker_is_respawned_and_query_retried(self):
+        data = generate_dataset("ANTI", 220, 3, seed=8)
+        reference = DatasetSession(data)
+        with EclipseService(data, config=FAST) as service:
+            service._handles[0].process.kill()
+            service._handles[0].process.join(timeout=5.0)
+            spec = RatioVector.uniform(0.25, 2.0, 3)
+            got = service.query(spec)
+            want = reference.run(ratios=spec)
+            np.testing.assert_array_equal(want.indices, got.gids)
+            assert want.points.tobytes() == got.points.tobytes()
+            assert service.stats.retries >= 1
+            assert service.stats.worker_respawns >= 1
+
+    def test_killed_worker_recovers_acknowledged_updates(self):
+        data = generate_dataset("INDE", 180, 3, seed=4)
+        reference = DatasetSession(data)
+        ref_gids = np.arange(data.shape[0], dtype=np.intp)
+        with EclipseService(data, config=FAST) as service:
+            inserts = np.full((4, 3), 0.25)
+            ack = service.apply_updates(inserts=inserts, delete_gids=ref_gids[:3])
+            reference.apply_updates(inserts=inserts, deletes=np.arange(3))
+            ref_gids = np.concatenate([ref_gids[3:], ack.insert_gids])
+            for handle in service._handles:
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            _assert_matches_reference(
+                service, reference, ref_gids, _specs(3, count=3)
+            )
+            assert service.stats.worker_respawns >= 2
+
+    def test_deadline_exceeded_surfaces_after_bounded_retries(self):
+        data = generate_dataset("ANTI", 150, 3, seed=2)
+        config = ServiceConfig(
+            num_shards=1, max_retries=1, backoff_base=0.001, backoff_cap=0.002
+        )
+        with EclipseService(data, config=config) as service:
+            object.__setattr__(service.config, "deadline", 1e-7)
+            with pytest.raises(ServiceError):
+                service.query(RatioVector.uniform(0.3, 2.0, 3))
+            assert service.stats.deadline_timeouts >= 1
+            object.__setattr__(service.config, "deadline", 30.0)
+
+
+class TestValidationAndLifecycle:
+    def test_non_finite_inserts_rejected(self):
+        data = generate_dataset("CORR", 80, 2, seed=0)
+        with EclipseService(data, config=FAST) as service:
+            before = service.acked_seq
+            with pytest.raises(InvalidDatasetError):
+                service.apply_updates(inserts=np.array([[0.5, np.nan]]))
+            with pytest.raises(InvalidDatasetError):
+                service.apply_updates(inserts=np.array([[np.inf, 0.5]]))
+            # Nothing was enqueued: the service still answers and the
+            # sequence number did not advance.
+            assert service.acked_seq == before
+            assert len(service.query(RatioVector.uniform(0.25, 2.0, 2))) > 0
+
+    def test_dimension_mismatch_rejected(self):
+        data = generate_dataset("CORR", 80, 2, seed=0)
+        with EclipseService(data, config=FAST) as service:
+            with pytest.raises(DimensionMismatchError):
+                service.apply_updates(inserts=np.ones((2, 3)))
+            with pytest.raises(DimensionMismatchError):
+                service.query(RatioVector.uniform(0.25, 2.0, 4))
+            with pytest.raises(ServiceError):
+                service.apply_updates(delete_gids=np.ones((2, 2), dtype=int))
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ServiceError):
+            EclipseService(np.ones((4, 2)), config=ServiceConfig(num_shards=0))
+
+    def test_ping_and_force_snapshot(self, tmp_path):
+        data = generate_dataset("INDE", 100, 2, seed=1)
+        with EclipseService(
+            data, config=FAST, snapshot_dir=str(tmp_path)
+        ) as service:
+            health = service.ping()
+            assert len(health) == 2
+            assert {h["shard"] for h in health} == {0, 1}
+            assert all(h["last_seq"] == 0 for h in health)
+            reports = service.force_snapshot()
+            assert service.stats.snapshots_taken == 2
+            for shard, report in enumerate(reports):
+                assert report["bytes"] > 0
+                assert (tmp_path / f"shard-{shard}.snapshot").exists()
+
+    def test_close_is_idempotent_and_final(self):
+        data = generate_dataset("CORR", 60, 2, seed=0)
+        service = EclipseService(data, config=FAST)
+        assert len(service.query(RatioVector.uniform(0.25, 2.0, 2))) > 0
+        service.close()
+        service.close()
+        with pytest.raises(ServiceError):
+            service.query(RatioVector.uniform(0.25, 2.0, 2))

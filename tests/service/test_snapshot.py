@@ -1,0 +1,153 @@
+"""Snapshot container integrity: checksums, versioning, session round-trips."""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.session import DatasetSession
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import SnapshotError
+from repro.perf.arena import GrowableArena
+from repro.service.faults import corrupt_file
+from repro.service.snapshot import MAGIC, VERSION, read_payload, write_payload
+
+
+@pytest.fixture
+def payload():
+    return {
+        "kind": "test-payload",
+        "array": np.arange(12, dtype=float).reshape(4, 3),
+        "nested": {"seq": 7, "gids": np.array([1, 5, 9], dtype=np.intp)},
+    }
+
+
+class TestPayloadContainer:
+    def test_round_trip(self, tmp_path, payload):
+        path = str(tmp_path / "state.snapshot")
+        size = write_payload(path, payload)
+        assert size > 52  # header + payload
+        got = read_payload(path)
+        assert got["kind"] == "test-payload"
+        np.testing.assert_array_equal(got["array"], payload["array"])
+        assert got["nested"]["seq"] == 7
+
+    def test_write_is_atomic(self, tmp_path, payload):
+        path = str(tmp_path / "state.snapshot")
+        write_payload(path, payload)
+        before = open(path, "rb").read()
+        # A second write replaces the file in one step; no .tmp residue.
+        write_payload(path, payload)
+        assert open(path, "rb").read() == before
+        assert list(tmp_path.iterdir()) == [tmp_path / "state.snapshot"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            read_payload(str(tmp_path / "nope.snapshot"))
+
+    def test_truncated_file_detected(self, tmp_path, payload):
+        path = str(tmp_path / "state.snapshot")
+        write_payload(path, payload)
+        corrupt_file(path, "truncate")
+        with pytest.raises(SnapshotError):
+            read_payload(path)
+
+    def test_truncated_header_detected(self, tmp_path, payload):
+        path = str(tmp_path / "state.snapshot")
+        write_payload(path, payload)
+        with open(path, "r+b") as handle:
+            handle.truncate(20)  # shorter than the fixed header
+        with pytest.raises(SnapshotError):
+            read_payload(path)
+
+    def test_bit_flip_detected_by_checksum(self, tmp_path, payload):
+        path = str(tmp_path / "state.snapshot")
+        write_payload(path, payload)
+        corrupt_file(path, "bitflip", seed=3)
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_payload(path)
+
+    def test_bad_magic_detected(self, tmp_path, payload):
+        path = str(tmp_path / "state.snapshot")
+        write_payload(path, payload)
+        with open(path, "r+b") as handle:
+            handle.write(b"NOTSNAPS")
+        with pytest.raises(SnapshotError, match="magic"):
+            read_payload(path)
+
+    def test_version_mismatch_detected(self, tmp_path, payload):
+        path = str(tmp_path / "state.snapshot")
+        write_payload(path, payload)
+        with open(path, "r+b") as handle:
+            handle.seek(len(MAGIC))
+            handle.write(struct.pack("<I", VERSION + 1))
+        with pytest.raises(SnapshotError, match="version"):
+            read_payload(path)
+
+
+class TestSessionSnapshots:
+    def test_round_trip_answers_byte_identical(self, tmp_path):
+        data = generate_dataset("ANTI", 300, 3, seed=11)
+        spec = RatioVector.uniform(0.3, 2.1, 3)
+        session = DatasetSession(data)
+        want = session.run(ratios=spec)
+        path = str(tmp_path / "session.snapshot")
+        session.save_snapshot(path, extra={"last_seq": 4})
+        restored, extra = DatasetSession.load_snapshot(path)
+        assert extra == {"last_seq": 4}
+        assert restored.num_points == session.num_points
+        assert restored.generation == session.generation
+        got = restored.run(ratios=spec)
+        np.testing.assert_array_equal(got.indices, want.indices)
+        assert got.points.tobytes() == want.points.tobytes()
+
+    def test_snapshot_preserves_cached_indexes(self, tmp_path):
+        data = generate_dataset("INDE", 400, 3, seed=2)
+        spec = RatioVector.uniform(0.4, 1.8, 3)
+        session = DatasetSession(data)
+        session.run(ratios=spec, method="quad")
+        builds_before = session.stats.index_builds
+        path = str(tmp_path / "session.snapshot")
+        session.save_snapshot(path)
+        restored, _ = DatasetSession.load_snapshot(path)
+        # The warm restart reuses the pickled index: no rebuild on query.
+        restored.run(ratios=spec, method="quad")
+        assert restored.stats.index_builds == builds_before
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = str(tmp_path / "other.snapshot")
+        write_payload(path, {"kind": "something-else"})
+        with pytest.raises(SnapshotError):
+            DatasetSession.load_snapshot(path)
+
+    def test_state_version_mismatch_rejected(self, tmp_path):
+        data = generate_dataset("CORR", 60, 2, seed=0)
+        session = DatasetSession(data)
+        path = str(tmp_path / "session.snapshot")
+        payload = {
+            "kind": "repro-dataset-session",
+            "state_version": DatasetSession.SNAPSHOT_STATE_VERSION + 1,
+            "session": session,
+            "extra": {},
+        }
+        write_payload(path, payload)
+        with pytest.raises(SnapshotError, match="state version"):
+            DatasetSession.load_snapshot(path)
+
+
+class TestArenaPickle:
+    def test_pickle_trims_headroom(self):
+        arena = GrowableArena(np.zeros((0, 3)))
+        for chunk in range(6):
+            arena.append(np.full((10, 3), float(chunk)))
+        clone = pickle.loads(pickle.dumps(arena))
+        np.testing.assert_array_equal(clone.view, arena.view)
+        assert clone.grows == arena.grows
+        # The restored capacity is the valid prefix, not the grown buffer.
+        assert clone.capacity <= arena.capacity
+        clone.append(np.ones((5, 3)))
+        assert clone.view.shape[0] == arena.view.shape[0] + 5

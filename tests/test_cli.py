@@ -138,3 +138,108 @@ class TestStreamCommand:
         path = tmp_path / "empty.csv"
         path.write_text("")
         assert main(["stream", "--input", str(path)]) == 1
+
+
+class TestArgumentValidation:
+    """Bad sizes and steps exit with status 2 and a clear message."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["query", "--n", "0"],
+            ["query", "--n", "-3"],
+            ["query", "-d", "0"],
+            ["batch", "--n", "-5", "--ratios", "0.5:1.5"],
+            ["stream", "--steps", "0"],
+            ["stream", "--steps", "-1"],
+            ["stream", "--batch", "0"],
+            ["stream", "--update-size", "-2"],
+            ["stream", "--update-fraction", "1.5"],
+            ["generate", "--n", "0", "--output", "/dev/null"],
+            ["serve", "--n", "0"],
+            ["serve", "--shards", "0"],
+            ["serve", "--steps", "-4"],
+        ],
+    )
+    def test_bad_arguments_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "must" in err
+
+
+class TestServeCommand:
+    def test_serve_verifies_against_reference(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--dataset",
+                "ANTI",
+                "--n",
+                "300",
+                "-d",
+                "3",
+                "--shards",
+                "2",
+                "--steps",
+                "10",
+                "--seed",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "# serve: 2 shards, 10 steps" in out
+        assert "byte-identical" in out
+
+    def test_serve_with_fault_injection(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--dataset",
+                "INDE",
+                "--n",
+                "250",
+                "-d",
+                "3",
+                "--shards",
+                "2",
+                "--steps",
+                "10",
+                "--update-fraction",
+                "0.5",
+                "--inject",
+                "kill_every=2,kill_mode=after_apply,seed=7",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "# injected:" in out
+        assert "kills_injected=" in out
+        assert "byte-identical" in out
+
+    def test_serve_no_verify_skips_reference(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--n",
+                "150",
+                "-d",
+                "2",
+                "--steps",
+                "6",
+                "--no-verify",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "verification: skipped" in out
+
+    def test_serve_bad_inject_spec_exits_2(self, capsys):
+        assert main(["serve", "--inject", "explode=1"]) == 2
+        assert "known keys" in capsys.readouterr().err
+
+    def test_serve_bad_kill_mode_rejected(self, capsys):
+        exit_code = main(
+            ["serve", "--n", "100", "--inject", "kill_every=2,kill_mode=nope"]
+        )
+        assert exit_code != 0
