@@ -132,7 +132,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 1
     d = data.shape[1]
     ratios = RatioVector.uniform(args.low, args.high, d)
-    session = DatasetSession(data)
+    session = DatasetSession(data, threads=args.threads, dtype=args.dtype)
     if args.explain:
         print(session.plan(method=args.method).explain())
     try:
@@ -145,6 +145,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for index, point in zip(result.indices, result.points):
         rendered = ", ".join(f"{value:.4f}" for value in point)
         print(f"{int(index)}: [{rendered}]")
+    if args.explain:
+        _print_executor_stats(session)
     return 0
 
 
@@ -178,7 +180,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     d = data.shape[1]
-    session = DatasetSession(data)
+    session = DatasetSession(data, threads=args.threads, dtype=args.dtype)
     try:
         specs = [RatioVector.uniform(low, high, d) for low, high in pairs]
         results = session.run_batch(specs, method=args.method)
@@ -201,6 +203,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_executor_stats(session: DatasetSession) -> None:
+    stats = session.stats
+    print(
+        f"# kernel executor: threads_used={stats.threads_used} "
+        f"parallel_chunks={stats.parallel_chunks} "
+        f"float32_fastpath_hits={stats.float32_fastpath_hits} "
+        f"float32_exact_fallbacks={stats.float32_exact_fallbacks}"
+    )
+
+
 def _print_session_stats(session: DatasetSession) -> None:
     stats = session.stats
     print(
@@ -208,6 +220,7 @@ def _print_session_stats(session: DatasetSession) -> None:
         f"corner_matrix_builds={stats.corner_matrix_builds} "
         f"index_builds={stats.index_builds}"
     )
+    _print_executor_stats(session)
     if stats.update_batches:
         print(
             f"# updates: inserts_applied={stats.inserts_applied} "
@@ -237,7 +250,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     lows = data.min(axis=0)
     highs = data.max(axis=0)
     rng = np.random.default_rng(args.seed + 1)
-    session = DatasetSession(data)
+    session = DatasetSession(data, threads=args.threads, dtype=args.dtype)
     queries = updates = 0
     start = time.perf_counter()
     try:
@@ -344,6 +357,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overload_threshold=args.overload_threshold,
         method=args.method,
         seed=args.seed,
+        threads=args.threads,
+        dtype=args.dtype,
     )
     try:
         report = run_fault_injection(
@@ -465,8 +480,25 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--seed", type=int, default=0, help="random seed")
 
+    def add_kernel_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--threads",
+            type=int,
+            default=None,
+            help="kernel-executor worker threads (default: "
+            "REPRO_KERNEL_THREADS or 1 = the exact serial path)",
+        )
+        sub.add_argument(
+            "--dtype",
+            choices=("float64", "float32"),
+            default=None,
+            help="kernel compute dtype; float32 screens in single precision "
+            "and re-verifies near-ties exactly (answers are byte-identical)",
+        )
+
     query = subparsers.add_parser("query", help="run an eclipse query")
     add_data_arguments(query)
+    add_kernel_arguments(query)
     query.add_argument("--low", type=float, default=0.36, help="lower ratio bound")
     query.add_argument("--high", type=float, default=2.75, help="upper ratio bound")
     query.add_argument(
@@ -485,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="run many ratio-range queries off one dataset session"
     )
     add_data_arguments(batch)
+    add_kernel_arguments(batch)
     batch.add_argument(
         "--ratios",
         required=True,
@@ -507,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a mixed insert/delete/query workload on one session",
     )
     add_data_arguments(stream)
+    add_kernel_arguments(stream)
     stream.add_argument(
         "--steps", type=int, default=100, help="number of workload steps"
     )
@@ -542,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a workload through the fault-tolerant concurrent service",
     )
     add_data_arguments(serve)
+    add_kernel_arguments(serve)
     serve.add_argument(
         "--shards", type=int, default=2, help="number of worker processes"
     )

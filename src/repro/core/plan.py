@@ -117,6 +117,41 @@ COMPACT_FACTOR = 5.0
 #: the usual winner) and a full rebuild.
 MAX_DEAD_FRACTION = 0.5
 
+#: Fraction of the ideal per-thread speedup the parallel kernels retain
+#: (PR 7).  The executor's worker threads run numpy comparisons that
+#: release the GIL, but chunk dispatch, the divided memory cap (smaller
+#: blocks), and memory-bandwidth contention eat part of the ideal scaling:
+#: effective speedup = ``1 + PARALLEL_EFFICIENCY * (threads - 1)``, i.e.
+#: ~2.8x at 4 threads, capped by the cores the host actually has.
+PARALLEL_EFFICIENCY = 0.6
+
+#: Share of the per-pair index-build constants
+#: (:data:`PAIR_BUILD_FACTOR_QUAD` / :data:`PAIR_BUILD_FACTOR_CUTTING`)
+#: that rides the parallel kernels — the pairwise-intersection enumeration
+#: and the skyline prefilter screens.  The rest (level-batched tree
+#: structuring, argsort regrouping, cut sampling) is sequential per level
+#: and does not scale with the executor, which is why index builds gain
+#: less from threads than the screens and GEMMs do — and why the planner's
+#: build-vs-transform break-even shifts *toward* the transform as threads
+#: grow.  The same share applies to :data:`PAIR_UPDATE_FACTOR` (pair
+#: enumeration parallel, arena merge sequential).
+PAIR_BUILD_PARALLEL_SHARE = 0.25
+
+
+def parallel_speedup(threads: int) -> float:
+    """Effective kernel speedup of ``threads`` executor workers.
+
+    ``threads <= 1`` is exactly 1.0 (the serial code path).  The linear
+    :data:`PARALLEL_EFFICIENCY` model deliberately ignores the host's
+    physical core count — the plan must be a pure function of its inputs
+    so tests and snapshots reproduce across machines; callers that know
+    their core budget pass an appropriate ``threads``.
+    """
+    count = max(1, int(threads))
+    if count == 1:
+        return 1.0
+    return 1.0 + PARALLEL_EFFICIENCY * (count - 1)
+
 
 def canonical_method(method: str) -> str:
     """Resolve a method alias (``"quad"``, ``"tran"``, ...) to its canonical name."""
@@ -216,6 +251,7 @@ def method_cost_estimates(
     num_points: int,
     dimensions: int,
     num_skyline: Optional[int] = None,
+    threads: int = 1,
 ) -> Tuple[CostEstimate, ...]:
     """Cost estimates for all four eclipse methods on one dataset shape.
 
@@ -227,27 +263,47 @@ def method_cost_estimates(
         Measured raw-space skyline size ``u`` when the caller has one (it
         bounds the index size much more tightly than the independence
         estimate, especially on anticorrelated data).
+    threads:
+        Executor worker count the kernels will run with.  The fully
+        kernel-bound terms (dominance screens, the corner GEMM, the
+        batched tree probes, pair enumeration) divide by
+        :func:`parallel_speedup`; the sequential tree-structuring share of
+        the index builds (:data:`PAIR_BUILD_PARALLEL_SHARE`) does not, so
+        break-evens shift honestly rather than uniformly.
     """
     n = max(0, int(num_points))
     d = max(2, int(dimensions))
     corners = 2.0 ** (d - 1)
     u = float(num_skyline) if num_skyline is not None else expected_skyline_size(n, d)
     pairs = 0.5 * u * max(0.0, u - 1.0)
+    speedup = parallel_speedup(threads)
 
     map_cost = n * corners * d
-    transform_q = map_cost + skyline_cost(n, int(corners))
-    baseline_q = 0.5 * n * n * corners
+    transform_q = (map_cost + skyline_cost(n, int(corners))) / speedup
+    baseline_q = 0.5 * n * n * corners / speedup
     quad_factor = PAIR_BUILD_FACTOR_2D if d == 2 else PAIR_BUILD_FACTOR_QUAD
     cutting_factor = PAIR_BUILD_FACTOR_2D if d == 2 else PAIR_BUILD_FACTOR_CUTTING
-    sky_build = skyline_cost(n, d)
+    # The skyline prefilter and pair enumeration parallelise; the per-level
+    # tree structuring baked into the per-pair constants does not.
+    build_scale = PAIR_BUILD_PARALLEL_SHARE / speedup + (
+        1.0 - PAIR_BUILD_PARALLEL_SHARE
+    )
+    sky_build = skyline_cost(n, d) / speedup
     pair_work = pairs * max(1, d - 1)
-    index_q = u * math.log2(u + 2.0) + pairs * CANDIDATE_FRACTION * max(1, d - 1)
+    index_q = (
+        u * math.log2(u + 2.0)
+        + pairs * CANDIDATE_FRACTION * max(1, d - 1) / speedup
+    )
 
     return (
         CostEstimate("baseline", 0.0, baseline_q),
         CostEstimate("transform", 0.0, transform_q),
-        CostEstimate("quadtree", sky_build + pair_work * quad_factor, index_q),
-        CostEstimate("cutting", sky_build + pair_work * cutting_factor, index_q),
+        CostEstimate(
+            "quadtree", sky_build + pair_work * quad_factor * build_scale, index_q
+        ),
+        CostEstimate(
+            "cutting", sky_build + pair_work * cutting_factor * build_scale, index_q
+        ),
     )
 
 
@@ -345,6 +401,7 @@ def plan_query(
     method: str = "auto",
     num_queries: int = 1,
     num_skyline: Optional[int] = None,
+    threads: int = 1,
 ) -> QueryPlan:
     """Build a :class:`QueryPlan` for a workload of ratio-range queries.
 
@@ -364,12 +421,17 @@ def plan_query(
     num_skyline:
         Measured raw-space skyline size, when available (see
         :func:`method_cost_estimates`).
+    threads:
+        Executor worker count the kernels will run with (see
+        :func:`method_cost_estimates`); index builds parallelise less than
+        the transformation's screens, so more threads shift the batch
+        break-even toward the transformation.
     """
     chosen = canonical_method(method)
     n = max(0, int(num_points))
     d = max(2, int(dimensions))
     q = max(1, int(num_queries))
-    estimates = method_cost_estimates(n, d, num_skyline=num_skyline)
+    estimates = method_cost_estimates(n, d, num_skyline=num_skyline, threads=threads)
 
     if chosen != "auto":
         reason = f"method {chosen!r} requested explicitly"
@@ -469,6 +531,7 @@ def plan_update(
     index_backend: Optional[str] = None,
     dead_fraction: float = 0.0,
     num_pairs: Optional[int] = None,
+    threads: int = 1,
 ) -> UpdatePlan:
     """Decide update-in-place vs compact vs rebuild for one artifact/batch.
 
@@ -496,12 +559,19 @@ def plan_update(
         Measured pair-arena row count (alive + dead) of the index artifact,
         when the caller has one; prices the compaction pass exactly instead
         of extrapolating from the alive estimate.
+    threads:
+        Executor worker count the kernels will run with.  The dominance
+        screens of the incremental skyline pass and the pair-enumeration
+        share of the index update divide by :func:`parallel_speedup`; the
+        array recomposition, arena merges, and the compaction pass stay
+        sequential.
     """
     n = max(0, int(num_points))
     d = max(2, int(dimensions))
     inserts = max(0, int(num_inserts))
     deletes = max(0, int(num_deletes))
     u = float(num_skyline) if num_skyline is not None else expected_skyline_size(n, d)
+    speedup = parallel_speedup(threads)
 
     if artifact == "skyline":
         # Insert screen (b_i x u) plus the delete shadow pass — the latter
@@ -511,8 +581,8 @@ def plan_update(
         # recomposition (np.delete + vstack) touches every element once.
         kernel_ops = UPDATE_SKYLINE_FACTOR * d * (inserts + deletes) * u
         compose_ops = 2.0 * n * d
-        update_cost = kernel_ops + compose_ops
-        rebuild_cost = skyline_cost(n, d)
+        update_cost = kernel_ops / speedup + compose_ops
+        rebuild_cost = skyline_cost(n, d) / speedup
     elif artifact == "index":
         pairs = 0.5 * u * max(0.0, u - 1.0)
         backend = index_backend or ("cutting" if d >= 3 else "quadtree")
@@ -522,15 +592,23 @@ def plan_update(
             factor = PAIR_BUILD_FACTOR_QUAD
         else:
             factor = PAIR_BUILD_FACTOR_CUTTING
-        rebuild_cost = skyline_cost(n, d) + pairs * max(1, d - 1) * factor
+        build_scale = PAIR_BUILD_PARALLEL_SHARE / speedup + (
+            1.0 - PAIR_BUILD_PARALLEL_SHARE
+        )
+        rebuild_cost = (
+            skyline_cost(n, d) / speedup
+            + pairs * max(1, d - 1) * factor * build_scale
+        )
         # Appended pairs: every added/removed slot touches ~u pairs (added
         # slots append alive x new pairs, removed slots retire theirs).
         # The arena-growth share (amortised doubling copies) is priced
         # separately from the kernel work so the estimate tracks the bytes
-        # the capacity-doubling arenas actually move.
+        # the capacity-doubling arenas actually move.  Pair enumeration
+        # rides the parallel kernels; the arena merge and doubling copies
+        # are sequential.
         appended_pairs = (inserts + deletes) * max(1.0, u)
         update_cost = appended_pairs * max(1, d - 1) * (
-            PAIR_UPDATE_FACTOR + ARENA_GROWTH_FACTOR
+            PAIR_UPDATE_FACTOR * build_scale + ARENA_GROWTH_FACTOR
         )
         if dead_fraction > MAX_DEAD_FRACTION:
             # The arenas must be reclaimed.  An in-place compaction is one

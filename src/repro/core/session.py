@@ -53,6 +53,13 @@ from repro.errors import (
 )
 from repro.index.eclipse_index import EclipseIndex
 from repro.index.intersection import DEFAULT_MAX_RATIO
+from repro.perf.executor import (
+    kernel_context,
+    parallel_matmul,
+    resolve_threads,
+    validate_dtype,
+    validate_threads,
+)
 from repro.skyline import incremental as _incremental
 from repro.skyline.api import skyline_indices as _skyline_indices
 
@@ -114,6 +121,17 @@ class SessionStats:
     instead of full index rebuilds, and ``index_delta_patches`` counts
     cached indexes patched with a membership diff after a from-scratch
     skyline recompute (indexes that previously would have been dropped).
+
+    The executor telemetry (PR 7) rides on four more, filled in by
+    :mod:`repro.perf.executor` whenever the session's kernels run under its
+    context: ``parallel_chunks`` counts kernel chunks dispatched to worker
+    threads (serial execution dispatches none), ``threads_used`` is the
+    largest worker count any dispatch actually used, and
+    ``float32_fastpath_hits`` / ``float32_exact_fallbacks`` split the rows
+    screened under ``dtype="float32"`` into those decided by strict
+    single-precision comparisons and those re-verified with the exact
+    float64 kernel (float32 ties — the re-verification is what keeps the
+    fast path byte-identical).
     """
 
     skyline_builds: int = 0
@@ -131,6 +149,10 @@ class SessionStats:
     arena_grows: int = 0
     compactions: int = 0
     index_delta_patches: int = 0
+    parallel_chunks: int = 0
+    threads_used: int = 1
+    float32_fastpath_hits: int = 0
+    float32_exact_fallbacks: int = 0
     index_build_seconds: float = field(default=0.0, repr=False)
 
     def artifact_counts(self) -> Tuple[int, int, int]:
@@ -246,15 +268,33 @@ class DatasetSession:
     index_kwargs:
         Default :class:`~repro.index.eclipse_index.EclipseIndex` parameters
         for the index-based methods (e.g. ``capacity`` or ``max_ratio``).
+    threads:
+        Worker-thread count for the chunked kernels (dominance screens,
+        corner GEMMs, pairwise-intersection builds, batched tree probes).
+        ``None`` defers to the ``REPRO_KERNEL_THREADS`` environment
+        variable (default 1 — the exact serial code path); answers are
+        byte-identical at every thread count.
+    dtype:
+        Kernel compute dtype: ``"float64"`` (default) or ``"float32"`` for
+        the opt-in fast path whose near-tie rows are re-verified exactly —
+        results stay byte-identical to the float64 path.
     """
+
+    #: Class-level knob defaults so sessions unpickled from snapshots taken
+    #: before these attributes existed still resolve them.
+    _threads: Optional[int] = None
+    _dtype: Optional[str] = None
 
     def __init__(
         self,
         points: ArrayLike2D,
         ratios=None,
         index_kwargs: Optional[Dict[str, object]] = None,
+        threads: Optional[int] = None,
+        dtype: Optional[str] = None,
     ):
         self._data = as_dataset(points)
+        self.configure_kernels(threads=threads, dtype=dtype)
         if ratios is None:
             self._default_ratios = None
         elif self._data.shape[1]:
@@ -321,6 +361,40 @@ class DatasetSession:
         """Update-batch counter; artifacts are valid for one generation."""
         return self._generation
 
+    @property
+    def threads(self) -> Optional[int]:
+        """The configured kernel thread count (``None`` = environment/serial)."""
+        return self._threads
+
+    @property
+    def compute_dtype(self) -> Optional[str]:
+        """The configured kernel compute dtype (``None`` = float64)."""
+        return self._dtype
+
+    def configure_kernels(
+        self, threads: Optional[int] = None, dtype: Optional[str] = None
+    ) -> None:
+        """Set (or reset) the executor knobs, validating eagerly.
+
+        Also used by the service worker after a snapshot load, so a
+        restored session picks up the *service's* current configuration
+        instead of whatever was pickled.
+        """
+        self._threads = validate_threads(threads)
+        self._dtype = validate_dtype(dtype)
+
+    def _kernel_scope(self):
+        """Ambient executor context for one session operation.
+
+        Installs the session's ``threads``/``dtype`` knobs and its stats
+        object as the telemetry sink, so kernels reached through deep call
+        chains (skyline API, index builds, tree probes) resolve them
+        without any keyword threading.
+        """
+        return kernel_context(
+            threads=self._threads, dtype=self._dtype, stats=self.stats
+        )
+
     # ------------------------------------------------------------------
     # Memoised artifacts
     # ------------------------------------------------------------------
@@ -341,7 +415,8 @@ class DatasetSession:
         case this accessor recomputes it from scratch.
         """
         if not self._skyline_cached():
-            self._skyline_idx = _skyline_indices(self._data, method="auto")
+            with self._kernel_scope():
+                self._skyline_idx = _skyline_indices(self._data, method="auto")
             self._skyline_generation = self._generation
             self.stats.skyline_builds += 1
         return self._skyline_idx
@@ -376,9 +451,10 @@ class DatasetSession:
             precomputed = None if override_substrate else self.skyline()
             start = time.perf_counter()
             try:
-                index = EclipseIndex(backend=canonical, **params).build(
-                    self._data, skyline_idx=precomputed
-                )
+                with self._kernel_scope():
+                    index = EclipseIndex(backend=canonical, **params).build(
+                        self._data, skyline_idx=precomputed
+                    )
             except DegenerateHyperplaneError as exc:
                 self._degenerate_index_keys[key] = exc
                 raise
@@ -481,11 +557,13 @@ class DatasetSession:
                 num_deletes,
                 num_skyline=int(self._skyline_idx.size),
                 artifact="skyline",
+                threads=resolve_threads(self._threads),
             )
             if skyline_plan.inplace:
-                new_data, delta = _incremental.apply_updates(
-                    self._data, self._skyline_idx, insert_rows, delete_positions
-                )
+                with self._kernel_scope():
+                    new_data, delta = _incremental.apply_updates(
+                        self._data, self._skyline_idx, insert_rows, delete_positions
+                    )
             else:
                 self.stats.rebuilds_triggered += 1
         if delta is None:
@@ -502,7 +580,8 @@ class DatasetSession:
                 # insert/delete sets below instead of dropping them all.
                 old_is_sky = np.zeros(n_old, dtype=bool)
                 old_is_sky[self._skyline_idx] = True
-                new_sky = _skyline_indices(new_data, method="auto")
+                with self._kernel_scope():
+                    new_sky = _skyline_indices(new_data, method="auto")
                 self.stats.skyline_builds += 1
                 new_is_sky = np.zeros(new_data.shape[0], dtype=bool)
                 new_is_sky[new_sky] = True
@@ -547,6 +626,7 @@ class DatasetSession:
                 index_backend=key[0],
                 dead_fraction=dead_fraction,
                 num_pairs=index.intersection_index.num_pairs,
+                threads=resolve_threads(self._threads),
             )
             index_plans.append(index_plan)
             if not index_plan.inplace:
@@ -557,10 +637,11 @@ class DatasetSession:
                 continue
             grows_before = index.arena_grows
             try:
-                index.delete_points(remap, delta.removed_old)
-                if index_plan.compacts:
-                    index.compact()
-                index.insert_points(new_data, delta.added)
+                with self._kernel_scope():
+                    index.delete_points(remap, delta.removed_old)
+                    if index_plan.compacts:
+                        index.compact()
+                    index.insert_points(new_data, delta.added)
             except DegenerateHyperplaneError:
                 # The arrivals piled coincident duplicates into one cell.
                 # Drop the index; the next access re-attempts a full build
@@ -619,7 +700,7 @@ class DatasetSession:
     #: Bump whenever the pickled attribute set changes incompatibly; the
     #: loader rejects any other value so a stale snapshot can never be
     #: silently reinterpreted.
-    SNAPSHOT_STATE_VERSION = 1
+    SNAPSHOT_STATE_VERSION = 2
 
     def save_snapshot(self, path: str, extra: Optional[Dict[str, object]] = None) -> int:
         """Serialize the whole session — data, arenas, cached indexes — to disk.
@@ -702,6 +783,7 @@ class DatasetSession:
             method=method,
             num_queries=num_queries,
             num_skyline=num_skyline,
+            threads=resolve_threads(self._threads),
         )
         self.last_plan = plan
         return plan
@@ -791,7 +873,8 @@ class DatasetSession:
                 # is re-recorded so last_plan reflects what actually ran.
                 self.plan(method="transform", num_queries=len(specs))
                 return self._run_batch_transform(specs)
-            batch_indices = index.query_indices_many(specs)
+            with self._kernel_scope():
+                batch_indices = index.query_indices_many(specs)
             results = []
             for ratio_vector, indices in zip(specs, batch_indices):
                 indices = np.sort(np.asarray(indices, dtype=np.intp))
@@ -815,30 +898,39 @@ class DatasetSession:
         sky_points = self._data[sky]
         corners_per_spec = 2 ** (self.dimensions - 1)
         all_corners = np.vstack([rv.corner_weight_vectors() for rv in specs])
-        corner_matrix = sky_points @ all_corners.T  # one GEMM for the batch
-        self.stats.corner_matrix_builds += 1
+        with self._kernel_scope():
+            # One GEMM for the batch, row-partitioned across the executor's
+            # workers (row splits never re-associate partial sums, so the
+            # product is byte-identical to the serial one).
+            corner_matrix = parallel_matmul(sky_points, all_corners.T)
+            self.stats.corner_matrix_builds += 1
 
-        results = []
-        for position, ratio_vector in enumerate(specs):
-            start = position * corners_per_spec
-            mapped = corner_matrix[:, start : start + corners_per_spec]
-            local = _skyline_indices(mapped, method="auto")
-            indices = np.sort(sky[local])
-            self.stats.queries += 1
-            results.append(self._wrap(indices, "transform", ratio_vector))
+            results = []
+            for position, ratio_vector in enumerate(specs):
+                start = position * corners_per_spec
+                mapped = corner_matrix[:, start : start + corners_per_spec]
+                local = _skyline_indices(mapped, method="auto")
+                indices = np.sort(sky[local])
+                self.stats.queries += 1
+                results.append(self._wrap(indices, "transform", ratio_vector))
         return results
 
     def _execute_single(self, method: str, ratio_vector: RatioVector) -> EclipseResult:
         if method == "baseline":
-            indices = eclipse_baseline_indices(self._data, ratio_vector)
+            with self._kernel_scope():
+                indices = eclipse_baseline_indices(self._data, ratio_vector)
         elif method == "transform":
             try:
-                indices = eclipse_transform_indices(self._data, ratio_vector)
+                with self._kernel_scope():
+                    indices = eclipse_transform_indices(self._data, ratio_vector)
             except InvalidWeightRangeError:
-                indices = eclipse_baseline_indices(self._data, ratio_vector)
+                with self._kernel_scope():
+                    indices = eclipse_baseline_indices(self._data, ratio_vector)
                 method = "baseline"
         elif method in INDEX_METHODS:
-            indices = self.index_for(method).query_indices(ratio_vector)
+            index = self.index_for(method)
+            with self._kernel_scope():
+                indices = index.query_indices(ratio_vector)
         else:  # pragma: no cover - guarded by canonical_method
             raise AlgorithmNotSupportedError(f"unhandled method {method!r}")
         self.stats.queries += 1

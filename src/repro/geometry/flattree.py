@@ -55,6 +55,7 @@ from repro.geometry.boxes import Box
 from repro.geometry.hyperplane import hyperplanes_intersect_box_mask
 from repro.perf.arena import GrowableArena
 from repro.perf.blocking import iter_blocks, memory_cap_bytes
+from repro.perf.executor import resolve_threads, run_tasks, split_memory_cap
 
 #: Unsplittable-duplicate policies (see :class:`FlatTree`).
 UNSPLITTABLE_POLICIES = ("keep", "raise")
@@ -1534,6 +1535,13 @@ class FlatTree:
         yields each query's sorted unique candidates for the exact
         post-filter.  Returns one sorted index array per box, each
         identical to :meth:`query` on that box.
+
+        Under an ambient kernel context (or ``REPRO_KERNEL_THREADS``) with
+        more than one worker, the query chunks run concurrently on the
+        shared executor — workers only read tree state and allocate their
+        own bitmaps, and per-chunk result lists are re-concatenated in
+        query order, so the answers are byte-identical to the serial walk.
+        The bitmap budget is divided across workers, never multiplied.
         """
         lows = np.asarray(lows, dtype=float)
         highs = np.asarray(highs, dtype=float)
@@ -1546,13 +1554,31 @@ class FlatTree:
             raise DimensionMismatchError(
                 "query box dimensionality does not match the tree domain"
             )
-        chunk = max(1, memory_cap_bytes(None) // max(1, self.size))
+        count = resolve_threads(None)
+        cap = memory_cap_bytes(None) if count <= 1 else split_memory_cap(None, count)
+        chunk = max(1, cap // max(1, self.size))
+        if count > 1:
+            # At least `count` chunks so every worker gets one.
+            chunk = max(1, min(chunk, -(-q // count)))
         if q > chunk:
+            chunked = run_tasks(
+                lambda start, stop: self._query_many_block(
+                    lows[start:stop], highs[start:stop]
+                ),
+                list(iter_blocks(q, chunk)),
+                threads=count,
+            )
             out: List[np.ndarray] = []
-            for start, stop in iter_blocks(q, chunk):
-                out.extend(self.query_many(lows[start:stop], highs[start:stop]))
+            for part in chunked:
+                out.extend(part)
             return out
+        return self._query_many_block(lows, highs)
 
+    def _query_many_block(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> List[np.ndarray]:
+        """One memory-cap-sized chunk of :meth:`query_many` (read-only walk)."""
+        q = lows.shape[0]
         seen = np.zeros((q, max(1, self.size)), dtype=bool)
         prune_lows = lows - self._prune_pad
         prune_highs = highs + self._prune_pad

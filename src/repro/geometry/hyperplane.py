@@ -21,6 +21,7 @@ from repro.errors import DimensionMismatchError
 from repro.geometry.boxes import Box
 from repro.geometry.dual import DualHyperplane
 from repro.perf.blocking import memory_cap_bytes
+from repro.perf.executor import resolve_threads, run_tasks, split_memory_cap
 
 
 @dataclass(frozen=True)
@@ -161,6 +162,7 @@ def pairwise_intersection_arrays_from(
     indices: Optional[np.ndarray] = None,
     skip_degenerate: bool = True,
     memory_cap: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Array-native core of :func:`pairwise_intersection_arrays`.
 
@@ -172,6 +174,13 @@ def pairwise_intersection_arrays_from(
     is chunked over source rows so the fancy-indexing scratch respects the
     shared kernel memory cap (:func:`repro.perf.blocking.memory_cap_bytes`);
     the full output arrays are the result and are allocated once up front.
+
+    With ``threads > 1`` (explicit, ambient kernel context, or the
+    ``REPRO_KERNEL_THREADS`` environment variable) the chunks are dispatched
+    across the shared kernel executor: every chunk writes a disjoint
+    ``[pos, pos + chunk)`` slice of the preallocated outputs, so the result
+    is byte-identical to the serial enumeration.  The memory cap is divided
+    across workers, never multiplied.
 
     ``indices`` supplies the per-hyperplane identifiers reported in
     ``pairs`` (default: positional ``0 .. u-1``).
@@ -203,19 +212,36 @@ def pairwise_intersection_arrays_from(
     # Scratch per pair: two gathered coefficient rows plus the pair/rhs
     # bookkeeping, ~4 arrays of k doubles.  Never go below one full source
     # row per chunk.
-    pairs_budget = max(u, memory_cap_bytes(memory_cap) // (max(1, k) * 32))
+    count = resolve_threads(threads)
+    effective_cap = (
+        memory_cap if count <= 1 else split_memory_cap(memory_cap, count)
+    )
+    budget = memory_cap_bytes(effective_cap) // (max(1, k) * 32)
+    if count > 1:
+        # Make sure at least `count` chunks exist so every worker gets one.
+        budget = min(budget, -(-total_pairs // count))
+    pairs_budget = max(u, budget)
     counts = (u - 1) - np.arange(u - 1, dtype=np.int64)
     cumulative = np.cumsum(counts)
 
+    # Chunk descriptors are computed sequentially (each chunk's output
+    # offset depends on the previous chunks); the chunk bodies write
+    # disjoint output slices and run on the executor.
+    tasks = []
     pos = 0
     start = 0
     while start < u - 1:
         consumed = cumulative[start - 1] if start else 0
         stop = int(np.searchsorted(cumulative, consumed + pairs_budget, side="left")) + 1
         stop = min(max(stop, start + 1), u - 1)
+        chunk = int((cumulative[stop - 1] if stop else 0) - consumed)
+        tasks.append((start, stop, pos, chunk))
+        pos += chunk
+        start = stop
+
+    def _fill_chunk(start, stop, pos, chunk):
         rows = np.arange(start, stop, dtype=np.intp)
         row_counts = counts[start:stop]
-        chunk = int(row_counts.sum())
         ii = np.repeat(rows, row_counts)
         jj = (
             np.arange(chunk, dtype=np.intp)
@@ -229,8 +255,8 @@ def pairwise_intersection_arrays_from(
         np.subtract(offsets[ii], offsets[jj], out=out_rhs[pos : pos + chunk])
         out_pairs[pos : pos + chunk, 0] = indices[ii]
         out_pairs[pos : pos + chunk, 1] = indices[jj]
-        pos += chunk
-        start = stop
+
+    run_tasks(_fill_chunk, tasks, threads=count)
 
     if skip_degenerate:
         keep = np.any(np.abs(out_coeffs) > 0.0, axis=1)

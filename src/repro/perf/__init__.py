@@ -9,6 +9,13 @@ confirmed-skyline windows as contiguous arrays.
 
 :mod:`repro.perf.arena` owns the general-purpose capacity-doubling arena
 (:class:`GrowableArena`) behind every dynamically maintained index store.
+
+:mod:`repro.perf.executor` owns the shared worker-thread kernel executor:
+it dispatches the block ranges of :func:`iter_blocks` across a thread pool
+(:func:`run_tasks`, :func:`map_blocks`, :func:`parallel_matmul`), resolves
+the ``threads``/``dtype`` knobs through the ambient :func:`kernel_context`
+or the ``REPRO_KERNEL_THREADS`` environment variable, and divides the
+memory cap across workers (:func:`split_memory_cap`).
 """
 
 from repro.perf.arena import GrowableArena
@@ -20,13 +27,35 @@ from repro.perf.blocking import (
     memory_cap_bytes,
     resolve_block_size,
 )
+from repro.perf.executor import (
+    MAX_THREADS,
+    VALID_DTYPES,
+    kernel_context,
+    map_blocks,
+    parallel_block_size,
+    parallel_matmul,
+    resolve_dtype,
+    resolve_threads,
+    run_tasks,
+    split_memory_cap,
+)
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_MEMORY_CAP_BYTES",
     "GrowableArena",
     "GrowableBuffer",
+    "MAX_THREADS",
+    "VALID_DTYPES",
     "iter_blocks",
+    "kernel_context",
+    "map_blocks",
     "memory_cap_bytes",
+    "parallel_block_size",
+    "parallel_matmul",
     "resolve_block_size",
+    "resolve_dtype",
+    "resolve_threads",
+    "run_tasks",
+    "split_memory_cap",
 ]

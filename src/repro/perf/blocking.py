@@ -15,6 +15,7 @@ variable.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -52,7 +53,23 @@ def memory_cap_bytes(memory_cap: Optional[int] = None) -> int:
         try:
             cap_mb = float(env)
         except ValueError:
+            warnings.warn(
+                f"ignoring unparseable {_MEMORY_CAP_ENV}={env!r} "
+                f"(expected a positive number of MiB); using the default "
+                f"{DEFAULT_MEMORY_CAP_BYTES // (1024 * 1024)} MiB cap",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             cap_mb = 0.0
+        else:
+            if cap_mb <= 0:
+                warnings.warn(
+                    f"ignoring non-positive {_MEMORY_CAP_ENV}={env!r}; "
+                    f"using the default "
+                    f"{DEFAULT_MEMORY_CAP_BYTES // (1024 * 1024)} MiB cap",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         if cap_mb > 0:
             return int(cap_mb * 1024 * 1024)
     return DEFAULT_MEMORY_CAP_BYTES
@@ -169,12 +186,22 @@ class GrowableBuffer:
         self._size += count
 
     def keep(self, mask: np.ndarray) -> None:
-        """Compact the buffer in place, keeping rows where ``mask`` is True."""
+        """Compact the buffer in place, keeping rows where ``mask`` is True.
+
+        The boolean gather is materialised into a fresh array *before* the
+        write-back: source and destination overlap inside the same buffer,
+        and while numpy's fancy indexing happens to copy today, the
+        compaction must not silently corrupt rows if that ever changes.
+        """
         kept = int(np.count_nonzero(mask))
         if kept == self._size:
             return
-        self._rows[:kept] = self._rows[: self._size][mask]
-        self._indices[:kept] = self._indices[: self._size][mask]
+        self._rows[:kept] = np.ascontiguousarray(self._rows[: self._size][mask])
+        self._indices[:kept] = np.ascontiguousarray(
+            self._indices[: self._size][mask]
+        )
         if self._sums is not None:
-            self._sums[:kept] = self._sums[: self._size][mask]
+            self._sums[:kept] = np.ascontiguousarray(
+                self._sums[: self._size][mask]
+            )
         self._size = kept

@@ -1,0 +1,322 @@
+"""The shared kernel executor: worker-thread dispatch for chunked kernels.
+
+Every hot path already runs through the memory-capped chunked kernels of
+:mod:`repro.perf.blocking` — the chunk boundaries produced by
+:func:`~repro.perf.blocking.iter_blocks` are exactly the work units a
+parallel executor needs.  This module dispatches those block ranges across
+a shared worker-thread pool: numpy releases the GIL inside the broadcast
+comparisons and GEMMs, so threads capture most of the multi-core win
+without any IPC or pickling cost.
+
+Three pieces:
+
+* **Thread resolution** (:func:`resolve_threads`): explicit argument, then
+  the ambient :func:`kernel_context`, then the ``REPRO_KERNEL_THREADS``
+  environment variable, then 1.  ``threads=1`` is the contract-critical
+  default — callers take the exact serial code path, no pool, no futures.
+* **Dispatch** (:func:`run_tasks` / :func:`map_blocks` /
+  :func:`parallel_matmul`): submit independent tasks to a cached
+  :class:`~concurrent.futures.ThreadPoolExecutor` keyed by worker count
+  and collect results in task order.  Workers write only to disjoint,
+  caller-preallocated output slices, so results are byte-identical to the
+  serial path regardless of completion order.  Pool threads are flagged so
+  any kernel entered *from inside a worker* resolves to serial — nested
+  parallelism (and the same-pool deadlock it invites) cannot happen.
+* **The kernel context** (:func:`kernel_context`): a thread-local carrying
+  the ``(threads, dtype, stats)`` knobs through deep call chains
+  (session → skyline API → divide-and-conquer → ``dominated_mask``) that
+  have no keyword path for them.  ``stats`` is any object with the
+  executor telemetry counters (``SessionStats`` qualifies); all counter
+  updates happen in the dispatching thread, never in workers, so the
+  counters need no locking.
+
+The memory budget **divides** across workers (it never multiplies): use
+:func:`split_memory_cap` before :func:`~repro.perf.blocking.resolve_block_size`
+so the sum of per-worker scratch stays within the one global cap.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.perf.blocking import iter_blocks, memory_cap_bytes
+
+#: Environment variable naming the default worker-thread count.
+_THREADS_ENV = "REPRO_KERNEL_THREADS"
+
+#: Hard ceiling on the pool size — beyond this, dispatch overhead and
+#: memory-bandwidth contention dwarf any remaining parallel gain.
+MAX_THREADS = 64
+
+#: Compute dtypes the kernels accept.  ``float32`` is the opt-in fast path:
+#: compare in single precision, re-verify ambiguous (tied) rows exactly.
+VALID_DTYPES = ("float64", "float32")
+
+#: Row count below which :func:`parallel_matmul` stays serial — partitioning
+#: a small GEMM costs more in dispatch than the multiply itself.
+MIN_PARALLEL_GEMM_ROWS = 2048
+
+
+# ----------------------------------------------------------------------
+# Knob validation and resolution
+# ----------------------------------------------------------------------
+def validate_threads(threads: Optional[int]) -> Optional[int]:
+    """Validate an explicit thread count; ``None`` means "resolve later"."""
+    if threads is None:
+        return None
+    count = int(threads)
+    if count < 1:
+        raise ValueError(f"threads must be >= 1, got {threads!r}")
+    return min(count, MAX_THREADS)
+
+
+def validate_dtype(dtype: Optional[str]) -> Optional[str]:
+    """Validate an explicit compute dtype; ``None`` means "resolve later"."""
+    if dtype is None:
+        return None
+    if dtype not in VALID_DTYPES:
+        raise ValueError(
+            f"compute dtype must be one of {VALID_DTYPES}, got {dtype!r}"
+        )
+    return dtype
+
+
+class _KernelContext(threading.local):
+    """Per-thread ambient knobs (see :func:`kernel_context`)."""
+
+    def __init__(self):
+        self.threads: Optional[int] = None
+        self.dtype: Optional[str] = None
+        self.stats = None
+        self.in_worker = False
+
+
+_CTX = _KernelContext()
+
+
+@contextmanager
+def kernel_context(threads=None, dtype=None, stats=None):
+    """Install ambient executor knobs for the current thread.
+
+    Kernels deep in the call stack (``dominated_mask`` under the skyline
+    API, ``pairwise_intersection_arrays_from`` under an index build,
+    ``FlatTree.query_many`` under a batched probe) resolve their ``threads``
+    and ``dtype`` from this context when no explicit argument reaches them.
+    ``None`` leaves the corresponding knob untouched, so nested contexts
+    compose; the previous values are restored on exit.
+    """
+    prev = (_CTX.threads, _CTX.dtype, _CTX.stats)
+    if threads is not None:
+        _CTX.threads = validate_threads(threads)
+    if dtype is not None:
+        _CTX.dtype = validate_dtype(dtype)
+    if stats is not None:
+        _CTX.stats = stats
+    try:
+        yield
+    finally:
+        _CTX.threads, _CTX.dtype, _CTX.stats = prev
+
+
+def resolve_threads(threads: Optional[int] = None) -> int:
+    """Effective worker-thread count for one kernel call.
+
+    Precedence: explicit argument, then the ambient :func:`kernel_context`,
+    then the ``REPRO_KERNEL_THREADS`` environment variable, then 1.  Inside
+    a pool worker the answer is always 1 (nested parallelism is refused —
+    resubmitting to the same pool from one of its workers can deadlock).
+    An unparseable or non-positive environment value warns and falls back
+    instead of failing silently.
+    """
+    if threads is not None:
+        return validate_threads(threads)
+    if _CTX.in_worker:
+        return 1
+    if _CTX.threads is not None:
+        return _CTX.threads
+    env = os.environ.get(_THREADS_ENV)
+    if env:
+        try:
+            count = int(env)
+        except ValueError:
+            warnings.warn(
+                f"ignoring unparseable {_THREADS_ENV}={env!r} "
+                f"(expected a positive integer); kernels run serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+        if count < 1:
+            warnings.warn(
+                f"ignoring non-positive {_THREADS_ENV}={env!r}; "
+                f"kernels run serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+        return min(count, MAX_THREADS)
+    return 1
+
+
+def resolve_dtype(dtype: Optional[str] = None) -> str:
+    """Effective compute dtype: explicit argument, then context, then float64."""
+    if dtype is not None:
+        return validate_dtype(dtype)
+    return _CTX.dtype or "float64"
+
+
+# ----------------------------------------------------------------------
+# Telemetry (all updates happen in the dispatching thread)
+# ----------------------------------------------------------------------
+def note_parallel(chunks: int, threads: int) -> None:
+    """Record one parallel dispatch on the ambient stats sink, if any."""
+    stats = _CTX.stats
+    if stats is not None:
+        stats.parallel_chunks += int(chunks)
+        stats.threads_used = max(stats.threads_used, int(threads))
+
+
+def note_float32(fastpath_rows: int, fallback_rows: int) -> None:
+    """Record float32 fast-path / exact-fallback row counts, if tracked."""
+    stats = _CTX.stats
+    if stats is not None:
+        stats.float32_fastpath_hits += int(fastpath_rows)
+        stats.float32_exact_fallbacks += int(fallback_rows)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+def _mark_worker() -> None:
+    _CTX.in_worker = True
+
+
+_POOLS: dict = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _reset_pools_after_fork() -> None:
+    # A forked child inherits executor objects whose worker threads do not
+    # exist on its side of the fork; submitting to them would hang forever.
+    # Drop the cache so the child lazily builds fresh pools.
+    global _POOL_LOCK
+    _POOLS.clear()
+    _POOL_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
+def _pool(threads: int) -> ThreadPoolExecutor:
+    with _POOL_LOCK:
+        pool = _POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads,
+                thread_name_prefix=f"repro-kernel-{threads}",
+                initializer=_mark_worker,
+            )
+            _POOLS[threads] = pool
+        return pool
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def run_tasks(
+    worker: Callable,
+    tasks: Sequence[Tuple],
+    threads: Optional[int] = None,
+) -> List:
+    """Run ``worker(*task)`` for every task; results come back in task order.
+
+    ``threads`` resolves through :func:`resolve_threads`.  With one worker
+    (or one task) the tasks run inline in the calling thread — the exact
+    serial code path, no pool involved.  Otherwise each task is submitted
+    to the shared pool; a failing task propagates its exception to the
+    caller after all futures settle, so no worker is left writing into
+    shared output arrays the caller has abandoned.
+    """
+    tasks = list(tasks)
+    count = resolve_threads(threads)
+    if count <= 1 or len(tasks) <= 1:
+        return [worker(*task) for task in tasks]
+    note_parallel(len(tasks), min(count, len(tasks)))
+    futures = [_pool(count).submit(worker, *task) for task in tasks]
+    error = None
+    results = []
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if error is None:
+                error = exc
+    if error is not None:
+        raise error
+    return results
+
+
+def map_blocks(
+    worker: Callable[[int, int], object],
+    total: int,
+    block_size: int,
+    threads: Optional[int] = None,
+) -> List:
+    """Dispatch ``worker(start, stop)`` over the ``iter_blocks`` ranges."""
+    return run_tasks(worker, list(iter_blocks(total, block_size)), threads=threads)
+
+
+def split_memory_cap(memory_cap: Optional[int], threads: int) -> int:
+    """Per-worker scratch budget: the global cap **divided** across workers.
+
+    ``threads`` concurrent workers each sizing their blocks against the full
+    cap would multiply the peak footprint by ``threads``; dividing keeps the
+    sum of in-flight scratch within the one configured budget.
+    """
+    cap = memory_cap_bytes(memory_cap)
+    if threads <= 1:
+        return cap
+    return max(1, cap // int(threads))
+
+
+def parallel_block_size(total: int, block_size: int, threads: int) -> int:
+    """Shrink a block size so at least ``threads`` blocks exist to dispatch."""
+    if threads <= 1 or total <= 1:
+        return max(1, int(block_size))
+    per_thread = -(-int(total) // int(threads))  # ceil division
+    return max(1, min(int(block_size), per_thread))
+
+
+def parallel_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    threads: Optional[int] = None,
+    min_rows: int = MIN_PARALLEL_GEMM_ROWS,
+) -> np.ndarray:
+    """``a @ b`` with the rows of ``a`` partitioned across worker threads.
+
+    Row partitioning is the one GEMM split that stays byte-identical to the
+    serial product: every output row is still the same dot products over the
+    full inner dimension, in the same order — no re-association of partial
+    sums.  Small products (fewer than ``min_rows`` rows) run serial; so does
+    ``threads=1``.
+    """
+    count = resolve_threads(threads)
+    rows = int(a.shape[0])
+    if count <= 1 or rows < max(2, int(min_rows)):
+        return a @ b
+    out = np.empty((rows, b.shape[1]), dtype=np.result_type(a, b))
+
+    def worker(start: int, stop: int) -> None:
+        np.matmul(a[start:stop], b, out=out[start:stop])
+
+    map_blocks(worker, rows, parallel_block_size(rows, rows, count), threads=count)
+    return out

@@ -108,6 +108,16 @@ class ServiceConfig:
         Default query method handed to each shard's ``run_batch``.
     seed:
         Seed of the jitter RNG.
+    threads:
+        Kernel-executor worker threads *inside each shard worker*
+        (:class:`~repro.core.session.DatasetSession`'s ``threads`` knob).
+        ``None`` defers to the worker's ``REPRO_KERNEL_THREADS``
+        environment.  Note the multiplication: ``num_shards`` processes
+        each run up to ``threads`` kernel threads.
+    dtype:
+        Kernel compute dtype for each shard (``"float64"`` exact, or the
+        ``"float32"`` fast path with exact fallback — byte-identical
+        answers either way).
     """
 
     num_shards: int = 2
@@ -120,6 +130,8 @@ class ServiceConfig:
     overload_threshold: int = 0
     method: str = "auto"
     seed: int = 0
+    threads: Optional[int] = None
+    dtype: Optional[str] = None
 
 
 @dataclass
@@ -309,6 +321,10 @@ class EclipseService:
         )
         os.makedirs(self._dir, exist_ok=True)
         self._index_kwargs = dict(index_kwargs or {})
+        self._session_kwargs = {
+            "threads": self.config.threads,
+            "dtype": self.config.dtype,
+        }
         num_shards = self.config.num_shards
         n = int(data.shape[0])
         # Shard s holds global ids s, s + S, s + 2S, ... in ascending order;
@@ -782,6 +798,7 @@ class EclipseService:
                 self._wal_path(shard),
                 self.config.snapshot_every,
                 self._index_kwargs,
+                self._session_kwargs,
             ),
             daemon=True,
             name=f"eclipse-shard-{shard}",

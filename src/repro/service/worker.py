@@ -101,6 +101,7 @@ def recover_shard(
     snapshot_path: str,
     wal: WriteAheadLog,
     index_kwargs: Optional[Dict[str, object]] = None,
+    session_kwargs: Optional[Dict[str, object]] = None,
 ) -> tuple:
     """Rebuild a shard's state from disk; returns ``(state, ready_info)``.
 
@@ -108,13 +109,20 @@ def recover_shard(
     Cold path: base data + full WAL replay — taken when the snapshot is
     missing, truncated, corrupt, or version-mismatched; the reason is
     logged and reported, never raised.
+
+    ``session_kwargs`` carries the kernel-executor knobs
+    (``threads``/``dtype``); a warm-loaded session is reconfigured with
+    them so the *service's* configuration wins over whatever the snapshot
+    was taken with.
     """
+    session_kwargs = dict(session_kwargs or {})
     state: Optional[ShardState] = None
     snapshot_error: Optional[str] = None
     loaded_warm = False
     if os.path.exists(snapshot_path):
         try:
             session, extra = DatasetSession.load_snapshot(snapshot_path)
+            session.configure_kernels(**session_kwargs)
             state = ShardState(
                 session, extra["gids"], extra["last_seq"]
             )
@@ -129,7 +137,7 @@ def recover_shard(
             )
     if state is None:
         state = ShardState(
-            DatasetSession(base_data, index_kwargs=index_kwargs),
+            DatasetSession(base_data, index_kwargs=index_kwargs, **session_kwargs),
             np.asarray(base_gids, dtype=np.intp).copy(),
             last_seq=0,
         )
@@ -165,11 +173,12 @@ def worker_main(
     wal_path: str,
     snapshot_every: int = 8,
     index_kwargs: Optional[Dict[str, object]] = None,
+    session_kwargs: Optional[Dict[str, object]] = None,
 ) -> None:
     """Process entry point of one shard worker (see the module docstring)."""
     wal = WriteAheadLog(wal_path)
     state, ready_info = recover_shard(
-        base_data, base_gids, snapshot_path, wal, index_kwargs
+        base_data, base_gids, snapshot_path, wal, index_kwargs, session_kwargs
     )
     conn.send(("ready", ready_info))
     applied_since_snapshot = 0

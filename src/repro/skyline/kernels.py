@@ -38,6 +38,14 @@ from repro.perf.blocking import (
     iter_blocks,
     resolve_block_size,
 )
+from repro.perf.executor import (
+    map_blocks,
+    note_float32,
+    parallel_block_size,
+    resolve_dtype,
+    resolve_threads,
+    split_memory_cap,
+)
 
 
 #: Dominator rows compared against a candidate block per kernel step.  Kept
@@ -55,12 +63,114 @@ _DOMINATOR_CHUNK = 32
 _CANDIDATE_BLOCK = 16384
 
 
+def _screen_block_exact(
+    cand: np.ndarray,
+    csums: np.ndarray,
+    dominators: np.ndarray,
+    dom_sums: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Exact float64 screen of one candidate block; writes into ``out``.
+
+    ``out`` is a boolean view over the block's slice of the result mask —
+    blocks write disjoint slices, so the screen is safe to dispatch across
+    worker threads.  The arithmetic is the serial kernel's, unchanged: the
+    sum-based strictness test, the rounding rescue for computed-sum ties,
+    and the early-exit compression over dominator chunks.
+    """
+    k = dominators.shape[0]
+    alive = np.arange(cand.shape[0])
+    for dstart, dstop in iter_blocks(k, _DOMINATOR_CHUNK):
+        dom = dominators[dstart:dstop]
+        dsums = dom_sums[dstart:dstop]
+        le = (dom[None, :, :] <= cand[:, None, :]).all(axis=2)
+        sum_lt = dsums[None, :] < csums[:, None]
+        hit = (le & sum_lt).any(axis=1)
+        # Rounding rescue: a dominator that is <= everywhere but whose
+        # *computed* sum ties the candidate's either equals it (no
+        # domination) or strictly improves a coordinate too small to
+        # register in the sum.  Decide those few pairs exactly.
+        ties = le & ~sum_lt & (dsums[None, :] == csums[:, None])
+        if ties.any():
+            rows = np.flatnonzero(~hit & ties.any(axis=1))
+            if rows.size:
+                ii, jj = np.nonzero(ties[rows])
+                strict = (dom[jj] < cand[rows][ii]).any(axis=1)
+                if strict.any():
+                    hit[rows[np.unique(ii[strict])]] = True
+        if hit.any():
+            out[alive[hit]] = True
+            keep = ~hit
+            alive = alive[keep]
+            if alive.size == 0:
+                break
+            cand = cand[keep]
+            csums = csums[keep]
+
+
+def _screen_block_f32(
+    cand64: np.ndarray,
+    cand32: np.ndarray,
+    dominators: np.ndarray,
+    dom32: np.ndarray,
+    dom_sums: np.ndarray,
+    csums64: Optional[np.ndarray],
+    out: np.ndarray,
+) -> tuple:
+    """Float32 screen of one candidate block with an exact fallback.
+
+    Rounding float64 to float32 is monotone, so a *strict* float32
+    inequality is certain in raw space: a dominator strictly below a
+    candidate in every float32 coordinate strictly dominates it exactly.
+    Only float32 **ties** are ambiguous — the two float64 values may order
+    either way (or be equal).  The screen therefore decides candidates on
+    strict float32 comparisons alone and re-verifies the rest — candidates
+    with at least one tied-but-never-worse dominator and no certain hit —
+    with the exact float64 kernel, making the result byte-identical to the
+    float64 path by construction.
+
+    Returns ``(fastpath_rows, fallback_rows)`` for the executor telemetry.
+    """
+    k = dom32.shape[0]
+    block_rows = cand32.shape[0]
+    ambiguous = np.zeros(block_rows, dtype=bool)
+    alive = np.arange(block_rows)
+    cand = cand32
+    for dstart, dstop in iter_blocks(k, _DOMINATOR_CHUNK):
+        dom = dom32[dstart:dstop]
+        le = (dom[None, :, :] <= cand[:, None, :]).all(axis=2)
+        lt = (dom[None, :, :] < cand[:, None, :]).all(axis=2)
+        hit = lt.any(axis=1)
+        near_tie = (le & ~lt).any(axis=1)
+        if near_tie.any():
+            ambiguous[alive[near_tie]] = True
+        if hit.any():
+            out[alive[hit]] = True
+            keep = ~hit
+            alive = alive[keep]
+            if alive.size == 0:
+                break
+            cand = cand[keep]
+    fallback = np.flatnonzero(ambiguous & ~out)
+    if fallback.size:
+        rows = cand64[fallback]
+        csums = (
+            rows.sum(axis=1) if csums64 is None else csums64[fallback]
+        )
+        exact = np.zeros(fallback.size, dtype=bool)
+        _screen_block_exact(rows, csums, dominators, dom_sums, exact)
+        out[fallback[exact]] = True
+    return block_rows - int(fallback.size), int(fallback.size)
+
+
 def dominated_mask(
     candidates: np.ndarray,
     dominators: np.ndarray,
     memory_cap: Optional[int] = None,
     cand_sums: Optional[np.ndarray] = None,
     dom_sums: Optional[np.ndarray] = None,
+    threads: Optional[int] = None,
+    compute_dtype: Optional[str] = None,
 ) -> np.ndarray:
     """Boolean mask over ``candidates``: True where some dominator dominates.
 
@@ -85,54 +195,75 @@ def dominated_mask(
 
     ``cand_sums`` / ``dom_sums`` accept precomputed row sums (callers that
     already sorted by the monotone key pass them to avoid recomputation).
+
+    ``threads`` dispatches the candidate blocks across the shared kernel
+    executor (default: the ambient :func:`repro.perf.executor.kernel_context`
+    or ``REPRO_KERNEL_THREADS``; 1 takes the exact serial code path).  The
+    memory cap divides across workers, and blocks write disjoint slices of
+    the result, so answers are byte-identical at every thread count.
+
+    ``compute_dtype="float32"`` opts one call into the single-precision
+    fast path (see :func:`_screen_block_f32`): comparisons run in float32
+    and only float32-tied rows are re-verified in exact float64, so the
+    result is still byte-identical to the float64 kernel.
     """
     m, k = candidates.shape[0], dominators.shape[0]
     if m == 0 or k == 0:
         return np.zeros(m, dtype=bool)
     d = candidates.shape[1]
-    if cand_sums is None:
-        cand_sums = candidates.sum(axis=1)
+    count = resolve_threads(threads)
+    use_f32 = (
+        resolve_dtype(compute_dtype) == "float32"
+        and candidates.dtype == np.float64
+        and dominators.dtype == np.float64
+    )
     if dom_sums is None:
         dom_sums = dominators.sum(axis=1)
+    if cand_sums is None and not use_f32:
+        cand_sums = candidates.sum(axis=1)
 
     mask = np.zeros(m, dtype=bool)
+    effective_cap = memory_cap if count <= 1 else split_memory_cap(memory_cap, count)
     block = resolve_block_size(
         min(k, _DOMINATOR_CHUNK),
         d,
-        memory_cap=memory_cap,
+        memory_cap=effective_cap,
         preferred=_CANDIDATE_BLOCK,
     )
-    for start, stop in iter_blocks(m, block):
-        cand = candidates[start:stop]
-        csums = cand_sums[start:stop]
-        alive = np.arange(start, stop)
-        for dstart, dstop in iter_blocks(k, _DOMINATOR_CHUNK):
-            dom = dominators[dstart:dstop]
-            dsums = dom_sums[dstart:dstop]
-            le = (dom[None, :, :] <= cand[:, None, :]).all(axis=2)
-            sum_lt = dsums[None, :] < csums[:, None]
-            hit = (le & sum_lt).any(axis=1)
-            # Rounding rescue: a dominator that is <= everywhere but whose
-            # *computed* sum ties the candidate's either equals it (no
-            # domination) or strictly improves a coordinate too small to
-            # register in the sum.  Decide those few pairs exactly.
-            ties = le & ~sum_lt & (dsums[None, :] == csums[:, None])
-            if ties.any():
-                rows = np.flatnonzero(~hit & ties.any(axis=1))
-                if rows.size:
-                    ii, jj = np.nonzero(ties[rows])
-                    strict = (dom[jj] < cand[rows][ii]).any(axis=1)
-                    if strict.any():
-                        hit[rows[np.unique(ii[strict])]] = True
-            if hit.any():
-                mask[alive[hit]] = True
-                keep = ~hit
-                alive = alive[keep]
-                if alive.size == 0:
-                    break
-                cand = cand[keep]
-                csums = csums[keep]
-        # ``alive`` tracked global candidate positions, so ``mask`` is set.
+    if count > 1:
+        block = parallel_block_size(m, block, count)
+
+    if use_f32:
+        cand32 = candidates.astype(np.float32)
+        dom32 = dominators.astype(np.float32)
+
+        def worker(start: int, stop: int) -> tuple:
+            return _screen_block_f32(
+                candidates[start:stop],
+                cand32[start:stop],
+                dominators,
+                dom32,
+                dom_sums,
+                None if cand_sums is None else cand_sums[start:stop],
+                mask[start:stop],
+            )
+
+        counts = map_blocks(worker, m, block, threads=count)
+        note_float32(
+            sum(c[0] for c in counts), sum(c[1] for c in counts)
+        )
+    else:
+
+        def worker(start: int, stop: int) -> None:
+            _screen_block_exact(
+                candidates[start:stop],
+                cand_sums[start:stop],
+                dominators,
+                dom_sums,
+                mask[start:stop],
+            )
+
+        map_blocks(worker, m, block, threads=count)
     return mask
 
 
@@ -140,24 +271,35 @@ def dominates_matrix(
     rows: np.ndarray,
     others: np.ndarray,
     memory_cap: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> np.ndarray:
     """Full pairwise dominance matrix: ``out[i, j]`` iff row i dominates other j.
 
     Chunked over the first axis so the broadcast scratch respects the memory
-    cap.  Note the orientation is the transpose of :func:`dominated_mask`:
-    here the *first* argument supplies the dominators.
+    cap; the chunks are independent row ranges of ``out``, so they dispatch
+    across the kernel executor when ``threads`` (or the ambient context)
+    asks for more than one worker.  Note the orientation is the transpose
+    of :func:`dominated_mask`: here the *first* argument supplies the
+    dominators.
     """
     m, k = rows.shape[0], others.shape[0]
     out = np.zeros((m, k), dtype=bool)
     if m == 0 or k == 0:
         return out
     d = rows.shape[1]
-    block = resolve_block_size(k, d, memory_cap=memory_cap)
-    for start, stop in iter_blocks(m, block):
+    count = resolve_threads(threads)
+    effective_cap = memory_cap if count <= 1 else split_memory_cap(memory_cap, count)
+    block = resolve_block_size(k, d, memory_cap=effective_cap)
+    if count > 1:
+        block = parallel_block_size(m, block, count)
+
+    def worker(start: int, stop: int) -> None:
         chunk = rows[start:stop, None, :]
         le = (chunk <= others[None, :, :]).all(axis=2)
         lt = (chunk < others[None, :, :]).any(axis=2)
         out[start:stop] = le & lt
+
+    map_blocks(worker, m, block, threads=count)
     return out
 
 
@@ -186,6 +328,8 @@ def block_sfs_indices(
     data: np.ndarray,
     block_size: int = DEFAULT_BLOCK_SIZE,
     memory_cap: Optional[int] = None,
+    threads: Optional[int] = None,
+    compute_dtype: Optional[str] = None,
 ) -> IndexArray:
     """Sorted skyline indices of ``data`` via block sort-filter-skyline.
 
@@ -199,6 +343,11 @@ def block_sfs_indices(
 
     Duplicates never strictly dominate each other, so all copies survive,
     exactly as in the seed implementations.
+
+    ``threads`` / ``compute_dtype`` forward to the :func:`dominated_mask`
+    calls — the outer block loop stays sequential (each block depends on
+    the confirmed window of all earlier ones), so the parallelism lives in
+    the per-block screens, whose candidate chunks are independent.
     """
     n = data.shape[0]
     if n == 0:
@@ -220,6 +369,8 @@ def block_sfs_indices(
             memory_cap=memory_cap,
             cand_sums=block_sums,
             dom_sums=confirmed.sums,
+            threads=threads,
+            compute_dtype=compute_dtype,
         )
         keep = ~screened
         survivors = block[keep]
@@ -232,6 +383,8 @@ def block_sfs_indices(
                 memory_cap=memory_cap,
                 cand_sums=survivor_sums,
                 dom_sums=survivor_sums,
+                threads=threads,
+                compute_dtype=compute_dtype,
             )
             keep = ~intra
             survivors = survivors[keep]

@@ -1,0 +1,189 @@
+"""Unit tests of the shared kernel executor (:mod:`repro.perf.executor`).
+
+The executor's contract: ``threads=1`` is the exact serial code path; any
+worker count returns byte-identical results (workers only write disjoint
+preallocated slices); the memory budget divides across workers; and the
+``REPRO_KERNEL_THREADS`` environment variable never fails silently.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.perf.blocking import DEFAULT_MEMORY_CAP_BYTES, memory_cap_bytes
+from repro.perf.executor import (
+    MAX_THREADS,
+    kernel_context,
+    map_blocks,
+    parallel_block_size,
+    parallel_matmul,
+    resolve_dtype,
+    resolve_threads,
+    run_tasks,
+    split_memory_cap,
+    validate_dtype,
+    validate_threads,
+)
+
+
+class TestKnobResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "8")
+        with kernel_context(threads=4):
+            assert resolve_threads(2) == 2
+
+    def test_context_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "8")
+        with kernel_context(threads=3):
+            assert resolve_threads() == 3
+        assert resolve_threads() == 8
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        assert resolve_threads() == 1
+        assert resolve_dtype() == "float64"
+
+    def test_env_clamped_to_max(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", str(MAX_THREADS * 10))
+        assert resolve_threads() == MAX_THREADS
+
+    def test_unparseable_env_warns_and_runs_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "many")
+        with pytest.warns(RuntimeWarning, match="unparseable"):
+            assert resolve_threads() == 1
+
+    def test_non_positive_env_warns_and_runs_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "0")
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert resolve_threads() == 1
+
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            validate_threads(0)
+        with pytest.raises(ValueError):
+            validate_dtype("float16")
+        assert validate_threads(None) is None
+        assert validate_dtype(None) is None
+        assert validate_threads(MAX_THREADS + 1) == MAX_THREADS
+
+    def test_nested_contexts_compose_and_restore(self):
+        with kernel_context(threads=4, dtype="float32"):
+            assert resolve_threads() == 4
+            assert resolve_dtype() == "float32"
+            with kernel_context(threads=2):
+                # dtype untouched by the inner context.
+                assert resolve_threads() == 2
+                assert resolve_dtype() == "float32"
+            assert resolve_threads() == 4
+        assert resolve_dtype() == "float64"
+
+    def test_context_is_thread_local(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        seen = {}
+
+        def probe():
+            seen["threads"] = resolve_threads()
+
+        with kernel_context(threads=8):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen["threads"] == 1
+
+
+class TestDispatch:
+    def test_run_tasks_preserves_task_order(self):
+        tasks = [(i,) for i in range(20)]
+        assert run_tasks(lambda i: i * i, tasks, threads=4) == [
+            i * i for i in range(20)
+        ]
+
+    def test_run_tasks_serial_path_uses_no_pool(self):
+        names = []
+        run_tasks(
+            lambda i: names.append(threading.current_thread().name),
+            [(0,), (1,)],
+            threads=1,
+        )
+        assert names == [threading.current_thread().name] * 2
+
+    def test_run_tasks_propagates_worker_exception(self):
+        def worker(i):
+            if i == 3:
+                raise RuntimeError("boom")
+            return i
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_tasks(worker, [(i,) for i in range(6)], threads=2)
+
+    def test_nested_dispatch_from_worker_is_serial(self):
+        inner_counts = []
+
+        def worker(i):
+            inner_counts.append(resolve_threads())
+            return i
+
+        run_tasks(worker, [(i,) for i in range(4)], threads=2)
+        assert inner_counts == [1, 1, 1, 1]
+
+    def test_map_blocks_disjoint_writes(self):
+        out = np.zeros(1000, dtype=np.intp)
+
+        def worker(start, stop):
+            out[start:stop] = np.arange(start, stop)
+
+        map_blocks(worker, 1000, 64, threads=4)
+        assert np.array_equal(out, np.arange(1000))
+
+    def test_telemetry_counted_in_dispatcher(self):
+        class Sink:
+            parallel_chunks = 0
+            threads_used = 1
+            float32_fastpath_hits = 0
+            float32_exact_fallbacks = 0
+
+        sink = Sink()
+        with kernel_context(threads=4, stats=sink):
+            run_tasks(lambda i: i, [(i,) for i in range(10)])
+        assert sink.parallel_chunks == 10
+        assert sink.threads_used == 4
+
+
+class TestBudgets:
+    def test_split_memory_cap_divides(self):
+        assert split_memory_cap(1024, 4) == 256
+        assert split_memory_cap(1024, 1) == 1024
+        assert split_memory_cap(None, 2) == DEFAULT_MEMORY_CAP_BYTES // 2
+        assert split_memory_cap(3, 64) == 1  # never zero
+
+    def test_split_memory_cap_serial_passthrough(self):
+        assert split_memory_cap(None, 1) == memory_cap_bytes(None)
+
+    def test_parallel_block_size_creates_enough_blocks(self):
+        assert parallel_block_size(1000, 1000, 4) == 250
+        assert parallel_block_size(1000, 100, 4) == 100  # already enough
+        assert parallel_block_size(1000, 1000, 1) == 1000
+        assert parallel_block_size(3, 512, 8) == 1
+
+
+class TestParallelMatmul:
+    def test_byte_identical_to_serial(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(5000, 7))
+        b = rng.normal(size=(7, 13))
+        ref = a @ b
+        for threads in (2, 5, 8):
+            got = parallel_matmul(a, b, threads=threads, min_rows=16)
+            assert got.dtype == ref.dtype
+            assert np.array_equal(got, ref)
+
+    def test_small_products_stay_serial(self):
+        a = np.ones((4, 3))
+        b = np.ones((3, 2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert np.array_equal(parallel_matmul(a, b, threads=8), a @ b)

@@ -1,0 +1,188 @@
+"""Byte-identical parity of the parallel and float32 kernel paths.
+
+The executor's whole contract is that ``threads`` and ``dtype`` are pure
+performance knobs: skylines, index answers, batch answers, and update
+streams must be byte-identical across every worker count and compute
+dtype, on every distribution — including datasets full of exact
+duplicates and single-attribute ties, which is where the float32 fast
+path must fall back to the exact float64 kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import DatasetSession
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.perf.executor import kernel_context
+from repro.skyline.api import skyline_indices
+from repro.skyline.kernels import block_sfs_indices, dominated_mask
+
+THREADS = (1, 2, 8)
+DTYPES = ("float64", "float32")
+BACKENDS = ("quadtree", "cutting")
+
+
+def _tie_heavy(n: int, d: int, seed: int) -> np.ndarray:
+    """A dataset dense in duplicates and per-attribute ties."""
+    rng = np.random.default_rng(seed)
+    base = np.round(rng.random((n, d)) * 4) / 4  # heavy value collisions
+    dup = base[rng.integers(0, n, size=n // 4)]  # exact duplicate rows
+    out = np.vstack([base, dup])
+    rng.shuffle(out)
+    return out
+
+
+DATASETS = [
+    generate_dataset("ANTI", 300, 3, seed=1),
+    generate_dataset("INDE", 250, 4, seed=2),
+    generate_dataset("CORR", 200, 3, seed=3),
+    _tie_heavy(120, 3, seed=4),
+    _tie_heavy(90, 4, seed=5),
+]
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_skyline_parity(threads, dtype):
+    for data in DATASETS:
+        ref = skyline_indices(data, method="auto")
+        with kernel_context(threads=threads, dtype=dtype):
+            got = skyline_indices(data, method="auto")
+        assert np.array_equal(ref, got)
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_kernel_parity(threads, dtype):
+    rng = np.random.default_rng(6)
+    for data in DATASETS:
+        k = min(60, data.shape[0] // 2)
+        dominators = data[rng.choice(data.shape[0], size=k, replace=False)]
+        ref_mask = dominated_mask(data, dominators)
+        ref_sfs = block_sfs_indices(data)
+        got_mask = dominated_mask(
+            data, dominators, threads=threads, compute_dtype=dtype
+        )
+        got_sfs = block_sfs_indices(
+            data, threads=threads, compute_dtype=dtype
+        )
+        assert np.array_equal(ref_mask, got_mask)
+        assert np.array_equal(ref_sfs, got_sfs)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_query_answer_parity_across_matrix(backend):
+    for data in DATASETS[:3]:
+        d = data.shape[1]
+        specs = [
+            RatioVector.uniform(0.3, 2.4, d),
+            RatioVector.uniform(0.6, 1.4, d),
+            RatioVector.uniform(0.15, 3.0, d),
+        ]
+        ref_session = DatasetSession(data)
+        ref = [r.indices for r in ref_session.run_batch(specs, method=backend)]
+        ref_tran = [
+            r.indices for r in ref_session.run_batch(specs, method="transform")
+        ]
+        for threads in THREADS:
+            for dtype in DTYPES:
+                session = DatasetSession(data, threads=threads, dtype=dtype)
+                got = [
+                    r.indices for r in session.run_batch(specs, method=backend)
+                ]
+                got_tran = [
+                    r.indices
+                    for r in session.run_batch(specs, method="transform")
+                ]
+                for a, b in zip(ref, got):
+                    assert np.array_equal(a, b)
+                for a, b in zip(ref_tran, got_tran):
+                    assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_update_stream_parity(threads, dtype):
+    data = generate_dataset("ANTI", 220, 3, seed=7)
+    extra = generate_dataset("ANTI", 60, 3, seed=8)
+    specs = [RatioVector.uniform(0.4, 2.0, 3)]
+
+    def drive(session):
+        answers = []
+        session.run_batch(specs, method="cutting")
+        session.apply_updates(inserts=extra[:30], deletes=np.arange(0, 40, 2))
+        answers.extend(
+            r.indices for r in session.run_batch(specs, method="cutting")
+        )
+        session.apply_updates(inserts=extra[30:], deletes=np.arange(5, 25))
+        answers.extend(
+            r.indices for r in session.run_batch(specs, method="cutting")
+        )
+        answers.append(session.skyline())
+        return answers
+
+    ref = drive(DatasetSession(data))
+    got = drive(DatasetSession(data, threads=threads, dtype=dtype))
+    for a, b in zip(ref, got):
+        assert np.array_equal(a, b)
+
+
+def test_float32_fallback_triggers_and_is_exact():
+    # Rows tied with their only dominator in float32 cannot be decided on
+    # the fast path; with no other dominator around, every such row must
+    # take the exact float64 fallback — and still match the serial answer.
+    rng = np.random.default_rng(9)
+    dominators = rng.random((1, 4))
+    cand = rng.random((64, 4)) + 1.0  # all dominated strictly
+    cand[:8] = dominators[0]  # exact duplicates: ambiguous, not dominated
+    ref = dominated_mask(cand, dominators)
+
+    session_stats = type(
+        "Sink",
+        (),
+        {
+            "parallel_chunks": 0,
+            "threads_used": 1,
+            "float32_fastpath_hits": 0,
+            "float32_exact_fallbacks": 0,
+        },
+    )()
+    with kernel_context(dtype="float32", stats=session_stats):
+        got = dominated_mask(cand, dominators)
+    assert np.array_equal(ref, got)
+    assert session_stats.float32_exact_fallbacks >= 8
+    assert session_stats.float32_fastpath_hits >= 1
+
+
+def test_float32_near_tie_rows_stay_exact():
+    # Values that collide in float32 but differ in float64: the fast path
+    # must not declare dominance either way without the exact re-check.
+    eps = 1e-12  # far below float32 resolution
+    dominators = np.array([[0.5, 0.5, 0.5]])
+    cand = np.array(
+        [
+            [0.5 + eps, 0.5 + eps, 0.5 + eps],  # dominated in f64, tied in f32
+            [0.5 - eps, 0.5, 0.5],  # not dominated (better first attr)
+            [0.5, 0.5, 0.5],  # exact duplicate: not dominated
+        ]
+    )
+    ref = dominated_mask(cand, dominators)
+    assert ref.tolist() == [True, False, False]
+    with kernel_context(dtype="float32"):
+        got = dominated_mask(cand, dominators)
+    assert np.array_equal(ref, got)
+
+
+def test_snapshot_roundtrip_keeps_kernel_knobs(tmp_path):
+    data = generate_dataset("INDE", 120, 3, seed=10)
+    session = DatasetSession(data, threads=4, dtype="float32")
+    session.skyline()
+    path = str(tmp_path / "session.snap")
+    session.save_snapshot(path)
+    loaded, _ = DatasetSession.load_snapshot(path)
+    assert loaded.threads == 4
+    assert loaded.compute_dtype == "float32"
+    assert np.array_equal(loaded.skyline(), session.skyline())

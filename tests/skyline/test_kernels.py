@@ -9,6 +9,8 @@ reference implementations below mirror the seed code paths.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -284,11 +286,23 @@ class TestBlockingHelpers:
     def test_memory_cap_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL_MEMORY_CAP_MB", "2")
         assert memory_cap_bytes() == 2 * 1024 * 1024
-        monkeypatch.setenv("REPRO_KERNEL_MEMORY_CAP_MB", "bogus")
-        assert memory_cap_bytes() == memory_cap_bytes(None)
         assert memory_cap_bytes(123) == 123
         with pytest.raises(ValueError):
             memory_cap_bytes(0)
+
+    def test_memory_cap_env_bogus_warns_and_falls_back(self, monkeypatch):
+        from repro.perf.blocking import DEFAULT_MEMORY_CAP_BYTES
+
+        monkeypatch.setenv("REPRO_KERNEL_MEMORY_CAP_MB", "bogus")
+        with pytest.warns(RuntimeWarning, match="unparseable"):
+            assert memory_cap_bytes() == DEFAULT_MEMORY_CAP_BYTES
+        monkeypatch.setenv("REPRO_KERNEL_MEMORY_CAP_MB", "-3")
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert memory_cap_bytes() == DEFAULT_MEMORY_CAP_BYTES
+        # An explicit cap bypasses the environment entirely: no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert memory_cap_bytes(123) == 123
 
     def test_iter_blocks_covers_range(self):
         spans = list(iter_blocks(10, 3))
@@ -316,3 +330,26 @@ class TestBlockingHelpers:
         buf.append_batch(np.ones((2, 3)), np.array([1, 2]))
         assert buf.sums is None
         assert len(buf) == 2
+
+    def test_growable_buffer_keep_interleaved_mask(self):
+        # The compaction writes the gathered rows back into the same
+        # buffer; an interleaved mask makes source and destination ranges
+        # overlap, which is exactly the aliasing the explicit copy guards.
+        rows = np.arange(200, dtype=float).reshape(100, 2)
+        indices = np.arange(100, 200)
+        buf = GrowableBuffer(2, capacity=4, track_sums=True)
+        buf.append_batch(rows, indices)
+        mask = np.zeros(100, dtype=bool)
+        mask[1::2] = True
+        mask[0] = True  # uneven stride: kept run overlaps dropped run
+        buf.keep(mask)
+        assert np.array_equal(buf.rows, rows[mask])
+        assert np.array_equal(buf.indices, indices[mask])
+        assert np.array_equal(buf.sums, rows[mask].sum(axis=1))
+        # Compact again down to a sparse tail-heavy subset.
+        second = np.zeros(len(buf), dtype=bool)
+        second[-3:] = True
+        expected = rows[mask][second]
+        buf.keep(second)
+        assert np.array_equal(buf.rows, expected)
+        assert len(buf) == 3
