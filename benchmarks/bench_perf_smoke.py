@@ -88,6 +88,18 @@ PR 7 workloads (``BENCH_PR7.json``):
   re-verification of rows tied in float32) vs the default float64 kernels,
   with the fast-path/fallback row counts reported.
 
+PR 8 workloads (``BENCH_PR8.json``):
+
+* ``hot_set_sweep`` — a skewed (80/20) access stream over many distinct
+  index parameter sets with periodic update batches, replayed through
+  four session configurations: unbounded caching, the budgeted advisor
+  (build/keep/evict by benefit-per-byte under a byte budget sized to
+  ~2.5 indexes), no caching at all, and a naive evict-everything-on-
+  pressure policy.  Hard gates: the budgeted session's exact resident
+  rollup stays under the budget at every measurement point, answers are
+  byte-identical across all four configurations, and the advisor beats
+  both the no-cache and the naive-eviction policies on wall time.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_smoke.py          # full sweep
@@ -135,6 +147,7 @@ OUTPUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
 OUTPUT_PR5 = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 OUTPUT_PR6 = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 OUTPUT_PR7 = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+OUTPUT_PR8 = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
 
 
 # ----------------------------------------------------------------------
@@ -1544,6 +1557,137 @@ def run_float32_workload(workload: str, n: int, d: int, repeats: int) -> dict:
     return entry
 
 
+def run_hot_set_workload(
+    workload: str,
+    n: int,
+    d: int,
+    steps: int,
+    num_param_sets: int,
+    hot_count: int,
+    update_every: int,
+) -> dict:
+    """Budgeted index advisor vs unbounded / no-cache / naive eviction.
+
+    One skewed access stream over ``num_param_sets`` distinct index
+    parameter sets (distinct cache keys via ``seed`` overrides): 80 % of
+    steps hit the ``hot_count`` hot sets, the rest spread over the cold
+    tail, with a small insert/delete batch every ``update_every`` steps.
+    The identical stream is replayed through four session configurations:
+
+    * ``unbounded`` — every built index stays cached (the pre-PR 8 shape:
+      fastest, but resident bytes grow with the number of parameter sets).
+    * ``budgeted`` — the advisor holds resident bytes under a budget sized
+      to ~2.5 hot indexes, evicting by benefit-per-byte.
+    * ``no_cache`` — the cache is dropped after every step; every access
+      pays a full rebuild.
+    * ``naive`` — evict-*all*-on-pressure: whenever resident bytes exceed
+      the same budget, the whole cache is cleared, hot sets included.
+
+    Answers are compared byte-for-byte across all four configurations at
+    every step, and the budgeted session's exact resident rollup
+    (headroom included) is asserted ``<= budget`` at every measurement
+    point — both are hard acceptance gates.
+    """
+    from repro.core.session import DatasetSession
+
+    data = generate_dataset(DISTRIBUTION, n, d, seed=0)
+    # Size the budget from a probe build: room for the hot set (whose
+    # arenas grow ~1.3x under updates) but never for a cold index on top
+    # of it, so every cold access puts the policy under pressure: naive
+    # throws the whole hot set away, the advisor sheds only the cold
+    # newcomer (lowest benefit-per-byte).
+    probe = DatasetSession(data)
+    budget = int((hot_count + 1.0) * probe.index_for("quadtree", seed=0).nbytes())
+    del probe
+
+    rng = np.random.default_rng(23)
+    access = [
+        int(rng.integers(0, hot_count))
+        if rng.random() < 0.8
+        else int(rng.integers(hot_count, num_param_sets))
+        for _ in range(steps)
+    ]
+    step_specs = [_stream_specs(rng, 4, d) for _ in range(steps)]
+    update_rng = np.random.default_rng(29)
+
+    sessions = {
+        "unbounded": DatasetSession(data),
+        "budgeted": DatasetSession(data, index_budget_bytes=budget),
+        "no_cache": DatasetSession(data),
+        "naive": DatasetSession(data),
+    }
+    times = {name: 0.0 for name in sessions}
+    answers_identical = True
+    resident_max = 0
+    resident_within_budget = True
+    rebuilds = {name: 0 for name in sessions}
+
+    for step, (param, specs) in enumerate(zip(access, step_specs)):
+        step_answers = {}
+        for name, session in sessions.items():
+            start = time.perf_counter()
+            index = session.index_for("quadtree", seed=param)
+            step_answers[name] = index.query_indices_many(specs)
+            if name == "no_cache":
+                session._indexes.clear()
+            elif name == "naive" and session.index_cache_nbytes() > budget:
+                session._indexes.clear()
+            times[name] += time.perf_counter() - start
+            rebuilds[name] = session.stats.index_builds
+        reference = step_answers["unbounded"]
+        for name, got in step_answers.items():
+            answers_identical = answers_identical and all(
+                np.array_equal(g, r) for g, r in zip(got, reference)
+            )
+        resident = sessions["budgeted"].index_cache_nbytes()
+        resident_max = max(resident_max, resident)
+        resident_within_budget = resident_within_budget and resident <= budget
+        if update_every and (step + 1) % update_every == 0:
+            lows, highs = data.min(axis=0), data.max(axis=0)
+            inserts = lows + update_rng.uniform(size=(8, d)) * (highs - lows)
+            deletes = update_rng.choice(
+                sessions["unbounded"].num_points, size=4, replace=False
+            )
+            for name, session in sessions.items():
+                start = time.perf_counter()
+                session.apply_updates(inserts=inserts, deletes=deletes)
+                times[name] += time.perf_counter() - start
+            resident = sessions["budgeted"].index_cache_nbytes()
+            resident_max = max(resident_max, resident)
+            resident_within_budget = (
+                resident_within_budget and resident <= budget
+            )
+
+    budgeted_stats = sessions["budgeted"].stats
+    entry = {
+        "workload": workload,
+        "n": n,
+        "dimensions": d,
+        "steps": steps,
+        "num_param_sets": num_param_sets,
+        "hot_count": hot_count,
+        "budget_bytes": budget,
+        "times_s": {k: round(v, 6) for k, v in times.items()},
+        "index_builds": rebuilds,
+        "vs_no_cache_speedup": times["no_cache"] / times["budgeted"],
+        "vs_naive_speedup": times["naive"] / times["budgeted"],
+        "vs_unbounded_ratio": times["budgeted"] / times["unbounded"],
+        "resident_max_bytes": resident_max,
+        "resident_within_budget": resident_within_budget,
+        "unbounded_resident_bytes": sessions["unbounded"].index_cache_nbytes(),
+        "evictions": int(budgeted_stats.index_evictions),
+        "answers_identical": bool(answers_identical),
+    }
+    print(
+        f"{workload:32s} n={n:6d} budget={budget / 1e6:6.2f}MB  "
+        f"vs_no_cache={entry['vs_no_cache_speedup']:5.2f}x  "
+        f"vs_naive={entry['vs_naive_speedup']:5.2f}x  "
+        f"within_budget={resident_within_budget}  "
+        f"identical={answers_identical}"
+    )
+    return entry
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -1639,6 +1783,12 @@ def main(argv: List[str] | None = None) -> int:
         default=OUTPUT_PR7,
         help=f"where to write the PR 7 JSON results (default: {OUTPUT_PR7})",
     )
+    parser.add_argument(
+        "--output-pr8",
+        type=Path,
+        default=OUTPUT_PR8,
+        help=f"where to write the PR 8 JSON results (default: {OUTPUT_PR8})",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -1664,6 +1814,8 @@ def main(argv: List[str] | None = None) -> int:
         # (n, d, num_queries, update_batches, threads_list)
         scaling_sweep = [(10_000, 3, 50, 4, (1, 2))]
         float32_sweep = [(10_000, 3)]
+        # (n, d, steps, num_param_sets, hot_count, update_every)
+        hot_set_sweep = [(4_000, 3, 60, 12, 3, 15)]
         repeats = 1
     else:
         transform_sweep = [2_000, 10_000, 50_000, 100_000]
@@ -1714,6 +1866,11 @@ def main(argv: List[str] | None = None) -> int:
             (10_000, 4, 50, 4, (1, 2, 4, 8)),
         ]
         float32_sweep = [(50_000, 3), (10_000, 4)]
+        # (n, d, steps, num_param_sets, hot_count, update_every)
+        hot_set_sweep = [
+            (4_000, 3, 120, 12, 3, 20),
+            (8_000, 3, 120, 12, 3, 24),
+        ]
         repeats = 3
 
     entries = []
@@ -2181,6 +2338,48 @@ def main(argv: List[str] | None = None) -> int:
     args.output_pr7.write_text(json.dumps(pr7_payload, indent=2) + "\n")
     print(f"\nwrote {args.output_pr7}")
 
+    # ------------------------------------------------------------------
+    # PR 8: workload-adaptive index advisor under a byte budget
+    # ------------------------------------------------------------------
+    pr8_entries = []
+    for n, d, steps, num_sets, hot, upd_every in hot_set_sweep:
+        pr8_entries.append(
+            run_hot_set_workload(
+                f"hot_set_sweep[n={n}]", n, d, steps, num_sets, hot, upd_every
+            )
+        )
+
+    pr8_acceptance = {
+        "vs_no_cache_speedup": max(
+            e["vs_no_cache_speedup"] for e in pr8_entries
+        ),
+        "vs_naive_speedup": max(e["vs_naive_speedup"] for e in pr8_entries),
+        "resident_within_budget": all(
+            e["resident_within_budget"] for e in pr8_entries
+        ),
+        "evictions": sum(e["evictions"] for e in pr8_entries),
+        "all_identical": all(e["answers_identical"] for e in pr8_entries),
+    }
+    pr8_payload = {
+        "pr": 8,
+        "description": (
+            "Workload-adaptive index advisor: budgeted build/keep/evict "
+            "for the session index cache (benefit-per-byte eviction, "
+            "Extend-style gated admission, memoised what-if costing) vs "
+            "unbounded caching, no caching, and naive "
+            "evict-all-on-pressure on a skewed hot-set stream with "
+            "periodic updates.  Resident bytes are the exact arena "
+            "rollups (headroom included); answers are byte-identical "
+            "across every configuration."
+        ),
+        "generated_unix_time": time.time(),
+        "fast_mode": bool(args.fast),
+        "acceptance": pr8_acceptance,
+        "results": pr8_entries,
+    }
+    args.output_pr8.write_text(json.dumps(pr8_payload, indent=2) + "\n")
+    print(f"\nwrote {args.output_pr8}")
+
     print(
         f"acceptance PR1: transform {acceptance['transform_speedup_at_50k']:.1f}x "
         f"(target >= 10x), baseline {acceptance['baseline_speedup_at_5k']:.1f}x "
@@ -2241,6 +2440,15 @@ def main(argv: List[str] | None = None) -> int:
         f"{pr7_acceptance['float32_fallback_rows']} fallback rows, "
         f"identical={pr7_acceptance['all_identical']}"
     )
+    print(
+        f"acceptance PR8: budgeted advisor "
+        f"{pr8_acceptance['vs_no_cache_speedup']:.1f}x vs no-cache and "
+        f"{pr8_acceptance['vs_naive_speedup']:.1f}x vs naive "
+        f"evict-all-on-pressure (targets > 1x), "
+        f"{pr8_acceptance['evictions']} evictions, "
+        f"within_budget={pr8_acceptance['resident_within_budget']}, "
+        f"identical={pr8_acceptance['all_identical']}"
+    )
     ok = (
         acceptance["transform_speedup_at_50k"] >= 10
         and acceptance["baseline_speedup_at_5k"] >= 5
@@ -2262,6 +2470,10 @@ def main(argv: List[str] | None = None) -> int:
         # here is correctness: byte-identical answers across the whole
         # threads x dtype matrix and a float32 fallback path that fired.
         and pr7_acceptance["all_identical"]
+        and pr8_acceptance["vs_no_cache_speedup"] > 1.0
+        and pr8_acceptance["vs_naive_speedup"] > 1.0
+        and pr8_acceptance["resident_within_budget"]
+        and pr8_acceptance["all_identical"]
     )
     return 0 if ok else 1
 

@@ -111,6 +111,21 @@ def _validate_workload_args(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _index_budget_bytes(args: argparse.Namespace) -> Optional[int]:
+    """Convert ``--index-budget-mb`` to bytes (``None`` = environment/unbounded)."""
+    budget_mb = getattr(args, "index_budget_mb", None)
+    if budget_mb is None:
+        return None
+    return int(budget_mb * 1024 * 1024)
+
+
+def _validate_index_budget_arg(args: argparse.Namespace) -> Optional[str]:
+    budget_mb = getattr(args, "index_budget_mb", None)
+    if budget_mb is not None and budget_mb <= 0:
+        return f"--index-budget-mb must be positive, got {budget_mb:g}"
+    return None
+
+
 def _make_data(args: argparse.Namespace) -> np.ndarray:
     if args.input:
         return _load_csv(args.input)
@@ -123,7 +138,7 @@ def _make_data(args: argparse.Namespace) -> np.ndarray:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    problem = _validate_data_args(args)
+    problem = _validate_data_args(args) or _validate_index_budget_arg(args)
     if problem:
         return _bad_args(problem)
     data = _make_data(args)
@@ -132,7 +147,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 1
     d = data.shape[1]
     ratios = RatioVector.uniform(args.low, args.high, d)
-    session = DatasetSession(data, threads=args.threads, dtype=args.dtype)
+    session = DatasetSession(
+        data,
+        threads=args.threads,
+        dtype=args.dtype,
+        index_budget_bytes=_index_budget_bytes(args),
+    )
     if args.explain:
         print(session.plan(method=args.method).explain())
     try:
@@ -167,7 +187,7 @@ def _parse_ratio_list(text: str) -> List[Tuple[float, float]]:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    problem = _validate_data_args(args)
+    problem = _validate_data_args(args) or _validate_index_budget_arg(args)
     if problem:
         return _bad_args(problem)
     data = _make_data(args)
@@ -180,7 +200,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     d = data.shape[1]
-    session = DatasetSession(data, threads=args.threads, dtype=args.dtype)
+    session = DatasetSession(
+        data,
+        threads=args.threads,
+        dtype=args.dtype,
+        index_budget_bytes=_index_budget_bytes(args),
+    )
     try:
         specs = [RatioVector.uniform(low, high, d) for low, high in pairs]
         results = session.run_batch(specs, method=args.method)
@@ -220,6 +245,13 @@ def _print_session_stats(session: DatasetSession) -> None:
         f"corner_matrix_builds={stats.corner_matrix_builds} "
         f"index_builds={stats.index_builds}"
     )
+    print(
+        f"# index advisor: builds_skipped={stats.index_builds_skipped} "
+        f"evictions={stats.index_evictions} "
+        f"bytes_resident={stats.advisor_bytes_resident} "
+        f"what_if_cost_requests={stats.cost_requests} "
+        f"what_if_cache_hits={stats.cache_hits}"
+    )
     _print_executor_stats(session)
     if stats.update_batches:
         print(
@@ -239,7 +271,11 @@ def _print_session_stats(session: DatasetSession) -> None:
 def _cmd_stream(args: argparse.Namespace) -> int:
     import time
 
-    problem = _validate_data_args(args) or _validate_workload_args(args)
+    problem = (
+        _validate_data_args(args)
+        or _validate_workload_args(args)
+        or _validate_index_budget_arg(args)
+    )
     if problem:
         return _bad_args(problem)
     data = _make_data(args)
@@ -250,7 +286,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     lows = data.min(axis=0)
     highs = data.max(axis=0)
     rng = np.random.default_rng(args.seed + 1)
-    session = DatasetSession(data, threads=args.threads, dtype=args.dtype)
+    session = DatasetSession(
+        data,
+        threads=args.threads,
+        dtype=args.dtype,
+        index_budget_bytes=_index_budget_bytes(args),
+    )
     queries = updates = 0
     start = time.perf_counter()
     try:
@@ -336,7 +377,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.faults import FaultPlan, run_fault_injection
     from repro.service.supervisor import ServiceConfig
 
-    problem = _validate_data_args(args) or _validate_workload_args(args)
+    problem = (
+        _validate_data_args(args)
+        or _validate_workload_args(args)
+        or _validate_index_budget_arg(args)
+    )
     if problem:
         return _bad_args(problem)
     if args.shards < 1:
@@ -359,6 +404,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         threads=args.threads,
         dtype=args.dtype,
+        index_budget_bytes=_index_budget_bytes(args),
     )
     try:
         report = run_fault_injection(
@@ -494,6 +540,15 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="kernel compute dtype; float32 screens in single precision "
             "and re-verifies near-ties exactly (answers are byte-identical)",
+        )
+        sub.add_argument(
+            "--index-budget-mb",
+            type=float,
+            default=None,
+            help="resident byte budget of the session index cache in MiB; "
+            "the advisor builds/keeps/evicts indexes under it (default: "
+            "REPRO_INDEX_BUDGET_MB or unbounded; answers are byte-identical "
+            "either way)",
         )
 
     query = subparsers.add_parser("query", help="run an eclipse query")

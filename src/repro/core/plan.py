@@ -364,6 +364,39 @@ class QueryPlan:
         """Total estimated cost of the chosen method for this workload."""
         return self.estimate_for(self.method).total(self.num_queries)
 
+    def best_alternative_cost(self, num_queries: Optional[int] = None) -> Optional[float]:
+        """Total cost of the cheapest index-free method, ``None`` if none.
+
+        The index advisor's admission gate compares the chosen index
+        method against this: skipping the build always leaves an exact
+        index-free fallback, and this is what that fallback would cost.
+        """
+        queries = max(1, self.num_queries if num_queries is None else num_queries)
+        totals = [
+            estimate.total(queries)
+            for estimate in self.estimates
+            if estimate.method not in INDEX_METHODS
+        ]
+        return min(totals) if totals else None
+
+    def index_improvement_ratio(self, num_queries: Optional[int] = None) -> Optional[float]:
+        """How much the chosen index method beats the best index-free one.
+
+        ``> 1`` means the index wins by that factor over this workload
+        (build amortised across ``num_queries``); ``None`` when the plan
+        does not use an index or no index-free estimate exists.
+        """
+        if not self.uses_index:
+            return None
+        best = self.best_alternative_cost(num_queries)
+        if best is None:
+            return None
+        queries = max(1, self.num_queries if num_queries is None else num_queries)
+        index_total = self.estimate_for(self.method).total(queries)
+        if index_total <= 0.0:
+            return math.inf
+        return best / index_total
+
     def explain(self) -> str:
         """Render the plan as an aligned, human-readable text block."""
         u_text = (

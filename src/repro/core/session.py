@@ -40,8 +40,6 @@ from repro.core.plan import (
     QueryPlan,
     UpdatePlan,
     canonical_method,
-    plan_query,
-    plan_update,
 )
 from repro.core.transform import eclipse_transform_indices
 from repro.core.weights import RatioVector, make_ratio_vector
@@ -53,6 +51,7 @@ from repro.errors import (
 )
 from repro.index.eclipse_index import EclipseIndex
 from repro.index.intersection import DEFAULT_MAX_RATIO
+from repro.perf.advisor import IndexAdvisor, validate_index_budget
 from repro.perf.executor import (
     kernel_context,
     parallel_matmul,
@@ -132,6 +131,17 @@ class SessionStats:
     single-precision comparisons and those re-verified with the exact
     float64 kernel (float32 ties — the re-verification is what keeps the
     fast path byte-identical).
+
+    The index-advisor contract (PR 8) rides on five more:
+    ``index_builds_skipped`` counts auto-planned index builds the budgeted
+    advisor declined (the batch fell back to the transformation),
+    ``index_evictions`` counts cached indexes dropped to fit the byte
+    budget, ``advisor_bytes_resident`` is the exact resident footprint of
+    the index cache after the last budget enforcement (arena ``nbytes``
+    rollups, headroom included, plus the nominal bytes of memoised
+    degenerate-build failures), and ``cost_requests`` / ``cache_hits``
+    count the what-if estimator's plan requests and how many were served
+    from its memo.
     """
 
     skyline_builds: int = 0
@@ -153,6 +163,11 @@ class SessionStats:
     threads_used: int = 1
     float32_fastpath_hits: int = 0
     float32_exact_fallbacks: int = 0
+    index_builds_skipped: int = 0
+    index_evictions: int = 0
+    advisor_bytes_resident: int = 0
+    cost_requests: int = 0
+    cache_hits: int = 0
     index_build_seconds: float = field(default=0.0, repr=False)
 
     def artifact_counts(self) -> Tuple[int, int, int]:
@@ -278,12 +293,23 @@ class DatasetSession:
         Kernel compute dtype: ``"float64"`` (default) or ``"float32"`` for
         the opt-in fast path whose near-tie rows are re-verified exactly —
         results stay byte-identical to the float64 path.
+    index_budget_bytes:
+        Resident byte budget for the session's index cache (exact arena
+        ``nbytes`` rollups, headroom included).  ``None`` defers to the
+        ``REPRO_INDEX_BUDGET_MB`` environment variable (unset = unbounded).
+        Under a budget the :class:`~repro.perf.advisor.IndexAdvisor`
+        decides which indexes to build, keep, delta-patch, or evict;
+        answers stay byte-identical whatever it decides — an evicted index
+        is rebuilt (or the planner falls back to the transformation) on
+        next use.
     """
 
     #: Class-level knob defaults so sessions unpickled from snapshots taken
     #: before these attributes existed still resolve them.
     _threads: Optional[int] = None
     _dtype: Optional[str] = None
+    _index_budget_bytes: Optional[int] = None
+    _advisor: Optional[IndexAdvisor] = None
 
     def __init__(
         self,
@@ -292,9 +318,12 @@ class DatasetSession:
         index_kwargs: Optional[Dict[str, object]] = None,
         threads: Optional[int] = None,
         dtype: Optional[str] = None,
+        index_budget_bytes: Optional[int] = None,
     ):
         self._data = as_dataset(points)
-        self.configure_kernels(threads=threads, dtype=dtype)
+        self.configure_kernels(
+            threads=threads, dtype=dtype, index_budget_bytes=index_budget_bytes
+        )
         if ratios is None:
             self._default_ratios = None
         elif self._data.shape[1]:
@@ -371,17 +400,43 @@ class DatasetSession:
         """The configured kernel compute dtype (``None`` = float64)."""
         return self._dtype
 
+    @property
+    def index_budget_bytes(self) -> Optional[int]:
+        """The configured index byte budget (``None`` = environment/unbounded)."""
+        return self._index_budget_bytes
+
+    @property
+    def advisor(self) -> IndexAdvisor:
+        """The session's index advisor (created lazily for old snapshots)."""
+        advisor = self.__dict__.get("_advisor")
+        if advisor is None:
+            advisor = IndexAdvisor(budget_bytes=self._index_budget_bytes)
+            self._advisor = advisor
+        return advisor
+
     def configure_kernels(
-        self, threads: Optional[int] = None, dtype: Optional[str] = None
+        self,
+        threads: Optional[int] = None,
+        dtype: Optional[str] = None,
+        index_budget_bytes: Optional[int] = None,
     ) -> None:
-        """Set (or reset) the executor knobs, validating eagerly.
+        """Set (or reset) the executor and advisor knobs, validating eagerly.
 
         Also used by the service worker after a snapshot load, so a
         restored session picks up the *service's* current configuration
-        instead of whatever was pickled.
+        instead of whatever was pickled — the snapshot-era budget loses to
+        the service config, matching the ``threads``/``dtype`` precedence.
         """
         self._threads = validate_threads(threads)
         self._dtype = validate_dtype(dtype)
+        self._index_budget_bytes = validate_index_budget(index_budget_bytes)
+        advisor = self.__dict__.get("_advisor")
+        if advisor is not None:
+            advisor.budget_bytes = self._index_budget_bytes
+
+    def index_cache_nbytes(self) -> int:
+        """Exact resident bytes of every cached index (headroom included)."""
+        return int(sum(index.nbytes() for index in self._indexes.values()))
 
     def _kernel_scope(self):
         """Ambient executor context for one session operation.
@@ -442,6 +497,7 @@ class DatasetSession:
         if cached_failure is not None:
             raise cached_failure
         index = self._indexes.get(key)
+        built_now = False
         if index is None:
             # The memoised skyline is computed with the planner's substrate;
             # an explicit skyline_method override must actually be honoured,
@@ -457,11 +513,56 @@ class DatasetSession:
                     )
             except DegenerateHyperplaneError as exc:
                 self._degenerate_index_keys[key] = exc
+                self.advisor.on_failure(key)
+                self._enforce_index_budget()
                 raise
             self.stats.index_build_seconds += time.perf_counter() - start
             self.stats.index_builds += 1
             self._indexes[key] = index
+            built_now = True
+        # Benefit bookkeeping: a build is worth its own construction cost
+        # (keeping it resident saves the rebuild), an access is worth the
+        # per-query saving over the best index-free method.  Both come from
+        # the memoised what-if estimator, so the hot path stays cheap.
+        estimate = self.advisor.cost_model.plan_query(
+            self.num_points,
+            max(2, self.dimensions),
+            method=canonical,
+            num_queries=1,
+            num_skyline=(
+                int(self._skyline_idx.size) if self._skyline_cached() else None
+            ),
+            threads=resolve_threads(self._threads),
+        ).estimate_for(canonical)
+        if built_now:
+            self.advisor.on_built(key, index.nbytes(), build_cost=estimate.build)
+        else:
+            self.advisor.credit(key, estimate.build, nbytes=index.nbytes())
+        self._enforce_index_budget()
         return index
+
+    def _enforce_index_budget(self) -> None:
+        """Evict cached indexes (and memoised failures) to fit the budget.
+
+        The advisor ranks residents by decayed benefit-per-byte over their
+        exact ``nbytes`` rollups and names the evictions; this method
+        applies them to the session's caches.  With no budget in force it
+        still refreshes the resident-bytes telemetry.  A just-evicted index
+        is rebuilt on next use (or the planner falls back to the
+        transformation), so answers never depend on what happens here.
+        """
+        advisor = self.advisor
+        sizes = {key: index.nbytes() for key, index in self._indexes.items()}
+        for key in advisor.enforce(sizes):
+            if key in self._indexes:
+                del self._indexes[key]
+                self.stats.index_evictions += 1
+            elif key in self._degenerate_index_keys:
+                del self._degenerate_index_keys[key]
+        self.stats.advisor_bytes_resident = advisor.bytes_resident
+        self.stats.index_builds_skipped = advisor.builds_skipped
+        self.stats.cost_requests = advisor.cost_model.cost_requests
+        self.stats.cache_hits = advisor.cost_model.cache_hits
 
     # ------------------------------------------------------------------
     # Dynamic updates
@@ -550,7 +651,7 @@ class DatasetSession:
         delta: Optional[_incremental.SkylineDelta] = None
         delta_from_recompute = False
         if self._skyline_cached():
-            skyline_plan = plan_update(
+            skyline_plan = self.advisor.cost_model.plan_update(
                 n_new,
                 max(2, dims),
                 num_inserts,
@@ -616,7 +717,11 @@ class DatasetSession:
             removed = int(delta.removed_old.size)
             added = int(delta.added.size)
             dead_fraction = (dead + removed) / max(1, alive + dead + added)
-            index_plan = plan_update(
+            # The keep-vs-patch-vs-rebuild arm flows through the advisor's
+            # memoised what-if estimator: a kept index is delta-patched (or
+            # compacted) in place whenever the cost model prices that under
+            # the rebuild it would otherwise pay on next access.
+            index_plan = self.advisor.cost_model.plan_update(
                 n_new,
                 max(2, dims),
                 added,
@@ -677,8 +782,12 @@ class DatasetSession:
             if not delta_from_recompute:
                 self.stats.skyline_inplace_updates += 1
         self._degenerate_index_keys.clear()
+        self.advisor.clear_failures()
         self.stats.inserts_applied += num_inserts
         self.stats.deletes_applied += num_deletes
+        # Patched arenas may have grown (or compacted); re-measure and evict
+        # under the budget before the batch commits to the caller.
+        self._enforce_index_budget()
         return UpdateReport(
             generation=self._generation,
             num_inserted=num_inserts,
@@ -777,7 +886,11 @@ class DatasetSession:
         num_skyline = (
             int(self._skyline_idx.size) if self._skyline_cached() else None
         )
-        plan = plan_query(
+        # Planning flows through the advisor's memoised what-if estimator:
+        # plans are frozen, so repeated workload shapes (the common case on
+        # a query stream) are served from the memo, and the estimator's
+        # cost_requests/cache_hits counters stay honest.
+        plan = self.advisor.cost_model.plan_query(
             self.num_points,
             max(2, self.dimensions),
             method=method,
@@ -785,6 +898,8 @@ class DatasetSession:
             num_skyline=num_skyline,
             threads=resolve_threads(self._threads),
         )
+        self.stats.cost_requests = self.advisor.cost_model.cost_requests
+        self.stats.cache_hits = self.advisor.cost_model.cache_hits
         self.last_plan = plan
         return plan
 
@@ -857,11 +972,27 @@ class DatasetSession:
         chosen = plan.method
 
         if chosen in INDEX_METHODS:
+            backend = plan.index_backend or chosen
+            key = index_cache_key(canonical_method(backend), self._index_kwargs)
+            if (
+                key not in self._indexes
+                and canonical_method(method) == "auto"
+                and not self.advisor.should_build(plan)
+            ):
+                # Budgeted admission declined the build (projected benefit
+                # per byte too thin, or the bytes cannot be made available
+                # without displacing better residents).  Auto mode is free
+                # to answer with the exact transformation instead — same
+                # answers, no build — and the plan is re-recorded so
+                # last_plan reflects what actually ran.
+                self.stats.index_builds_skipped = self.advisor.builds_skipped
+                self.plan(method="transform", num_queries=len(specs))
+                return self._run_batch_transform(specs)
             # One batched probe call for the whole batch: the index shares
             # one order-vector GEMM and one intersection-tree traversal
             # across all specifications (see EclipseIndex.query_indices_many).
             try:
-                index = self.index_for(plan.index_backend or chosen)
+                index = self.index_for(backend)
             except DegenerateHyperplaneError:
                 if canonical_method(method) != "auto":
                     raise
@@ -880,6 +1011,16 @@ class DatasetSession:
                 indices = np.sort(np.asarray(indices, dtype=np.intp))
                 self.stats.queries += 1
                 results.append(self._wrap(indices, chosen, ratio_vector))
+            # Realised-savings credit for the whole batch: what the best
+            # index-free method would have cost minus what the index path
+            # paid per query, recency/frequency-weighted in the ledger.
+            best_alternative = plan.best_alternative_cost(len(specs))
+            if best_alternative is not None:
+                saving = best_alternative - plan.estimate_for(
+                    chosen
+                ).per_query * len(specs)
+                self.advisor.credit(key, saving, nbytes=index.nbytes())
+            self._enforce_index_budget()
             return results
         if chosen == "transform":
             return self._run_batch_transform(specs)

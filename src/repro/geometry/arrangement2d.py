@@ -195,6 +195,27 @@ class Arrangement2D:
         """Number of dual lines."""
         return int(self._slopes.shape[0])
 
+    def nbytes(self) -> int:
+        """Resident bytes of the arrangement arrays and interval cache."""
+        arrays = (
+            self._slopes,
+            self._offsets,
+            self._line_indices,
+            self._pair_positions,
+            self._pair_slopes,
+            self._pair_rhs,
+            self._intersection_xs,
+            self._boundaries,
+            self._edges,
+        )
+        total = sum(int(a.nbytes) for a in arrays)
+        total += sum(
+            int(interval.order_vector.nbytes)
+            for interval in self._interval_cache
+            if interval is not None
+        )
+        return total
+
     @property
     def intersections(self) -> List[IntersectionHyperplane]:
         """All non-degenerate pairwise intersections, sorted by x-coordinate.

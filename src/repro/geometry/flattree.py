@@ -617,6 +617,24 @@ class FlatTree:
         grows += sum(buffer.grows for buffer in self._overflow.values())
         return int(grows)
 
+    def nbytes(self) -> int:
+        """Resident bytes of every arena this tree owns, headroom included."""
+        total = (
+            self._coeff_arena.nbytes()
+            + self._rhs_arena.nbytes()
+            + self._outside_arena.nbytes()
+            + self._cell_lows_a.nbytes()
+            + self._cell_highs_a.nbytes()
+            + self._node_depth_a.nbytes()
+            + self._first_child_a.nbytes()
+            + self._item_start_a.nbytes()
+            + self._item_end_a.nbytes()
+            + self._items_a.nbytes()
+        )
+        total += sum(buffer.nbytes() for buffer in self._overflow.values())
+        total += int(self._overflow_nodes.nbytes)
+        return int(total)
+
     # ------------------------------------------------------------------
     # Build (one-dimensional fast path)
     # ------------------------------------------------------------------

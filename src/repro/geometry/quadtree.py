@@ -193,3 +193,7 @@ class LineQuadtree:
     def arena_grows(self) -> int:
         """Buffer reallocations of the core's arenas since construction."""
         return self._core.arena_grows
+
+    def nbytes(self) -> int:
+        """Resident bytes of the core's arenas, headroom included."""
+        return self._core.nbytes()

@@ -327,6 +327,21 @@ class EclipseIndex:
         grows += self._intersection_index.arena_grows
         return int(grows)
 
+    def nbytes(self) -> int:
+        """Resident bytes of every store this index owns, headroom included.
+
+        Rolls up the slot/alive arenas, the order-vector dual arenas (and
+        arrangement when kept), and the intersection stores including any
+        tree backend.  The dataset array is excluded: the session owns it
+        and it is shared across every cached index.
+        """
+        if not self.is_built:
+            return 0
+        total = self._slots_a.nbytes() + self._alive_a.nbytes()
+        total += self._order_index.nbytes()
+        total += self._intersection_index.nbytes()
+        return int(total)
+
     @property
     def num_dead_slots(self) -> int:
         """Retired hyperplane slots still occupying arena rows."""

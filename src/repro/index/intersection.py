@@ -516,6 +516,19 @@ class IntersectionIndex:
             grows += self._tree.arena_grows
         return int(grows)
 
+    def nbytes(self) -> int:
+        """Resident bytes of every arena this index owns, headroom included."""
+        total = (
+            self._pairs_a.nbytes()
+            + self._pair_coeff_a.nbytes()
+            + self._pair_rhs_a.nbytes()
+        )
+        if self._sorted_xs_a is not None:
+            total += self._sorted_xs_a.nbytes() + self._sorted_order_a.nbytes()
+        if self._tree is not None:
+            total += self._tree.nbytes()
+        return int(total)
+
     @property
     def domain(self) -> Optional[Box]:
         """Dual-domain box covered by the tree backends."""

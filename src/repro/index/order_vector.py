@@ -246,6 +246,13 @@ class OrderVectorIndex:
         """Buffer reallocations of the dual arenas since construction."""
         return int(self._coeff_arena.grows + self._offset_arena.grows)
 
+    def nbytes(self) -> int:
+        """Resident bytes of the dual arenas (and arrangement, if kept)."""
+        total = self._coeff_arena.nbytes() + self._offset_arena.nbytes()
+        if self._arrangement is not None:
+            total += self._arrangement.nbytes()
+        return int(total)
+
     def drop_arrangement(self) -> None:
         """Fall back to the on-demand order-vector path (dynamic deletes).
 

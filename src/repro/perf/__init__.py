@@ -16,8 +16,22 @@ it dispatches the block ranges of :func:`iter_blocks` across a thread pool
 the ``threads``/``dtype`` knobs through the ambient :func:`kernel_context`
 or the ``REPRO_KERNEL_THREADS`` environment variable, and divides the
 memory cap across workers (:func:`split_memory_cap`).
+
+:mod:`repro.perf.advisor` owns the workload-adaptive index advisor
+(:class:`IndexAdvisor`): budgeted build/keep/evict decisions over the
+session's index cache, driven by exact arena ``nbytes`` accounting and the
+memoised what-if estimator (:class:`WhatIfCostModel`) over the planner's
+cost model, with the budget resolved through ``REPRO_INDEX_BUDGET_MB``.
 """
 
+from repro.perf.advisor import (
+    DEFAULT_MIN_COST_IMPROVEMENT,
+    IndexAdvisor,
+    WhatIfCostModel,
+    index_budget_from_env,
+    resolve_index_budget,
+    validate_index_budget,
+)
 from repro.perf.arena import GrowableArena
 from repro.perf.blocking import (
     DEFAULT_BLOCK_SIZE,
@@ -43,10 +57,16 @@ from repro.perf.executor import (
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_MEMORY_CAP_BYTES",
+    "DEFAULT_MIN_COST_IMPROVEMENT",
     "GrowableArena",
     "GrowableBuffer",
+    "IndexAdvisor",
     "MAX_THREADS",
     "VALID_DTYPES",
+    "WhatIfCostModel",
+    "index_budget_from_env",
+    "resolve_index_budget",
+    "validate_index_budget",
     "iter_blocks",
     "kernel_context",
     "map_blocks",

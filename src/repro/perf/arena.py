@@ -100,6 +100,18 @@ class GrowableArena:
         """Allocated rows (valid prefix + headroom)."""
         return int(self._buf.shape[0])
 
+    def nbytes(self) -> int:
+        """Resident bytes of the arena, headroom and scratch included.
+
+        This is the *allocated* footprint — full buffer capacity plus the
+        resident spare buffer when one exists — not just the valid prefix,
+        so budget accounting sees what the process actually holds.
+        """
+        total = int(self._buf.nbytes)
+        if self._spare is not None:
+            total += int(self._spare.nbytes)
+        return total
+
     def _ensure(self, needed: int) -> None:
         if needed <= self._buf.shape[0]:
             return

@@ -148,6 +148,13 @@ class GrowableBuffer:
         """
         return None if self._sums is None else self._sums[: self._size]
 
+    def nbytes(self) -> int:
+        """Resident bytes of the buffer, allocated capacity included."""
+        total = int(self._rows.nbytes) + int(self._indices.nbytes)
+        if self._sums is not None:
+            total += int(self._sums.nbytes)
+        return total
+
     def _reserve(self, extra: int) -> None:
         needed = self._size + extra
         if needed <= self._rows.shape[0]:

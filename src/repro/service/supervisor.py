@@ -118,6 +118,12 @@ class ServiceConfig:
         Kernel compute dtype for each shard (``"float64"`` exact, or the
         ``"float32"`` fast path with exact fallback — byte-identical
         answers either way).
+    index_budget_bytes:
+        Resident byte budget of each shard session's index cache (the
+        :class:`~repro.perf.advisor.IndexAdvisor` knob).  ``None`` defers
+        to the worker's ``REPRO_INDEX_BUDGET_MB`` environment (unset =
+        unbounded).  Re-applied after every snapshot load, so the
+        service's configuration wins over the snapshot-era value.
     """
 
     num_shards: int = 2
@@ -132,6 +138,7 @@ class ServiceConfig:
     seed: int = 0
     threads: Optional[int] = None
     dtype: Optional[str] = None
+    index_budget_bytes: Optional[int] = None
 
 
 @dataclass
@@ -324,6 +331,7 @@ class EclipseService:
         self._session_kwargs = {
             "threads": self.config.threads,
             "dtype": self.config.dtype,
+            "index_budget_bytes": self.config.index_budget_bytes,
         }
         num_shards = self.config.num_shards
         n = int(data.shape[0])

@@ -110,10 +110,10 @@ def recover_shard(
     missing, truncated, corrupt, or version-mismatched; the reason is
     logged and reported, never raised.
 
-    ``session_kwargs`` carries the kernel-executor knobs
-    (``threads``/``dtype``); a warm-loaded session is reconfigured with
-    them so the *service's* configuration wins over whatever the snapshot
-    was taken with.
+    ``session_kwargs`` carries the kernel-executor and advisor knobs
+    (``threads``/``dtype``/``index_budget_bytes``); a warm-loaded session
+    is reconfigured with them so the *service's* configuration wins over
+    whatever the snapshot was taken with.
     """
     session_kwargs = dict(session_kwargs or {})
     state: Optional[ShardState] = None

@@ -279,3 +279,30 @@ class TestRecoverShard:
         assert info["mode"] == "warm"
         assert info["replayed"] == 0  # seq 1 was already in the snapshot
         assert state.session.num_points == 81
+
+    def test_service_index_budget_wins_over_snapshot(self, tmp_path):
+        data = generate_dataset("CORR", 80, 2, seed=0)
+        wal = WriteAheadLog(str(tmp_path / "shard.wal"))
+        wal.close()
+        session = DatasetSession(data, index_budget_bytes=512 * 1024 * 1024)
+        snapshot_path = str(tmp_path / "shard.snapshot")
+        session.save_snapshot(
+            snapshot_path,
+            extra={"gids": np.arange(80, dtype=np.intp), "last_seq": 0},
+        )
+        kwargs = {"index_budget_bytes": 2 * 1024 * 1024}
+        state, info = recover_shard(
+            data, np.arange(80), snapshot_path, wal, session_kwargs=kwargs
+        )
+        assert info["mode"] == "warm"
+        # The snapshot carried a 512 MB budget; the service's 2 MB wins.
+        assert state.session.index_budget_bytes == 2 * 1024 * 1024
+        # Cold path gets the same kwargs straight into the constructor.
+        cold, _ = recover_shard(
+            data,
+            np.arange(80),
+            str(tmp_path / "missing.snapshot"),
+            wal,
+            session_kwargs=kwargs,
+        )
+        assert cold.session.index_budget_bytes == 2 * 1024 * 1024
