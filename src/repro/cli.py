@@ -50,6 +50,7 @@ from repro.data.generators import generate_dataset
 from repro.data.nba import generate_nba_dataset
 from repro.data.worst_case import generate_worst_case
 from repro.errors import ReproError
+from repro.perf.executor import VALID_BACKENDS
 from repro.experiments import figures, tables, user_study
 
 
@@ -151,6 +152,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         data,
         threads=args.threads,
         dtype=args.dtype,
+        backend=args.kernel_backend,
         index_budget_bytes=_index_budget_bytes(args),
     )
     if args.explain:
@@ -204,6 +206,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         data,
         threads=args.threads,
         dtype=args.dtype,
+        backend=args.kernel_backend,
         index_budget_bytes=_index_budget_bytes(args),
     )
     try:
@@ -235,6 +238,11 @@ def _print_executor_stats(session: DatasetSession) -> None:
         f"parallel_chunks={stats.parallel_chunks} "
         f"float32_fastpath_hits={stats.float32_fastpath_hits} "
         f"float32_exact_fallbacks={stats.float32_exact_fallbacks}"
+    )
+    print(
+        f"# process backend: process_dispatches={stats.process_dispatches} "
+        f"process_chunks={stats.process_chunks} "
+        f"shm_peak_bytes={stats.shm_peak_bytes}"
     )
 
 
@@ -290,6 +298,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         data,
         threads=args.threads,
         dtype=args.dtype,
+        backend=args.kernel_backend,
         index_budget_bytes=_index_budget_bytes(args),
     )
     queries = updates = 0
@@ -404,6 +413,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         threads=args.threads,
         dtype=args.dtype,
+        kernel_backend=args.kernel_backend,
         index_budget_bytes=_index_budget_bytes(args),
     )
     try:
@@ -540,6 +550,16 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="kernel compute dtype; float32 screens in single precision "
             "and re-verifies near-ties exactly (answers are byte-identical)",
+        )
+        sub.add_argument(
+            "--kernel-backend",
+            choices=VALID_BACKENDS,
+            default=None,
+            help="where kernel chunks run: thread (shared thread pool), "
+            "process (shared-memory process pool — true multi-core past "
+            "the GIL), or serial (force inline; default: "
+            "REPRO_KERNEL_BACKEND or thread; answers are byte-identical "
+            "on every backend)",
         )
         sub.add_argument(
             "--index-budget-mb",

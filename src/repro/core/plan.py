@@ -137,19 +137,60 @@ PARALLEL_EFFICIENCY = 0.6
 #: enumeration parallel, arena merge sequential).
 PAIR_BUILD_PARALLEL_SHARE = 0.25
 
+#: Fraction of the ideal per-worker speedup the *process* backend retains
+#: (PR 9).  Lower than :data:`PARALLEL_EFFICIENCY`: on top of the thread
+#: backend's dispatch and bandwidth losses, every process dispatch pays the
+#: shared-memory export copies, per-group task pickling, and result IPC.
+#: Measured on the PR 9 bench sweep against the thread backend's re-validated
+#: (unchanged) constant.
+PROCESS_EFFICIENCY = 0.45
 
-def parallel_speedup(threads: int) -> float:
+#: Fixed element-op cost of one process-backend dispatch — the export
+#: copies into pooled shared segments, worker attach, task pickling, and
+#: result IPC.  Measured at ~1-4 ms per dispatch, i.e. a few million of the
+#: abstract element-ops the estimates are denominated in; it is the floor
+#: that keeps small kernels priced honestly under ``backend="process"``.
+PROCESS_DISPATCH_FLOOR_OPS = 2.0e6
+
+#: Kernel work (element-ops) below which the process backend is modeled —
+#: and, via ``MIN_PROCESS_DISPATCH_BYTES`` in the executor, actually
+#: executed — as serial: under this floor the dispatch overhead exceeds any
+#: parallel gain, so tiny inputs never leave the calling process.
+MIN_PROCESS_PARALLEL_OPS = 4.0e6
+
+
+def parallel_speedup(
+    threads: int, backend: str = "thread", work: Optional[float] = None
+) -> float:
     """Effective kernel speedup of ``threads`` executor workers.
 
-    ``threads <= 1`` is exactly 1.0 (the serial code path).  The linear
+    ``threads <= 1`` is exactly 1.0 (the serial code path), as is the
+    ``"serial"`` backend at any thread count.  The linear
     :data:`PARALLEL_EFFICIENCY` model deliberately ignores the host's
     physical core count — the plan must be a pure function of its inputs
     so tests and snapshots reproduce across machines; callers that know
     their core budget pass an appropriate ``threads``.
+
+    ``backend="process"`` (PR 9) uses :data:`PROCESS_EFFICIENCY` and, when
+    the caller supplies the kernel's ``work`` (element-ops), applies the
+    measured dispatch-overhead floor: below
+    :data:`MIN_PROCESS_PARALLEL_OPS` the dispatch stays serial (speedup
+    1.0), above it the fixed :data:`PROCESS_DISPATCH_FLOOR_OPS` cost is
+    amortised into the effective speedup, so small kernels approach 1.0
+    smoothly instead of pretending the ideal scaling.  The default
+    ``backend="thread"`` ignores ``work`` and reproduces the PR 7 model
+    bit for bit.
     """
     count = max(1, int(threads))
-    if count == 1:
+    if count == 1 or backend == "serial":
         return 1.0
+    if backend == "process":
+        if work is not None and work < MIN_PROCESS_PARALLEL_OPS:
+            return 1.0
+        ideal = 1.0 + PROCESS_EFFICIENCY * (count - 1)
+        if work is None or work <= 0.0:
+            return ideal
+        return max(1.0, work / (work / ideal + PROCESS_DISPATCH_FLOOR_OPS))
     return 1.0 + PARALLEL_EFFICIENCY * (count - 1)
 
 
@@ -252,6 +293,7 @@ def method_cost_estimates(
     dimensions: int,
     num_skyline: Optional[int] = None,
     threads: int = 1,
+    backend: str = "thread",
 ) -> Tuple[CostEstimate, ...]:
     """Cost estimates for all four eclipse methods on one dataset shape.
 
@@ -270,30 +312,40 @@ def method_cost_estimates(
         :func:`parallel_speedup`; the sequential tree-structuring share of
         the index builds (:data:`PAIR_BUILD_PARALLEL_SHARE`) does not, so
         break-evens shift honestly rather than uniformly.
+    backend:
+        Dispatch backend the kernels will run with.  ``"thread"`` (default)
+        reproduces the PR 7 estimates exactly; ``"process"`` applies
+        :data:`PROCESS_EFFICIENCY` and the per-term dispatch-overhead floor
+        (each parallel term passes its own work to
+        :func:`parallel_speedup`, so small terms are priced serial);
+        ``"serial"`` disables the parallel division entirely.
     """
     n = max(0, int(num_points))
     d = max(2, int(dimensions))
     corners = 2.0 ** (d - 1)
     u = float(num_skyline) if num_skyline is not None else expected_skyline_size(n, d)
     pairs = 0.5 * u * max(0.0, u - 1.0)
-    speedup = parallel_speedup(threads)
+
+    def _speed(work: float) -> float:
+        return parallel_speedup(threads, backend=backend, work=work)
 
     map_cost = n * corners * d
-    transform_q = (map_cost + skyline_cost(n, int(corners))) / speedup
-    baseline_q = 0.5 * n * n * corners / speedup
+    transform_work = map_cost + skyline_cost(n, int(corners))
+    transform_q = transform_work / _speed(transform_work)
+    baseline_work = 0.5 * n * n * corners
+    baseline_q = baseline_work / _speed(baseline_work)
     quad_factor = PAIR_BUILD_FACTOR_2D if d == 2 else PAIR_BUILD_FACTOR_QUAD
     cutting_factor = PAIR_BUILD_FACTOR_2D if d == 2 else PAIR_BUILD_FACTOR_CUTTING
+    pair_work = pairs * max(1, d - 1)
     # The skyline prefilter and pair enumeration parallelise; the per-level
     # tree structuring baked into the per-pair constants does not.
-    build_scale = PAIR_BUILD_PARALLEL_SHARE / speedup + (
+    build_scale = PAIR_BUILD_PARALLEL_SHARE / _speed(pair_work) + (
         1.0 - PAIR_BUILD_PARALLEL_SHARE
     )
-    sky_build = skyline_cost(n, d) / speedup
-    pair_work = pairs * max(1, d - 1)
-    index_q = (
-        u * math.log2(u + 2.0)
-        + pairs * CANDIDATE_FRACTION * max(1, d - 1) / speedup
-    )
+    sky_work = skyline_cost(n, d)
+    sky_build = sky_work / _speed(sky_work)
+    probe_work = pairs * CANDIDATE_FRACTION * max(1, d - 1)
+    index_q = u * math.log2(u + 2.0) + probe_work / _speed(probe_work)
 
     return (
         CostEstimate("baseline", 0.0, baseline_q),
@@ -435,6 +487,7 @@ def plan_query(
     num_queries: int = 1,
     num_skyline: Optional[int] = None,
     threads: int = 1,
+    backend: str = "thread",
 ) -> QueryPlan:
     """Build a :class:`QueryPlan` for a workload of ratio-range queries.
 
@@ -459,12 +512,17 @@ def plan_query(
         :func:`method_cost_estimates`); index builds parallelise less than
         the transformation's screens, so more threads shift the batch
         break-even toward the transformation.
+    backend:
+        Dispatch backend the kernels will run with (see
+        :func:`method_cost_estimates`).
     """
     chosen = canonical_method(method)
     n = max(0, int(num_points))
     d = max(2, int(dimensions))
     q = max(1, int(num_queries))
-    estimates = method_cost_estimates(n, d, num_skyline=num_skyline, threads=threads)
+    estimates = method_cost_estimates(
+        n, d, num_skyline=num_skyline, threads=threads, backend=backend
+    )
 
     if chosen != "auto":
         reason = f"method {chosen!r} requested explicitly"
@@ -565,6 +623,7 @@ def plan_update(
     dead_fraction: float = 0.0,
     num_pairs: Optional[int] = None,
     threads: int = 1,
+    backend: str = "thread",
 ) -> UpdatePlan:
     """Decide update-in-place vs compact vs rebuild for one artifact/batch.
 
@@ -598,13 +657,19 @@ def plan_update(
         share of the index update divide by :func:`parallel_speedup`; the
         array recomposition, arena merges, and the compaction pass stay
         sequential.
+    backend:
+        Dispatch backend the kernels will run with (``"thread"`` reproduces
+        the PR 7 arithmetic exactly; ``"process"`` applies its efficiency
+        constant and dispatch-overhead floor per parallel term).
     """
     n = max(0, int(num_points))
     d = max(2, int(dimensions))
     inserts = max(0, int(num_inserts))
     deletes = max(0, int(num_deletes))
     u = float(num_skyline) if num_skyline is not None else expected_skyline_size(n, d)
-    speedup = parallel_speedup(threads)
+
+    def _speed(work: float) -> float:
+        return parallel_speedup(threads, backend=backend, work=work)
 
     if artifact == "skyline":
         # Insert screen (b_i x u) plus the delete shadow pass — the latter
@@ -614,23 +679,25 @@ def plan_update(
         # recomposition (np.delete + vstack) touches every element once.
         kernel_ops = UPDATE_SKYLINE_FACTOR * d * (inserts + deletes) * u
         compose_ops = 2.0 * n * d
-        update_cost = kernel_ops / speedup + compose_ops
-        rebuild_cost = skyline_cost(n, d) / speedup
+        update_cost = kernel_ops / _speed(kernel_ops) + compose_ops
+        sky_work = skyline_cost(n, d)
+        rebuild_cost = sky_work / _speed(sky_work)
     elif artifact == "index":
         pairs = 0.5 * u * max(0.0, u - 1.0)
-        backend = index_backend or ("cutting" if d >= 3 else "quadtree")
+        tree_backend = index_backend or ("cutting" if d >= 3 else "quadtree")
         if d == 2:
             factor = PAIR_BUILD_FACTOR_2D
-        elif canonical_method(backend) == "quadtree":
+        elif canonical_method(tree_backend) == "quadtree":
             factor = PAIR_BUILD_FACTOR_QUAD
         else:
             factor = PAIR_BUILD_FACTOR_CUTTING
-        build_scale = PAIR_BUILD_PARALLEL_SHARE / speedup + (
+        pair_work = pairs * max(1, d - 1)
+        build_scale = PAIR_BUILD_PARALLEL_SHARE / _speed(pair_work) + (
             1.0 - PAIR_BUILD_PARALLEL_SHARE
         )
+        sky_work = skyline_cost(n, d)
         rebuild_cost = (
-            skyline_cost(n, d) / speedup
-            + pairs * max(1, d - 1) * factor * build_scale
+            sky_work / _speed(sky_work) + pair_work * factor * build_scale
         )
         # Appended pairs: every added/removed slot touches ~u pairs (added
         # slots append alive x new pairs, removed slots retire theirs).

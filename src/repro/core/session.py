@@ -55,7 +55,9 @@ from repro.perf.advisor import IndexAdvisor, validate_index_budget
 from repro.perf.executor import (
     kernel_context,
     parallel_matmul,
+    resolve_backend,
     resolve_threads,
+    validate_backend,
     validate_dtype,
     validate_threads,
 )
@@ -133,8 +135,9 @@ class SessionStats:
     fast path byte-identical).
 
     The index-advisor contract (PR 8) rides on five more:
-    ``index_builds_skipped`` counts auto-planned index builds the budgeted
-    advisor declined (the batch fell back to the transformation),
+    ``index_builds_skipped`` counts index builds — auto-planned *and*
+    pinned (PR 9) — the budgeted advisor declined (the query or batch
+    fell back to the exact transformation),
     ``index_evictions`` counts cached indexes dropped to fit the byte
     budget, ``advisor_bytes_resident`` is the exact resident footprint of
     the index cache after the last budget enforcement (arena ``nbytes``
@@ -142,6 +145,15 @@ class SessionStats:
     degenerate-build failures), and ``cost_requests`` / ``cache_hits``
     count the what-if estimator's plan requests and how many were served
     from its memo.
+
+    The process-backend telemetry (PR 9) rides on three more:
+    ``process_dispatches`` counts kernel dispatches routed through the
+    shared-memory process pool, ``process_chunks`` counts the kernel
+    chunks those dispatches carried, and ``shm_peak_bytes`` is the
+    largest shared-memory payload (inputs plus outputs) any single
+    dispatch exported.  Dispatches that fell back inline — a tiny
+    payload under the dispatch gate, a crashed worker, an unpicklable
+    kernel — count nothing here; only true cross-process execution does.
     """
 
     skyline_builds: int = 0
@@ -168,6 +180,9 @@ class SessionStats:
     advisor_bytes_resident: int = 0
     cost_requests: int = 0
     cache_hits: int = 0
+    process_dispatches: int = 0
+    process_chunks: int = 0
+    shm_peak_bytes: int = 0
     index_build_seconds: float = field(default=0.0, repr=False)
 
     def artifact_counts(self) -> Tuple[int, int, int]:
@@ -289,6 +304,13 @@ class DatasetSession:
         ``None`` defers to the ``REPRO_KERNEL_THREADS`` environment
         variable (default 1 — the exact serial code path); answers are
         byte-identical at every thread count.
+    backend:
+        Where those kernel chunks run: ``"thread"`` (default — the shared
+        thread pool), ``"process"`` (the shared-memory process pool, true
+        multi-core execution past the GIL for kernels that publish a
+        shared-memory description), or ``"serial"`` (force inline).
+        ``None`` defers to the ``REPRO_KERNEL_BACKEND`` environment
+        variable; answers are byte-identical on every backend.
     dtype:
         Kernel compute dtype: ``"float64"`` (default) or ``"float32"`` for
         the opt-in fast path whose near-tie rows are re-verified exactly —
@@ -308,6 +330,7 @@ class DatasetSession:
     #: before these attributes existed still resolve them.
     _threads: Optional[int] = None
     _dtype: Optional[str] = None
+    _backend: Optional[str] = None
     _index_budget_bytes: Optional[int] = None
     _advisor: Optional[IndexAdvisor] = None
 
@@ -318,11 +341,15 @@ class DatasetSession:
         index_kwargs: Optional[Dict[str, object]] = None,
         threads: Optional[int] = None,
         dtype: Optional[str] = None,
+        backend: Optional[str] = None,
         index_budget_bytes: Optional[int] = None,
     ):
         self._data = as_dataset(points)
         self.configure_kernels(
-            threads=threads, dtype=dtype, index_budget_bytes=index_budget_bytes
+            threads=threads,
+            dtype=dtype,
+            backend=backend,
+            index_budget_bytes=index_budget_bytes,
         )
         if ratios is None:
             self._default_ratios = None
@@ -401,6 +428,11 @@ class DatasetSession:
         return self._dtype
 
     @property
+    def kernel_backend(self) -> Optional[str]:
+        """The configured kernel backend (``None`` = environment/thread)."""
+        return self._backend
+
+    @property
     def index_budget_bytes(self) -> Optional[int]:
         """The configured index byte budget (``None`` = environment/unbounded)."""
         return self._index_budget_bytes
@@ -418,6 +450,7 @@ class DatasetSession:
         self,
         threads: Optional[int] = None,
         dtype: Optional[str] = None,
+        backend: Optional[str] = None,
         index_budget_bytes: Optional[int] = None,
     ) -> None:
         """Set (or reset) the executor and advisor knobs, validating eagerly.
@@ -429,6 +462,7 @@ class DatasetSession:
         """
         self._threads = validate_threads(threads)
         self._dtype = validate_dtype(dtype)
+        self._backend = validate_backend(backend)
         self._index_budget_bytes = validate_index_budget(index_budget_bytes)
         advisor = self.__dict__.get("_advisor")
         if advisor is not None:
@@ -447,7 +481,10 @@ class DatasetSession:
         without any keyword threading.
         """
         return kernel_context(
-            threads=self._threads, dtype=self._dtype, stats=self.stats
+            threads=self._threads,
+            dtype=self._dtype,
+            stats=self.stats,
+            backend=self._backend,
         )
 
     # ------------------------------------------------------------------
@@ -533,6 +570,7 @@ class DatasetSession:
                 int(self._skyline_idx.size) if self._skyline_cached() else None
             ),
             threads=resolve_threads(self._threads),
+            backend=resolve_backend(self._backend),
         ).estimate_for(canonical)
         if built_now:
             self.advisor.on_built(key, index.nbytes(), build_cost=estimate.build)
@@ -659,6 +697,7 @@ class DatasetSession:
                 num_skyline=int(self._skyline_idx.size),
                 artifact="skyline",
                 threads=resolve_threads(self._threads),
+                backend=resolve_backend(self._backend),
             )
             if skyline_plan.inplace:
                 with self._kernel_scope():
@@ -732,6 +771,7 @@ class DatasetSession:
                 dead_fraction=dead_fraction,
                 num_pairs=index.intersection_index.num_pairs,
                 threads=resolve_threads(self._threads),
+                backend=resolve_backend(self._backend),
             )
             index_plans.append(index_plan)
             if not index_plan.inplace:
@@ -897,6 +937,7 @@ class DatasetSession:
             num_queries=num_queries,
             num_skyline=num_skyline,
             threads=resolve_threads(self._threads),
+            backend=resolve_backend(self._backend),
         )
         self.stats.cost_requests = self.advisor.cost_model.cost_requests
         self.stats.cache_hits = self.advisor.cost_model.cache_hits
@@ -974,17 +1015,17 @@ class DatasetSession:
         if chosen in INDEX_METHODS:
             backend = plan.index_backend or chosen
             key = index_cache_key(canonical_method(backend), self._index_kwargs)
-            if (
-                key not in self._indexes
-                and canonical_method(method) == "auto"
-                and not self.advisor.should_build(plan)
+            if key not in self._indexes and not self.advisor.should_build(
+                plan, pinned=canonical_method(method) != "auto"
             ):
                 # Budgeted admission declined the build (projected benefit
                 # per byte too thin, or the bytes cannot be made available
-                # without displacing better residents).  Auto mode is free
-                # to answer with the exact transformation instead — same
-                # answers, no build — and the plan is re-recorded so
-                # last_plan reflects what actually ran.
+                # without displacing better residents).  This gate covers
+                # *pinned* index methods too, not just auto: a pinned
+                # ``method="cutting"`` names a preference, not a licence to
+                # blow the byte budget, and the exact transformation
+                # computes the same answers without the build.  The plan is
+                # re-recorded so last_plan reflects what actually ran.
                 self.stats.index_builds_skipped = self.advisor.builds_skipped
                 self.plan(method="transform", num_queries=len(specs))
                 return self._run_batch_transform(specs)
@@ -1069,6 +1110,16 @@ class DatasetSession:
                     indices = eclipse_baseline_indices(self._data, ratio_vector)
                 method = "baseline"
         elif method in INDEX_METHODS:
+            key = index_cache_key(canonical_method(method), self._index_kwargs)
+            if key not in self._indexes and not self.advisor.should_build(
+                self.plan(method=method, num_queries=1), pinned=True
+            ):
+                # Same budgeted admission as the batch path: a pinned index
+                # method on a single query still answers through the exact
+                # transformation when the advisor declines the build.
+                self.stats.index_builds_skipped = self.advisor.builds_skipped
+                self.plan(method="transform", num_queries=1)
+                return self._execute_single("transform", ratio_vector)
             index = self.index_for(method)
             with self._kernel_scope():
                 indices = index.query_indices(ratio_vector)

@@ -55,7 +55,12 @@ from repro.geometry.boxes import Box
 from repro.geometry.hyperplane import hyperplanes_intersect_box_mask
 from repro.perf.arena import GrowableArena
 from repro.perf.blocking import iter_blocks, memory_cap_bytes
-from repro.perf.executor import resolve_threads, run_tasks, split_memory_cap
+from repro.perf.executor import (
+    ShmKernel,
+    resolve_threads,
+    run_tasks,
+    split_memory_cap,
+)
 
 #: Unsplittable-duplicate policies (see :class:`FlatTree`).
 UNSPLITTABLE_POLICIES = ("keep", "raise")
@@ -1579,18 +1584,36 @@ class FlatTree:
             # At least `count` chunks so every worker gets one.
             chunk = max(1, min(chunk, -(-q // count)))
         if q > chunk:
+            kernel = ShmKernel(
+                self._query_many_block_shm,
+                inputs={"lows": lows, "highs": highs},
+                work_hint_bytes=q * max(1, self.size),
+            )
             chunked = run_tasks(
                 lambda start, stop: self._query_many_block(
                     lows[start:stop], highs[start:stop]
                 ),
                 list(iter_blocks(q, chunk)),
                 threads=count,
+                shm_kernel=kernel,
             )
             out: List[np.ndarray] = []
             for part in chunked:
                 out.extend(part)
             return out
         return self._query_many_block(lows, highs)
+
+    def _query_many_block_shm(self, arrays, start: int, stop: int) -> List[np.ndarray]:
+        """Process-backend chunk of :meth:`query_many`.
+
+        The tree itself travels once per worker group inside the pickled
+        bound method; only the query bounds go through shared memory.  The
+        per-query ``(q, m)`` bitmap work — the real cost — dwarfs those
+        bounds, hence the ``work_hint_bytes`` on the dispatching kernel.
+        """
+        return self._query_many_block(
+            arrays["lows"][start:stop], arrays["highs"][start:stop]
+        )
 
     def _query_many_block(
         self, lows: np.ndarray, highs: np.ndarray

@@ -21,7 +21,12 @@ from repro.errors import DimensionMismatchError
 from repro.geometry.boxes import Box
 from repro.geometry.dual import DualHyperplane
 from repro.perf.blocking import memory_cap_bytes
-from repro.perf.executor import resolve_threads, run_tasks, split_memory_cap
+from repro.perf.executor import (
+    ShmKernel,
+    resolve_threads,
+    run_tasks,
+    split_memory_cap,
+)
 
 
 @dataclass(frozen=True)
@@ -156,6 +161,60 @@ def pairwise_intersection_arrays(
     )
 
 
+def _fill_pair_chunk(
+    coefficients,
+    offsets,
+    indices,
+    counts,
+    out_pairs,
+    out_coeffs,
+    out_rhs,
+    start,
+    stop,
+    pos,
+    chunk,
+):
+    """Fill one ``[pos, pos + chunk)`` output slice of the pair enumeration.
+
+    The single implementation behind both dispatch paths of
+    :func:`pairwise_intersection_arrays_from` — the thread closure and the
+    process-backend worker call exactly this, so the two are identical by
+    construction.
+    """
+    rows = np.arange(start, stop, dtype=np.intp)
+    row_counts = counts[start:stop]
+    ii = np.repeat(rows, row_counts)
+    jj = (
+        np.arange(chunk, dtype=np.intp)
+        - np.repeat(np.cumsum(row_counts) - row_counts, row_counts)
+        + ii
+        + 1
+    )
+    np.subtract(
+        coefficients[ii], coefficients[jj], out=out_coeffs[pos : pos + chunk]
+    )
+    np.subtract(offsets[ii], offsets[jj], out=out_rhs[pos : pos + chunk])
+    out_pairs[pos : pos + chunk, 0] = indices[ii]
+    out_pairs[pos : pos + chunk, 1] = indices[jj]
+
+
+def _fill_pair_chunk_shm(arrays, start, stop, pos, chunk):
+    """Process-backend chunk of the pair enumeration (same output slices)."""
+    _fill_pair_chunk(
+        arrays["coefficients"],
+        arrays["offsets"],
+        arrays["indices"],
+        arrays["counts"],
+        arrays["out_pairs"],
+        arrays["out_coeffs"],
+        arrays["out_rhs"],
+        start,
+        stop,
+        pos,
+        chunk,
+    )
+
+
 def pairwise_intersection_arrays_from(
     coefficients: np.ndarray,
     offsets: np.ndarray,
@@ -240,23 +299,35 @@ def pairwise_intersection_arrays_from(
         start = stop
 
     def _fill_chunk(start, stop, pos, chunk):
-        rows = np.arange(start, stop, dtype=np.intp)
-        row_counts = counts[start:stop]
-        ii = np.repeat(rows, row_counts)
-        jj = (
-            np.arange(chunk, dtype=np.intp)
-            - np.repeat(np.cumsum(row_counts) - row_counts, row_counts)
-            + ii
-            + 1
+        _fill_pair_chunk(
+            coefficients,
+            offsets,
+            indices,
+            counts,
+            out_pairs,
+            out_coeffs,
+            out_rhs,
+            start,
+            stop,
+            pos,
+            chunk,
         )
-        np.subtract(
-            coefficients[ii], coefficients[jj], out=out_coeffs[pos : pos + chunk]
-        )
-        np.subtract(offsets[ii], offsets[jj], out=out_rhs[pos : pos + chunk])
-        out_pairs[pos : pos + chunk, 0] = indices[ii]
-        out_pairs[pos : pos + chunk, 1] = indices[jj]
 
-    run_tasks(_fill_chunk, tasks, threads=count)
+    kernel = ShmKernel(
+        _fill_pair_chunk_shm,
+        inputs={
+            "coefficients": coefficients,
+            "offsets": offsets,
+            "indices": indices,
+            "counts": counts,
+        },
+        outputs={
+            "out_pairs": out_pairs,
+            "out_coeffs": out_coeffs,
+            "out_rhs": out_rhs,
+        },
+    )
+    run_tasks(_fill_chunk, tasks, threads=count, shm_kernel=kernel)
 
     if skip_degenerate:
         keep = np.any(np.abs(out_coeffs) > 0.0, axis=1)

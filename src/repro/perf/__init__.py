@@ -17,6 +17,12 @@ the ``threads``/``dtype`` knobs through the ambient :func:`kernel_context`
 or the ``REPRO_KERNEL_THREADS`` environment variable, and divides the
 memory cap across workers (:func:`split_memory_cap`).
 
+:mod:`repro.perf.shm` owns the shared-memory segment pool behind the
+executor's ``"process"`` backend (:class:`SharedArrayPool`): recycled
+``multiprocessing.shared_memory`` segments that carry kernel inputs and
+outputs to pool workers zero-copy, with every loaned byte tracked and
+unlinked on reset — no leaked ``/dev/shm`` entries.
+
 :mod:`repro.perf.advisor` owns the workload-adaptive index advisor
 (:class:`IndexAdvisor`): budgeted build/keep/evict decisions over the
 session's index cache, driven by exact arena ``nbytes`` accounting and the
@@ -43,15 +49,26 @@ from repro.perf.blocking import (
 )
 from repro.perf.executor import (
     MAX_THREADS,
+    MIN_PROCESS_DISPATCH_BYTES,
+    VALID_BACKENDS,
     VALID_DTYPES,
+    ShmKernel,
     kernel_context,
     map_blocks,
     parallel_block_size,
     parallel_matmul,
+    resolve_backend,
     resolve_dtype,
     resolve_threads,
     run_tasks,
+    shutdown_process_pools,
     split_memory_cap,
+    validate_backend,
+)
+from repro.perf.shm import (
+    SharedArrayPool,
+    global_pool,
+    reset_global_pool,
 )
 
 __all__ = [
@@ -62,8 +79,13 @@ __all__ = [
     "GrowableBuffer",
     "IndexAdvisor",
     "MAX_THREADS",
+    "MIN_PROCESS_DISPATCH_BYTES",
+    "SharedArrayPool",
+    "ShmKernel",
+    "VALID_BACKENDS",
     "VALID_DTYPES",
     "WhatIfCostModel",
+    "global_pool",
     "index_budget_from_env",
     "resolve_index_budget",
     "validate_index_budget",
@@ -73,9 +95,13 @@ __all__ = [
     "memory_cap_bytes",
     "parallel_block_size",
     "parallel_matmul",
+    "reset_global_pool",
+    "resolve_backend",
     "resolve_block_size",
     "resolve_dtype",
     "resolve_threads",
     "run_tasks",
+    "shutdown_process_pools",
     "split_memory_cap",
+    "validate_backend",
 ]

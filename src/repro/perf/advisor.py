@@ -184,9 +184,19 @@ class WhatIfCostModel:
         num_queries: int = 1,
         num_skyline: Optional[int] = None,
         threads: int = 1,
+        backend: str = "thread",
     ) -> QueryPlan:
         """Memoised :func:`repro.core.plan.plan_query` (plans are frozen)."""
-        key = ("query", num_points, dimensions, method, num_queries, num_skyline, threads)
+        key = (
+            "query",
+            num_points,
+            dimensions,
+            method,
+            num_queries,
+            num_skyline,
+            threads,
+            backend,
+        )
         return self._memoised(
             key,
             lambda: plan_query(
@@ -196,6 +206,7 @@ class WhatIfCostModel:
                 num_queries=num_queries,
                 num_skyline=num_skyline,
                 threads=threads,
+                backend=backend,
             ),
         )
 
@@ -211,6 +222,7 @@ class WhatIfCostModel:
         dead_fraction: float = 0.0,
         num_pairs: Optional[int] = None,
         threads: int = 1,
+        backend: str = "thread",
     ) -> UpdatePlan:
         """Memoised :func:`repro.core.plan.plan_update` (plans are frozen)."""
         key = (
@@ -225,6 +237,7 @@ class WhatIfCostModel:
             dead_fraction,
             num_pairs,
             threads,
+            backend,
         )
         return self._memoised(
             key,
@@ -239,6 +252,7 @@ class WhatIfCostModel:
                 dead_fraction=dead_fraction,
                 num_pairs=num_pairs,
                 threads=threads,
+                backend=backend,
             ),
         )
 
@@ -380,7 +394,7 @@ class IndexAdvisor:
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
-    def should_build(self, plan: QueryPlan) -> bool:
+    def should_build(self, plan: QueryPlan, pinned: bool = False) -> bool:
         """Greedy admission of one index build under the budget.
 
         Unbounded sessions always build (the pre-advisor behaviour).  Under
@@ -391,6 +405,13 @@ class IndexAdvisor:
         from free space plus residents whose decayed benefit-per-byte is
         lower than the newcomer's projected benefit-per-byte (the Extend
         rule: never displace a resident that earns its bytes better).
+
+        ``pinned`` marks a build the caller *named* (``method="cutting"``
+        rather than ``"auto"``, PR 9): the cost-improvement heuristic (1)
+        is waived — an explicit preference is not second-guessed on
+        projected speed — but the byte-feasibility checks (2) and (3)
+        still apply, because a pinned method is a preference, not a
+        licence to blow the byte budget.
         """
         budget = self.effective_budget()
         if budget is None:
@@ -402,10 +423,11 @@ class IndexAdvisor:
         best_alternative = plan.best_alternative_cost(queries)
         if best_alternative is None:
             return True
-        ratio = plan.index_improvement_ratio(queries)
-        if ratio is None or ratio < self.min_cost_improvement:
-            self.builds_skipped += 1
-            return False
+        if not pinned:
+            ratio = plan.index_improvement_ratio(queries)
+            if ratio is None or ratio < self.min_cost_improvement:
+                self.builds_skipped += 1
+                return False
         num_skyline = (
             plan.num_skyline
             if plan.num_skyline is not None

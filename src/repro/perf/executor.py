@@ -8,12 +8,14 @@ a shared worker-thread pool: numpy releases the GIL inside the broadcast
 comparisons and GEMMs, so threads capture most of the multi-core win
 without any IPC or pickling cost.
 
-Three pieces:
+Four pieces:
 
-* **Thread resolution** (:func:`resolve_threads`): explicit argument, then
-  the ambient :func:`kernel_context`, then the ``REPRO_KERNEL_THREADS``
-  environment variable, then 1.  ``threads=1`` is the contract-critical
-  default — callers take the exact serial code path, no pool, no futures.
+* **Knob resolution** (:func:`resolve_threads` / :func:`resolve_backend`):
+  explicit argument, then the ambient :func:`kernel_context`, then the
+  ``REPRO_KERNEL_THREADS`` / ``REPRO_KERNEL_BACKEND`` environment
+  variables, then the default (1 thread, the ``"thread"`` backend).
+  ``threads=1`` is the contract-critical default — callers take the exact
+  serial code path, no pool, no futures.
 * **Dispatch** (:func:`run_tasks` / :func:`map_blocks` /
   :func:`parallel_matmul`): submit independent tasks to a cached
   :class:`~concurrent.futures.ThreadPoolExecutor` keyed by worker count
@@ -22,8 +24,23 @@ Three pieces:
   serial path regardless of completion order.  Pool threads are flagged so
   any kernel entered *from inside a worker* resolves to serial — nested
   parallelism (and the same-pool deadlock it invites) cannot happen.
+* **The process backend** (``backend="process"`` + :class:`ShmKernel`): a
+  cached, fork-safe :class:`~concurrent.futures.ProcessPoolExecutor`
+  (forkserver where available) for kernels that do **not** release the
+  GIL.  Callers describe the dispatch with a :class:`ShmKernel` — a
+  module-level worker function plus named input/output arrays — and the
+  executor copies the arrays once into pooled
+  :mod:`multiprocessing.shared_memory` segments
+  (:mod:`repro.perf.shm`); workers attach them zero-copy and write
+  disjoint slices of the shared outputs, exactly like the thread workers.
+  Dispatches whose work falls under :data:`MIN_PROCESS_DISPATCH_BYTES`
+  stay serial (the serialization floor would dominate), and any process
+  failure falls back to the inline serial path, so answers are
+  byte-identical to serial execution in every case.  Process workers are
+  flagged like thread workers: kernels entered inside one resolve to
+  serial.
 * **The kernel context** (:func:`kernel_context`): a thread-local carrying
-  the ``(threads, dtype, stats)`` knobs through deep call chains
+  the ``(threads, dtype, backend, stats)`` knobs through deep call chains
   (session → skyline API → divide-and-conquer → ``dominated_mask``) that
   have no keyword path for them.  ``stats`` is any object with the
   executor telemetry counters (``SessionStats`` qualifies); all counter
@@ -32,17 +49,22 @@ Three pieces:
 
 The memory budget **divides** across workers (it never multiplies): use
 :func:`split_memory_cap` before :func:`~repro.perf.blocking.resolve_block_size`
-so the sum of per-worker scratch stays within the one global cap.
+so the sum of per-worker scratch stays within the one global cap.  The
+shared-segment pool of the process backend is bounded by the same cap.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import sys
 import threading
 import warnings
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +72,21 @@ from repro.perf.blocking import iter_blocks, memory_cap_bytes
 
 #: Environment variable naming the default worker-thread count.
 _THREADS_ENV = "REPRO_KERNEL_THREADS"
+
+#: Environment variable naming the default dispatch backend.
+_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Dispatch backends.  ``"serial"`` forces the inline code path regardless
+#: of ``threads``; ``"thread"`` (the default) is the PR 7 thread pool;
+#: ``"process"`` dispatches :class:`ShmKernel` work to a shared-memory
+#: process pool and falls back to threads for kernels without one.
+VALID_BACKENDS = ("serial", "thread", "process")
+
+#: Shared-payload (or work-hint) bytes below which a process dispatch runs
+#: the exact inline serial path instead: measured dispatch overhead — the
+#: export copies, task pickling, and result IPC — is ~1-4 ms per dispatch,
+#: which only amortises once the kernel moves megabytes.
+MIN_PROCESS_DISPATCH_BYTES = 1 << 20
 
 #: Hard ceiling on the pool size — beyond this, dispatch overhead and
 #: memory-bandwidth contention dwarf any remaining parallel gain.
@@ -88,12 +125,24 @@ def validate_dtype(dtype: Optional[str]) -> Optional[str]:
     return dtype
 
 
+def validate_backend(backend: Optional[str]) -> Optional[str]:
+    """Validate an explicit dispatch backend; ``None`` means "resolve later"."""
+    if backend is None:
+        return None
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            f"kernel backend must be one of {VALID_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
 class _KernelContext(threading.local):
     """Per-thread ambient knobs (see :func:`kernel_context`)."""
 
     def __init__(self):
         self.threads: Optional[int] = None
         self.dtype: Optional[str] = None
+        self.backend: Optional[str] = None
         self.stats = None
         self.in_worker = False
 
@@ -102,27 +151,29 @@ _CTX = _KernelContext()
 
 
 @contextmanager
-def kernel_context(threads=None, dtype=None, stats=None):
+def kernel_context(threads=None, dtype=None, stats=None, backend=None):
     """Install ambient executor knobs for the current thread.
 
     Kernels deep in the call stack (``dominated_mask`` under the skyline
     API, ``pairwise_intersection_arrays_from`` under an index build,
-    ``FlatTree.query_many`` under a batched probe) resolve their ``threads``
-    and ``dtype`` from this context when no explicit argument reaches them.
-    ``None`` leaves the corresponding knob untouched, so nested contexts
-    compose; the previous values are restored on exit.
+    ``FlatTree.query_many`` under a batched probe) resolve their ``threads``,
+    ``dtype`` and ``backend`` from this context when no explicit argument
+    reaches them.  ``None`` leaves the corresponding knob untouched, so
+    nested contexts compose; the previous values are restored on exit.
     """
-    prev = (_CTX.threads, _CTX.dtype, _CTX.stats)
+    prev = (_CTX.threads, _CTX.dtype, _CTX.stats, _CTX.backend)
     if threads is not None:
         _CTX.threads = validate_threads(threads)
     if dtype is not None:
         _CTX.dtype = validate_dtype(dtype)
     if stats is not None:
         _CTX.stats = stats
+    if backend is not None:
+        _CTX.backend = validate_backend(backend)
     try:
         yield
     finally:
-        _CTX.threads, _CTX.dtype, _CTX.stats = prev
+        _CTX.threads, _CTX.dtype, _CTX.stats, _CTX.backend = prev
 
 
 def resolve_threads(threads: Optional[int] = None) -> int:
@@ -172,6 +223,38 @@ def resolve_dtype(dtype: Optional[str] = None) -> str:
     return _CTX.dtype or "float64"
 
 
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Effective dispatch backend for one kernel call.
+
+    Precedence matches :func:`resolve_threads`: explicit argument, then the
+    ambient :func:`kernel_context`, then the ``REPRO_KERNEL_BACKEND``
+    environment variable, then ``"thread"``.  Inside a pool worker (thread
+    *or* process) the answer is always ``"serial"`` — nested parallel
+    dispatch is refused.  A misconfigured environment value warns via
+    :class:`RuntimeWarning` and falls back to the thread backend instead of
+    failing silently.
+    """
+    if backend is not None:
+        return validate_backend(backend)
+    if _CTX.in_worker:
+        return "serial"
+    if _CTX.backend is not None:
+        return _CTX.backend
+    env = os.environ.get(_BACKEND_ENV)
+    if env:
+        if env in VALID_BACKENDS:
+            return env
+        warnings.warn(
+            f"ignoring unknown {_BACKEND_ENV}={env!r} "
+            f"(expected one of {VALID_BACKENDS}); kernels use the thread "
+            f"backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "thread"
+    return "thread"
+
+
 # ----------------------------------------------------------------------
 # Telemetry (all updates happen in the dispatching thread)
 # ----------------------------------------------------------------------
@@ -191,24 +274,42 @@ def note_float32(fastpath_rows: int, fallback_rows: int) -> None:
         stats.float32_exact_fallbacks += int(fallback_rows)
 
 
+def note_process(chunks: int, workers: int, shm_bytes: int) -> None:
+    """Record one process-backend dispatch on the ambient stats sink, if any."""
+    stats = _CTX.stats
+    if stats is not None:
+        stats.process_dispatches += 1
+        stats.process_chunks += int(chunks)
+        stats.threads_used = max(stats.threads_used, int(workers))
+        stats.shm_peak_bytes = max(stats.shm_peak_bytes, int(shm_bytes))
+
+
 # ----------------------------------------------------------------------
-# The pool
+# The pools
 # ----------------------------------------------------------------------
 def _mark_worker() -> None:
     _CTX.in_worker = True
 
 
 _POOLS: dict = {}
+_PROCESS_POOLS: dict = {}
 _POOL_LOCK = threading.Lock()
 
 
 def _reset_pools_after_fork() -> None:
-    # A forked child inherits executor objects whose worker threads do not
-    # exist on its side of the fork; submitting to them would hang forever.
-    # Drop the cache so the child lazily builds fresh pools.
+    # A forked child inherits executor objects whose worker threads (or
+    # pool processes) do not exist on its side of the fork; submitting to
+    # them would hang forever.  Drop both caches so the child lazily builds
+    # fresh pools, and forget the shared-segment registry — the parent
+    # still owns those segments, so the child must never unlink them
+    # (repro.perf.shm registers its own hook too; forget() is idempotent).
     global _POOL_LOCK
     _POOLS.clear()
+    _PROCESS_POOLS.clear()
     _POOL_LOCK = threading.Lock()
+    shm = sys.modules.get("repro.perf.shm")
+    if shm is not None:
+        shm.forget_after_fork()
 
 
 if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
@@ -228,6 +329,170 @@ def _pool(threads: int) -> ThreadPoolExecutor:
         return pool
 
 
+def _process_start_method() -> str:
+    """Fork-safe start method: forkserver where available, else spawn.
+
+    Plain ``fork`` is never used for the pool itself — the dispatching
+    process runs worker threads (its own thread pool, service supervisors),
+    and forking a multithreaded process can deadlock the child.  The
+    forkserver forks from a single-threaded server process instead.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "forkserver" in methods:
+        return "forkserver"
+    return "spawn"  # pragma: no cover - non-POSIX fallback
+
+
+def _process_pool(threads: int) -> ProcessPoolExecutor:
+    with _POOL_LOCK:
+        pool = _PROCESS_POOLS.get(threads)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=threads,
+                mp_context=multiprocessing.get_context(_process_start_method()),
+                initializer=_mark_worker,
+            )
+            _PROCESS_POOLS[threads] = pool
+        return pool
+
+
+def _discard_process_pool(threads: int) -> None:
+    """Drop (and best-effort shut down) one broken process pool."""
+    with _POOL_LOCK:
+        pool = _PROCESS_POOLS.pop(threads, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_process_pools() -> None:
+    """Shut down every cached process pool and unlink pooled segments.
+
+    Test and teardown hygiene — dispatch recreates pools lazily, so calling
+    this at any quiet point is always safe.
+    """
+    with _POOL_LOCK:
+        pools = list(_PROCESS_POOLS.values())
+        _PROCESS_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+    shm = sys.modules.get("repro.perf.shm")
+    if shm is not None:
+        shm.reset_global_pool()
+
+
+# ----------------------------------------------------------------------
+# The process-backend dispatch protocol
+# ----------------------------------------------------------------------
+@dataclass
+class ShmKernel:
+    """Shared-memory description of one kernel for the process backend.
+
+    Closures over numpy views — the thread backend's currency — cannot
+    cross a process boundary, so a kernel that wants the process backend
+    supplies this picklable-by-parts description alongside its closure:
+
+    ``func``
+        A module-level function (or bound method of a picklable object)
+        called as ``func(arrays, *task, **const)`` where ``arrays`` maps
+        each input/output name to its attached shared ndarray.  It must
+        compute exactly what the closure computes, writing only the
+        disjoint output slices its ``task`` names.
+    ``inputs`` / ``outputs``
+        Named arrays exported to shared memory before dispatch.  Outputs
+        are copied back into the caller's arrays after every task
+        succeeds; a failed dispatch leaves them untouched (the inline
+        serial fallback then recomputes from scratch).
+    ``const``
+        Small picklable keyword extras forwarded to every call.
+    ``work_hint_bytes``
+        Optional estimate of the kernel's scratch/compute footprint, for
+        the :data:`MIN_PROCESS_DISPATCH_BYTES` gate.  Kernels whose real
+        work dwarfs their payload (tree traversals over tiny query
+        arrays, broadcast screens over compact inputs) pass it so the
+        gate measures work, not wire bytes.  Default: the payload bytes.
+    """
+
+    func: Callable
+    inputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    const: Dict[str, object] = field(default_factory=dict)
+    work_hint_bytes: Optional[int] = None
+
+    def payload_nbytes(self) -> int:
+        """Bytes that would travel through shared memory."""
+        arrays = list(self.inputs.values()) + list(self.outputs.values())
+        return int(sum(int(a.nbytes) for a in arrays))
+
+    def dispatch_weight(self) -> int:
+        """Bytes the dispatch gate compares against the overhead floor."""
+        if self.work_hint_bytes is not None:
+            return int(self.work_hint_bytes)
+        return self.payload_nbytes()
+
+
+def _shm_worker_main(func, refs, const, tasks):
+    """Process-pool entry: attach the shared arrays, run one task group."""
+    from repro.perf import shm
+
+    arrays = {name: shm.attach_array(ref) for name, ref in refs.items()}
+    return [func(arrays, *task, **const) for task in tasks]
+
+
+def _dispatch_process(kernel: ShmKernel, tasks: Sequence[Tuple], count: int) -> List:
+    """One process-backend dispatch; raises on failure (caller falls back).
+
+    Inputs and outputs are exported to pooled shared segments, the task
+    list is split into at most ``count`` contiguous groups (one pickled
+    submission per group amortises IPC and any bound-``func`` state over
+    many tasks), and outputs are copied back only after every group
+    succeeds — the dispatch is transactional with respect to the caller's
+    arrays.
+    """
+    from repro.perf import shm
+
+    pool_mgr = shm.global_pool()
+    leases = []
+    shared_views: Dict[str, np.ndarray] = {}
+    refs: Dict[str, object] = {}
+    payload = 0
+    try:
+        for name, array in {**kernel.inputs, **kernel.outputs}.items():
+            lease, view, ref = shm.export_array(pool_mgr, array)
+            leases.append(lease)
+            shared_views[name] = view
+            refs[name] = ref
+            payload += int(view.nbytes)
+        group_count = min(count, len(tasks))
+        group_size = -(-len(tasks) // group_count)  # ceil division
+        groups = [
+            tasks[pos : pos + group_size]
+            for pos in range(0, len(tasks), group_size)
+        ]
+        pool = _process_pool(count)
+        futures = [
+            pool.submit(_shm_worker_main, kernel.func, refs, kernel.const, group)
+            for group in groups
+        ]
+        error = None
+        results: List = []
+        for future in futures:
+            try:
+                results.extend(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        for name, array in kernel.outputs.items():
+            array[...] = shared_views[name]
+        note_process(len(tasks), group_count, payload)
+        return results
+    finally:
+        shared_views.clear()
+        for lease in leases:
+            pool_mgr.release(lease)
+
+
 # ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
@@ -235,20 +500,54 @@ def run_tasks(
     worker: Callable,
     tasks: Sequence[Tuple],
     threads: Optional[int] = None,
+    shm_kernel: Optional[ShmKernel] = None,
 ) -> List:
     """Run ``worker(*task)`` for every task; results come back in task order.
 
     ``threads`` resolves through :func:`resolve_threads`.  With one worker
     (or one task) the tasks run inline in the calling thread — the exact
-    serial code path, no pool involved.  Otherwise each task is submitted
-    to the shared pool; a failing task propagates its exception to the
-    caller after all futures settle, so no worker is left writing into
-    shared output arrays the caller has abandoned.
+    serial code path, no pool involved.  Otherwise the ambient backend
+    (:func:`resolve_backend`) picks the pool: ``"serial"`` stays inline,
+    ``"thread"`` submits each task to the shared thread pool, and
+    ``"process"`` dispatches through ``shm_kernel``'s shared-memory
+    protocol when one is supplied and its work clears
+    :data:`MIN_PROCESS_DISPATCH_BYTES` (tiny dispatches stay serial; kernels
+    without a shared-memory description fall back to the thread pool).  A
+    failing thread task propagates its exception to the caller after all
+    futures settle, so no worker is left writing into shared output arrays
+    the caller has abandoned; a failing *process* dispatch (including a
+    crashed worker) releases its segments and reruns the closure inline —
+    answers are byte-identical to serial execution on every path.
     """
     tasks = list(tasks)
     count = resolve_threads(threads)
     if count <= 1 or len(tasks) <= 1:
         return [worker(*task) for task in tasks]
+    backend = resolve_backend()
+    if backend == "serial":
+        return [worker(*task) for task in tasks]
+    if backend == "process" and shm_kernel is not None:
+        if shm_kernel.dispatch_weight() < MIN_PROCESS_DISPATCH_BYTES:
+            return [worker(*task) for task in tasks]
+        try:
+            return _dispatch_process(shm_kernel, tasks, count)
+        except BrokenProcessPool:
+            # A worker died mid-dispatch (OOM kill, hard crash).  The pool
+            # is unusable; drop it so the next dispatch builds a fresh one,
+            # and answer this call through the exact inline path.
+            _discard_process_pool(count)
+            warnings.warn(
+                "process kernel backend lost a worker; dispatch re-ran "
+                "serially and the pool will be rebuilt",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [worker(*task) for task in tasks]
+        except (OSError, ValueError, TypeError, AttributeError, ImportError):
+            # Shared-memory setup or pickling failed (exhausted /dev/shm,
+            # an unpicklable func/const).  The closure path computes the
+            # same answer without any of that machinery.
+            return [worker(*task) for task in tasks]
     note_parallel(len(tasks), min(count, len(tasks)))
     futures = [_pool(count).submit(worker, *task) for task in tasks]
     error = None
@@ -269,9 +568,15 @@ def map_blocks(
     total: int,
     block_size: int,
     threads: Optional[int] = None,
+    shm_kernel: Optional[ShmKernel] = None,
 ) -> List:
     """Dispatch ``worker(start, stop)`` over the ``iter_blocks`` ranges."""
-    return run_tasks(worker, list(iter_blocks(total, block_size)), threads=threads)
+    return run_tasks(
+        worker,
+        list(iter_blocks(total, block_size)),
+        threads=threads,
+        shm_kernel=shm_kernel,
+    )
 
 
 def split_memory_cap(memory_cap: Optional[int], threads: int) -> int:
@@ -295,6 +600,13 @@ def parallel_block_size(total: int, block_size: int, threads: int) -> int:
     return max(1, min(int(block_size), per_thread))
 
 
+def _matmul_block_shm(arrays, start: int, stop: int) -> None:
+    """Process-backend row block of :func:`parallel_matmul` (same split)."""
+    np.matmul(
+        arrays["a"][start:stop], arrays["b"], out=arrays["out"][start:stop]
+    )
+
+
 def parallel_matmul(
     a: np.ndarray,
     b: np.ndarray,
@@ -307,7 +619,9 @@ def parallel_matmul(
     serial product: every output row is still the same dot products over the
     full inner dimension, in the same order — no re-association of partial
     sums.  Small products (fewer than ``min_rows`` rows) run serial; so does
-    ``threads=1``.
+    ``threads=1``.  Under ``backend="process"`` the same row blocks run in
+    pool processes against shared-memory copies of ``a``/``b``, each writing
+    its disjoint rows of the shared output.
     """
     count = resolve_threads(threads)
     rows = int(a.shape[0])
@@ -318,5 +632,14 @@ def parallel_matmul(
     def worker(start: int, stop: int) -> None:
         np.matmul(a[start:stop], b, out=out[start:stop])
 
-    map_blocks(worker, rows, parallel_block_size(rows, rows, count), threads=count)
+    kernel = ShmKernel(
+        _matmul_block_shm, inputs={"a": a, "b": b}, outputs={"out": out}
+    )
+    map_blocks(
+        worker,
+        rows,
+        parallel_block_size(rows, rows, count),
+        threads=count,
+        shm_kernel=kernel,
+    )
     return out

@@ -1,0 +1,368 @@
+"""Shared-memory array transport for the process kernel backend.
+
+The thread backend of :mod:`repro.perf.executor` hands workers numpy views
+through closures — free within one address space, impossible across
+processes.  This module is the transport that makes ``backend="process"``
+pay: input arrays are copied **once** into named
+:class:`multiprocessing.shared_memory.SharedMemory` segments and workers
+attach them zero-copy (an ``mmap`` of the same physical pages, no pickling
+of array payloads), then write their results into disjoint slices of
+preallocated shared output buffers exactly as the thread workers do.
+
+Three pieces:
+
+* :class:`SharedArrayPool` — the parent-side segment allocator.  Segments
+  are recycled by capacity (an export of the same-or-smaller payload reuses
+  a free segment instead of paying ``shm_open``/``mmap`` again), every
+  created segment is tracked by name, and :meth:`SharedArrayPool.reset`
+  closes **and unlinks** all of them — no leaked ``/dev/shm`` entries, which
+  the regression tests assert by listing the prefix.  Retained free bytes
+  are bounded by the shared kernel memory cap
+  (:func:`repro.perf.blocking.memory_cap_bytes`): the pool trims its free
+  list whenever the total footprint exceeds the cap, so the segment cache
+  is charged against the same budget the chunked kernels already respect.
+* :func:`export_array` / :func:`attach_array` — the two ends of the wire.
+  Export copies a (contiguified) array into a pooled segment and returns a
+  picklable :class:`ShmArrayRef`; attach maps the named segment and wraps
+  it in an ndarray view without copying.  Worker-side attachments are
+  cached per process (bounded LRU) so a cached pool's workers map each
+  recycled segment once, not once per task.
+* **Fork hygiene** — a forked child inherits the parent's registries but
+  must never unlink the parent's live segments; :func:`forget_after_fork`
+  drops the child's inherited pool state and attachment cache without
+  touching the files.  The parent's own exit path unlinks everything via
+  ``atexit``, so even an abandoned pool cannot leak past process death.
+
+Python 3.11's ``SharedMemory`` has no ``track=False``: merely *attaching*
+registers the segment with the worker's resource tracker, which would then
+unlink it when the worker exits — yanking live memory out from under the
+parent and every sibling.  :func:`attach_array` suppresses that
+registration (the parent is the single owner and unlinks on reset), which
+is the standard workaround until 3.13's ``track`` parameter.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.perf.blocking import memory_cap_bytes
+
+#: Name prefix of every segment this module creates; the no-leak regression
+#: tests enumerate ``/dev/shm`` entries carrying it.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Bound on the worker-side attachment cache (segments mapped at once per
+#: worker process).  Evicted attachments are re-mapped on next use.
+ATTACH_CACHE_LIMIT = 64
+
+_SEGMENT_COUNTER = itertools.count()
+
+
+class ShmArrayRef(NamedTuple):
+    """Picklable description of one exported array: where and what shape."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SegmentLease(object):
+    """One pooled segment currently on loan (or free).  Not picklable."""
+
+    __slots__ = ("shm", "capacity")
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int):
+        self.shm = shm
+        self.capacity = int(capacity)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+
+def _destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink one segment, tolerating stale handles."""
+    try:
+        shm.close()
+    except BufferError:
+        # A still-referenced exported view pins the mapping; the unlink
+        # below still removes the /dev/shm name, and the mapping goes when
+        # the last view does.
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+class SharedArrayPool:
+    """Recycling allocator of named shared-memory segments.
+
+    Parameters
+    ----------
+    memory_cap:
+        Byte bound on the pool's total footprint (free + on loan), defaulting
+        to the shared kernel memory cap
+        (:func:`repro.perf.blocking.memory_cap_bytes`, i.e. the same budget
+        ``REPRO_KERNEL_MEMORY_CAP_MB`` configures for kernel scratch).  The
+        cap governs *retention*: free segments are unlinked until the total
+        fits, but an acquire that a correctness path needs is never refused
+        — a dispatch larger than the cap simply is not cached afterwards.
+    """
+
+    def __init__(self, memory_cap: Optional[int] = None):
+        self._memory_cap = memory_cap
+        self._lock = threading.Lock()
+        self._free: List[SegmentLease] = []
+        self._loaned: Dict[str, SegmentLease] = {}
+        self.segments_created = 0
+        self.segments_recycled = 0
+        self.segments_unlinked = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (tests and telemetry)
+    # ------------------------------------------------------------------
+    def retention_cap(self) -> int:
+        """The byte bound currently in force."""
+        return memory_cap_bytes(self._memory_cap)
+
+    @property
+    def free_bytes(self) -> int:
+        with self._lock:
+            return sum(lease.capacity for lease in self._free)
+
+    @property
+    def loaned_bytes(self) -> int:
+        with self._lock:
+            return sum(lease.capacity for lease in self._loaned.values())
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(lease.capacity for lease in self._free) + sum(
+                lease.capacity for lease in self._loaned.values()
+            )
+
+    def segment_names(self) -> List[str]:
+        """Names of every live segment the pool tracks (free and loaned)."""
+        with self._lock:
+            return [lease.name for lease in self._free] + list(self._loaned)
+
+    # ------------------------------------------------------------------
+    # The allocator
+    # ------------------------------------------------------------------
+    def acquire(self, nbytes: int) -> SegmentLease:
+        """Lease a segment of at least ``nbytes`` (best-fit recycle, else create)."""
+        needed = max(1, int(nbytes))
+        with self._lock:
+            best = None
+            for lease in self._free:
+                if lease.capacity >= needed and (
+                    best is None or lease.capacity < best.capacity
+                ):
+                    best = lease
+            if best is not None:
+                self._free.remove(best)
+                self._loaned[best.name] = best
+                self.segments_recycled += 1
+                return best
+            name = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_SEGMENT_COUNTER)}"
+            shm = shared_memory.SharedMemory(name=name, create=True, size=needed)
+            lease = SegmentLease(shm, needed)
+            self._loaned[lease.name] = lease
+            self.segments_created += 1
+            return lease
+
+    def release(self, lease: SegmentLease) -> None:
+        """Return a lease to the free list, trimming past the retention cap."""
+        with self._lock:
+            if self._loaned.pop(lease.name, None) is None:
+                # reset()/forget() already disposed of it.
+                return
+            self._free.append(lease)
+            self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        cap = self.retention_cap()
+        total = sum(l.capacity for l in self._free) + sum(
+            l.capacity for l in self._loaned.values()
+        )
+        # Largest-first: one unlink frees the most bytes.
+        self._free.sort(key=lambda l: l.capacity, reverse=True)
+        while self._free and total > cap:
+            lease = self._free.pop(0)
+            total -= lease.capacity
+            _destroy_segment(lease.shm)
+            self.segments_unlinked += 1
+
+    def reset(self) -> None:
+        """Close and unlink every tracked segment (free *and* loaned)."""
+        with self._lock:
+            for lease in self._free:
+                _destroy_segment(lease.shm)
+                self.segments_unlinked += 1
+            for lease in self._loaned.values():
+                _destroy_segment(lease.shm)
+                self.segments_unlinked += 1
+            self._free.clear()
+            self._loaned.clear()
+
+    def forget(self) -> None:
+        """Drop all registries *without* unlinking (forked-child hygiene).
+
+        The parent still owns the segments; a child unlinking them would
+        yank live memory out from under it.  The child simply starts from
+        an empty pool and creates its own segments (pid-tagged names, so
+        they can never collide with the parent's).
+        """
+        with self._lock:
+            self._free.clear()
+            self._loaned.clear()
+
+
+# ----------------------------------------------------------------------
+# The wire: export (parent) and attach (worker)
+# ----------------------------------------------------------------------
+def export_array(
+    pool: SharedArrayPool, array: np.ndarray
+) -> Tuple[SegmentLease, np.ndarray, ShmArrayRef]:
+    """Copy ``array`` into a pooled segment; return (lease, shared view, ref).
+
+    The one copy here is the only payload transfer of the whole dispatch:
+    workers attach the same pages read-only-by-convention, and output
+    arrays come back through :func:`export_array`'d buffers the workers
+    wrote in place.
+    """
+    array = np.ascontiguousarray(array)
+    lease = pool.acquire(max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=lease.shm.buf)
+    if array.nbytes:
+        view[...] = array
+    return lease, view, ShmArrayRef(lease.name, tuple(array.shape), array.dtype.str)
+
+
+_ATTACHED: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    On Python < 3.13 attaching registers the segment in *this* process's
+    resource tracker, which unlinks it at process exit — destroying the
+    parent's live segment.  The parent is the single owner; suppress the
+    registration for the duration of the attach.
+    """
+    original = resource_tracker.register
+
+    def _register_non_shm(res_name, rtype):  # pragma: no cover - trivial
+        if rtype != "shared_memory":
+            original(res_name, rtype)
+
+    resource_tracker.register = _register_non_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def attach_array(ref: ShmArrayRef) -> np.ndarray:
+    """Map the named segment and view it as an ndarray — no copy.
+
+    Attachments are cached per process (bounded LRU) so a worker maps each
+    recycled segment once across the many tasks of a cached pool's
+    lifetime.
+    """
+    segment = _ATTACHED.get(ref.name)
+    if segment is None:
+        segment = _attach_untracked(ref.name)
+        _ATTACHED[ref.name] = segment
+        while len(_ATTACHED) > ATTACH_CACHE_LIMIT:
+            stale_name, stale = _ATTACHED.popitem(last=False)
+            try:
+                stale.close()
+            except BufferError:
+                # A live view still references the mapping; keep it cached.
+                _ATTACHED[stale_name] = stale
+                _ATTACHED.move_to_end(stale_name, last=False)
+                break
+    else:
+        _ATTACHED.move_to_end(ref.name)
+    return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+
+
+def close_attachments() -> None:
+    """Unmap every cached attachment (worker teardown; safe to re-call)."""
+    while _ATTACHED:
+        _, segment = _ATTACHED.popitem()
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - view still alive
+            pass
+
+
+# ----------------------------------------------------------------------
+# Process-global pool and fork/exit hygiene
+# ----------------------------------------------------------------------
+_GLOBAL_POOL: Optional[SharedArrayPool] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_pool() -> SharedArrayPool:
+    """The process-wide segment pool the executor dispatches through."""
+    global _GLOBAL_POOL
+    with _GLOBAL_LOCK:
+        if _GLOBAL_POOL is None:
+            _GLOBAL_POOL = SharedArrayPool()
+        return _GLOBAL_POOL
+
+
+def reset_global_pool() -> None:
+    """Unlink every segment of the global pool (idempotent)."""
+    with _GLOBAL_LOCK:
+        if _GLOBAL_POOL is not None:
+            _GLOBAL_POOL.reset()
+
+
+def forget_after_fork() -> None:
+    """Forked-child hygiene: drop inherited registries, unlink nothing.
+
+    Called from the executor's ``os.register_at_fork`` hook (and registered
+    here as well for direct users of this module): the child forgets the
+    parent's segments and attachment cache so no code path in the child can
+    unlink memory the parent still serves queries from.
+    """
+    global _GLOBAL_POOL, _GLOBAL_LOCK
+    _GLOBAL_LOCK = threading.Lock()
+    if _GLOBAL_POOL is not None:
+        _GLOBAL_POOL.forget()
+        _GLOBAL_POOL = None
+    _ATTACHED.clear()
+
+
+atexit.register(reset_global_pool)
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=forget_after_fork)
+
+
+__all__ = [
+    "ATTACH_CACHE_LIMIT",
+    "SEGMENT_PREFIX",
+    "SegmentLease",
+    "SharedArrayPool",
+    "ShmArrayRef",
+    "attach_array",
+    "close_attachments",
+    "export_array",
+    "forget_after_fork",
+    "global_pool",
+    "reset_global_pool",
+]

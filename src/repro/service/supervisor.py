@@ -118,6 +118,14 @@ class ServiceConfig:
         Kernel compute dtype for each shard (``"float64"`` exact, or the
         ``"float32"`` fast path with exact fallback — byte-identical
         answers either way).
+    kernel_backend:
+        Kernel dispatch backend inside each shard worker (``"thread"``,
+        ``"process"``, or ``"serial"``; ``None`` defers to the worker's
+        ``REPRO_KERNEL_BACKEND`` environment).  Shard workers are
+        themselves pool processes, so a ``"process"`` shard resolves
+        nested kernel dispatch to the exact serial path rather than
+        forking grandchildren — the knob is harmless there and useful
+        when ``num_shards=1`` concentrates the kernels in one worker.
     index_budget_bytes:
         Resident byte budget of each shard session's index cache (the
         :class:`~repro.perf.advisor.IndexAdvisor` knob).  ``None`` defers
@@ -138,6 +146,7 @@ class ServiceConfig:
     seed: int = 0
     threads: Optional[int] = None
     dtype: Optional[str] = None
+    kernel_backend: Optional[str] = None
     index_budget_bytes: Optional[int] = None
 
 
@@ -331,6 +340,7 @@ class EclipseService:
         self._session_kwargs = {
             "threads": self.config.threads,
             "dtype": self.config.dtype,
+            "backend": self.config.kernel_backend,
             "index_budget_bytes": self.config.index_budget_bytes,
         }
         num_shards = self.config.num_shards

@@ -111,9 +111,9 @@ def recover_shard(
     logged and reported, never raised.
 
     ``session_kwargs`` carries the kernel-executor and advisor knobs
-    (``threads``/``dtype``/``index_budget_bytes``); a warm-loaded session
-    is reconfigured with them so the *service's* configuration wins over
-    whatever the snapshot was taken with.
+    (``threads``/``dtype``/``backend``/``index_budget_bytes``); a
+    warm-loaded session is reconfigured with them so the *service's*
+    configuration wins over whatever the snapshot was taken with.
     """
     session_kwargs = dict(session_kwargs or {})
     state: Optional[ShardState] = None

@@ -39,6 +39,7 @@ from repro.perf.blocking import (
     resolve_block_size,
 )
 from repro.perf.executor import (
+    ShmKernel,
     map_blocks,
     note_float32,
     parallel_block_size,
@@ -163,6 +164,31 @@ def _screen_block_f32(
     return block_rows - int(fallback.size), int(fallback.size)
 
 
+def _screen_chunk_shm(arrays, start: int, stop: int) -> None:
+    """Process-backend candidate block of the exact screen (same arithmetic)."""
+    _screen_block_exact(
+        arrays["cand"][start:stop],
+        arrays["csums"][start:stop],
+        arrays["dom"],
+        arrays["dsums"],
+        arrays["mask"][start:stop],
+    )
+
+
+def _screen_chunk_f32_shm(arrays, start: int, stop: int) -> tuple:
+    """Process-backend candidate block of the float32 screen."""
+    csums = arrays.get("csums")
+    return _screen_block_f32(
+        arrays["cand"][start:stop],
+        arrays["cand32"][start:stop],
+        arrays["dom"],
+        arrays["dom32"],
+        arrays["dsums"],
+        None if csums is None else csums[start:stop],
+        arrays["mask"][start:stop],
+    )
+
+
 def dominated_mask(
     candidates: np.ndarray,
     dominators: np.ndarray,
@@ -233,6 +259,11 @@ def dominated_mask(
     if count > 1:
         block = parallel_block_size(m, block, count)
 
+    # The broadcast scratch (m x k boolean comparisons over d coordinates)
+    # dwarfs the wire payload, so the process-backend gate measures the
+    # former: a compact candidate/dominator pair can still be worth a
+    # dispatch when the comparison volume is large.
+    work_hint = int(m) * int(k) * int(d)
     if use_f32:
         cand32 = candidates.astype(np.float32)
         dom32 = dominators.astype(np.float32)
@@ -248,7 +279,22 @@ def dominated_mask(
                 mask[start:stop],
             )
 
-        counts = map_blocks(worker, m, block, threads=count)
+        inputs = {
+            "cand": candidates,
+            "cand32": cand32,
+            "dom": dominators,
+            "dom32": dom32,
+            "dsums": dom_sums,
+        }
+        if cand_sums is not None:
+            inputs["csums"] = cand_sums
+        kernel = ShmKernel(
+            _screen_chunk_f32_shm,
+            inputs=inputs,
+            outputs={"mask": mask},
+            work_hint_bytes=work_hint,
+        )
+        counts = map_blocks(worker, m, block, threads=count, shm_kernel=kernel)
         note_float32(
             sum(c[0] for c in counts), sum(c[1] for c in counts)
         )
@@ -263,8 +309,28 @@ def dominated_mask(
                 mask[start:stop],
             )
 
-        map_blocks(worker, m, block, threads=count)
+        kernel = ShmKernel(
+            _screen_chunk_shm,
+            inputs={
+                "cand": candidates,
+                "csums": cand_sums,
+                "dom": dominators,
+                "dsums": dom_sums,
+            },
+            outputs={"mask": mask},
+            work_hint_bytes=work_hint,
+        )
+        map_blocks(worker, m, block, threads=count, shm_kernel=kernel)
     return mask
+
+
+def _dominates_chunk_shm(arrays, start: int, stop: int) -> None:
+    """Process-backend row chunk of :func:`dominates_matrix` (same split)."""
+    chunk = arrays["rows"][start:stop, None, :]
+    others = arrays["others"]
+    le = (chunk <= others[None, :, :]).all(axis=2)
+    lt = (chunk < others[None, :, :]).any(axis=2)
+    arrays["out"][start:stop] = le & lt
 
 
 def dominates_matrix(
@@ -299,7 +365,13 @@ def dominates_matrix(
         lt = (chunk < others[None, :, :]).any(axis=2)
         out[start:stop] = le & lt
 
-    map_blocks(worker, m, block, threads=count)
+    kernel = ShmKernel(
+        _dominates_chunk_shm,
+        inputs={"rows": rows, "others": others},
+        outputs={"out": out},
+        work_hint_bytes=int(m) * int(k) * int(d),
+    )
+    map_blocks(worker, m, block, threads=count, shm_kernel=kernel)
     return out
 
 

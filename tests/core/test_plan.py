@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.core import plan
 from repro.core.plan import (
     CostEstimate,
     canonical_method,
@@ -169,3 +171,87 @@ class TestExplain:
     def test_explain_singular_query(self):
         text = plan_query(100, 2, num_queries=1).explain()
         assert "1 ratio-range query" in text
+
+
+class TestBackendCalibration:
+    """PR 9: the per-backend dispatch-cost model in the planner.
+
+    The thread and serial arithmetic must reproduce the PR 7 model bit
+    for bit (``work`` is ignored there), and the process backend must
+    price its measured dispatch-overhead floor: tiny kernels stay serial,
+    large ones approach the ideal process scaling from below.
+    """
+
+    def test_thread_backend_reproduces_pr7_model_bitwise(self):
+        for threads in (1, 2, 4, 8, 16):
+            expected = (
+                1.0
+                if threads == 1
+                else 1.0 + plan.PARALLEL_EFFICIENCY * (threads - 1)
+            )
+            assert plan.parallel_speedup(threads) == expected
+            # `work` must not perturb the thread model at all.
+            for work in (None, 0.0, 1.0, 1e3, 1e9):
+                assert plan.parallel_speedup(
+                    threads, backend="thread", work=work
+                ) == expected
+
+    def test_serial_backend_is_always_one(self):
+        for threads in (1, 2, 8):
+            assert plan.parallel_speedup(threads, backend="serial") == 1.0
+            assert (
+                plan.parallel_speedup(threads, backend="serial", work=1e12)
+                == 1.0
+            )
+
+    def test_process_small_work_stays_serial(self):
+        below = plan.MIN_PROCESS_PARALLEL_OPS / 2
+        assert plan.parallel_speedup(8, backend="process", work=below) == 1.0
+
+    def test_process_large_work_approaches_ideal_from_below(self):
+        ideal = 1.0 + plan.PROCESS_EFFICIENCY * 7
+        moderate = plan.parallel_speedup(
+            8, backend="process", work=plan.MIN_PROCESS_PARALLEL_OPS * 2
+        )
+        huge = plan.parallel_speedup(8, backend="process", work=1e12)
+        assert 1.0 <= moderate < huge < ideal or np.isclose(huge, ideal)
+        # The floor monotonically hurts less as work grows.
+        assert moderate < huge
+
+    def test_process_without_work_prices_ideal(self):
+        assert plan.parallel_speedup(4, backend="process") == 1.0 + (
+            plan.PROCESS_EFFICIENCY * 3
+        )
+
+    def test_thread_estimates_unchanged_by_backend_param_default(self):
+        # method_cost_estimates(backend="thread") must be byte-identical
+        # to the PR 7 call without the parameter.
+        for threads in (1, 4):
+            base = plan.method_cost_estimates(50_000, 4, threads=threads)
+            explicit = plan.method_cost_estimates(
+                50_000, 4, threads=threads, backend="thread"
+            )
+            for a, b in zip(base, explicit):
+                assert a.method == b.method
+                assert a.build == b.build
+                assert a.per_query == b.per_query
+
+    def test_process_backend_prices_dispatch_floor_into_estimates(self):
+        threaded = plan.method_cost_estimates(
+            200_000, 4, threads=8, backend="thread"
+        )
+        processed = plan.method_cost_estimates(
+            200_000, 4, threads=8, backend="process"
+        )
+        # The process backend never beats the thread model's optimistic
+        # scaling in the planner's own units (its efficiency constant is
+        # lower and the floor only adds cost).
+        for a, b in zip(threaded, processed):
+            assert a.method == b.method
+            assert b.total(8) >= a.total(8)
+
+    def test_plan_query_accepts_backend_and_still_picks_a_method(self):
+        chosen = plan.plan_query(
+            100_000, 4, num_queries=16, threads=8, backend="process"
+        )
+        assert chosen.method in plan.METHOD_ALIASES.values()

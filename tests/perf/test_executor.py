@@ -17,14 +17,19 @@ import pytest
 from repro.perf.blocking import DEFAULT_MEMORY_CAP_BYTES, memory_cap_bytes
 from repro.perf.executor import (
     MAX_THREADS,
+    MIN_PROCESS_DISPATCH_BYTES,
+    VALID_BACKENDS,
+    ShmKernel,
     kernel_context,
     map_blocks,
     parallel_block_size,
     parallel_matmul,
+    resolve_backend,
     resolve_dtype,
     resolve_threads,
     run_tasks,
     split_memory_cap,
+    validate_backend,
     validate_dtype,
     validate_threads,
 )
@@ -93,6 +98,144 @@ class TestKnobResolution:
             worker.start()
             worker.join()
         assert seen["threads"] == 1
+
+
+class TestBackendResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "process")
+        with kernel_context(backend="serial"):
+            assert resolve_backend("thread") == "thread"
+
+    def test_context_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "serial")
+        with kernel_context(backend="process"):
+            assert resolve_backend() == "process"
+        assert resolve_backend() == "serial"
+
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        assert resolve_backend() == "thread"
+
+    def test_misconfigured_env_warns_and_uses_threads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "gpu")
+        with pytest.warns(RuntimeWarning, match="REPRO_KERNEL_BACKEND"):
+            assert resolve_backend() == "thread"
+
+    def test_in_worker_resolves_serial(self):
+        seen = []
+
+        def worker(i):
+            seen.append(resolve_backend())
+            return i
+
+        with kernel_context(threads=2, backend="process"):
+            run_tasks(worker, [(i,) for i in range(4)])
+        assert seen == ["serial"] * 4
+
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            validate_backend("gpu")
+        assert validate_backend(None) is None
+        for backend in VALID_BACKENDS:
+            assert validate_backend(backend) == backend
+
+
+def _square_block_shm(arrays, start, stop):
+    arrays["out"][start:stop] = arrays["a"][start:stop] ** 2
+
+
+class TestProcessDispatch:
+    def _kernel(self, a, out, hint=1 << 21):
+        return ShmKernel(
+            _square_block_shm,
+            inputs={"a": a},
+            outputs={"out": out},
+            work_hint_bytes=hint,
+        )
+
+    def test_process_backend_matches_serial(self):
+        rng = np.random.default_rng(21)
+        a = rng.normal(size=(1200, 40))
+        out = np.zeros_like(a)
+        tasks = [(i, min(i + 100, 1200)) for i in range(0, 1200, 100)]
+
+        def worker(start, stop):
+            out[start:stop] = a[start:stop] ** 2
+
+        with kernel_context(threads=2, backend="process"):
+            run_tasks(worker, tasks, shm_kernel=self._kernel(a, out))
+        assert np.array_equal(out, a**2)
+
+    def test_tiny_dispatch_stays_inline(self):
+        a = np.ones((8, 4))
+        out = np.zeros_like(a)
+        calls = []
+
+        def worker(start, stop):
+            calls.append(threading.current_thread().name)
+            out[start:stop] = a[start:stop] ** 2
+
+        kernel = self._kernel(a, out, hint=None)
+        assert kernel.dispatch_weight() < MIN_PROCESS_DISPATCH_BYTES
+        with kernel_context(threads=2, backend="process"):
+            run_tasks(worker, [(0, 4), (4, 8)], shm_kernel=kernel)
+        # The closure ran inline in the dispatching thread, not in a pool.
+        assert calls == [threading.current_thread().name] * 2
+        assert np.array_equal(out, a**2)
+
+    def test_missing_kernel_falls_back_to_threads(self):
+        with kernel_context(threads=2, backend="process"):
+            got = run_tasks(lambda i: i * 3, [(i,) for i in range(6)])
+        assert got == [i * 3 for i in range(6)]
+
+    def test_unpicklable_kernel_falls_back_inline(self):
+        a = np.ones((100, 50))
+        out = np.zeros_like(a)
+        bad = ShmKernel(
+            lambda arrays, start, stop: None,  # lambdas cannot pickle
+            inputs={"a": a},
+            outputs={"out": out},
+            work_hint_bytes=1 << 21,
+        )
+
+        def worker(start, stop):
+            out[start:stop] = a[start:stop] + 1
+
+        with kernel_context(threads=2, backend="process"):
+            run_tasks(worker, [(0, 50), (50, 100)], shm_kernel=bad)
+        assert np.array_equal(out, a + 1)
+
+    def test_process_telemetry_counted(self):
+        class Sink:
+            parallel_chunks = 0
+            threads_used = 1
+            process_dispatches = 0
+            process_chunks = 0
+            shm_peak_bytes = 0
+
+        sink = Sink()
+        a = np.ones((600, 300))
+        out = np.zeros_like(a)
+        tasks = [(0, 200), (200, 400), (400, 600)]
+
+        def worker(start, stop):
+            out[start:stop] = a[start:stop] ** 2
+
+        with kernel_context(threads=2, backend="process", stats=sink):
+            run_tasks(worker, tasks, shm_kernel=self._kernel(a, out))
+        assert sink.process_dispatches == 1
+        assert sink.process_chunks == 3
+        assert sink.shm_peak_bytes >= a.nbytes + out.nbytes
+        assert sink.threads_used == 2
+
+    def test_parallel_matmul_process_backend_byte_identical(self):
+        rng = np.random.default_rng(23)
+        a = rng.normal(size=(4000, 60))
+        b = rng.normal(size=(60, 40))
+        ref = a @ b
+        with kernel_context(threads=2, backend="process"):
+            got = parallel_matmul(a, b, min_rows=16)
+        assert np.array_equal(got, ref)
 
 
 class TestDispatch:

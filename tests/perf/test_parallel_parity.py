@@ -1,11 +1,12 @@
-"""Byte-identical parity of the parallel and float32 kernel paths.
+"""Byte-identical parity of the parallel, float32, and process kernel paths.
 
-The executor's whole contract is that ``threads`` and ``dtype`` are pure
-performance knobs: skylines, index answers, batch answers, and update
-streams must be byte-identical across every worker count and compute
-dtype, on every distribution — including datasets full of exact
-duplicates and single-attribute ties, which is where the float32 fast
-path must fall back to the exact float64 kernel.
+The executor's whole contract is that ``threads``, ``dtype``, and
+``backend`` are pure performance knobs: skylines, index answers, batch
+answers, and update streams must be byte-identical across every worker
+count, compute dtype, and dispatch backend (serial inline, shared thread
+pool, shared-memory process pool), on every distribution — including
+datasets full of exact duplicates and single-attribute ties, which is
+where the float32 fast path must fall back to the exact float64 kernel.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import pytest
 from repro.core.session import DatasetSession
 from repro.core.weights import RatioVector
 from repro.data.generators import generate_dataset
+from repro.perf import executor
 from repro.perf.executor import kernel_context
 from repro.skyline.api import skyline_indices
 from repro.skyline.kernels import block_sfs_indices, dominated_mask
@@ -23,6 +25,7 @@ from repro.skyline.kernels import block_sfs_indices, dominated_mask
 THREADS = (1, 2, 8)
 DTYPES = ("float64", "float32")
 BACKENDS = ("quadtree", "cutting")
+KERNEL_BACKENDS = ("serial", "thread", "process")
 
 
 def _tie_heavy(n: int, d: int, seed: int) -> np.ndarray:
@@ -44,31 +47,34 @@ DATASETS = [
 ]
 
 
+@pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
 @pytest.mark.parametrize("threads", THREADS)
 @pytest.mark.parametrize("dtype", DTYPES)
-def test_skyline_parity(threads, dtype):
+def test_skyline_parity(threads, dtype, kernel_backend):
     for data in DATASETS:
         ref = skyline_indices(data, method="auto")
-        with kernel_context(threads=threads, dtype=dtype):
+        with kernel_context(threads=threads, dtype=dtype, backend=kernel_backend):
             got = skyline_indices(data, method="auto")
         assert np.array_equal(ref, got)
 
 
+@pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
 @pytest.mark.parametrize("threads", THREADS)
 @pytest.mark.parametrize("dtype", DTYPES)
-def test_kernel_parity(threads, dtype):
+def test_kernel_parity(threads, dtype, kernel_backend):
     rng = np.random.default_rng(6)
     for data in DATASETS:
         k = min(60, data.shape[0] // 2)
         dominators = data[rng.choice(data.shape[0], size=k, replace=False)]
         ref_mask = dominated_mask(data, dominators)
         ref_sfs = block_sfs_indices(data)
-        got_mask = dominated_mask(
-            data, dominators, threads=threads, compute_dtype=dtype
-        )
-        got_sfs = block_sfs_indices(
-            data, threads=threads, compute_dtype=dtype
-        )
+        with kernel_context(backend=kernel_backend):
+            got_mask = dominated_mask(
+                data, dominators, threads=threads, compute_dtype=dtype
+            )
+            got_sfs = block_sfs_indices(
+                data, threads=threads, compute_dtype=dtype
+            )
         assert np.array_equal(ref_mask, got_mask)
         assert np.array_equal(ref_sfs, got_sfs)
 
@@ -89,23 +95,31 @@ def test_query_answer_parity_across_matrix(backend):
         ]
         for threads in THREADS:
             for dtype in DTYPES:
-                session = DatasetSession(data, threads=threads, dtype=dtype)
-                got = [
-                    r.indices for r in session.run_batch(specs, method=backend)
-                ]
-                got_tran = [
-                    r.indices
-                    for r in session.run_batch(specs, method="transform")
-                ]
-                for a, b in zip(ref, got):
-                    assert np.array_equal(a, b)
-                for a, b in zip(ref_tran, got_tran):
-                    assert np.array_equal(a, b)
+                for kernel_backend in KERNEL_BACKENDS:
+                    session = DatasetSession(
+                        data,
+                        threads=threads,
+                        dtype=dtype,
+                        backend=kernel_backend,
+                    )
+                    got = [
+                        r.indices
+                        for r in session.run_batch(specs, method=backend)
+                    ]
+                    got_tran = [
+                        r.indices
+                        for r in session.run_batch(specs, method="transform")
+                    ]
+                    for a, b in zip(ref, got):
+                        assert np.array_equal(a, b)
+                    for a, b in zip(ref_tran, got_tran):
+                        assert np.array_equal(a, b)
 
 
+@pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
 @pytest.mark.parametrize("threads", THREADS)
 @pytest.mark.parametrize("dtype", DTYPES)
-def test_update_stream_parity(threads, dtype):
+def test_update_stream_parity(threads, dtype, kernel_backend):
     data = generate_dataset("ANTI", 220, 3, seed=7)
     extra = generate_dataset("ANTI", 60, 3, seed=8)
     specs = [RatioVector.uniform(0.4, 2.0, 3)]
@@ -125,9 +139,38 @@ def test_update_stream_parity(threads, dtype):
         return answers
 
     ref = drive(DatasetSession(data))
-    got = drive(DatasetSession(data, threads=threads, dtype=dtype))
+    got = drive(
+        DatasetSession(data, threads=threads, dtype=dtype, backend=kernel_backend)
+    )
     for a, b in zip(ref, got):
         assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_process_backend_engages_and_stays_byte_identical(monkeypatch, dtype):
+    # The small parity datasets sit under the dispatch-overhead gate, so
+    # the matrix above proves parity of the *selection* logic.  This test
+    # removes the gate to force true cross-process execution and asserts
+    # (a) the process pool really ran — the telemetry counters move — and
+    # (b) the answers are still byte-identical to the serial session.
+    monkeypatch.setattr(executor, "MIN_PROCESS_DISPATCH_BYTES", 0)
+    data = generate_dataset("ANTI", 400, 3, seed=11)
+    specs = [
+        RatioVector.uniform(0.3, 2.4, 3),
+        RatioVector.uniform(0.6, 1.4, 3),
+    ]
+    ref_session = DatasetSession(data)
+    ref = [r.indices for r in ref_session.run_batch(specs, method="transform")]
+    ref_sky = ref_session.skyline()
+
+    session = DatasetSession(data, threads=2, dtype=dtype, backend="process")
+    got = [r.indices for r in session.run_batch(specs, method="transform")]
+    for a, b in zip(ref, got):
+        assert np.array_equal(a, b)
+    assert np.array_equal(ref_sky, session.skyline())
+    assert session.stats.process_dispatches > 0
+    assert session.stats.process_chunks >= session.stats.process_dispatches
+    assert session.stats.shm_peak_bytes > 0
 
 
 def test_float32_fallback_triggers_and_is_exact():
@@ -178,11 +221,47 @@ def test_float32_near_tie_rows_stay_exact():
 
 def test_snapshot_roundtrip_keeps_kernel_knobs(tmp_path):
     data = generate_dataset("INDE", 120, 3, seed=10)
-    session = DatasetSession(data, threads=4, dtype="float32")
+    session = DatasetSession(data, threads=4, dtype="float32", backend="process")
     session.skyline()
     path = str(tmp_path / "session.snap")
     session.save_snapshot(path)
     loaded, _ = DatasetSession.load_snapshot(path)
     assert loaded.threads == 4
     assert loaded.compute_dtype == "float32"
+    assert loaded.kernel_backend == "process"
     assert np.array_equal(loaded.skyline(), session.skyline())
+
+
+def test_warm_snapshot_restart_parity_across_backends(tmp_path):
+    # Snapshot a session mid-stream, restore it under every dispatch
+    # backend, continue the same update/query tail, and demand identical
+    # answers — the warm-restart analogue of the update-stream parity.
+    data = generate_dataset("ANTI", 200, 3, seed=12)
+    extra = generate_dataset("ANTI", 40, 3, seed=13)
+    specs = [RatioVector.uniform(0.4, 2.0, 3)]
+
+    seed_session = DatasetSession(data)
+    seed_session.run_batch(specs, method="cutting")
+    seed_session.apply_updates(inserts=extra[:20], deletes=np.arange(0, 30, 3))
+    path = str(tmp_path / "mid-stream.snap")
+    seed_session.save_snapshot(path)
+
+    def tail(session):
+        answers = [
+            r.indices for r in session.run_batch(specs, method="cutting")
+        ]
+        session.apply_updates(inserts=extra[20:], deletes=np.arange(2, 12))
+        answers.extend(
+            r.indices for r in session.run_batch(specs, method="cutting")
+        )
+        answers.append(session.skyline())
+        return answers
+
+    ref_session, _ = DatasetSession.load_snapshot(path)
+    ref = tail(ref_session)
+    for kernel_backend in KERNEL_BACKENDS:
+        session, _ = DatasetSession.load_snapshot(path)
+        session.configure_kernels(threads=2, backend=kernel_backend)
+        got = tail(session)
+        for a, b in zip(ref, got):
+            assert np.array_equal(a, b)

@@ -1,0 +1,223 @@
+"""Unit tests of the shared-memory segment pool (:mod:`repro.perf.shm`).
+
+The pool's contract: every segment it creates is tracked and unlinked on
+reset — no leaked ``/dev/shm`` entries; freed segments are recycled under
+the kernel memory cap; forked children forget the parent's segments
+instead of unlinking them; and a crashed pool worker never strands a
+segment (the dispatcher releases its leases and falls back inline).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.perf import shm
+from repro.perf.executor import (
+    ShmKernel,
+    kernel_context,
+    run_tasks,
+    shutdown_process_pools,
+)
+
+
+def _repro_shm_entries():
+    """Names of this package's segments currently present in ``/dev/shm``."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux fallback
+        return []
+    return [f for f in os.listdir(root) if f.startswith(shm.SEGMENT_PREFIX)]
+
+
+@pytest.fixture
+def pool():
+    p = shm.SharedArrayPool(memory_cap=1 << 20)
+    yield p
+    p.reset()
+
+
+class TestSharedArrayPool:
+    def test_acquire_release_recycles(self, pool):
+        lease = pool.acquire(4096)
+        name = lease.name
+        pool.release(lease)
+        again = pool.acquire(2048)  # best fit: the freed 4 KiB segment
+        assert again.name == name
+        assert pool.segments_created == 1
+        assert pool.segments_recycled == 1
+        pool.release(again)
+
+    def test_reset_unlinks_everything(self, pool):
+        before = set(_repro_shm_entries())
+        leases = [pool.acquire(8192) for _ in range(3)]
+        created = {lease.name for lease in leases}
+        assert created <= set(_repro_shm_entries())
+        for lease in leases:
+            pool.release(lease)
+        pool.reset()
+        assert pool.total_bytes == 0
+        after = set(_repro_shm_entries())
+        assert not (created & after)
+        assert after <= before
+
+    def test_retention_trimmed_to_memory_cap(self):
+        pool = shm.SharedArrayPool(memory_cap=10_000)
+        try:
+            leases = [pool.acquire(6_000) for _ in range(3)]
+            for lease in leases:
+                pool.release(lease)
+            # 18 KB free exceeds the 10 KB cap: the trim unlinks segments
+            # (largest first) until the retained bytes fit.
+            assert pool.free_bytes <= 10_000
+            assert pool.segments_unlinked >= 1
+        finally:
+            pool.reset()
+
+    def test_loaned_segments_never_trimmed(self):
+        pool = shm.SharedArrayPool(memory_cap=1)
+        try:
+            lease = pool.acquire(4096)
+            # The cap only bounds *retained* free segments; a loaned one
+            # stays alive however small the cap.
+            assert pool.loaned_bytes == lease.capacity
+            view = np.ndarray(4096, dtype=np.uint8, buffer=lease.shm.buf)
+            view[:] = 7
+            assert int(view.sum()) == 7 * 4096
+            pool.release(lease)
+            assert pool.free_bytes == 0  # trimmed on release under the cap
+        finally:
+            pool.reset()
+
+    def test_forget_drops_registry_without_unlinking(self, pool):
+        lease = pool.acquire(4096)
+        name = lease.name
+        pool.release(lease)
+        pool.forget()
+        # The segment is still in /dev/shm (a forked child must never
+        # unlink its parent's live segments) ...
+        assert name in _repro_shm_entries()
+        assert pool.total_bytes == 0
+        # ... so clean it up manually for this test.
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(name=name)
+        seg.close()
+        seg.unlink()
+
+    def test_export_attach_round_trip(self, pool):
+        array = np.arange(1000, dtype=np.float64).reshape(50, 20)
+        lease, view, ref = shm.export_array(pool, array)
+        try:
+            assert np.array_equal(view, array)
+            attached = shm.attach_array(ref)
+            assert attached.shape == array.shape
+            assert attached.dtype == array.dtype
+            assert np.array_equal(attached, array)
+            # Writes through the attached view land in the exported one —
+            # they share the segment.
+            attached[0, 0] = -1.0
+            assert view[0, 0] == -1.0
+        finally:
+            shm.close_attachments()
+            pool.release(lease)
+
+    def test_noncontiguous_input_exported_contiguously(self, pool):
+        base = np.arange(400, dtype=np.float64).reshape(20, 20)
+        strided = base[::2, ::2]
+        lease, view, ref = shm.export_array(pool, strided)
+        try:
+            assert view.flags["C_CONTIGUOUS"]
+            assert np.array_equal(view, strided)
+        finally:
+            pool.release(lease)
+
+
+class TestGlobalPoolLifecycle:
+    def test_global_pool_reset_leaves_no_dev_shm_entries(self):
+        pool = shm.global_pool()
+        lease = pool.acquire(4096)
+        pool.release(lease)
+        shm.reset_global_pool()
+        assert _repro_shm_entries() == []
+
+    def test_reset_after_process_dispatch_leaves_no_entries(self):
+        rng = np.random.default_rng(5)
+        a = rng.random((600, 300))
+        out = np.zeros_like(a)
+
+        kernel = ShmKernel(
+            _scale_block_shm,
+            inputs={"a": a},
+            outputs={"out": out},
+            work_hint_bytes=1 << 21,
+        )
+        with kernel_context(threads=2, backend="process"):
+            run_tasks(
+                lambda start, stop: _scale_block(a, out, start, stop),
+                [(0, 300), (300, 600)],
+                shm_kernel=kernel,
+            )
+        assert np.array_equal(out, a * 2.0)
+        shm.reset_global_pool()
+        assert _repro_shm_entries() == []
+
+
+def _scale_block(a, out, start, stop):
+    out[start:stop] = a[start:stop] * 2.0
+
+
+def _scale_block_shm(arrays, start, stop):
+    _scale_block(arrays["a"], arrays["out"], start, stop)
+
+
+def _crash_block_shm(arrays, start, stop):
+    os._exit(13)  # hard worker death — not an exception, a lost process
+
+
+class TestCrashRobustness:
+    def test_worker_crash_falls_back_inline_and_leaks_nothing(self):
+        rng = np.random.default_rng(6)
+        a = rng.random((400, 300))
+        out = np.zeros_like(a)
+        kernel = ShmKernel(
+            _crash_block_shm,
+            inputs={"a": a},
+            outputs={"out": out},
+            work_hint_bytes=1 << 21,
+        )
+        with kernel_context(threads=2, backend="process"):
+            with pytest.warns(RuntimeWarning, match="lost a worker"):
+                run_tasks(
+                    lambda start, stop: _scale_block(a, out, start, stop),
+                    [(0, 200), (200, 400)],
+                    shm_kernel=kernel,
+                )
+        # The inline rerun computed the exact answer ...
+        assert np.array_equal(out, a * 2.0)
+        # ... and the aborted dispatch stranded no segments: every lease
+        # went back to the pool, so a reset clears /dev/shm completely.
+        shm.reset_global_pool()
+        assert _repro_shm_entries() == []
+        # The next process dispatch rebuilds the pool and succeeds.
+        out2 = np.zeros_like(a)
+        kernel2 = ShmKernel(
+            _scale_block_shm,
+            inputs={"a": a},
+            outputs={"out": out2},
+            work_hint_bytes=1 << 21,
+        )
+        with kernel_context(threads=2, backend="process"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                run_tasks(
+                    lambda start, stop: _scale_block(a, out2, start, stop),
+                    [(0, 200), (200, 400)],
+                    shm_kernel=kernel2,
+                )
+        assert np.array_equal(out2, a * 2.0)
+        shutdown_process_pools()
+        shm.reset_global_pool()
+        assert _repro_shm_entries() == []

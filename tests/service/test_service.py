@@ -252,3 +252,108 @@ class TestValidationAndLifecycle:
         service.close()
         with pytest.raises(ServiceError):
             service.query(RatioVector.uniform(0.25, 2.0, 2))
+
+
+class TestProcessBackendShards:
+    """PR 9 regression: the process kernel backend composes with the service.
+
+    Shard workers are themselves pool processes; their post-fork hook must
+    drop the parent's executor pools and *forget* (never unlink) the
+    parent's shared segments, and nested kernel dispatch inside a shard
+    resolves to the exact serial path — so a ``kernel_backend="process"``
+    service answers byte-identically and leaks nothing into ``/dev/shm``.
+    """
+
+    def test_process_backend_shards_match_single_process(self):
+        import os as _os
+
+        from repro.perf import shm
+
+        data = generate_dataset("ANTI", 240, 3, seed=17)
+        config = ServiceConfig(
+            num_shards=2,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            snapshot_every=4,
+            kernel_backend="process",
+            threads=2,
+        )
+        reference = DatasetSession(data)
+        ref_gids = np.arange(data.shape[0], dtype=np.intp)
+        with EclipseService(data, config=config) as service:
+            _assert_matches_reference(service, reference, ref_gids, _specs(3))
+            inserts = np.random.default_rng(18).uniform(0.1, 0.9, size=(6, 3))
+            ack = service.apply_updates(inserts=inserts, delete_gids=ref_gids[:4])
+            reference.apply_updates(inserts=inserts, deletes=np.arange(4))
+            ref_gids = np.concatenate([ref_gids[4:], ack.insert_gids])
+            _assert_matches_reference(
+                service, reference, ref_gids, _specs(3, count=3, seed=19)
+            )
+        shm.reset_global_pool()
+        leftovers = [
+            f
+            for f in _os.listdir("/dev/shm")
+            if f.startswith(shm.SEGMENT_PREFIX)
+        ]
+        assert leftovers == []
+
+    def test_shard_fork_resets_executor_pools_and_segment_registry(self):
+        # The supervisor forks shard workers *after* the dispatching process
+        # may have touched pools and shared segments.  Simulate that order
+        # directly: warm the parent's pool registry, then verify the
+        # post-fork hook leaves a child with empty caches and a segment
+        # registry that forgets (but does not unlink) the parent's segment.
+        import os as _os
+
+        from repro.perf import executor, shm
+
+        pool = shm.global_pool()
+        lease = pool.acquire(4096)
+        name = lease.name
+        pool.release(lease)
+        assert pool.total_bytes > 0
+        pid = _os.fork()
+        if pid == 0:  # child
+            status = 0
+            try:
+                child_pool = shm.global_pool()
+                assert child_pool.total_bytes == 0
+                assert executor._POOLS == {}
+                assert executor._PROCESS_POOLS == {}
+                assert name in _os.listdir("/dev/shm")
+            except BaseException:
+                status = 1
+            finally:
+                _os._exit(status)
+        _, exit_status = _os.waitpid(pid, 0)
+        assert _os.waitstatus_to_exitcode(exit_status) == 0
+        # The parent's registry survived the fork untouched.
+        assert name in pool.segment_names()
+        shm.reset_global_pool()
+        assert name not in _os.listdir("/dev/shm")
+
+    def test_fault_injection_with_process_backend(self):
+        from repro.service.faults import FaultPlan, run_fault_injection
+
+        config = ServiceConfig(
+            num_shards=2,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            snapshot_every=4,
+            kernel_backend="process",
+        )
+        plan = FaultPlan(kill_every=6, drop_response_rate=0.1, seed=3)
+        report = run_fault_injection(
+            n=400,
+            steps=16,
+            update_fraction=0.3,
+            batch=3,
+            update_size=8,
+            plan=plan,
+            config=config,
+            seed=3,
+            verify=True,
+        )
+        assert report.ok
+        assert report.mismatches == 0
+        assert report.queries > 0 and report.update_batches > 0
