@@ -149,6 +149,7 @@ OUTPUT_PR6 = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 OUTPUT_PR7 = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
 OUTPUT_PR8 = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
 OUTPUT_PR9 = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+OUTPUT_PR10 = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
 
 
 # ----------------------------------------------------------------------
@@ -1806,6 +1807,145 @@ def run_backend_sweep_workload(
     }
 
 
+def run_net_workload(
+    workload: str,
+    n: int,
+    d: int,
+    steps: int,
+    update_fraction: float,
+    batch: int,
+    update_size: int,
+    num_shards: int,
+) -> dict:
+    """TCP round-trip overhead of the network front end vs the in-process API.
+
+    Two identical sharded services replay the same seeded mixed stream —
+    one driven through :class:`EclipseService` directly, the other through
+    ``EclipseClient`` -> TCP -> ``EclipseNetServer`` on loopback.  Every
+    answer pair (query gids + points, update acks) is byte-compared, so
+    the overhead ratio is measured on provably identical work: the delta
+    is pure wire cost (framing, pickling, loopback round trips, the
+    asyncio hop into the worker thread pool).
+    """
+    from repro.service.netclient import ClientConfig, EclipseClient
+    from repro.service.netserver import NetServerConfig, start_in_thread
+    from repro.service.supervisor import EclipseService, ServiceConfig
+
+    data = generate_dataset(DISTRIBUTION, n, d, seed=0)
+    lows, highs = data.min(axis=0), data.max(axis=0)
+    config = ServiceConfig(num_shards=num_shards)
+
+    def drive(call_query, call_update):
+        """Replay the seeded stream; returns (answers, ops) for parity."""
+        rng = np.random.default_rng(47)
+        gid_pool = np.arange(n, dtype=np.int64)
+        answers = []
+        queries = update_batches = 0
+        for _ in range(steps):
+            if rng.uniform() < update_fraction:
+                half = max(1, update_size // 2)
+                inserts = lows + rng.uniform(size=(half, d)) * (highs - lows)
+                num_deletes = int(min(half, gid_pool.size - 1))
+                deletes = rng.choice(
+                    gid_pool, size=num_deletes, replace=False
+                )
+                ack = call_update(inserts, deletes)
+                insert_gids = np.asarray(ack.insert_gids, dtype=np.int64)
+                gid_pool = np.concatenate(
+                    [np.setdiff1d(gid_pool, deletes), insert_gids]
+                )
+                answers.append(
+                    (
+                        "update",
+                        int(ack.seq),
+                        insert_gids.tobytes(),
+                        int(ack.rows_deleted),
+                    )
+                )
+                update_batches += 1
+            else:
+                for res in call_query(_stream_specs(rng, batch, d)):
+                    answers.append(
+                        (
+                            "query",
+                            np.asarray(res.gids).tobytes(),
+                            np.asarray(res.points).tobytes(),
+                        )
+                    )
+                queries += batch
+        return answers, queries, update_batches
+
+    inproc = EclipseService(data, config=config)
+    try:
+        start = time.perf_counter()
+        inproc_answers, queries, update_batches = drive(
+            inproc.query_batch,
+            lambda ins, dels: inproc.apply_updates(
+                inserts=ins, delete_gids=dels
+            ),
+        )
+        inproc_seconds = time.perf_counter() - start
+    finally:
+        inproc.close()
+
+    served = EclipseService(data, config=config)
+    handle = start_in_thread(
+        served, NetServerConfig(port=0, max_connections=8)
+    )
+    try:
+        client = EclipseClient(
+            handle.host,
+            handle.port,
+            ClientConfig(response_timeout=max(60.0, config.deadline)),
+        )
+        try:
+            start = time.perf_counter()
+            tcp_answers, _, _ = drive(
+                client.query_batch,
+                lambda ins, dels: client.apply_updates(
+                    inserts=ins, delete_gids=dels
+                ),
+            )
+            tcp_seconds = time.perf_counter() - start
+        finally:
+            client.close()
+    finally:
+        handle.shutdown()
+        served.close()
+
+    identical = inproc_answers == tcp_answers
+    requests = queries // batch + update_batches if batch else update_batches
+    entry = {
+        "workload": workload,
+        "n": n,
+        "d": d,
+        "distribution": DISTRIBUTION.upper(),
+        "steps": steps,
+        "num_shards": num_shards,
+        "queries": queries,
+        "update_batches": update_batches,
+        "answers_identical": identical,
+        "inproc_seconds": inproc_seconds,
+        "tcp_seconds": tcp_seconds,
+        "tcp_overhead_ratio": (
+            tcp_seconds / inproc_seconds if inproc_seconds > 0 else float("inf")
+        ),
+        "tcp_ms_per_request": (
+            1e3 * (tcp_seconds - inproc_seconds) / requests
+            if requests
+            else 0.0
+        ),
+    }
+    print(
+        f"{workload:<26} n={n:>6} d={d} steps={steps:>4} shards={num_shards}  "
+        f"inproc={inproc_seconds:8.3f}s  tcp={tcp_seconds:8.3f}s  "
+        f"ratio={entry['tcp_overhead_ratio']:5.2f}x  "
+        f"wire={entry['tcp_ms_per_request']:6.2f}ms/req  "
+        f"identical={identical}"
+    )
+    return entry
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -1913,6 +2053,12 @@ def main(argv: List[str] | None = None) -> int:
         default=OUTPUT_PR9,
         help=f"where to write the PR 9 JSON results (default: {OUTPUT_PR9})",
     )
+    parser.add_argument(
+        "--output-pr10",
+        type=Path,
+        default=OUTPUT_PR10,
+        help=f"where to write the PR 10 JSON results (default: {OUTPUT_PR10})",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -1946,6 +2092,8 @@ def main(argv: List[str] | None = None) -> int:
         backend_sweep = [
             (50_000, 3, 20, ("serial", "thread", "process"), (1, 2)),
         ]
+        # (n, d, steps, update_fraction, batch, update_size, shards)
+        net_sweep = [(5_000, 3, 30, 0.3, 4, 16, 2)]
         repeats = 1
     else:
         transform_sweep = [2_000, 10_000, 50_000, 100_000]
@@ -2007,6 +2155,11 @@ def main(argv: List[str] | None = None) -> int:
         backend_sweep = [
             (50_000, 3, 50, ("serial", "thread", "process"), (1, 2, 4)),
             (100_000, 3, 30, ("serial", "thread", "process"), (1, 2)),
+        ]
+        # (n, d, steps, update_fraction, batch, update_size, shards)
+        net_sweep = [
+            (5_000, 3, 60, 0.3, 4, 16, 2),
+            (20_000, 3, 60, 0.3, 8, 16, 4),
         ]
         repeats = 3
 
@@ -2576,6 +2729,53 @@ def main(argv: List[str] | None = None) -> int:
     args.output_pr9.write_text(json.dumps(pr9_payload, indent=2) + "\n")
     print(f"\nwrote {args.output_pr9}")
 
+    # ------------------------------------------------------------------
+    # PR 10: async TCP front end
+    # ------------------------------------------------------------------
+    pr10_entries = []
+    for n, d, steps, update_fraction, batch, update_size, shards in net_sweep:
+        pr10_entries.append(
+            run_net_workload(
+                f"net_front_end[n={n}]",
+                n,
+                d,
+                steps,
+                update_fraction,
+                batch,
+                update_size,
+                shards,
+            )
+        )
+
+    pr10_acceptance = {
+        "tcp_overhead_ratio_max": max(
+            e["tcp_overhead_ratio"] for e in pr10_entries
+        ),
+        "tcp_ms_per_request_max": max(
+            e["tcp_ms_per_request"] for e in pr10_entries
+        ),
+        "all_identical": all(e["answers_identical"] for e in pr10_entries),
+    }
+    pr10_payload = {
+        "pr": 10,
+        "description": (
+            "Async TCP front end: the same seeded mixed stream is replayed "
+            "against two identical sharded services, one through the "
+            "in-process EclipseService API and one through EclipseClient "
+            "-> TCP -> EclipseNetServer on loopback.  The ratio is the "
+            "pure wire cost of the network layer (framing, pickling, "
+            "loopback round trips); the hard gate is byte-identical "
+            "answers between the two sides for every query result and "
+            "update acknowledgement."
+        ),
+        "generated_unix_time": time.time(),
+        "fast_mode": bool(args.fast),
+        "acceptance": pr10_acceptance,
+        "results": pr10_entries,
+    }
+    args.output_pr10.write_text(json.dumps(pr10_payload, indent=2) + "\n")
+    print(f"\nwrote {args.output_pr10}")
+
     print(
         f"acceptance PR1: transform {acceptance['transform_speedup_at_50k']:.1f}x "
         f"(target >= 10x), baseline {acceptance['baseline_speedup_at_5k']:.1f}x "
@@ -2653,6 +2853,13 @@ def main(argv: List[str] | None = None) -> int:
         f"{pr9_acceptance['cpu_count']}-core host, "
         f"identical={pr9_acceptance['all_identical']}"
     )
+    print(
+        f"acceptance PR10: TCP front end at "
+        f"{pr10_acceptance['tcp_overhead_ratio_max']:.2f}x the in-process "
+        f"wall time (wire cost "
+        f"{pr10_acceptance['tcp_ms_per_request_max']:.2f}ms/request max), "
+        f"identical={pr10_acceptance['all_identical']}"
+    )
     ok = (
         acceptance["transform_speedup_at_50k"] >= 10
         and acceptance["baseline_speedup_at_5k"] >= 5
@@ -2683,6 +2890,10 @@ def main(argv: List[str] | None = None) -> int:
         # and a dispatch gate that provably let work cross the boundary.
         and pr9_acceptance["process_backend_engaged"]
         and pr9_acceptance["all_identical"]
+        # TCP overhead is workload-dependent (bigger batches amortise the
+        # wire cost), so the hard gate is byte parity between the wire
+        # path and the in-process path on the full mixed stream.
+        and pr10_acceptance["all_identical"]
     )
     return 0 if ok else 1
 

@@ -26,6 +26,18 @@ Six subcommands cover the typical workflows:
     fault-injection harness (worker kills, dropped responses, snapshot
     corruption) and every answer is verified byte-identical against a
     single-process reference session unless ``--no-verify`` is given.
+    With ``--listen``/``--port`` the command instead serves the framed TCP
+    protocol of :mod:`repro.service.netserver` until SIGTERM/SIGINT, then
+    drains gracefully (finish in-flight requests, snapshot, exit 0).  The
+    default bind address comes from ``REPRO_SERVICE_LISTEN``.
+
+``client``
+    Talk to a running TCP server: one-shot queries, admin probes
+    (``--ping``/``--health``/``--stats``), or a seeded verified workload
+    (``--workload``).  ``--spawn-server`` brings up a server subprocess
+    first; ``--chaos`` routes the traffic through the deterministic
+    chaos proxy and ``--kill-server-every`` SIGKILLs + recovers the
+    spawned server on a schedule — answers must stay byte-identical.
 
 ``generate``
     Write a synthetic dataset (INDE/CORR/ANTI/NBA/worst-case) to a CSV file.
@@ -382,10 +394,131 @@ def _parse_inject(text: str):
     )
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.faults import FaultPlan, run_fault_injection
+def _service_config(args: argparse.Namespace):
     from repro.service.supervisor import ServiceConfig
 
+    return ServiceConfig(
+        num_shards=args.shards,
+        deadline=args.deadline,
+        max_retries=args.retries,
+        snapshot_every=args.snapshot_every,
+        overload_threshold=args.overload_threshold,
+        method=args.method,
+        seed=args.seed,
+        threads=args.threads,
+        dtype=args.dtype,
+        kernel_backend=args.kernel_backend,
+        index_budget_bytes=_index_budget_bytes(args),
+    )
+
+
+def _cmd_serve_network(args: argparse.Namespace) -> int:
+    """Serve the framed TCP protocol until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import signal
+
+    from repro.service.faults import FaultInjector
+    from repro.service.netserver import (
+        EclipseNetServer,
+        NetServerConfig,
+        resolve_listen,
+    )
+    from repro.service.supervisor import EclipseService
+
+    problem = _validate_data_args(args) or _validate_index_budget_arg(args)
+    if problem:
+        return _bad_args(problem)
+    if args.shards < 1:
+        return _bad_args(f"--shards must be positive, got {args.shards}")
+    if args.max_connections < 1:
+        return _bad_args(
+            f"--max-connections must be positive, got {args.max_connections}"
+        )
+    if args.recover and not args.snapshot_dir:
+        return _bad_args(
+            "--recover replays write-ahead logs from a previous run; it "
+            "needs the same --snapshot-dir that run used"
+        )
+    try:
+        plan = _parse_inject(args.inject) if args.inject else None
+    except ValueError as exc:
+        return _bad_args(str(exc))
+    host, port = resolve_listen(args.listen or None, args.port)
+    data = _make_data(args)
+    if data.size == 0:
+        print("the dataset is empty", file=sys.stderr)
+        return 1
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan)
+    try:
+        service = EclipseService(
+            data,
+            config=_service_config(args),
+            snapshot_dir=args.snapshot_dir,
+            injector=injector,
+            recover=args.recover,
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    server = EclipseNetServer(
+        service,
+        NetServerConfig(
+            host=host,
+            port=port,
+            max_connections=args.max_connections,
+            drain_timeout=args.drain_timeout,
+        ),
+    )
+
+    async def _run() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await server.start()
+        except OSError as exc:
+            print(
+                f"cannot listen on {host}:{port}: {exc}", file=sys.stderr
+            )
+            return 2
+        print(
+            f"# serving {args.shards} shards of n={data.shape[0]} on "
+            f"{server.host}:{server.port} (pid {__import__('os').getpid()}); "
+            f"SIGTERM drains",
+            flush=True,
+        )
+        await stop.wait()
+        print("# draining: finishing in-flight requests ...", flush=True)
+        await server.drain()
+        return 0
+
+    try:
+        code = asyncio.run(_run())
+    finally:
+        service.close()
+    if code == 0:
+        stats = server.stats
+        print(
+            f"# drained cleanly: {stats.requests_served} requests "
+            f"({stats.queries_served} queries, {stats.updates_served} "
+            f"update batches) over {stats.connections_accepted} connections, "
+            f"{stats.connections_shed} shed, {stats.frames_rejected} bad "
+            f"frames rejected"
+        )
+    return code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.faults import FaultPlan, run_fault_injection
+
+    if args.listen is not None or args.port is not None or args.recover:
+        return _cmd_serve_network(args)
     problem = (
         _validate_data_args(args)
         or _validate_workload_args(args)
@@ -403,19 +536,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if data.size == 0:
         print("the dataset is empty", file=sys.stderr)
         return 1
-    config = ServiceConfig(
-        num_shards=args.shards,
-        deadline=args.deadline,
-        max_retries=args.retries,
-        snapshot_every=args.snapshot_every,
-        overload_threshold=args.overload_threshold,
-        method=args.method,
-        seed=args.seed,
-        threads=args.threads,
-        dtype=args.dtype,
-        kernel_backend=args.kernel_backend,
-        index_budget_bytes=_index_budget_bytes(args),
-    )
+    config = _service_config(args)
     try:
         report = run_fault_injection(
             data=data,
@@ -470,6 +591,154 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for example in report.examples:
         print(f"#   {example}", file=sys.stderr)
     return 1
+
+
+def _print_net_report(args: argparse.Namespace, report) -> int:
+    print(
+        f"# client workload: {report.steps} steps -> {report.queries} "
+        f"queries, {report.update_batches} update batches, "
+        f"{report.server_restarts} server SIGKILL+recover cycles"
+    )
+    cs = report.client_stats
+    print(
+        f"# client: requests={cs['requests']} resends={cs['resends']} "
+        f"reconnects={cs['reconnects']} timeouts={cs['timeouts']} "
+        f"frame_errors={cs['frame_errors']} busy={cs['busy_rejections']}"
+    )
+    if report.proxy_stats:
+        print(
+            "# chaos proxy: "
+            + " ".join(
+                f"{k}={v}" for k, v in sorted(report.proxy_stats.items())
+            )
+        )
+    if report.drain_clean is not None:
+        print(
+            "# drain: clean (exit 0)"
+            if report.drain_clean
+            else "# drain: FAILED (non-zero server exit)"
+        )
+    if args.no_verify:
+        print("# verification: skipped (--no-verify)")
+        return 0 if report.drain_clean is not False else 1
+    if report.mismatches == 0:
+        print("# verification: every answer byte-identical to the reference")
+    else:
+        print(
+            f"# verification FAILED: {report.mismatches} mismatching answers",
+            file=sys.stderr,
+        )
+        for example in report.examples:
+            print(f"#   {example}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.netclient import ClientConfig, EclipseClient
+    from repro.service.netfaults import (
+        parse_net_plan,
+        run_net_fault_injection,
+    )
+    from repro.service.netserver import resolve_listen
+
+    host, port = resolve_listen(args.host, args.port)
+    if args.kill_server_every and not args.spawn_server:
+        return _bad_args(
+            "--kill-server-every SIGKILLs the spawned server; it needs "
+            "--spawn-server"
+        )
+    harness = bool(
+        args.workload
+        or args.spawn_server
+        or args.chaos
+        or args.kill_server_every
+    )
+    if harness:
+        problem = (
+            _validate_data_args(args)
+            or _validate_workload_args(args)
+            or _validate_index_budget_arg(args)
+        )
+        if problem:
+            return _bad_args(problem)
+        if args.shards < 1:
+            return _bad_args(f"--shards must be positive, got {args.shards}")
+        try:
+            net_plan = parse_net_plan(args.chaos) if args.chaos else None
+            plan = _parse_inject(args.inject) if args.inject else None
+        except ValueError as exc:
+            return _bad_args(str(exc))
+        snapshot_dir = args.snapshot_dir
+        cleanup_dir = None
+        if args.spawn_server and snapshot_dir is None:
+            import tempfile
+
+            snapshot_dir = cleanup_dir = tempfile.mkdtemp(
+                prefix="repro-net-harness-"
+            )
+        try:
+            report = run_net_fault_injection(
+                dataset=args.dataset,
+                n=args.n,
+                dimensions=args.dimensions,
+                steps=args.steps,
+                update_fraction=args.update_fraction,
+                batch=args.batch,
+                update_size=args.update_size,
+                net_plan=net_plan,
+                plan=plan,
+                config=_service_config(args),
+                kill_server_every=args.kill_server_every,
+                seed=args.seed,
+                verify=not args.no_verify,
+                server="subprocess" if args.spawn_server else "external",
+                host=host,
+                port=port,
+                snapshot_dir=snapshot_dir,
+            )
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        finally:
+            if cleanup_dir is not None:
+                import shutil
+
+                shutil.rmtree(cleanup_dir, ignore_errors=True)
+        return _print_net_report(args, report)
+
+    config = ClientConfig(
+        response_timeout=args.timeout,
+        max_retries=args.retries,
+        seed=args.seed,
+    )
+    try:
+        with EclipseClient(host, port, config) as client:
+            if args.ping:
+                for info in client.ping():
+                    print(info)
+                return 0
+            if args.health:
+                print(client.health())
+                return 0
+            if args.stats:
+                print(client.server_stats())
+                return 0
+            ratios = RatioVector.uniform(
+                args.low, args.high, args.dimensions
+            )
+            result = client.query(ratios, deadline=args.deadline)
+            print(
+                f"# eclipse query method={result.method} low={args.low} "
+                f"high={args.high} seq={result.seq} via {host}:{port}"
+            )
+            print(f"# {len(result.gids)} points returned")
+            for gid, point in zip(result.gids, result.points):
+                rendered = ", ".join(f"{value:.4f}" for value in point)
+                print(f"{int(gid)}: [{rendered}]")
+            return 0
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -715,7 +984,190 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the byte-identical comparison against a single-process "
         "reference session",
     )
+    serve.add_argument(
+        "--listen",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="HOST",
+        help="serve the framed TCP protocol on this address instead of "
+        "replaying a local workload (bare --listen resolves "
+        "REPRO_SERVICE_LISTEN, then 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--bind-port",
+        "--port",
+        dest="port",
+        type=int,
+        default=None,
+        help="TCP port to serve on (0 = ephemeral; default: "
+        "REPRO_SERVICE_LISTEN, then 7431)",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="durable directory for per-shard snapshots and write-ahead "
+        "logs (network mode; required for --recover)",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="recover a previous network server's state from "
+        "--snapshot-dir before serving (WAL replay + lagging-shard "
+        "repair + acknowledgement-cache rebuild)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="served-connection cap; further connections are shed with a "
+        "BUSY frame at accept time (network mode)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds the graceful drain waits for in-flight requests "
+        "(network mode)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client",
+        help="talk to a running TCP server (queries, probes, or a "
+        "verified chaos workload)",
+    )
+    add_data_arguments(client)
+    add_kernel_arguments(client)
+    client.add_argument(
+        "--host",
+        default=None,
+        help="server host (default: REPRO_SERVICE_LISTEN, then 127.0.0.1)",
+    )
+    client.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="server port (default: REPRO_SERVICE_LISTEN, then 7431)",
+    )
+    client.add_argument(
+        "--low", type=float, default=0.36, help="lower ratio bound"
+    )
+    client.add_argument(
+        "--high", type=float, default=2.75, help="upper ratio bound"
+    )
+    client.add_argument(
+        "--method",
+        default="auto",
+        help="algorithm: auto, baseline, transform, quad, cutting",
+    )
+    client.add_argument(
+        "--ping", action="store_true", help="print per-shard heartbeats"
+    )
+    client.add_argument(
+        "--health", action="store_true", help="print server liveness"
+    )
+    client.add_argument(
+        "--stats", action="store_true", help="print service+server counters"
+    )
+    client.add_argument(
+        "--workload",
+        action="store_true",
+        help="replay a seeded mixed workload against the server and verify "
+        "every answer byte-identical to a local reference",
+    )
+    client.add_argument(
+        "--steps", type=int, default=20, help="workload steps"
+    )
+    client.add_argument(
+        "--update-fraction",
+        type=float,
+        default=0.3,
+        help="probability that a workload step is an update batch",
+    )
+    client.add_argument(
+        "--batch", type=int, default=4, help="queries per query step"
+    )
+    client.add_argument(
+        "--update-size",
+        type=int,
+        default=16,
+        help="points touched per update batch (half inserts, half deletes)",
+    )
+    client.add_argument(
+        "--spawn-server",
+        action="store_true",
+        help="spawn a `serve --listen` subprocess to run the workload "
+        "against (drained with SIGTERM at the end; exit code checked)",
+    )
+    client.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="route traffic through the chaos proxy; comma-separated "
+        "key=value of delay, delay_every, drop_every, duplicate_every, "
+        "bitflip_every, truncate_every, kill_conn_every, direction, seed",
+    )
+    client.add_argument(
+        "--kill-server-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="SIGKILL the spawned server mid-request on every K-th "
+        "workload step, then restart it with --recover (0 = never)",
+    )
+    client.add_argument(
+        "--inject",
+        help="worker-level fault spec forwarded to the spawned server "
+        "(same keys as serve --inject)",
+    )
+    client.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="snapshot/WAL directory of the spawned server (default: a "
+        "temporary directory)",
+    )
+    client.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker processes of the spawned server",
+    )
+    client.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds",
+    )
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=8,
+        help="client reconnect/resend retry budget",
+    )
+    client.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for one response before resending",
+    )
+    client.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help="spawned server's auto-snapshot interval (0 = off)",
+    )
+    client.add_argument(
+        "--overload-threshold",
+        type=int,
+        default=0,
+        help="spawned server's query-window degradation threshold (0 = never)",
+    )
+    client.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the byte-identical workload verification",
+    )
+    client.set_defaults(func=_cmd_client)
 
     generate = subparsers.add_parser("generate", help="write a synthetic dataset")
     add_data_arguments(generate)

@@ -76,6 +76,38 @@ class SnapshotError(ServiceError):
     """
 
 
+class FrameError(ServiceError):
+    """Raised when a wire frame of the network front end cannot be trusted.
+
+    ``recoverable`` distinguishes damage the connection can survive (an
+    intact header with a bad payload — the stream re-synchronises at the
+    next frame) from damage that desynchronises the stream entirely (bad
+    magic, unknown protocol version), after which the connection must be
+    closed.  ``kind`` carries the frame kind when the header yielded one.
+    """
+
+    def __init__(self, message: str, recoverable: bool = False, kind=None):
+        super().__init__(message)
+        self.recoverable = bool(recoverable)
+        self.kind = kind
+
+
+class ConnectionLostError(ServiceError):
+    """Raised by the network client when a server connection died mid-use.
+
+    The client retries transparently (reconnect + idempotent resend); this
+    escapes to the caller only once the retry budget is spent.
+    """
+
+
+class ServerBusyError(ServiceError):
+    """Raised when the server shed the connection (at capacity or draining).
+
+    The client treats this as retryable with backoff; it escapes to the
+    caller only once the retry budget is spent.
+    """
+
+
 class DeadlineExceededError(ServiceError):
     """Raised when a service request missed its per-request deadline.
 

@@ -26,16 +26,64 @@ The package is layered bottom-up:
     (heartbeats, crash detection, automatic respawn from the latest
     snapshot + WAL tail), enforces per-request deadlines with bounded
     exponential-backoff retries, and sheds to the transform path under
-    overload or repeated index failure.
+    overload or repeated index failure.  ``recover=True`` rebuilds a whole
+    service (sequence counter, global-id allocator, client-acknowledgement
+    cache, lagging shards) from the write-ahead logs of a previous process.
 
 ``faults``
     Deterministic fault-injection harness: kills workers mid-batch, drops
     and delays responses, corrupts snapshot files, and replays a mixed
     workload against a single-process reference session asserting
     byte-identical answers throughout.
+
+``framing``
+    Length-prefixed, CRC-framed wire protocol of the network front end;
+    recoverable (bad payload) vs unrecoverable (bad header) damage is
+    distinguished so servers reject bad frames without dropping the
+    connection loop.
+
+``netserver``
+    Asyncio TCP server over :class:`EclipseService`: bounded-queue read
+    backpressure, ``drain()``-based write backpressure, accept-time
+    connection shedding, per-request deadline propagation, health and
+    readiness probes, and graceful drain on shutdown.
+
+``netclient``
+    Synchronous TCP client mirroring the service API, with seeded
+    exponential-backoff reconnect and exactly-once updates keyed by
+    ``(client_id, client_seq)``.
+
+``netfaults``
+    Network-level fault injection: a deterministic frame-mangling chaos
+    proxy (delay / drop / duplicate / bit-flip / truncate / reset) and an
+    end-to-end harness that replays a verified workload through client →
+    proxy → server → service, including SIGKILL + ``--recover`` cycles of
+    the whole server process.
 """
 
 from repro.service.faults import FaultInjector, FaultPlan, run_fault_injection
+from repro.service.framing import (
+    FrameDecoder,
+    RawFrameSplitter,
+    decode_payload,
+    encode_frame,
+)
+from repro.service.netclient import ClientConfig, ClientStats, EclipseClient
+from repro.service.netfaults import (
+    ChaosProxy,
+    NetFaultPlan,
+    NetFaultReport,
+    parse_net_plan,
+    run_net_fault_injection,
+)
+from repro.service.netserver import (
+    EclipseNetServer,
+    NetServerConfig,
+    NetServerHandle,
+    NetServerStats,
+    resolve_listen,
+    start_in_thread,
+)
 from repro.service.snapshot import read_payload, write_payload
 from repro.service.supervisor import (
     EclipseService,
@@ -45,13 +93,31 @@ from repro.service.supervisor import (
 from repro.service.wal import WriteAheadLog
 
 __all__ = [
+    "ChaosProxy",
+    "ClientConfig",
+    "ClientStats",
+    "EclipseClient",
+    "EclipseNetServer",
     "EclipseService",
     "FaultInjector",
     "FaultPlan",
+    "FrameDecoder",
+    "NetFaultPlan",
+    "NetFaultReport",
+    "NetServerConfig",
+    "NetServerHandle",
+    "NetServerStats",
+    "RawFrameSplitter",
     "ServiceConfig",
     "ServiceStats",
     "WriteAheadLog",
+    "decode_payload",
+    "encode_frame",
+    "parse_net_plan",
     "read_payload",
+    "resolve_listen",
     "run_fault_injection",
+    "run_net_fault_injection",
+    "start_in_thread",
     "write_payload",
 ]

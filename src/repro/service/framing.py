@@ -1,0 +1,284 @@
+"""Length-prefixed, CRC-framed wire protocol of the network front end.
+
+Every message on a service TCP connection is one *frame*::
+
+    offset  size  field
+    0       4     magic  b"RPNF"
+    4       2     protocol version  (little-endian uint16; currently 1)
+    6       2     frame kind        (little-endian uint16; see the constants)
+    8       8     payload length    (little-endian uint64)
+    16      4     CRC-32 of the payload bytes
+    20      ...   payload (pickled object)
+
+The header is fixed-size and self-describing, so a receiver always knows
+how many bytes the current frame still needs — partial reads ("torn"
+frames) are simply buffered until the rest arrives, and a frame that never
+completes is detected by the connection closing mid-frame, not by a parser
+losing sync.
+
+Damage is classified into two severities, and the distinction is what lets
+a server reject bad frames *without* killing the connection loop:
+
+* **Recoverable** (:attr:`FrameError.recoverable` is true): the header was
+  intact, so the payload length is trusted and the decoder knows exactly
+  where the next frame starts.  Covers CRC mismatches, undecodable
+  payloads, and frames whose declared length exceeds ``max_frame_bytes``
+  (the payload is skipped without being buffered).  The connection can keep
+  serving subsequent frames.
+
+* **Unrecoverable**: the header itself cannot be trusted — bad magic or an
+  unknown protocol version.  Nothing downstream can be framed reliably, so
+  the connection must be closed (the *listener* stays up either way).
+
+The payload codec is :mod:`pickle` — the same codec the service already
+uses for its write-ahead log and snapshots.  The framing (and the server
+built on it) therefore assumes a *trusted* network boundary, exactly like
+the in-process API it replaces; it is an operational front end, not an
+exposure-hardened public protocol.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Iterator, Optional, Tuple
+from zlib import crc32
+
+from repro.errors import FrameError
+
+PROTOCOL_VERSION = 1
+
+FRAME_MAGIC = b"RPNF"
+FRAME_HEADER = struct.Struct("<4sHHQI")
+
+#: Default ceiling on a single frame's payload (64 MiB).  Large enough for
+#: bulk update batches; small enough that a corrupt length field cannot
+#: make a receiver buffer unbounded garbage.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# ----------------------------------------------------------------------
+# Frame kinds.  Requests travel client -> server, responses the other way;
+# the kind lives in the fixed header so a receiver can route a frame
+# before touching (or trusting) the payload.
+# ----------------------------------------------------------------------
+KIND_QUERY = 1       # request: a batch of ratio-range queries
+KIND_UPDATE = 2      # request: one durable update batch (idempotent)
+KIND_PING = 3        # request: per-shard heartbeat through the service
+KIND_HEALTH = 4      # request: server-process liveness (cheap, local)
+KIND_READY = 5       # request: readiness (accepting and service answers)
+KIND_STATS = 6       # request: service + server counters
+KIND_SNAPSHOT = 7    # request: force a durable snapshot of every shard
+KIND_OK = 100        # response: success payload
+KIND_ERROR = 101     # response: failure payload {kind, message, id}
+KIND_BUSY = 102      # response: connection shed at accept time / draining
+
+KIND_NAMES = {
+    KIND_QUERY: "query",
+    KIND_UPDATE: "update",
+    KIND_PING: "ping",
+    KIND_HEALTH: "health",
+    KIND_READY: "ready",
+    KIND_STATS: "stats",
+    KIND_SNAPSHOT: "snapshot",
+    KIND_OK: "ok",
+    KIND_ERROR: "error",
+    KIND_BUSY: "busy",
+}
+
+REQUEST_KINDS = frozenset(
+    (KIND_QUERY, KIND_UPDATE, KIND_PING, KIND_HEALTH, KIND_READY,
+     KIND_STATS, KIND_SNAPSHOT)
+)
+
+
+def encode_frame(kind: int, payload: object) -> bytes:
+    """Serialise one ``(kind, payload)`` message into frame bytes."""
+    if kind not in KIND_NAMES:
+        raise FrameError(f"unknown frame kind {kind!r}", recoverable=False)
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = FRAME_HEADER.pack(
+        FRAME_MAGIC, PROTOCOL_VERSION, kind, len(blob), crc32(blob)
+    )
+    return header + blob
+
+
+def decode_payload(blob: bytes, checksum: int) -> object:
+    """Verify and unpickle one payload; raises recoverable :class:`FrameError`."""
+    if crc32(blob) != checksum:
+        raise FrameError(
+            "frame payload failed its CRC-32 check", recoverable=True
+        )
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:  # torn pickle inside an intact CRC is near
+        # impossible, but a malicious/buggy sender can emit one on purpose.
+        raise FrameError(
+            f"frame payload does not decode: {exc}", recoverable=True
+        ) from exc
+
+
+class FrameDecoder:
+    """Incremental decoder for one direction of a framed byte stream.
+
+    Feed raw socket bytes with :meth:`feed`, then drain decoded frames with
+    :meth:`next_frame` (or iterate :meth:`frames`).  Torn frames are
+    buffered across ``feed`` calls.  Recoverable damage raises
+    :class:`FrameError` with ``recoverable=True`` *after* arranging the
+    internal state so the next call continues at the following frame;
+    unrecoverable damage (bad magic / unknown version) raises with
+    ``recoverable=False`` and the decoder refuses further use.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+        self._skip_remaining = 0
+        self._pending_error: Optional[FrameError] = None
+        self._dead = False
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently buffered (torn-frame tail included)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        """Append raw bytes received from the peer."""
+        if self._dead:
+            raise FrameError(
+                "decoder is unusable after an unrecoverable framing error",
+                recoverable=False,
+            )
+        if self._skip_remaining:
+            # Mid-skip of an oversized payload: discard without buffering.
+            drop = min(self._skip_remaining, len(data))
+            self._skip_remaining -= drop
+            data = data[drop:]
+        if data:
+            self._buffer.extend(data)
+
+    def next_frame(self) -> Optional[Tuple[int, object]]:
+        """Return the next complete ``(kind, payload)``, or ``None``.
+
+        ``None`` means "need more bytes" — call :meth:`feed` again.  Frame
+        damage raises :class:`FrameError` (see the class docstring for the
+        recoverable/unrecoverable split).
+        """
+        if self._pending_error is not None:
+            # An oversized frame finished (or is still) being skipped; the
+            # error is reported once, at the frame's position in the stream.
+            error, self._pending_error = self._pending_error, None
+            raise error
+        if self._dead:
+            raise FrameError(
+                "decoder is unusable after an unrecoverable framing error",
+                recoverable=False,
+            )
+        if len(self._buffer) < FRAME_HEADER.size:
+            return None
+        magic, version, kind, length, checksum = FRAME_HEADER.unpack_from(
+            self._buffer
+        )
+        if magic != FRAME_MAGIC:
+            self._dead = True
+            raise FrameError(
+                f"bad frame magic {bytes(magic)!r}; the stream cannot be "
+                "re-synchronised",
+                recoverable=False,
+            )
+        if version != PROTOCOL_VERSION:
+            self._dead = True
+            raise FrameError(
+                f"unsupported protocol version {version} "
+                f"(this side speaks {PROTOCOL_VERSION})",
+                recoverable=False,
+            )
+        if length > self.max_frame_bytes:
+            # The header is intact, so the length is trusted: skip the
+            # payload without buffering it and report the rejection once
+            # the skip is set up — subsequent frames decode normally.
+            already = len(self._buffer) - FRAME_HEADER.size
+            drop = min(already, length)
+            del self._buffer[: FRAME_HEADER.size + drop]
+            self._skip_remaining = length - drop
+            raise FrameError(
+                f"frame of {length} payload bytes exceeds the "
+                f"{self.max_frame_bytes}-byte limit",
+                recoverable=True,
+                kind=kind,
+            )
+        if len(self._buffer) < FRAME_HEADER.size + length:
+            return None
+        blob = bytes(self._buffer[FRAME_HEADER.size : FRAME_HEADER.size + length])
+        del self._buffer[: FRAME_HEADER.size + length]
+        if kind not in KIND_NAMES:
+            raise FrameError(
+                f"unknown frame kind {kind}", recoverable=True, kind=kind
+            )
+        try:
+            payload = decode_payload(blob, checksum)
+        except FrameError as exc:
+            exc.kind = kind
+            raise
+        return kind, payload
+
+    def frames(self) -> Iterator[Tuple[int, object]]:
+        """Yield every currently complete frame (stops at the first tear)."""
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return
+            yield frame
+
+
+class RawFrameSplitter:
+    """Split a byte stream into *raw frame byte chunks* without validating.
+
+    The chaos proxy uses this: it needs frame boundaries (to drop,
+    duplicate, delay or bit-flip whole frames) but must forward the bytes
+    untouched — re-encoding would launder away exactly the corruption the
+    receiving side's CRC check is being tested against.  Only the magic and
+    the length field are interpreted; CRCs and payloads are passed through
+    verbatim.  A stream whose magic does not match is handed on as-is in
+    one opaque chunk (the receiver will reject it — the proxy never
+    "fixes" traffic).
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+        self._opaque = False
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def next_chunk(self) -> Optional[bytes]:
+        """Return the next whole frame's raw bytes, or ``None`` if torn."""
+        if not self._buffer:
+            return None
+        if self._opaque:
+            chunk = bytes(self._buffer)
+            self._buffer.clear()
+            return chunk
+        if len(self._buffer) < FRAME_HEADER.size:
+            return None
+        magic, _version, _kind, length, _crc = FRAME_HEADER.unpack_from(
+            self._buffer
+        )
+        if magic != FRAME_MAGIC or length > self.max_frame_bytes:
+            # Unframeable traffic: stop interpreting, forward verbatim.
+            self._opaque = True
+            chunk = bytes(self._buffer)
+            self._buffer.clear()
+            return chunk
+        total = FRAME_HEADER.size + length
+        if len(self._buffer) < total:
+            return None
+        chunk = bytes(self._buffer[:total])
+        del self._buffer[:total]
+        return chunk
+
+    def flush_tail(self) -> bytes:
+        """Whatever partial frame is buffered (for forwarding on close)."""
+        chunk = bytes(self._buffer)
+        self._buffer.clear()
+        return chunk

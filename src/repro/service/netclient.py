@@ -1,0 +1,360 @@
+"""Synchronous TCP client for the eclipse network front end.
+
+:class:`EclipseClient` mirrors the :class:`EclipseService` public API
+(``query`` / ``query_batch`` / ``apply_updates`` / ``ping`` / ...) over
+the framed wire protocol of :mod:`repro.service.framing`, adding the two
+things a network hop makes necessary:
+
+* **Reconnect with seeded exponential backoff.**  A dead socket, a torn
+  or corrupt response frame, a ``BUSY`` shed, or a response timeout all
+  trigger the same path: drop the connection, back off (the same
+  ``backoff_base`` / ``backoff_cap`` / ``backoff_jitter`` knobs as
+  :class:`ServiceConfig`, seeded for reproducibility), reconnect, resend.
+  Only once the retry budget is spent does the failure escape, as
+  :class:`ConnectionLostError` (or :class:`ServerBusyError` if the server
+  kept shedding).
+
+* **Exactly-once updates.**  Every update batch carries a client
+  idempotency key ``(client_id, client_seq)``.  The server stores the key
+  in each shard's fsynced write-ahead log *before* acknowledging, and its
+  acknowledgement cache survives crash recovery — so a resend after a
+  dropped ack (or after the server was SIGKILLed and restarted) is
+  recognised and answered with the original acknowledgement instead of
+  being applied twice.  Redelivery is a no-op; an acked update is never
+  lost and never duplicated.
+
+Server-reported request errors (a deadline miss, an invalid query, a
+closed service) are *not* retried — they are re-raised as their original
+:class:`ReproError` subclass, exactly as the in-process API would have
+raised them.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import errors as _errors
+from repro.errors import (
+    ConnectionLostError,
+    FrameError,
+    ReproError,
+    ServerBusyError,
+    ServiceError,
+)
+from repro.service import framing
+from repro.service.netserver import DEFAULT_HOST, DEFAULT_PORT
+from repro.service.supervisor import ServiceResult, UpdateAck
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Knobs of the network client.
+
+    The backoff triple intentionally matches :class:`ServiceConfig` — the
+    client retries its network hop the same way the supervisor retries
+    its worker hop.
+    """
+
+    connect_timeout: float = 5.0
+    #: Socket read timeout while waiting for a response frame.  A request
+    #: whose response does not arrive in time is treated as lost and
+    #: resent (updates are idempotent, so this is always safe).
+    response_timeout: float = 60.0
+    max_retries: int = 8
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    backoff_jitter: float = 0.25
+    seed: int = 0
+    #: Stable identity for exactly-once updates.  ``None`` generates a
+    #: fresh UUID per client object; pass an explicit id to keep the
+    #: identity stable across client restarts.
+    client_id: Optional[str] = None
+    max_frame_bytes: int = framing.MAX_FRAME_BYTES
+
+    def __post_init__(self):
+        if self.connect_timeout <= 0 or self.response_timeout <= 0:
+            raise ServiceError("client timeouts must be positive")
+        if self.max_retries < 0:
+            raise ServiceError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ServiceError("backoff knobs must be non-negative")
+
+
+@dataclass
+class ClientStats:
+    """Client-side observability counters."""
+
+    requests: int = 0
+    resends: int = 0
+    reconnects: int = 0
+    busy_rejections: int = 0
+    frame_errors: int = 0
+    timeouts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class EclipseClient:
+    """Blocking TCP client for :class:`~repro.service.netserver.EclipseNetServer`.
+
+    Connects lazily on first use and transparently reconnects after any
+    network-level failure.  Safe to use as a context manager.  Not
+    thread-safe — use one client per thread (each gets its own idempotency
+    stream anyway).
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        config: Optional[ClientConfig] = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.config = config or ClientConfig()
+        self.stats = ClientStats()
+        self.client_id = self.config.client_id or f"ec-{uuid.uuid4().hex}"
+        self._rng = np.random.default_rng(self.config.seed)
+        self._sock: Optional[socket.socket] = None
+        self._decoder: Optional[framing.FrameDecoder] = None
+        self._next_req_id = 0
+        self._next_client_seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API (mirrors EclipseService)
+    # ------------------------------------------------------------------
+    def query(self, ratios, deadline: Optional[float] = None) -> ServiceResult:
+        """Run one ratio-range query; returns a :class:`ServiceResult`."""
+        return self.query_batch([ratios], deadline=deadline)[0]
+
+    def query_batch(
+        self, specs: Sequence, deadline: Optional[float] = None
+    ) -> List[ServiceResult]:
+        """Run a batch of queries in one round trip (safe to retry)."""
+        payload = self._new_request(
+            specs=list(specs), deadline=deadline
+        )
+        response = self._request(framing.KIND_QUERY, payload)
+        return [
+            ServiceResult(
+                gids=r["gids"],
+                points=r["points"],
+                method=r["method"],
+                seq=r["seq"],
+                degraded=r["degraded"],
+            )
+            for r in response["results"]
+        ]
+
+    def apply_updates(
+        self,
+        inserts=None,
+        delete_gids=None,
+        deadline: Optional[float] = None,
+    ) -> UpdateAck:
+        """Apply one durable update batch, exactly once.
+
+        The batch is tagged ``(client_id, client_seq)``; any resend caused
+        by a lost connection, a lost acknowledgement, or a server restart
+        is deduplicated server-side against its fsynced log.
+        """
+        self._next_client_seq += 1
+        payload = self._new_request(
+            inserts=None if inserts is None else np.asarray(inserts),
+            delete_gids=(
+                None if delete_gids is None else np.asarray(delete_gids)
+            ),
+            client_id=self.client_id,
+            client_seq=self._next_client_seq,
+            deadline=deadline,
+        )
+        response = self._request(framing.KIND_UPDATE, payload)
+        return UpdateAck(
+            seq=response["seq"],
+            insert_gids=response["insert_gids"],
+            rows_deleted=response["rows_deleted"],
+        )
+
+    def ping(self) -> List[dict]:
+        """Heartbeat every shard through the service; returns their infos."""
+        return self._request(framing.KIND_PING, self._new_request())["shards"]
+
+    def health(self) -> dict:
+        """Server-process liveness (answered without touching the service)."""
+        return self._request(framing.KIND_HEALTH, self._new_request())
+
+    def ready(self) -> dict:
+        """Readiness: accepting connections *and* the service answers."""
+        return self._request(framing.KIND_READY, self._new_request())
+
+    def server_stats(self) -> dict:
+        """Service + server counters as ``{"service": ..., "server": ...}``."""
+        return self._request(framing.KIND_STATS, self._new_request())
+
+    def force_snapshot(self) -> List[dict]:
+        """Force a durable snapshot of every shard."""
+        return self._request(
+            framing.KIND_SNAPSHOT, self._new_request()
+        )["shards"]
+
+    def close(self) -> None:
+        """Drop the connection.  Idempotent; the client can reconnect later
+        unless it is discarded."""
+        self._drop_connection()
+        self._closed = True
+
+    def __enter__(self) -> "EclipseClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _new_request(self, **fields) -> dict:
+        self._next_req_id += 1
+        payload = {"id": self._next_req_id}
+        payload.update(fields)
+        return payload
+
+    def _backoff(self, attempt: int) -> None:
+        base = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2.0 ** max(0, attempt - 1)),
+        )
+        jitter = 1.0 + self.config.backoff_jitter * float(
+            self._rng.uniform(-1.0, 1.0)
+        )
+        delay = max(0.0, base * jitter)
+        if delay:
+            time.sleep(delay)
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.config.connect_timeout
+        )
+        sock.settimeout(self.config.response_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - exotic transports
+            pass
+        self._sock = sock
+        self._decoder = framing.FrameDecoder(self.config.max_frame_bytes)
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._sock = None
+        self._decoder = None
+
+    def _read_frame(self):
+        assert self._sock is not None and self._decoder is not None
+        while True:
+            frame = self._decoder.next_frame()
+            if frame is not None:
+                return frame
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionLostError("the server closed the connection")
+            self._decoder.feed(data)
+
+    def _request(self, kind: int, payload: dict, retryable: bool = True) -> dict:
+        """One request/response exchange with reconnect-and-resend retries."""
+        if self._closed:
+            raise ServiceError("client is closed")
+        self.stats.requests += 1
+        attempts = self.config.max_retries + 1 if retryable else 1
+        last: Optional[BaseException] = None
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                self.stats.resends += 1
+                self._backoff(attempt - 1)
+            try:
+                if self._sock is None:
+                    if attempt > 1:
+                        self.stats.reconnects += 1
+                    self._ensure_connected()
+                self._sock.sendall(framing.encode_frame(kind, payload))
+                while True:
+                    rkind, rpayload = self._read_frame()
+                    if rkind == framing.KIND_BUSY:
+                        self.stats.busy_rejections += 1
+                        raise ServerBusyError(
+                            str(
+                                rpayload.get("message", "server busy")
+                                if isinstance(rpayload, dict)
+                                else rpayload
+                            )
+                        )
+                    if not isinstance(rpayload, dict):
+                        raise FrameError(
+                            "response payload is not a dict", recoverable=True
+                        )
+                    if rkind == framing.KIND_ERROR:
+                        if rpayload.get("id") is None:
+                            # In-band notice that *some* frame the server
+                            # read was corrupt — ours may have been eaten.
+                            # Resend (idempotent either way).
+                            raise ConnectionLostError(
+                                f"server rejected a frame: "
+                                f"{rpayload.get('message')}"
+                            )
+                        if rpayload.get("id") != payload["id"]:
+                            continue  # stale response to an older attempt
+                        raise self._map_error(rpayload)
+                    if rkind != framing.KIND_OK:
+                        raise FrameError(
+                            f"unexpected response kind {rkind}",
+                            recoverable=True,
+                        )
+                    if rpayload.get("id") != payload["id"]:
+                        continue  # stale response to an older attempt
+                    return rpayload
+            except (ServerBusyError, ConnectionLostError, FrameError) as exc:
+                if isinstance(exc, FrameError):
+                    self.stats.frame_errors += 1
+                last = exc
+                self._drop_connection()
+            except socket.timeout as exc:
+                self.stats.timeouts += 1
+                last = exc
+                self._drop_connection()
+            except OSError as exc:
+                last = exc
+                self._drop_connection()
+        if isinstance(last, ServerBusyError):
+            raise ServerBusyError(
+                f"server still busy after {attempts} attempts: {last}"
+            ) from last
+        raise ConnectionLostError(
+            f"request failed after {attempts} attempts "
+            f"(last error: {last!r})"
+        ) from last
+
+    @staticmethod
+    def _map_error(payload: dict) -> ReproError:
+        """Rehydrate a server-side error into its original class."""
+        name = payload.get("kind") or "ServiceError"
+        message = str(payload.get("message", "server-side error"))
+        cls = getattr(_errors, str(name), None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            try:
+                return cls(message)
+            except TypeError:  # pragma: no cover - exotic signatures
+                pass
+        return ServiceError(f"{name}: {message}")

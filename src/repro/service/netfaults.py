@@ -1,0 +1,809 @@
+"""Network-level fault injection: chaos proxy + end-to-end acceptance harness.
+
+This module extends the PR 6 worker-level fault harness
+(:mod:`repro.service.faults`) one layer up, to the *wire*:
+
+* :class:`ChaosProxy` — a deterministic TCP proxy that sits between an
+  :class:`EclipseClient` and an :class:`EclipseNetServer` and mangles
+  traffic at frame granularity: fixed delays, dropped frames, duplicated
+  frames, single-bit payload flips, frames truncated mid-transmission,
+  and connections killed outright (RST) on a schedule.  Frame boundaries
+  come from :class:`~repro.service.framing.RawFrameSplitter`, which
+  forwards bytes *verbatim* — corruption injected here genuinely reaches
+  the receiving side's CRC check instead of being laundered away by a
+  re-encode.
+
+* :func:`run_net_fault_injection` — replays one seeded mixed
+  query/update workload through client → (chaos proxy) → TCP server →
+  service, while a single-process reference :class:`DatasetSession`
+  answers the same stream.  Every query answer must be byte-identical to
+  the reference and every acknowledged update must survive — including
+  across the server process being SIGKILLed mid-request and restarted
+  with ``--recover``.  The server can run on a thread (in-process, fast,
+  supports the worker-level :class:`FaultPlan` injector), as a spawned
+  ``repro-eclipse serve`` subprocess (supports whole-process SIGKILL), or
+  externally (bring your own server).
+
+Everything is seeded: the workload, the proxy's RNG, the client's
+backoff jitter.  A failing run replays exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.session import DatasetSession
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import ServiceError
+from repro.service import framing
+from repro.service.faults import FaultInjector, FaultPlan
+from repro.service.netclient import ClientConfig, EclipseClient
+from repro.service.netserver import NetServerConfig, start_in_thread
+from repro.service.supervisor import EclipseService, ServiceConfig
+
+_DIRECTIONS = ("c2s", "s2c", "both")
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """What to break on the wire, and how often.
+
+    Every ``*_every`` knob acts on a per-direction frame counter that is
+    global across connections (so reconnects do not reset the schedule):
+    the ``k``-th, ``2k``-th, ... frame in that direction is affected
+    (``0`` = never).
+
+    Attributes
+    ----------
+    delay, delay_every:
+        Hold every ``k``-th frame for ``delay`` seconds before forwarding.
+    drop_every:
+        Silently discard every ``k``-th frame (a lost request forces a
+        client timeout + resend; a lost response forces a resend that the
+        server must deduplicate).
+    duplicate_every:
+        Forward every ``k``-th frame twice (redelivery — updates must be
+        applied exactly once, stale responses must be skipped).
+    bitflip_every:
+        Flip one seeded payload bit of every ``k``-th frame (must be
+        caught by the receiver's CRC, answered in-band, and resent).
+    truncate_every:
+        Forward only the first half of every ``k``-th frame, then kill
+        the connection (a torn frame + mid-transfer connection loss).
+    kill_conn_every:
+        Abruptly reset (RST) the connection on every ``k``-th frame —
+        mid-request when it fires client→server, mid-response when it
+        fires server→client.
+    direction:
+        Which direction the plan applies to: ``"c2s"``, ``"s2c"`` or
+        ``"both"``.
+    seed:
+        Seed of the proxy RNG (bit-flip offsets).
+    """
+
+    delay: float = 0.0
+    delay_every: int = 0
+    drop_every: int = 0
+    duplicate_every: int = 0
+    bitflip_every: int = 0
+    truncate_every: int = 0
+    kill_conn_every: int = 0
+    direction: str = "both"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        for name in (
+            "delay_every", "drop_every", "duplicate_every",
+            "bitflip_every", "truncate_every", "kill_conn_every",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+
+
+_NET_PLAN_KEYS = {
+    "delay": float,
+    "delay_every": int,
+    "drop_every": int,
+    "duplicate_every": int,
+    "bitflip_every": int,
+    "truncate_every": int,
+    "kill_conn_every": int,
+    "direction": str,
+    "seed": int,
+}
+
+
+def parse_net_plan(text: str) -> NetFaultPlan:
+    """Parse ``"drop_every=17,bitflip_every=23,delay=0.01,delay_every=9"``."""
+    values = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        key = key.strip()
+        if not sep or key not in _NET_PLAN_KEYS:
+            raise ValueError(
+                f"bad --chaos entry {part!r}; known keys: "
+                f"{', '.join(sorted(_NET_PLAN_KEYS))}"
+            )
+        values[key] = _NET_PLAN_KEYS[key](raw.strip())
+    return NetFaultPlan(**values)
+
+
+class _ProxyConn:
+    """One proxied connection pair with an abrupt (RST) kill switch."""
+
+    def __init__(self, client: socket.socket, upstream: socket.socket):
+        self.client = client
+        self.upstream = upstream
+        self._lock = threading.Lock()
+        self.dead = False
+
+    def kill(self, abrupt: bool = True) -> None:
+        with self._lock:
+            if self.dead:
+                return
+            self.dead = True
+        for sock in (self.client, self.upstream):
+            if abrupt:
+                try:
+                    # SO_LINGER with zero timeout turns close() into RST:
+                    # the peer sees a hard connection reset, not a FIN.
+                    sock.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                except OSError:
+                    pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ChaosProxy:
+    """Deterministic frame-mangling TCP proxy (see the module docstring).
+
+    Start with :meth:`start` (binds ``host:port``; port 0 picks a free
+    one), point an :class:`EclipseClient` at :attr:`port`, and stop with
+    :meth:`stop`.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: Optional[NetFaultPlan] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = int(upstream_port)
+        self.plan = plan or NetFaultPlan()
+        self.host = host
+        self.port = int(port)
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conns: set = set()
+        self._lock = threading.Lock()
+        self._counters = {"c2s": 0, "s2c": 0}
+        self._stopping = False
+        self.stats: Dict[str, int] = {
+            "connections": 0,
+            "upstream_failures": 0,
+            "frames_forwarded": 0,
+            "delayed": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "bitflipped": 0,
+            "truncated": 0,
+            "conns_killed": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.host, self.port = listener.getsockname()[:2]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.kill(abrupt=False)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- data path ------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port), timeout=5.0
+                )
+            except OSError:
+                with self._lock:
+                    self.stats["upstream_failures"] += 1
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            for sock in (client, upstream):
+                try:
+                    sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                except OSError:
+                    pass
+            conn = _ProxyConn(client, upstream)
+            with self._lock:
+                self._conns.add(conn)
+                self.stats["connections"] += 1
+            for direction in ("c2s", "s2c"):
+                threading.Thread(
+                    target=self._pump,
+                    args=(conn, direction),
+                    name=f"chaos-proxy-{direction}",
+                    daemon=True,
+                ).start()
+
+    def _pump(self, conn: _ProxyConn, direction: str) -> None:
+        src = conn.client if direction == "c2s" else conn.upstream
+        dst = conn.upstream if direction == "c2s" else conn.client
+        splitter = framing.RawFrameSplitter()
+        try:
+            while not self._stopping and not conn.dead:
+                data = src.recv(65536)
+                if not data:
+                    break
+                splitter.feed(data)
+                while True:
+                    chunk = splitter.next_chunk()
+                    if chunk is None:
+                        break
+                    if not self._forward(chunk, dst, direction, conn):
+                        return
+            tail = splitter.flush_tail()
+            if tail and not conn.dead:
+                dst.sendall(tail)
+        except OSError:
+            pass
+        finally:
+            # One side finished (EOF or error): close both halves.  The
+            # client reconnects through its retry loop if it still cares.
+            conn.kill(abrupt=False)
+            with self._lock:
+                self._conns.discard(conn)
+
+    def _forward(
+        self, chunk: bytes, dst: socket.socket, direction: str,
+        conn: _ProxyConn,
+    ) -> bool:
+        """Apply the plan to one whole raw frame.  False = connection dead."""
+        plan = self.plan
+        if plan.direction not in ("both", direction):
+            try:
+                dst.sendall(chunk)
+            except OSError:
+                conn.kill(abrupt=False)
+                return False
+            return True
+        with self._lock:
+            self._counters[direction] += 1
+            count = self._counters[direction]
+            self.stats["frames_forwarded"] += 1
+
+        def hits(every: int) -> bool:
+            return bool(every) and count % every == 0
+
+        if hits(plan.delay_every) and plan.delay > 0:
+            with self._lock:
+                self.stats["delayed"] += 1
+            time.sleep(plan.delay)
+        if hits(plan.kill_conn_every):
+            with self._lock:
+                self.stats["conns_killed"] += 1
+            conn.kill()
+            return False
+        if hits(plan.truncate_every):
+            with self._lock:
+                self.stats["truncated"] += 1
+            try:
+                dst.sendall(chunk[: max(1, len(chunk) // 2)])
+            except OSError:
+                pass
+            conn.kill()
+            return False
+        if hits(plan.drop_every):
+            with self._lock:
+                self.stats["dropped"] += 1
+            return True
+        if hits(plan.bitflip_every) and len(chunk) > framing.FRAME_HEADER.size:
+            # Flip one payload bit, past the header: the magic and length
+            # stay valid, so the damage must be caught by the CRC check.
+            span = len(chunk) - framing.FRAME_HEADER.size
+            offset = framing.FRAME_HEADER.size + int(
+                self._rng.integers(span)
+            )
+            mangled = bytearray(chunk)
+            mangled[offset] ^= 0x20
+            chunk = bytes(mangled)
+            with self._lock:
+                self.stats["bitflipped"] += 1
+        try:
+            dst.sendall(chunk)
+            if hits(plan.duplicate_every):
+                with self._lock:
+                    self.stats["duplicated"] += 1
+                dst.sendall(chunk)
+        except OSError:
+            conn.kill(abrupt=False)
+            return False
+        return True
+
+
+@dataclass
+class NetFaultReport:
+    """Outcome of one :func:`run_net_fault_injection` run."""
+
+    steps: int
+    queries: int
+    update_batches: int
+    mismatches: int
+    server_restarts: int
+    #: ``True``/``False`` when a graceful drain was attempted (thread and
+    #: subprocess modes), ``None`` when the server is external.
+    drain_clean: Optional[bool]
+    client_stats: Dict[str, int]
+    proxy_stats: Dict[str, int]
+    server_stats: Optional[Dict[str, object]]
+    examples: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every answer byte-identical, no acked update lost, clean drain."""
+        return self.mismatches == 0 and self.drain_clean is not False
+
+
+def _src_path() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _inject_spec(plan: FaultPlan) -> str:
+    parts = []
+    if plan.kill_every:
+        parts += [f"kill_every={plan.kill_every}", f"kill_mode={plan.kill_mode}"]
+    if plan.drop_response_rate:
+        parts.append(f"drop={plan.drop_response_rate}")
+    if plan.response_delay:
+        parts.append(f"delay={plan.response_delay}")
+    if plan.corrupt_snapshot:
+        parts += [
+            f"corrupt={plan.corrupt_snapshot}",
+            f"corrupt_every={plan.corrupt_every}",
+        ]
+    parts.append(f"seed={plan.seed}")
+    return ",".join(parts)
+
+
+def _free_port() -> int:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class _SubprocessServer:
+    """Spawn/kill/restart ``repro-eclipse serve`` as a real OS process."""
+
+    def __init__(
+        self,
+        dataset: str,
+        n: int,
+        dimensions: int,
+        seed: int,
+        config: ServiceConfig,
+        snapshot_dir: str,
+        plan: Optional[FaultPlan],
+        port: int,
+    ):
+        self.dataset = dataset
+        self.n = n
+        self.dimensions = dimensions
+        self.seed = seed
+        self.config = config
+        self.snapshot_dir = snapshot_dir
+        self.plan = plan
+        self.port = port
+        self.host = "127.0.0.1"
+        self.log_path = os.path.join(snapshot_dir, "netserver.log")
+        self.proc: Optional[subprocess.Popen] = None
+
+    def _command(self, recover: bool) -> List[str]:
+        cmd = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--listen", self.host, "--port", str(self.port),
+            "--dataset", self.dataset, "--n", str(self.n),
+            "--dimensions", str(self.dimensions), "--seed", str(self.seed),
+            "--shards", str(self.config.num_shards),
+            "--deadline", str(self.config.deadline),
+            "--retries", str(self.config.max_retries),
+            "--snapshot-every", str(self.config.snapshot_every),
+            "--method", self.config.method,
+            "--snapshot-dir", self.snapshot_dir,
+        ]
+        if recover:
+            cmd.append("--recover")
+        if self.plan is not None:
+            cmd += ["--inject", _inject_spec(self.plan)]
+        return cmd
+
+    def start(self, recover: bool = False) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (_src_path(), env.get("PYTHONPATH")) if p
+        )
+        with open(self.log_path, "ab") as log:
+            self.proc = subprocess.Popen(
+                self._command(recover),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+
+    def sigkill(self) -> None:
+        assert self.proc is not None
+        self.proc.kill()
+        self.proc.wait(timeout=30.0)
+
+    def terminate(self) -> Optional[int]:
+        """SIGTERM (graceful drain) and return the exit code."""
+        if self.proc is None:
+            return None
+        if self.proc.poll() is None:
+            self.proc.terminate()
+        try:
+            return self.proc.wait(timeout=120.0)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=30.0)
+            return self.proc.returncode
+
+
+def _wait_ready(host: str, port: int, timeout: float = 120.0) -> None:
+    """Poll the server's readiness endpoint until it answers ready."""
+    probe = EclipseClient(
+        host, port,
+        ClientConfig(connect_timeout=1.0, response_timeout=15.0, max_retries=0),
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while time.monotonic() < deadline:
+            try:
+                if probe.ready().get("ready"):
+                    return
+            except (ServiceError, OSError):
+                pass
+            time.sleep(0.2)
+    finally:
+        probe.close()
+    raise ServiceError(
+        f"server at {host}:{port} did not become ready within {timeout:g}s"
+    )
+
+
+def run_net_fault_injection(
+    dataset: str = "ANTI",
+    n: int = 1500,
+    dimensions: int = 3,
+    steps: int = 30,
+    update_fraction: float = 0.3,
+    batch: int = 4,
+    update_size: int = 16,
+    net_plan: Optional[NetFaultPlan] = None,
+    plan: Optional[FaultPlan] = None,
+    config: Optional[ServiceConfig] = None,
+    client_config: Optional[ClientConfig] = None,
+    kill_server_every: int = 0,
+    seed: int = 0,
+    verify: bool = True,
+    server: str = "thread",
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    snapshot_dir: Optional[str] = None,
+    data: Optional[np.ndarray] = None,
+) -> NetFaultReport:
+    """Replay a seeded workload through the full network stack and verify it.
+
+    The same mixed query/update stream as
+    :func:`repro.service.faults.run_fault_injection`, but driven through
+    ``EclipseClient → (ChaosProxy) → EclipseNetServer → EclipseService``.
+    When ``verify`` is on, a single-process :class:`DatasetSession` over
+    the same data answers every query too, and the harness asserts global
+    row ids and coordinate *bytes* match exactly; acknowledged updates
+    feed the position→gid map, so a lost acked update shows up as a
+    mismatch on the next query.
+
+    ``server`` selects where the service lives:
+
+    * ``"thread"`` — in-process :func:`start_in_thread` server.  Supports
+      the worker-level ``plan`` injector directly; ``kill_server_every``
+      is not available (there is no separate process to SIGKILL).
+    * ``"subprocess"`` — a spawned ``repro-eclipse serve`` process.
+      ``kill_server_every`` SIGKILLs it *while a request is in flight* on
+      every ``k``-th step, then restarts it with ``--recover`` on the
+      same snapshot directory; the client is expected to ride through via
+      reconnect + idempotent resend.  Requires ``snapshot_dir``.
+    * ``"external"`` — connect to an already-running server at
+      ``host:port``; no lifecycle management, ``drain_clean`` is ``None``.
+      With ``verify`` the external server must be serving exactly the
+      dataset this harness generates.
+    """
+    if server not in ("thread", "subprocess", "external"):
+        raise ValueError(f"unknown server mode {server!r}")
+    if kill_server_every and server != "subprocess":
+        raise ServiceError(
+            "kill_server_every needs server='subprocess' (there must be a "
+            "separate OS process to SIGKILL)"
+        )
+    if kill_server_every and not snapshot_dir:
+        raise ServiceError(
+            "kill_server_every needs a snapshot_dir: recovery after a "
+            "SIGKILL replays the write-ahead logs stored there"
+        )
+    config = config or ServiceConfig()
+    if data is None:
+        data = generate_dataset(dataset.upper(), n, dimensions, seed=seed)
+    else:
+        if server == "subprocess":
+            raise ServiceError(
+                "server='subprocess' regenerates the dataset from "
+                "(dataset, n, dimensions, seed); pass those instead of data"
+            )
+        data = np.asarray(data, dtype=float)
+        n, dimensions = int(data.shape[0]), int(data.shape[1])
+    lows = data.min(axis=0)
+    highs = data.max(axis=0)
+    workload = np.random.default_rng(seed + 1)
+    kill_rng = np.random.default_rng(seed + 2)
+    reference = DatasetSession(data) if verify else None
+    ref_gids = np.arange(n, dtype=np.intp)
+    queries = update_batches = mismatches = restarts = 0
+    examples: List[str] = []
+    drain_clean: Optional[bool] = None
+    server_stats: Optional[Dict[str, object]] = None
+
+    # -- bring up the server -------------------------------------------
+    service = None
+    handle = None
+    sub: Optional[_SubprocessServer] = None
+    if server == "thread":
+        injector = FaultInjector(plan) if plan is not None else None
+        service = EclipseService(
+            data, config=config, snapshot_dir=snapshot_dir, injector=injector
+        )
+        handle = start_in_thread(service, NetServerConfig(port=0))
+        server_host, server_port = handle.host, handle.port
+    elif server == "subprocess":
+        if snapshot_dir is None:
+            raise ServiceError("server='subprocess' needs a snapshot_dir")
+        os.makedirs(snapshot_dir, exist_ok=True)
+        sub = _SubprocessServer(
+            dataset=dataset.upper(), n=n, dimensions=dimensions, seed=seed,
+            config=config, snapshot_dir=snapshot_dir, plan=plan,
+            port=_free_port(),
+        )
+        sub.start(recover=False)
+        server_host, server_port = sub.host, sub.port
+    else:
+        if host is None or port is None:
+            raise ServiceError("server='external' needs host and port")
+        server_host, server_port = host, int(port)
+
+    proxy: Optional[ChaosProxy] = None
+    client: Optional[EclipseClient] = None
+    try:
+        if server == "subprocess":
+            _wait_ready(server_host, server_port)
+        if net_plan is not None:
+            proxy = ChaosProxy(server_host, server_port, plan=net_plan)
+            proxy.start()
+            connect_host, connect_port = proxy.host, proxy.port
+        else:
+            connect_host, connect_port = server_host, server_port
+        client = EclipseClient(
+            connect_host, connect_port,
+            client_config or ClientConfig(
+                connect_timeout=2.0,
+                response_timeout=max(5.0, config.deadline),
+                max_retries=30,
+                backoff_base=0.05,
+                backoff_cap=0.5,
+                seed=seed,
+            ),
+        )
+
+        def run_step(step_op):
+            """Run one step, optionally SIGKILLing the server mid-flight."""
+            nonlocal restarts
+            box: Dict[str, object] = {}
+
+            def target():
+                try:
+                    box["result"] = step_op()
+                except BaseException as exc:  # rejoined below
+                    box["error"] = exc
+
+            thread = threading.Thread(target=target)
+            thread.start()
+            # Let the request reach the wire, then yank the process out
+            # from under it.
+            time.sleep(float(kill_rng.uniform(0.02, 0.12)))
+            assert sub is not None
+            sub.sigkill()
+            restarts += 1
+            sub.start(recover=True)
+            _wait_ready(server_host, server_port)
+            thread.join(timeout=300.0)
+            if thread.is_alive():
+                raise ServiceError("a client request hung across the restart")
+            if "error" in box:
+                raise box["error"]  # type: ignore[misc]
+            return box["result"]
+
+        for step in range(steps):
+            kill_now = bool(
+                kill_server_every and (step + 1) % kill_server_every == 0
+            )
+            if workload.uniform() < update_fraction:
+                half = max(1, update_size // 2)
+                inserts = lows + workload.uniform(
+                    size=(half, dimensions)
+                ) * (highs - lows)
+                current = int(ref_gids.size)
+                num_deletes = min(half, max(0, current - 1))
+                positions = (
+                    np.sort(
+                        workload.choice(
+                            current, size=num_deletes, replace=False
+                        )
+                    )
+                    if num_deletes
+                    else np.empty(0, dtype=np.intp)
+                )
+                delete_gids = ref_gids[positions]
+
+                def op():
+                    return client.apply_updates(
+                        inserts=inserts, delete_gids=delete_gids
+                    )
+
+                ack = run_step(op) if kill_now else op()
+                if reference is not None:
+                    reference.apply_updates(
+                        inserts=inserts,
+                        deletes=positions if positions.size else None,
+                    )
+                ref_gids = np.concatenate(
+                    [np.delete(ref_gids, positions), ack.insert_gids]
+                )
+                update_batches += 1
+            else:
+                specs = []
+                for _ in range(batch):
+                    low = float(workload.uniform(0.1, 1.0))
+                    specs.append(
+                        RatioVector.uniform(
+                            low, low + float(workload.uniform(0.2, 2.5)),
+                            dimensions,
+                        )
+                    )
+
+                def op():
+                    return client.query_batch(specs)
+
+                results = run_step(op) if kill_now else op()
+                queries += len(specs)
+                if reference is not None:
+                    for spec, got in zip(specs, results):
+                        want = reference.run(ratios=spec)
+                        same_rows = np.array_equal(
+                            ref_gids[want.indices], got.gids
+                        )
+                        same_bytes = (
+                            want.points.shape == got.points.shape
+                            and want.points.tobytes() == got.points.tobytes()
+                        )
+                        if not (same_rows and same_bytes):
+                            mismatches += 1
+                            if len(examples) < 5:
+                                examples.append(
+                                    f"step {step}: reference "
+                                    f"{ref_gids[want.indices].tolist()} != "
+                                    f"service {got.gids.tolist()}"
+                                )
+        try:
+            server_stats = client.server_stats()
+        except ServiceError:
+            server_stats = None
+        client_stats = client.stats.as_dict()
+    finally:
+        if client is not None:
+            client.close()
+        if proxy is not None:
+            proxy.stop()
+        # -- graceful drain ---------------------------------------------
+        if server == "thread":
+            assert handle is not None and service is not None
+            try:
+                handle.shutdown()
+                drain_clean = True
+            except ServiceError:
+                drain_clean = False
+            finally:
+                service.close()
+        elif server == "subprocess":
+            assert sub is not None
+            drain_clean = sub.terminate() == 0
+
+    return NetFaultReport(
+        steps=steps,
+        queries=queries,
+        update_batches=update_batches,
+        mismatches=mismatches,
+        server_restarts=restarts,
+        drain_clean=drain_clean,
+        client_stats=client_stats,
+        proxy_stats=dict(proxy.stats) if proxy is not None else {},
+        server_stats=server_stats,
+        examples=examples,
+    )

@@ -1,0 +1,572 @@
+"""Asyncio TCP front end over :class:`EclipseService`.
+
+One :class:`EclipseNetServer` owns a listening socket and serves the
+framed wire protocol of :mod:`repro.service.framing`.  The design goals,
+in order:
+
+* **Backpressure end to end.**  Each connection has a *bounded* request
+  queue: the reader stops pulling bytes off the socket while the queue is
+  full (TCP flow control then pushes back on the client), and responses
+  are written with ``await writer.drain()`` so a slow-reading client
+  throttles its own connection instead of ballooning server memory.
+
+* **Admission control.**  At most ``max_connections`` connections are
+  served; beyond that, new connections are shed *at accept time* with a
+  ``BUSY`` frame and an immediate close — a connection flood degrades
+  into fast rejections, never into unbounded buffering.
+
+* **Deadline propagation.**  A request's ``deadline`` field rides through
+  :meth:`EclipseService.query_batch`/:meth:`~EclipseService.apply_updates`
+  into the supervisor's per-request deadline machinery, overriding
+  :attr:`ServiceConfig.deadline` for exactly that request.
+
+* **Fault isolation.**  A malformed frame with a trustable header (CRC
+  mismatch, oversized payload, undecodable pickle) is answered with an
+  in-band ``ERROR`` frame and the connection keeps serving; only a
+  desynchronised stream (bad magic / unknown version) closes that one
+  connection.  Nothing a single connection does can take down the accept
+  loop.
+
+* **Graceful drain.**  :meth:`EclipseNetServer.drain` stops accepting,
+  stops *reading* (in-flight requests already queued are finished and
+  their responses flushed), snapshots every shard (the write-ahead logs
+  are already fsynced per acknowledged batch, so the snapshot only
+  shortens the next restart's replay tail), and returns.  The CLI wires
+  SIGTERM/SIGINT to it; a drained exit is exit code 0.
+
+The blocking :class:`EclipseService` calls run on a small thread pool via
+``run_in_executor`` — the service's own dispatcher serialises them, the
+pool just keeps the event loop free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import FrameError, ReproError, ServiceError
+from repro.service import framing
+from repro.service.supervisor import EclipseService
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7431
+
+_LISTEN_ENV = "REPRO_SERVICE_LISTEN"
+
+
+def _parse_listen(text: str) -> Optional[Tuple[Optional[str], Optional[int]]]:
+    """Parse ``"host"``, ``":port"`` or ``"host:port"``; ``None`` if bad."""
+    text = text.strip()
+    if not text:
+        return None
+    host: Optional[str] = None
+    port: Optional[int] = None
+    if ":" in text:
+        head, _, tail = text.rpartition(":")
+        host = head.strip() or None
+        try:
+            port = int(tail)
+        except ValueError:
+            return None
+        if not 0 <= port <= 65535:
+            return None
+    else:
+        host = text
+    return host, port
+
+
+def resolve_listen(
+    host: Optional[str] = None, port: Optional[int] = None
+) -> Tuple[str, int]:
+    """Resolve the bind address: explicit args > env > built-in default.
+
+    The ``REPRO_SERVICE_LISTEN`` environment variable supplies the default
+    as ``"host"``, ``":port"`` or ``"host:port"``.  An unparseable value
+    raises a :class:`RuntimeWarning` and falls back to the built-in
+    default — misconfiguration is surfaced, never silently fatal (the
+    same convention as ``REPRO_KERNEL_THREADS``).
+    """
+    env_host: Optional[str] = None
+    env_port: Optional[int] = None
+    env = os.environ.get(_LISTEN_ENV)
+    if env is not None:
+        parsed = _parse_listen(env)
+        if parsed is None:
+            warnings.warn(
+                f"ignoring unparseable {_LISTEN_ENV}={env!r} "
+                f"(expected 'host', ':port' or 'host:port'); using the "
+                f"default {DEFAULT_HOST}:{DEFAULT_PORT}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            env_host, env_port = parsed
+    if host is None:
+        host = env_host if env_host is not None else DEFAULT_HOST
+    if port is None:
+        port = env_port if env_port is not None else DEFAULT_PORT
+    return host, int(port)
+
+
+@dataclass(frozen=True)
+class NetServerConfig:
+    """Knobs of the TCP front end.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address.  ``port=0`` binds an ephemeral port (the bound port
+        is available as :attr:`EclipseNetServer.port` after ``start``).
+    max_connections:
+        Served-connection cap; further connections are shed at accept
+        time with a ``BUSY`` frame.
+    queue_depth:
+        Bounded per-connection request queue.  While it is full the
+        reader stops consuming the socket, so TCP flow control pushes the
+        backpressure to the client.
+    max_frame_bytes:
+        Per-frame payload ceiling; larger frames are rejected in-band.
+    drain_timeout:
+        Seconds :meth:`EclipseNetServer.drain` waits for in-flight
+        requests to finish before cancelling the stragglers.
+    """
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    max_connections: int = 64
+    queue_depth: int = 32
+    max_frame_bytes: int = framing.MAX_FRAME_BYTES
+    drain_timeout: float = 30.0
+
+
+@dataclass
+class NetServerStats:
+    """Server-level observability counters."""
+
+    connections_accepted: int = 0
+    connections_shed: int = 0
+    connections_closed: int = 0
+    requests_served: int = 0
+    queries_served: int = 0
+    updates_served: int = 0
+    frames_rejected: int = 0
+    connection_aborts: int = 0
+    drained_requests: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+_EOF = ("eof", None)
+
+
+class _Connection:
+    """Per-connection state: bounded queue + reader/worker task pair."""
+
+    def __init__(self, reader, writer, depth: int, max_frame_bytes: int):
+        self.reader = reader
+        self.writer = writer
+        self.depth = int(depth)
+        self.decoder = framing.FrameDecoder(max_frame_bytes)
+        # The queue itself is unbounded so the EOF sentinel can always be
+        # enqueued without blocking; bounded-ness is enforced in enqueue().
+        self.queue: "asyncio.Queue" = asyncio.Queue()
+        self.space = asyncio.Event()
+        self.space.set()
+        self.reader_task: Optional[asyncio.Task] = None
+        self.worker_task: Optional[asyncio.Task] = None
+
+    async def enqueue(self, item) -> None:
+        """Backpressured put: waits while the queue is at ``depth``."""
+        while self.queue.qsize() >= self.depth:
+            self.space.clear()
+            await self.space.wait()
+        self.queue.put_nowait(item)
+
+    def mark_space(self) -> None:
+        if self.queue.qsize() < self.depth:
+            self.space.set()
+
+
+class EclipseNetServer:
+    """Serve a :class:`EclipseService` over framed TCP (see module docs)."""
+
+    def __init__(
+        self,
+        service: EclipseService,
+        config: Optional[NetServerConfig] = None,
+    ):
+        self.service = service
+        self.config = config or NetServerConfig()
+        self.stats = NetServerStats()
+        self.host = self.config.host
+        self.port = self.config.port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._conns: Set[_Connection] = set()
+        self._draining = False
+        self._drained = False
+        self._started_at = time.monotonic()
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=min(32, self.config.max_connections + 4),
+            thread_name_prefix="eclipse-net",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting.  Raises ``OSError`` on a bad bind."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._started_at = time.monotonic()
+
+    async def serve_until_shutdown(self, on_started=None) -> None:
+        """``start`` + block until :meth:`request_shutdown`, then drain."""
+        await self.start()
+        self._shutdown_event = asyncio.Event()
+        if on_started is not None:
+            on_started()
+        await self._shutdown_event.wait()
+        await self.drain()
+
+    def request_shutdown(self) -> None:
+        """Thread-safe: make :meth:`serve_until_shutdown` begin draining."""
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None:
+            raise ServiceError("the server has not started serving yet")
+        loop.call_soon_threadsafe(event.set)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, fsync state.
+
+        In-flight means *already queued on a connection*: readers are
+        stopped first, workers finish what the bounded queues hold and
+        flush the responses, then every shard is snapshotted (the WAL
+        already holds every acknowledged batch fsynced — the snapshot
+        pins a zero-replay warm restart).  Idempotent.
+        """
+        if self._drained:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        conns = list(self._conns)
+        for conn in conns:
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+        workers = [c.worker_task for c in conns if c.worker_task is not None]
+        if workers:
+            done, pending = await asyncio.wait(
+                workers, timeout=self.config.drain_timeout
+            )
+            self.stats.drained_requests += len(done)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+        self._executor.shutdown(wait=True)
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, self.service.force_snapshot)
+        except ServiceError:
+            # A shard that cannot snapshot does not block the drain: its
+            # acked state is already durable in the fsynced WAL.
+            pass
+        self._drained = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        if self._draining or len(self._conns) >= self.config.max_connections:
+            self.stats.connections_shed += 1
+            try:
+                writer.write(framing.encode_frame(framing.KIND_BUSY, {
+                    "message": (
+                        "draining" if self._draining
+                        else f"at the {self.config.max_connections}-connection cap"
+                    ),
+                    "draining": self._draining,
+                }))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+            return
+        self.stats.connections_accepted += 1
+        conn = _Connection(
+            reader, writer, self.config.queue_depth, self.config.max_frame_bytes
+        )
+        self._conns.add(conn)
+        conn.reader_task = asyncio.ensure_future(self._read_loop(conn))
+        conn.worker_task = asyncio.ensure_future(self._work_loop(conn))
+        try:
+            await asyncio.wait({conn.reader_task, conn.worker_task})
+        finally:
+            self._conns.discard(conn)
+            self.stats.connections_closed += 1
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport already gone
+                pass
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                data = await conn.reader.read(65536)
+                if not data:
+                    break
+                conn.decoder.feed(data)
+                while True:
+                    try:
+                        frame = conn.decoder.next_frame()
+                    except FrameError as exc:
+                        self.stats.frames_rejected += 1
+                        await conn.enqueue(("frame_error", exc))
+                        if not exc.recoverable:
+                            return
+                        continue
+                    if frame is None:
+                        break
+                    await conn.enqueue(("request", frame))
+        except (ConnectionError, OSError):
+            self.stats.connection_aborts += 1
+        except asyncio.CancelledError:
+            pass
+        finally:
+            conn.queue.put_nowait(_EOF)
+
+    async def _work_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                tag, value = await conn.queue.get()
+                conn.mark_space()
+                if tag == "eof":
+                    return
+                if tag == "frame_error":
+                    exc: FrameError = value
+                    await self._send(conn, framing.KIND_ERROR, {
+                        "id": None,
+                        "kind": "FrameError",
+                        "message": str(exc),
+                        "recoverable": exc.recoverable,
+                    })
+                    if not exc.recoverable:
+                        return
+                    continue
+                kind, payload = value
+                response_kind, response = await self._dispatch(kind, payload)
+                await self._send(conn, response_kind, response)
+        except (ConnectionError, OSError):
+            self.stats.connection_aborts += 1
+        except asyncio.CancelledError:
+            pass
+
+    async def _send(self, conn: _Connection, kind: int, payload: object) -> None:
+        conn.writer.write(framing.encode_frame(kind, payload))
+        await conn.writer.drain()
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, kind: int, payload: object) -> Tuple[int, dict]:
+        if not isinstance(payload, dict):
+            return framing.KIND_ERROR, {
+                "id": None,
+                "kind": "FrameError",
+                "message": f"request payload must be a dict, got "
+                           f"{type(payload).__name__}",
+            }
+        req_id = payload.get("id")
+        loop = asyncio.get_running_loop()
+        try:
+            if kind == framing.KIND_HEALTH:
+                # Liveness is answered on the event loop itself — it must
+                # stay cheap and honest even while the service is busy.
+                self.stats.requests_served += 1
+                return framing.KIND_OK, {"id": req_id, **self._health()}
+            if kind == framing.KIND_READY:
+                self.stats.requests_served += 1
+                return framing.KIND_OK, {
+                    "id": req_id, **(await self._readiness(loop))
+                }
+            if kind == framing.KIND_QUERY:
+                result = await loop.run_in_executor(
+                    self._executor,
+                    lambda: self.service.query_batch(
+                        payload["specs"], deadline=payload.get("deadline")
+                    ),
+                )
+                self.stats.requests_served += 1
+                self.stats.queries_served += len(result)
+                return framing.KIND_OK, {
+                    "id": req_id,
+                    "results": [
+                        {
+                            "gids": r.gids,
+                            "points": r.points,
+                            "method": r.method,
+                            "seq": r.seq,
+                            "degraded": r.degraded,
+                        }
+                        for r in result
+                    ],
+                }
+            if kind == framing.KIND_UPDATE:
+                client_id = payload.get("client_id")
+                client_key = (
+                    (client_id, int(payload["client_seq"]))
+                    if client_id is not None
+                    else None
+                )
+                ack = await loop.run_in_executor(
+                    self._executor,
+                    lambda: self.service.apply_updates(
+                        inserts=payload.get("inserts"),
+                        delete_gids=payload.get("delete_gids"),
+                        client_key=client_key,
+                        deadline=payload.get("deadline"),
+                    ),
+                )
+                self.stats.requests_served += 1
+                self.stats.updates_served += 1
+                return framing.KIND_OK, {
+                    "id": req_id,
+                    "seq": ack.seq,
+                    "insert_gids": ack.insert_gids,
+                    "rows_deleted": ack.rows_deleted,
+                }
+            if kind == framing.KIND_PING:
+                payloads = await loop.run_in_executor(
+                    self._executor, self.service.ping
+                )
+                self.stats.requests_served += 1
+                return framing.KIND_OK, {"id": req_id, "shards": payloads}
+            if kind == framing.KIND_SNAPSHOT:
+                payloads = await loop.run_in_executor(
+                    self._executor, self.service.force_snapshot
+                )
+                self.stats.requests_served += 1
+                return framing.KIND_OK, {"id": req_id, "shards": payloads}
+            if kind == framing.KIND_STATS:
+                self.stats.requests_served += 1
+                return framing.KIND_OK, {
+                    "id": req_id,
+                    "service": self.service.stats.as_dict(),
+                    "server": self.stats.as_dict(),
+                }
+            return framing.KIND_ERROR, {
+                "id": req_id,
+                "kind": "FrameError",
+                "message": f"unsupported request kind {kind}",
+            }
+        except ReproError as exc:
+            return framing.KIND_ERROR, {
+                "id": req_id,
+                "kind": type(exc).__name__,
+                "message": str(exc),
+            }
+        except Exception as exc:  # defensive: a bug must not kill the loop
+            return framing.KIND_ERROR, {
+                "id": req_id,
+                "kind": "ServiceError",
+                "message": f"internal error: {exc}",
+            }
+
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "draining": self._draining,
+            "connections": len(self._conns),
+            "uptime": time.monotonic() - self._started_at,
+            "acked_seq": self.service.acked_seq,
+        }
+
+    async def _readiness(self, loop) -> dict:
+        if self._draining:
+            return {"ready": False, "reason": "draining"}
+        try:
+            shards = await loop.run_in_executor(
+                self._executor, self.service.ping
+            )
+        except ReproError as exc:
+            return {"ready": False, "reason": str(exc)}
+        return {"ready": True, "shards": len(shards)}
+
+
+class NetServerHandle:
+    """A server running on a background thread (for tests and harnesses)."""
+
+    def __init__(self, server: EclipseNetServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Drain gracefully and join the serving thread (idempotent)."""
+        if self.thread.is_alive():
+            try:
+                self.server.request_shutdown()
+            except ServiceError:
+                pass
+        self.thread.join(timeout=timeout)
+        if self.thread.is_alive():  # pragma: no cover - drain is bounded
+            raise ServiceError("the server thread did not drain in time")
+
+
+def start_in_thread(
+    service: EclipseService, config: Optional[NetServerConfig] = None
+) -> NetServerHandle:
+    """Run an :class:`EclipseNetServer` on a daemon thread; returns a handle.
+
+    Blocks until the server is accepting (or raises its bind error).  The
+    handle's :meth:`~NetServerHandle.shutdown` performs a graceful drain.
+    """
+    server = EclipseNetServer(service, config)
+    started = threading.Event()
+    failures = []
+
+    def run() -> None:
+        try:
+            asyncio.run(server.serve_until_shutdown(on_started=started.set))
+        except BaseException as exc:  # surfaced to the starting thread
+            failures.append(exc)
+        finally:
+            started.set()
+
+    thread = threading.Thread(
+        target=run, name="eclipse-net-server", daemon=True
+    )
+    thread.start()
+    started.wait(timeout=30.0)
+    if failures:
+        raise failures[0]
+    if not started.is_set():  # pragma: no cover - startup is local and fast
+        raise ServiceError("the server did not start within 30s")
+    return NetServerHandle(server, thread)

@@ -185,6 +185,9 @@ class ServiceStats:
     degraded_windows: int = 0
     degraded_queries: int = 0
     overload_sheds: int = 0
+    client_ack_replays: int = 0
+    repair_redeliveries: int = 0
+    supervisor_recoveries: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (stable keys; handy for JSON reports)."""
@@ -247,6 +250,7 @@ class _IndexPathError(ServiceError):
 @dataclass
 class _QueryWork:
     spec: RatioVector
+    deadline: Optional[float] = None
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[ServiceResult] = None
     error: Optional[BaseException] = None
@@ -256,6 +260,8 @@ class _QueryWork:
 class _UpdateWork:
     insert_points: np.ndarray
     delete_gids: np.ndarray
+    client_key: Optional[Tuple[str, int]] = None
+    deadline: Optional[float] = None
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[UpdateAck] = None
     error: Optional[BaseException] = None
@@ -310,7 +316,27 @@ class EclipseService:
         fault injection; ``None`` injects nothing.
     index_kwargs:
         Forwarded to each shard's :class:`DatasetSession`.
+    recover:
+        Resume a previous service incarnation from ``snapshot_dir``: after
+        the workers warm-restart from their snapshots and write-ahead
+        logs, the supervisor rebuilds its *own* state from the same logs —
+        the acknowledged sequence number, the next free global id, and the
+        client idempotency table — and redelivers any update batch that
+        reached some shards' logs but not others before the previous
+        process died (a SIGKILL can tear a batch across shards; the
+        repair converges every shard to the highest logged sequence).
+        ``points`` must be the same base dataset the original service was
+        created with (the logs hold only the deltas for cold rebuilds).
     """
+
+    # Class-level defaults keep ``close()`` a safe no-op on an instance
+    # whose ``__init__`` never ran (or died before these were assigned).
+    _closed = True
+    _queue = None
+    _dispatcher = None
+    _owns_dir = False
+    _dir: Optional[str] = None
+    _handles: List[Optional[_WorkerHandle]] = []
 
     def __init__(
         self,
@@ -319,11 +345,17 @@ class EclipseService:
         snapshot_dir: Optional[str] = None,
         injector=None,
         index_kwargs: Optional[Dict[str, object]] = None,
+        recover: bool = False,
     ):
         self.config = config or ServiceConfig()
         if self.config.num_shards < 1:
             raise ServiceError(
                 f"num_shards must be >= 1, got {self.config.num_shards}"
+            )
+        if recover and snapshot_dir is None:
+            raise ServiceError(
+                "recover=True needs the snapshot_dir of the previous "
+                "incarnation (a fresh temporary directory has no state)"
             )
         data = as_dataset(points)
         self._dims = int(data.shape[1])
@@ -358,11 +390,21 @@ class EclipseService:
         self._seq = 0
         self._req_ids = itertools.count(1)
         self.stats = ServiceStats()
-        self._handles: List[Optional[_WorkerHandle]] = [None] * num_shards
+        self._client_acks: Dict[Tuple[str, int], UpdateAck] = {}
+        self._ready_info: List[dict] = [{} for _ in range(num_shards)]
+        self._handles = [None] * num_shards
         self._closed = False
-        for shard in range(num_shards):
-            self._handles[shard] = self._spawn(shard)
-        self._queue: "queue.Queue" = queue.Queue()
+        try:
+            for shard in range(num_shards):
+                self._handles[shard] = self._spawn(shard)
+            if recover:
+                self._recover_supervisor(n)
+        except BaseException:
+            # A failed spawn/recovery must not leak earlier workers (or
+            # the owned scratch directory).
+            self.close()
+            raise
+        self._queue = queue.Queue()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="eclipse-service-dispatcher",
             daemon=True,
@@ -387,26 +429,51 @@ class EclipseService:
         """Sequence number of the last fully acknowledged update batch."""
         return self._seq
 
-    def query(self, ratios) -> ServiceResult:
-        """Answer one eclipse query (blocking; coalesced with concurrent ones)."""
-        return self.query_batch([ratios])[0]
+    def query(self, ratios, deadline: Optional[float] = None) -> ServiceResult:
+        """Answer one eclipse query (blocking; coalesced with concurrent ones).
 
-    def query_batch(self, ratio_specs: Sequence) -> List[ServiceResult]:
+        ``deadline`` overrides :attr:`ServiceConfig.deadline` for this
+        request only (the network front end propagates per-request client
+        deadlines through it).
+        """
+        return self.query_batch([ratios], deadline=deadline)[0]
+
+    def query_batch(
+        self, ratio_specs: Sequence, deadline: Optional[float] = None
+    ) -> List[ServiceResult]:
         """Submit many queries at once; they coalesce into one window."""
+        deadline = self._resolve_deadline(deadline)
         works = [
-            _QueryWork(spec=self._resolve_spec(spec)) for spec in ratio_specs
+            _QueryWork(spec=self._resolve_spec(spec), deadline=deadline)
+            for spec in ratio_specs
         ]
         for work in works:
             self._submit(work)
         return [self._await(work) for work in works]
 
-    def apply_updates(self, inserts=None, delete_gids=None) -> UpdateAck:
+    def apply_updates(
+        self,
+        inserts=None,
+        delete_gids=None,
+        client_key: Optional[Tuple[str, int]] = None,
+        deadline: Optional[float] = None,
+    ) -> UpdateAck:
         """Durably apply one update batch; returns once every shard acked.
 
         ``inserts`` is a ``(b, d)`` array (global ids are assigned in order
         and returned in the ack); ``delete_gids`` names rows by global id.
         Validation is strict — non-finite coordinates and dimension
         mismatches raise before anything is enqueued.
+
+        ``client_key`` is an optional ``(client_id, client_seq)`` pair that
+        makes the batch **exactly-once across redelivery and restarts**: a
+        batch whose key was already acknowledged is answered with the
+        recorded acknowledgement instead of being reapplied.  The key rides
+        inside every shard's fsynced write-ahead-log record, so the
+        idempotency table survives a crash of this process and is rebuilt
+        by ``recover=True`` (a resend after a dropped acknowledgement is a
+        no-op even against the restarted service).  ``deadline`` overrides
+        the configured per-request deadline for this batch.
         """
         if inserts is None:
             insert_points = np.empty((0, self._dims), dtype=float)
@@ -422,7 +489,14 @@ class EclipseService:
         )
         if deletes.ndim != 1:
             raise ServiceError("delete_gids must be a 1-D sequence of ids")
-        work = _UpdateWork(insert_points=insert_points, delete_gids=deletes)
+        if client_key is not None:
+            client_key = (str(client_key[0]), int(client_key[1]))
+        work = _UpdateWork(
+            insert_points=insert_points,
+            delete_gids=deletes,
+            client_key=client_key,
+            deadline=self._resolve_deadline(deadline),
+        )
         self._submit(work)
         return self._await(work)
 
@@ -439,12 +513,23 @@ class EclipseService:
         return self._await(work)
 
     def close(self) -> None:
-        """Stop the dispatcher and every worker; remove owned scratch dirs."""
+        """Stop the dispatcher and every worker; remove owned scratch dirs.
+
+        Idempotent and defensive by contract: a second call is a no-op, and
+        a close on a half-dead service — dispatcher crashed, workers killed
+        externally, pipes already broken, ``__init__`` aborted partway —
+        still tears down whatever exists without raising.
+        """
         if self._closed:
             return
         self._closed = True
-        self._queue.put(_STOP)
-        self._dispatcher.join(timeout=30.0)
+        if self._queue is not None:
+            self._queue.put(_STOP)
+        if self._dispatcher is not None:
+            try:
+                self._dispatcher.join(timeout=30.0)
+            except RuntimeError:  # never-started thread
+                pass
         for handle in self._handles:
             if handle is None:
                 continue
@@ -452,10 +537,19 @@ class EclipseService:
                 handle.conn.send(("stop", 0))
                 if handle.conn.poll(1.0):
                     handle.conn.recv()
-            except (OSError, EOFError, BrokenPipeError):
+            except Exception:
+                # A dead worker / closed pipe is exactly what close() must
+                # absorb; the kill below is the authoritative teardown.
                 pass
-            handle.kill()
-        if self._owns_dir:
+            try:
+                handle.kill()
+            except Exception:  # pragma: no cover - kill itself is defensive
+                logger.warning(
+                    "shard %d worker did not tear down cleanly", handle.shard,
+                    exc_info=True,
+                )
+        self._handles = [None] * len(self._handles)
+        if self._owns_dir and self._dir:
             shutil.rmtree(self._dir, ignore_errors=True)
 
     # ------------------------------------------------------------------
@@ -525,6 +619,10 @@ class EclipseService:
         if len(window) > 1:
             self.stats.coalesced_queries += len(window)
         specs = [work.spec for work in window]
+        # A coalesced window answers every member in one shard round-trip,
+        # so the tightest member deadline bounds the whole round.
+        deadlines = [w.deadline for w in window if w.deadline is not None]
+        deadline = min(deadlines) if deadlines else None
         method = self.config.method
         degraded = False
         if (
@@ -538,7 +636,7 @@ class EclipseService:
             self.stats.overload_sheds += 1
         expected = self._seq
         try:
-            payloads = self._query_all_shards(specs, method, expected)
+            payloads = self._query_all_shards(specs, method, expected, deadline)
         except _IndexPathError as exc:
             if method == "transform":
                 raise ServiceError(
@@ -552,7 +650,7 @@ class EclipseService:
             method = "transform"
             degraded = True
             self.stats.degraded_windows += 1
-            payloads = self._query_all_shards(specs, method, expected)
+            payloads = self._query_all_shards(specs, method, expected, deadline)
         if degraded:
             self.stats.degraded_queries += len(window)
         for position, work in enumerate(window):
@@ -572,7 +670,11 @@ class EclipseService:
             work.done.set()
 
     def _query_all_shards(
-        self, specs: List[RatioVector], method: str, expected: int
+        self,
+        specs: List[RatioVector],
+        method: str,
+        expected: int,
+        deadline: Optional[float] = None,
     ) -> List[dict]:
         """One fan-out round plus per-shard retries; returns per-shard payloads."""
         num_shards = self.config.num_shards
@@ -592,7 +694,7 @@ class EclipseService:
                 failed.append(shard)
         for shard, req_id in pending:
             try:
-                payloads[shard] = self._collect(shard, req_id, "query")
+                payloads[shard] = self._collect(shard, req_id, "query", deadline)
             except (WorkerCrashError, DeadlineExceededError):
                 failed.append(shard)
         # Sequential recovery round for whatever failed.
@@ -602,6 +704,7 @@ class EclipseService:
                 lambda req_id: ("query", req_id, specs, method, expected),
                 kind="query",
                 already_failed=True,
+                deadline=deadline,
             )
         return payloads  # type: ignore[return-value]
 
@@ -636,6 +739,14 @@ class EclipseService:
     # ------------------------------------------------------------------
     def _do_update(self, work: _UpdateWork) -> None:
         num_shards = self.config.num_shards
+        if work.client_key is not None and work.client_key in self._client_acks:
+            # Exactly-once redelivery: the batch was already acknowledged
+            # (this incarnation or, via recover=True, a previous one) —
+            # replay the recorded ack instead of reapplying.
+            self.stats.client_ack_replays += 1
+            work.result = self._client_acks[work.client_key]
+            work.done.set()
+            return
         seq = self._seq + 1
         inserts = work.insert_points
         count = int(inserts.shape[0])
@@ -651,10 +762,19 @@ class EclipseService:
                 "insert_points": inserts[mask],
                 "insert_gids": insert_gids[mask],
                 "delete_gids": work.delete_gids,
+                # The full (unmasked) batch plus the client key ride in
+                # every shard's fsynced WAL record: recover=True rebuilds
+                # the idempotency table from them and can re-mask the
+                # batch for a shard whose own log never received it.
+                "all_insert_points": inserts,
+                "all_insert_gids": insert_gids,
+                "client": work.client_key,
             }
             die = die_mode if (shard == kill_shard and die_mode != "kill") else None
             kill_after_send = shard == kill_shard and die_mode == "kill"
-            payload = self._update_one_shard(shard, record, die, kill_after_send)
+            payload = self._update_one_shard(
+                shard, record, die, kill_after_send, work.deadline
+            )
             if payload.get("applied"):
                 rows_deleted += int(payload.get("num_deleted", 0))
         # Commit only after every shard acknowledged.
@@ -666,10 +786,17 @@ class EclipseService:
         work.result = UpdateAck(
             seq=seq, insert_gids=insert_gids, rows_deleted=rows_deleted
         )
+        if work.client_key is not None:
+            self._client_acks[work.client_key] = work.result
         work.done.set()
 
     def _update_one_shard(
-        self, shard: int, record: dict, die: Optional[str], kill_after_send: bool
+        self,
+        shard: int,
+        record: dict,
+        die: Optional[str],
+        kill_after_send: bool,
+        deadline: Optional[float] = None,
     ) -> dict:
         """Deliver one update record to one shard, retrying until acked.
 
@@ -686,7 +813,7 @@ class EclipseService:
             if kill_after_send:
                 self.stats.injected_kills += 1
                 self._handles[shard].process.kill()
-            response = self._collect(shard, req_id, "update")
+            response = self._collect(shard, req_id, "update", deadline)
             return response
         except (WorkerCrashError, DeadlineExceededError) as exc:
             first_error = exc
@@ -696,6 +823,7 @@ class EclipseService:
             kind="update",
             already_failed=True,
             cause=first_error,
+            deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -717,16 +845,31 @@ class EclipseService:
     # ------------------------------------------------------------------
     # Transport, deadlines, retries, respawn
     # ------------------------------------------------------------------
-    def _collect(self, shard: int, req_id: int, kind: str) -> dict:
+    def _resolve_deadline(self, deadline: Optional[float]) -> Optional[float]:
+        """Validate a per-request deadline override (``None`` = configured)."""
+        if deadline is None:
+            return None
+        deadline = float(deadline)
+        if not deadline > 0:
+            raise ServiceError(
+                f"a per-request deadline must be positive, got {deadline!r}"
+            )
+        return deadline
+
+    def _collect(
+        self, shard: int, req_id: int, kind: str,
+        deadline: Optional[float] = None,
+    ) -> dict:
         """Receive (with deadline) and validate one response for ``req_id``."""
         handle = self._handles[shard]
-        deadline = time.monotonic() + self.config.deadline
+        budget = self.config.deadline if deadline is None else deadline
+        deadline_at = time.monotonic() + budget
         while True:
-            remaining = deadline - time.monotonic()
+            remaining = deadline_at - time.monotonic()
             if remaining <= 0:
                 self.stats.deadline_timeouts += 1
                 raise DeadlineExceededError(
-                    f"shard {shard} missed its {self.config.deadline:.3f}s "
+                    f"shard {shard} missed its {budget:.3f}s "
                     f"deadline on a {kind} request"
                 )
             try:
@@ -769,6 +912,7 @@ class EclipseService:
         kind: str,
         already_failed: bool = False,
         cause: Optional[BaseException] = None,
+        deadline: Optional[float] = None,
     ) -> dict:
         """Send/receive with crash recovery: respawn + backoff + bounded retries."""
         attempt = 0
@@ -784,7 +928,7 @@ class EclipseService:
             req_id = next(self._req_ids)
             try:
                 self._handles[shard].conn.send(build_message(req_id))
-                return self._collect(shard, req_id, kind)
+                return self._collect(shard, req_id, kind, deadline)
             except (WorkerCrashError, DeadlineExceededError) as exc:
                 last_error = exc
         raise ServiceError(
@@ -855,7 +999,87 @@ class EclipseService:
             logger.warning(
                 "shard %d recovered cold: %s", shard, info["snapshot_error"]
             )
+        self._ready_info[shard] = dict(info)
         return handle
+
+    # ------------------------------------------------------------------
+    # Supervisor-state recovery (recover=True)
+    # ------------------------------------------------------------------
+    def _recover_supervisor(self, base_n: int) -> None:
+        """Rebuild supervisor state from the shard write-ahead logs.
+
+        Called after every worker has finished its own recovery.  Three
+        jobs, in order:
+
+        1. **Repair torn batches.**  A crash of the previous process can
+           leave a batch logged (and hence replayed) on some shards but
+           not others.  Every batch is delivered to *every* shard, so the
+           shard with the highest applied sequence number holds the full
+           record history; batches missing from a lagging shard are
+           re-masked from those records and redelivered (workers treat a
+           known sequence number as an idempotent no-op).
+        2. **Restore the commit state**: the acknowledged sequence number
+           and the next free global id.
+        3. **Rebuild the client idempotency table** from the ``client``
+           keys the records carry, so a client resend after the crash is
+           answered with the recorded acknowledgement, not reapplied.
+        """
+        from repro.service.wal import WriteAheadLog
+
+        num_shards = self.config.num_shards
+        last_seqs = [
+            int(self._ready_info[shard].get("last_seq", 0))
+            for shard in range(num_shards)
+        ]
+        target = max(last_seqs)
+        self.stats.supervisor_recoveries += 1
+        if target == 0:
+            return
+        lead = int(np.argmax(last_seqs))
+        records_by_seq: Dict[int, dict] = {}
+        for record in WriteAheadLog(self._wal_path(lead)).replay():
+            records_by_seq.setdefault(int(record["seq"]), record)
+        next_gid = base_n
+        for record in records_by_seq.values():
+            gids = np.asarray(
+                record.get("all_insert_gids", record["insert_gids"]),
+                dtype=np.intp,
+            )
+            if gids.size:
+                next_gid = max(next_gid, int(gids.max()) + 1)
+        # Repair: bring every lagging shard up to the lead's sequence.
+        for shard in range(num_shards):
+            for seq in range(last_seqs[shard] + 1, target + 1):
+                record = records_by_seq.get(seq)
+                if record is None or "all_insert_gids" not in record:
+                    raise ServiceError(
+                        f"cannot repair shard {shard} to seq {seq}: the "
+                        f"lead shard's log is missing the full record "
+                        "(written by a pre-network service version?)"
+                    )
+                all_gids = np.asarray(record["all_insert_gids"], dtype=np.intp)
+                all_points = np.asarray(
+                    record["all_insert_points"], dtype=float
+                )
+                mask = (all_gids % num_shards) == shard
+                shard_record = dict(record)
+                shard_record["insert_gids"] = all_gids[mask]
+                shard_record["insert_points"] = all_points[mask]
+                self._update_one_shard(shard, shard_record, None, False)
+                self.stats.repair_redeliveries += 1
+        self._seq = target
+        self._next_gid = next_gid
+        for record in records_by_seq.values():
+            client = record.get("client")
+            if client is None:
+                continue
+            gids = np.asarray(record["all_insert_gids"], dtype=np.intp)
+            # rows_deleted is not reconstructible from the logs (it was
+            # counted against the pre-batch liveness); replayed acks
+            # carry 0 there — metadata only, the state itself is exact.
+            self._client_acks[(str(client[0]), int(client[1]))] = UpdateAck(
+                seq=int(record["seq"]), insert_gids=gids, rows_deleted=0
+            )
 
     def _respawn(self, shard: int, drop_only: bool = False) -> None:
         """Kill and restart one worker from its snapshot + WAL tail.

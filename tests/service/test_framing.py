@@ -1,0 +1,205 @@
+"""Wire-protocol framing: round trips, torn frames, and damage handling.
+
+The contract under test: recoverable damage (intact header, bad payload)
+must never desynchronise the stream — the decoder reports it once and the
+*next* frame decodes normally — while header damage (bad magic, unknown
+version) permanently kills the decoder."""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.service import framing
+from repro.service.framing import (
+    FrameDecoder,
+    RawFrameSplitter,
+    encode_frame,
+)
+
+
+def _feed_all(decoder: FrameDecoder, blob: bytes):
+    decoder.feed(blob)
+    return list(decoder.frames())
+
+
+class TestRoundTrip:
+    def test_every_kind_round_trips(self):
+        decoder = FrameDecoder()
+        for kind in sorted(framing.KIND_NAMES):
+            payload = {"kind": kind, "data": [1, 2.5, "x"]}
+            frames = _feed_all(decoder, encode_frame(kind, payload))
+            assert frames == [(kind, payload)]
+
+    def test_numpy_payload_round_trips_exactly(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(50, 4))
+        decoder = FrameDecoder()
+        ((kind, payload),) = _feed_all(
+            decoder, encode_frame(framing.KIND_OK, {"points": points})
+        )
+        assert kind == framing.KIND_OK
+        assert payload["points"].tobytes() == points.tobytes()
+
+    def test_torn_frame_buffers_across_feeds(self):
+        blob = encode_frame(framing.KIND_QUERY, {"id": 7})
+        decoder = FrameDecoder()
+        for offset in range(len(blob)):
+            # Feeding one byte at a time: no frame until the last byte.
+            assert decoder.next_frame() is None
+            decoder.feed(blob[offset : offset + 1])
+        assert decoder.next_frame() == (framing.KIND_QUERY, {"id": 7})
+
+    def test_many_frames_in_one_feed(self):
+        blob = b"".join(
+            encode_frame(framing.KIND_PING, {"id": i}) for i in range(20)
+        )
+        decoder = FrameDecoder()
+        frames = _feed_all(decoder, blob)
+        assert [payload["id"] for _, payload in frames] == list(range(20))
+
+    def test_unknown_kind_rejected_at_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame(9999, {})
+
+
+class TestRecoverableDamage:
+    def test_payload_bitflip_is_recoverable_and_stream_continues(self):
+        good = encode_frame(framing.KIND_OK, {"id": 1})
+        bad = bytearray(encode_frame(framing.KIND_OK, {"id": 2}))
+        bad[framing.FRAME_HEADER.size] ^= 0x10  # corrupt the payload
+        tail = encode_frame(framing.KIND_OK, {"id": 3})
+        decoder = FrameDecoder()
+        decoder.feed(good + bytes(bad) + tail)
+        assert decoder.next_frame() == (framing.KIND_OK, {"id": 1})
+        with pytest.raises(FrameError) as excinfo:
+            decoder.next_frame()
+        assert excinfo.value.recoverable
+        assert "CRC" in str(excinfo.value)
+        # The stream re-synchronised: the next frame decodes normally.
+        assert decoder.next_frame() == (framing.KIND_OK, {"id": 3})
+
+    def test_undecodable_payload_is_recoverable(self):
+        from zlib import crc32
+
+        blob = b"\x80\x05 this is not a pickle"
+        header = framing.FRAME_HEADER.pack(
+            framing.FRAME_MAGIC, framing.PROTOCOL_VERSION,
+            framing.KIND_OK, len(blob), crc32(blob),
+        )
+        decoder = FrameDecoder()
+        decoder.feed(header + blob + encode_frame(framing.KIND_OK, {"id": 4}))
+        with pytest.raises(FrameError) as excinfo:
+            decoder.next_frame()
+        assert excinfo.value.recoverable
+        assert decoder.next_frame() == (framing.KIND_OK, {"id": 4})
+
+    def test_unknown_kind_on_wire_is_recoverable(self):
+        from zlib import crc32
+
+        blob = pickle.dumps({"id": 9})
+        header = framing.FRAME_HEADER.pack(
+            framing.FRAME_MAGIC, framing.PROTOCOL_VERSION, 77,
+            len(blob), crc32(blob),
+        )
+        decoder = FrameDecoder()
+        decoder.feed(header + blob + encode_frame(framing.KIND_OK, {"id": 5}))
+        with pytest.raises(FrameError) as excinfo:
+            decoder.next_frame()
+        assert excinfo.value.recoverable and excinfo.value.kind == 77
+        assert decoder.next_frame() == (framing.KIND_OK, {"id": 5})
+
+    def test_oversized_frame_skipped_without_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        big = encode_frame(framing.KIND_QUERY, {"blob": b"x" * 4096})
+        decoder.feed(big[:100])  # header + part of the oversized payload
+        with pytest.raises(FrameError) as excinfo:
+            decoder.next_frame()
+        assert excinfo.value.recoverable
+        # The rest of the payload is discarded as it arrives, not stored.
+        decoder.feed(big[100:])
+        assert decoder.buffered_bytes == 0
+        decoder.feed(encode_frame(framing.KIND_OK, {"id": 6}))
+        assert decoder.next_frame() == (framing.KIND_OK, {"id": 6})
+
+
+class TestUnrecoverableDamage:
+    def test_bad_magic_kills_the_decoder(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"JUNKJUNKJUNKJUNKJUNKJUNK")
+        with pytest.raises(FrameError) as excinfo:
+            decoder.next_frame()
+        assert not excinfo.value.recoverable
+        # Dead decoder refuses further use, loudly.
+        with pytest.raises(FrameError):
+            decoder.feed(encode_frame(framing.KIND_OK, {}))
+        with pytest.raises(FrameError):
+            decoder.next_frame()
+
+    def test_unknown_version_kills_the_decoder(self):
+        blob = pickle.dumps({})
+        from zlib import crc32
+
+        header = framing.FRAME_HEADER.pack(
+            framing.FRAME_MAGIC, 999, framing.KIND_OK, len(blob), crc32(blob)
+        )
+        decoder = FrameDecoder()
+        decoder.feed(header + blob)
+        with pytest.raises(FrameError) as excinfo:
+            decoder.next_frame()
+        assert not excinfo.value.recoverable
+        assert "version" in str(excinfo.value)
+
+
+class TestRawFrameSplitter:
+    def test_splits_on_frame_boundaries_verbatim(self):
+        frames = [
+            encode_frame(framing.KIND_QUERY, {"id": i}) for i in range(5)
+        ]
+        splitter = RawFrameSplitter()
+        splitter.feed(b"".join(frames))
+        out = []
+        while True:
+            chunk = splitter.next_chunk()
+            if chunk is None:
+                break
+            out.append(chunk)
+        assert out == frames
+
+    def test_corruption_passes_through_untouched(self):
+        # The whole point of the splitter: a bit-flipped frame must reach
+        # the other side bit-flipped, not repaired by a re-encode.
+        frame = bytearray(encode_frame(framing.KIND_OK, {"id": 1}))
+        frame[framing.FRAME_HEADER.size + 1] ^= 0x08
+        splitter = RawFrameSplitter()
+        splitter.feed(bytes(frame))
+        assert splitter.next_chunk() == bytes(frame)
+
+    def test_torn_frame_waits_for_the_rest(self):
+        frame = encode_frame(framing.KIND_OK, {"id": 2})
+        splitter = RawFrameSplitter()
+        splitter.feed(frame[:10])
+        assert splitter.next_chunk() is None
+        splitter.feed(frame[10:])
+        assert splitter.next_chunk() == frame
+
+    def test_unframeable_traffic_forwarded_opaquely(self):
+        splitter = RawFrameSplitter()
+        garbage = b"GET / HTTP/1.1\r\n" * 4
+        splitter.feed(garbage)
+        assert splitter.next_chunk() == garbage
+        # Once opaque, everything is passed through as-is.
+        more = encode_frame(framing.KIND_OK, {})
+        splitter.feed(more)
+        assert splitter.next_chunk() == more
+
+    def test_flush_tail_returns_partial_frame(self):
+        frame = encode_frame(framing.KIND_OK, {"id": 3})
+        splitter = RawFrameSplitter()
+        splitter.feed(frame[:-4])
+        assert splitter.next_chunk() is None
+        assert splitter.flush_tail() == frame[:-4]

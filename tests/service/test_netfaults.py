@@ -1,0 +1,184 @@
+"""Network fault injection: chaos-proxy damage, worker kills through the
+network path, and whole-server SIGKILL + recovery — all gated on
+byte-identical answers and zero lost acknowledged updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.faults import FaultPlan
+from repro.service.netclient import ClientConfig
+from repro.service.netfaults import (
+    NetFaultPlan,
+    parse_net_plan,
+    run_net_fault_injection,
+)
+from repro.service.supervisor import ServiceConfig
+
+FAST = ServiceConfig(
+    num_shards=2, backoff_base=0.01, backoff_cap=0.05, deadline=15.0,
+    snapshot_every=4,
+)
+
+CLIENT_FAST = ClientConfig(
+    connect_timeout=2.0, response_timeout=2.5, max_retries=25,
+    backoff_base=0.02, backoff_cap=0.2, seed=1,
+)
+
+# Subprocess servers take seconds to restart after a SIGKILL: short
+# response timeouts (drops must not stall the test) but a deep retry
+# budget so in-flight requests ride through the recovery window.
+CLIENT_KILLS = ClientConfig(
+    connect_timeout=2.0, response_timeout=3.0, max_retries=40,
+    backoff_base=0.05, backoff_cap=0.4, seed=1,
+)
+
+
+class TestPlanParsing:
+    def test_parse_round_trip(self):
+        plan = parse_net_plan(
+            "drop_every=17,duplicate_every=13,bitflip_every=23,"
+            "delay_every=9,delay=0.01,kill_conn_every=31,seed=3"
+        )
+        assert plan.drop_every == 17
+        assert plan.duplicate_every == 13
+        assert plan.bitflip_every == 23
+        assert plan.delay == pytest.approx(0.01)
+        assert plan.kill_conn_every == 31
+        assert plan.seed == 3
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            parse_net_plan("explode_every=2")
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            NetFaultPlan(direction="sideways")
+        with pytest.raises(ValueError):
+            NetFaultPlan(drop_every=-1)
+        with pytest.raises(ValueError):
+            NetFaultPlan(delay=-0.5)
+
+
+class TestHarnessValidation:
+    def test_sigkill_needs_subprocess_server(self):
+        with pytest.raises(ServiceError, match="subprocess"):
+            run_net_fault_injection(kill_server_every=3, server="thread")
+
+    def test_sigkill_needs_snapshot_dir(self):
+        with pytest.raises(ServiceError, match="snapshot_dir"):
+            run_net_fault_injection(
+                kill_server_every=3, server="subprocess"
+            )
+
+    def test_external_needs_address(self):
+        with pytest.raises(ServiceError, match="host"):
+            run_net_fault_injection(server="external")
+
+    def test_unknown_server_mode(self):
+        with pytest.raises(ValueError):
+            run_net_fault_injection(server="cloud")
+
+
+class TestChaosProxyThreadServer:
+    def test_clean_wire_matches_reference(self):
+        report = run_net_fault_injection(
+            dataset="INDE", n=300, dimensions=3, steps=10,
+            update_fraction=0.4, config=FAST, client_config=CLIENT_FAST,
+            seed=11, server="thread",
+        )
+        assert report.ok
+        assert report.mismatches == 0
+        assert report.drain_clean is True
+        assert report.queries + report.update_batches > 0
+
+    def test_byte_identical_under_drops_dups_and_bitflips(self):
+        report = run_net_fault_injection(
+            dataset="ANTI", n=400, dimensions=3, steps=16,
+            update_fraction=0.35,
+            net_plan=NetFaultPlan(
+                drop_every=11, duplicate_every=7, bitflip_every=9, seed=2
+            ),
+            config=FAST, client_config=CLIENT_FAST, seed=4, server="thread",
+        )
+        assert report.ok, report.examples
+        injected = report.proxy_stats
+        assert injected["dropped"] + injected["bitflipped"] > 0
+        # The client had to actually ride through damage.
+        assert (
+            report.client_stats["resends"] > 0
+            or report.client_stats["frame_errors"] > 0
+        )
+
+    def test_byte_identical_under_connection_kills_and_truncation(self):
+        report = run_net_fault_injection(
+            dataset="ANTI", n=350, dimensions=3, steps=14,
+            update_fraction=0.4,
+            net_plan=NetFaultPlan(
+                kill_conn_every=9, truncate_every=13, delay_every=5,
+                delay=0.003, seed=6,
+            ),
+            config=FAST, client_config=CLIENT_FAST, seed=7, server="thread",
+        )
+        assert report.ok, report.examples
+        assert (
+            report.proxy_stats["conns_killed"]
+            + report.proxy_stats["truncated"]
+            > 0
+        )
+        assert report.client_stats["reconnects"] > 0
+
+    def test_worker_kills_through_the_network_path(self, tmp_path):
+        # Satellite: WAL torn-tail discipline exercised end to end — the
+        # worker dies at before_wal (batch never logged) and at kill
+        # (mid-batch, possibly half-written WAL tail); the supervisor
+        # retries idempotently and the client-visible stream must stay
+        # byte-identical throughout.
+        for kill_mode in ("before_wal", "kill"):
+            report = run_net_fault_injection(
+                dataset="ANTI", n=300, dimensions=3, steps=12,
+                update_fraction=0.5,
+                plan=FaultPlan(kill_every=2, kill_mode=kill_mode, seed=13),
+                config=FAST, client_config=CLIENT_FAST, seed=8,
+                server="thread", snapshot_dir=str(tmp_path / kill_mode),
+            )
+            assert report.ok, (kill_mode, report.examples)
+            service = report.server_stats["service"]
+            assert service["worker_respawns"] > 0
+
+
+class TestSubprocessServer:
+    def test_sigkill_under_active_client_loses_nothing(self, tmp_path):
+        # The acceptance gate of the tentpole: SIGKILL the whole server
+        # process while requests are in flight (several times), restart it
+        # with --recover on the same WAL directory, and require every
+        # answer byte-identical with zero acked updates lost.
+        report = run_net_fault_injection(
+            dataset="ANTI", n=600, dimensions=3, steps=12,
+            update_fraction=0.45,
+            net_plan=NetFaultPlan(drop_every=15, duplicate_every=8, seed=3),
+            config=FAST, client_config=CLIENT_KILLS, kill_server_every=4,
+            seed=5, server="subprocess", snapshot_dir=str(tmp_path),
+        )
+        assert report.ok, report.examples
+        assert report.server_restarts == 3
+        assert report.mismatches == 0
+        assert report.drain_clean is True  # SIGTERM drain exited 0
+        assert report.client_stats["reconnects"] > 0
+
+    def test_resend_after_ack_lost_in_server_kill(self, tmp_path):
+        # Drop every server->client frame now and then so some update
+        # acknowledgements vanish *and* kill the server: the resend path
+        # must converge on exactly-once application.
+        report = run_net_fault_injection(
+            dataset="INDE", n=500, dimensions=3, steps=10,
+            update_fraction=0.6,
+            net_plan=NetFaultPlan(drop_every=6, direction="s2c", seed=9),
+            config=FAST, client_config=CLIENT_KILLS, kill_server_every=5,
+            seed=12, server="subprocess", snapshot_dir=str(tmp_path),
+        )
+        assert report.ok, report.examples
+        assert report.server_restarts == 2
+        assert report.client_stats["resends"] > 0

@@ -1,0 +1,369 @@
+"""TCP front end: parity over the wire, backpressure/shedding, deadlines,
+idempotent resend, graceful drain, endpoint probes, and the
+``REPRO_SERVICE_LISTEN`` environment knob."""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.core.session import DatasetSession
+from repro.core.weights import RatioVector
+from repro.data.generators import generate_dataset
+from repro.errors import (
+    DimensionMismatchError,
+    ServerBusyError,
+    ServiceError,
+)
+from repro.service import framing
+from repro.service.netclient import ClientConfig, EclipseClient
+from repro.service.netserver import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    NetServerConfig,
+    resolve_listen,
+    start_in_thread,
+)
+from repro.service.supervisor import EclipseService, ServiceConfig
+
+FAST = ServiceConfig(
+    num_shards=2, backoff_base=0.01, backoff_cap=0.05, snapshot_every=0
+)
+
+CLIENT_FAST = ClientConfig(
+    connect_timeout=2.0, response_timeout=20.0, max_retries=3,
+    backoff_base=0.01, backoff_cap=0.05,
+)
+
+
+@pytest.fixture()
+def served():
+    """A small service behind a thread-hosted TCP server."""
+    data = generate_dataset("ANTI", 260, 3, seed=7)
+    service = EclipseService(data, config=FAST)
+    handle = start_in_thread(service, NetServerConfig(port=0))
+    try:
+        yield data, service, handle
+    finally:
+        handle.shutdown()
+        service.close()
+
+
+def _client(handle, **overrides):
+    merged = {**CLIENT_FAST.__dict__, **overrides}
+    return EclipseClient(handle.host, handle.port, ClientConfig(**merged))
+
+
+def _specs(dimensions: int, count: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        low = float(rng.uniform(0.1, 1.0))
+        out.append(
+            RatioVector.uniform(
+                low, low + float(rng.uniform(0.2, 2.5)), dimensions
+            )
+        )
+    return out
+
+
+class TestWireParity:
+    def test_queries_byte_identical_to_reference(self, served):
+        data, service, handle = served
+        reference = DatasetSession(data)
+        with _client(handle) as client:
+            for spec in _specs(3):
+                got = client.query(spec)
+                want = reference.run(ratios=spec)
+                np.testing.assert_array_equal(got.gids, want.indices)
+                assert got.points.tobytes() == want.points.tobytes()
+
+    def test_batch_matches_in_process_service(self, served):
+        data, service, handle = served
+        specs = _specs(3, count=6, seed=2)
+        with _client(handle) as client:
+            over_wire = client.query_batch(specs)
+        in_process = service.query_batch(specs)
+        for a, b in zip(over_wire, in_process):
+            np.testing.assert_array_equal(a.gids, b.gids)
+            assert a.points.tobytes() == b.points.tobytes()
+            assert a.method == b.method
+
+    def test_updates_apply_and_queries_see_them(self, served):
+        data, service, handle = served
+        rng = np.random.default_rng(3)
+        inserts = data.min(axis=0) + rng.uniform(size=(6, 3)) * (
+            data.max(axis=0) - data.min(axis=0)
+        )
+        with _client(handle) as client:
+            ack = client.apply_updates(inserts=inserts)
+            assert ack.insert_gids.size == 6
+            spec = RatioVector.uniform(0.1, 3.0, 3)
+            np.testing.assert_array_equal(
+                client.query(spec).gids, service.query(spec).gids
+            )
+
+    def test_server_side_errors_rehydrate_to_original_class(self, served):
+        _data, _service, handle = served
+        with _client(handle) as client:
+            with pytest.raises(DimensionMismatchError):
+                client.query(RatioVector.uniform(0.5, 2.0, 7))
+
+
+class TestIdempotentResend:
+    def test_same_client_seq_is_not_reapplied(self, served):
+        data, service, handle = served
+        rng = np.random.default_rng(5)
+        inserts = np.abs(rng.normal(size=(4, 3))) + 0.05
+        with _client(handle) as client:
+            ack = client.apply_updates(inserts=inserts)
+            # Simulate a resend after a lost acknowledgement: rewind the
+            # client sequence and send the identical batch again.
+            client._next_client_seq -= 1
+            again = client.apply_updates(inserts=inserts)
+        assert again.seq == ack.seq
+        np.testing.assert_array_equal(again.insert_gids, ack.insert_gids)
+        assert service.stats.client_ack_replays == 1
+        assert service.acked_seq == ack.seq  # applied exactly once
+
+    def test_distinct_seqs_apply_separately(self, served):
+        _data, service, handle = served
+        rng = np.random.default_rng(6)
+        with _client(handle) as client:
+            a = client.apply_updates(
+                inserts=np.abs(rng.normal(size=(2, 3))) + 0.05
+            )
+            b = client.apply_updates(
+                inserts=np.abs(rng.normal(size=(2, 3))) + 0.05
+            )
+        assert b.seq == a.seq + 1
+        assert service.stats.client_ack_replays == 0
+
+
+class TestDeadlines:
+    def test_per_request_deadline_overrides_config(self, served):
+        _data, _service, handle = served
+        with _client(handle, max_retries=0) as client:
+            # An absurdly small budget must surface as the service's own
+            # deadline failure, rehydrated through the wire — exactly what
+            # the in-process API raises once its retry budget is spent.
+            with pytest.raises(ServiceError, match="deadline"):
+                client.query_batch(_specs(3), deadline=1e-9)
+            # And a sane one still answers.
+            assert client.query_batch(_specs(3), deadline=30.0)
+
+    def test_invalid_deadline_rejected(self, served):
+        _data, _service, handle = served
+        with _client(handle, max_retries=0) as client:
+            with pytest.raises(ServiceError):
+                client.query_batch(_specs(3), deadline=-2.0)
+
+
+class TestFrameRejection:
+    def test_corrupt_frame_answered_in_band_connection_survives(self, served):
+        _data, _service, handle = served
+        with socket.create_connection(
+            (handle.host, handle.port), timeout=10.0
+        ) as sock:
+            sock.settimeout(10.0)
+            decoder = framing.FrameDecoder()
+            bad = bytearray(
+                framing.encode_frame(framing.KIND_HEALTH, {"id": 1})
+            )
+            bad[framing.FRAME_HEADER.size] ^= 0x40  # break the payload CRC
+            sock.sendall(bytes(bad))
+            sock.sendall(framing.encode_frame(framing.KIND_HEALTH, {"id": 2}))
+            got = []
+            while len(got) < 2:
+                data = sock.recv(65536)
+                assert data, "server closed a recoverable connection"
+                decoder.feed(data)
+                got.extend(decoder.frames())
+        (k1, p1), (k2, p2) = got
+        assert k1 == framing.KIND_ERROR and p1["id"] is None
+        assert p1["recoverable"] is True
+        assert k2 == framing.KIND_OK and p2["id"] == 2
+
+    def test_bad_magic_closes_connection_not_listener(self, served):
+        _data, _service, handle = served
+        with socket.create_connection(
+            (handle.host, handle.port), timeout=10.0
+        ) as sock:
+            sock.settimeout(10.0)
+            sock.sendall(b"NOPE" + b"\x00" * 32)
+            # The server answers with an unrecoverable ERROR and closes.
+            chunks = []
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+            decoder = framing.FrameDecoder()
+            decoder.feed(b"".join(chunks))
+            kind, payload = decoder.next_frame()
+            assert kind == framing.KIND_ERROR
+            assert payload["recoverable"] is False
+        # The listener is fine: a fresh client works.
+        with _client(handle) as client:
+            assert client.health()["status"] == "ok"
+
+
+class TestBackpressureAndShedding:
+    def test_connection_cap_sheds_with_busy(self):
+        data = generate_dataset("INDE", 120, 3, seed=1)
+        service = EclipseService(data, config=FAST)
+        handle = start_in_thread(
+            service, NetServerConfig(port=0, max_connections=1)
+        )
+        try:
+            with _client(handle) as first:
+                assert first.health()["status"] == "ok"
+                with _client(handle, max_retries=0) as second:
+                    with pytest.raises(ServerBusyError):
+                        second.health()
+            # The slot freed: a new connection is admitted again.
+            with _client(handle) as third:
+                assert third.health()["status"] == "ok"
+            assert handle.server.stats.connections_shed >= 1
+        finally:
+            handle.shutdown()
+            service.close()
+
+    def test_busy_retry_eventually_succeeds_after_slot_frees(self):
+        data = generate_dataset("INDE", 120, 3, seed=2)
+        service = EclipseService(data, config=FAST)
+        handle = start_in_thread(
+            service, NetServerConfig(port=0, max_connections=1)
+        )
+        try:
+            import threading
+            import time
+
+            first = _client(handle)
+            first.health()
+
+            def release():
+                time.sleep(0.3)
+                first.close()
+
+            threading.Thread(target=release).start()
+            with _client(
+                handle, max_retries=20, backoff_base=0.05, backoff_cap=0.2
+            ) as second:
+                assert second.health()["status"] == "ok"
+                assert second.stats.busy_rejections >= 1
+        finally:
+            handle.shutdown()
+            service.close()
+
+
+class TestEndpoints:
+    def test_health_ready_stats(self, served):
+        _data, _service, handle = served
+        with _client(handle) as client:
+            health = client.health()
+            assert health["status"] == "ok" and not health["draining"]
+            assert health["uptime"] >= 0
+            ready = client.ready()
+            assert ready["ready"] is True and ready["shards"] == 2
+            assert len(client.ping()) == 2
+            stats = client.server_stats()
+            assert stats["server"]["connections_accepted"] >= 1
+            assert "queries" in stats["service"] or stats["service"]
+
+    def test_force_snapshot_over_wire(self, tmp_path):
+        data = generate_dataset("CORR", 140, 3, seed=4)
+        service = EclipseService(
+            data, config=FAST, snapshot_dir=str(tmp_path)
+        )
+        handle = start_in_thread(service, NetServerConfig(port=0))
+        try:
+            with _client(handle) as client:
+                infos = client.force_snapshot()
+            assert len(infos) == 2
+        finally:
+            handle.shutdown()
+            service.close()
+
+
+class TestGracefulDrain:
+    def test_drain_refuses_new_connections_and_snapshots(self, tmp_path):
+        data = generate_dataset("ANTI", 200, 3, seed=9)
+        service = EclipseService(
+            data, config=FAST, snapshot_dir=str(tmp_path)
+        )
+        handle = start_in_thread(service, NetServerConfig(port=0))
+        with _client(handle) as client:
+            client.apply_updates(
+                inserts=np.abs(np.random.default_rng(1).normal(size=(3, 3)))
+                + 0.05
+            )
+        handle.shutdown()
+        # Drained: the port no longer accepts.
+        with pytest.raises(OSError):
+            socket.create_connection(
+                (handle.host, handle.port), timeout=1.0
+            ).close()
+        # The acked update was snapshotted durably on the way out: a
+        # recovering service sees it without replaying anything.
+        service.close()
+        with EclipseService(
+            data, config=FAST, snapshot_dir=str(tmp_path), recover=True
+        ) as recovered:
+            assert recovered.acked_seq == 1
+
+    def test_shutdown_is_idempotent(self, served):
+        _data, _service, handle = served
+        handle.shutdown()
+        handle.shutdown()
+
+
+class TestListenEnvKnob:
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_LISTEN", raising=False)
+        assert resolve_listen() == (DEFAULT_HOST, DEFAULT_PORT)
+
+    def test_env_host_and_port(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_LISTEN", "10.1.2.3:9009")
+        assert resolve_listen() == ("10.1.2.3", 9009)
+
+    def test_env_port_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_LISTEN", ":9100")
+        assert resolve_listen() == (DEFAULT_HOST, 9100)
+
+    def test_env_host_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_LISTEN", "0.0.0.0")
+        assert resolve_listen() == ("0.0.0.0", DEFAULT_PORT)
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_LISTEN", "10.1.2.3:9009")
+        assert resolve_listen("127.0.0.1", 7001) == ("127.0.0.1", 7001)
+
+    @pytest.mark.parametrize(
+        "bad", ["127.0.0.1:notaport", ":", "host:99999", "  "]
+    )
+    def test_garbage_env_warns_and_falls_back(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SERVICE_LISTEN", bad)
+        with pytest.warns(RuntimeWarning, match="REPRO_SERVICE_LISTEN"):
+            resolved = resolve_listen()
+        assert resolved == (DEFAULT_HOST, DEFAULT_PORT)
+
+
+class TestClientConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ServiceError):
+            ClientConfig(response_timeout=0)
+        with pytest.raises(ServiceError):
+            ClientConfig(max_retries=-1)
+        with pytest.raises(ServiceError):
+            ClientConfig(backoff_base=-0.1)
+
+    def test_closed_client_refuses_requests(self, served):
+        _data, _service, handle = served
+        client = _client(handle)
+        client.health()
+        client.close()
+        with pytest.raises(ServiceError):
+            client.health()

@@ -357,3 +357,136 @@ class TestProcessBackendShards:
         assert report.ok
         assert report.mismatches == 0
         assert report.queries > 0 and report.update_batches > 0
+
+
+class TestCloseRobustness:
+    """``close()`` must be safe to call twice, after worker death, after a
+    dispatcher crash, and on a service whose constructor failed."""
+
+    def test_double_close_is_idempotent(self):
+        data = generate_dataset("INDE", 120, 3, seed=1)
+        service = EclipseService(data, config=FAST)
+        service.close()
+        service.close()
+
+    def test_use_after_close_raises_cleanly(self):
+        data = generate_dataset("INDE", 120, 3, seed=2)
+        service = EclipseService(data, config=FAST)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.query(RatioVector.uniform(0.5, 2.0, 3))
+        with pytest.raises(ServiceError):
+            service.apply_updates(inserts=np.ones((1, 3)))
+
+    def test_close_after_all_workers_killed(self):
+        data = generate_dataset("INDE", 150, 3, seed=3)
+        service = EclipseService(data, config=FAST)
+        for handle in service._handles:
+            handle.kill()
+        service.close()
+        service.close()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_close_after_dispatcher_crash(self):
+        import time
+
+        data = generate_dataset("INDE", 150, 3, seed=4)
+        service = EclipseService(data, config=FAST)
+        # A foreign object in the work queue crashes the dispatcher
+        # thread (its error handler cannot mark it done).  close() must
+        # still tear everything down without hanging or raising.
+        service._queue.put(object())
+        deadline = time.monotonic() + 5.0
+        while service._dispatcher.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not service._dispatcher.is_alive()
+        service.close()
+        service.close()
+
+    def test_constructor_failure_leaves_no_live_workers(self, monkeypatch):
+        data = generate_dataset("INDE", 120, 3, seed=5)
+        original = EclipseService._spawn
+        calls = {"n": 0}
+
+        def flaky(self, shard, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise ServiceError("injected spawn failure")
+            return original(self, shard, **kwargs)
+
+        monkeypatch.setattr(EclipseService, "_spawn", flaky)
+        with pytest.raises(ServiceError, match="injected spawn failure"):
+            EclipseService(data, config=FAST)
+
+    def test_recover_requires_snapshot_dir(self):
+        data = generate_dataset("INDE", 120, 3, seed=6)
+        with pytest.raises(ServiceError, match="snapshot"):
+            EclipseService(data, config=FAST, recover=True)
+
+
+class TestSupervisorRecovery:
+    """``recover=True`` rebuilds supervisor state (sequence counter,
+    global-id allocator, client-acknowledgement cache) from the WALs of a
+    dead process and repairs lagging shards."""
+
+    def test_recover_restores_seq_gids_and_acks(self, tmp_path):
+        data = generate_dataset("ANTI", 200, 3, seed=7)
+        rng = np.random.default_rng(8)
+        inserts = np.abs(rng.normal(size=(5, 3))) + 0.05
+        spec = RatioVector.uniform(0.2, 2.2, 3)
+        with EclipseService(
+            data, config=FAST, snapshot_dir=str(tmp_path)
+        ) as service:
+            ack = service.apply_updates(
+                inserts=inserts, client_key=("c1", 1)
+            )
+            before = service.query(spec)
+        # A brand-new process over the same WAL directory: recovery must
+        # restore the sequence, keep answers identical, dedup the client
+        # resend, and hand out fresh (non-colliding) global ids.
+        with EclipseService(
+            data, config=FAST, snapshot_dir=str(tmp_path), recover=True
+        ) as recovered:
+            assert recovered.acked_seq == ack.seq
+            assert recovered.stats.supervisor_recoveries == 1
+            after = recovered.query(spec)
+            np.testing.assert_array_equal(before.gids, after.gids)
+            assert before.points.tobytes() == after.points.tobytes()
+            replay = recovered.apply_updates(
+                inserts=inserts, client_key=("c1", 1)
+            )
+            assert replay.seq == ack.seq
+            np.testing.assert_array_equal(
+                replay.insert_gids, ack.insert_gids
+            )
+            assert recovered.stats.client_ack_replays == 1
+            fresh = recovered.apply_updates(
+                inserts=inserts, client_key=("c1", 2)
+            )
+            assert fresh.seq == ack.seq + 1
+            assert not np.intersect1d(
+                fresh.insert_gids, ack.insert_gids
+            ).size
+
+    def test_recover_on_empty_dir_is_a_fresh_start(self, tmp_path):
+        data = generate_dataset("INDE", 150, 3, seed=9)
+        with EclipseService(
+            data, config=FAST, snapshot_dir=str(tmp_path), recover=True
+        ) as service:
+            assert service.acked_seq == 0
+            assert service.query(RatioVector.uniform(0.4, 2.0, 3)).gids.size
+
+    def test_deadline_argument_validated(self):
+        data = generate_dataset("INDE", 120, 3, seed=10)
+        with EclipseService(data, config=FAST) as service:
+            with pytest.raises(ServiceError):
+                service.query(RatioVector.uniform(0.4, 2.0, 3), deadline=0)
+            with pytest.raises(ServiceError):
+                service.query_batch(
+                    [RatioVector.uniform(0.4, 2.0, 3)], deadline=-1.0
+                )
+            assert service.query(
+                RatioVector.uniform(0.4, 2.0, 3), deadline=30.0
+            ).gids is not None

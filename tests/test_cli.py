@@ -243,3 +243,159 @@ class TestServeCommand:
             ["serve", "--n", "100", "--inject", "kill_every=2,kill_mode=nope"]
         )
         assert exit_code != 0
+
+
+class TestServeNetworkMode:
+    def test_busy_bind_address_exits_2_with_clear_message(self, capsys):
+        import socket
+
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            exit_code = main(
+                [
+                    "serve", "--listen", "127.0.0.1",
+                    "--bind-port", str(port),
+                    "--dataset", "INDE", "--n", "80", "-d", "3",
+                ]
+            )
+        finally:
+            blocker.close()
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot listen on" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_invalid_bind_address_exits_2(self, capsys):
+        exit_code = main(
+            [
+                "serve", "--listen", "no.such.host.invalid.",
+                "--bind-port", "7431",
+                "--dataset", "INDE", "--n", "80", "-d", "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot listen on" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_recover_without_snapshot_dir_exits_2(self, capsys):
+        exit_code = main(
+            [
+                "serve", "--listen", "127.0.0.1", "--bind-port", "0",
+                "--recover", "--dataset", "INDE", "--n", "80",
+            ]
+        )
+        assert exit_code == 2
+        assert "--snapshot-dir" in capsys.readouterr().err
+
+    def test_bad_max_connections_exits_2(self, capsys):
+        exit_code = main(
+            [
+                "serve", "--listen", "127.0.0.1", "--bind-port", "0",
+                "--max-connections", "0", "--dataset", "INDE", "--n", "80",
+            ]
+        )
+        assert exit_code == 2
+
+
+class TestClientCommand:
+    @pytest.fixture()
+    def server(self):
+        from repro.data.generators import generate_dataset
+        from repro.service.netserver import NetServerConfig, start_in_thread
+        from repro.service.supervisor import EclipseService, ServiceConfig
+
+        data = generate_dataset("INDE", 200, 3, seed=0)
+        service = EclipseService(
+            data,
+            config=ServiceConfig(
+                num_shards=2, backoff_base=0.01, backoff_cap=0.05
+            ),
+        )
+        handle = start_in_thread(service, NetServerConfig(port=0))
+        try:
+            yield handle
+        finally:
+            handle.shutdown()
+            service.close()
+
+    def test_one_shot_query(self, server, capsys):
+        exit_code = main(
+            [
+                "client", "--host", server.host, "--port", str(server.port),
+                "--low", "0.3", "--high", "2.4", "-d", "3",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "points returned" in out
+        assert f"via {server.host}:{server.port}" in out
+
+    def test_health_probe(self, server, capsys):
+        assert main(
+            [
+                "client", "--host", server.host, "--port", str(server.port),
+                "--health",
+            ]
+        ) == 0
+        assert "'status': 'ok'" in capsys.readouterr().out
+
+    def test_listen_env_knob_supplies_address(self, server, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_SERVICE_LISTEN", f"{server.host}:{server.port}"
+        )
+        assert main(["client", "--health"]) == 0
+        assert "'status': 'ok'" in capsys.readouterr().out
+
+    def test_garbage_listen_env_warns_and_falls_back(self, server, monkeypatch):
+        # The env knob is misconfigured: the CLI must warn (RuntimeWarning)
+        # and fall back to the defaults rather than die — here the explicit
+        # --host/--port still win, so the request succeeds.
+        monkeypatch.setenv("REPRO_SERVICE_LISTEN", "not:a:valid:addr")
+        with pytest.warns(RuntimeWarning, match="REPRO_SERVICE_LISTEN"):
+            exit_code = main(
+                [
+                    "client", "--host", server.host,
+                    "--port", str(server.port), "--health",
+                ]
+            )
+        assert exit_code == 0
+
+    def test_workload_against_external_server(self, server, capsys):
+        exit_code = main(
+            [
+                "client", "--host", server.host, "--port", str(server.port),
+                "--workload", "--dataset", "INDE", "--n", "200", "-d", "3",
+                "--seed", "0", "--steps", "6", "--update-fraction", "0.3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0, captured.err
+        assert "byte-identical" in captured.out
+
+    def test_kill_without_spawn_exits_2(self, capsys):
+        exit_code = main(
+            ["client", "--kill-server-every", "3", "--dataset", "INDE"]
+        )
+        assert exit_code == 2
+        assert "--spawn-server" in capsys.readouterr().err
+
+    def test_connection_refused_prints_error_not_traceback(self, capsys):
+        import socket
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        exit_code = main(
+            [
+                "client", "--host", "127.0.0.1", "--port", str(free_port),
+                "--health", "--retries", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "failed after" in captured.err
